@@ -1,0 +1,38 @@
+//! End-to-end experiment kernels: each `bench_eNN` target times the
+//! runner that regenerates the corresponding EXPERIMENTS.md table.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gel_experiments::{e02_tree_homs, e03_mpnn_upper_bound, e06_gml, e07_normal_form,
+    e08_hierarchy, e10_recipe, e11_aggregators, light_corpus};
+
+fn bench_experiment_runners(c: &mut Criterion) {
+    let corpus = light_corpus();
+
+    c.bench_function("bench_e02_runner", |b| {
+        b.iter(|| black_box(e02_tree_homs::run(&corpus, 6)))
+    });
+    c.bench_function("bench_e03_runner", |b| {
+        b.iter(|| black_box(e03_mpnn_upper_bound::run(&corpus, 10)))
+    });
+    c.bench_function("bench_e06_runner", |b| b.iter(|| black_box(e06_gml::run(3))));
+    c.bench_function("bench_e07_runner", |b| b.iter(|| black_box(e07_normal_form::run(10))));
+    c.bench_function("bench_e08_runner", |b| {
+        b.iter(|| black_box(e08_hierarchy::run(&corpus, 3)))
+    });
+    c.bench_function("bench_e10_runner", |b| b.iter(|| black_box(e10_recipe::run(&corpus))));
+    c.bench_function("bench_e11_runner", |b| b.iter(|| black_box(e11_aggregators::run())));
+    c.bench_function("bench_f1_lattice", |b| {
+        b.iter(|| black_box(e10_recipe::lattice_figure(&corpus)))
+    });
+}
+
+fn bench_corpus_construction(c: &mut Criterion) {
+    c.bench_function("bench_corpus_light", |b| b.iter(|| black_box(light_corpus())));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_experiment_runners, bench_corpus_construction
+}
+criterion_main!(benches);

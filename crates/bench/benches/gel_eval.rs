@@ -1,0 +1,72 @@
+//! Language-evaluation benchmarks: random MPNN/GEL expressions (the E3
+//! and E9 kernels), the sparse-vs-dense guard ablation of DESIGN.md §6,
+//! and the memoized WL-simulation expressions (E4).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gel_graph::random::erdos_renyi;
+use gel_lang::eval::{eval_with, EvalOptions};
+use gel_lang::random_expr::{random_gel_graph, random_mpnn_graph, RandomExprConfig};
+use gel_lang::wl_sim::cr_expr;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_e03_random_mpnn(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(gel_bench::BENCH_SEED);
+    let cfg = RandomExprConfig::default();
+    let exprs: Vec<_> = (0..8).map(|_| random_mpnn_graph(&cfg, &mut rng)).collect();
+    let g = erdos_renyi(30, 0.2, &mut rng);
+    c.bench_function("bench_e03_mpnn_eval_n30", |b| {
+        b.iter(|| {
+            for e in &exprs {
+                black_box(eval_with(e, &g, EvalOptions::default()));
+            }
+        })
+    });
+}
+
+fn bench_e09_random_gel3(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(gel_bench::BENCH_SEED);
+    let cfg = RandomExprConfig::default();
+    let exprs: Vec<_> = (0..4).map(|_| random_gel_graph(&cfg, 3, &mut rng)).collect();
+    let g = erdos_renyi(12, 0.3, &mut rng);
+    c.bench_function("bench_e09_gel3_eval_n12", |b| {
+        b.iter(|| {
+            for e in &exprs {
+                black_box(eval_with(e, &g, EvalOptions::default()));
+            }
+        })
+    });
+}
+
+fn bench_guard_ablation(c: &mut Criterion) {
+    // DESIGN.md §6: guard-aware sparse aggregation vs dense n² scan.
+    let mut rng = StdRng::seed_from_u64(gel_bench::BENCH_SEED);
+    let expr = cr_expr(1, 3);
+    let mut group = c.benchmark_group("guard_ablation_cr_sim");
+    for n in [20usize, 40, 80] {
+        let g = erdos_renyi(n, 6.0 / n as f64, &mut rng);
+        group.bench_with_input(BenchmarkId::new("sparse", n), &g, |b, g| {
+            b.iter(|| eval_with(&expr, g, EvalOptions { guard_fast_path: true }))
+        });
+        group.bench_with_input(BenchmarkId::new("dense", n), &g, |b, g| {
+            b.iter(|| eval_with(&expr, g, EvalOptions { guard_fast_path: false }))
+        });
+    }
+    group.finish();
+}
+
+fn bench_e04_cr_simulation(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(gel_bench::BENCH_SEED);
+    let g = erdos_renyi(40, 0.15, &mut rng);
+    let expr = cr_expr(1, 5);
+    c.bench_function("bench_e04_cr_sim_n40_r5", |b| {
+        b.iter(|| eval_with(black_box(&expr), &g, EvalOptions::default()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_e03_random_mpnn, bench_e09_random_gel3, bench_guard_ablation, bench_e04_cr_simulation
+}
+criterion_main!(benches);

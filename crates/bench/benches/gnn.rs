@@ -1,0 +1,75 @@
+//! GNN benchmarks: forward/backward of each convolution, the E1
+//! random-probe kernel, and the training-epoch kernels behind E5, E12
+//! and L1–L3.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gel_gnn::{
+    gnn_separates, train_graph_model, GnnAgg, GraphModel, SeparationConfig, VertexModel,
+};
+use gel_graph::families::cr_blind_pair;
+use gel_graph::random::erdos_renyi;
+use gel_tensor::{Activation, Adam, Loss, Matrix, Parameterized};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_forward_backward(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(gel_bench::BENCH_SEED);
+    let mut group = c.benchmark_group("vertex_model_fwd_bwd");
+    for n in [50usize, 200] {
+        let g = erdos_renyi(n, 10.0 / n as f64, &mut rng);
+        for agg in [GnnAgg::Sum, GnnAgg::Mean, GnnAgg::Max] {
+            let mut model = VertexModel::gnn101(1, 32, 3, 4, agg, &mut rng);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{agg:?}"), n),
+                &g,
+                |b, g| {
+                    b.iter(|| {
+                        model.zero_grads();
+                        let y = model.forward(g);
+                        model.backward(g, &Matrix::filled(y.rows(), y.cols(), 1.0));
+                        black_box(model.grad_norm())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_e01_separation_probe(c: &mut Criterion) {
+    let (g, h) = cr_blind_pair();
+    c.bench_function("bench_e01_gnn_vs_cr_probe", |b| {
+        b.iter(|| {
+            gnn_separates(
+                black_box(&g),
+                black_box(&h),
+                &SeparationConfig { trials: 8, ..Default::default() },
+            )
+        })
+    });
+}
+
+fn bench_training_epoch(c: &mut Criterion) {
+    // The L1 kernel: one full-batch epoch of GIN graph classification.
+    let mut rng = StdRng::seed_from_u64(gel_bench::BENCH_SEED);
+    let data: Vec<(gel_graph::Graph, Vec<f64>)> = (0..32)
+        .map(|i| {
+            let g = erdos_renyi(20, 0.2, &mut rng);
+            (g, vec![f64::from(i % 2 == 0)])
+        })
+        .collect();
+    c.bench_function("bench_l1_gin_epoch_32graphs", |b| {
+        let mut model = GraphModel::gin(1, 16, 2, 1, Activation::Identity, &mut rng);
+        let mut opt = Adam::new(0.01);
+        b.iter(|| {
+            black_box(train_graph_model(&mut model, &data, Loss::BceWithLogits, &mut opt, 1))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_forward_backward, bench_e01_separation_probe, bench_training_epoch
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Homomorphism-counting benchmarks: the E2 kernel (tree profiles) and
+//! the FAQ variable-elimination counter on patterns of growing width.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gel_graph::families::{complete, cycle, petersen};
+use gel_graph::random::erdos_renyi;
+use gel_hom::{free_trees_up_to, hom_count, hom_tree, tree_hom_vector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_e02_tree_profile(c: &mut Criterion) {
+    let trees = free_trees_up_to(8); // 1+1+1+2+3+6+11+23 = 48 trees
+    let g = erdos_renyi(60, 0.1, &mut StdRng::seed_from_u64(gel_bench::BENCH_SEED));
+    c.bench_function("bench_e02_tree_profile_48trees_n60", |b| {
+        b.iter(|| tree_hom_vector(black_box(&trees), &g))
+    });
+}
+
+fn bench_tree_dp_scaling(c: &mut Criterion) {
+    let t = gel_graph::families::path(7);
+    let mut group = c.benchmark_group("hom_tree_path7");
+    for n in [50usize, 100, 200] {
+        let g = erdos_renyi(n, 8.0 / n as f64, &mut StdRng::seed_from_u64(1));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| hom_tree(black_box(&t), g))
+        });
+    }
+    group.finish();
+}
+
+fn bench_faq_by_pattern_width(c: &mut Criterion) {
+    let g = petersen();
+    let mut group = c.benchmark_group("faq_hom_petersen");
+    group.bench_function("C4 (width 2)", |b| b.iter(|| hom_count(&cycle(4), black_box(&g))));
+    group.bench_function("C6 (width 2)", |b| b.iter(|| hom_count(&cycle(6), black_box(&g))));
+    group.bench_function("K4 (width 3)", |b| b.iter(|| hom_count(&complete(4), black_box(&g))));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_e02_tree_profile, bench_tree_dp_scaling, bench_faq_by_pattern_width
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! WL-family benchmarks: colour-refinement scaling, folklore vs
+//! oblivious k-WL, and the hard instances behind experiment E8.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gel_graph::cfi::cfi_pair_k4;
+use gel_graph::families::srg_16_6_2_2_pair;
+use gel_graph::random::erdos_renyi;
+use gel_wl::{color_refinement, k_wl, CrOptions, WlVariant};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_color_refinement_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("color_refinement_er");
+    for n in [50usize, 100, 200, 400] {
+        let g = erdos_renyi(n, 8.0 / n as f64, &mut StdRng::seed_from_u64(gel_bench::BENCH_SEED));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| color_refinement(black_box(&[g]), CrOptions::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_kwl_variants(c: &mut Criterion) {
+    let (s, r) = srg_16_6_2_2_pair();
+    let mut group = c.benchmark_group("kwl_srg16");
+    group.bench_function("2-folklore", |b| {
+        b.iter(|| k_wl(black_box(&[&s, &r]), 2, WlVariant::Folklore, None))
+    });
+    group.bench_function("2-oblivious", |b| {
+        b.iter(|| k_wl(black_box(&[&s, &r]), 2, WlVariant::Oblivious, None))
+    });
+    group.bench_function("3-folklore", |b| {
+        b.iter(|| k_wl(black_box(&[&s, &r]), 3, WlVariant::Folklore, None))
+    });
+    group.finish();
+}
+
+fn bench_e08_hard_pairs(c: &mut Criterion) {
+    // The E8 kernel: deciding the hierarchy level of the CFI(K4) pair.
+    let (g, h) = cfi_pair_k4();
+    c.bench_function("bench_e08_cfi_k4_2wl", |b| {
+        b.iter(|| k_wl(black_box(&[&g, &h]), 2, WlVariant::Folklore, None))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_color_refinement_scaling, bench_kwl_variants, bench_e08_hard_pairs
+}
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! # gel-bench — benchmark harness (system S9)
+//!
+//! Criterion benchmarks, one per reproduced table/figure and one per
+//! ablation of DESIGN.md §6:
+//!
+//! * `benches/wl.rs` — colour refinement scaling, folklore vs
+//!   oblivious k-WL, the hard pairs (feeds E8);
+//! * `benches/gel_eval.rs` — language evaluation, guard-aware sparse vs
+//!   dense aggregation ablation, memoized WL simulation (E3, E4, E9);
+//! * `benches/hom.rs` — tree DP vs FAQ variable elimination (E2);
+//! * `benches/gnn.rs` — forward/backward of each conv, full training
+//!   epochs (E1, E5, L1–L3);
+//! * `benches/experiments.rs` — the end-to-end per-experiment kernels
+//!   `bench_e01 … bench_e12`.
+//!
+//! Run: `cargo bench --workspace` (tee to `bench_output.txt`).
+
+#![warn(missing_docs)]
+
+/// A fixed seed shared by all benchmarks so numbers are comparable
+/// across runs.
+pub const BENCH_SEED: u64 = 0xBE;

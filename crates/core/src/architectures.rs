@@ -1,0 +1,328 @@
+//! Compiling named GNN architectures into `GEL(Ω,Θ)` expressions —
+//! the "validation" step of the paper's plan of action (slides 34–35,
+//! 48, 63): *"a new embedding method just needs to be cast in the
+//! embedding language to know a bound on its expressive power."*
+//!
+//! Each builder takes explicit weights (so compiled expressions agree
+//! exactly with the direct implementations in `gel-gnn`) and returns a
+//! 1-free-variable expression (vertex embedding) or a closed expression
+//! (graph embedding after readout).
+
+use gel_tensor::{Activation, Matrix};
+use rand::Rng;
+
+use crate::ast::{build, Expr};
+use crate::func::{Agg, Func};
+
+/// Weights of one GNN-101 layer (paper slide 13):
+/// `F_v ← σ(F_v W₁ + Σ_{u∈N(v)} F_u W₂ + b)`.
+#[derive(Debug, Clone)]
+pub struct Gnn101Layer {
+    /// Self weight `W₁ : d_in × d_out`.
+    pub w1: Matrix,
+    /// Neighbour weight `W₂ : d_in × d_out`.
+    pub w2: Matrix,
+    /// Bias `b : d_out`.
+    pub bias: Vec<f64>,
+    /// The non-linearity σ.
+    pub activation: Activation,
+}
+
+impl Gnn101Layer {
+    /// Random layer with the given dimensions.
+    pub fn random(d_in: usize, d_out: usize, activation: Activation, rng: &mut impl Rng) -> Self {
+        let a = (6.0 / (d_in + d_out) as f64).sqrt();
+        let mut sample = |r: usize, c: usize| Matrix::from_fn(r, c, |_, _| rng.gen_range(-a..=a));
+        Self {
+            w1: sample(d_in, d_out),
+            w2: sample(d_in, d_out),
+            bias: (0..d_out).map(|_| rng.gen_range(-a..=a)).collect(),
+            activation,
+        }
+    }
+}
+
+/// Compiles an L-layer GNN-101 into a vertex-embedding expression with
+/// free variable `x1` (slide 40's "easy exercise": GNN 101s are
+/// MPNNs).
+///
+/// Layer `t` becomes
+/// `σ( add( linear_{W₁}(φ_{t−1}(x1)),
+///          linear_{W₂}( sum_{x2}(φ_{t−1}(x2) | E(x1,x2)) ), b ) )`,
+/// alternating the roles of `x1`/`x2` so only two variables are used.
+///
+/// # Panics
+/// Panics on inter-layer dimension mismatches.
+pub fn gnn101_vertex_expr(layers: &[Gnn101Layer], label_dim: usize) -> Expr {
+    let mut cur = build::lab_vec(1, label_dim); // free var x1
+    let mut cur_dim = label_dim;
+    for layer in layers {
+        assert_eq!(layer.w1.rows(), cur_dim, "layer input dim mismatch");
+        assert_eq!(layer.w1.shape(), layer.w2.shape(), "W1/W2 shape mismatch");
+        let (anchor, other) = (1u8, 2u8);
+        // Swap x1/x2 so the previous layer's value is read at the
+        // aggregated vertex; a swap is capture-avoiding (slide 45:
+        // "with the roles of x1 and x2 reversed").
+        let prev_other = cur.swap_vars(anchor, other);
+        let self_term = build::apply(
+            Func::Linear { weights: layer.w1.clone(), bias: vec![0.0; layer.w1.cols()] },
+            vec![cur],
+        );
+        let nbr_sum = build::nbr_agg(Agg::Sum, anchor, other, prev_other);
+        let nbr_term = build::apply(
+            Func::Linear { weights: layer.w2.clone(), bias: layer.bias.clone() },
+            vec![nbr_sum],
+        );
+        let d_out = layer.w1.cols();
+        let summed =
+            build::apply(Func::Add { arity: 2, dim: d_out }, vec![self_term, nbr_term]);
+        cur = build::apply(Func::Act(layer.activation), vec![summed]);
+        cur_dim = d_out;
+    }
+    cur
+}
+
+/// Compiles GNN-101 + sum-readout into a closed graph-embedding
+/// expression (slide 14): `σ( Σ_v F_v^{(L)} W + b )`.
+pub fn gnn101_graph_expr(
+    layers: &[Gnn101Layer],
+    label_dim: usize,
+    readout_w: Matrix,
+    readout_b: Vec<f64>,
+    readout_act: Activation,
+) -> Expr {
+    let vertex = gnn101_vertex_expr(layers, label_dim);
+    let pooled = build::global_agg(Agg::Sum, 1, vertex);
+    let lin = build::apply(Func::Linear { weights: readout_w, bias: readout_b }, vec![pooled]);
+    build::apply(Func::Act(readout_act), vec![lin])
+}
+
+/// A GIN layer (Xu et al. 2019): `h_v ← MLP((1+ε)·h_v + Σ_u h_u)`.
+/// Here the MLP is a single dense layer (enough for the expressiveness
+/// experiments; `gel-gnn` has the trainable deep version).
+#[derive(Debug, Clone)]
+pub struct GinLayer {
+    /// The ε weight on the self term.
+    pub eps: f64,
+    /// Dense weights `d_in × d_out`.
+    pub w: Matrix,
+    /// Bias.
+    pub bias: Vec<f64>,
+    /// Activation.
+    pub activation: Activation,
+}
+
+/// Compiles GIN layers into a vertex expression.
+pub fn gin_vertex_expr(layers: &[GinLayer], label_dim: usize) -> Expr {
+    let mut cur = build::lab_vec(1, label_dim);
+    let mut cur_dim = label_dim;
+    for layer in layers {
+        assert_eq!(layer.w.rows(), cur_dim);
+        let (anchor, other) = (1u8, 2u8);
+        let prev_other = cur.swap_vars(anchor, other);
+        let self_term = build::apply(Func::Scale(1.0 + layer.eps), vec![cur]);
+        let nbr_sum = build::nbr_agg(Agg::Sum, anchor, other, prev_other);
+        let summed =
+            build::apply(Func::Add { arity: 2, dim: cur_dim }, vec![self_term, nbr_sum]);
+        let lin = build::apply(
+            Func::Linear { weights: layer.w.clone(), bias: layer.bias.clone() },
+            vec![summed],
+        );
+        cur = build::apply(Func::Act(layer.activation), vec![lin]);
+        cur_dim = layer.w.cols();
+    }
+    cur
+}
+
+/// A GCN layer (Kipf & Welling 2017) in mean-aggregation form:
+/// `h_v ← σ( mean_{u ∈ N(v)}(h_u) · W + b )` — the normalized
+/// convolution with symmetric normalization replaced by the mean,
+/// which keeps it inside `MPNN(Ω, {mean})`.
+#[derive(Debug, Clone)]
+pub struct GcnLayer {
+    /// Dense weights.
+    pub w: Matrix,
+    /// Bias.
+    pub bias: Vec<f64>,
+    /// Activation.
+    pub activation: Activation,
+}
+
+/// Compiles mean-GCN layers into a vertex expression.
+pub fn gcn_vertex_expr(layers: &[GcnLayer], label_dim: usize) -> Expr {
+    let mut cur = build::lab_vec(1, label_dim);
+    for layer in layers {
+        let (anchor, other) = (1u8, 2u8);
+        let prev_other = cur.swap_vars(anchor, other);
+        let nbr_mean = build::nbr_agg(Agg::Mean, anchor, other, prev_other);
+        let lin = build::apply(
+            Func::Linear { weights: layer.w.clone(), bias: layer.bias.clone() },
+            vec![nbr_mean],
+        );
+        cur = build::apply(Func::Act(layer.activation), vec![lin]);
+    }
+    cur
+}
+
+/// A GraphSage layer (Hamilton et al. 2017) with max-pool aggregation:
+/// `h_v ← σ( concat(h_v, max_{u}(h_u)) · W + b )`.
+#[derive(Debug, Clone)]
+pub struct SageLayer {
+    /// Dense weights `2·d_in × d_out`.
+    pub w: Matrix,
+    /// Bias.
+    pub bias: Vec<f64>,
+    /// Activation.
+    pub activation: Activation,
+}
+
+/// Compiles GraphSage layers into a vertex expression.
+pub fn sage_vertex_expr(layers: &[SageLayer], label_dim: usize) -> Expr {
+    let mut cur = build::lab_vec(1, label_dim);
+    let mut cur_dim = label_dim;
+    for layer in layers {
+        assert_eq!(layer.w.rows(), 2 * cur_dim, "Sage weights must take concat(self, pooled)");
+        let (anchor, other) = (1u8, 2u8);
+        let prev_other = cur.swap_vars(anchor, other);
+        let nbr_max = build::nbr_agg(Agg::Max, anchor, other, prev_other);
+        let cat = build::apply(Func::Concat, vec![cur, nbr_max]);
+        let lin = build::apply(
+            Func::Linear { weights: layer.w.clone(), bias: layer.bias.clone() },
+            vec![cat],
+        );
+        cur = build::apply(Func::Act(layer.activation), vec![lin]);
+        cur_dim = layer.w.cols();
+    }
+    cur
+}
+
+/// A `GEL_3` expression counting triangles through `x1` — a feature no
+/// MPNN expression can compute (slide 31 / E12), placed in the language
+/// to demonstrate the power gained by a third variable (slides 60, 67).
+pub fn triangles_at_vertex_expr() -> Expr {
+    let tri = build::apply(
+        Func::Mul { arity: 3, dim: 1 },
+        vec![build::edge(1, 2), build::edge(2, 3), build::edge(1, 3)],
+    );
+    // Each unordered triangle through x1 is counted twice (x2/x3 swap).
+    build::apply(
+        Func::Scale(0.5),
+        vec![build::agg_over(Agg::Sum, vec![2, 3], tri, None)],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{analyze, Fragment};
+    use crate::eval::eval;
+    use gel_graph::families::{complete, cycle, star};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gnn101_expr_is_mpnn_fragment() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let layers: Vec<Gnn101Layer> =
+            (0..3).map(|_| Gnn101Layer::random(1, 1, Activation::ReLU, &mut rng)).collect();
+        let e = gnn101_vertex_expr(&layers, 1);
+        let r = analyze(&e);
+        assert_eq!(r.fragment, Fragment::Mpnn, "slide 40: GNN 101s are MPNNs");
+        assert_eq!(r.width, 2);
+    }
+
+    #[test]
+    fn gnn101_expr_computes_the_recurrence() {
+        // One identity layer with W1 = 0, W2 = 1, b = 0, σ = id:
+        // output = Σ neighbours' labels.
+        let layer = Gnn101Layer {
+            w1: Matrix::zeros(1, 1),
+            w2: Matrix::identity(1),
+            bias: vec![0.0],
+            activation: Activation::Identity,
+        };
+        let e = gnn101_vertex_expr(&[layer], 1);
+        let g = star(3); // scalar labels all 1
+        let t = eval(&e, &g);
+        assert_eq!(t.cell(&[0]), &[3.0]);
+        assert_eq!(t.cell(&[1]), &[1.0]);
+    }
+
+    #[test]
+    fn two_layers_alternate_variables() {
+        let layer = || Gnn101Layer {
+            w1: Matrix::zeros(1, 1),
+            w2: Matrix::identity(1),
+            bias: vec![0.0],
+            activation: Activation::Identity,
+        };
+        let e = gnn101_vertex_expr(&[layer(), layer()], 1);
+        // Still only 2 variables (slide 42: "we take two variables").
+        assert!(e.all_vars().len() <= 2);
+        // Two sum layers compute walk counts of length 2.
+        let g = star(3);
+        let t = eval(&e, &g);
+        assert_eq!(t.cell(&[0]), &[3.0]); // 3 walks back to center
+        assert_eq!(t.cell(&[1]), &[3.0]);
+    }
+
+    #[test]
+    fn graph_expr_is_closed_and_invariant() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let layers: Vec<Gnn101Layer> =
+            (0..2).map(|_| Gnn101Layer::random(1, 4, Activation::Tanh, &mut rng)).collect();
+        let layers = {
+            let mut l = layers;
+            l[1] = Gnn101Layer::random(4, 4, Activation::Tanh, &mut rng);
+            l
+        };
+        let e = gnn101_graph_expr(
+            &layers,
+            1,
+            Matrix::identity(4),
+            vec![0.0; 4],
+            Activation::Identity,
+        );
+        assert!(e.free_vars().is_empty());
+        let g = cycle(7);
+        let perm: Vec<u32> = (0..7).map(|i| (i + 3) % 7).collect();
+        let h = g.permute(&perm);
+        assert!(eval(&e, &g).approx_eq(&eval(&e, &h), 1e-9));
+    }
+
+    #[test]
+    fn gin_gcn_sage_are_mpnn() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = (6.0 / 2.0_f64).sqrt();
+        let m = |r: usize, c: usize, rng: &mut StdRng| {
+            Matrix::from_fn(r, c, |_, _| rng.gen_range(-a..=a))
+        };
+        let gin = gin_vertex_expr(
+            &[GinLayer { eps: 0.1, w: m(1, 2, &mut rng), bias: vec![0.0; 2], activation: Activation::ReLU }],
+            1,
+        );
+        let gcn = gcn_vertex_expr(
+            &[GcnLayer { w: m(1, 2, &mut rng), bias: vec![0.0; 2], activation: Activation::ReLU }],
+            1,
+        );
+        let sage = sage_vertex_expr(
+            &[SageLayer { w: m(2, 2, &mut rng), bias: vec![0.0; 2], activation: Activation::ReLU }],
+            1,
+        );
+        for (name, e) in [("GIN", gin), ("GCN", gcn), ("Sage", sage)] {
+            let r = analyze(&e);
+            assert_eq!(r.fragment, Fragment::Mpnn, "{name} must sit in MPNN(Ω,Θ) (slide 63)");
+        }
+    }
+
+    #[test]
+    fn triangle_expr_counts_triangles() {
+        let e = triangles_at_vertex_expr();
+        let r = analyze(&e);
+        assert_eq!(r.fragment, Fragment::Gel(3));
+        let t = eval(&e, &complete(4));
+        assert_eq!(t.cell(&[0]), &[3.0], "each K4 vertex lies on 3 triangles");
+        let t6 = eval(&e, &cycle(6));
+        assert_eq!(t6.cell(&[0]), &[0.0]);
+    }
+}

@@ -1,0 +1,308 @@
+//! Normal forms for `MPNN(Ω,Θ)` expressions (paper slide 55, after
+//! Geerts–Steegmans–Van den Bussche, FoIKS 2022).
+//!
+//! The *normal form* interleaves function application and aggregation
+//! in the classical layered way (slide 47):
+//!
+//! ```text
+//! φ_t(x1) := F_t( φ_{t−1}(x1), agg^θ_{x2}( φ_{t−1}(x2) | E(x1,x2) ) )
+//! ```
+//!
+//! i.e. every aggregation body depends *only* on the aggregated
+//! variable. General MPNN expressions may aggregate bodies that mention
+//! the anchor too, e.g. `sum_{x2}(concat(α(x1), β(x2)) | E(x1,x2))`.
+//!
+//! Scope of the implementation. The FoIKS theorem converts *every*
+//! `MPNN(Ω, sum)` with σ = ReLU (exactly; and approximately on compact
+//! domains for other cases). We implement the exact rewriting on the
+//! **sum-separable fragment** — aggregation bodies that are trees of
+//! `Concat`/`Linear`/`Scale`/`Add` over subexpressions each anchored at
+//! a single variable. This fragment covers every architecture compiled
+//! by [`crate::architectures`] and every expression produced by
+//! [`crate::random_expr`] with sum aggregation; for bodies that
+//! genuinely entangle both variables non-linearly the function returns
+//! `None`, mirroring the fact that the general theorem needs the
+//! approximation route (E7 records this).
+//!
+//! The key algebraic identities (for the sum aggregator):
+//!
+//! * `Σ_{u∈N(v)} concat(a(v), b(u)) = concat(deg(v)·a(v), Σ_u b(u))`
+//! * `Σ_{u∈N(v)} L(e(v,u)) = L(Σ_u e(v,u))` for linear `L`
+//! * `deg(v) = Σ_{u∈N(v)} 1` — itself a normal-form aggregation.
+
+use crate::ast::{build, Expr};
+use crate::func::{Agg, Func};
+use crate::table::Var;
+
+/// True when `expr` is in layered normal form: every aggregation body's
+/// free variables are exactly `{bound variable}` (or empty).
+pub fn is_normal_form(expr: &Expr) -> bool {
+    match expr {
+        Expr::Label { .. }
+        | Expr::LabelVec { .. }
+        | Expr::Edge { .. }
+        | Expr::Cmp { .. }
+        | Expr::Const { .. } => true,
+        Expr::Apply { args, .. } => args.iter().all(is_normal_form),
+        Expr::Aggregate { over, value, guard, .. } => {
+            let fv = value.free_vars();
+            let only_bound = fv.iter().all(|v| over.contains(v));
+            only_bound
+                && is_normal_form(value)
+                && guard.as_ref().map_or(true, |g| is_normal_form(g))
+        }
+    }
+}
+
+/// Rewrites an MPNN expression into normal form, preserving semantics
+/// exactly. Returns `None` when the expression falls outside the
+/// sum-separable fragment (see module docs).
+pub fn to_normal_form(expr: &Expr) -> Option<Expr> {
+    match expr {
+        Expr::Label { .. }
+        | Expr::LabelVec { .. }
+        | Expr::Edge { .. }
+        | Expr::Cmp { .. }
+        | Expr::Const { .. } => Some(expr.clone()),
+        Expr::Apply { func, args } => {
+            let args: Option<Vec<Expr>> = args.iter().map(to_normal_form).collect();
+            Some(Expr::Apply { func: func.clone(), args: args? })
+        }
+        Expr::Aggregate { agg, over, value, guard } => {
+            let value_nf = to_normal_form(value)?;
+            let guard_nf = match guard {
+                Some(g) => Some(Box::new(to_normal_form(g)?)),
+                None => None,
+            };
+            let fv = value_nf.free_vars();
+            let extra: Vec<Var> =
+                fv.iter().copied().filter(|v| !over.contains(v)).collect();
+            if extra.is_empty() {
+                return Some(Expr::Aggregate {
+                    agg: *agg,
+                    over: over.clone(),
+                    value: Box::new(value_nf),
+                    guard: guard_nf,
+                });
+            }
+            // Body mentions the anchor: only handled for Sum over a
+            // single variable with a single anchor.
+            if *agg != Agg::Sum || over.len() != 1 || extra.len() != 1 {
+                return None;
+            }
+            let y = over[0];
+            let anchor = extra[0];
+            separate_sum(&value_nf, anchor, y, guard_nf.as_deref())
+        }
+    }
+}
+
+/// Rewrites `Σ_{y | guard} body(anchor, y)` into normal form given that
+/// `body` is a Concat/Linear/Scale/Add tree over single-anchored parts.
+fn separate_sum(
+    body: &Expr,
+    anchor: Var,
+    y: Var,
+    guard: Option<&Expr>,
+) -> Option<Expr> {
+    // deg(anchor) under the same guard (itself normal form).
+    let count = Expr::Aggregate {
+        agg: Agg::Sum,
+        over: vec![y],
+        value: Box::new(build::constant(vec![1.0])),
+        guard: guard.map(|g| Box::new(g.clone())),
+    };
+    let sum_under_guard = |e: Expr| Expr::Aggregate {
+        agg: Agg::Sum,
+        over: vec![y],
+        value: Box::new(e),
+        guard: guard.map(|g| Box::new(g.clone())),
+    };
+
+    let fv = body.free_vars();
+    if fv.iter().all(|&v| v == y) {
+        // Pure message: already separable.
+        return Some(sum_under_guard(body.clone()));
+    }
+    if fv.iter().all(|&v| v == anchor) {
+        // Constant w.r.t. the sum: Σ a(v) = deg(v) · a(v).
+        let d = body.dim();
+        let deg_broadcast = if d == 1 {
+            count
+        } else {
+            // Broadcast deg to dimension d with a linear map 1 → d of ones.
+            build::apply(
+                Func::Linear {
+                    weights: gel_tensor::Matrix::filled(1, d, 1.0),
+                    bias: vec![0.0; d],
+                },
+                vec![count],
+            )
+        };
+        return Some(build::apply(
+            Func::Mul { arity: 2, dim: d },
+            vec![deg_broadcast, body.clone()],
+        ));
+    }
+    // Mixed: distribute over Concat / Linear / Scale / Add.
+    match body {
+        Expr::Apply { func: Func::Concat, args } => {
+            let parts: Option<Vec<Expr>> =
+                args.iter().map(|a| separate_sum(a, anchor, y, guard)).collect();
+            Some(build::apply(Func::Concat, parts?))
+        }
+        Expr::Apply { func: func @ Func::Linear { .. }, args } => {
+            // Linear commutes with Σ: L(Σ concat(args)) — but the bias is
+            // added once per summand, i.e. deg times. Rewrite
+            // Σ L(e) = L₀(Σ e) + deg·b with L₀ the bias-free map.
+            let Func::Linear { weights, bias } = func else { unreachable!() };
+            let inner = build::apply(Func::Concat, args.clone());
+            let inner_sum = separate_sum(&inner, anchor, y, guard)?;
+            let l0 = build::apply(
+                Func::Linear { weights: weights.clone(), bias: vec![0.0; bias.len()] },
+                vec![inner_sum],
+            );
+            let d = bias.len();
+            let bias_term = build::apply(
+                Func::Linear {
+                    weights: gel_tensor::Matrix::row_vector(bias),
+                    bias: vec![0.0; d],
+                },
+                vec![count],
+            );
+            Some(build::apply(Func::Add { arity: 2, dim: d }, vec![l0, bias_term]))
+        }
+        Expr::Apply { func: Func::Scale(s), args } => {
+            let inner = build::apply(Func::Concat, args.clone());
+            let inner_sum = separate_sum(&inner, anchor, y, guard)?;
+            Some(build::apply(Func::Scale(*s), vec![inner_sum]))
+        }
+        Expr::Apply { func: Func::Add { arity, dim }, args } => {
+            let parts: Option<Vec<Expr>> =
+                args.iter().map(|a| separate_sum(a, anchor, y, guard)).collect();
+            Some(build::apply(Func::Add { arity: *arity, dim: *dim }, parts?))
+        }
+        _ => None, // non-linear entanglement of anchor and message
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::build::*;
+    use crate::eval::eval;
+    use gel_graph::families::{cycle, path, star};
+    use gel_graph::Graph;
+
+    fn assert_nf_equivalent(e: &Expr, graphs: &[Graph]) {
+        let nf = to_normal_form(e).expect("expression should be separable");
+        assert!(is_normal_form(&nf), "result not in normal form: {nf}");
+        for g in graphs {
+            let a = eval(e, g);
+            let b = eval(&nf, g);
+            assert!(a.approx_eq(&b, 1e-9), "semantics changed on {g:?}: {e} vs {nf}");
+        }
+    }
+
+    fn corpus() -> Vec<Graph> {
+        vec![
+            path(5),
+            star(4),
+            cycle(6).with_labels(vec![1.0, 2.0, 1.0, 2.0, 1.0, 2.0], 1),
+        ]
+    }
+
+    #[test]
+    fn already_normal_is_fixed_point() {
+        let e = nbr_agg(Agg::Sum, 1, 2, lab(0, 2));
+        assert!(is_normal_form(&e));
+        assert_eq!(to_normal_form(&e).unwrap(), e);
+    }
+
+    #[test]
+    fn concat_body_is_separated() {
+        // Σ_{x2}( concat(lab(x1), lab(x2)) | E ) — the paper's general
+        // MPNN aggregation (slide 45's example).
+        let e = nbr_agg(
+            Agg::Sum,
+            1,
+            2,
+            apply(Func::Concat, vec![lab(0, 1), lab(0, 2)]),
+        );
+        assert!(!is_normal_form(&e));
+        assert_nf_equivalent(&e, &corpus());
+    }
+
+    #[test]
+    fn anchor_only_body_becomes_degree_product() {
+        // Σ_{x2}( lab(x1) | E ) = deg(x1)·lab(x1).
+        let e = nbr_agg(Agg::Sum, 1, 2, lab(0, 1));
+        assert_nf_equivalent(&e, &corpus());
+    }
+
+    #[test]
+    fn linear_with_bias_is_handled() {
+        // Σ L(concat(a(x1), b(x2))) needs the deg·bias correction.
+        let lin = Func::Linear {
+            weights: gel_tensor::Matrix::from_rows(&[&[2.0], &[3.0]]),
+            bias: vec![7.0],
+        };
+        let e = nbr_agg(Agg::Sum, 1, 2, apply(lin, vec![lab(0, 1), lab(0, 2)]));
+        assert_nf_equivalent(&e, &corpus());
+    }
+
+    #[test]
+    fn nested_layers_are_normalized() {
+        // Two layers where the inner aggregation is itself non-normal.
+        let inner = nbr_agg(
+            Agg::Sum,
+            2,
+            1,
+            apply(Func::Concat, vec![lab(0, 2), lab(0, 1)]),
+        );
+        let outer = nbr_agg(Agg::Sum, 1, 2, inner);
+        assert_nf_equivalent(&outer, &corpus());
+    }
+
+    #[test]
+    fn scale_and_add_distribute() {
+        let body = apply(
+            Func::Add { arity: 2, dim: 1 },
+            vec![
+                apply(Func::Scale(2.0), vec![lab(0, 1)]),
+                apply(Func::Scale(-1.0), vec![lab(0, 2)]),
+            ],
+        );
+        let e = nbr_agg(Agg::Sum, 1, 2, body);
+        assert_nf_equivalent(&e, &corpus());
+    }
+
+    #[test]
+    fn entangled_body_returns_none() {
+        // Σ mul(a(x1), b(x2)): multiplicative entanglement is outside
+        // the exact fragment (needs the ReLU approximation route).
+        let e = nbr_agg(Agg::Sum, 1, 2, mul2(lab(0, 1), lab(0, 2)));
+        assert!(to_normal_form(&e).is_none());
+    }
+
+    #[test]
+    fn mean_with_anchor_returns_none() {
+        let e = nbr_agg(Agg::Mean, 1, 2, apply(Func::Concat, vec![lab(0, 1), lab(0, 2)]));
+        assert!(to_normal_form(&e).is_none());
+    }
+
+    #[test]
+    fn architectures_normalize() {
+        use crate::architectures::{gnn101_vertex_expr, Gnn101Layer};
+        use gel_tensor::Activation;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(5);
+        let layers: Vec<Gnn101Layer> = vec![
+            Gnn101Layer::random(1, 3, Activation::ReLU, &mut rng),
+            Gnn101Layer::random(3, 2, Activation::ReLU, &mut rng),
+        ];
+        let e = gnn101_vertex_expr(&layers, 1);
+        assert_nf_equivalent(&e, &corpus());
+    }
+}

@@ -1,0 +1,283 @@
+//! Random expression generators — the falsification side of the
+//! separation-power theorems (experiments E3, E9, E11).
+//!
+//! The upper-bound directions of the paper's theorems quantify over
+//! *every* expression of a fragment ("for any Ω and Θ", slide 51).
+//! Empirically we sample many random well-typed expressions and check
+//! that none separates a WL-equivalent pair — a property-based
+//! falsification harness in the spirit of proptest, kept deterministic
+//! by explicit seeds.
+
+use gel_tensor::{Activation, Matrix};
+use rand::Rng;
+
+use crate::ast::{build, Expr};
+use crate::func::{Agg, Func};
+use crate::table::Var;
+
+/// Configuration for random expression sampling.
+#[derive(Debug, Clone)]
+pub struct RandomExprConfig {
+    /// Label dimension of the graphs the expression will run on.
+    pub label_dim: usize,
+    /// Maximum nesting depth.
+    pub max_depth: usize,
+    /// Maximum width of intermediate dimensions.
+    pub max_dim: usize,
+    /// Aggregators to sample from.
+    pub aggregators: Vec<Agg>,
+}
+
+impl Default for RandomExprConfig {
+    fn default() -> Self {
+        Self {
+            label_dim: 1,
+            max_depth: 4,
+            max_dim: 4,
+            aggregators: vec![Agg::Sum, Agg::Mean, Agg::Max],
+        }
+    }
+}
+
+fn random_linear(d_in: usize, d_out: usize, rng: &mut impl Rng) -> Func {
+    let a = (6.0 / (d_in + d_out) as f64).sqrt();
+    Func::Linear {
+        weights: Matrix::from_fn(d_in, d_out, |_, _| rng.gen_range(-a..=a)),
+        bias: (0..d_out).map(|_| rng.gen_range(-a..=a)).collect(),
+    }
+}
+
+fn random_activation(rng: &mut impl Rng) -> Activation {
+    match rng.gen_range(0..4) {
+        0 => Activation::ReLU,
+        1 => Activation::Sigmoid,
+        2 => Activation::Tanh,
+        _ => Activation::Identity,
+    }
+}
+
+/// Samples a random `MPNN(Ω,Θ)` *vertex* expression with free variable
+/// `x1` (invariant by construction, slide 47's guarded shape).
+pub fn random_mpnn_vertex(cfg: &RandomExprConfig, rng: &mut impl Rng) -> Expr {
+    random_mpnn_at(cfg, 1, cfg.max_depth, rng).0
+}
+
+/// Samples a random closed `MPNN(Ω,Θ)` *graph* expression
+/// (vertex expression + global aggregation + readout).
+pub fn random_mpnn_graph(cfg: &RandomExprConfig, rng: &mut impl Rng) -> Expr {
+    let (vertex, dim) = random_mpnn_at(cfg, 1, cfg.max_depth, rng);
+    let agg = cfg.aggregators[rng.gen_range(0..cfg.aggregators.len())];
+    let pooled = build::global_agg(agg, 1, vertex);
+    let d_out = rng.gen_range(1..=cfg.max_dim);
+    build::apply(
+        Func::Act(random_activation(rng)),
+        vec![build::apply(random_linear(dim, d_out, rng), vec![pooled])],
+    )
+}
+
+/// Returns a random MPNN expression anchored at `var` together with its
+/// dimension.
+fn random_mpnn_at(
+    cfg: &RandomExprConfig,
+    var: Var,
+    depth: usize,
+    rng: &mut impl Rng,
+) -> (Expr, usize) {
+    if depth == 0 || rng.gen_bool(0.2) {
+        return (build::lab_vec(var, cfg.label_dim), cfg.label_dim);
+    }
+    match rng.gen_range(0..4) {
+        0 => {
+            // Function application on one subexpression.
+            let (inner, d) = random_mpnn_at(cfg, var, depth - 1, rng);
+            let d_out = rng.gen_range(1..=cfg.max_dim);
+            let lin = build::apply(random_linear(d, d_out, rng), vec![inner]);
+            (build::apply(Func::Act(random_activation(rng)), vec![lin]), d_out)
+        }
+        1 => {
+            // Concat of two subexpressions.
+            let (a, da) = random_mpnn_at(cfg, var, depth - 1, rng);
+            let (b, db) = random_mpnn_at(cfg, var, depth - 1, rng);
+            (build::apply(Func::Concat, vec![a, b]), da + db)
+        }
+        2 => {
+            // Pointwise product (dimension-matched by a linear map).
+            let (a, da) = random_mpnn_at(cfg, var, depth - 1, rng);
+            let (b, db) = random_mpnn_at(cfg, var, depth - 1, rng);
+            let d = rng.gen_range(1..=cfg.max_dim);
+            let pa = build::apply(random_linear(da, d, rng), vec![a]);
+            let pb = build::apply(random_linear(db, d, rng), vec![b]);
+            (build::apply(Func::Mul { arity: 2, dim: d }, vec![pa, pb]), d)
+        }
+        _ => {
+            // Neighbourhood aggregation: body anchored at the other var.
+            let other: Var = if var == 1 { 2 } else { 1 };
+            let (body, d) = random_mpnn_at(cfg, other, depth - 1, rng);
+            let agg = cfg.aggregators[rng.gen_range(0..cfg.aggregators.len())];
+            (build::nbr_agg(agg, var, other, body), d)
+        }
+    }
+}
+
+/// Samples a random closed `GEL_k(Ω,Θ)` graph expression using up to
+/// `k` variables: a random polynomial over edge/equality/label atoms,
+/// aggregated away variable by variable.
+pub fn random_gel_graph(
+    cfg: &RandomExprConfig,
+    k: usize,
+    rng: &mut impl Rng,
+) -> Expr {
+    assert!((2..=6).contains(&k), "supported widths: 2..=6");
+    let (body, dim) = random_gel_body(cfg, k, cfg.max_depth, rng);
+    // Aggregate all variables away (one at a time, random aggregator).
+    let mut cur = body;
+    let mut cur_dim = dim;
+    for v in 1..=k as Var {
+        if cur.free_vars().contains(&v) {
+            let agg = cfg.aggregators[rng.gen_range(0..cfg.aggregators.len())];
+            cur = build::agg_over(agg, vec![v], cur, None);
+        }
+    }
+    let d_out = rng.gen_range(1..=cfg.max_dim);
+    cur = build::apply(random_linear(cur_dim, d_out, rng), vec![cur]);
+    cur_dim = d_out;
+    let _ = cur_dim;
+    cur
+}
+
+fn random_gel_body(
+    cfg: &RandomExprConfig,
+    k: usize,
+    depth: usize,
+    rng: &mut impl Rng,
+) -> (Expr, usize) {
+    if depth == 0 || rng.gen_bool(0.25) {
+        // Random atom.
+        return match rng.gen_range(0..3) {
+            0 => {
+                let v = rng.gen_range(1..=k) as Var;
+                (build::lab_vec(v, cfg.label_dim), cfg.label_dim)
+            }
+            1 => {
+                let a = rng.gen_range(1..=k) as Var;
+                let mut b = rng.gen_range(1..=k) as Var;
+                if a == b {
+                    b = if a == k as Var { 1 } else { a + 1 };
+                }
+                (build::edge(a, b), 1)
+            }
+            _ => {
+                let a = rng.gen_range(1..=k) as Var;
+                let mut b = rng.gen_range(1..=k) as Var;
+                if a == b {
+                    b = if a == k as Var { 1 } else { a + 1 };
+                }
+                (if rng.gen_bool(0.5) { build::eq(a, b) } else { build::ne(a, b) }, 1)
+            }
+        };
+    }
+    match rng.gen_range(0..4) {
+        0 => {
+            let (inner, d) = random_gel_body(cfg, k, depth - 1, rng);
+            let d_out = rng.gen_range(1..=cfg.max_dim);
+            let lin = build::apply(random_linear(d, d_out, rng), vec![inner]);
+            (build::apply(Func::Act(random_activation(rng)), vec![lin]), d_out)
+        }
+        1 => {
+            let (a, da) = random_gel_body(cfg, k, depth - 1, rng);
+            let (b, db) = random_gel_body(cfg, k, depth - 1, rng);
+            (build::apply(Func::Concat, vec![a, b]), da + db)
+        }
+        2 => {
+            let (a, da) = random_gel_body(cfg, k, depth - 1, rng);
+            let (b, db) = random_gel_body(cfg, k, depth - 1, rng);
+            let d = rng.gen_range(1..=cfg.max_dim);
+            let pa = build::apply(random_linear(da, d, rng), vec![a]);
+            let pb = build::apply(random_linear(db, d, rng), vec![b]);
+            (build::apply(Func::Mul { arity: 2, dim: d }, vec![pa, pb]), d)
+        }
+        _ => {
+            // Aggregate one variable away, guarded by a random guard.
+            let (body, d) = random_gel_body(cfg, k, depth - 1, rng);
+            let fv: Vec<Var> = body.free_vars().into_iter().collect();
+            if fv.len() < 2 {
+                return (body, d);
+            }
+            let y = fv[rng.gen_range(0..fv.len())];
+            let anchor = *fv.iter().find(|&&v| v != y).unwrap();
+            let agg = cfg.aggregators[rng.gen_range(0..cfg.aggregators.len())];
+            let guard = if rng.gen_bool(0.7) {
+                Some(build::edge(anchor, y))
+            } else {
+                None
+            };
+            (build::agg_over(agg, vec![y], body, guard), d)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{analyze, Fragment};
+    use crate::eval::eval;
+    use gel_graph::families::cycle;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_mpnn_is_well_typed_and_in_fragment() {
+        let cfg = RandomExprConfig::default();
+        let mut rng = StdRng::seed_from_u64(100);
+        for _ in 0..50 {
+            let e = random_mpnn_vertex(&cfg, &mut rng);
+            e.validate().expect("generated expression must type-check");
+            assert_eq!(analyze(&e).fragment, Fragment::Mpnn);
+            let fv: Vec<Var> = e.free_vars().into_iter().collect();
+            assert_eq!(fv, vec![1]);
+        }
+    }
+
+    #[test]
+    fn random_mpnn_graph_is_closed() {
+        let cfg = RandomExprConfig::default();
+        let mut rng = StdRng::seed_from_u64(200);
+        for _ in 0..30 {
+            let e = random_mpnn_graph(&cfg, &mut rng);
+            e.validate().unwrap();
+            assert!(e.free_vars().is_empty());
+            // And it evaluates without panicking.
+            let _ = eval(&e, &cycle(5));
+        }
+    }
+
+    #[test]
+    fn random_gel_respects_width() {
+        let cfg = RandomExprConfig::default();
+        let mut rng = StdRng::seed_from_u64(300);
+        for k in 2..=3usize {
+            for _ in 0..30 {
+                let e = random_gel_graph(&cfg, k, &mut rng);
+                e.validate().unwrap();
+                assert!(e.all_vars().len() <= k, "width exceeded");
+                assert!(e.free_vars().is_empty());
+                let _ = eval(&e, &cycle(4));
+            }
+        }
+    }
+
+    #[test]
+    fn random_expressions_are_invariant() {
+        use gel_graph::random::{erdos_renyi, random_permutation};
+        let cfg = RandomExprConfig::default();
+        let mut rng = StdRng::seed_from_u64(400);
+        let g = erdos_renyi(8, 0.4, &mut StdRng::seed_from_u64(12));
+        for _ in 0..20 {
+            let e = random_mpnn_graph(&cfg, &mut rng);
+            let h = g.permute(&random_permutation(8, &mut rng));
+            let a = eval(&e, &g);
+            let b = eval(&e, &h);
+            assert!(a.approx_eq(&b, 1e-7), "invariance violated by {e}");
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! An algebraic simplifier for `GEL(Ω,Θ)` expressions — the query
+//! optimizer a "specialized graph embedding language" (paper slide 3)
+//! deserves. Rewrites are semantics-preserving (property-tested) and
+//! never leave the fragment the expression started in:
+//!
+//! * identity activations, unary `Concat`/`Add`/`Mul` wrappers and
+//!   `Scale(1)` are removed;
+//! * nested `Concat` is flattened;
+//! * `Scale(a)` of `Scale(b)` folds to `Scale(a·b)`; `Scale(0)` folds
+//!   to a constant zero when the expression is closed under the same
+//!   free variables... (kept conservative: only when arg is `Const`);
+//! * `Linear` applied to `Linear` composes the matrices;
+//! * function applications whose arguments are all `Const` fold to a
+//!   `Const`.
+
+use gel_tensor::Activation;
+
+use crate::ast::Expr;
+use crate::func::Func;
+
+/// Simplifies an expression bottom-up until a fixed point (bounded by
+/// expression size). The result is semantically identical on every
+/// graph and belongs to the same or a smaller fragment.
+pub fn simplify(expr: &Expr) -> Expr {
+    let mut cur = expr.clone();
+    // Each pass strictly shrinks the size or leaves the tree unchanged,
+    // so size(expr) passes suffice.
+    for _ in 0..expr.size() {
+        let next = pass(&cur);
+        if next == cur {
+            break;
+        }
+        cur = next;
+    }
+    cur
+}
+
+fn pass(expr: &Expr) -> Expr {
+    match expr {
+        Expr::Label { .. }
+        | Expr::LabelVec { .. }
+        | Expr::Edge { .. }
+        | Expr::Cmp { .. }
+        | Expr::Const { .. } => expr.clone(),
+        Expr::Apply { func, args } => {
+            let args: Vec<Expr> = args.iter().map(pass).collect();
+            simplify_apply(func, args)
+        }
+        Expr::Aggregate { agg, over, value, guard } => Expr::Aggregate {
+            agg: *agg,
+            over: over.clone(),
+            value: Box::new(pass(value)),
+            guard: guard.as_ref().map(|g| Box::new(pass(g))),
+        },
+    }
+}
+
+fn all_const(args: &[Expr]) -> Option<Vec<f64>> {
+    let mut flat = Vec::new();
+    for a in args {
+        match a {
+            Expr::Const { values } => flat.extend_from_slice(values),
+            _ => return None,
+        }
+    }
+    Some(flat)
+}
+
+fn simplify_apply(func: &Func, args: Vec<Expr>) -> Expr {
+    // Constant folding: every function is pure.
+    if let Some(flat) = all_const(&args) {
+        if func.out_dim(flat.len()).is_some() {
+            let mut out = Vec::new();
+            func.apply(&flat, &mut out);
+            return Expr::Const { values: out };
+        }
+    }
+
+    match func {
+        // Identity activation is a no-op on a single argument.
+        Func::Act(Activation::Identity) if args.len() == 1 => args.into_iter().next().unwrap(),
+        // Unary Concat / Add / Mul wrappers are no-ops.
+        Func::Concat if args.len() == 1 => args.into_iter().next().unwrap(),
+        Func::Add { arity: 1, .. } | Func::Mul { arity: 1, .. } if args.len() == 1 => {
+            args.into_iter().next().unwrap()
+        }
+        // Flatten nested Concat.
+        Func::Concat => {
+            let mut flat = Vec::with_capacity(args.len());
+            for a in args {
+                match a {
+                    Expr::Apply { func: Func::Concat, args: inner } => flat.extend(inner),
+                    other => flat.push(other),
+                }
+            }
+            if flat.len() == 1 {
+                flat.into_iter().next().unwrap()
+            } else {
+                Expr::Apply { func: Func::Concat, args: flat }
+            }
+        }
+        // Scale folding.
+        Func::Scale(s) => {
+            if (*s - 1.0).abs() == 0.0 && args.len() == 1 {
+                return args.into_iter().next().unwrap();
+            }
+            if args.len() == 1 {
+                if let Expr::Apply { func: Func::Scale(t), args: inner } = &args[0] {
+                    return Expr::Apply {
+                        func: Func::Scale(s * t),
+                        args: inner.clone(),
+                    };
+                }
+            }
+            Expr::Apply { func: Func::Scale(*s), args }
+        }
+        // Linear ∘ Linear composes: L₂(L₁(x)) = x·(W₁W₂) + (b₁W₂ + b₂).
+        Func::Linear { weights: w2, bias: b2 } => {
+            if args.len() == 1 {
+                if let Expr::Apply { func: Func::Linear { weights: w1, bias: b1 }, args: inner } =
+                    &args[0]
+                {
+                    if w1.cols() == w2.rows() {
+                        let w = w1.matmul(w2);
+                        let mut b = b2.clone();
+                        for (i, &b1i) in b1.iter().enumerate() {
+                            for (bj, &w2ij) in b.iter_mut().zip(w2.row(i)) {
+                                *bj += b1i * w2ij;
+                            }
+                        }
+                        return Expr::Apply {
+                            func: Func::Linear { weights: w, bias: b },
+                            args: inner.clone(),
+                        };
+                    }
+                }
+            }
+            Expr::Apply { func: func.clone(), args }
+        }
+        _ => Expr::Apply { func: func.clone(), args },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::build::*;
+    use crate::eval::eval;
+    use crate::func::Agg;
+    use gel_graph::families::{cycle, path, star};
+    use gel_tensor::Matrix;
+
+    fn assert_preserves(e: &Expr) {
+        let s = simplify(e);
+        assert!(s.size() <= e.size(), "simplify must not grow: {e} → {s}");
+        for g in [path(4), star(3), cycle(5)] {
+            let a = eval(e, &g);
+            let b = eval(&s, &g);
+            assert!(a.approx_eq(&b, 1e-9), "semantics changed: {e} vs {s}");
+        }
+        s.validate().expect("simplified expression must stay well-typed");
+    }
+
+    #[test]
+    fn identity_activation_removed() {
+        let e = apply(Func::Act(Activation::Identity), vec![lab(0, 1)]);
+        assert_eq!(simplify(&e), lab(0, 1));
+        assert_preserves(&e);
+    }
+
+    #[test]
+    fn nested_concat_flattened() {
+        let inner = apply(Func::Concat, vec![lab(0, 1), lab(0, 1)]);
+        let e = apply(Func::Concat, vec![inner, lab(0, 1)]);
+        let s = simplify(&e);
+        if let Expr::Apply { func: Func::Concat, args } = &s {
+            assert_eq!(args.len(), 3);
+        } else {
+            panic!("expected flat concat, got {s}");
+        }
+        assert_preserves(&e);
+    }
+
+    #[test]
+    fn scale_chain_folds() {
+        let e = apply(Func::Scale(2.0), vec![apply(Func::Scale(3.0), vec![lab(0, 1)])]);
+        let s = simplify(&e);
+        assert_eq!(s, apply(Func::Scale(6.0), vec![lab(0, 1)]));
+        assert_preserves(&e);
+        // Scale(1) disappears entirely.
+        let one = apply(Func::Scale(1.0), vec![lab(0, 1)]);
+        assert_eq!(simplify(&one), lab(0, 1));
+    }
+
+    #[test]
+    fn linear_composition() {
+        let l1 = Func::Linear {
+            weights: Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 3.0]]),
+            bias: vec![1.0, -1.0],
+        };
+        let l2 = Func::Linear { weights: Matrix::from_rows(&[&[1.0], &[1.0]]), bias: vec![10.0] };
+        let inner = apply(l1, vec![lab(0, 1), lab(0, 1)]);
+        let e = apply(l2, vec![inner]);
+        let s = simplify(&e);
+        assert!(s.size() < e.size(), "composition must shrink the tree");
+        assert_preserves(&e);
+    }
+
+    #[test]
+    fn constants_fold() {
+        let e = apply(
+            Func::Add { arity: 2, dim: 1 },
+            vec![constant(vec![2.0]), constant(vec![3.0])],
+        );
+        assert_eq!(simplify(&e), constant(vec![5.0]));
+        let e2 = relu(constant(vec![-4.0]));
+        assert_eq!(simplify(&e2), constant(vec![0.0]));
+    }
+
+    #[test]
+    fn aggregations_simplified_recursively() {
+        let body = apply(Func::Act(Activation::Identity), vec![lab(0, 2)]);
+        let e = nbr_agg(Agg::Sum, 1, 2, body);
+        let s = simplify(&e);
+        assert_eq!(s, nbr_agg(Agg::Sum, 1, 2, lab(0, 2)));
+        assert_preserves(&e);
+    }
+
+    #[test]
+    fn simplify_stays_in_fragment() {
+        use crate::analysis::{analyze, Fragment};
+        let e = nbr_agg(
+            Agg::Sum,
+            1,
+            2,
+            apply(Func::Act(Activation::Identity), vec![lab(0, 2)]),
+        );
+        assert_eq!(analyze(&simplify(&e)).fragment, Fragment::Mpnn);
+    }
+
+    #[test]
+    fn architectures_shrink_under_simplification() {
+        use crate::architectures::{gnn101_vertex_expr, Gnn101Layer};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(4);
+        let layers = vec![
+            Gnn101Layer::random(1, 3, Activation::ReLU, &mut rng),
+            Gnn101Layer::random(3, 2, Activation::ReLU, &mut rng),
+        ];
+        let e = gnn101_vertex_expr(&layers, 1);
+        assert_preserves(&e);
+    }
+}

@@ -1,0 +1,225 @@
+//! Embedding tables: the denotation of a GEL expression on a graph.
+//!
+//! An expression `φ` with free variables `x_{i₁} … x_{i_p}` and
+//! dimension `d` denotes a p-vertex embedding
+//! `ξ_φ : G → (V^p → ℝ^d)` (paper slide 42). On a fixed graph this is
+//! a dense table over `V^p` of `ℝ^d` cells, stored row-major with
+//! variables in ascending order.
+
+use gel_graph::Vertex;
+
+/// A variable identifier `x_1, x_2, …` (1-based to match the paper's
+/// notation; the parser accepts `x1`, `x2`, …).
+pub type Var = u8;
+
+/// The value table of an expression on a fixed graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmbeddingTable {
+    /// Free variables of the expression, sorted ascending.
+    vars: Vec<Var>,
+    /// Output dimension `d`.
+    dim: usize,
+    /// Number of vertices of the underlying graph.
+    n: usize,
+    /// Row-major data: the cell for assignment `(v_{i₁}, …, v_{i_p})`
+    /// (variables in `vars` order) starts at
+    /// `(Σ_j v_{i_j} · n^{p−1−j}) · dim`.
+    data: Vec<f64>,
+}
+
+impl EmbeddingTable {
+    /// Creates a zero-filled table.
+    ///
+    /// # Panics
+    /// Panics if `vars` is not strictly ascending or the table size
+    /// overflows.
+    pub fn zeros(vars: Vec<Var>, dim: usize, n: usize) -> Self {
+        assert!(vars.windows(2).all(|w| w[0] < w[1]), "vars must be strictly ascending");
+        let cells = n.checked_pow(vars.len() as u32).expect("table too large");
+        let data = vec![0.0; cells.checked_mul(dim).expect("table too large")];
+        Self { vars, dim, n, data }
+    }
+
+    /// A table with no free variables holding a single cell (a graph
+    /// embedding value).
+    pub fn scalar_cell(value: Vec<f64>, n: usize) -> Self {
+        Self { vars: Vec::new(), dim: value.len(), n, data: value }
+    }
+
+    /// Free variables (sorted).
+    pub fn vars(&self) -> &[Var] {
+        &self.vars
+    }
+
+    /// Output dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of vertices of the graph the table was computed on.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of cells (`n^p`).
+    pub fn num_cells(&self) -> usize {
+        if self.dim == 0 {
+            0
+        } else {
+            self.data.len() / self.dim
+        }
+    }
+
+    /// Raw data access.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Flat cell index for an assignment given in `vars` order.
+    #[inline]
+    pub fn cell_index(&self, assignment: &[Vertex]) -> usize {
+        debug_assert_eq!(assignment.len(), self.vars.len());
+        let mut idx = 0usize;
+        for &v in assignment {
+            debug_assert!((v as usize) < self.n);
+            idx = idx * self.n + v as usize;
+        }
+        idx
+    }
+
+    /// The cell for an assignment given in `vars` order.
+    #[inline]
+    pub fn cell(&self, assignment: &[Vertex]) -> &[f64] {
+        let i = self.cell_index(assignment) * self.dim;
+        &self.data[i..i + self.dim]
+    }
+
+    /// Mutable cell access.
+    #[inline]
+    pub fn cell_mut(&mut self, assignment: &[Vertex]) -> &mut [f64] {
+        let i = self.cell_index(assignment) * self.dim;
+        &mut self.data[i..i + self.dim]
+    }
+
+    /// The cell under a *global* assignment `env[var] = vertex` (env is
+    /// indexed by variable id; entries for variables not in `vars` are
+    /// ignored).
+    #[inline]
+    pub fn cell_env(&self, env: &[Vertex]) -> &[f64] {
+        let mut idx = 0usize;
+        for &var in &self.vars {
+            idx = idx * self.n + env[var as usize] as usize;
+        }
+        let i = idx * self.dim;
+        &self.data[i..i + self.dim]
+    }
+
+    /// For 1-variable tables: the per-vertex rows as a `n × dim` view.
+    ///
+    /// # Panics
+    /// Panics unless the table has exactly one free variable.
+    pub fn vertex_rows(&self) -> Vec<&[f64]> {
+        assert_eq!(self.vars.len(), 1, "vertex_rows needs exactly one free variable");
+        (0..self.n).map(|v| &self.data[v * self.dim..(v + 1) * self.dim]).collect()
+    }
+
+    /// For 0-variable tables: the single value.
+    ///
+    /// # Panics
+    /// Panics unless the table is closed.
+    pub fn value(&self) -> &[f64] {
+        assert!(self.vars.is_empty(), "value() needs a closed expression");
+        &self.data
+    }
+
+    /// True when the two tables agree entrywise within `tol` (same
+    /// vars/dim required).
+    pub fn approx_eq(&self, other: &Self, tol: f64) -> bool {
+        self.vars == other.vars
+            && self.dim == other.dim
+            && self.n == other.n
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| (a - b).abs() <= tol || (a.is_nan() && b.is_nan()))
+    }
+
+    /// The partition of cells by exact value — two assignments are in
+    /// the same class iff their cells are bitwise equal. Returns dense
+    /// class ids per cell. Used to compare an expression's separation
+    /// behaviour with a WL colouring.
+    pub fn value_partition(&self) -> Vec<u32> {
+        let mut keys: Vec<Vec<u64>> = Vec::with_capacity(self.num_cells());
+        for c in 0..self.num_cells() {
+            keys.push(
+                self.data[c * self.dim..(c + 1) * self.dim].iter().map(|x| x.to_bits()).collect(),
+            );
+        }
+        let mut sorted: Vec<&Vec<u64>> = keys.iter().collect();
+        sorted.sort();
+        sorted.dedup();
+        keys.iter()
+            .map(|k| sorted.binary_search(&k).expect("present") as u32)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_round_trip() {
+        let mut t = EmbeddingTable::zeros(vec![1, 3], 2, 4);
+        t.cell_mut(&[2, 3]).copy_from_slice(&[5.0, 6.0]);
+        assert_eq!(t.cell(&[2, 3]), &[5.0, 6.0]);
+        assert_eq!(t.cell(&[3, 2]), &[0.0, 0.0]);
+        assert_eq!(t.num_cells(), 16);
+    }
+
+    #[test]
+    fn env_projection() {
+        let mut t = EmbeddingTable::zeros(vec![2], 1, 3);
+        t.cell_mut(&[1]).copy_from_slice(&[9.0]);
+        // env indexed by var id: env[2] = 1; other slots ignored.
+        let env = [7, 7, 1, 7];
+        assert_eq!(t.cell_env(&env), &[9.0]);
+    }
+
+    #[test]
+    fn closed_table() {
+        let t = EmbeddingTable::scalar_cell(vec![1.0, 2.0], 5);
+        assert_eq!(t.value(), &[1.0, 2.0]);
+        assert!(t.vars().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_vars_rejected() {
+        let _ = EmbeddingTable::zeros(vec![2, 1], 1, 3);
+    }
+
+    #[test]
+    fn partition_groups_equal_cells() {
+        let mut t = EmbeddingTable::zeros(vec![1], 1, 4);
+        t.cell_mut(&[0]).copy_from_slice(&[1.0]);
+        t.cell_mut(&[2]).copy_from_slice(&[1.0]);
+        t.cell_mut(&[3]).copy_from_slice(&[7.0]);
+        let p = t.value_partition();
+        assert_eq!(p[0], p[2]);
+        assert_eq!(p[1], p[1]);
+        assert_ne!(p[0], p[1]);
+        assert_ne!(p[0], p[3]);
+    }
+
+    #[test]
+    fn approx_eq_tolerance() {
+        let mut a = EmbeddingTable::zeros(vec![1], 1, 2);
+        let mut b = EmbeddingTable::zeros(vec![1], 1, 2);
+        a.cell_mut(&[0])[0] = 1.0;
+        b.cell_mut(&[0])[0] = 1.0 + 1e-12;
+        assert!(a.approx_eq(&b, 1e-9));
+        assert!(!a.approx_eq(&b, 1e-15));
+    }
+}

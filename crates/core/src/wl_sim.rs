@@ -1,0 +1,219 @@
+//! Simulating colour refinement and k-WL *inside* the language — the
+//! constructive halves of the paper's separation-power equalities:
+//!
+//! * `ρ(CR) = ρ(MPNN(Ω, sum))` (slide 52, Morris et al.): an L-round
+//!   MPNN expression whose values induce the round-L CR partition;
+//! * `ρ(k-WL) = ρ(GEL_{k+1}(Ω, sum))` (slide 66): a `GEL_{k+1}`
+//!   expression whose values induce the k-WL partition of k-tuples.
+//!
+//! Both constructions use the injective mix [`Func::Hash`]
+//! (GIN-style: a sum of injectively-hashed values identifies the
+//! multiset). Hash collisions over a corpus would make the experiments
+//! fail *loudly* — every test compares the induced partitions exactly.
+
+use crate::ast::{build, Expr};
+use crate::func::{Agg, Func};
+use crate::table::Var;
+
+/// Two independent 36-bit hash channels side by side: a value collision
+/// requires a simultaneous collision under both seeds (~2⁻⁷² per pair),
+/// and each channel's sums stay exact in `f64` (see [`Func::Hash`]).
+fn hash2(seed: u64, e: Expr) -> Expr {
+    build::apply(
+        Func::Concat,
+        vec![build::hash(2 * seed, e.clone()), build::hash(2 * seed + 1, e)],
+    )
+}
+
+/// An MPNN(Ω, sum) expression with free variable `x1` whose value
+/// partition after `rounds` refinement layers equals the colour
+/// refinement partition after `rounds` rounds (on graphs with label
+/// dimension `label_dim`).
+///
+/// Construction per round `t` (two variables only, slide 42):
+///
+/// ```text
+/// c_t(x1) = hash( concat( c_{t−1}(x1),
+///                         sum_{x2}( hash(c_{t−1}(x2)) | E(x1,x2) ) ) )
+/// ```
+pub fn cr_expr(label_dim: usize, rounds: usize) -> Expr {
+    let mut cur = hash2(0, build::lab_vec(1, label_dim));
+    for t in 0..rounds {
+        let seed_in = 2 * t as u64 + 1;
+        let seed_out = 2 * t as u64 + 2;
+        let prev_other = cur.swap_vars(1, 2);
+        let msg = build::nbr_agg(Agg::Sum, 1, 2, hash2(seed_in, prev_other));
+        let cat = build::apply(Func::Concat, vec![cur, msg]);
+        cur = hash2(seed_out, cat);
+    }
+    cur
+}
+
+/// The graph-level readout of [`cr_expr`]:
+/// `sum_{x1}( hash(c_L(x1)) )` — equal values iff equal colour
+/// histograms (slide 50: a graph's colour is the multiset of its
+/// vertex colours).
+pub fn cr_graph_expr(label_dim: usize, rounds: usize) -> Expr {
+    let vertex = cr_expr(label_dim, rounds);
+    build::global_agg(Agg::Sum, 1, hash2(u64::MAX / 2, vertex))
+}
+
+/// A `GEL_{k+1}(Ω, sum)` expression with free variables `x1 … x_k`
+/// whose value partition after `rounds` layers equals the *folklore*
+/// k-WL partition of k-tuples after `rounds` rounds.
+///
+/// Round `t` mirrors the k-FWL signature: with the fresh variable
+/// `y = x_{k+1}`,
+///
+/// ```text
+/// c_t(x̄) = hash( concat( c_{t−1}(x̄),
+///            sum_{y}( hash( concat_i c_{t−1}(x̄[i ← y]) ) ) ) )
+/// ```
+///
+/// The initial colour hashes the atomic type: all pairwise edge atoms,
+/// equality atoms and labels.
+///
+/// # Panics
+/// Panics if `k < 2` (use [`cr_expr`] for the 1-dimensional case, per
+/// the paper's convention that 1-WL *is* colour refinement).
+pub fn k_wl_expr(k: usize, label_dim: usize, rounds: usize) -> Expr {
+    assert!(k >= 2, "use cr_expr for k = 1");
+    assert!(k + 1 <= u8::MAX as usize, "too many variables");
+    let fresh: Var = (k + 1) as Var;
+
+    // Atomic type: ordered adjacency + equality pattern + labels.
+    let mut parts: Vec<Expr> = Vec::new();
+    for i in 1..=k as Var {
+        for j in 1..=k as Var {
+            if i != j {
+                parts.push(build::edge(i, j));
+                parts.push(build::eq(i, j));
+            }
+        }
+    }
+    for i in 1..=k as Var {
+        parts.push(build::lab_vec(i, label_dim));
+    }
+    let mut cur = hash2(0, build::apply(Func::Concat, parts));
+
+    for t in 0..rounds {
+        let seed_in = 2 * t as u64 + 1;
+        let seed_out = 2 * t as u64 + 2;
+        // Substituted copies c_{t−1}(x̄[i ← y]).
+        let subs: Vec<Expr> =
+            (1..=k as Var).map(|i| cur.swap_vars(i, fresh)).collect();
+        let vec_sig = hash2(seed_in, build::apply(Func::Concat, subs));
+        let msg = build::agg_over(Agg::Sum, vec![fresh], vec_sig, None);
+        let cat = build::apply(Func::Concat, vec![cur, msg]);
+        cur = hash2(seed_out, cat);
+    }
+    cur
+}
+
+/// Graph-level readout of [`k_wl_expr`]: sum of hashed stable tuple
+/// colours over all k-tuples.
+pub fn k_wl_graph_expr(k: usize, label_dim: usize, rounds: usize) -> Expr {
+    let tuple = k_wl_expr(k, label_dim, rounds);
+    let over: Vec<Var> = (1..=k as Var).collect();
+    build::agg_over(Agg::Sum, over, hash2(u64::MAX / 2, tuple), None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{analyze, Fragment};
+    use crate::eval::eval;
+    use gel_graph::families::{cr_blind_pair, cycle, path, petersen, star};
+    use gel_graph::Graph;
+    use gel_wl::{color_refinement, k_wl, CrOptions, WlVariant};
+
+    /// The partition of the vertices of `g` induced by the expression's
+    /// values must match the CR colouring's partition.
+    fn partitions_match(vals: &[u32], colors: &[gel_wl::Color]) -> bool {
+        assert_eq!(vals.len(), colors.len());
+        for i in 0..vals.len() {
+            for j in (i + 1)..vals.len() {
+                if (vals[i] == vals[j]) != (colors[i] == colors[j]) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn check_cr_sim(g: &Graph, rounds: usize) {
+        let e = cr_expr(g.label_dim(), rounds);
+        let t = eval(&e, g);
+        let part = t.value_partition();
+        let c = color_refinement(
+            &[g],
+            CrOptions { max_rounds: Some(rounds), ignore_labels: false },
+        );
+        assert!(
+            partitions_match(&part, &c.colors[0]),
+            "CR simulation diverged on {rounds} rounds"
+        );
+    }
+
+    #[test]
+    fn cr_expr_matches_cr_partition() {
+        for g in [path(7), star(4), cycle(6), petersen()] {
+            for rounds in [0usize, 1, 2, 4] {
+                check_cr_sim(&g, rounds);
+            }
+        }
+    }
+
+    #[test]
+    fn cr_expr_is_mpnn_fragment() {
+        let e = cr_expr(1, 3);
+        assert_eq!(analyze(&e).fragment, Fragment::Mpnn);
+        let g = cr_graph_expr(1, 3);
+        assert_eq!(analyze(&g).fragment, Fragment::Mpnn);
+        assert!(g.free_vars().is_empty());
+    }
+
+    #[test]
+    fn cr_graph_expr_separates_exactly_like_cr() {
+        // CR-blind pair: equal readouts. Star vs path: different.
+        let (a, b) = cr_blind_pair();
+        let e = cr_graph_expr(1, 6);
+        assert_eq!(eval(&e, &a).value(), eval(&e, &b).value());
+        let e2 = cr_graph_expr(1, 4);
+        assert_ne!(eval(&e2, &star(3)).value(), eval(&e2, &path(4)).value());
+    }
+
+    #[test]
+    fn k_wl_expr_is_gel_k_plus_1() {
+        let e = k_wl_expr(2, 1, 2);
+        let r = analyze(&e);
+        assert_eq!(r.fragment, Fragment::Gel(3));
+        assert_eq!(r.width, 3);
+    }
+
+    #[test]
+    fn two_wl_expr_matches_2fwl_partition() {
+        for g in [path(5), cycle(5), star(3)] {
+            let rounds = 3;
+            let e = k_wl_expr(2, 1, rounds);
+            let t = eval(&e, &g);
+            let part = t.value_partition();
+            let c = k_wl(&[&g], 2, WlVariant::Folklore, Some(rounds));
+            assert!(
+                partitions_match(&part, &c.colors[0]),
+                "2-WL simulation diverged on {g:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn two_wl_graph_expr_separates_cr_blind_pair() {
+        let (a, b) = cr_blind_pair();
+        let e = k_wl_graph_expr(2, 1, 4);
+        assert_ne!(
+            eval(&e, &a).value(),
+            eval(&e, &b).value(),
+            "a GEL_3 expression separates C6 from C3⊎C3 (slide 66)"
+        );
+    }
+}

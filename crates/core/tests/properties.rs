@@ -1,0 +1,90 @@
+//! Property-based tests for the language: evaluator consistency,
+//! renaming laws, hashing, and the parser on the printable fragment.
+
+use gel_lang::ast::build;
+use gel_lang::eval::{eval, eval_with, EvalOptions};
+use gel_lang::normal_form::{is_normal_form, to_normal_form};
+use gel_lang::parser::parse;
+use gel_lang::random_expr::{random_mpnn_graph, random_mpnn_vertex, RandomExprConfig};
+use gel_lang::Agg;
+use gel_graph::random::erdos_renyi;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The guard fast path is an optimization, never a semantic change.
+    #[test]
+    fn fast_path_is_semantics_preserving(seed in 0u64..3_000, n in 2usize..9) {
+        let g = erdos_renyi(n, 0.5, &mut StdRng::seed_from_u64(seed));
+        let mut rng = StdRng::seed_from_u64(seed + 1);
+        let e = random_mpnn_graph(&RandomExprConfig::default(), &mut rng);
+        let fast = eval_with(&e, &g, EvalOptions { guard_fast_path: true });
+        let dense = eval_with(&e, &g, EvalOptions { guard_fast_path: false });
+        prop_assert!(fast.approx_eq(&dense, 1e-9), "ablation changed semantics of {}", e);
+    }
+
+    /// Structural hashing: clones collide, evaluation is deterministic.
+    #[test]
+    fn structural_hash_stable(seed in 0u64..3_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let e = random_mpnn_vertex(&RandomExprConfig::default(), &mut rng);
+        prop_assert_eq!(e.structural_hash(), e.clone().structural_hash());
+        let g = erdos_renyi(6, 0.5, &mut StdRng::seed_from_u64(seed + 9));
+        prop_assert!(eval(&e, &g).approx_eq(&eval(&e, &g), 0.0));
+    }
+
+    /// swap_vars is an involution and preserves validity.
+    #[test]
+    fn swap_vars_involutive(seed in 0u64..3_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let e = random_mpnn_vertex(&RandomExprConfig::default(), &mut rng);
+        prop_assert_eq!(e.swap_vars(1, 2).swap_vars(1, 2), e.clone());
+        e.swap_vars(1, 2).validate().expect("swap must preserve well-typedness");
+    }
+
+    /// Normalization of sum-only expressions preserves semantics.
+    #[test]
+    fn normal_form_preserves_semantics(seed in 0u64..3_000, n in 2usize..8) {
+        let cfg = RandomExprConfig { aggregators: vec![Agg::Sum], ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let e = random_mpnn_vertex(&cfg, &mut rng);
+        if let Some(nf) = to_normal_form(&e) {
+            prop_assert!(is_normal_form(&nf));
+            let g = erdos_renyi(n, 0.5, &mut StdRng::seed_from_u64(seed + 5));
+            prop_assert!(eval(&e, &g).approx_eq(&eval(&nf, &g), 1e-8));
+        }
+    }
+
+    /// Display → parse roundtrip on the printable fragment.
+    #[test]
+    fn printable_fragment_roundtrips(j in 0usize..2, grade in 1usize..4, scale in -3.0f64..3.0) {
+        let inner = build::apply(
+            gel_lang::Func::Scale(scale),
+            vec![build::lab(j, 2)],
+        );
+        let e = build::nbr_agg(Agg::Sum, 1, 2, inner);
+        let printed = e.to_string();
+        let back = parse(&printed).unwrap();
+        prop_assert_eq!(&back, &e);
+        // And a nested aggregation with a different aggregator.
+        let e2 = build::global_agg(Agg::Max, 1, build::nbr_agg(Agg::Mean, 1, 2,
+            build::apply(gel_lang::Func::Concat, vec![build::lab(0, 2), build::constant(vec![grade as f64])])));
+        let back2 = parse(&e2.to_string()).unwrap();
+        prop_assert_eq!(&back2, &e2);
+    }
+
+    /// Evaluation respects the declared dimension.
+    #[test]
+    fn eval_dim_matches_declared(seed in 0u64..3_000, n in 2usize..7) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let e = random_mpnn_vertex(&RandomExprConfig::default(), &mut rng);
+        let g = erdos_renyi(n, 0.4, &mut StdRng::seed_from_u64(seed + 2));
+        let t = eval(&e, &g);
+        prop_assert_eq!(t.dim(), e.dim());
+        prop_assert_eq!(t.vars(), &[1u8][..]);
+        prop_assert_eq!(t.num_cells(), n);
+    }
+}

@@ -1,0 +1,30 @@
+//! Runs the complete experiment suite and prints every table —
+//! regenerates the data recorded in EXPERIMENTS.md.
+//!
+//! Usage: `cargo run --release -p gel-experiments --bin all [--full]`
+//! (`--full` adds the 40-vertex CFI(K4) pair to the corpus).
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let results = gel_experiments::run_all(full);
+    let mut failed = 0;
+    for r in &results {
+        println!("{}", r.render());
+        if !r.passed() {
+            failed += 1;
+        }
+    }
+    // The F1 lattice figure.
+    let corpus = if full {
+        gel_experiments::full_corpus()
+    } else {
+        gel_experiments::light_corpus()
+    };
+    println!("## F1 — separation-power lattice (slide 25), measured on the corpus\n");
+    println!("{}", gel_experiments::e10_recipe::lattice_figure(&corpus).render());
+
+    println!("=== {} experiments, {} failed ===", results.len(), failed);
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,60 @@
+//! Runs a single experiment by id and prints its table.
+//!
+//! ```text
+//! cargo run --release -p gel-experiments --bin run -- e8
+//! cargo run --release -p gel-experiments --bin run -- e8 --full
+//! ```
+//!
+//! Ids: `e1 … e16`, `l1 … l3`, `f1`. `--full` adds the CFI(K4) pair to
+//! corpus-driven experiments. Exits non-zero if the experiment fails.
+
+use gel_experiments as x;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let id = match args.iter().find(|a| !a.starts_with("--")) {
+        Some(id) => id.to_lowercase(),
+        None => {
+            eprintln!("usage: run <e1..e16|l1..l3|f1> [--full]");
+            std::process::exit(2);
+        }
+    };
+    let corpus = if full { x::full_corpus() } else { x::light_corpus() };
+
+    if id == "f1" {
+        println!("## F1 — separation-power lattice (slide 25)\n");
+        println!("{}", x::e10_recipe::lattice_figure(&corpus).render());
+        return;
+    }
+
+    let result = match id.as_str() {
+        "e1" => x::e01_gnn_vs_cr::run(&corpus, 32),
+        "e2" => x::e02_tree_homs::run(&corpus, 8),
+        "e3" => x::e03_mpnn_upper_bound::run(&corpus, 50),
+        "e4" => x::e04_cr_simulation::run(&corpus),
+        "e5" => x::e05_approximation::run(800),
+        "e6" => x::e06_gml::run(10),
+        "e7" => x::e07_normal_form::run(30),
+        "e8" => x::e08_hierarchy::run(&corpus, 3),
+        "e9" => x::e09_gel_kwl::run(&corpus, 20, 12),
+        "e10" => x::e10_recipe::run(&corpus),
+        "e11" => x::e11_aggregators::run(),
+        "e12" => x::e12_universality::run(600),
+        "e13" => x::e13_views::run(&corpus),
+        "e14" => x::e14_zero_one::run(8, 30),
+        "e15" => x::e15_wl_vc::run(3000),
+        "e16" => x::e16_relational::run(24),
+        "l1" => x::learning::run_l1_molecules(120, 8, 400),
+        "l2" => x::learning::run_l2_citation(50, 200),
+        "l3" => x::learning::run_l3_links(35, 200),
+        other => {
+            eprintln!("unknown experiment id {other:?} (e1..e16, l1..l3, f1)");
+            std::process::exit(2);
+        }
+    };
+    println!("{}", result.render());
+    if !result.passed() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,140 @@
+//! The adversarial pair corpus: the graph pairs on which every
+//! separation-power theorem is exercised (DESIGN.md §4 records why
+//! these families are the right witnesses — they are the ones used in
+//! the cited proofs).
+
+use gel_graph::cfi::cfi_pair_k4;
+use gel_graph::families::{
+    circulant, circular_ladder, complete_multipartite, cr_blind_pair, cr_blind_pair_sized,
+    cycle, moebius_ladder, path, petersen, srg_16_6_2_2_pair, star,
+};
+use gel_graph::random::{erdos_renyi, random_permutation, random_tree};
+use gel_graph::Graph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The ground-truth relationship of a pair, computed once by exact
+/// algorithms (VF2 + WL).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairTruth {
+    /// `G ≅ H`?
+    pub isomorphic: bool,
+    /// Smallest folklore `k ≤ 3` distinguishing the pair (`None` when
+    /// not distinguished up to 3-WL; isomorphic pairs are never
+    /// distinguished).
+    pub wl_level: Option<usize>,
+}
+
+/// A named graph pair with its ground truth.
+#[derive(Debug, Clone)]
+pub struct GraphPair {
+    /// Human-readable name for tables.
+    pub name: &'static str,
+    /// First graph.
+    pub g: Graph,
+    /// Second graph.
+    pub h: Graph,
+    /// Ground truth (filled by [`annotate`]).
+    pub truth: PairTruth,
+}
+
+/// Builds the light corpus (everything except the 40-vertex CFI pair,
+/// whose 3-WL run is reserved for `--full` / bench runs).
+pub fn light_corpus() -> Vec<GraphPair> {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    let mut pairs: Vec<(&'static str, Graph, Graph)> = Vec::new();
+
+    let (a, b) = cr_blind_pair();
+    pairs.push(("C6 vs C3+C3", a, b));
+    let (a, b) = cr_blind_pair_sized(4);
+    pairs.push(("C8 vs C4+C4", a, b));
+    pairs.push(("ladder vs moebius (n=12)", circular_ladder(6), moebius_ladder(6)));
+    pairs.push(("petersen vs 5-prism", petersen(), circular_ladder(5)));
+    let (s, r) = srg_16_6_2_2_pair();
+    pairs.push(("shrikhande vs rook4x4", s, r));
+    pairs.push(("star4 vs path5", star(4), path(5)));
+    pairs.push(("C5 vs C6", cycle(5), cycle(6)));
+    // 4-regular circulants on 13 vertices (vertex-transitive ⇒ CR-blind).
+    pairs.push(("circulant C13(1,5) vs C13(1,3)", circulant(13, &[1, 5]), circulant(13, &[1, 3])));
+    // Octahedron vs 4-regular circulant C6(1,2): same size and degree.
+    pairs.push(("octahedron vs C6(1,2)", complete_multipartite(&[2, 2, 2]), circulant(6, &[1, 2])));
+
+    // Random ER pairs (almost surely CR-distinguishable).
+    for seed in 0..3u64 {
+        let g = erdos_renyi(10, 0.4, &mut StdRng::seed_from_u64(100 + seed));
+        let h = erdos_renyi(10, 0.4, &mut StdRng::seed_from_u64(200 + seed));
+        pairs.push(("random ER pair", g, h));
+    }
+    // Random trees (CR decides isomorphism on trees).
+    let t1 = random_tree(9, &mut StdRng::seed_from_u64(7));
+    let t2 = random_tree(9, &mut StdRng::seed_from_u64(8));
+    pairs.push(("random tree pair", t1, t2));
+
+    // An isomorphic pair (permutation) — the invariance control.
+    let g = erdos_renyi(9, 0.4, &mut StdRng::seed_from_u64(300));
+    let h = g.permute(&random_permutation(9, &mut rng));
+    pairs.push(("isomorphic control", g, h));
+
+    pairs.into_iter().map(|(name, g, h)| annotate(name, g, h)).collect()
+}
+
+/// The full corpus: light corpus plus the CFI(K4) twisted pair.
+pub fn full_corpus() -> Vec<GraphPair> {
+    let mut pairs = light_corpus();
+    let (g, h) = cfi_pair_k4();
+    pairs.push(annotate("CFI(K4) vs twisted", g, h));
+    pairs
+}
+
+/// Computes the ground truth of a pair.
+pub fn annotate(name: &'static str, g: Graph, h: Graph) -> GraphPair {
+    let isomorphic = gel_graph::are_isomorphic(&g, &h);
+    let wl_level = if isomorphic {
+        None
+    } else {
+        gel_wl::distinguishing_level(&g, &h, 3)
+    };
+    GraphPair { name, g, h, truth: PairTruth { isomorphic, wl_level } }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn light_corpus_ground_truth() {
+        let corpus = light_corpus();
+        let by_name = |n: &str| {
+            corpus
+                .iter()
+                .find(|p| p.name == n)
+                .unwrap_or_else(|| panic!("missing pair {n}"))
+        };
+        // The designed hard pairs land at the expected WL levels.
+        assert_eq!(by_name("C6 vs C3+C3").truth, PairTruth { isomorphic: false, wl_level: Some(2) });
+        assert_eq!(
+            by_name("shrikhande vs rook4x4").truth,
+            PairTruth { isomorphic: false, wl_level: Some(3) }
+        );
+        assert_eq!(
+            by_name("star4 vs path5").truth,
+            PairTruth { isomorphic: false, wl_level: Some(1) }
+        );
+        assert_eq!(
+            by_name("isomorphic control").truth,
+            PairTruth { isomorphic: true, wl_level: None }
+        );
+    }
+
+    #[test]
+    fn corpus_has_every_hierarchy_level() {
+        let corpus = light_corpus();
+        for level in 1..=3usize {
+            assert!(
+                corpus.iter().any(|p| p.truth.wl_level == Some(level)),
+                "corpus must witness level {level}"
+            );
+        }
+        assert!(corpus.iter().any(|p| p.truth.isomorphic));
+    }
+}

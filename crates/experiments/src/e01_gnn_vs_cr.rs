@@ -1,0 +1,57 @@
+//! **E1** — `ρ(GNNs 101) = ρ(colour refinement)` (paper slide 26,
+//! Morris et al. AAAI 2019).
+//!
+//! Protocol: for every corpus pair, decide CR-equivalence exactly and
+//! probe the GNN-101 hypothesis class with many random initializations
+//! (sum aggregation, sum readout, `L = max(|V_G|, |V_H|)` layers). The
+//! theorem predicts the two verdicts coincide on every pair.
+
+use gel_gnn::{gnn_separates, SeparationConfig};
+use gel_wl::cr_equivalent;
+
+use crate::corpus::GraphPair;
+use crate::report::{ExperimentResult, Table};
+
+/// Runs E1 over the given corpus.
+pub fn run(corpus: &[GraphPair], trials: usize) -> ExperimentResult {
+    let mut table = Table::new(&["pair", "CR verdict", "GNN-101 verdict", "agree"]);
+    let mut agreements = 0;
+    let mut violations = 0;
+    for (i, pair) in corpus.iter().enumerate() {
+        let cr_sep = !cr_equivalent(&pair.g, &pair.h);
+        let cfg = SeparationConfig { trials, seed: 0xE1 + i as u64, ..Default::default() };
+        let gnn_sep = gnn_separates(&pair.g, &pair.h, &cfg);
+        let agree = cr_sep == gnn_sep;
+        if agree {
+            agreements += 1;
+        } else {
+            violations += 1;
+        }
+        let verdict = |sep: bool| if sep { "separates" } else { "equivalent" };
+        table.row(&[
+            pair.name.to_string(),
+            verdict(cr_sep).to_string(),
+            verdict(gnn_sep).to_string(),
+            if agree { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    ExperimentResult {
+        id: "E1",
+        claim: "rho(GNN-101) = rho(colour refinement)  [slide 26]",
+        table,
+        agreements,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::light_corpus;
+
+    #[test]
+    fn e1_passes_on_light_corpus() {
+        let result = run(&light_corpus(), 16);
+        assert!(result.passed(), "\n{}", result.render());
+    }
+}

@@ -1,0 +1,76 @@
+//! **E3** — `ρ_{0/1}(colour refinement) ⊆ ρ_{0/1}(MPNN(Ω,Θ))` for any
+//! Ω, Θ (paper slide 51): *no* MPNN expression, whatever its functions
+//! and aggregators, separates a CR-equivalent pair.
+//!
+//! Protocol (falsification): sample many random well-typed MPNN graph
+//! expressions with mixed sum/mean/max aggregators and evaluate them on
+//! every CR-equivalent pair of the corpus; any separation would refute
+//! the theorem (none may occur). On CR-distinguishable pairs we also
+//! record how often a random expression *realizes* the distinction —
+//! informative but not claim-bearing.
+
+use gel_lang::eval::eval;
+use gel_lang::random_expr::{random_mpnn_graph, RandomExprConfig};
+use gel_wl::cr_equivalent;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::corpus::GraphPair;
+use crate::report::{ExperimentResult, Table};
+
+/// Runs E3 with `samples` random expressions per pair.
+pub fn run(corpus: &[GraphPair], samples: usize) -> ExperimentResult {
+    let cfg = RandomExprConfig::default();
+    let mut table =
+        Table::new(&["pair", "CR verdict", "random exprs separating", "claim holds"]);
+    let mut agreements = 0;
+    let mut violations = 0;
+    for (i, pair) in corpus.iter().enumerate() {
+        if pair.g.label_dim() != cfg.label_dim || pair.h.label_dim() != cfg.label_dim {
+            continue;
+        }
+        let cr_eq = cr_equivalent(&pair.g, &pair.h);
+        let mut rng = StdRng::seed_from_u64(0xE3 + i as u64);
+        let mut separating = 0usize;
+        for _ in 0..samples {
+            let e = random_mpnn_graph(&cfg, &mut rng);
+            let a = eval(&e, &pair.g);
+            let b = eval(&e, &pair.h);
+            if !a.approx_eq(&b, 1e-7) {
+                separating += 1;
+            }
+        }
+        // The theorem constrains only CR-equivalent pairs.
+        let holds = !cr_eq || separating == 0;
+        if holds {
+            agreements += 1;
+        } else {
+            violations += 1;
+        }
+        table.row(&[
+            pair.name.to_string(),
+            if cr_eq { "equivalent" } else { "separates" }.to_string(),
+            format!("{separating}/{samples}"),
+            if holds { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    ExperimentResult {
+        id: "E3",
+        claim: "rho(CR) subseteq rho(MPNN(Omega,Theta)) for any Omega,Theta  [slide 51]",
+        table,
+        agreements,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::light_corpus;
+
+    #[test]
+    fn e3_no_random_mpnn_separates_cr_equivalent_pairs() {
+        let result = run(&light_corpus(), 25);
+        assert!(result.passed(), "\n{}", result.render());
+    }
+}

@@ -1,0 +1,96 @@
+//! **E4** — `ρ_{0/1}(colour refinement) = ρ_{0/1}(MPNN(Ω, sum))` when Ω
+//! has concatenation, linear combinations and non-linear functions
+//! (paper slide 52): the *constructive* direction. The explicit
+//! expression [`gel_lang::wl_sim::cr_expr`] must realize exactly the CR
+//! partition — per vertex within each graph, and at the graph level via
+//! the sum readout.
+
+use gel_lang::eval::eval;
+use gel_lang::wl_sim::{cr_expr, cr_graph_expr};
+use gel_wl::{color_refinement, cr_equivalent, CrOptions};
+
+use crate::corpus::GraphPair;
+use crate::report::{ExperimentResult, Table};
+
+fn partition_matches(vals: &[u32], colors: &[u32]) -> bool {
+    (0..vals.len()).all(|i| {
+        (0..vals.len()).all(|j| (vals[i] == vals[j]) == (colors[i] == colors[j]))
+    })
+}
+
+/// Runs E4 on the corpus.
+pub fn run(corpus: &[GraphPair]) -> ExperimentResult {
+    let mut table = Table::new(&[
+        "pair",
+        "vertex partition (G)",
+        "vertex partition (H)",
+        "graph-level agree",
+    ]);
+    let mut agreements = 0;
+    let mut violations = 0;
+    for pair in corpus {
+        // The simulating expression's size grows exponentially in its
+        // round count (each layer embeds copies of the previous one),
+        // so use the *measured* stabilization rounds — CR stabilizes in
+        // far fewer than n rounds on real graphs, and the partition is
+        // unchanged beyond stabilization.
+        let joint = color_refinement(&[&pair.g, &pair.h], CrOptions::default());
+        let rounds = joint.rounds + 1;
+        let mut ok = true;
+
+        for g in [&pair.g, &pair.h] {
+            let e = cr_expr(g.label_dim(), rounds);
+            let part = eval(&e, g).value_partition();
+            let colors = color_refinement(
+                &[g],
+                CrOptions { max_rounds: Some(rounds), ignore_labels: false },
+            );
+            if !partition_matches(&part, &colors.colors[0]) {
+                ok = false;
+            }
+        }
+
+        // Graph level: equal sum-readout values ⇔ CR-equivalent.
+        let (graph_ok, cr_eq) = if pair.g.label_dim() == pair.h.label_dim() {
+            let readout = cr_graph_expr(pair.g.label_dim(), rounds);
+            let same =
+                eval(&readout, &pair.g).value() == eval(&readout, &pair.h).value();
+            let cr_eq = cr_equivalent(&pair.g, &pair.h);
+            (same == cr_eq, cr_eq)
+        } else {
+            (true, false)
+        };
+        ok &= graph_ok;
+
+        if ok {
+            agreements += 1;
+        } else {
+            violations += 1;
+        }
+        table.row(&[
+            pair.name.to_string(),
+            "exact".to_string(),
+            "exact".to_string(),
+            format!("{} (CR {})", if graph_ok { "yes" } else { "NO" }, if cr_eq { "=" } else { "≠" }),
+        ]);
+    }
+    ExperimentResult {
+        id: "E4",
+        claim: "rho(CR) = rho(MPNN(Omega,sum)): explicit simulating expression  [slide 52]",
+        table,
+        agreements,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::light_corpus;
+
+    #[test]
+    fn e4_cr_simulation_is_exact_on_corpus() {
+        let result = run(&light_corpus());
+        assert!(result.passed(), "\n{}", result.render());
+    }
+}

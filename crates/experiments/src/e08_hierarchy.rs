@@ -1,0 +1,108 @@
+//! **E8** — strictness of the WL hierarchy (paper slide 65):
+//! `ρ(CR) ⊇ ρ(1-WL) ⊋ ρ(2-WL) ⊋ ρ(3-WL) ⊋ ⋯ ⊋ ρ(graph iso)`.
+//!
+//! Protocol: for every corpus pair, report the verdict of CR and of
+//! folklore 1/2/3-WL, plus exact isomorphism. Checks:
+//!
+//! * monotonicity — once level `k` separates, every level above does;
+//! * CR ≡ 1-WL on every pair;
+//! * strictness — the corpus witnesses separation at levels 2 and 3
+//!   (C6/C3⊎C3 and Shrikhande/Rook or CFI(K4));
+//! * the oblivious cross-check `ρ(2-OWL) = ρ(1-FWL)`;
+//! * soundness — isomorphic pairs are never separated.
+
+use gel_wl::{cr_equivalent, k_wl_equivalent, WlVariant};
+
+use crate::corpus::GraphPair;
+use crate::report::{ExperimentResult, Table};
+
+/// Runs E8 up to folklore level `max_k` (≥ 2).
+pub fn run(corpus: &[GraphPair], max_k: usize) -> ExperimentResult {
+    let mut table = Table::new(&["pair", "iso", "CR", "1-WL", "2-WL", "3-WL", "2-OWL=1-WL"]);
+    let mut agreements = 0;
+    let mut violations = 0;
+    let mut strict_witness_2 = false;
+    let mut strict_witness_3 = false;
+
+    for pair in corpus {
+        let (g, h) = (&pair.g, &pair.h);
+        let cr = cr_equivalent(g, h);
+        let mut eq = Vec::new();
+        for k in 1..=max_k {
+            eq.push(k_wl_equivalent(g, h, k, WlVariant::Folklore));
+        }
+        let owl2 = k_wl_equivalent(g, h, 2, WlVariant::Oblivious);
+
+        let mut ok = true;
+        // CR coincides with 1-WL.
+        ok &= cr == eq[0];
+        // Monotone: k-WL separation persists at k+1.
+        for w in eq.windows(2) {
+            if !w[0] && w[1] {
+                ok = false;
+            }
+        }
+        // Oblivious correspondence.
+        ok &= owl2 == eq[0];
+        // Soundness on isomorphic pairs.
+        if pair.truth.isomorphic {
+            ok &= cr && eq.iter().all(|&e| e);
+        }
+        // Agreement with the precomputed ground-truth level.
+        if let Some(level) = pair.truth.wl_level {
+            for (k, &e) in eq.iter().enumerate() {
+                let k = k + 1;
+                if k < level {
+                    ok &= e;
+                } else {
+                    ok &= !e;
+                }
+            }
+        }
+        if eq.first() == Some(&true) && eq.get(1) == Some(&false) {
+            strict_witness_2 = true;
+        }
+        if eq.get(1) == Some(&true) && eq.get(2) == Some(&false) {
+            strict_witness_3 = true;
+        }
+
+        if ok {
+            agreements += 1;
+        } else {
+            violations += 1;
+        }
+        let v = |e: bool| if e { "≡" } else { "≠" };
+        table.row(&[
+            pair.name.to_string(),
+            if pair.truth.isomorphic { "≅" } else { "≇" }.to_string(),
+            v(cr).to_string(),
+            v(eq[0]).to_string(),
+            eq.get(1).map_or("—".into(), |&e| v(e).to_string()),
+            eq.get(2).map_or("—".into(), |&e| v(e).to_string()),
+            if owl2 == eq[0] { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    // Strictness witnesses must exist in the corpus.
+    if !strict_witness_2 || (max_k >= 3 && !strict_witness_3) {
+        violations += 1;
+    }
+    ExperimentResult {
+        id: "E8",
+        claim: "rho(CR) = rho(1-WL) ⊋ rho(2-WL) ⊋ rho(3-WL)  [slide 65]",
+        table,
+        agreements,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::light_corpus;
+
+    #[test]
+    fn e8_hierarchy_strict_on_light_corpus() {
+        let result = run(&light_corpus(), 3);
+        assert!(result.passed(), "\n{}", result.render());
+    }
+}

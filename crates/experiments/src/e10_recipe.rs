@@ -1,0 +1,224 @@
+//! **E10** — the paper's *recipe* and the "Back to ML" placement
+//! (slides 35, 63, 67): cast each architecture into the language, read
+//! off its fragment and WL bound, and verify the bound empirically.
+//! Also prints the separation-power lattice measured on the corpus
+//! (figure F1, slide 25).
+
+use gel_lang::analysis::{analyze, Fragment, WlBound};
+use gel_lang::architectures::{
+    gcn_vertex_expr, gin_vertex_expr, gnn101_vertex_expr, sage_vertex_expr,
+    triangles_at_vertex_expr, GcnLayer, GinLayer, Gnn101Layer, SageLayer,
+};
+use gel_lang::ast::{build, Expr};
+use gel_lang::eval::eval;
+use gel_lang::func::Agg;
+use gel_lang::wl_sim::k_wl_graph_expr;
+use gel_tensor::{Activation, Matrix};
+use gel_wl::{cr_equivalent, k_wl_equivalent, WlVariant};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::corpus::GraphPair;
+use crate::report::{ExperimentResult, Table};
+
+/// One architecture cast into the language.
+pub struct CastArchitecture {
+    /// Display name.
+    pub name: &'static str,
+    /// A closed (graph-level) representative expression.
+    pub expr: Expr,
+}
+
+/// Builds the architecture zoo with random weights (seeded).
+pub fn architecture_zoo(seed: u64) -> Vec<CastArchitecture> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let a = (6.0_f64 / 2.0).sqrt();
+    let m = |r: usize, c: usize, rng: &mut StdRng| {
+        Matrix::from_fn(r, c, |_, _| rng.gen_range(-a..=a))
+    };
+
+    let readout = |vertex: Expr| build::global_agg(Agg::Sum, 1, vertex);
+
+    let gnn101 = {
+        let layers = vec![
+            Gnn101Layer::random(1, 3, Activation::Tanh, &mut rng),
+            Gnn101Layer::random(3, 3, Activation::Tanh, &mut rng),
+        ];
+        readout(gnn101_vertex_expr(&layers, 1))
+    };
+    let gin = {
+        let layers = vec![GinLayer {
+            eps: 0.2,
+            w: m(1, 3, &mut rng),
+            bias: vec![0.1; 3],
+            activation: Activation::ReLU,
+        }];
+        readout(gin_vertex_expr(&layers, 1))
+    };
+    let gcn = {
+        let layers = vec![GcnLayer {
+            w: m(1, 3, &mut rng),
+            bias: vec![0.0; 3],
+            activation: Activation::ReLU,
+        }];
+        readout(gcn_vertex_expr(&layers, 1))
+    };
+    let sage = {
+        let layers = vec![SageLayer {
+            w: m(2, 3, &mut rng),
+            bias: vec![0.0; 3],
+            activation: Activation::Sigmoid,
+        }];
+        readout(sage_vertex_expr(&layers, 1))
+    };
+    let triangle_gel3 = build::global_agg(Agg::Sum, 1, triangles_at_vertex_expr());
+    // Three rounds keep the (exponentially-sized) simulator tractable
+    // while still exceeding CR on the corpus.
+    let two_gnn = k_wl_graph_expr(2, 1, 3);
+
+    vec![
+        CastArchitecture { name: "GNN-101", expr: gnn101 },
+        CastArchitecture { name: "GIN", expr: gin },
+        CastArchitecture { name: "GCN (mean)", expr: gcn },
+        CastArchitecture { name: "GraphSage (max)", expr: sage },
+        CastArchitecture { name: "triangle-GEL3", expr: triangle_gel3 },
+        CastArchitecture { name: "2-GNN (2-WL sim)", expr: two_gnn },
+    ]
+}
+
+/// Runs E10: the recipe table + empirical bound verification.
+pub fn run(corpus: &[GraphPair]) -> ExperimentResult {
+    let zoo = architecture_zoo(0xE10);
+    let mut table = Table::new(&[
+        "architecture",
+        "fragment",
+        "width",
+        "WL bound (recipe)",
+        "bound respected on corpus",
+    ]);
+    let mut agreements = 0;
+    let mut violations = 0;
+
+    for arch in &zoo {
+        let report = analyze(&arch.expr);
+        // Empirical check: the architecture must NOT separate any pair
+        // that its bound declares equivalent.
+        let mut respected = true;
+        for pair in corpus {
+            if pair.g.label_dim() != 1 || pair.h.label_dim() != 1 {
+                continue;
+            }
+            let bound_eq = match report.bound {
+                WlBound::ColorRefinement => cr_equivalent(&pair.g, &pair.h),
+                WlBound::KWl(k) => k_wl_equivalent(&pair.g, &pair.h, k, WlVariant::Folklore),
+            };
+            if bound_eq {
+                let a = eval(&arch.expr, &pair.g);
+                let b = eval(&arch.expr, &pair.h);
+                if !a.approx_eq(&b, 1e-7) {
+                    respected = false;
+                }
+            }
+        }
+        if respected {
+            agreements += 1;
+        } else {
+            violations += 1;
+        }
+        let frag = match report.fragment {
+            Fragment::Mpnn => "MPNN(Ω,Θ)".to_string(),
+            Fragment::Gel(k) => format!("GEL_{k}(Ω,Θ)"),
+        };
+        table.row(&[
+            arch.name.to_string(),
+            frag,
+            report.width.to_string(),
+            report.bound.to_string(),
+            if respected { "yes".into() } else { "NO".into() },
+        ]);
+    }
+
+    // Expected placements (the slide-67 columns).
+    let expected = [
+        ("GNN-101", Fragment::Mpnn),
+        ("GIN", Fragment::Mpnn),
+        ("GCN (mean)", Fragment::Mpnn),
+        ("GraphSage (max)", Fragment::Mpnn),
+        ("triangle-GEL3", Fragment::Gel(3)),
+        ("2-GNN (2-WL sim)", Fragment::Gel(3)),
+    ];
+    for (name, frag) in expected {
+        let arch = zoo.iter().find(|a| a.name == name).unwrap();
+        if analyze(&arch.expr).fragment == frag {
+            agreements += 1;
+        } else {
+            violations += 1;
+        }
+    }
+
+    ExperimentResult {
+        id: "E10",
+        claim: "the recipe places each architecture in its fragment with a valid WL bound  [slides 35, 63, 67]",
+        table,
+        agreements,
+        violations,
+    }
+}
+
+/// Figure F1 (slide 25): the separation-power lattice actually measured
+/// on the corpus — for each method class, the number of non-isomorphic
+/// corpus pairs it separates.
+pub fn lattice_figure(corpus: &[GraphPair]) -> Table {
+    let mut table = Table::new(&["class", "non-isomorphic pairs separated", "of"]);
+    let non_iso: Vec<&GraphPair> = corpus.iter().filter(|p| !p.truth.isomorphic).collect();
+    let total = non_iso.len();
+
+    let count = |f: &dyn Fn(&GraphPair) -> bool| non_iso.iter().filter(|p| f(p)).count();
+
+    let constant = 0usize;
+    let cr = count(&|p| !cr_equivalent(&p.g, &p.h));
+    let wl2 = count(&|p| !k_wl_equivalent(&p.g, &p.h, 2, WlVariant::Folklore));
+    let wl3 = count(&|p| !k_wl_equivalent(&p.g, &p.h, 3, WlVariant::Folklore));
+    let iso = total;
+
+    for (name, c) in [
+        ("constant embeddings (weakest, slide 25)", constant),
+        ("CR / MPNN / GNN-101", cr),
+        ("2-WL / GEL_3", wl2),
+        ("3-WL / GEL_4", wl3),
+        ("graph isomorphism (strongest)", iso),
+    ] {
+        table.row(&[name.to_string(), c.to_string(), total.to_string()]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::light_corpus;
+
+    #[test]
+    fn e10_recipe_bounds_respected() {
+        let result = run(&light_corpus());
+        assert!(result.passed(), "\n{}", result.render());
+    }
+
+    #[test]
+    fn f1_lattice_is_monotone() {
+        let corpus = light_corpus();
+        let t = lattice_figure(&corpus);
+        // Extract the counts column and check monotonicity.
+        let rendered = t.render();
+        let counts: Vec<usize> = rendered
+            .lines()
+            .skip(2)
+            .map(|l| {
+                l.split('|').nth(2).unwrap().trim().parse::<usize>().unwrap()
+            })
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "lattice must be monotone: {counts:?}");
+        assert!(counts[1] < counts[2], "2-WL strictly above CR on this corpus");
+    }
+}

@@ -1,0 +1,115 @@
+//! **E11** — aggregation functions differ in separation power (paper
+//! slide 69, Rosenbluth–Tönshoff–Grohe, *Some Might Say All You Need Is
+//! Sum*).
+//!
+//! Protocol: construct star graphs whose leaf labels form multisets
+//! designed so that exactly one of sum / mean / max can tell the
+//! centres apart, then compare one-layer aggregation expressions with
+//! each θ ∈ {sum, mean, max} at the centre vertex. The expected
+//! pattern (sum distinguishes everything the others do, and more on
+//! finite multisets with labels; mean misses scaling, max misses
+//! multiplicity) is pinned per case.
+
+use gel_lang::ast::build;
+use gel_lang::eval::eval;
+use gel_lang::func::Agg;
+use gel_graph::{Graph, GraphBuilder};
+
+use crate::report::{ExperimentResult, Table};
+
+/// Builds a star whose centre has label 0 and whose leaves carry the
+/// given scalar labels.
+fn star_with_leaf_labels(leaves: &[f64]) -> Graph {
+    let n = leaves.len() + 1;
+    let mut b = GraphBuilder::with_label_dim(n, 1);
+    b.set_label(0, &[0.0]);
+    for (i, &l) in leaves.iter().enumerate() {
+        let v = (i + 1) as u32;
+        b.set_label(v, &[l]);
+        b.add_edge(0, v);
+    }
+    b.build()
+}
+
+/// Whether the one-layer θ-aggregation separates the two centres.
+fn separates(agg: Agg, a: &Graph, b: &Graph) -> bool {
+    let e = build::nbr_agg(agg, 1, 2, build::lab(0, 2));
+    let va = eval(&e, a);
+    let vb = eval(&e, b);
+    va.cell(&[0]) != vb.cell(&[0])
+}
+
+/// A test case: two leaf-label multisets and the expected verdict per
+/// aggregator (sum, mean, max).
+pub struct MultisetCase {
+    /// Name for the table.
+    pub name: &'static str,
+    /// First multiset.
+    pub a: &'static [f64],
+    /// Second multiset.
+    pub b: &'static [f64],
+    /// Expected (sum, mean, max) separation verdicts.
+    pub expect: (bool, bool, bool),
+}
+
+/// The pinned case suite.
+pub const CASES: [MultisetCase; 5] = [
+    // Proportional multisets: equal mean and max, different sum.
+    MultisetCase { name: "{1,2} vs {1,1,2,2}", a: &[1.0, 2.0], b: &[1.0, 1.0, 2.0, 2.0], expect: (true, false, false) },
+    // Equal sum and mean, different max.
+    MultisetCase { name: "{0,2} vs {1,1}", a: &[0.0, 2.0], b: &[1.0, 1.0], expect: (false, false, true) },
+    // Equal max, different sum and mean.
+    MultisetCase { name: "{1,1,2} vs {1,2}", a: &[1.0, 1.0, 2.0], b: &[1.0, 2.0], expect: (true, true, false) },
+    // All three differ.
+    MultisetCase { name: "{3} vs {1,1}", a: &[3.0], b: &[1.0, 1.0], expect: (true, true, true) },
+    // Identical multisets: none may separate (soundness control).
+    MultisetCase { name: "{1,2} vs {2,1}", a: &[1.0, 2.0], b: &[2.0, 1.0], expect: (false, false, false) },
+];
+
+/// Runs E11.
+pub fn run() -> ExperimentResult {
+    let mut table = Table::new(&["leaf multisets", "sum", "mean", "max", "as predicted"]);
+    let mut agreements = 0;
+    let mut violations = 0;
+    for case in &CASES {
+        let ga = star_with_leaf_labels(case.a);
+        let gb = star_with_leaf_labels(case.b);
+        let got = (
+            separates(Agg::Sum, &ga, &gb),
+            separates(Agg::Mean, &ga, &gb),
+            separates(Agg::Max, &ga, &gb),
+        );
+        let ok = got == case.expect;
+        if ok {
+            agreements += 1;
+        } else {
+            violations += 1;
+        }
+        let v = |s: bool| if s { "separates" } else { "blind" };
+        table.row(&[
+            case.name.to_string(),
+            v(got.0).to_string(),
+            v(got.1).to_string(),
+            v(got.2).to_string(),
+            if ok { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    ExperimentResult {
+        id: "E11",
+        claim: "sum, mean and max have incomparable separation behaviour on multisets  [slide 69]",
+        table,
+        agreements,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e11_aggregator_pattern() {
+        let result = run();
+        assert!(result.passed(), "\n{}", result.render());
+    }
+}

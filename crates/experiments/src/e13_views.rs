@@ -1,0 +1,114 @@
+//! **E13** (extension) — *embedding methods as views* (paper slide 72,
+//! Barceló–Geerts–Reutter–Ryschkov, "GNNs with Local Graph
+//! Parameters"): first embed the graph with a *fixed* complex
+//! embedding — here, per-vertex homomorphism/subgraph counts — then
+//! run a simple learnable MPNN on the view.
+//!
+//! The claim exercised: augmenting vertex labels with triangle counts
+//! strictly increases separation power — the view-augmented CR
+//! separates pairs plain CR cannot (the CR-blind pairs), while staying
+//! sound on isomorphic pairs (hom counts are invariants).
+
+use gel_graph::Graph;
+use gel_hom::subgraph::triangle_counts_per_vertex;
+use gel_wl::cr_equivalent;
+
+use crate::corpus::GraphPair;
+use crate::report::{ExperimentResult, Table};
+
+/// The "view": appends the per-vertex triangle count to the labels.
+pub fn with_triangle_view(g: &Graph) -> Graph {
+    let tri = triangle_counts_per_vertex(g);
+    let d = g.label_dim();
+    let n = g.num_vertices();
+    let mut labels = Vec::with_capacity(n * (d + 1));
+    for v in g.vertices() {
+        labels.extend_from_slice(g.label(v));
+        labels.push(tri[v as usize]);
+    }
+    g.with_labels(labels, d + 1)
+}
+
+/// Runs E13 on the corpus.
+pub fn run(corpus: &[GraphPair]) -> ExperimentResult {
+    let mut table = Table::new(&["pair", "plain CR", "CR + triangle view", "sound/gain"]);
+    let mut agreements = 0;
+    let mut violations = 0;
+    let mut gained = 0usize;
+    for pair in corpus {
+        let plain = cr_equivalent(&pair.g, &pair.h);
+        let viewed =
+            cr_equivalent(&with_triangle_view(&pair.g), &with_triangle_view(&pair.h));
+        // Soundness: the view never separates isomorphic graphs, and
+        // never *loses* a separation (view refines labels).
+        let mut ok = true;
+        if pair.truth.isomorphic && !viewed {
+            ok = false;
+        }
+        if !plain && viewed {
+            ok = false; // a refinement cannot merge classes
+        }
+        if plain && !viewed {
+            gained += 1;
+        }
+        if ok {
+            agreements += 1;
+        } else {
+            violations += 1;
+        }
+        let v = |eq: bool| if eq { "equivalent" } else { "separates" };
+        table.row(&[
+            pair.name.to_string(),
+            v(plain).to_string(),
+            v(viewed).to_string(),
+            if !ok {
+                "UNSOUND".into()
+            } else if plain && !viewed {
+                "gained power".into()
+            } else {
+                "sound".into()
+            },
+        ]);
+    }
+    // The view must strictly gain on this corpus (the CR-blind pairs
+    // C6/C3⊎C3 differ in triangles).
+    if gained == 0 {
+        violations += 1;
+    }
+    ExperimentResult {
+        id: "E13",
+        claim: "view embeddings (labels + hom counts) strictly extend CR power, soundly  [slide 72]",
+        table,
+        agreements,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::light_corpus;
+    use gel_graph::families::cr_blind_pair;
+
+    #[test]
+    fn e13_views_gain_power_soundly() {
+        let result = run(&light_corpus());
+        assert!(result.passed(), "\n{}", result.render());
+    }
+
+    #[test]
+    fn triangle_view_separates_the_blind_pair() {
+        let (a, b) = cr_blind_pair();
+        assert!(cr_equivalent(&a, &b));
+        assert!(!cr_equivalent(&with_triangle_view(&a), &with_triangle_view(&b)));
+    }
+
+    #[test]
+    fn view_preserves_structure() {
+        let (a, _) = cr_blind_pair();
+        let v = with_triangle_view(&a);
+        assert_eq!(v.num_vertices(), a.num_vertices());
+        assert_eq!(v.num_arcs(), a.num_arcs());
+        assert_eq!(v.label_dim(), a.label_dim() + 1);
+    }
+}

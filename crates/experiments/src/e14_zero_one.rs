@@ -1,0 +1,85 @@
+//! **E14** (extension) — *zero-one laws of GNNs* (paper slide 73,
+//! Adam-Day–Iliant–Ceylan 2023): as `n → ∞`, the probability that a
+//! fixed GNN binary classifier accepts a random graph `G(n, 1/2)`
+//! tends to 0 or 1.
+//!
+//! Protocol: fix random-weight GNN-101 classifiers (sigmoid of a sum
+//! readout, thresholded); for growing `n`, sample ER graphs and record
+//! the acceptance rate; the *dispersion* `min(rate, 1 − rate)` must
+//! shrink as `n` grows — the measured shape of the 0/1 convergence.
+
+use gel_gnn::{GnnAgg, GraphModel, Readout};
+use gel_graph::random::erdos_renyi;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::report::{ExperimentResult, Table};
+
+/// Acceptance rate of `model` on `samples` graphs from `G(n, 1/2)`.
+fn acceptance_rate(model: &GraphModel, n: usize, samples: usize, seed: u64) -> f64 {
+    let mut accepted = 0usize;
+    for s in 0..samples {
+        let g = erdos_renyi(n, 0.5, &mut StdRng::seed_from_u64(seed + s as u64));
+        if model.infer(&g)[(0, 0)] > 0.0 {
+            accepted += 1;
+        }
+    }
+    accepted as f64 / samples as f64
+}
+
+/// Runs E14 with `models` random classifiers and `samples` graphs per
+/// size.
+pub fn run(models: usize, samples: usize) -> ExperimentResult {
+    let sizes = [8usize, 16, 32, 64];
+    let mut table = Table::new(&["classifier", "n=8", "n=16", "n=32", "n=64", "dispersion shrinks"]);
+    let mut agreements = 0;
+    let mut violations = 0;
+
+    for m in 0..models {
+        let mut rng = StdRng::seed_from_u64(0xE14 + m as u64);
+        // Mean aggregation + mean readout: the setting where the known
+        // zero-one results apply (bounded activations, averaged
+        // messages concentrate by the law of large numbers).
+        let model = GraphModel::gnn101(1, 8, 2, 1, GnnAgg::Mean, Readout::Mean, &mut rng);
+        let rates: Vec<f64> = sizes
+            .iter()
+            .map(|&n| acceptance_rate(&model, n, samples, 1000 * m as u64))
+            .collect();
+        let dispersion: Vec<f64> = rates.iter().map(|&r| r.min(1.0 - r)).collect();
+        // Shape check: dispersion at the largest size is tiny, and not
+        // larger than at the smallest size.
+        let ok = dispersion[sizes.len() - 1] <= 0.05
+            && dispersion[sizes.len() - 1] <= dispersion[0] + 1e-9;
+        if ok {
+            agreements += 1;
+        } else {
+            violations += 1;
+        }
+        table.row(&[
+            format!("random GNN #{m}"),
+            format!("{:.2}", rates[0]),
+            format!("{:.2}", rates[1]),
+            format!("{:.2}", rates[2]),
+            format!("{:.2}", rates[3]),
+            if ok { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    ExperimentResult {
+        id: "E14",
+        claim: "zero-one law: acceptance probability on G(n,1/2) converges to 0 or 1  [slide 73]",
+        table,
+        agreements,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e14_zero_one_shape() {
+        let result = run(6, 20);
+        assert!(result.passed(), "\n{}", result.render());
+    }
+}

@@ -1,0 +1,82 @@
+//! # gel-experiments — the reproduction harness
+//!
+//! System S8 of DESIGN.md: one runner per theorem/claim of the paper
+//! (the "tables and figures" of this theory paper), each producing the
+//! table recorded in EXPERIMENTS.md and a machine-checkable PASS/FAIL
+//! verdict.
+//!
+//! | id  | claim (slide) |
+//! |-----|----------------|
+//! | E1  | ρ(GNN-101) = ρ(CR) (26) |
+//! | E2  | CR ⇔ tree homomorphism counts (27) |
+//! | E3  | ρ(CR) ⊆ ρ(MPNN(Ω,Θ)) for any Ω,Θ (51) |
+//! | E4  | equality with sum via explicit simulation (52) |
+//! | E5  | approximation of CR-bounded embeddings (29–30, 53) |
+//! | E6  | GML ⊆ MPNN, exactly (54) |
+//! | E7  | normal forms (55) |
+//! | E8  | strict WL hierarchy (65) |
+//! | E9  | ρ(k-WL) = ρ(GEL_{k+1}) (66) |
+//! | E10 | the recipe / "Back to ML" table (35, 63, 67) + lattice F1 (25) |
+//! | E11 | sum vs mean vs max (69) |
+//! | E12 | universality needs iso-separation (31) |
+//! | E13 | view embeddings: labels + hom counts exceed CR (72) |
+//! | E14 | zero-one laws of GNN classifiers (73) |
+//! | E15 | WL meet VC: shattering ⇔ CR-distinctness (28) |
+//! | E16 | relational WL & relational GNNs on typed graphs (74) |
+//! | L1–L3 | the motivating learning applications (7–9, 16) |
+//!
+//! Run everything: `cargo run --release -p gel-experiments --bin all`.
+
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod e01_gnn_vs_cr;
+pub mod e02_tree_homs;
+pub mod e03_mpnn_upper_bound;
+pub mod e04_cr_simulation;
+pub mod e05_approximation;
+pub mod e06_gml;
+pub mod e07_normal_form;
+pub mod e08_hierarchy;
+pub mod e09_gel_kwl;
+pub mod e10_recipe;
+pub mod e11_aggregators;
+pub mod e12_universality;
+pub mod e13_views;
+pub mod e14_zero_one;
+pub mod e15_wl_vc;
+pub mod e16_relational;
+pub mod learning;
+pub mod report;
+
+pub use corpus::{full_corpus, light_corpus, GraphPair, PairTruth};
+pub use report::{ExperimentResult, Table};
+
+/// Runs every experiment with publication-quality settings and returns
+/// the results in order. `full` additionally includes the 40-vertex
+/// CFI(K4) pair (3-WL on it takes a few seconds in release mode).
+pub fn run_all(full: bool) -> Vec<ExperimentResult> {
+    let corpus = if full { full_corpus() } else { light_corpus() };
+    let mut results = vec![
+        e01_gnn_vs_cr::run(&corpus, 32),
+        e02_tree_homs::run(&corpus, 8),
+        e03_mpnn_upper_bound::run(&corpus, 50),
+        e04_cr_simulation::run(&corpus),
+        e05_approximation::run(800),
+        e06_gml::run(10),
+        e07_normal_form::run(30),
+        e08_hierarchy::run(&corpus, 3),
+        e09_gel_kwl::run(&corpus, 20, 12),
+        e10_recipe::run(&corpus),
+        e11_aggregators::run(),
+        e12_universality::run(600),
+        e13_views::run(&corpus),
+        e14_zero_one::run(8, 30),
+        e15_wl_vc::run(3000),
+        e16_relational::run(24),
+    ];
+    results.push(learning::run_l1_molecules(120, 8, 400));
+    results.push(learning::run_l2_citation(50, 200));
+    results.push(learning::run_l3_links(35, 200));
+    results
+}

@@ -1,0 +1,148 @@
+//! Plain-text table rendering for experiment runners — every runner
+//! prints the rows recorded in EXPERIMENTS.md through this module, so
+//! the document can be regenerated verbatim.
+
+use std::fmt::Write as _;
+
+/// A rendered experiment table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics when the arity differs from the header.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Convenience for `&str` cells.
+    pub fn row_str(&mut self, cells: &[&str]) {
+        self.row(&cells.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as an aligned text table (also valid Markdown).
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut width = vec![0usize; cols];
+        for (c, h) in self.header.iter().enumerate() {
+            width[c] = h.chars().count();
+        }
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                width[c] = width[c].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |out: &mut String, cells: &[String]| {
+            out.push('|');
+            for (c, cell) in cells.iter().enumerate() {
+                let pad = width[c] - cell.chars().count();
+                let _ = write!(out, " {}{} |", cell, " ".repeat(pad));
+            }
+            out.push('\n');
+        };
+        fmt_row(&mut out, &self.header);
+        out.push('|');
+        for w in &width {
+            let _ = write!(out, "{}|", "-".repeat(w + 2));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Outcome of one experiment: its table plus a pass/fail verdict for
+/// each claim checked.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Experiment id, e.g. `"E1"`.
+    pub id: &'static str,
+    /// One-line statement of the paper claim being validated.
+    pub claim: &'static str,
+    /// The result table.
+    pub table: Table,
+    /// Number of corpus checks that matched the theorem's prediction.
+    pub agreements: usize,
+    /// Number that contradicted it (must be 0 for a pass).
+    pub violations: usize,
+}
+
+impl ExperimentResult {
+    /// True iff the paper's claim held on every corpus item.
+    pub fn passed(&self) -> bool {
+        self.violations == 0 && self.agreements > 0
+    }
+
+    /// Renders the full report section.
+    pub fn render(&self) -> String {
+        format!(
+            "## {} — {}\n\n{}\nchecks: {} agreements, {} violations → {}\n",
+            self.id,
+            self.claim,
+            self.table.render(),
+            self.agreements,
+            self.violations,
+            if self.passed() { "PASS" } else { "FAIL" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new(&["pair", "cr", "gnn"]);
+        t.row_str(&["C6 vs C3+C3", "equal", "equal"]);
+        t.row_str(&["star vs path", "diff", "diff"]);
+        let s = t.render();
+        assert!(s.contains("| pair"));
+        assert!(s.lines().count() == 4);
+        assert!(s.lines().nth(1).unwrap().starts_with("|--"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row_str(&["only one"]);
+    }
+
+    #[test]
+    fn result_verdict() {
+        let r = ExperimentResult {
+            id: "E0",
+            claim: "test",
+            table: Table::new(&["x"]),
+            agreements: 3,
+            violations: 0,
+        };
+        assert!(r.passed());
+        assert!(r.render().contains("PASS"));
+    }
+}

@@ -1,0 +1,195 @@
+//! Differentiable neighbourhood aggregation over a graph: the
+//! `Σ_{u ∈ N(v)}` of the paper's GNN-101 recurrence (slide 13) and its
+//! mean/max alternatives (slide 69), each with the exact adjoint needed
+//! for backpropagation.
+
+use gel_graph::Graph;
+use gel_tensor::Matrix;
+
+/// Sum aggregation `S_v = Σ_{u ∈ N_out(v)} X_u` (i.e. `S = A·X`).
+pub fn sum_forward(g: &Graph, x: &Matrix) -> Matrix {
+    let n = g.num_vertices();
+    assert_eq!(x.rows(), n, "feature row count must match |V|");
+    let mut out = Matrix::zeros(n, x.cols());
+    for v in g.vertices() {
+        let row = out.row_mut(v as usize);
+        for &u in g.out_neighbors(v) {
+            for (o, &xv) in row.iter_mut().zip(x.row(u as usize)) {
+                *o += xv;
+            }
+        }
+    }
+    out
+}
+
+/// Adjoint of [`sum_forward`]: `∂L/∂X = Aᵀ · ∂L/∂S`.
+pub fn sum_backward(g: &Graph, grad_out: &Matrix) -> Matrix {
+    let n = g.num_vertices();
+    let mut grad_x = Matrix::zeros(n, grad_out.cols());
+    for v in g.vertices() {
+        let gr = grad_out.row(v as usize);
+        for &u in g.out_neighbors(v) {
+            let row = grad_x.row_mut(u as usize);
+            for (o, &gv) in row.iter_mut().zip(gr) {
+                *o += gv;
+            }
+        }
+    }
+    grad_x
+}
+
+/// Mean aggregation; vertices with no out-neighbours get the zero
+/// vector (the same empty-bag convention as the language evaluator).
+pub fn mean_forward(g: &Graph, x: &Matrix) -> Matrix {
+    let mut out = sum_forward(g, x);
+    for v in g.vertices() {
+        let d = g.out_degree(v);
+        if d > 0 {
+            let inv = 1.0 / d as f64;
+            for o in out.row_mut(v as usize) {
+                *o *= inv;
+            }
+        }
+    }
+    out
+}
+
+/// Adjoint of [`mean_forward`].
+pub fn mean_backward(g: &Graph, grad_out: &Matrix) -> Matrix {
+    let mut scaled = grad_out.clone();
+    for v in g.vertices() {
+        let d = g.out_degree(v);
+        if d > 0 {
+            let inv = 1.0 / d as f64;
+            for o in scaled.row_mut(v as usize) {
+                *o *= inv;
+            }
+        }
+    }
+    sum_backward(g, &scaled)
+}
+
+/// Max aggregation with the argmax cache needed for the adjoint.
+/// Empty neighbourhoods yield zeros (and route no gradient).
+pub struct MaxAggregation {
+    /// `argmax[v * cols + c]` = the neighbour supplying the max, or
+    /// `u32::MAX` for empty neighbourhoods.
+    argmax: Vec<u32>,
+    cols: usize,
+}
+
+impl MaxAggregation {
+    /// Forward pass.
+    pub fn forward(g: &Graph, x: &Matrix) -> (Matrix, MaxAggregation) {
+        let n = g.num_vertices();
+        let cols = x.cols();
+        let mut out = Matrix::zeros(n, cols);
+        let mut argmax = vec![u32::MAX; n * cols];
+        for v in g.vertices() {
+            let nbrs = g.out_neighbors(v);
+            if nbrs.is_empty() {
+                continue;
+            }
+            for c in 0..cols {
+                let (mut best_u, mut best) = (nbrs[0], x[(nbrs[0] as usize, c)]);
+                for &u in &nbrs[1..] {
+                    let val = x[(u as usize, c)];
+                    if val > best {
+                        best = val;
+                        best_u = u;
+                    }
+                }
+                out[(v as usize, c)] = best;
+                argmax[v as usize * cols + c] = best_u;
+            }
+        }
+        (out, MaxAggregation { argmax, cols })
+    }
+
+    /// Adjoint: gradient flows to the argmax contributor only.
+    pub fn backward(&self, n: usize, grad_out: &Matrix) -> Matrix {
+        assert_eq!(grad_out.cols(), self.cols);
+        let mut grad_x = Matrix::zeros(n, self.cols);
+        for v in 0..n {
+            for c in 0..self.cols {
+                let u = self.argmax[v * self.cols + c];
+                if u != u32::MAX {
+                    grad_x[(u as usize, c)] += grad_out[(v, c)];
+                }
+            }
+        }
+        grad_x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gel_graph::families::{path, star};
+    use gel_graph::GraphBuilder;
+
+    #[test]
+    fn sum_matches_hand_computation() {
+        let g = star(3);
+        let x = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0], &[4.0]]);
+        let s = sum_forward(&g, &x);
+        assert_eq!(s.row(0), &[9.0]); // leaves 2+3+4
+        assert_eq!(s.row(1), &[1.0]); // center
+    }
+
+    #[test]
+    fn sum_backward_is_transpose() {
+        // ⟨A x, y⟩ = ⟨x, Aᵀ y⟩ numerically for a directed graph.
+        let mut b = GraphBuilder::new(3);
+        b.add_arc(0, 1).add_arc(0, 2).add_arc(2, 1);
+        let g = b.build();
+        let x = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]);
+        let y = Matrix::from_rows(&[&[5.0], &[7.0], &[11.0]]);
+        let lhs: f64 = sum_forward(&g, &x).hadamard(&y).sum();
+        let rhs: f64 = x.hadamard(&sum_backward(&g, &y)).sum();
+        assert!((lhs - rhs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_divides_by_degree() {
+        let g = star(3);
+        let x = Matrix::from_rows(&[&[3.0], &[6.0], &[9.0], &[12.0]]);
+        let m = mean_forward(&g, &x);
+        assert_eq!(m.row(0), &[9.0]); // (6+9+12)/3
+        assert_eq!(m.row(1), &[3.0]);
+    }
+
+    #[test]
+    fn mean_backward_adjoint() {
+        let g = path(4);
+        let x = Matrix::from_fn(4, 2, |i, j| (i * 2 + j) as f64 + 0.5);
+        let y = Matrix::from_fn(4, 2, |i, j| (i + j) as f64 - 1.0);
+        let lhs: f64 = mean_forward(&g, &x).hadamard(&y).sum();
+        let rhs: f64 = x.hadamard(&mean_backward(&g, &y)).sum();
+        assert!((lhs - rhs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_routes_gradient_to_argmax() {
+        let g = star(2); // center 0, leaves 1, 2
+        let x = Matrix::from_rows(&[&[0.0], &[5.0], &[3.0]]);
+        let (out, cache) = MaxAggregation::forward(&g, &x);
+        assert_eq!(out.row(0), &[5.0]);
+        let grad_out = Matrix::from_rows(&[&[1.0], &[0.0], &[0.0]]);
+        let grad_x = cache.backward(3, &grad_out);
+        assert_eq!(grad_x.row(1), &[1.0]); // vertex 1 supplied the max
+        assert_eq!(grad_x.row(2), &[0.0]);
+    }
+
+    #[test]
+    fn empty_neighbourhood_yields_zero() {
+        let g = GraphBuilder::new(2).build();
+        let x = Matrix::from_rows(&[&[7.0], &[8.0]]);
+        assert_eq!(sum_forward(&g, &x).row(0), &[0.0]);
+        assert_eq!(mean_forward(&g, &x).row(1), &[0.0]);
+        let (out, cache) = MaxAggregation::forward(&g, &x);
+        assert_eq!(out.row(0), &[0.0]);
+        let grad = cache.backward(2, &Matrix::filled(2, 1, 1.0));
+        assert_eq!(grad.max_abs(), 0.0);
+    }
+}

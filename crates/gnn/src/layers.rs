@@ -1,0 +1,449 @@
+//! Trainable graph convolution layers with manual backprop.
+//!
+//! Every layer implements the same contract as `gel_tensor::Dense`:
+//! `forward` caches what `backward` needs; gradients accumulate into
+//! `Param`s; `Parameterized::visit_params` exposes them to optimizers.
+
+use gel_graph::Graph;
+use gel_tensor::{Activation, Dense, Init, Matrix, Mlp, Param, Parameterized};
+use rand::Rng;
+
+use crate::agg::{
+    mean_backward, mean_forward, sum_backward, sum_forward, MaxAggregation,
+};
+
+/// Which aggregator a layer uses (slide 69's sum/mean/max comparison).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GnnAgg {
+    /// Neighbourhood sum.
+    Sum,
+    /// Neighbourhood mean.
+    Mean,
+    /// Coordinatewise neighbourhood max.
+    Max,
+}
+
+/// The paper's GNN-101 layer (slide 13):
+/// `F_v ← σ( F_v W₁ + agg_{u∈N(v)} F_u · W₂ + b )`.
+pub struct Gnn101Conv {
+    /// Self weights.
+    pub w1: Param,
+    /// Neighbour weights.
+    pub w2: Param,
+    /// Bias (row).
+    pub b: Param,
+    /// σ.
+    pub activation: Activation,
+    /// Aggregator.
+    pub agg: GnnAgg,
+    cache: Option<Cache>,
+}
+
+struct Cache {
+    x: Matrix,
+    aggregated: Matrix,
+    pre: Matrix,
+    max_cache: Option<MaxAggregation>,
+}
+
+impl Gnn101Conv {
+    /// New randomly initialized layer.
+    pub fn new(
+        d_in: usize,
+        d_out: usize,
+        activation: Activation,
+        agg: GnnAgg,
+        rng: &mut impl Rng,
+    ) -> Self {
+        Self {
+            w1: Param::new(Init::Xavier.matrix(d_in, d_out, rng)),
+            w2: Param::new(Init::Xavier.matrix(d_in, d_out, rng)),
+            b: Param::new(Matrix::zeros(1, d_out)),
+            activation,
+            agg,
+            cache: None,
+        }
+    }
+
+    /// Input feature dimension.
+    pub fn in_dim(&self) -> usize {
+        self.w1.value.rows()
+    }
+
+    /// Output feature dimension.
+    pub fn out_dim(&self) -> usize {
+        self.w1.value.cols()
+    }
+
+    /// Forward over the whole vertex set (`x` is `n × d_in`).
+    pub fn forward(&mut self, g: &Graph, x: &Matrix) -> Matrix {
+        let (aggregated, max_cache) = match self.agg {
+            GnnAgg::Sum => (sum_forward(g, x), None),
+            GnnAgg::Mean => (mean_forward(g, x), None),
+            GnnAgg::Max => {
+                let (m, c) = MaxAggregation::forward(g, x);
+                (m, Some(c))
+            }
+        };
+        let mut pre = x.matmul(&self.w1.value);
+        pre += &aggregated.matmul(&self.w2.value);
+        pre.add_row_broadcast(self.b.value.row(0));
+        let out = self.activation.apply_matrix(&pre);
+        self.cache = Some(Cache { x: x.clone(), aggregated, pre, max_cache });
+        out
+    }
+
+    /// Inference without caching.
+    pub fn infer(&self, g: &Graph, x: &Matrix) -> Matrix {
+        let aggregated = match self.agg {
+            GnnAgg::Sum => sum_forward(g, x),
+            GnnAgg::Mean => mean_forward(g, x),
+            GnnAgg::Max => MaxAggregation::forward(g, x).0,
+        };
+        let mut pre = x.matmul(&self.w1.value);
+        pre += &aggregated.matmul(&self.w2.value);
+        pre.add_row_broadcast(self.b.value.row(0));
+        self.activation.apply_matrix(&pre)
+    }
+
+    /// Backward; returns `∂L/∂X`.
+    pub fn backward(&mut self, g: &Graph, grad_out: &Matrix) -> Matrix {
+        let cache = self.cache.take().expect("backward before forward");
+        let act = self.activation;
+        let delta = Matrix::from_fn(grad_out.rows(), grad_out.cols(), |i, j| {
+            grad_out[(i, j)] * act.derivative(cache.pre[(i, j)])
+        });
+        self.w1.grad += &cache.x.t_matmul(&delta);
+        self.w2.grad += &cache.aggregated.t_matmul(&delta);
+        for (gb, &d) in self.b.grad.data_mut().iter_mut().zip(delta.column_sums().iter()) {
+            *gb += d;
+        }
+        let grad_agg = delta.matmul_t(&self.w2.value);
+        let grad_from_agg = match self.agg {
+            GnnAgg::Sum => sum_backward(g, &grad_agg),
+            GnnAgg::Mean => mean_backward(g, &grad_agg),
+            GnnAgg::Max => {
+                cache.max_cache.as_ref().unwrap().backward(g.num_vertices(), &grad_agg)
+            }
+        };
+        let mut grad_x = delta.matmul_t(&self.w1.value);
+        grad_x += &grad_from_agg;
+        grad_x
+    }
+}
+
+impl Parameterized for Gnn101Conv {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.w1);
+        f(&mut self.w2);
+        f(&mut self.b);
+    }
+}
+
+/// A GIN layer (Xu et al.): `h_v ← MLP( (1+ε)·h_v + Σ_{u∈N(v)} h_u )`.
+/// ε is a fixed hyperparameter (the paper's expressiveness results do
+/// not require training it).
+pub struct GinConv {
+    /// The ε self-weight.
+    pub eps: f64,
+    /// The per-layer MLP.
+    pub mlp: Mlp,
+    gin_cache: Option<Matrix>, // cached input x (for the adjoint of the mix)
+}
+
+impl GinConv {
+    /// New GIN layer with a 2-layer ReLU MLP `d_in → hidden → d_out`.
+    pub fn new(d_in: usize, hidden: usize, d_out: usize, eps: f64, rng: &mut impl Rng) -> Self {
+        let mlp = Mlp::new(
+            &[d_in, hidden, d_out],
+            Activation::ReLU,
+            Activation::Identity,
+            Init::He,
+            rng,
+        );
+        Self { eps, mlp, gin_cache: None }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.mlp.in_dim()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.mlp.out_dim()
+    }
+
+    /// Forward.
+    pub fn forward(&mut self, g: &Graph, x: &Matrix) -> Matrix {
+        let mut z = sum_forward(g, x);
+        z.add_scaled(x, 1.0 + self.eps);
+        self.gin_cache = Some(x.clone());
+        self.mlp.forward(&z)
+    }
+
+    /// Inference without caching.
+    pub fn infer(&self, g: &Graph, x: &Matrix) -> Matrix {
+        let mut z = sum_forward(g, x);
+        z.add_scaled(x, 1.0 + self.eps);
+        self.mlp.infer(&z)
+    }
+
+    /// Backward; returns `∂L/∂X`.
+    pub fn backward(&mut self, g: &Graph, grad_out: &Matrix) -> Matrix {
+        let _ = self.gin_cache.take().expect("backward before forward");
+        let grad_z = self.mlp.backward(grad_out);
+        let mut grad_x = sum_backward(g, &grad_z);
+        grad_x.add_scaled(&grad_z, 1.0 + self.eps);
+        grad_x
+    }
+}
+
+impl Parameterized for GinConv {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.mlp.visit_params(f);
+    }
+}
+
+/// A GraphSage layer: `h_v ← σ( concat(h_v, agg_{u}(h_u)) · W + b )`.
+pub struct SageConv {
+    dense: Dense,
+    /// Aggregator for the pooled branch.
+    pub agg: GnnAgg,
+    sage_cache: Option<(usize, Option<MaxAggregation>)>,
+}
+
+impl SageConv {
+    /// New randomly initialized layer.
+    pub fn new(
+        d_in: usize,
+        d_out: usize,
+        activation: Activation,
+        agg: GnnAgg,
+        rng: &mut impl Rng,
+    ) -> Self {
+        Self {
+            dense: Dense::new(2 * d_in, d_out, activation, Init::Xavier, rng),
+            agg,
+            sage_cache: None,
+        }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.dense.in_dim() / 2
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.dense.out_dim()
+    }
+
+    /// Forward.
+    pub fn forward(&mut self, g: &Graph, x: &Matrix) -> Matrix {
+        let (pooled, max_cache) = match self.agg {
+            GnnAgg::Sum => (sum_forward(g, x), None),
+            GnnAgg::Mean => (mean_forward(g, x), None),
+            GnnAgg::Max => {
+                let (m, c) = MaxAggregation::forward(g, x);
+                (m, Some(c))
+            }
+        };
+        self.sage_cache = Some((x.cols(), max_cache));
+        self.dense.forward(&x.hconcat(&pooled))
+    }
+
+    /// Inference without caching.
+    pub fn infer(&self, g: &Graph, x: &Matrix) -> Matrix {
+        let pooled = match self.agg {
+            GnnAgg::Sum => sum_forward(g, x),
+            GnnAgg::Mean => mean_forward(g, x),
+            GnnAgg::Max => MaxAggregation::forward(g, x).0,
+        };
+        self.dense.infer(&x.hconcat(&pooled))
+    }
+
+    /// Backward; returns `∂L/∂X`.
+    pub fn backward(&mut self, g: &Graph, grad_out: &Matrix) -> Matrix {
+        let (d_in, max_cache) = self.sage_cache.take().expect("backward before forward");
+        let grad_cat = self.dense.backward(grad_out);
+        let n = grad_cat.rows();
+        let mut grad_self = Matrix::zeros(n, d_in);
+        let mut grad_pooled = Matrix::zeros(n, d_in);
+        for i in 0..n {
+            grad_self.row_mut(i).copy_from_slice(&grad_cat.row(i)[..d_in]);
+            grad_pooled.row_mut(i).copy_from_slice(&grad_cat.row(i)[d_in..]);
+        }
+        let grad_from_pool = match self.agg {
+            GnnAgg::Sum => sum_backward(g, &grad_pooled),
+            GnnAgg::Mean => mean_backward(g, &grad_pooled),
+            GnnAgg::Max => max_cache.as_ref().unwrap().backward(n, &grad_pooled),
+        };
+        grad_self += &grad_from_pool;
+        grad_self
+    }
+}
+
+impl Parameterized for SageConv {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.dense.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gel_graph::families::{cycle, star};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Finite-difference check of a layer's weight and input gradients.
+    fn fd_check<L: Parameterized>(
+        layer: &mut L,
+        g: &Graph,
+        x: &Matrix,
+        forward: impl Fn(&mut L, &Graph, &Matrix) -> Matrix,
+        backward: impl Fn(&mut L, &Graph, &Matrix) -> Matrix,
+        infer: impl Fn(&L, &Graph, &Matrix) -> f64,
+    ) {
+        let y = forward(layer, g, x);
+        let grad_out = Matrix::filled(y.rows(), y.cols(), 1.0);
+        let grad_x = backward(layer, g, &grad_out);
+        let h = 1e-6;
+
+        // First-parameter gradient.
+        let (analytic, idx) = {
+            let mut first = None;
+            layer.visit_params(&mut |p| {
+                if first.is_none() && !p.is_empty() {
+                    first = Some(p.grad.data()[0]);
+                }
+            });
+            (first.unwrap(), 0usize)
+        };
+        let bump = |layer: &mut L, delta: f64| {
+            let mut done = false;
+            layer.visit_params(&mut |p| {
+                if !done && !p.is_empty() {
+                    p.value.data_mut()[idx] += delta;
+                    done = true;
+                }
+            });
+        };
+        bump(layer, h);
+        let up = infer(layer, g, x);
+        bump(layer, -2.0 * h);
+        let dn = infer(layer, g, x);
+        bump(layer, h);
+        let numeric = (up - dn) / (2.0 * h);
+        assert!(
+            (numeric - analytic).abs() < 1e-4,
+            "param grad: numeric {numeric} vs analytic {analytic}"
+        );
+
+        // Input gradient at a middle entry.
+        let k = x.data().len() / 2;
+        let mut xp = x.clone();
+        xp.data_mut()[k] += h;
+        let up = infer(layer, g, &xp);
+        xp.data_mut()[k] -= 2.0 * h;
+        let dn = infer(layer, g, &xp);
+        let numeric = (up - dn) / (2.0 * h);
+        assert!(
+            (numeric - grad_x.data()[k]).abs() < 1e-4,
+            "input grad: numeric {numeric} vs analytic {}",
+            grad_x.data()[k]
+        );
+    }
+
+    #[test]
+    fn gnn101_gradients_sum() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let g = cycle(5);
+        let x = Init::Uniform(1.0).matrix(5, 3, &mut rng);
+        let mut layer = Gnn101Conv::new(3, 2, Activation::Tanh, GnnAgg::Sum, &mut rng);
+        fd_check(
+            &mut layer,
+            &g,
+            &x,
+            |l, g, x| l.forward(g, x),
+            |l, g, go| l.backward(g, go),
+            |l, g, x| l.infer(g, x).sum(),
+        );
+    }
+
+    #[test]
+    fn gnn101_gradients_mean() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = star(4);
+        let x = Init::Uniform(1.0).matrix(5, 2, &mut rng);
+        let mut layer = Gnn101Conv::new(2, 2, Activation::Sigmoid, GnnAgg::Mean, &mut rng);
+        fd_check(
+            &mut layer,
+            &g,
+            &x,
+            |l, g, x| l.forward(g, x),
+            |l, g, go| l.backward(g, go),
+            |l, g, x| l.infer(g, x).sum(),
+        );
+    }
+
+    #[test]
+    fn gnn101_gradients_max() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let g = cycle(6);
+        let x = Init::Uniform(1.0).matrix(6, 2, &mut rng);
+        let mut layer = Gnn101Conv::new(2, 3, Activation::Identity, GnnAgg::Max, &mut rng);
+        fd_check(
+            &mut layer,
+            &g,
+            &x,
+            |l, g, x| l.forward(g, x),
+            |l, g, go| l.backward(g, go),
+            |l, g, x| l.infer(g, x).sum(),
+        );
+    }
+
+    #[test]
+    fn gin_gradients() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let g = cycle(5);
+        let x = Init::Uniform(1.0).matrix(5, 2, &mut rng);
+        let mut layer = GinConv::new(2, 4, 2, 0.3, &mut rng);
+        fd_check(
+            &mut layer,
+            &g,
+            &x,
+            |l, g, x| l.forward(g, x),
+            |l, g, go| l.backward(g, go),
+            |l, g, x| l.infer(g, x).sum(),
+        );
+    }
+
+    #[test]
+    fn sage_gradients() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let g = star(3);
+        let x = Init::Uniform(1.0).matrix(4, 2, &mut rng);
+        let mut layer = SageConv::new(2, 2, Activation::Tanh, GnnAgg::Mean, &mut rng);
+        fd_check(
+            &mut layer,
+            &g,
+            &x,
+            |l, g, x| l.forward(g, x),
+            |l, g, go| l.backward(g, go),
+            |l, g, x| l.infer(g, x).sum(),
+        );
+    }
+
+    #[test]
+    fn dims_reported() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let l = Gnn101Conv::new(3, 5, Activation::ReLU, GnnAgg::Sum, &mut rng);
+        assert_eq!((l.in_dim(), l.out_dim()), (3, 5));
+        let s = SageConv::new(4, 2, Activation::ReLU, GnnAgg::Max, &mut rng);
+        assert_eq!((s.in_dim(), s.out_dim()), (4, 2));
+        let gin = GinConv::new(2, 8, 3, 0.0, &mut rng);
+        assert_eq!((gin.in_dim(), gin.out_dim()), (2, 3));
+    }
+}

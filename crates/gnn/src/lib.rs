@@ -1,0 +1,52 @@
+//! # gel-gnn — trainable graph neural networks and the ERM framework
+//!
+//! System S7 of DESIGN.md: direct (linear-algebra) implementations of
+//! the embedding methods the paper studies, with full manual
+//! backpropagation, plus the learning machinery of slides 16–20.
+//!
+//! * [`agg`] — differentiable neighbourhood sum/mean/max with exact
+//!   adjoints;
+//! * [`layers`] — GNN-101 (slide 13), GIN, GraphSage convolutions;
+//! * [`models`] — vertex embeddings `G → (V → ℝ^d)` and graph
+//!   embeddings `G → ℝ^d` with sum/mean readouts (slide 14);
+//! * [`train`] — empirical risk minimization: graph classification,
+//!   semi-supervised node classification, link prediction (the paper's
+//!   three motivating applications, slides 7–9) and vertex regression;
+//! * [`separation`] — the random-probe protocol measuring ρ(GNNs 101)
+//!   empirically (experiment E1);
+//! * [`relational`] — R-GCN-style multi-relational convolutions
+//!   (slide 74);
+//! * [`mod@tuple`] — a trainable higher-order 2-GNN on vertex pairs, the
+//!   direct counterpart of the GEL₃ / folklore-2-WL simulation
+//!   (slides 63, 66–67).
+
+//! ```
+//! use gel_gnn::gnn101_class_separates;
+//! use gel_graph::families::{cr_blind_pair, star, path};
+//!
+//! // No GNN-101 separates a colour-refinement-equivalent pair …
+//! let (a, b) = cr_blind_pair();
+//! assert!(!gnn101_class_separates(&a, &b, 0));
+//! // … while CR-distinguishable graphs are separated (slide 26).
+//! assert!(gnn101_class_separates(&star(4), &path(5), 0));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod agg;
+pub mod layers;
+pub mod models;
+pub mod relational;
+pub mod separation;
+pub mod train;
+pub mod tuple;
+
+pub use layers::{GinConv, Gnn101Conv, GnnAgg, SageConv};
+pub use models::{features, ConvLayer, GraphModel, Readout, VertexModel};
+pub use relational::{relational_gnn_separates, RelationalConv};
+pub use separation::{gnn101_class_separates, gnn_separates, SeparationConfig};
+pub use tuple::{pair_features, tuple_gnn_separates, TupleConv, TupleGnn};
+pub use train::{
+    eval_graph_accuracy, eval_node_accuracy, eval_vertex_mse, train_graph_model,
+    train_node_classifier, train_vertex_regression, LinkPredictor, TrainLog,
+};

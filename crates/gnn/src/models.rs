@@ -1,0 +1,384 @@
+//! Complete GNN models: stacks of convolution layers, graph-level
+//! readouts (slide 14), and prediction heads.
+
+use gel_graph::Graph;
+use gel_tensor::{Activation, Init, Matrix, Mlp, Param, Parameterized};
+use rand::Rng;
+
+use crate::layers::{GinConv, Gnn101Conv, GnnAgg, SageConv};
+
+/// Any of the supported convolution layers.
+pub enum ConvLayer {
+    /// The paper's GNN-101 (slide 13).
+    Gnn101(Gnn101Conv),
+    /// GIN.
+    Gin(GinConv),
+    /// GraphSage.
+    Sage(SageConv),
+}
+
+impl ConvLayer {
+    fn forward(&mut self, g: &Graph, x: &Matrix) -> Matrix {
+        match self {
+            ConvLayer::Gnn101(l) => l.forward(g, x),
+            ConvLayer::Gin(l) => l.forward(g, x),
+            ConvLayer::Sage(l) => l.forward(g, x),
+        }
+    }
+
+    fn infer(&self, g: &Graph, x: &Matrix) -> Matrix {
+        match self {
+            ConvLayer::Gnn101(l) => l.infer(g, x),
+            ConvLayer::Gin(l) => l.infer(g, x),
+            ConvLayer::Sage(l) => l.infer(g, x),
+        }
+    }
+
+    fn backward(&mut self, g: &Graph, grad: &Matrix) -> Matrix {
+        match self {
+            ConvLayer::Gnn101(l) => l.backward(g, grad),
+            ConvLayer::Gin(l) => l.backward(g, grad),
+            ConvLayer::Sage(l) => l.backward(g, grad),
+        }
+    }
+
+    fn visit(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        match self {
+            ConvLayer::Gnn101(l) => l.visit_params(f),
+            ConvLayer::Gin(l) => l.visit_params(f),
+            ConvLayer::Sage(l) => l.visit_params(f),
+        }
+    }
+}
+
+/// A vertex-embedding model `ξ : G → (V → ℝ^d)` (slide 8): a stack of
+/// convolutions followed by a per-vertex MLP head.
+pub struct VertexModel {
+    /// Convolution stack.
+    pub convs: Vec<ConvLayer>,
+    /// Per-vertex head.
+    pub head: Mlp,
+}
+
+impl VertexModel {
+    /// A GNN-101 vertex model: `depth` conv layers of width `hidden`
+    /// and a linear head to `out_dim`.
+    pub fn gnn101(
+        label_dim: usize,
+        hidden: usize,
+        depth: usize,
+        out_dim: usize,
+        agg: GnnAgg,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let mut convs = Vec::new();
+        let mut d = label_dim;
+        for _ in 0..depth {
+            convs.push(ConvLayer::Gnn101(Gnn101Conv::new(
+                d,
+                hidden,
+                Activation::Tanh,
+                agg,
+                rng,
+            )));
+            d = hidden;
+        }
+        let head =
+            Mlp::new(&[d, out_dim], Activation::Identity, Activation::Identity, Init::Xavier, rng);
+        Self { convs, head }
+    }
+
+    /// Forward with caching (training).
+    pub fn forward(&mut self, g: &Graph) -> Matrix {
+        let mut x = features(g);
+        for conv in &mut self.convs {
+            x = conv.forward(g, &x);
+        }
+        self.head.forward(&x)
+    }
+
+    /// Inference.
+    pub fn infer(&self, g: &Graph) -> Matrix {
+        let mut x = features(g);
+        for conv in &self.convs {
+            x = conv.infer(g, &x);
+        }
+        self.head.infer(&x)
+    }
+
+    /// Backward from per-vertex output gradients.
+    pub fn backward(&mut self, g: &Graph, grad_out: &Matrix) {
+        let mut grad = self.head.backward(grad_out);
+        for conv in self.convs.iter_mut().rev() {
+            grad = conv.backward(g, &grad);
+        }
+    }
+}
+
+impl Parameterized for VertexModel {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for c in &mut self.convs {
+            c.visit(f);
+        }
+        self.head.visit_params(f);
+    }
+}
+
+/// Readout pooling for graph models (slide 14 / slide 46).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Readout {
+    /// Sum pooling — the readout that preserves WL power.
+    Sum,
+    /// Mean pooling.
+    Mean,
+}
+
+/// A graph-embedding model `ξ : G → ℝ^d` (slide 7): convolutions,
+/// pooling, and an MLP head.
+pub struct GraphModel {
+    /// Convolution stack.
+    pub convs: Vec<ConvLayer>,
+    /// Pooling.
+    pub readout: Readout,
+    /// Post-pooling head.
+    pub head: Mlp,
+    cache_n: usize,
+}
+
+impl GraphModel {
+    /// A GIN graph classifier: `depth` GIN layers of width `hidden`,
+    /// sum pooling, 2-layer head to `out_dim` with `out_act`.
+    pub fn gin(
+        label_dim: usize,
+        hidden: usize,
+        depth: usize,
+        out_dim: usize,
+        out_act: Activation,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let mut convs = Vec::new();
+        let mut d = label_dim;
+        for _ in 0..depth {
+            convs.push(ConvLayer::Gin(GinConv::new(d, hidden, hidden, 0.0, rng)));
+            d = hidden;
+        }
+        let head = Mlp::new(&[d, hidden, out_dim], Activation::ReLU, out_act, Init::He, rng);
+        Self { convs, readout: Readout::Sum, head, cache_n: 0 }
+    }
+
+    /// A GNN-101 graph model with the chosen aggregator and readout.
+    pub fn gnn101(
+        label_dim: usize,
+        hidden: usize,
+        depth: usize,
+        out_dim: usize,
+        agg: GnnAgg,
+        readout: Readout,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let mut convs = Vec::new();
+        let mut d = label_dim;
+        for _ in 0..depth {
+            convs.push(ConvLayer::Gnn101(Gnn101Conv::new(
+                d,
+                hidden,
+                Activation::Tanh,
+                agg,
+                rng,
+            )));
+            d = hidden;
+        }
+        let head = Mlp::new(
+            &[d, out_dim],
+            Activation::Identity,
+            Activation::Identity,
+            Init::Xavier,
+            rng,
+        );
+        Self { convs, readout, head, cache_n: 0 }
+    }
+
+    /// Forward with caching; returns a `1 × out_dim` row.
+    pub fn forward(&mut self, g: &Graph) -> Matrix {
+        let mut x = features(g);
+        for conv in &mut self.convs {
+            x = conv.forward(g, &x);
+        }
+        self.cache_n = x.rows();
+        let pooled = pool(&x, self.readout);
+        self.head.forward(&pooled)
+    }
+
+    /// Inference.
+    pub fn infer(&self, g: &Graph) -> Matrix {
+        let mut x = features(g);
+        for conv in &self.convs {
+            x = conv.infer(g, &x);
+        }
+        self.head.infer(&pool(&x, self.readout))
+    }
+
+    /// Backward from the graph-level gradient (`1 × out_dim`).
+    pub fn backward(&mut self, g: &Graph, grad_out: &Matrix) {
+        let grad_pooled = self.head.backward(grad_out);
+        let n = self.cache_n;
+        let scale = match self.readout {
+            Readout::Sum => 1.0,
+            Readout::Mean => 1.0 / n.max(1) as f64,
+        };
+        let mut grad_x = Matrix::zeros(n, grad_pooled.cols());
+        for i in 0..n {
+            for (gx, &gp) in grad_x.row_mut(i).iter_mut().zip(grad_pooled.row(0)) {
+                *gx = gp * scale;
+            }
+        }
+        let mut grad = grad_x;
+        for conv in self.convs.iter_mut().rev() {
+            grad = conv.backward(g, &grad);
+        }
+    }
+}
+
+impl Parameterized for GraphModel {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for c in &mut self.convs {
+            c.visit(f);
+        }
+        self.head.visit_params(f);
+    }
+}
+
+/// Vertex features = graph labels as an `n × d` matrix (slide 13's
+/// `F^{(0)} := L_G(v)`).
+pub fn features(g: &Graph) -> Matrix {
+    Matrix::from_vec(g.num_vertices(), g.label_dim(), g.labels_flat().to_vec())
+}
+
+fn pool(x: &Matrix, readout: Readout) -> Matrix {
+    let sums = x.column_sums();
+    let row = match readout {
+        Readout::Sum => sums,
+        Readout::Mean => {
+            let n = x.rows().max(1) as f64;
+            sums.into_iter().map(|s| s / n).collect()
+        }
+    };
+    Matrix::row_vector(&row)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gel_graph::families::{cycle, petersen};
+    use gel_graph::random::random_permutation;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vertex_model_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut m = VertexModel::gnn101(1, 8, 2, 3, GnnAgg::Sum, &mut rng);
+        let g = cycle(7);
+        let y = m.forward(&g);
+        assert_eq!(y.shape(), (7, 3));
+        assert_eq!(m.infer(&g).shape(), (7, 3));
+    }
+
+    #[test]
+    fn graph_model_invariance() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = GraphModel::gin(1, 6, 2, 2, Activation::Identity, &mut rng);
+        let g = petersen();
+        let h = g.permute(&random_permutation(10, &mut rng));
+        let yg = m.infer(&g);
+        let yh = m.infer(&h);
+        assert!(yg.approx_eq(&yh, 1e-9), "graph embeddings must be invariant (slide 11)");
+    }
+
+    #[test]
+    fn graph_model_end_to_end_gradient() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut m =
+            GraphModel::gnn101(1, 4, 2, 1, GnnAgg::Sum, Readout::Mean, &mut rng);
+        let g = cycle(5);
+        let y = m.forward(&g);
+        m.zero_grads();
+        let y2 = m.forward(&g);
+        assert!(y.approx_eq(&y2, 1e-12));
+        m.backward(&g, &Matrix::filled(1, 1, 1.0));
+
+        // FD check on the very first parameter.
+        let h = 1e-6;
+        let analytic = {
+            let mut a = None;
+            m.visit_params(&mut |p| {
+                if a.is_none() {
+                    a = Some(p.grad.data()[0]);
+                }
+            });
+            a.unwrap()
+        };
+        let bump = |m: &mut GraphModel, d: f64| {
+            let mut done = false;
+            m.visit_params(&mut |p| {
+                if !done {
+                    p.value.data_mut()[0] += d;
+                    done = true;
+                }
+            });
+        };
+        bump(&mut m, h);
+        let up = m.infer(&g).sum();
+        bump(&mut m, -2.0 * h);
+        let dn = m.infer(&g).sum();
+        bump(&mut m, h);
+        let numeric = (up - dn) / (2.0 * h);
+        assert!(
+            (numeric - analytic).abs() < 1e-4,
+            "numeric {numeric} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn vertex_model_gradient_end_to_end() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut m = VertexModel::gnn101(1, 3, 2, 1, GnnAgg::Mean, &mut rng);
+        let g = cycle(4);
+        let y = m.forward(&g);
+        m.backward(&g, &Matrix::filled(y.rows(), 1, 1.0));
+        let h = 1e-6;
+        let analytic = {
+            let mut a = None;
+            m.visit_params(&mut |p| {
+                if a.is_none() {
+                    a = Some(p.grad.data()[0]);
+                }
+            });
+            a.unwrap()
+        };
+        let bump = |m: &mut VertexModel, d: f64| {
+            let mut done = false;
+            m.visit_params(&mut |p| {
+                if !done {
+                    p.value.data_mut()[0] += d;
+                    done = true;
+                }
+            });
+        };
+        bump(&mut m, h);
+        let up = m.infer(&g).sum();
+        bump(&mut m, -2.0 * h);
+        let dn = m.infer(&g).sum();
+        bump(&mut m, h);
+        let numeric = (up - dn) / (2.0 * h);
+        assert!((numeric - analytic).abs() < 1e-4);
+    }
+
+    #[test]
+    fn features_matrix_matches_labels() {
+        let g = cycle(3).with_labels(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2);
+        let f = features(&g);
+        assert_eq!(f.shape(), (3, 2));
+        assert_eq!(f.row(1), &[3.0, 4.0]);
+    }
+}

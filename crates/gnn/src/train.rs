@@ -1,0 +1,340 @@
+//! Empirical risk minimization (paper slides 16–20): given a training
+//! set `T ⊆ G × V^p × Y`, a hypothesis class (a model family), and a
+//! loss `L`, find `argmin_ξ 1/|T| Σ L(ξ(G_i, v̄_i), Ψ(G_i, v̄_i))` by
+//! gradient descent.
+
+use gel_graph::{Graph, Vertex};
+use gel_tensor::{accuracy, Loss, Matrix, Optimizer, Parameterized};
+
+use crate::models::{GraphModel, VertexModel};
+
+/// A record of one training run.
+#[derive(Debug, Clone, Default)]
+pub struct TrainLog {
+    /// Mean training loss after each epoch.
+    pub losses: Vec<f64>,
+}
+
+impl TrainLog {
+    /// Final training loss.
+    pub fn final_loss(&self) -> f64 {
+        self.losses.last().copied().unwrap_or(f64::NAN)
+    }
+}
+
+/// Trains a graph-level model on `(graph, target-row)` examples
+/// (slide 16's first training-set example: molecules with yes/no
+/// labels).
+pub fn train_graph_model(
+    model: &mut GraphModel,
+    data: &[(Graph, Vec<f64>)],
+    loss: Loss,
+    opt: &mut dyn Optimizer,
+    epochs: usize,
+) -> TrainLog {
+    // Full-batch ERM (slide 19): accumulate the gradient of
+    // 1/|T| Σ L(ξ(G_i), Ψ(G_i)) over the whole training set, then take
+    // one optimizer step per epoch — markedly more stable than
+    // per-example stepping for the small training sets used here.
+    let mut log = TrainLog::default();
+    let m = data.len().max(1) as f64;
+    for _ in 0..epochs {
+        model.zero_grads();
+        let mut total = 0.0;
+        for (g, target) in data {
+            let pred = model.forward(g);
+            let t = Matrix::row_vector(target);
+            let (l, grad) = loss.eval(&pred, &t);
+            model.backward(g, &grad.scale(1.0 / m));
+            total += l;
+        }
+        opt.step(model);
+        log.losses.push(total / m);
+    }
+    log
+}
+
+/// Evaluates graph-level classification accuracy (argmax for multi-way
+/// targets; zero-threshold on the *logit* for 1-dimensional outputs —
+/// the convention paired with [`Loss::BceWithLogits`]).
+pub fn eval_graph_accuracy(model: &GraphModel, data: &[(Graph, Vec<f64>)]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    for (g, target) in data {
+        let pred = model.infer(g);
+        let ok = if target.len() == 1 {
+            (pred[(0, 0)] >= 0.0) == (target[0] >= 0.5)
+        } else {
+            let am = |r: &[f64]| {
+                r.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .unwrap()
+                    .0
+            };
+            am(pred.row(0)) == am(target)
+        };
+        hits += usize::from(ok);
+    }
+    hits as f64 / data.len() as f64
+}
+
+/// Semi-supervised node classification (slide 16's second example:
+/// cora papers with topics): one graph, loss restricted to the
+/// training-mask vertices.
+pub fn train_node_classifier(
+    model: &mut VertexModel,
+    g: &Graph,
+    targets: &Matrix,
+    train_mask: &[Vertex],
+    opt: &mut dyn Optimizer,
+    epochs: usize,
+) -> TrainLog {
+    assert_eq!(targets.rows(), g.num_vertices(), "one target row per vertex");
+    let mut log = TrainLog::default();
+    for _ in 0..epochs {
+        model.zero_grads();
+        let pred = model.forward(g);
+        // Masked softmax cross entropy: build masked matrices.
+        let m = train_mask.len().max(1);
+        let mut masked_pred = Matrix::zeros(m, pred.cols());
+        let mut masked_tgt = Matrix::zeros(m, pred.cols());
+        for (i, &v) in train_mask.iter().enumerate() {
+            masked_pred.set_row(i, pred.row(v as usize));
+            masked_tgt.set_row(i, targets.row(v as usize));
+        }
+        let (l, grad_masked) = Loss::SoftmaxCrossEntropy.eval(&masked_pred, &masked_tgt);
+        // Scatter gradients back to the full vertex set.
+        let mut grad = Matrix::zeros(pred.rows(), pred.cols());
+        for (i, &v) in train_mask.iter().enumerate() {
+            grad.set_row(v as usize, grad_masked.row(i));
+        }
+        model.backward(g, &grad);
+        opt.step(model);
+        log.losses.push(l);
+    }
+    log
+}
+
+/// Accuracy of a node classifier on the given vertices.
+pub fn eval_node_accuracy(
+    model: &VertexModel,
+    g: &Graph,
+    targets: &Matrix,
+    mask: &[Vertex],
+) -> f64 {
+    let pred = model.infer(g);
+    let mut masked_pred = Matrix::zeros(mask.len(), pred.cols());
+    let mut masked_tgt = Matrix::zeros(mask.len(), pred.cols());
+    for (i, &v) in mask.iter().enumerate() {
+        masked_pred.set_row(i, pred.row(v as usize));
+        masked_tgt.set_row(i, targets.row(v as usize));
+    }
+    accuracy(&masked_pred, &masked_tgt)
+}
+
+/// Link prediction (slide 9: a 2-vertex embedding): scores a pair by
+/// the sigmoid of the dot product of the endpoints' vertex embeddings,
+/// trained with binary cross entropy on positive/negative pairs.
+pub struct LinkPredictor {
+    /// The underlying vertex-embedding model.
+    pub encoder: VertexModel,
+}
+
+impl LinkPredictor {
+    /// Scores every pair in `pairs` ∈ (0, 1).
+    pub fn score(&self, g: &Graph, pairs: &[(Vertex, Vertex)]) -> Vec<f64> {
+        let z = self.encoder.infer(g);
+        pairs
+            .iter()
+            .map(|&(u, v)| {
+                let dot: f64 =
+                    z.row(u as usize).iter().zip(z.row(v as usize)).map(|(a, b)| a * b).sum();
+                1.0 / (1.0 + (-dot).exp())
+            })
+            .collect()
+    }
+
+    /// One epoch of BCE training over labelled pairs
+    /// (`label ∈ {0.0, 1.0}`). Returns the mean loss.
+    pub fn train_epoch(
+        &mut self,
+        g: &Graph,
+        pairs: &[((Vertex, Vertex), f64)],
+        opt: &mut dyn Optimizer,
+    ) -> f64 {
+        self.encoder.zero_grads();
+        let z = self.encoder.forward(g);
+        let n = z.rows();
+        let d = z.cols();
+        let m = pairs.len().max(1) as f64;
+        let mut grad_z = Matrix::zeros(n, d);
+        let mut total = 0.0;
+        for &((u, v), label) in pairs {
+            let (u, v) = (u as usize, v as usize);
+            let dot: f64 = z.row(u).iter().zip(z.row(v)).map(|(a, b)| a * b).sum();
+            let p = 1.0 / (1.0 + (-dot).exp());
+            let eps = 1e-12;
+            total += -(label * (p.max(eps)).ln() + (1.0 - label) * ((1.0 - p).max(eps)).ln());
+            // d(BCE)/d(dot) = p − label; chain to both endpoints.
+            let gd = (p - label) / m;
+            for c in 0..d {
+                grad_z[(u, c)] += gd * z[(v, c)];
+                grad_z[(v, c)] += gd * z[(u, c)];
+            }
+        }
+        self.encoder.backward(g, &grad_z);
+        opt.step(&mut self.encoder);
+        total / m
+    }
+
+    /// Classification accuracy at threshold 0.5.
+    pub fn eval_accuracy(
+        &self,
+        g: &Graph,
+        positives: &[(Vertex, Vertex)],
+        negatives: &[(Vertex, Vertex)],
+    ) -> f64 {
+        let pos = self.score(g, positives);
+        let neg = self.score(g, negatives);
+        let hits = pos.iter().filter(|&&p| p >= 0.5).count()
+            + neg.iter().filter(|&&p| p < 0.5).count();
+        hits as f64 / (pos.len() + neg.len()).max(1) as f64
+    }
+}
+
+/// Per-vertex regression (used by the approximation experiments E5 and
+/// E12): fit `targets[v]` with MSE over all vertices of one graph per
+/// example.
+pub fn train_vertex_regression(
+    model: &mut VertexModel,
+    data: &[(Graph, Vec<f64>)],
+    opt: &mut dyn Optimizer,
+    epochs: usize,
+) -> TrainLog {
+    // Full-batch, like `train_graph_model`.
+    let mut log = TrainLog::default();
+    let m = data.len().max(1) as f64;
+    for _ in 0..epochs {
+        model.zero_grads();
+        let mut total = 0.0;
+        for (g, target) in data {
+            let pred = model.forward(g);
+            assert_eq!(pred.cols(), 1, "regression expects 1-dim output");
+            let t = Matrix::from_vec(target.len(), 1, target.clone());
+            let (l, grad) = Loss::Mse.eval(&pred, &t);
+            model.backward(g, &grad.scale(1.0 / m));
+            total += l;
+        }
+        opt.step(model);
+        log.losses.push(total / m);
+    }
+    log
+}
+
+/// Mean squared error of a vertex regression model over a dataset.
+pub fn eval_vertex_mse(model: &VertexModel, data: &[(Graph, Vec<f64>)]) -> f64 {
+    let mut total = 0.0;
+    for (g, target) in data {
+        let pred = model.infer(g);
+        let t = Matrix::from_vec(target.len(), 1, target.clone());
+        total += Loss::Mse.eval(&pred, &t).0;
+    }
+    total / data.len().max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{GraphModel, VertexModel};
+    use crate::layers::GnnAgg;
+    use gel_graph::families::{cycle, path, star};
+    use gel_tensor::{Activation, Adam};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn graph_classifier_learns_star_vs_cycle() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut model = GraphModel::gin(1, 8, 2, 1, Activation::Identity, &mut rng);
+        model.readout = crate::models::Readout::Mean;
+        let data: Vec<(gel_graph::Graph, Vec<f64>)> = vec![
+            (star(4), vec![1.0]),
+            (cycle(5), vec![0.0]),
+            (star(5), vec![1.0]),
+            (cycle(6), vec![0.0]),
+            (star(6), vec![1.0]),
+            (cycle(7), vec![0.0]),
+        ];
+        let mut opt = Adam::new(0.02);
+        let log = train_graph_model(&mut model, &data, Loss::BceWithLogits, &mut opt, 600);
+        assert!(log.final_loss() < 0.05, "loss stuck at {}", log.final_loss());
+        assert_eq!(eval_graph_accuracy(&model, &data), 1.0);
+    }
+
+    #[test]
+    fn node_classifier_learns_endpoint_detection() {
+        // Classify path vertices as endpoint / interior — degree
+        // information, learnable in one layer.
+        let mut rng = StdRng::seed_from_u64(8);
+        let g = path(8);
+        let mut targets = Matrix::zeros(8, 2);
+        for v in 0..8 {
+            let class = usize::from(v == 0 || v == 7);
+            targets[(v, class)] = 1.0;
+        }
+        let mut model = VertexModel::gnn101(1, 6, 2, 2, GnnAgg::Sum, &mut rng);
+        let mut opt = Adam::new(0.02);
+        let train_mask: Vec<u32> = vec![0, 1, 2, 7];
+        train_node_classifier(&mut model, &g, &targets, &train_mask, &mut opt, 200);
+        let all: Vec<u32> = (0..8).collect();
+        let acc = eval_node_accuracy(&model, &g, &targets, &all);
+        assert!(acc >= 0.99, "accuracy {acc}");
+    }
+
+    #[test]
+    fn link_predictor_learns_parity_on_labelled_graph() {
+        // Predict edges of a path using informative labels.
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = path(6).with_labels(
+            vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0],
+            2,
+        );
+        let mut lp = LinkPredictor {
+            encoder: VertexModel::gnn101(2, 8, 2, 4, GnnAgg::Sum, &mut rng),
+        };
+        let pos: Vec<(u32, u32)> = (0..5).map(|i| (i, i + 1)).collect();
+        let neg: Vec<(u32, u32)> = vec![(0, 2), (0, 3), (1, 4), (2, 5), (0, 5)];
+        let pairs: Vec<((u32, u32), f64)> = pos
+            .iter()
+            .map(|&p| (p, 1.0))
+            .chain(neg.iter().map(|&p| (p, 0.0)))
+            .collect();
+        let mut opt = Adam::new(0.02);
+        let mut last = f64::INFINITY;
+        for _ in 0..300 {
+            last = lp.train_epoch(&g, &pairs, &mut opt);
+        }
+        assert!(last < 0.2, "link loss {last}");
+        assert!(lp.eval_accuracy(&g, &pos, &neg) >= 0.9);
+    }
+
+    #[test]
+    fn vertex_regression_fits_degree() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut model = VertexModel::gnn101(1, 6, 1, 1, GnnAgg::Sum, &mut rng);
+        let data: Vec<(gel_graph::Graph, Vec<f64>)> = [star(3), path(5), cycle(4)]
+            .into_iter()
+            .map(|g| {
+                let degs: Vec<f64> = g.vertices().map(|v| g.degree(v) as f64).collect();
+                (g, degs)
+            })
+            .collect();
+        let mut opt = Adam::new(0.02);
+        let log = train_vertex_regression(&mut model, &data, &mut opt, 300);
+        assert!(log.final_loss() < 0.05, "degree regression stuck at {}", log.final_loss());
+        assert!(eval_vertex_mse(&model, &data) < 0.05);
+    }
+}

@@ -1,0 +1,404 @@
+//! A trainable higher-order GNN operating on vertex *pairs* — the
+//! direct (linear-algebra) counterpart of the folklore-2-WL simulation
+//! in `gel-lang::wl_sim`, and the "2-GNN / δ-k-GNN" family of Morris
+//! et al. that the paper places in `GEL₃(Ω,Θ)` (slides 63, 66–67).
+//!
+//! Features live on ordered pairs `(u, v) ∈ V²`; a layer performs the
+//! folklore update
+//!
+//! ```text
+//! H'(u,v) = σ( H(u,v)·W₀ + Σ_w σ([H(w,v) ‖ H(u,w)]·W₁ + b₁) + b )
+//! ```
+//!
+//! The inner non-linearity is load-bearing: summing the concatenated
+//! pair through a *linear* map factors into the two marginals
+//! `Σ_w H(w,v)` and `Σ_w H(u,w)`, destroying exactly the w-coupling
+//! that lifts folklore 2-WL above colour refinement. With it, the
+//! paper's recipe bounds the class by folklore 2-WL, and random
+//! weights attain the bound — the tests pin both sides on the hard
+//! pairs.
+
+use gel_graph::Graph;
+use gel_tensor::{Activation, Init, Matrix, Param, Parameterized};
+use rand::Rng;
+
+/// Initial pair features: one-hot atomic type (equal / edge / non-edge,
+/// with both directions for asymmetric graphs) concatenated with the
+/// endpoint labels — the slide-65 atomic colouring, vectorized.
+pub fn pair_features(g: &Graph) -> Matrix {
+    let n = g.num_vertices();
+    let d = g.label_dim();
+    let dim = 4 + 2 * d;
+    let mut x = Matrix::zeros(n * n, dim);
+    for u in 0..n as u32 {
+        for v in 0..n as u32 {
+            let row = x.row_mut(u as usize * n + v as usize);
+            if u == v {
+                row[0] = 1.0;
+            }
+            if g.has_edge(u, v) {
+                row[1] = 1.0;
+            }
+            if g.has_edge(v, u) {
+                row[2] = 1.0;
+            }
+            row[3] = 1.0; // bias feature
+            row[4..4 + d].copy_from_slice(g.label(u));
+            row[4 + d..4 + 2 * d].copy_from_slice(g.label(v));
+        }
+    }
+    x
+}
+
+/// Dimension of [`pair_features`] for label dimension `d`.
+pub fn pair_feature_dim(label_dim: usize) -> usize {
+    4 + 2 * label_dim
+}
+
+/// One folklore tuple-message-passing layer.
+pub struct TupleConv {
+    /// Self weight `W₀ : d_in × d_out`.
+    pub w_self: Param,
+    /// Message weight `W₁ : 2·d_in × d_out`, applied per substitution
+    /// *before* the inner non-linearity and the sum over `w`.
+    pub w_msg: Param,
+    /// Message bias `b₁`.
+    pub b_msg: Param,
+    /// Output bias.
+    pub b: Param,
+    /// Outer σ.
+    pub activation: Activation,
+    /// Inner σ applied per substitution (fixed to `tanh`: bounded, so
+    /// deep stacks stay numerically tame).
+    pub msg_activation: Activation,
+    cache: Option<(Matrix, Matrix)>, // (x, pre)
+}
+
+impl TupleConv {
+    /// New randomly initialized layer.
+    pub fn new(d_in: usize, d_out: usize, activation: Activation, rng: &mut impl Rng) -> Self {
+        Self {
+            w_self: Param::new(Init::Xavier.matrix(d_in, d_out, rng)),
+            w_msg: Param::new(Init::Xavier.matrix(2 * d_in, d_out, rng)),
+            b_msg: Param::new(Init::Uniform(0.5).matrix(1, d_out, rng)),
+            b: Param::new(Matrix::zeros(1, d_out)),
+            activation,
+            msg_activation: Activation::Tanh,
+            cache: None,
+        }
+    }
+
+    /// The coupled folklore message
+    /// `M(u,v) = Σ_w σ₁([H(w,v) ‖ H(u,w)]·W₁ + b₁)` (`n² × d_out`).
+    fn messages(&self, n: usize, x: &Matrix) -> Matrix {
+        let d = x.cols();
+        let d_out = self.w_msg.value.cols();
+        let mut msg = Matrix::zeros(n * n, d_out);
+        let mut input = vec![0.0; 2 * d];
+        let mut z = vec![0.0; d_out];
+        for u in 0..n {
+            for v in 0..n {
+                let row_idx = u * n + v;
+                for w in 0..n {
+                    input[..d].copy_from_slice(x.row(w * n + v));
+                    input[d..].copy_from_slice(x.row(u * n + w));
+                    self.msg_pre(&input, &mut z);
+                    let row = msg.row_mut(row_idx);
+                    for (o, &zi) in row.iter_mut().zip(&z) {
+                        *o += self.msg_activation.apply(zi);
+                    }
+                }
+            }
+        }
+        msg
+    }
+
+    /// `z = input·W₁ + b₁`.
+    fn msg_pre(&self, input: &[f64], z: &mut [f64]) {
+        z.copy_from_slice(self.b_msg.value.row(0));
+        for (i, &xi) in input.iter().enumerate() {
+            if xi == 0.0 {
+                continue;
+            }
+            for (zj, &wij) in z.iter_mut().zip(self.w_msg.value.row(i)) {
+                *zj += xi * wij;
+            }
+        }
+    }
+
+    /// Forward over the `n² × d_in` pair features.
+    pub fn forward(&mut self, n: usize, x: &Matrix) -> Matrix {
+        assert_eq!(x.rows(), n * n, "pair features must be n² rows");
+        let msg = self.messages(n, x);
+        let mut pre = x.matmul(&self.w_self.value);
+        pre += &msg;
+        pre.add_row_broadcast(self.b.value.row(0));
+        let out = self.activation.apply_matrix(&pre);
+        self.cache = Some((x.clone(), pre));
+        out
+    }
+
+    /// Inference without caching.
+    pub fn infer(&self, n: usize, x: &Matrix) -> Matrix {
+        let msg = self.messages(n, x);
+        let mut pre = x.matmul(&self.w_self.value);
+        pre += &msg;
+        pre.add_row_broadcast(self.b.value.row(0));
+        self.activation.apply_matrix(&pre)
+    }
+
+    /// Backward; returns `∂L/∂X`. Recomputes the per-substitution
+    /// pre-activations from the cached input instead of storing all n³
+    /// of them.
+    pub fn backward(&mut self, n: usize, grad_out: &Matrix) -> Matrix {
+        let (x, pre) = self.cache.take().expect("backward before forward");
+        let act = self.activation;
+        let delta = Matrix::from_fn(grad_out.rows(), grad_out.cols(), |i, j| {
+            grad_out[(i, j)] * act.derivative(pre[(i, j)])
+        });
+        self.w_self.grad += &x.t_matmul(&delta);
+        for (gb, &dcol) in self.b.grad.data_mut().iter_mut().zip(delta.column_sums().iter()) {
+            *gb += dcol;
+        }
+        let mut grad_x = delta.matmul_t(&self.w_self.value);
+
+        // Message path.
+        let d = x.cols();
+        let d_out = self.w_msg.value.cols();
+        let mut input = vec![0.0; 2 * d];
+        let mut z = vec![0.0; d_out];
+        let mut gz = vec![0.0; d_out];
+        for u in 0..n {
+            for v in 0..n {
+                let gm = delta.row(u * n + v);
+                for w in 0..n {
+                    input[..d].copy_from_slice(x.row(w * n + v));
+                    input[d..].copy_from_slice(x.row(u * n + w));
+                    self.msg_pre(&input, &mut z);
+                    for ((gzi, &zi), &gmi) in gz.iter_mut().zip(&z).zip(gm) {
+                        *gzi = gmi * self.msg_activation.derivative(zi);
+                    }
+                    // Parameter grads.
+                    for (gb, &g) in
+                        self.b_msg.grad.data_mut().iter_mut().zip(&gz)
+                    {
+                        *gb += g;
+                    }
+                    for (i, &xi) in input.iter().enumerate() {
+                        if xi != 0.0 {
+                            for (gw, &g) in self.w_msg.grad.row_mut(i).iter_mut().zip(&gz) {
+                                *gw += xi * g;
+                            }
+                        }
+                    }
+                    // Input grads via W₁ᵀ.
+                    for half in 0..2 {
+                        let target = if half == 0 { w * n + v } else { u * n + w };
+                        let row = grad_x.row_mut(target);
+                        for (i, o) in row.iter_mut().enumerate() {
+                            let wi = half * d + i;
+                            let mut acc = 0.0;
+                            for (j, &g) in gz.iter().enumerate() {
+                                acc += g * self.w_msg.value[(wi, j)];
+                            }
+                            *o += acc;
+                        }
+                    }
+                }
+            }
+        }
+        grad_x
+    }
+}
+
+impl Parameterized for TupleConv {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.w_self);
+        f(&mut self.w_msg);
+        f(&mut self.b_msg);
+        f(&mut self.b);
+    }
+}
+
+/// A complete 2-GNN graph model: tuple convolutions + sum readout over
+/// all pairs + a linear head.
+pub struct TupleGnn {
+    /// Convolution stack.
+    pub convs: Vec<TupleConv>,
+    /// Head weights (`d × out_dim`).
+    pub head: Param,
+    cache_n: usize,
+    head_cache: Option<Matrix>,
+}
+
+impl TupleGnn {
+    /// `depth` layers of width `hidden` for graphs with `label_dim`
+    /// labels.
+    pub fn new(
+        label_dim: usize,
+        hidden: usize,
+        depth: usize,
+        out_dim: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let mut convs = Vec::new();
+        let mut d = pair_feature_dim(label_dim);
+        for _ in 0..depth {
+            convs.push(TupleConv::new(d, hidden, Activation::Tanh, rng));
+            d = hidden;
+        }
+        Self {
+            convs,
+            head: Param::new(Init::Xavier.matrix(d, out_dim, rng)),
+            cache_n: 0,
+            head_cache: None,
+        }
+    }
+
+    /// Graph embedding (`1 × out_dim`).
+    pub fn infer(&self, g: &Graph) -> Matrix {
+        let n = g.num_vertices();
+        let mut x = pair_features(g);
+        for conv in &self.convs {
+            x = conv.infer(n, &x);
+        }
+        Matrix::row_vector(&x.column_sums()).matmul(&self.head.value)
+    }
+
+    /// Forward with caching.
+    pub fn forward(&mut self, g: &Graph) -> Matrix {
+        let n = g.num_vertices();
+        self.cache_n = n;
+        let mut x = pair_features(g);
+        for conv in &mut self.convs {
+            x = conv.forward(n, &x);
+        }
+        let pooled = Matrix::row_vector(&x.column_sums());
+        let out = pooled.matmul(&self.head.value);
+        self.head_cache = Some(pooled);
+        out
+    }
+
+    /// Backward from the graph-level gradient.
+    pub fn backward(&mut self, grad_out: &Matrix) {
+        let n = self.cache_n;
+        let pooled = self.head_cache.take().expect("backward before forward");
+        self.head.grad += &pooled.t_matmul(grad_out);
+        let grad_pooled = grad_out.matmul_t(&self.head.value);
+        let d = grad_pooled.cols();
+        let mut grad_x = Matrix::zeros(n * n, d);
+        for i in 0..n * n {
+            grad_x.row_mut(i).copy_from_slice(grad_pooled.row(0));
+        }
+        let mut grad = grad_x;
+        for conv in self.convs.iter_mut().rev() {
+            grad = conv.backward(n, &grad);
+        }
+    }
+}
+
+impl Parameterized for TupleGnn {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for c in &mut self.convs {
+            c.visit_params(f);
+        }
+        f(&mut self.head);
+    }
+}
+
+/// Random-probe separation for the 2-GNN class (the tuple analogue of
+/// `separation::gnn_separates`).
+pub fn tuple_gnn_separates(g: &Graph, h: &Graph, trials: usize, layers: usize, seed: u64) -> bool {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    assert_eq!(g.label_dim(), h.label_dim());
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..trials {
+        let model = TupleGnn::new(g.label_dim(), 6, layers, 6, &mut rng);
+        if !model.infer(g).approx_eq(&model.infer(h), 1e-7) {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gel_graph::families::{cr_blind_pair, srg_16_6_2_2_pair};
+    use gel_graph::random::{erdos_renyi, random_permutation};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pair_features_shape_and_content() {
+        let g = gel_graph::families::path(3);
+        let x = pair_features(&g);
+        assert_eq!(x.shape(), (9, pair_feature_dim(1)));
+        // (0,0): equal; (0,1): edge both ways; (0,2): neither.
+        assert_eq!(x.row(0)[0], 1.0);
+        assert_eq!(x.row(1)[1], 1.0);
+        assert_eq!(x.row(1)[2], 1.0);
+        assert_eq!(x.row(2)[..3], [0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = erdos_renyi(4, 0.5, &mut rng);
+        let mut model = TupleGnn::new(1, 3, 2, 1, &mut rng);
+        model.zero_grads();
+        let y = model.forward(&g);
+        model.backward(&Matrix::filled(1, 1, 1.0));
+        let _ = y;
+        let h = 1e-6;
+        let analytic = {
+            let mut a = None;
+            model.visit_params(&mut |p| {
+                if a.is_none() {
+                    a = Some(p.grad.data()[0]);
+                }
+            });
+            a.unwrap()
+        };
+        let bump = |m: &mut TupleGnn, d: f64| {
+            let mut done = false;
+            m.visit_params(&mut |p| {
+                if !done {
+                    p.value.data_mut()[0] += d;
+                    done = true;
+                }
+            });
+        };
+        bump(&mut model, h);
+        let up = model.infer(&g).sum();
+        bump(&mut model, -2.0 * h);
+        let dn = model.infer(&g).sum();
+        bump(&mut model, h);
+        let numeric = (up - dn) / (2.0 * h);
+        assert!((numeric - analytic).abs() < 1e-4, "numeric {numeric} vs {analytic}");
+    }
+
+    #[test]
+    fn separates_the_cr_blind_pair() {
+        // The decisive test: 2-GNNs exceed MPNN power (slide 67).
+        let (a, b) = cr_blind_pair();
+        assert!(tuple_gnn_separates(&a, &b, 8, 2, 3));
+    }
+
+    #[test]
+    fn blind_on_the_srg_pair() {
+        // ... but are still bounded by folklore 2-WL (slide 66): the
+        // srg(16,6,2,2) pair stays invisible.
+        let (s, r) = srg_16_6_2_2_pair();
+        assert!(!tuple_gnn_separates(&s, &r, 6, 2, 4));
+    }
+
+    #[test]
+    fn invariant_under_permutation() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = erdos_renyi(6, 0.5, &mut rng);
+        let h = g.permute(&random_permutation(6, &mut rng));
+        assert!(!tuple_gnn_separates(&g, &h, 8, 2, 5));
+    }
+}

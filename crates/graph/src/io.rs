@@ -1,0 +1,206 @@
+//! Plain-text graph interchange: a minimal edge-list format for
+//! loading corpora from disk, and Graphviz DOT export for eyeballing
+//! the witnesses.
+//!
+//! Edge-list format (`#`-comments allowed):
+//!
+//! ```text
+//! n <num_vertices> [label_dim]
+//! v <vertex> <l_0> … <l_{d−1}>     # optional label lines
+//! e <u> <v>                        # undirected edge
+//! a <u> <v>                        # directed arc
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::graph::{Graph, GraphBuilder, Vertex};
+
+/// Errors from [`parse_edge_list`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeListError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Message.
+    pub msg: String,
+}
+
+impl std::fmt::Display for EdgeListError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "edge list error on line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for EdgeListError {}
+
+/// Parses the edge-list format described in the module docs.
+pub fn parse_edge_list(input: &str) -> Result<Graph, EdgeListError> {
+    let err = |line: usize, msg: &str| EdgeListError { line, msg: msg.to_string() };
+    let mut builder: Option<GraphBuilder> = None;
+    for (i, raw) in input.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let tag = parts.next().unwrap();
+        match tag {
+            "n" => {
+                if builder.is_some() {
+                    return Err(err(line_no, "duplicate 'n' header"));
+                }
+                let n: usize = parts
+                    .next()
+                    .ok_or_else(|| err(line_no, "missing vertex count"))?
+                    .parse()
+                    .map_err(|_| err(line_no, "bad vertex count"))?;
+                let dim: usize = match parts.next() {
+                    Some(d) => d.parse().map_err(|_| err(line_no, "bad label dim"))?,
+                    None => 1,
+                };
+                builder = Some(GraphBuilder::with_label_dim(n, dim));
+            }
+            "v" | "e" | "a" => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| err(line_no, "'n' header must come first"))?;
+                let u: u32 = parts
+                    .next()
+                    .ok_or_else(|| err(line_no, "missing vertex id"))?
+                    .parse()
+                    .map_err(|_| err(line_no, "bad vertex id"))?;
+                if (u as usize) >= b.num_vertices() {
+                    return Err(err(line_no, "vertex id out of range"));
+                }
+                if tag == "v" {
+                    let label: Result<Vec<f64>, _> = parts.map(str::parse).collect();
+                    let label = label.map_err(|_| err(line_no, "bad label value"))?;
+                    if label.len() != b.label_dim() {
+                        return Err(err(line_no, "label dimension mismatch"));
+                    }
+                    b.set_label(u as Vertex, &label);
+                } else {
+                    let v: u32 = parts
+                        .next()
+                        .ok_or_else(|| err(line_no, "missing second vertex"))?
+                        .parse()
+                        .map_err(|_| err(line_no, "bad vertex id"))?;
+                    if (v as usize) >= b.num_vertices() {
+                        return Err(err(line_no, "vertex id out of range"));
+                    }
+                    if tag == "e" {
+                        b.add_edge(u, v);
+                    } else {
+                        b.add_arc(u, v);
+                    }
+                }
+            }
+            other => return Err(err(line_no, &format!("unknown tag {other:?}"))),
+        }
+    }
+    builder
+        .map(GraphBuilder::build)
+        .ok_or_else(|| err(1, "empty input (no 'n' header)"))
+}
+
+/// Serializes to the edge-list format (inverse of [`parse_edge_list`]).
+pub fn to_edge_list(g: &Graph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "n {} {}", g.num_vertices(), g.label_dim());
+    for v in g.vertices() {
+        let _ = write!(out, "v {v}");
+        for x in g.label(v) {
+            let _ = write!(out, " {x}");
+        }
+        out.push('\n');
+    }
+    if g.is_symmetric() {
+        for (u, v) in g.edges_undirected() {
+            let _ = writeln!(out, "e {u} {v}");
+        }
+    } else {
+        for (u, v) in g.arcs() {
+            let _ = writeln!(out, "a {u} {v}");
+        }
+    }
+    out
+}
+
+/// Graphviz DOT export (undirected graphs use `graph`/`--`, directed
+/// `digraph`/`->`). Labels are rendered on the nodes.
+pub fn to_dot(g: &Graph, name: &str) -> String {
+    let mut out = String::new();
+    let (kind, arrow) = if g.is_symmetric() { ("graph", "--") } else { ("digraph", "->") };
+    let _ = writeln!(out, "{kind} {name} {{");
+    for v in g.vertices() {
+        let label: Vec<String> = g.label(v).iter().map(|x| format!("{x}")).collect();
+        let _ = writeln!(out, "  {v} [label=\"{v}: [{}]\"];", label.join(","));
+    }
+    if g.is_symmetric() {
+        for (u, v) in g.edges_undirected() {
+            let _ = writeln!(out, "  {u} {arrow} {v};");
+        }
+    } else {
+        for (u, v) in g.arcs() {
+            let _ = writeln!(out, "  {u} {arrow} {v};");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families::{cycle, path};
+
+    #[test]
+    fn roundtrip_unlabeled() {
+        let g = cycle(5);
+        let text = to_edge_list(&g);
+        let back = parse_edge_list(&text).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn roundtrip_labeled() {
+        let g = path(3).with_labels(vec![1.5, 0.0, 2.0, -1.0, 0.25, 3.0], 2);
+        let back = parse_edge_list(&to_edge_list(&g)).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn roundtrip_directed() {
+        let mut b = crate::graph::GraphBuilder::new(3);
+        b.add_arc(0, 1).add_arc(2, 1);
+        let g = b.build();
+        let back = parse_edge_list(&to_edge_list(&g)).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn parses_comments_and_whitespace() {
+        let g = parse_edge_list("# a triangle\nn 3\n\ne 0 1  # first\ne 1 2\ne 0 2\n").unwrap();
+        assert_eq!(g.triangle_count(), 1);
+    }
+
+    #[test]
+    fn reports_errors_with_line_numbers() {
+        assert_eq!(parse_edge_list("e 0 1").unwrap_err().line, 1);
+        assert_eq!(parse_edge_list("n 2\ne 0 5").unwrap_err().line, 2);
+        assert!(parse_edge_list("").is_err());
+        assert!(parse_edge_list("n 2\nz 0 1").is_err());
+    }
+
+    #[test]
+    fn dot_output_shape() {
+        let dot = to_dot(&cycle(3), "c3");
+        assert!(dot.starts_with("graph c3 {"));
+        assert_eq!(dot.matches("--").count(), 3);
+        let mut b = crate::graph::GraphBuilder::new(2);
+        b.add_arc(0, 1);
+        let ddot = to_dot(&b.build(), "d");
+        assert!(ddot.starts_with("digraph"));
+        assert!(ddot.contains("0 -> 1"));
+    }
+}

@@ -1,0 +1,233 @@
+//! Random graph generators (corpus material for the falsification
+//! harnesses and workload generators for the learning experiments).
+//!
+//! All generators take an explicit RNG so every experiment in
+//! EXPERIMENTS.md is reproducible from a seed.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::graph::{Graph, GraphBuilder, Vertex};
+
+/// Erdős–Rényi `G(n, p)`: each undirected edge present independently
+/// with probability `p`.
+pub fn erdos_renyi(n: usize, p: f64, rng: &mut impl Rng) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen_bool(p) {
+                b.add_edge(i as Vertex, j as Vertex);
+            }
+        }
+    }
+    b.build()
+}
+
+/// A uniformly random labelled tree on `n` vertices via a random Prüfer
+/// sequence (`n ≥ 1`).
+pub fn random_tree(n: usize, rng: &mut impl Rng) -> Graph {
+    assert!(n >= 1);
+    if n == 1 {
+        return GraphBuilder::new(1).build();
+    }
+    if n == 2 {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1);
+        return b.build();
+    }
+    let prufer: Vec<usize> = (0..n - 2).map(|_| rng.gen_range(0..n)).collect();
+    let mut degree = vec![1usize; n];
+    for &p in &prufer {
+        degree[p] += 1;
+    }
+    let mut b = GraphBuilder::new(n);
+    // Min-leaf extraction (O(n log n) with a heap; n is small, use scan-free heap).
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = (0..n)
+        .filter(|&v| degree[v] == 1)
+        .map(std::cmp::Reverse)
+        .collect();
+    let mut deg = degree;
+    for &p in &prufer {
+        let std::cmp::Reverse(leaf) = heap.pop().expect("prufer invariant");
+        b.add_edge(leaf as Vertex, p as Vertex);
+        deg[leaf] -= 1;
+        deg[p] -= 1;
+        if deg[p] == 1 {
+            heap.push(std::cmp::Reverse(p));
+        }
+    }
+    let std::cmp::Reverse(u) = heap.pop().unwrap();
+    let std::cmp::Reverse(v) = heap.pop().unwrap();
+    b.add_edge(u as Vertex, v as Vertex);
+    b.build()
+}
+
+/// A random `d`-regular simple graph via the configuration model with
+/// rejection (retries until a simple matching is found).
+///
+/// # Panics
+/// Panics if `n · d` is odd or `d ≥ n`.
+pub fn random_regular(n: usize, d: usize, rng: &mut impl Rng) -> Graph {
+    assert!(n * d % 2 == 0, "n*d must be even");
+    assert!(d < n, "degree must be below n");
+    'retry: loop {
+        let mut stubs: Vec<Vertex> = (0..n as u32).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+        stubs.shuffle(rng);
+        let mut seen = std::collections::HashSet::new();
+        let mut edges = Vec::with_capacity(n * d / 2);
+        for pair in stubs.chunks(2) {
+            let (u, v) = (pair[0], pair[1]);
+            if u == v {
+                continue 'retry;
+            }
+            let key = (u.min(v), u.max(v));
+            if !seen.insert(key) {
+                continue 'retry;
+            }
+            edges.push(key);
+        }
+        let mut b = GraphBuilder::new(n);
+        for (u, v) in edges {
+            b.add_edge(u, v);
+        }
+        return b.build();
+    }
+}
+
+/// A stochastic block model with `blocks[i]` vertices in block `i`,
+/// within-block edge probability `p_in` and across-block `p_out`.
+/// Returns the graph and the block id of every vertex.
+pub fn stochastic_block_model(
+    blocks: &[usize],
+    p_in: f64,
+    p_out: f64,
+    rng: &mut impl Rng,
+) -> (Graph, Vec<usize>) {
+    let n: usize = blocks.iter().sum();
+    let mut block_of = Vec::with_capacity(n);
+    for (i, &sz) in blocks.iter().enumerate() {
+        block_of.extend(std::iter::repeat(i).take(sz));
+    }
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let p = if block_of[i] == block_of[j] { p_in } else { p_out };
+            if rng.gen_bool(p) {
+                b.add_edge(i as Vertex, j as Vertex);
+            }
+        }
+    }
+    (b.build(), block_of)
+}
+
+/// Assigns uniformly random one-hot labels from `num_classes` classes.
+pub fn with_random_one_hot_labels(g: &Graph, num_classes: usize, rng: &mut impl Rng) -> Graph {
+    let n = g.num_vertices();
+    let mut labels = vec![0.0; n * num_classes];
+    for v in 0..n {
+        let c = rng.gen_range(0..num_classes);
+        labels[v * num_classes + c] = 1.0;
+    }
+    g.with_labels(labels, num_classes)
+}
+
+/// Assigns i.i.d. `U[0,1)` real labels of dimension `dim`.
+pub fn with_random_real_labels(g: &Graph, dim: usize, rng: &mut impl Rng) -> Graph {
+    let n = g.num_vertices();
+    let labels: Vec<f64> = (0..n * dim).map(|_| rng.gen::<f64>()).collect();
+    g.with_labels(labels, dim)
+}
+
+/// A uniformly random permutation of `0..n` (for invariance tests).
+pub fn random_permutation(n: usize, rng: &mut impl Rng) -> Vec<Vertex> {
+    let mut p: Vec<Vertex> = (0..n as u32).collect();
+    p.shuffle(rng);
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn er_edge_count_reasonable() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = erdos_renyi(50, 0.5, &mut rng);
+        let m = g.num_edges_undirected() as f64;
+        let expect = 0.5 * (50.0 * 49.0 / 2.0);
+        assert!((m - expect).abs() < 150.0, "edge count {m} far from {expect}");
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn er_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(erdos_renyi(10, 0.0, &mut rng).num_arcs(), 0);
+        assert_eq!(erdos_renyi(10, 1.0, &mut rng).num_edges_undirected(), 45);
+    }
+
+    #[test]
+    fn tree_is_tree() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for n in [1usize, 2, 3, 7, 20, 57] {
+            let t = random_tree(n, &mut rng);
+            assert_eq!(t.num_vertices(), n);
+            if n > 0 {
+                assert_eq!(t.num_edges_undirected(), n - 1);
+                assert_eq!(t.connected_components().0, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn regular_is_regular() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = random_regular(20, 3, &mut rng);
+        assert!(g.vertices().all(|v| g.degree(v) == 3));
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn regular_parity_check() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = random_regular(5, 3, &mut rng);
+    }
+
+    #[test]
+    fn sbm_blocks_denser_inside() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let (g, block) = stochastic_block_model(&[30, 30], 0.5, 0.02, &mut rng);
+        let mut inside = 0usize;
+        let mut across = 0usize;
+        for (u, v) in g.edges_undirected() {
+            if block[u as usize] == block[v as usize] {
+                inside += 1;
+            } else {
+                across += 1;
+            }
+        }
+        assert!(inside > 5 * across, "inside {inside} across {across}");
+    }
+
+    #[test]
+    fn one_hot_labels_valid() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = with_random_one_hot_labels(&erdos_renyi(10, 0.3, &mut rng), 4, &mut rng);
+        for v in g.vertices() {
+            let l = g.label(v);
+            assert_eq!(l.iter().sum::<f64>(), 1.0);
+            assert!(l.iter().all(|&x| x == 0.0 || x == 1.0));
+        }
+    }
+
+    #[test]
+    fn generators_deterministic() {
+        let a = erdos_renyi(20, 0.3, &mut StdRng::seed_from_u64(99));
+        let b = erdos_renyi(20, 0.3, &mut StdRng::seed_from_u64(99));
+        assert_eq!(a, b);
+    }
+}

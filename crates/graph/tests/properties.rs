@@ -1,0 +1,84 @@
+//! Property-based tests for the graph substrate.
+
+use gel_graph::random::{erdos_renyi, random_permutation, random_tree};
+use gel_graph::{are_isomorphic, GraphBuilder};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn csr_neighbor_lists_sorted_and_deduped(seed in 0u64..5_000, n in 2usize..20, p in 0.0f64..1.0) {
+        let g = erdos_renyi(n, p, &mut StdRng::seed_from_u64(seed));
+        for v in g.vertices() {
+            let nbrs = g.out_neighbors(v);
+            prop_assert!(nbrs.windows(2).all(|w| w[0] < w[1]), "sorted, no duplicates");
+            for &u in nbrs {
+                prop_assert!(g.has_edge(v, u));
+                prop_assert!(g.has_edge(u, v), "ER graphs are symmetric");
+            }
+        }
+        // Handshake: Σ deg = #arcs.
+        let total: usize = g.vertices().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(total, g.num_arcs());
+    }
+
+    #[test]
+    fn permutation_roundtrip(seed in 0u64..5_000, n in 1usize..15) {
+        let g = erdos_renyi(n, 0.4, &mut StdRng::seed_from_u64(seed));
+        let perm = random_permutation(n, &mut StdRng::seed_from_u64(seed + 1));
+        // Inverse permutation brings the graph back exactly.
+        let mut inv = vec![0u32; n];
+        for (i, &p) in perm.iter().enumerate() {
+            inv[p as usize] = i as u32;
+        }
+        let back = g.permute(&perm).permute(&inv);
+        prop_assert_eq!(&back, &g);
+        prop_assert!(are_isomorphic(&g, &g.permute(&perm)));
+    }
+
+    #[test]
+    fn complement_is_involutive(seed in 0u64..5_000, n in 2usize..12) {
+        let g = erdos_renyi(n, 0.5, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(&g.complement().complement(), &g);
+    }
+
+    #[test]
+    fn disjoint_union_adds(seed in 0u64..5_000, n in 2usize..10, m in 2usize..10) {
+        let g = erdos_renyi(n, 0.4, &mut StdRng::seed_from_u64(seed));
+        let h = erdos_renyi(m, 0.4, &mut StdRng::seed_from_u64(seed + 1));
+        let u = g.disjoint_union(&h);
+        prop_assert_eq!(u.num_vertices(), n + m);
+        prop_assert_eq!(u.num_arcs(), g.num_arcs() + h.num_arcs());
+        prop_assert_eq!(
+            u.triangle_count(),
+            g.triangle_count() + h.triangle_count()
+        );
+    }
+
+    #[test]
+    fn trees_have_no_triangles_and_right_size(seed in 0u64..5_000, n in 1usize..25) {
+        let t = random_tree(n, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(t.triangle_count(), 0);
+        prop_assert_eq!(t.num_vertices(), n);
+        if n > 0 {
+            prop_assert_eq!(t.num_edges_undirected(), n - 1);
+        }
+    }
+
+    #[test]
+    fn builder_ignores_arc_insertion_order(seed in 0u64..5_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = erdos_renyi(8, 0.5, &mut rng);
+        // Rebuild with arcs in reverse order.
+        let mut arcs: Vec<_> = g.arcs().collect();
+        arcs.reverse();
+        let mut b = GraphBuilder::new(8);
+        for (u, v) in arcs {
+            b.add_arc(u, v);
+        }
+        prop_assert_eq!(&b.build(), &g);
+    }
+}

@@ -1,0 +1,281 @@
+//! General homomorphism counting by variable elimination, in the style
+//! of FAQ — "Functional Aggregate Queries" (Khamis, Ngo, Rudra, PODS
+//! 2016), which the paper points to on slide 70 when discussing how
+//! functions and aggregations behave as semiring operators.
+//!
+//! `hom(P, G)` is the sum-product query
+//! `Σ_{x₁…x_p} Π_{(a,b) ∈ E_P} A_G[x_a, x_b]`, evaluated by eliminating
+//! one pattern variable at a time with a min-degree heuristic. The
+//! running time is `O(p · n^{w+1})` where `w` is the induced width of
+//! the elimination order — the treewidth connection the paper draws for
+//! GEL fragments (slide 70, "semantic treewidth").
+
+use std::collections::BTreeSet;
+
+use gel_graph::{Graph, Vertex};
+
+/// A dense factor over a set of pattern variables: `table` is indexed
+/// mixed-radix by the assignments of `vars` (each ranging over
+/// `0..n_g`), most-significant variable first.
+#[derive(Debug, Clone)]
+struct Factor {
+    vars: Vec<u32>, // sorted pattern-variable ids
+    table: Vec<f64>,
+}
+
+impl Factor {
+    fn size_for(vars: &[u32], n: usize) -> usize {
+        n.checked_pow(vars.len() as u32).expect("factor too large")
+    }
+
+    /// Index into the table for the given full assignment.
+    fn index(&self, assign: &[u32], n: usize) -> usize {
+        let mut idx = 0usize;
+        for &v in &self.vars {
+            idx = idx * n + assign[v as usize] as usize;
+        }
+        idx
+    }
+}
+
+/// Multiplies all `factors` containing variable `var`, sums `var` out,
+/// and returns the resulting factor.
+fn eliminate(factors: Vec<Factor>, var: u32, n: usize) -> Vec<Factor> {
+    let (with, without): (Vec<Factor>, Vec<Factor>) =
+        factors.into_iter().partition(|f| f.vars.contains(&var));
+    if with.is_empty() {
+        // Free variable: summing it out multiplies by n.
+        let mut rest = without;
+        rest.push(Factor { vars: vec![], table: vec![n as f64] });
+        return rest;
+    }
+    // Union of variables minus the eliminated one.
+    let mut union: BTreeSet<u32> = BTreeSet::new();
+    for f in &with {
+        union.extend(f.vars.iter().copied());
+    }
+    union.remove(&var);
+    let out_vars: Vec<u32> = union.into_iter().collect();
+    let mut out =
+        Factor { vars: out_vars.clone(), table: vec![0.0; Factor::size_for(&out_vars, n)] };
+
+    // Enumerate assignments to out_vars × var.
+    let max_var = with
+        .iter()
+        .flat_map(|f| f.vars.iter())
+        .copied()
+        .max()
+        .unwrap_or(0);
+    let mut assign = vec![0u32; max_var as usize + 1];
+    let out_size = out.table.len();
+    for out_idx in 0..out_size {
+        // Decode out_idx into assign over out_vars.
+        let mut rest = out_idx;
+        for &v in out.vars.iter().rev() {
+            assign[v as usize] = (rest % n) as u32;
+            rest /= n;
+        }
+        let mut acc = 0.0;
+        for w in 0..n as u32 {
+            assign[var as usize] = w;
+            let mut prod = 1.0;
+            for f in &with {
+                prod *= f.table[f.index(&assign, n)];
+                if prod == 0.0 {
+                    break;
+                }
+            }
+            acc += prod;
+        }
+        out.table[out_idx] = acc;
+    }
+    let mut rest = without;
+    rest.push(out);
+    rest
+}
+
+/// A min-degree elimination order for the pattern `p` (ties broken by
+/// id). Returns the order and its induced width.
+pub fn min_degree_order(p: &Graph) -> (Vec<u32>, usize) {
+    let n = p.num_vertices();
+    // Moralized working adjacency (undirected).
+    let mut adj: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); n];
+    for (a, b) in p.arcs() {
+        if a != b {
+            adj[a as usize].insert(b);
+            adj[b as usize].insert(a);
+        }
+    }
+    let mut eliminated = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut width = 0usize;
+    for _ in 0..n {
+        let v = (0..n as u32)
+            .filter(|&v| !eliminated[v as usize])
+            .min_by_key(|&v| (adj[v as usize].len(), v))
+            .unwrap();
+        width = width.max(adj[v as usize].len());
+        // Connect neighbours (fill-in).
+        let nbrs: Vec<u32> = adj[v as usize].iter().copied().collect();
+        for i in 0..nbrs.len() {
+            for j in (i + 1)..nbrs.len() {
+                adj[nbrs[i] as usize].insert(nbrs[j]);
+                adj[nbrs[j] as usize].insert(nbrs[i]);
+            }
+        }
+        for &w in &nbrs {
+            adj[w as usize].remove(&v);
+        }
+        eliminated[v as usize] = true;
+        order.push(v);
+    }
+    (order, width)
+}
+
+/// Counts homomorphisms from an arbitrary pattern `p` into `g`
+/// (structure only; labels ignored). Both directed and undirected
+/// patterns are supported: each arc of `p` contributes an adjacency
+/// factor of `g`.
+///
+/// Cost is exponential only in the induced width of the elimination
+/// order (≈ treewidth of `p`); patterns in the corpus have width ≤ 2.
+pub fn hom_count(p: &Graph, g: &Graph) -> f64 {
+    let np = p.num_vertices();
+    let n = g.num_vertices();
+    if np == 0 {
+        return 1.0;
+    }
+    if n == 0 {
+        return 0.0;
+    }
+    // Edge factors; deduplicate symmetric pairs into a single factor
+    // only when both directions exist (A is symmetric then anyway).
+    let mut factors: Vec<Factor> = Vec::new();
+    let mut done = BTreeSet::new();
+    for (a, b) in p.arcs() {
+        if a == b {
+            // Self-loop in the pattern: factor on one variable.
+            let table: Vec<f64> =
+                (0..n).map(|x| f64::from(g.has_edge(x as Vertex, x as Vertex))).collect();
+            factors.push(Factor { vars: vec![a], table });
+            continue;
+        }
+        let key = (a.min(b), a.max(b), p.has_edge(a, b) && p.has_edge(b, a));
+        if key.2 && !done.insert((key.0, key.1)) {
+            continue; // symmetric pair already added once
+        }
+        let (lo, hi) = (a.min(b), a.max(b));
+        let mut table = vec![0.0; n * n];
+        for x in 0..n as u32 {
+            for y in 0..n as u32 {
+                // Factor over sorted vars (lo, hi): entry (x, y) means lo=x, hi=y.
+                let (va, vb) = if a == lo { (x, y) } else { (y, x) };
+                let ok = if key.2 {
+                    g.has_edge(va, vb) && g.has_edge(vb, va)
+                } else {
+                    g.has_edge(va, vb)
+                };
+                if ok {
+                    table[x as usize * n + y as usize] = 1.0;
+                }
+            }
+        }
+        factors.push(Factor { vars: vec![lo, hi], table });
+    }
+
+    let (order, _) = min_degree_order(p);
+    let mut current = factors;
+    for v in order {
+        current = eliminate(current, v, n);
+    }
+    current.into_iter().map(|f| f.table[0]).product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree_hom::hom_tree;
+    use gel_graph::families::{complete, cycle, path, petersen, star};
+    use gel_graph::GraphBuilder;
+
+    #[test]
+    fn agrees_with_tree_dp_on_trees() {
+        let targets = [cycle(6), complete(4), petersen()];
+        for t in [path(2), path(3), path(4), star(3)] {
+            for g in &targets {
+                assert_eq!(hom_count(&t, g), hom_tree(&t, g), "tree {t:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_homs_are_traces_of_adjacency_powers() {
+        // hom(C_k, G) = tr(A^k). For G = C_n (n > k, k odd) the trace
+        // is 0; for complete graphs tr(A^k) has a closed form.
+        // hom(C3, K4): each triangle map = 4·3·2 = 24 ordered triangles.
+        assert_eq!(hom_count(&cycle(3), &complete(4)), 24.0);
+        // C5 into C5: 10 homs (5 rotations × 2 reflections).
+        assert_eq!(hom_count(&cycle(5), &cycle(5)), 10.0);
+        // Odd cycle into bipartite graph: none.
+        assert_eq!(hom_count(&cycle(3), &cycle(6)), 0.0);
+    }
+
+    #[test]
+    fn hom_into_k2() {
+        // hom(C4, K2) = 2 (alternating maps).
+        assert_eq!(hom_count(&cycle(4), &complete(2)), 2.0);
+        // hom(C3, K2) = 0.
+        assert_eq!(hom_count(&cycle(3), &complete(2)), 0.0);
+    }
+
+    #[test]
+    fn disconnected_pattern_multiplies() {
+        let p = path(2).disjoint_union(&path(2));
+        let g = cycle(5);
+        let single = hom_count(&path(2), &g);
+        assert_eq!(hom_count(&p, &g), single * single);
+    }
+
+    #[test]
+    fn triangle_count_relation() {
+        // hom(C3, G) = 6 · (#triangles) for simple G.
+        let g = petersen();
+        assert_eq!(hom_count(&cycle(3), &g), 6.0 * g.triangle_count() as f64);
+        let k5 = complete(5);
+        assert_eq!(hom_count(&cycle(3), &k5), 6.0 * k5.triangle_count() as f64);
+    }
+
+    #[test]
+    fn directed_pattern_counts_directed_homs() {
+        // Directed 2-path a→b→c into a directed triangle 0→1→2→0: 3 homs.
+        let mut bp = GraphBuilder::new(3);
+        bp.add_arc(0, 1).add_arc(1, 2);
+        let p = bp.build();
+        let mut bg = GraphBuilder::new(3);
+        bg.add_arc(0, 1).add_arc(1, 2).add_arc(2, 0);
+        let g = bg.build();
+        assert_eq!(hom_count(&p, &g), 3.0);
+    }
+
+    #[test]
+    fn min_degree_width_of_cycle_is_two() {
+        let (_, w) = min_degree_order(&cycle(8));
+        assert_eq!(w, 2);
+        let (_, wp) = min_degree_order(&path(8));
+        assert_eq!(wp, 1);
+        let (_, wk) = min_degree_order(&complete(5));
+        assert_eq!(wk, 4);
+    }
+
+    #[test]
+    fn empty_pattern() {
+        assert_eq!(hom_count(&GraphBuilder::new(0).build(), &cycle(4)), 1.0);
+    }
+
+    #[test]
+    fn isolated_pattern_vertices_count_n() {
+        // A pattern with 2 isolated vertices: n² homs.
+        let p = GraphBuilder::new(2).build();
+        assert_eq!(hom_count(&p, &cycle(5)), 25.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Subgraph and walk statistics used as regression targets in the
+//! approximation experiments (E5, E12): per-vertex walk counts are
+//! colour-refinement-invariant (learnable by MPNNs), per-vertex
+//! triangle counts are not (provably unlearnable on CR-equivalent
+//! pairs) — the contrast at the heart of the universality discussion
+//! (slide 31).
+
+use gel_graph::Graph;
+
+/// Number of walks of length `len` starting at every vertex
+/// (`len ≥ 0`; a walk may repeat vertices). Computed by repeated
+/// adjacency application in `O(len · |E|)`.
+pub fn walk_counts(g: &Graph, len: usize) -> Vec<f64> {
+    let n = g.num_vertices();
+    let mut cur = vec![1.0f64; n];
+    for _ in 0..len {
+        let mut next = vec![0.0f64; n];
+        for v in 0..n as u32 {
+            next[v as usize] = g.out_neighbors(v).iter().map(|&w| cur[w as usize]).sum();
+        }
+        cur = next;
+    }
+    cur
+}
+
+/// Number of closed walks of length `len` from each vertex back to
+/// itself (`tr(A^len)` summed per-vertex); `counts[v] = (A^len)[v,v]`.
+pub fn closed_walk_counts(g: &Graph, len: usize) -> Vec<f64> {
+    let n = g.num_vertices();
+    let mut counts = vec![0.0f64; n];
+    for v in 0..n as u32 {
+        // Row v of A^len via len sparse mat-vec products on the indicator.
+        let mut row = vec![0.0f64; n];
+        row[v as usize] = 1.0;
+        for _ in 0..len {
+            let mut next = vec![0.0f64; n];
+            for u in 0..n as u32 {
+                if row[u as usize] != 0.0 {
+                    for &w in g.out_neighbors(u) {
+                        next[w as usize] += row[u as usize];
+                    }
+                }
+            }
+            row = next;
+        }
+        counts[v as usize] = row[v as usize];
+    }
+    counts
+}
+
+/// Number of triangles through each vertex (symmetric graphs).
+pub fn triangle_counts_per_vertex(g: &Graph) -> Vec<f64> {
+    let n = g.num_vertices();
+    let mut counts = vec![0.0f64; n];
+    for u in 0..n as u32 {
+        for &v in g.neighbors(u) {
+            if v <= u {
+                continue;
+            }
+            for &w in g.neighbors(v) {
+                if w <= v {
+                    continue;
+                }
+                if g.has_edge(u, w) {
+                    counts[u as usize] += 1.0;
+                    counts[v as usize] += 1.0;
+                    counts[w as usize] += 1.0;
+                }
+            }
+        }
+    }
+    counts
+}
+
+/// Count of (not necessarily induced) 4-cycles through each vertex,
+/// computed from common-neighbour counts: vertex `v` lies on
+/// `Σ_{w≠v} C(common(v,w), 2)` four-cycles.
+pub fn four_cycle_counts_per_vertex(g: &Graph) -> Vec<f64> {
+    let n = g.num_vertices();
+    let mut counts = vec![0.0f64; n];
+    for v in 0..n as u32 {
+        for w in 0..n as u32 {
+            if w == v {
+                continue;
+            }
+            let common = g
+                .neighbors(v)
+                .iter()
+                .filter(|&&x| x != w && g.neighbors(w).binary_search(&x).is_ok())
+                .count() as f64;
+            counts[v as usize] += common * (common - 1.0) / 2.0;
+        }
+    }
+    // Each 4-cycle v–a–w–b–v through v is counted exactly once, by its
+    // unique vertex w opposite to v on that cycle.
+    counts
+}
+
+/// Per-vertex degree as `f64` (the simplest CR-invariant target).
+pub fn degrees(g: &Graph) -> Vec<f64> {
+    g.vertices().map(|v| g.degree(v) as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gel_graph::families::{complete, cycle, star};
+    use gel_graph::GraphBuilder;
+
+    #[test]
+    fn walk_counts_on_cycle() {
+        // On C_n every vertex has 2^len walks of length len.
+        let g = cycle(5);
+        assert_eq!(walk_counts(&g, 0), vec![1.0; 5]);
+        assert_eq!(walk_counts(&g, 3), vec![8.0; 5]);
+    }
+
+    #[test]
+    fn walk_counts_on_star() {
+        let g = star(3);
+        // Length 1: center 3, leaves 1.
+        assert_eq!(walk_counts(&g, 1), vec![3.0, 1.0, 1.0, 1.0]);
+        // Length 2: center 3 (out to leaf, back), leaf 3 (to center, out anywhere).
+        assert_eq!(walk_counts(&g, 2), vec![3.0, 3.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn closed_walks_count_triangles() {
+        // (A³)[v,v] = 2 · triangles through v for simple graphs.
+        let g = complete(4);
+        let tri = triangle_counts_per_vertex(&g);
+        let cw = closed_walk_counts(&g, 3);
+        for v in 0..4 {
+            assert_eq!(cw[v], 2.0 * tri[v]);
+        }
+    }
+
+    #[test]
+    fn triangle_counts_k4() {
+        // Each vertex of K4 lies on C(3,2) = 3 triangles.
+        assert_eq!(triangle_counts_per_vertex(&complete(4)), vec![3.0; 4]);
+        assert_eq!(triangle_counts_per_vertex(&cycle(6)), vec![0.0; 6]);
+    }
+
+    #[test]
+    fn four_cycles_on_c4_and_k4() {
+        // C4: exactly one 4-cycle through every vertex.
+        assert_eq!(four_cycle_counts_per_vertex(&cycle(4)), vec![1.0; 4]);
+        // K4: every vertex lies on 3 four-cycles (choose the opposite vertex).
+        assert_eq!(four_cycle_counts_per_vertex(&complete(4)), vec![3.0; 4]);
+    }
+
+    #[test]
+    fn directed_walks_respect_orientation() {
+        let mut b = GraphBuilder::new(3);
+        b.add_arc(0, 1).add_arc(1, 2);
+        let g = b.build();
+        assert_eq!(walk_counts(&g, 2), vec![1.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,189 @@
+//! Enumeration of all non-isomorphic free trees up to a given size.
+//!
+//! The Dell–Grohe–Rattan experiment (E2) quantifies over "all trees";
+//! on a corpus of graphs with ≤ `n` vertices it suffices to check trees
+//! up to a size bound. We enumerate free trees by generating rooted
+//! trees via their canonical AHU encodings and deduplicating by the
+//! centre-rooted canonical form.
+//!
+//! Counts (OEIS A000055): 1, 1, 1, 2, 3, 6, 11, 23, 47, 106 trees on
+//! 1..=10 vertices — the tests pin these.
+
+use std::collections::BTreeSet;
+
+use gel_graph::{Graph, GraphBuilder, Vertex};
+
+/// The AHU canonical code of the tree `t` rooted at `root`:
+/// `code(v) = "(" + sorted(code(children)) + ")"`.
+fn ahu_code(t: &Graph, root: Vertex) -> String {
+    fn rec(t: &Graph, v: Vertex, parent: Option<Vertex>) -> String {
+        let mut children: Vec<String> = t
+            .neighbors(v)
+            .iter()
+            .filter(|&&w| Some(w) != parent)
+            .map(|&w| rec(t, w, Some(v)))
+            .collect();
+        children.sort();
+        format!("({})", children.concat())
+    }
+    rec(t, root, None)
+}
+
+/// The centre(s) of a tree: the 1 or 2 vertices minimizing
+/// eccentricity, found by repeatedly stripping leaves.
+fn tree_centers(t: &Graph) -> Vec<Vertex> {
+    let n = t.num_vertices();
+    if n <= 2 {
+        return t.vertices().collect();
+    }
+    let mut degree: Vec<usize> = t.vertices().map(|v| t.degree(v)).collect();
+    let mut layer: Vec<Vertex> = t.vertices().filter(|&v| degree[v as usize] <= 1).collect();
+    let mut remaining = n;
+    while remaining > 2 {
+        remaining -= layer.len();
+        let mut next = Vec::new();
+        for &v in &layer {
+            degree[v as usize] = 0;
+            for &w in t.neighbors(v) {
+                if degree[w as usize] > 1 {
+                    degree[w as usize] -= 1;
+                    if degree[w as usize] == 1 {
+                        next.push(w);
+                    }
+                }
+            }
+        }
+        layer = next;
+    }
+    layer
+}
+
+/// Canonical code of a *free* tree: the lexicographically smallest AHU
+/// code over its centre(s).
+pub fn free_tree_code(t: &Graph) -> String {
+    tree_centers(t).into_iter().map(|c| ahu_code(t, c)).min().expect("non-empty tree")
+}
+
+/// Decodes an AHU code back into a tree (inverse of [`free_tree_code`]
+/// up to isomorphism).
+pub fn tree_from_code(code: &str) -> Graph {
+    // Count vertices = number of '(' characters.
+    let n = code.chars().filter(|&c| c == '(').count();
+    let mut b = GraphBuilder::new(n);
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next = 0u32;
+    for c in code.chars() {
+        match c {
+            '(' => {
+                if let Some(&parent) = stack.last() {
+                    b.add_edge(parent, next);
+                }
+                stack.push(next);
+                next += 1;
+            }
+            ')' => {
+                stack.pop();
+            }
+            _ => panic!("invalid AHU code character {c:?}"),
+        }
+    }
+    b.build()
+}
+
+/// All non-isomorphic free trees with exactly `n` vertices (`n ≥ 1`).
+///
+/// Generation: all trees on `n` vertices arise by attaching a new leaf
+/// to some vertex of a tree on `n − 1` vertices; we apply this
+/// exhaustively and deduplicate with the canonical code. Complexity is
+/// fine for the `n ≤ 10` range the experiments need.
+pub fn free_trees(n: usize) -> Vec<Graph> {
+    assert!(n >= 1);
+    let mut current: Vec<Graph> = vec![GraphBuilder::new(1).build()];
+    for size in 2..=n {
+        let mut seen = BTreeSet::new();
+        let mut next_gen = Vec::new();
+        for t in &current {
+            for v in t.vertices() {
+                let mut b = GraphBuilder::new(size);
+                for (a, c) in t.edges_undirected() {
+                    b.add_edge(a, c);
+                }
+                b.add_edge(v, (size - 1) as Vertex);
+                let bigger = b.build();
+                let code = free_tree_code(&bigger);
+                if seen.insert(code) {
+                    next_gen.push(bigger);
+                }
+            }
+        }
+        current = next_gen;
+    }
+    current
+}
+
+/// All non-isomorphic free trees with **at most** `n` vertices.
+pub fn free_trees_up_to(n: usize) -> Vec<Graph> {
+    (1..=n).flat_map(free_trees).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gel_graph::are_isomorphic;
+    use gel_graph::families::{path, star};
+
+    #[test]
+    fn counts_match_oeis_a000055() {
+        let expected = [1usize, 1, 1, 2, 3, 6, 11, 23];
+        for (i, &e) in expected.iter().enumerate() {
+            assert_eq!(free_trees(i + 1).len(), e, "trees on {} vertices", i + 1);
+        }
+    }
+
+    #[test]
+    fn up_to_is_cumulative() {
+        assert_eq!(free_trees_up_to(6).len(), 1 + 1 + 1 + 2 + 3 + 6);
+    }
+
+    #[test]
+    fn codes_identify_isomorphic_trees() {
+        // P4 written two ways.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(2, 0).add_edge(0, 3).add_edge(3, 1);
+        let p = b.build();
+        assert_eq!(free_tree_code(&p), free_tree_code(&path(4)));
+        assert_ne!(free_tree_code(&star(3)), free_tree_code(&path(4)));
+    }
+
+    #[test]
+    fn code_roundtrip_preserves_isomorphism() {
+        for t in free_trees_up_to(7) {
+            let rebuilt = tree_from_code(&free_tree_code(&t));
+            assert!(are_isomorphic(&t, &rebuilt), "roundtrip changed the tree");
+        }
+    }
+
+    #[test]
+    fn enumerated_trees_are_pairwise_non_isomorphic() {
+        let trees = free_trees(7);
+        for i in 0..trees.len() {
+            for j in (i + 1)..trees.len() {
+                assert!(!are_isomorphic(&trees[i], &trees[j]));
+            }
+        }
+    }
+
+    #[test]
+    fn all_enumerated_are_trees() {
+        for t in free_trees_up_to(8) {
+            assert!(crate::tree_hom::is_tree(&t));
+        }
+    }
+
+    #[test]
+    fn centers_of_path_and_star() {
+        assert_eq!(tree_centers(&path(5)), vec![2]);
+        assert_eq!(tree_centers(&path(4)).len(), 2);
+        assert_eq!(tree_centers(&star(5)), vec![0]);
+    }
+}

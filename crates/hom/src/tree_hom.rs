@@ -1,0 +1,179 @@
+//! Homomorphism counting from trees: `hom(T, G)` via dynamic
+//! programming over a rooted tree, in `O(|T| · |E_G|)`.
+//!
+//! This powers the Dell–Grohe–Rattan characterisation the paper quotes
+//! on slide 27: `G ≡_CR H` iff `hom(T, G) = hom(T, H)` for all trees
+//! `T` — "GNNs 101 can only leverage tree-based information".
+
+use gel_graph::{Graph, Vertex};
+
+/// Checks that `t` is a tree (connected, `n − 1` undirected edges,
+/// symmetric).
+pub fn is_tree(t: &Graph) -> bool {
+    let n = t.num_vertices();
+    t.is_symmetric()
+        && n >= 1
+        && t.num_edges_undirected() == n - 1
+        && t.connected_components().0 == 1
+}
+
+/// Counts homomorphisms from the tree `T` (unlabelled) into `G`.
+///
+/// Uses the standard leaf-to-root DP: for `T` rooted at `r`,
+/// `h_t(u) = Π_{child s} Σ_{w ∈ N_G(u)} h_s(w)` and
+/// `hom(T, G) = Σ_u h_r(u)`. Counts are returned as `f64`; they are
+/// exact for counts below 2⁵³, far beyond anything in the corpus.
+///
+/// # Panics
+/// Panics if `t` is not a tree.
+pub fn hom_tree(t: &Graph, g: &Graph) -> f64 {
+    assert!(is_tree(t), "pattern must be a tree");
+    let nt = t.num_vertices();
+    let ng = g.num_vertices();
+    if nt == 0 || ng == 0 {
+        return if nt == 0 { 1.0 } else { 0.0 };
+    }
+    // Root at 0; compute a post-order over the tree.
+    let root: Vertex = 0;
+    let mut parent = vec![u32::MAX; nt];
+    let mut order = Vec::with_capacity(nt);
+    let mut stack = vec![root];
+    let mut seen = vec![false; nt];
+    seen[root as usize] = true;
+    while let Some(v) = stack.pop() {
+        order.push(v);
+        for &w in t.neighbors(v) {
+            if !seen[w as usize] {
+                seen[w as usize] = true;
+                parent[w as usize] = v;
+                stack.push(w);
+            }
+        }
+    }
+    // Process in reverse BFS order (children before parents).
+    let mut h = vec![vec![1.0f64; ng]; nt];
+    for &v in order.iter().rev() {
+        // Multiply the parent's table by Σ_{w ∈ N_G(u)} h_v(w).
+        if parent[v as usize] != u32::MAX {
+            let p = parent[v as usize] as usize;
+            let child_table = std::mem::take(&mut h[v as usize]);
+            for u in 0..ng {
+                let s: f64 =
+                    g.neighbors(u as Vertex).iter().map(|&w| child_table[w as usize]).sum();
+                h[p][u] *= s;
+            }
+        }
+    }
+    h[root as usize].iter().sum()
+}
+
+/// The vector `(hom(T₁, G), …, hom(T_m, G))` for a family of trees —
+/// a truncated Lovász vector restricted to trees.
+pub fn tree_hom_vector(trees: &[Graph], g: &Graph) -> Vec<f64> {
+    trees.iter().map(|t| hom_tree(t, g)).collect()
+}
+
+/// Counts *rooted* homomorphisms `hom((T, r), (G, v))` for every
+/// `v ∈ V_G`: maps sending the root `r = 0` of `T` to `v`. This is the
+/// vertex-level analogue used for vertex-embedding experiments.
+pub fn hom_tree_rooted(t: &Graph, g: &Graph) -> Vec<f64> {
+    assert!(is_tree(t), "pattern must be a tree");
+    let nt = t.num_vertices();
+    let ng = g.num_vertices();
+    let root: Vertex = 0;
+    let mut parent = vec![u32::MAX; nt];
+    let mut order = Vec::with_capacity(nt);
+    let mut stack = vec![root];
+    let mut seen = vec![false; nt];
+    seen[root as usize] = true;
+    while let Some(v) = stack.pop() {
+        order.push(v);
+        for &w in t.neighbors(v) {
+            if !seen[w as usize] {
+                seen[w as usize] = true;
+                parent[w as usize] = v;
+                stack.push(w);
+            }
+        }
+    }
+    let mut h = vec![vec![1.0f64; ng]; nt];
+    for &v in order.iter().rev() {
+        if parent[v as usize] != u32::MAX {
+            let p = parent[v as usize] as usize;
+            let child_table = std::mem::take(&mut h[v as usize]);
+            for u in 0..ng {
+                let s: f64 =
+                    g.neighbors(u as Vertex).iter().map(|&w| child_table[w as usize]).sum();
+                h[p][u] *= s;
+            }
+        }
+    }
+    std::mem::take(&mut h[root as usize])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gel_graph::families::{complete, cycle, path, star};
+
+    #[test]
+    fn single_vertex_tree_counts_vertices() {
+        let t = path(1);
+        assert_eq!(hom_tree(&t, &cycle(7)), 7.0);
+    }
+
+    #[test]
+    fn edge_counts_arcs() {
+        // hom(K2, G) = number of arcs = 2|E| for symmetric G.
+        let t = path(2);
+        assert_eq!(hom_tree(&t, &cycle(5)), 10.0);
+        assert_eq!(hom_tree(&t, &complete(4)), 12.0);
+    }
+
+    #[test]
+    fn path3_counts_walks_of_length_2() {
+        // hom(P3, G) = Σ_v deg(v)² (walks of length 2).
+        let g = star(3); // degrees 3,1,1,1
+        assert_eq!(hom_tree(&path(3), &g), 9.0 + 1.0 + 1.0 + 1.0);
+    }
+
+    #[test]
+    fn star_counts_degree_powers() {
+        // hom(K_{1,3}, G) = Σ_v deg(v)³.
+        let g = cycle(6);
+        assert_eq!(hom_tree(&star(3), &g), 6.0 * 8.0);
+    }
+
+    #[test]
+    fn rooted_sums_to_total() {
+        let t = path(4);
+        let g = complete(5);
+        let rooted = hom_tree_rooted(&t, &g);
+        let total: f64 = rooted.iter().sum();
+        assert_eq!(total, hom_tree(&t, &g));
+    }
+
+    #[test]
+    fn rooted_reflects_vertex_role() {
+        // In a star target, center has many more rooted P2 homs than leaves.
+        let g = star(4);
+        let rooted = hom_tree_rooted(&path(2), &g);
+        assert_eq!(rooted[0], 4.0);
+        assert!(rooted[1..].iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "pattern must be a tree")]
+    fn rejects_non_tree_pattern() {
+        let _ = hom_tree(&cycle(3), &complete(4));
+    }
+
+    #[test]
+    fn is_tree_checks() {
+        assert!(is_tree(&path(5)));
+        assert!(is_tree(&star(3)));
+        assert!(!is_tree(&cycle(4)));
+        let forest = path(2).disjoint_union(&path(2));
+        assert!(!is_tree(&forest));
+    }
+}

@@ -1,0 +1,379 @@
+//! Two-variable counting logic `C²` and its guarded fragment — the
+//! database-theory yardstick the paper leans on (slide 51):
+//! `ρ(colour refinement) = ρ(guarded C²)`, via Cai–Fürer–Immerman and
+//! Hella–Libkin–Nurmonen–Wong.
+//!
+//! Syntax (variables `x₁`, `x₂` only):
+//!
+//! ```text
+//! φ := P_j(x_i) | E(x_i, x_j) | x_i = x_j | ¬φ | φ ∧ φ | φ ∨ φ
+//!    | ∃^{≥n} x_i φ
+//! ```
+//!
+//! The *guarded* fragment restricts counting quantifiers to the shape
+//! `∃^{≥n} x_j (E(x_i, x_j) ∧ φ)` (the quantified variable is guarded
+//! by an edge atom to the other variable) — precisely graded modal
+//! logic in disguise, and precisely what an MPNN layer can probe.
+
+use gel_graph::{Graph, Vertex};
+
+/// A `C²` formula. Variables are `1` and `2` (paper notation `x₁/x₂`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum C2Formula {
+    /// `P_j(x_i)`: label component `j` of `x_i` is non-zero.
+    Prop {
+        /// Label component.
+        j: usize,
+        /// Variable (1 or 2).
+        var: u8,
+    },
+    /// `E(x_i, x_j)` with `i ≠ j`.
+    Edge {
+        /// Source variable.
+        from: u8,
+        /// Target variable.
+        to: u8,
+    },
+    /// `x₁ = x₂`.
+    Equal,
+    /// Negation.
+    Not(Box<C2Formula>),
+    /// Conjunction.
+    And(Box<C2Formula>, Box<C2Formula>),
+    /// Disjunction.
+    Or(Box<C2Formula>, Box<C2Formula>),
+    /// Counting quantifier `∃^{≥n} x_var φ`.
+    CountExists {
+        /// Threshold `n`.
+        at_least: usize,
+        /// The quantified variable (1 or 2).
+        var: u8,
+        /// Body.
+        body: Box<C2Formula>,
+    },
+}
+
+impl C2Formula {
+    /// Free variables as a (possibly empty) sorted list.
+    pub fn free_vars(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.collect_free(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_free(&self, out: &mut Vec<u8>) {
+        match self {
+            C2Formula::Prop { var, .. } => out.push(*var),
+            C2Formula::Edge { from, to } => {
+                out.push(*from);
+                out.push(*to);
+            }
+            C2Formula::Equal => {
+                out.push(1);
+                out.push(2);
+            }
+            C2Formula::Not(f) => f.collect_free(out),
+            C2Formula::And(a, b) | C2Formula::Or(a, b) => {
+                a.collect_free(out);
+                b.collect_free(out);
+            }
+            C2Formula::CountExists { var, body, .. } => {
+                let mut inner = Vec::new();
+                body.collect_free(&mut inner);
+                out.extend(inner.into_iter().filter(|v| v != var));
+            }
+        }
+    }
+
+    /// Evaluates the formula on `g` over all assignments of `(x₁, x₂)`;
+    /// entry `v * n + w` is the truth value at `x₁ = v, x₂ = w`.
+    /// (Formulas with fewer free variables are constant in the unused
+    /// coordinate.)
+    pub fn eval_pairs(&self, g: &Graph) -> Vec<bool> {
+        let n = g.num_vertices();
+        match self {
+            C2Formula::Prop { j, var } => {
+                assert!(*j < g.label_dim(), "proposition out of label range");
+                let per: Vec<bool> = g.vertices().map(|v| g.label(v)[*j] != 0.0).collect();
+                (0..n * n)
+                    .map(|i| {
+                        let (v, w) = (i / n, i % n);
+                        per[if *var == 1 { v } else { w }]
+                    })
+                    .collect()
+            }
+            C2Formula::Edge { from, to } => (0..n * n)
+                .map(|i| {
+                    let (v, w) = ((i / n) as Vertex, (i % n) as Vertex);
+                    let (a, b) = if *from == 1 { (v, w) } else { (w, v) };
+                    let _ = to;
+                    g.has_edge(a, b)
+                })
+                .collect(),
+            C2Formula::Equal => (0..n * n).map(|i| i / n == i % n).collect(),
+            C2Formula::Not(f) => f.eval_pairs(g).into_iter().map(|b| !b).collect(),
+            C2Formula::And(a, b) => a
+                .eval_pairs(g)
+                .into_iter()
+                .zip(b.eval_pairs(g))
+                .map(|(x, y)| x && y)
+                .collect(),
+            C2Formula::Or(a, b) => a
+                .eval_pairs(g)
+                .into_iter()
+                .zip(b.eval_pairs(g))
+                .map(|(x, y)| x || y)
+                .collect(),
+            C2Formula::CountExists { at_least, var, body } => {
+                let inner = body.eval_pairs(g);
+                let mut out = vec![false; n * n];
+                if *var == 2 {
+                    // Count over w for each v; result constant in w.
+                    for v in 0..n {
+                        let count = (0..n).filter(|&w| inner[v * n + w]).count();
+                        let holds = count >= *at_least;
+                        for w in 0..n {
+                            out[v * n + w] = holds;
+                        }
+                    }
+                } else {
+                    for w in 0..n {
+                        let count = (0..n).filter(|&v| inner[v * n + w]).count();
+                        let holds = count >= *at_least;
+                        for v in 0..n {
+                            out[v * n + w] = holds;
+                        }
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Evaluates a sentence (no free variables) on `g`.
+    ///
+    /// # Panics
+    /// Panics if the formula has free variables.
+    pub fn eval_sentence(&self, g: &Graph) -> bool {
+        assert!(self.free_vars().is_empty(), "eval_sentence needs a sentence");
+        if g.num_vertices() == 0 {
+            // Vacuous structure: evaluate on the 1×1 convention.
+            return false;
+        }
+        self.eval_pairs(g)[0]
+    }
+
+    /// Evaluates a formula with one free variable at every vertex.
+    ///
+    /// # Panics
+    /// Panics unless exactly one variable is free.
+    pub fn eval_unary(&self, g: &Graph) -> Vec<bool> {
+        let fv = self.free_vars();
+        assert_eq!(fv.len(), 1, "eval_unary needs exactly one free variable");
+        let n = g.num_vertices();
+        let pairs = self.eval_pairs(g);
+        if fv[0] == 1 {
+            (0..n).map(|v| pairs[v * n]).collect()
+        } else {
+            (0..n).map(|w| pairs[w]).collect()
+        }
+    }
+
+    /// True when every counting quantifier is *guarded*:
+    /// `∃^{≥n} x_j (E(x_i, x_j) ∧ φ)` (slide 51's `guarded C²`).
+    pub fn is_guarded(&self) -> bool {
+        match self {
+            C2Formula::Prop { .. } | C2Formula::Edge { .. } | C2Formula::Equal => true,
+            C2Formula::Not(f) => f.is_guarded(),
+            C2Formula::And(a, b) | C2Formula::Or(a, b) => a.is_guarded() && b.is_guarded(),
+            C2Formula::CountExists { var, body, .. } => {
+                // Body must be E(other, var) ∧ ψ with ψ guarded.
+                match body.as_ref() {
+                    C2Formula::And(l, r) => {
+                        let guard_ok = matches!(
+                            l.as_ref(),
+                            C2Formula::Edge { from, to }
+                                if (*to == *var && *from != *var)
+                                    || (*from == *var && *to != *var)
+                        );
+                        guard_ok && r.is_guarded()
+                    }
+                    _ => false,
+                }
+            }
+        }
+    }
+}
+
+/// Convenience constructors.
+pub mod c2 {
+    use super::C2Formula;
+
+    /// `P_j(x_var)`.
+    pub fn prop(j: usize, var: u8) -> C2Formula {
+        C2Formula::Prop { j, var }
+    }
+
+    /// `E(x_from, x_to)`.
+    pub fn edge(from: u8, to: u8) -> C2Formula {
+        C2Formula::Edge { from, to }
+    }
+
+    /// `x₁ = x₂`.
+    pub fn equal() -> C2Formula {
+        C2Formula::Equal
+    }
+
+    /// `¬φ`.
+    pub fn not(f: C2Formula) -> C2Formula {
+        C2Formula::Not(Box::new(f))
+    }
+
+    /// `φ ∧ ψ`.
+    pub fn and(a: C2Formula, b: C2Formula) -> C2Formula {
+        C2Formula::And(Box::new(a), Box::new(b))
+    }
+
+    /// `φ ∨ ψ`.
+    pub fn or(a: C2Formula, b: C2Formula) -> C2Formula {
+        C2Formula::Or(Box::new(a), Box::new(b))
+    }
+
+    /// `∃^{≥n} x_var φ`.
+    pub fn count_exists(at_least: usize, var: u8, body: C2Formula) -> C2Formula {
+        C2Formula::CountExists { at_least, var, body: Box::new(body) }
+    }
+
+    /// The guarded counting quantifier
+    /// `∃^{≥n} x_var (E(x_anchor, x_var) ∧ φ)` — a graded diamond.
+    pub fn guarded_count(at_least: usize, anchor: u8, var: u8, body: C2Formula) -> C2Formula {
+        count_exists(at_least, var, and(edge(anchor, var), body))
+    }
+}
+
+/// Translates a graded-modal-logic formula into guarded `C²` with free
+/// variable `x_anchor` — the classical embedding behind slide 51.
+pub fn gml_to_guarded_c2(f: &crate::gml::GmlFormula, anchor: u8) -> C2Formula {
+    use crate::gml::GmlFormula as G;
+    let other = if anchor == 1 { 2 } else { 1 };
+    match f {
+        // ⊤ at x: P-free tautology; use x = x through double negation of
+        // equality with itself is unavailable, so encode as ¬(P₀ ∧ ¬P₀)
+        // — instead simply: prop(0) ∨ ¬prop(0).
+        G::Top => c2::or(c2::prop(0, anchor), c2::not(c2::prop(0, anchor))),
+        G::Prop(j) => c2::prop(*j, anchor),
+        G::Not(g) => c2::not(gml_to_guarded_c2(g, anchor)),
+        G::And(a, b) => c2::and(gml_to_guarded_c2(a, anchor), gml_to_guarded_c2(b, anchor)),
+        G::Or(a, b) => c2::or(gml_to_guarded_c2(a, anchor), gml_to_guarded_c2(b, anchor)),
+        G::Diamond { at_least, inner } => {
+            c2::guarded_count(*at_least, anchor, other, gml_to_guarded_c2(inner, other))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::c2::*;
+    use super::*;
+    use crate::gml::parse_gml;
+    use gel_graph::families::{cycle, path, star};
+    use gel_graph::random::{erdos_renyi, with_random_one_hot_labels};
+    use gel_wl::{color_refinement, CrOptions};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn atoms_evaluate() {
+        let g = path(3);
+        let e = edge(1, 2);
+        let pairs = e.eval_pairs(&g);
+        assert!(pairs[1]); // (0,1) is an edge
+        assert!(!pairs[2]); // (0,2) is not
+        let eq = equal();
+        assert!(eq.eval_pairs(&g)[0]);
+        assert!(!eq.eval_pairs(&g)[1]);
+    }
+
+    #[test]
+    fn degree_formula() {
+        // "x₁ has at least 3 neighbours": guarded count.
+        let f = guarded_count(3, 1, 2, or(prop(0, 2), not(prop(0, 2))));
+        let g = star(3);
+        assert_eq!(f.eval_unary(&g), vec![true, false, false, false]);
+        assert!(f.is_guarded());
+    }
+
+    #[test]
+    fn unguarded_global_count_detected() {
+        // "there are at least 5 vertices" — a sentence, not guarded.
+        let f = count_exists(5, 2, or(prop(0, 2), not(prop(0, 2))));
+        assert!(!f.is_guarded());
+        assert!(f.free_vars().is_empty());
+        assert!(f.eval_sentence(&cycle(6)));
+        assert!(!count_exists(7, 2, or(prop(0, 2), not(prop(0, 2)))).eval_sentence(&cycle(6)));
+    }
+
+    #[test]
+    fn sentence_counts_graph_size() {
+        // ∃^{≥6} x₁ ⊤ distinguishes C6 from C5.
+        let f = count_exists(6, 1, or(prop(0, 1), not(prop(0, 1))));
+        assert!(f.eval_sentence(&cycle(6)));
+        assert!(!f.eval_sentence(&cycle(5)));
+    }
+
+    #[test]
+    fn gml_translation_agrees_with_gml_semantics() {
+        let formulas = ["P0", "<2>T", "<1>(P0 & <1>P1)", "(!P1 | <3>P0)"];
+        for seed in 0..5u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = with_random_one_hot_labels(&erdos_renyi(10, 0.35, &mut rng), 2, &mut rng);
+            for s in formulas {
+                let gml = parse_gml(s).unwrap();
+                let c2f = gml_to_guarded_c2(&gml, 1);
+                assert!(c2f.is_guarded(), "translation must stay guarded ({s})");
+                assert_eq!(c2f.eval_unary(&g), gml.eval(&g), "mismatch on {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn guarded_c2_is_cr_bounded_on_vertices() {
+        // Slide 51: guarded C² cannot separate CR-equivalent vertices.
+        // Probe with a suite of guarded formulas on random graphs.
+        let taut = || or(prop(0, 2), not(prop(0, 2)));
+        let formulas = vec![
+            guarded_count(1, 1, 2, taut()),
+            guarded_count(2, 1, 2, taut()),
+            guarded_count(1, 1, 2, guarded_count(3, 2, 1, or(prop(0, 1), not(prop(0, 1))))),
+            not(guarded_count(3, 1, 2, taut())),
+        ];
+        for seed in 0..6u64 {
+            let g = erdos_renyi(10, 0.35, &mut StdRng::seed_from_u64(seed));
+            let colors = color_refinement(&[&g], CrOptions::default());
+            for f in &formulas {
+                let truth = f.eval_unary(&g);
+                for v in 0..10usize {
+                    for w in 0..10usize {
+                        if colors.colors[0][v] == colors.colors[0][w] {
+                            assert_eq!(
+                                truth[v], truth[w],
+                                "guarded C² separated CR-equivalent vertices"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn free_vars_computed() {
+        assert_eq!(edge(1, 2).free_vars(), vec![1, 2]);
+        let f = guarded_count(1, 1, 2, prop(0, 2));
+        assert_eq!(f.free_vars(), vec![1]);
+        let sentence = count_exists(1, 1, guarded_count(1, 1, 2, prop(0, 2)));
+        assert!(sentence.free_vars().is_empty());
+    }
+}

@@ -1,0 +1,163 @@
+//! Compiling graded modal logic into `MPNN(Ω,Θ)` — the constructive
+//! half of the paper's slide 54 (Barceló et al.):
+//!
+//! > *MPNN(Ω,Θ) can express any unary query expressible in graded
+//! > modal logic. GNNs 101 already suffice for this.*
+//!
+//! The translation is the standard arithmetization of boolean logic
+//! with truncated-ReLU networks over `{0,1}` values:
+//!
+//! * `⊤ ↦ 1`,   `P_j ↦ lab_j(x)`  (propositions must be 0/1-valued),
+//! * `¬φ ↦ 1 − φ`,
+//! * `φ ∧ ψ ↦ clip(φ + ψ − 1)`,   `φ ∨ ψ ↦ clip(φ + ψ)`,
+//! * `◇≥n φ ↦ clip( Σ_{u ∈ N(v)} φ(u) − (n−1) )`,
+//!
+//! where `clip(x) = min(max(x, 0), 1)` — all functions available in Ω
+//! (linear combinations + a non-linear activation, exactly the
+//! hypotheses of slide 52). Since all intermediate values are integers,
+//! `clip` computes exact boolean truth, so the compiled expression
+//! agrees with [`GmlFormula::eval`] *exactly*, which experiment E6
+//! verifies on random graph corpora.
+
+use gel_lang::ast::{build, Expr};
+use gel_lang::func::{Agg, Func};
+use gel_lang::Var;
+use gel_tensor::{Activation, Matrix};
+
+use crate::gml::GmlFormula;
+
+/// Affine map `x ↦ a·x + b` on a 1-dimensional expression.
+fn affine(a: f64, b: f64, e: Expr) -> Expr {
+    build::apply(
+        Func::Linear { weights: Matrix::from_rows(&[&[a]]), bias: vec![b] },
+        vec![e],
+    )
+}
+
+/// Affine combination `x + y + b` of two 1-dimensional expressions.
+fn add_bias(b: f64, x: Expr, y: Expr) -> Expr {
+    build::apply(
+        Func::Linear { weights: Matrix::from_rows(&[&[1.0], &[1.0]]), bias: vec![b] },
+        vec![x, y],
+    )
+}
+
+fn clip(e: Expr) -> Expr {
+    build::apply(Func::Act(Activation::ClippedReLU), vec![e])
+}
+
+/// Compiles a GML formula into an `MPNN(Ω,Θ)` vertex expression with
+/// free variable `x1`, exactly agreeing with [`GmlFormula::eval`] on
+/// graphs whose label components are 0/1-valued.
+pub fn gml_to_mpnn(formula: &GmlFormula) -> Expr {
+    compile_at(formula, 1)
+}
+
+fn compile_at(f: &GmlFormula, var: Var) -> Expr {
+    match f {
+        // ⊤ as an anchored constant: 0·lab₀(x) + 1 (keeps the free
+        // variable so the expression stays a vertex embedding).
+        GmlFormula::Top => affine(0.0, 1.0, build::lab(0, var)),
+        GmlFormula::Prop(j) => build::lab(*j, var),
+        GmlFormula::Not(inner) => affine(-1.0, 1.0, compile_at(inner, var)),
+        GmlFormula::And(a, b) => {
+            clip(add_bias(-1.0, compile_at(a, var), compile_at(b, var)))
+        }
+        GmlFormula::Or(a, b) => clip(add_bias(0.0, compile_at(a, var), compile_at(b, var))),
+        GmlFormula::Diamond { at_least, inner } => {
+            let other: Var = if var == 1 { 2 } else { 1 };
+            // Compile the body anchored at the *other* variable; the
+            // body only ever uses two variables, swapped at each modal
+            // level (slide 42's two-variable discipline).
+            let body = compile_at(inner, var).swap_vars(var, other);
+            let summed = build::nbr_agg(Agg::Sum, var, other, body);
+            clip(affine(1.0, -((*at_least as f64) - 1.0), summed))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gml::{gml::*, parse_gml};
+    use gel_lang::analysis::{analyze, Fragment};
+    use gel_lang::eval::eval;
+    use gel_graph::random::{erdos_renyi, with_random_one_hot_labels};
+    use gel_graph::families::{path, star};
+    use gel_graph::Graph;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn check_agreement(f: &GmlFormula, g: &Graph) {
+        let expr = gml_to_mpnn(f);
+        let table = eval(&expr, g);
+        let truth = f.eval(g);
+        for v in g.vertices() {
+            let got = table.cell(&[v])[0];
+            let want = f64::from(truth[v as usize]);
+            assert_eq!(got, want, "formula {f} at vertex {v} of {g:?}");
+        }
+    }
+
+    #[test]
+    fn compiled_formulas_stay_in_mpnn_fragment() {
+        let f = parse_gml("<2>(P0 & !<1>P1)").unwrap();
+        let e = gml_to_mpnn(&f);
+        assert_eq!(analyze(&e).fragment, Fragment::Mpnn, "slide 54");
+        assert!(e.all_vars().len() <= 2);
+    }
+
+    #[test]
+    fn agreement_on_handmade_graphs() {
+        let labelled =
+            path(4).with_labels(vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0], 2);
+        let formulas = [
+            "T",
+            "P0",
+            "!P1",
+            "(P0 & P1)",
+            "(P0 | !P0)",
+            "<1>P0",
+            "<2>T",
+            "<1><1>P1",
+            "(<1>P0 & !<2>P1)",
+        ];
+        for s in formulas {
+            check_agreement(&parse_gml(s).unwrap(), &labelled);
+        }
+    }
+
+    #[test]
+    fn agreement_on_random_corpus() {
+        // The E6 check in miniature: modal depth ≤ 3, grades ≤ 3,
+        // random labelled graphs.
+        let formulas = [
+            "<1>(P0 & <2>P1)",
+            "<3><1>P0",
+            "(!<1>P1 | <2>(P0 & P1))",
+            "<2>(T & !P0)",
+            "(P1 & <1>(P1 & <1>(P1 & <1>P1)))",
+        ];
+        for seed in 0..8u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = erdos_renyi(12, 0.3, &mut rng);
+            let g = with_random_one_hot_labels(&g, 2, &mut rng);
+            for s in formulas {
+                check_agreement(&parse_gml(s).unwrap(), &g);
+            }
+        }
+    }
+
+    #[test]
+    fn star_center_detector() {
+        // ◇≥3⊤ compiled: picks out exactly the hub.
+        let g = star(5);
+        check_agreement(&diamond(3, top()), &g);
+    }
+
+    #[test]
+    fn grade_zero_diamond_is_trivially_true() {
+        let g = path(3);
+        check_agreement(&diamond(0, prop(0)), &g);
+    }
+}

@@ -1,0 +1,296 @@
+//! Graded modal logic (GML) — the logical characterisation of MPNN
+//! expressiveness (paper slide 54, Barceló et al., ICLR 2020):
+//!
+//! * every GML unary query is expressible by an MPNN, and
+//! * every *first-order* unary query expressible by an MPNN is already
+//!   in GML.
+//!
+//! Syntax (over graphs with boolean label propositions `P_j`):
+//!
+//! ```text
+//! φ := P_j | ⊤ | ¬φ | φ ∧ φ | φ ∨ φ | ◇≥n φ
+//! ```
+//!
+//! `◇≥n φ` ("graded diamond") holds at `v` iff `v` has at least `n`
+//! neighbours satisfying `φ`. GML is the modal-depth-guarded fragment
+//! of C² evaluated along edges — exactly what an MPNN layer can probe.
+
+use std::fmt;
+
+use gel_graph::{Graph, Vertex};
+
+/// A graded modal logic formula.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GmlFormula {
+    /// Truth.
+    Top,
+    /// Proposition `P_j`: label component `j` is non-zero.
+    Prop(usize),
+    /// Negation.
+    Not(Box<GmlFormula>),
+    /// Conjunction.
+    And(Box<GmlFormula>, Box<GmlFormula>),
+    /// Disjunction.
+    Or(Box<GmlFormula>, Box<GmlFormula>),
+    /// Graded diamond `◇≥n φ`: at least `n` neighbours satisfy `φ`.
+    Diamond {
+        /// The grade (minimum count); `n = 1` is the ordinary diamond.
+        at_least: usize,
+        /// The subformula.
+        inner: Box<GmlFormula>,
+    },
+}
+
+impl GmlFormula {
+    /// Modal depth (nesting of diamonds) — the number of MPNN layers
+    /// the compilation needs.
+    pub fn modal_depth(&self) -> usize {
+        match self {
+            GmlFormula::Top | GmlFormula::Prop(_) => 0,
+            GmlFormula::Not(f) => f.modal_depth(),
+            GmlFormula::And(a, b) | GmlFormula::Or(a, b) => a.modal_depth().max(b.modal_depth()),
+            GmlFormula::Diamond { inner, .. } => 1 + inner.modal_depth(),
+        }
+    }
+
+    /// Largest proposition index used (for label-dimension checks).
+    pub fn max_prop(&self) -> Option<usize> {
+        match self {
+            GmlFormula::Top => None,
+            GmlFormula::Prop(j) => Some(*j),
+            GmlFormula::Not(f) => f.max_prop(),
+            GmlFormula::And(a, b) | GmlFormula::Or(a, b) => a.max_prop().max(b.max_prop()),
+            GmlFormula::Diamond { inner, .. } => inner.max_prop(),
+        }
+    }
+
+    /// Evaluates the formula at every vertex of `g` (a proposition
+    /// holds when the label component is non-zero).
+    pub fn eval(&self, g: &Graph) -> Vec<bool> {
+        match self {
+            GmlFormula::Top => vec![true; g.num_vertices()],
+            GmlFormula::Prop(j) => {
+                assert!(*j < g.label_dim(), "proposition index out of label range");
+                g.vertices().map(|v| g.label(v)[*j] != 0.0).collect()
+            }
+            GmlFormula::Not(f) => f.eval(g).into_iter().map(|b| !b).collect(),
+            GmlFormula::And(a, b) => {
+                a.eval(g).into_iter().zip(b.eval(g)).map(|(x, y)| x && y).collect()
+            }
+            GmlFormula::Or(a, b) => {
+                a.eval(g).into_iter().zip(b.eval(g)).map(|(x, y)| x || y).collect()
+            }
+            GmlFormula::Diamond { at_least, inner } => {
+                let sub = inner.eval(g);
+                g.vertices()
+                    .map(|v: Vertex| {
+                        g.out_neighbors(v).iter().filter(|&&u| sub[u as usize]).count()
+                            >= *at_least
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Number of connectives (formula size).
+    pub fn size(&self) -> usize {
+        match self {
+            GmlFormula::Top | GmlFormula::Prop(_) => 1,
+            GmlFormula::Not(f) => 1 + f.size(),
+            GmlFormula::And(a, b) | GmlFormula::Or(a, b) => 1 + a.size() + b.size(),
+            GmlFormula::Diamond { inner, .. } => 1 + inner.size(),
+        }
+    }
+}
+
+impl fmt::Display for GmlFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GmlFormula::Top => write!(f, "T"),
+            GmlFormula::Prop(j) => write!(f, "P{j}"),
+            GmlFormula::Not(x) => write!(f, "!{x}"),
+            GmlFormula::And(a, b) => write!(f, "({a} & {b})"),
+            GmlFormula::Or(a, b) => write!(f, "({a} | {b})"),
+            GmlFormula::Diamond { at_least, inner } => write!(f, "<{at_least}>{inner}"),
+        }
+    }
+}
+
+/// Convenience constructors.
+pub mod gml {
+    use super::GmlFormula;
+
+    /// `⊤`.
+    pub fn top() -> GmlFormula {
+        GmlFormula::Top
+    }
+
+    /// `P_j`.
+    pub fn prop(j: usize) -> GmlFormula {
+        GmlFormula::Prop(j)
+    }
+
+    /// `¬φ`.
+    pub fn not(f: GmlFormula) -> GmlFormula {
+        GmlFormula::Not(Box::new(f))
+    }
+
+    /// `φ ∧ ψ`.
+    pub fn and(a: GmlFormula, b: GmlFormula) -> GmlFormula {
+        GmlFormula::And(Box::new(a), Box::new(b))
+    }
+
+    /// `φ ∨ ψ`.
+    pub fn or(a: GmlFormula, b: GmlFormula) -> GmlFormula {
+        GmlFormula::Or(Box::new(a), Box::new(b))
+    }
+
+    /// `◇≥n φ`.
+    pub fn diamond(at_least: usize, f: GmlFormula) -> GmlFormula {
+        GmlFormula::Diamond { at_least, inner: Box::new(f) }
+    }
+}
+
+/// Parses a GML formula: `T`, `P0`, `!f`, `(f & g)`, `(f | g)`,
+/// `<n>f` (diamond with grade `n`).
+pub fn parse_gml(input: &str) -> Result<GmlFormula, String> {
+    let mut p = GmlParser { s: input.as_bytes(), pos: 0 };
+    let f = p.formula()?;
+    p.skip_ws();
+    if p.pos != p.s.len() {
+        return Err(format!("trailing input at byte {}", p.pos));
+    }
+    Ok(f)
+}
+
+struct GmlParser<'a> {
+    s: &'a [u8],
+    pos: usize,
+}
+
+impl GmlParser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.s.len() && self.s[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn formula(&mut self) -> Result<GmlFormula, String> {
+        self.skip_ws();
+        match self.s.get(self.pos) {
+            Some(b'T') => {
+                self.pos += 1;
+                Ok(GmlFormula::Top)
+            }
+            Some(b'P') => {
+                self.pos += 1;
+                let j = self.int()?;
+                Ok(GmlFormula::Prop(j))
+            }
+            Some(b'!') => {
+                self.pos += 1;
+                Ok(GmlFormula::Not(Box::new(self.formula()?)))
+            }
+            Some(b'<') => {
+                self.pos += 1;
+                let n = self.int()?;
+                if self.s.get(self.pos) != Some(&b'>') {
+                    return Err("expected '>'".into());
+                }
+                self.pos += 1;
+                Ok(GmlFormula::Diamond { at_least: n, inner: Box::new(self.formula()?) })
+            }
+            Some(b'(') => {
+                self.pos += 1;
+                let a = self.formula()?;
+                self.skip_ws();
+                let op = self.s.get(self.pos).copied().ok_or("unexpected end")?;
+                self.pos += 1;
+                let b = self.formula()?;
+                self.skip_ws();
+                if self.s.get(self.pos) != Some(&b')') {
+                    return Err("expected ')'".into());
+                }
+                self.pos += 1;
+                match op {
+                    b'&' => Ok(GmlFormula::And(Box::new(a), Box::new(b))),
+                    b'|' => Ok(GmlFormula::Or(Box::new(a), Box::new(b))),
+                    c => Err(format!("unknown connective {:?}", c as char)),
+                }
+            }
+            other => Err(format!("unexpected {:?} at byte {}", other.map(|&c| c as char), self.pos)),
+        }
+    }
+
+    fn int(&mut self) -> Result<usize, String> {
+        let start = self.pos;
+        while self.s.get(self.pos).map(|c| c.is_ascii_digit()).unwrap_or(false) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err("expected integer".into());
+        }
+        std::str::from_utf8(&self.s[start..self.pos])
+            .unwrap()
+            .parse()
+            .map_err(|_| "bad integer".into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::gml::*;
+    use super::*;
+    use gel_graph::families::{path, star};
+
+    #[test]
+    fn props_and_connectives() {
+        // labels: dim 2; vertex labels one-hot.
+        let g = path(3).with_labels(vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0], 2);
+        assert_eq!(prop(0).eval(&g), vec![true, false, true]);
+        assert_eq!(not(prop(0)).eval(&g), vec![false, true, false]);
+        assert_eq!(and(prop(0), prop(1)).eval(&g), vec![false, false, false]);
+        assert_eq!(or(prop(0), prop(1)).eval(&g), vec![true, true, true]);
+        assert_eq!(top().eval(&g), vec![true; 3]);
+    }
+
+    #[test]
+    fn graded_diamond_counts_neighbours() {
+        let g = star(3); // center 0
+        // ◇≥3 ⊤: only the center has 3 neighbours.
+        assert_eq!(diamond(3, top()).eval(&g), vec![true, false, false, false]);
+        assert_eq!(diamond(1, top()).eval(&g), vec![true; 4]);
+        assert_eq!(diamond(4, top()).eval(&g), vec![false; 4]);
+    }
+
+    #[test]
+    fn nested_diamonds() {
+        // "has a neighbour that has ≥ 3 neighbours" on a star: true for
+        // leaves (their only neighbour is the center) and false for the
+        // center (leaves have degree 1).
+        let g = star(3);
+        let f = diamond(1, diamond(3, top()));
+        assert_eq!(f.eval(&g), vec![false, true, true, true]);
+        assert_eq!(f.modal_depth(), 2);
+    }
+
+    #[test]
+    fn parser_roundtrip() {
+        for s in ["T", "P0", "!P1", "(P0 & <2>T)", "<1>(P0 | !P1)", "<3><1>P0"] {
+            let f = parse_gml(s).unwrap();
+            let back = parse_gml(&f.to_string()).unwrap();
+            assert_eq!(f, back, "roundtrip failed on {s}");
+        }
+        assert!(parse_gml("Q0").is_err());
+        assert!(parse_gml("(P0 & P1").is_err());
+        assert!(parse_gml("<>P0").is_err());
+    }
+
+    #[test]
+    fn size_and_depth() {
+        let f = parse_gml("(P0 & <2>!P1)").unwrap();
+        assert_eq!(f.modal_depth(), 1);
+        assert_eq!(f.size(), 5);
+        assert_eq!(f.max_prop(), Some(1));
+    }
+}

@@ -1,0 +1,35 @@
+//! # gel-logic — graded modal logic and its MPNN compilation
+//!
+//! System S6 of DESIGN.md: the logic side of the paper's
+//! characterisation results.
+//!
+//! * [`gml`] — graded modal logic: syntax, parser, exact evaluator
+//!   (slide 54);
+//! * [`compile`] — the constructive translation GML → `MPNN(Ω,Θ)`
+//!   (Barceló et al., ICLR 2020), verified *exactly* against the logic
+//!   evaluator in experiment E6;
+//! * [`c2`] — two-variable counting logic `C²` and its guarded
+//!   fragment, with the classical GML → guarded-C² embedding behind
+//!   `ρ(CR) = ρ(guarded C²)` (slide 51).
+
+//! ```
+//! use gel_logic::{parse_gml, gml_to_mpnn};
+//! use gel_lang::eval::eval;
+//! use gel_graph::families::star;
+//!
+//! // "has at least three neighbours" — true exactly at the hub.
+//! let f = parse_gml("<3>T").unwrap();
+//! let table = eval(&gml_to_mpnn(&f), &star(3));
+//! assert_eq!(table.cell(&[0]), &[1.0]);
+//! assert_eq!(table.cell(&[1]), &[0.0]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod c2;
+pub mod compile;
+pub mod gml;
+
+pub use c2::{gml_to_guarded_c2, C2Formula};
+pub use compile::gml_to_mpnn;
+pub use gml::{parse_gml, GmlFormula};

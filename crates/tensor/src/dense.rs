@@ -1,0 +1,207 @@
+//! A fully-connected layer `Y = σ(X · W + b)` with manual backprop.
+
+use rand::Rng;
+
+use crate::activation::Activation;
+use crate::init::Init;
+use crate::matrix::Matrix;
+use crate::param::{Param, Parameterized};
+
+/// A dense (fully connected) layer.
+///
+/// Forward caches the input and pre-activation so [`Dense::backward`]
+/// can be called once per forward pass. Gradients *accumulate* into the
+/// parameter grads; call [`Parameterized::zero_grads`] between steps.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    /// Weight matrix, shape `in_dim × out_dim`.
+    pub w: Param,
+    /// Bias row, shape `1 × out_dim`.
+    pub b: Param,
+    /// Pointwise non-linearity applied after the affine map.
+    pub activation: Activation,
+    cached_input: Option<Matrix>,
+    cached_pre: Option<Matrix>,
+}
+
+impl Dense {
+    /// Creates a layer with the given initialization.
+    pub fn new(
+        in_dim: usize,
+        out_dim: usize,
+        activation: Activation,
+        init: Init,
+        rng: &mut impl Rng,
+    ) -> Self {
+        Self {
+            w: Param::new(init.matrix(in_dim, out_dim, rng)),
+            b: Param::new(Matrix::zeros(1, out_dim)),
+            activation,
+            cached_input: None,
+            cached_pre: None,
+        }
+    }
+
+    /// Creates a layer from explicit weights (used by compilers that
+    /// synthesize exact networks, e.g. the GML → MPNN translation).
+    pub fn from_weights(w: Matrix, b: Vec<f64>, activation: Activation) -> Self {
+        assert_eq!(w.cols(), b.len(), "bias width must match out_dim");
+        Self {
+            w: Param::new(w),
+            b: Param::new(Matrix::row_vector(&b)),
+            activation,
+            cached_input: None,
+            cached_pre: None,
+        }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.w.value.rows()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.w.value.cols()
+    }
+
+    /// Forward pass; caches activations for backward.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let mut pre = x.matmul(&self.w.value);
+        pre.add_row_broadcast(self.b.value.row(0));
+        let out = self.activation.apply_matrix(&pre);
+        self.cached_input = Some(x.clone());
+        self.cached_pre = Some(pre);
+        out
+    }
+
+    /// Forward without caching (inference only).
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        let mut pre = x.matmul(&self.w.value);
+        pre.add_row_broadcast(self.b.value.row(0));
+        self.activation.apply_matrix(&pre)
+    }
+
+    /// Backward pass: given `∂L/∂Y`, accumulates `∂L/∂W`, `∂L/∂b` and
+    /// returns `∂L/∂X`.
+    ///
+    /// # Panics
+    /// Panics if called before `forward`.
+    pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let x = self.cached_input.as_ref().expect("backward before forward");
+        let pre = self.cached_pre.as_ref().expect("backward before forward");
+        assert_eq!(grad_out.shape(), pre.shape(), "grad shape mismatch");
+
+        // δ = grad_out ⊙ σ'(pre)
+        let act = self.activation;
+        let delta = Matrix::from_fn(pre.rows(), pre.cols(), |i, j| {
+            grad_out[(i, j)] * act.derivative(pre[(i, j)])
+        });
+
+        // ∂L/∂W = Xᵀ δ ; ∂L/∂b = column sums of δ ; ∂L/∂X = δ Wᵀ
+        self.w.grad += &x.t_matmul(&delta);
+        let bias_grad = delta.column_sums();
+        for (g, &d) in self.b.grad.data_mut().iter_mut().zip(&bias_grad) {
+            *g += d;
+        }
+        delta.matmul_t(&self.w.value)
+    }
+}
+
+impl Parameterized for Dense {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.w);
+        f(&mut self.b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn finite_diff_check(act: Activation) {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut layer = Dense::new(3, 2, act, Init::Xavier, &mut rng);
+        let x = Init::Uniform(1.0).matrix(4, 3, &mut rng);
+        // Loss = sum of outputs (so ∂L/∂Y = 1 everywhere).
+        let loss = |l: &Dense, x: &Matrix| l.infer(x).sum();
+
+        let y = layer.forward(&x);
+        let grad_out = Matrix::filled(y.rows(), y.cols(), 1.0);
+        let grad_x = layer.backward(&grad_out);
+
+        let h = 1e-6;
+        // Check weight gradients.
+        for idx in 0..layer.w.value.data().len() {
+            let orig = layer.w.value.data()[idx];
+            layer.w.value.data_mut()[idx] = orig + h;
+            let up = loss(&layer, &x);
+            layer.w.value.data_mut()[idx] = orig - h;
+            let dn = loss(&layer, &x);
+            layer.w.value.data_mut()[idx] = orig;
+            let num = (up - dn) / (2.0 * h);
+            assert!(
+                (num - layer.w.grad.data()[idx]).abs() < 1e-4,
+                "{act:?} w[{idx}]: numeric {num} vs analytic {}",
+                layer.w.grad.data()[idx]
+            );
+        }
+        // Check input gradients.
+        let mut xm = x.clone();
+        for idx in 0..xm.data().len() {
+            let orig = xm.data()[idx];
+            xm.data_mut()[idx] = orig + h;
+            let up = loss(&layer, &xm);
+            xm.data_mut()[idx] = orig - h;
+            let dn = loss(&layer, &xm);
+            xm.data_mut()[idx] = orig;
+            let num = (up - dn) / (2.0 * h);
+            assert!(
+                (num - grad_x.data()[idx]).abs() < 1e-4,
+                "{act:?} x[{idx}]: numeric {num} vs analytic {}",
+                grad_x.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn gradients_identity() {
+        finite_diff_check(Activation::Identity);
+    }
+
+    #[test]
+    fn gradients_sigmoid() {
+        finite_diff_check(Activation::Sigmoid);
+    }
+
+    #[test]
+    fn gradients_tanh() {
+        finite_diff_check(Activation::Tanh);
+    }
+
+    #[test]
+    fn gradients_relu() {
+        finite_diff_check(Activation::ReLU);
+    }
+
+    #[test]
+    fn bias_gradient_accumulates_over_rows() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut layer = Dense::new(2, 1, Activation::Identity, Init::Xavier, &mut rng);
+        let x = Matrix::filled(5, 2, 1.0);
+        let y = layer.forward(&x);
+        layer.backward(&Matrix::filled(y.rows(), 1, 1.0));
+        assert!((layer.b.grad[(0, 0)] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_weights_exact() {
+        let w = Matrix::from_rows(&[&[2.0], &[3.0]]);
+        let layer = Dense::from_weights(w, vec![-1.0], Activation::ReLU);
+        let y = layer.infer(&Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 0.0]]));
+        assert_eq!(y.row(0), &[4.0]);
+        assert_eq!(y.row(1), &[0.0]);
+    }
+}

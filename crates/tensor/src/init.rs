@@ -1,0 +1,74 @@
+//! Weight initialization schemes.
+//!
+//! The separation-power experiments (E1, E3) rely on *random-weight*
+//! networks acting as almost-surely-injective hash functions of the WL
+//! colours, so initializers take an explicit RNG for reproducibility.
+
+use rand::Rng;
+
+use crate::matrix::Matrix;
+
+/// Initialization scheme for weight matrices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Init {
+    /// Uniform on `[-a, a]`.
+    Uniform(f64),
+    /// Glorot/Xavier uniform: `a = sqrt(6 / (fan_in + fan_out))`.
+    Xavier,
+    /// He/Kaiming uniform: `a = sqrt(6 / fan_in)` (for ReLU nets).
+    He,
+    /// All zeros (biases).
+    Zeros,
+}
+
+impl Init {
+    /// Samples a `rows × cols` matrix; `rows` is treated as fan-in.
+    pub fn matrix(self, rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix {
+        let a = match self {
+            Init::Uniform(a) => a,
+            Init::Xavier => (6.0 / (rows + cols) as f64).sqrt(),
+            Init::He => (6.0 / rows.max(1) as f64).sqrt(),
+            Init::Zeros => return Matrix::zeros(rows, cols),
+        };
+        Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-a..=a))
+    }
+
+    /// Samples a vector of length `n` (fan-in = n).
+    pub fn vector(self, n: usize, rng: &mut impl Rng) -> Vec<f64> {
+        match self {
+            Init::Zeros => vec![0.0; n],
+            _ => self.matrix(n.max(1), 1, rng).data().to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_scale_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = Init::Xavier.matrix(10, 10, &mut rng);
+        let a = (6.0 / 20.0_f64).sqrt();
+        assert!(m.data().iter().all(|&x| x.abs() <= a));
+        // Not all-zero with overwhelming probability.
+        assert!(m.max_abs() > 0.0);
+    }
+
+    #[test]
+    fn zeros_is_zero() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(Init::Zeros.matrix(3, 4, &mut rng), Matrix::zeros(3, 4));
+        assert_eq!(Init::Zeros.vector(5, &mut rng), vec![0.0; 5]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let m1 = Init::He.matrix(4, 4, &mut StdRng::seed_from_u64(7));
+        let m2 = Init::He.matrix(4, 4, &mut StdRng::seed_from_u64(7));
+        assert_eq!(m1, m2);
+    }
+}

@@ -1,0 +1,235 @@
+//! Loss functions L : Y² → ℝ (paper slide 18: "cross entropy, least
+//! squares, …"), each returning the mean loss and its gradient w.r.t.
+//! the prediction.
+
+use crate::matrix::Matrix;
+
+/// A differentiable loss over batched predictions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Loss {
+    /// Mean squared error (least squares, slide 18).
+    Mse,
+    /// Binary cross entropy on probabilities in (0, 1).
+    BinaryCrossEntropy,
+    /// Sigmoid + binary cross entropy fused on raw logits — numerically
+    /// stable for saturated predictions (`loss = max(x,0) − x·t +
+    /// ln(1+e^{−|x|})`, `∂ = σ(x) − t`).
+    BceWithLogits,
+    /// Softmax + categorical cross entropy; targets are one-hot rows.
+    SoftmaxCrossEntropy,
+}
+
+impl Loss {
+    /// Computes `(mean loss, ∂L/∂pred)` for predictions `pred` and
+    /// targets `target` of equal shape.
+    pub fn eval(self, pred: &Matrix, target: &Matrix) -> (f64, Matrix) {
+        assert_eq!(pred.shape(), target.shape(), "loss shape mismatch");
+        let n = pred.rows().max(1) as f64;
+        match self {
+            Loss::Mse => {
+                let mut grad = Matrix::zeros(pred.rows(), pred.cols());
+                let mut total = 0.0;
+                for i in 0..pred.data().len() {
+                    let d = pred.data()[i] - target.data()[i];
+                    total += d * d;
+                    grad.data_mut()[i] = 2.0 * d / n;
+                }
+                (total / n, grad)
+            }
+            Loss::BinaryCrossEntropy => {
+                let eps = 1e-12;
+                let mut grad = Matrix::zeros(pred.rows(), pred.cols());
+                let mut total = 0.0;
+                for i in 0..pred.data().len() {
+                    let p = pred.data()[i].clamp(eps, 1.0 - eps);
+                    let t = target.data()[i];
+                    total += -(t * p.ln() + (1.0 - t) * (1.0 - p).ln());
+                    grad.data_mut()[i] = ((p - t) / (p * (1.0 - p))) / n;
+                }
+                (total / n, grad)
+            }
+            Loss::BceWithLogits => {
+                let mut grad = Matrix::zeros(pred.rows(), pred.cols());
+                let mut total = 0.0;
+                for i in 0..pred.data().len() {
+                    let x = pred.data()[i];
+                    let t = target.data()[i];
+                    total += x.max(0.0) - x * t + (1.0 + (-x.abs()).exp()).ln();
+                    let sig = 1.0 / (1.0 + (-x).exp());
+                    grad.data_mut()[i] = (sig - t) / n;
+                }
+                (total / n, grad)
+            }
+            Loss::SoftmaxCrossEntropy => {
+                let mut grad = Matrix::zeros(pred.rows(), pred.cols());
+                let mut total = 0.0;
+                for r in 0..pred.rows() {
+                    let row = pred.row(r);
+                    let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                    let exps: Vec<f64> = row.iter().map(|&x| (x - max).exp()).collect();
+                    let z: f64 = exps.iter().sum();
+                    for c in 0..pred.cols() {
+                        let p = exps[c] / z;
+                        let t = target[(r, c)];
+                        if t > 0.0 {
+                            total += -t * (p.max(1e-300)).ln();
+                        }
+                        grad[(r, c)] = (p - t) / n;
+                    }
+                }
+                (total / n, grad)
+            }
+        }
+    }
+}
+
+/// Row-wise softmax (utility for classifiers / attention weights).
+pub fn softmax_rows(m: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(m.rows(), m.cols());
+    for r in 0..m.rows() {
+        let row = m.row(r);
+        let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let exps: Vec<f64> = row.iter().map(|&x| (x - max).exp()).collect();
+        let z: f64 = exps.iter().sum();
+        for (c, e) in exps.iter().enumerate() {
+            out[(r, c)] = e / z;
+        }
+    }
+    out
+}
+
+/// Fraction of rows where the argmax of `pred` matches the argmax of
+/// one-hot `target`.
+pub fn accuracy(pred: &Matrix, target: &Matrix) -> f64 {
+    assert_eq!(pred.shape(), target.shape());
+    if pred.rows() == 0 {
+        return 0.0;
+    }
+    let argmax = |row: &[f64]| {
+        row.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap()
+    };
+    let hits = (0..pred.rows()).filter(|&r| argmax(pred.row(r)) == argmax(target.row(r))).count();
+    hits as f64 / pred.rows() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_zero_at_target() {
+        let p = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let (l, g) = Loss::Mse.eval(&p, &p);
+        assert_eq!(l, 0.0);
+        assert_eq!(g.max_abs(), 0.0);
+    }
+
+    #[test]
+    fn mse_gradient_finite_diff() {
+        let p = Matrix::from_rows(&[&[0.3, -0.7], &[1.2, 0.0]]);
+        let t = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let (_, g) = Loss::Mse.eval(&p, &t);
+        let h = 1e-6;
+        for i in 0..p.data().len() {
+            let mut up = p.clone();
+            up.data_mut()[i] += h;
+            let mut dn = p.clone();
+            dn.data_mut()[i] -= h;
+            let num = (Loss::Mse.eval(&up, &t).0 - Loss::Mse.eval(&dn, &t).0) / (2.0 * h);
+            assert!((num - g.data()[i]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn bce_gradient_finite_diff() {
+        let p = Matrix::from_rows(&[&[0.3], &[0.8]]);
+        let t = Matrix::from_rows(&[&[0.0], &[1.0]]);
+        let (_, g) = Loss::BinaryCrossEntropy.eval(&p, &t);
+        let h = 1e-7;
+        for i in 0..p.data().len() {
+            let mut up = p.clone();
+            up.data_mut()[i] += h;
+            let mut dn = p.clone();
+            dn.data_mut()[i] -= h;
+            let num = (Loss::BinaryCrossEntropy.eval(&up, &t).0
+                - Loss::BinaryCrossEntropy.eval(&dn, &t).0)
+                / (2.0 * h);
+            assert!((num - g.data()[i]).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn softmax_ce_gradient_finite_diff() {
+        let p = Matrix::from_rows(&[&[0.5, -0.2, 1.1]]);
+        let t = Matrix::from_rows(&[&[0.0, 1.0, 0.0]]);
+        let (_, g) = Loss::SoftmaxCrossEntropy.eval(&p, &t);
+        let h = 1e-6;
+        for i in 0..p.data().len() {
+            let mut up = p.clone();
+            up.data_mut()[i] += h;
+            let mut dn = p.clone();
+            dn.data_mut()[i] -= h;
+            let num = (Loss::SoftmaxCrossEntropy.eval(&up, &t).0
+                - Loss::SoftmaxCrossEntropy.eval(&dn, &t).0)
+                / (2.0 * h);
+            assert!((num - g.data()[i]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn bce_with_logits_matches_bce_and_is_stable() {
+        // Agreement with plain BCE at moderate logits.
+        let x = Matrix::from_rows(&[&[0.3], &[-1.2]]);
+        let t = Matrix::from_rows(&[&[1.0], &[0.0]]);
+        let p = x.map(|v| 1.0 / (1.0 + (-v).exp()));
+        let (l1, _) = Loss::BceWithLogits.eval(&x, &t);
+        let (l2, _) = Loss::BinaryCrossEntropy.eval(&p, &t);
+        assert!((l1 - l2).abs() < 1e-9);
+        // Stability at extreme logits: finite loss and bounded gradient.
+        let x = Matrix::from_rows(&[&[500.0], &[-500.0]]);
+        let t = Matrix::from_rows(&[&[0.0], &[1.0]]);
+        let (l, g) = Loss::BceWithLogits.eval(&x, &t);
+        assert!(l.is_finite() && l > 100.0);
+        assert!(g.max_abs() <= 0.5 + 1e-12);
+    }
+
+    #[test]
+    fn bce_with_logits_gradient_finite_diff() {
+        let x = Matrix::from_rows(&[&[0.7, -0.3]]);
+        let t = Matrix::from_rows(&[&[1.0, 0.0]]);
+        let (_, g) = Loss::BceWithLogits.eval(&x, &t);
+        let h = 1e-6;
+        for i in 0..x.data().len() {
+            let mut up = x.clone();
+            up.data_mut()[i] += h;
+            let mut dn = x.clone();
+            dn.data_mut()[i] -= h;
+            let num = (Loss::BceWithLogits.eval(&up, &t).0 - Loss::BceWithLogits.eval(&dn, &t).0)
+                / (2.0 * h);
+            assert!((num - g.data()[i]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[-1.0, 0.0, 1.0]]);
+        let s = softmax_rows(&m);
+        for r in 0..2 {
+            let sum: f64 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+        }
+        // Monotone in the logits.
+        assert!(s[(0, 2)] > s[(0, 1)] && s[(0, 1)] > s[(0, 0)]);
+    }
+
+    #[test]
+    fn accuracy_counts_argmax_matches() {
+        let p = Matrix::from_rows(&[&[0.9, 0.1], &[0.2, 0.8], &[0.6, 0.4]]);
+        let t = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 0.0], &[1.0, 0.0]]);
+        assert!((accuracy(&p, &t) - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

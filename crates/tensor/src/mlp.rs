@@ -1,0 +1,196 @@
+//! Multi-layer perceptrons (paper footnote 15: layered architectures
+//! `F(t) = σ(W(t) F(t−1) + b(t))`).
+//!
+//! MLPs play two roles in the reproduction: the learnable update /
+//! readout functions inside GNN layers, and the "mlp-closure" of the
+//! function set Ω required by the approximation theorem (slide 53).
+
+use rand::Rng;
+
+use crate::activation::Activation;
+use crate::dense::Dense;
+use crate::init::Init;
+use crate::matrix::Matrix;
+use crate::param::{Param, Parameterized};
+
+/// A stack of [`Dense`] layers.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer widths; all hidden layers use
+    /// `hidden_act`, the final layer uses `out_act`.
+    ///
+    /// `dims = [in, h1, …, out]` must have length ≥ 2.
+    pub fn new(
+        dims: &[usize],
+        hidden_act: Activation,
+        out_act: Activation,
+        init: Init,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(dims.len() >= 2, "an MLP needs at least one layer");
+        let mut layers = Vec::with_capacity(dims.len() - 1);
+        for w in dims.windows(2) {
+            let last = layers.len() == dims.len() - 2;
+            let act = if last { out_act } else { hidden_act };
+            layers.push(Dense::new(w[0], w[1], act, init, rng));
+        }
+        Self { layers }
+    }
+
+    /// Wraps explicit layers (exact constructions).
+    pub fn from_layers(layers: Vec<Dense>) -> Self {
+        assert!(!layers.is_empty(), "an MLP needs at least one layer");
+        for pair in layers.windows(2) {
+            assert_eq!(
+                pair[0].out_dim(),
+                pair[1].in_dim(),
+                "layer dimension mismatch inside MLP"
+            );
+        }
+        Self { layers }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().unwrap().out_dim()
+    }
+
+    /// Number of layers.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Forward pass with caching (training).
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward(&cur);
+        }
+        cur
+    }
+
+    /// Forward pass without caching (inference).
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        let mut cur = x.clone();
+        for layer in &self.layers {
+            cur = layer.infer(&cur);
+        }
+        cur
+    }
+
+    /// Backward pass; returns `∂L/∂X`.
+    pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let mut grad = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            grad = layer.backward(&grad);
+        }
+        grad
+    }
+}
+
+impl Parameterized for Mlp {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shapes_flow_through() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut mlp = Mlp::new(&[4, 8, 8, 2], Activation::ReLU, Activation::Identity, Init::He, &mut rng);
+        assert_eq!(mlp.in_dim(), 4);
+        assert_eq!(mlp.out_dim(), 2);
+        assert_eq!(mlp.depth(), 3);
+        let y = mlp.forward(&Matrix::zeros(5, 4));
+        assert_eq!(y.shape(), (5, 2));
+    }
+
+    #[test]
+    fn end_to_end_gradient_check() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut mlp =
+            Mlp::new(&[3, 5, 1], Activation::Tanh, Activation::Identity, Init::Xavier, &mut rng);
+        let x = Init::Uniform(1.0).matrix(2, 3, &mut rng);
+        let y = mlp.forward(&x);
+        mlp.backward(&Matrix::filled(y.rows(), y.cols(), 1.0));
+
+        // Finite-difference check on the first layer's first weight.
+        let h = 1e-6;
+        let analytic = {
+            let mut g = None;
+            let mut i = 0;
+            mlp.visit_params(&mut |p| {
+                if i == 0 {
+                    g = Some(p.grad.data()[0]);
+                }
+                i += 1;
+            });
+            g.unwrap()
+        };
+        let perturb = |delta: f64, mlp: &mut Mlp| {
+            let mut i = 0;
+            mlp.visit_params(&mut |p| {
+                if i == 0 {
+                    p.value.data_mut()[0] += delta;
+                }
+                i += 1;
+            });
+        };
+        perturb(h, &mut mlp);
+        let up = mlp.infer(&x).sum();
+        perturb(-2.0 * h, &mut mlp);
+        let dn = mlp.infer(&x).sum();
+        perturb(h, &mut mlp);
+        let numeric = (up - dn) / (2.0 * h);
+        assert!((numeric - analytic).abs() < 1e-4, "numeric {numeric} vs analytic {analytic}");
+    }
+
+    #[test]
+    fn mlp_can_fit_xor() {
+        // The classic sanity check that backprop + optimizer actually learn.
+        use crate::loss::Loss;
+        use crate::optim::{Optimizer, Sgd};
+        let mut rng = StdRng::seed_from_u64(1234);
+        let mut mlp =
+            Mlp::new(&[2, 8, 1], Activation::Tanh, Activation::Sigmoid, Init::Xavier, &mut rng);
+        let x = Matrix::from_rows(&[&[0.0, 0.0], &[0.0, 1.0], &[1.0, 0.0], &[1.0, 1.0]]);
+        let t = Matrix::from_rows(&[&[0.0], &[1.0], &[1.0], &[0.0]]);
+        let mut opt = Sgd::new(0.5);
+        let mut last = f64::INFINITY;
+        for _ in 0..2000 {
+            mlp.zero_grads();
+            let y = mlp.forward(&x);
+            let (loss, grad) = Loss::Mse.eval(&y, &t);
+            mlp.backward(&grad);
+            opt.step(&mut mlp);
+            last = loss;
+        }
+        assert!(last < 0.01, "XOR not learned, final loss {last}");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn from_layers_checks_dims() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Dense::new(2, 3, Activation::ReLU, Init::He, &mut rng);
+        let b = Dense::new(4, 1, Activation::ReLU, Init::He, &mut rng);
+        let _ = Mlp::from_layers(vec![a, b]);
+    }
+}

@@ -1,0 +1,65 @@
+//! Property-based tests for the linear-algebra substrate: the
+//! algebraic laws every downstream layer silently relies on.
+
+use gel_tensor::Matrix;
+use proptest::prelude::*;
+
+fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0f64..10.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transpose_of_product((a, b) in (small_matrix(3, 4), small_matrix(4, 2))) {
+        // (A·B)ᵀ = Bᵀ·Aᵀ
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert!(lhs.approx_eq(&rhs, 1e-9));
+    }
+
+    #[test]
+    fn matmul_associative((a, b, c) in (small_matrix(2, 3), small_matrix(3, 4), small_matrix(4, 2))) {
+        let lhs = a.matmul(&b).matmul(&c);
+        let rhs = a.matmul(&b.matmul(&c));
+        prop_assert!(lhs.approx_eq(&rhs, 1e-7));
+    }
+
+    #[test]
+    fn fused_transpose_kernels_agree((a, b) in (small_matrix(4, 3), small_matrix(4, 2))) {
+        prop_assert!(a.t_matmul(&b).approx_eq(&a.transpose().matmul(&b), 1e-9));
+        let c = Matrix::from_vec(5, 3, vec![1.0; 15]);
+        prop_assert!(a.matmul_t(&c).approx_eq(&a.matmul(&c.transpose()), 1e-9));
+    }
+
+    #[test]
+    fn matmul_distributes_over_add((a, b, c) in (small_matrix(3, 3), small_matrix(3, 3), small_matrix(3, 3))) {
+        let lhs = a.matmul(&(&b + &c));
+        let rhs = &a.matmul(&b) + &a.matmul(&c);
+        prop_assert!(lhs.approx_eq(&rhs, 1e-8));
+    }
+
+    #[test]
+    fn hadamard_commutative((a, b) in (small_matrix(3, 4), small_matrix(3, 4))) {
+        prop_assert!(a.hadamard(&b).approx_eq(&b.hadamard(&a), 0.0));
+    }
+
+    #[test]
+    fn column_sums_linear((a, b) in (small_matrix(4, 3), small_matrix(4, 3))) {
+        let sum = &a + &b;
+        let lhs = sum.column_sums();
+        let ra = a.column_sums();
+        let rb = b.column_sums();
+        for i in 0..3 {
+            prop_assert!((lhs[i] - (ra[i] + rb[i])).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn frobenius_triangle_inequality((a, b) in (small_matrix(3, 3), small_matrix(3, 3))) {
+        let sum = &a + &b;
+        prop_assert!(sum.frobenius_norm() <= a.frobenius_norm() + b.frobenius_norm() + 1e-9);
+    }
+}

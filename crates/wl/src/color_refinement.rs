@@ -1,0 +1,225 @@
+//! Colour refinement (1-dimensional Weisfeiler–Leman), the paper's
+//! yardstick for MPNN separation power (slide 50):
+//!
+//! 1. *Initialization*: all vertices have their original colours
+//!    (labels).
+//! 2. *Refinement*: two vertices get different colours if there is a
+//!    colour `c` such that they have a different number of neighbours
+//!    of colour `c`.
+//!
+//! The process stabilizes after at most `n` rounds; a graph's colour is
+//! the multiset of its vertex colours.
+//!
+//! Implementation notes. Signatures are `(old colour, sorted multiset
+//! of neighbour colours)`; renaming is canonical (sorted order of
+//! signatures) so several graphs refined *jointly* receive comparable
+//! colours — the experiment harness uses this instead of materializing
+//! disjoint unions. For directed graphs, in- and out-neighbourhoods are
+//! refined separately (the natural generalization; on symmetric graphs
+//! this coincides with the textbook algorithm).
+
+use gel_graph::Graph;
+
+use crate::partition::{canonical_rename, label_key, Color, Coloring};
+
+/// Options for colour refinement.
+#[derive(Debug, Clone, Copy)]
+pub struct CrOptions {
+    /// Maximum number of rounds (defaults to `n`, which always
+    /// suffices; lower values compute the round-`t` colouring, which is
+    /// what a `t`-layer GNN sees — used by E1).
+    pub max_rounds: Option<usize>,
+    /// Ignore vertex labels and start from the uniform colouring.
+    pub ignore_labels: bool,
+}
+
+impl Default for CrOptions {
+    fn default() -> Self {
+        Self { max_rounds: None, ignore_labels: false }
+    }
+}
+
+/// Runs colour refinement jointly on `graphs` until every graph's
+/// colouring is stable (or `max_rounds` is hit).
+pub fn color_refinement(graphs: &[&Graph], opts: CrOptions) -> Coloring {
+    let sizes: Vec<usize> = graphs.iter().map(|g| g.num_vertices()).collect();
+    let total: usize = sizes.iter().sum();
+
+    // Round 0: colours from labels.
+    let init_sigs: Vec<Vec<u64>> = graphs
+        .iter()
+        .flat_map(|g| {
+            g.vertices().map(|v| if opts.ignore_labels { vec![0] } else { label_key(g.label(v)) })
+        })
+        .collect();
+    let (mut flat, mut num_colors) = canonical_rename(init_sigs);
+    let max_rounds = opts.max_rounds.unwrap_or(total.max(1));
+
+    let mut rounds = 0usize;
+    while rounds < max_rounds {
+        // Signature: (own colour, sorted out-nbr colours, sorted in-nbr colours).
+        let mut sigs: Vec<(Color, Vec<Color>, Vec<Color>)> = Vec::with_capacity(total);
+        let mut base = 0usize;
+        for (gi, g) in graphs.iter().enumerate() {
+            for v in g.vertices() {
+                let own = flat[base + v as usize];
+                let mut outc: Vec<Color> =
+                    g.out_neighbors(v).iter().map(|&u| flat[base + u as usize]).collect();
+                outc.sort_unstable();
+                let inc: Vec<Color> = if g.is_symmetric() {
+                    Vec::new()
+                } else {
+                    let mut t: Vec<Color> =
+                        g.in_neighbors(v).iter().map(|&u| flat[base + u as usize]).collect();
+                    t.sort_unstable();
+                    t
+                };
+                sigs.push((own, outc, inc));
+            }
+            base += sizes[gi];
+        }
+        let (new_flat, new_num) = canonical_rename(sigs);
+        rounds += 1;
+        if new_num == num_colors {
+            // A refinement never merges classes, so an equal count means
+            // the partition (and, by canonicity, the colouring) is stable.
+            break;
+        }
+        flat = new_flat;
+        num_colors = new_num;
+    }
+
+    let mut colors = Vec::with_capacity(graphs.len());
+    let mut base = 0usize;
+    for &sz in &sizes {
+        colors.push(flat[base..base + sz].to_vec());
+        base += sz;
+    }
+    Coloring { colors, num_colors, rounds }
+}
+
+/// Convenience: stable colouring of a single graph.
+pub fn color_refinement_single(g: &Graph) -> Coloring {
+    color_refinement(&[g], CrOptions::default())
+}
+
+/// True iff colour refinement cannot distinguish `g` and `h` at the
+/// graph level — i.e. `(g, h) ∈ ρ(colour refinement)`.
+pub fn cr_equivalent(g: &Graph, h: &Graph) -> bool {
+    let c = color_refinement(&[g, h], CrOptions::default());
+    c.graphs_equivalent(0, 1)
+}
+
+/// True iff vertices `(g, v)` and `(h, w)` receive the same stable
+/// colour — vertex-level `ρ(colour refinement)`.
+pub fn cr_vertex_equivalent(g: &Graph, v: gel_graph::Vertex, h: &Graph, w: gel_graph::Vertex) -> bool {
+    let c = color_refinement(&[g, h], CrOptions::default());
+    c.colors[0][v as usize] == c.colors[1][w as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gel_graph::families::{
+        circular_ladder, cr_blind_pair, cycle, moebius_ladder, path, petersen, star,
+    };
+    use gel_graph::random::{erdos_renyi, random_permutation};
+    use gel_graph::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn path_colours_by_distance_to_ends() {
+        let g = path(5);
+        let c = color_refinement_single(&g);
+        // Vertices 0,4 (ends) share a colour; 1,3 share; 2 alone.
+        assert_eq!(c.colors[0][0], c.colors[0][4]);
+        assert_eq!(c.colors[0][1], c.colors[0][3]);
+        assert_ne!(c.colors[0][0], c.colors[0][1]);
+        assert_ne!(c.colors[0][1], c.colors[0][2]);
+        assert_eq!(c.classes_in(0), 3);
+    }
+
+    #[test]
+    fn regular_graph_is_monochromatic() {
+        let c = color_refinement_single(&cycle(8));
+        assert_eq!(c.classes_in(0), 1, "2-regular unlabeled ⇒ single colour");
+    }
+
+    #[test]
+    fn cr_blind_pair_is_equivalent() {
+        let (a, b) = cr_blind_pair();
+        assert!(cr_equivalent(&a, &b), "C6 ≡_CR C3⊎C3 (slide 50)");
+    }
+
+    #[test]
+    fn ladders_blind_pair() {
+        // Circular vs Möbius ladder: both connected 3-regular on 12
+        // vertices ⇒ CR-equivalent, though non-isomorphic.
+        assert!(cr_equivalent(&circular_ladder(6), &moebius_ladder(6)));
+        assert!(!gel_graph::are_isomorphic(&circular_ladder(6), &moebius_ladder(6)));
+    }
+
+    #[test]
+    fn cr_separates_star_from_path() {
+        assert!(!cr_equivalent(&star(3), &path(4)));
+    }
+
+    #[test]
+    fn petersen_vs_c15_like() {
+        // Petersen (3-regular, 10 vertices) vs 5-prism (also 3-regular,
+        // 10 vertices): CR cannot separate regular graphs of equal
+        // degree/size.
+        let prism = circular_ladder(5);
+        assert!(cr_equivalent(&petersen(), &prism));
+    }
+
+    #[test]
+    fn labels_refine_colours() {
+        let g = cycle(6);
+        let labelled = g.with_labels(vec![1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0], 2);
+        let c = color_refinement_single(&labelled);
+        assert!(c.classes_in(0) >= 2, "labels must split the colouring");
+        assert!(!cr_equivalent(&g, &labelled));
+    }
+
+    #[test]
+    fn invariance_under_permutation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for seed in 0..5u64 {
+            let g = erdos_renyi(14, 0.3, &mut StdRng::seed_from_u64(seed));
+            let perm = random_permutation(14, &mut rng);
+            let h = g.permute(&perm);
+            assert!(cr_equivalent(&g, &h), "CR must be isomorphism-invariant");
+            // Vertex-level invariance: v and π(v) same colour.
+            let c = color_refinement(&[&g, &h], CrOptions::default());
+            for v in g.vertices() {
+                assert_eq!(c.colors[0][v as usize], c.colors[1][perm[v as usize] as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn round_limit_gives_coarser_partition() {
+        let g = path(9);
+        let one = color_refinement(&[&g], CrOptions { max_rounds: Some(1), ignore_labels: false });
+        let full = color_refinement_single(&g);
+        assert!(one.classes_in(0) <= full.classes_in(0));
+    }
+
+    #[test]
+    fn directed_refinement_uses_orientation() {
+        let mut b1 = GraphBuilder::new(2);
+        b1.add_arc(0, 1);
+        let g = b1.build();
+        let c = color_refinement_single(&g);
+        assert_eq!(c.classes_in(0), 2, "source and sink must differ");
+    }
+
+    #[test]
+    fn stabilizes_within_n_rounds() {
+        let g = path(20);
+        let c = color_refinement_single(&g);
+        assert!(c.rounds <= 20);
+    }
+}

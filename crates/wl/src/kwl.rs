@@ -1,0 +1,307 @@
+//! The k-dimensional Weisfeiler–Leman algorithms (paper slide 65):
+//! colourings of k-tuples of vertices, refined until stable.
+//!
+//! Two variants are implemented:
+//!
+//! * **folklore k-WL** (`k-FWL`) — the variant the paper (following
+//!   Cai–Fürer–Immerman) calls `k-WL`: one refinement signature per
+//!   tuple is the multiset over `w ∈ V` of the *vector* of colours of
+//!   all `k` one-position substitutions. `ρ(k-FWL) = ρ(C^{k+1})`, and
+//!   `1-FWL` coincides with colour refinement on graphs.
+//! * **oblivious k-WL** (`k-OWL`) — popular in the ML literature: each
+//!   position contributes its own multiset. `k-OWL` has the same power
+//!   as `(k−1)-FWL` for `k ≥ 2`; the correspondence is verified in
+//!   experiment E8.
+//!
+//! The initial colour of a tuple is its *atomic type*: the equality
+//! pattern, the ordered adjacency pattern, and the vertex labels.
+//! Graphs are refined jointly with canonical renaming (see
+//! [`crate::partition`]), so colours are comparable across graphs.
+//!
+//! Complexity is Θ(n^k) space and Θ(k · n^{k+1} · log n) per round —
+//! use only on corpus-scale graphs (the paper's hard instances are all
+//! ≤ 40 vertices).
+
+use gel_graph::Graph;
+
+use crate::partition::{canonical_rename, label_key, Color, Coloring};
+
+/// Which k-WL variant to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WlVariant {
+    /// Folklore k-WL (the paper's `k-WL`).
+    Folklore,
+    /// Oblivious k-WL (per-position multisets).
+    Oblivious,
+}
+
+/// Result of a k-WL run: the joint stable colouring of all `n_g^k`
+/// tuples of each input graph.
+pub type KwlColoring = Coloring;
+
+fn pow(n: usize, k: usize) -> usize {
+    n.checked_pow(k as u32).expect("tuple space too large")
+}
+
+/// Decodes tuple index `idx` (base `n`, most-significant digit first)
+/// into `out`.
+#[inline]
+fn decode(idx: usize, n: usize, out: &mut [u32]) {
+    let mut rest = idx;
+    for slot in out.iter_mut().rev() {
+        *slot = (rest % n) as u32;
+        rest /= n;
+    }
+}
+
+/// Atomic type of a tuple: equality pattern + ordered adjacency +
+/// labels, encoded as an orderable key.
+fn atomic_type(g: &Graph, tuple: &[u32]) -> Vec<u64> {
+    let k = tuple.len();
+    let mut key = Vec::with_capacity(k * k + k);
+    for i in 0..k {
+        for j in 0..k {
+            let eq = u64::from(tuple[i] == tuple[j]);
+            let edge = u64::from(g.has_edge(tuple[i], tuple[j]));
+            key.push(eq << 1 | edge);
+        }
+    }
+    for &v in tuple {
+        key.extend(label_key(g.label(v)));
+    }
+    key
+}
+
+/// Runs `k`-WL of the given variant jointly on `graphs` until stable
+/// (or `max_rounds`).
+///
+/// # Panics
+/// Panics if `k == 0` or the tuple space `n^k` overflows.
+pub fn k_wl(graphs: &[&Graph], k: usize, variant: WlVariant, max_rounds: Option<usize>) -> KwlColoring {
+    assert!(k >= 1, "k must be at least 1");
+    if k == 1 {
+        // By convention 1-WL *is* colour refinement (neighbour
+        // multisets): the pure substitution scheme degenerates at k = 1
+        // to global colour counting, which is strictly weaker and not
+        // what the paper's hierarchy ρ(CR) ⊇ ρ(1-WL) ⊋ ρ(2-WL) means.
+        return crate::color_refinement::color_refinement(
+            graphs,
+            crate::color_refinement::CrOptions { max_rounds, ignore_labels: false },
+        );
+    }
+    let sizes: Vec<usize> = graphs.iter().map(|g| pow(g.num_vertices(), k)).collect();
+    let total: usize = sizes.iter().sum();
+
+    // Round 0: atomic types.
+    let mut init: Vec<Vec<u64>> = Vec::with_capacity(total);
+    let mut tuple = vec![0u32; k];
+    for g in graphs {
+        let n = g.num_vertices();
+        for idx in 0..pow(n, k) {
+            decode(idx, n, &mut tuple);
+            init.push(atomic_type(g, &tuple));
+        }
+    }
+    let (mut flat, mut num_colors) = canonical_rename(init);
+    let limit = max_rounds.unwrap_or(total.max(1));
+
+    // Precompute the stride of position i in the tuple index:
+    // substituting w at position i changes the index by (w - v_i)·n^{k-1-i}.
+    let mut rounds = 0usize;
+    while rounds < limit {
+        match variant {
+            WlVariant::Folklore => {
+                // Signature: (own, sorted multiset over w of [c(sub_1 w), …, c(sub_k w)]).
+                let mut sigs: Vec<(Color, Vec<Vec<Color>>)> = Vec::with_capacity(total);
+                let mut base = 0usize;
+                for g in graphs.iter() {
+                    let n = g.num_vertices();
+                    let strides: Vec<usize> = (0..k).map(|i| pow(n, k - 1 - i)).collect();
+                    for idx in 0..pow(n, k) {
+                        decode(idx, n, &mut tuple);
+                        let own = flat[base + idx];
+                        let mut ms: Vec<Vec<Color>> = Vec::with_capacity(n);
+                        for w in 0..n as u32 {
+                            let mut vec_c = Vec::with_capacity(k);
+                            for i in 0..k {
+                                let sub =
+                                    idx + (w as usize) * strides[i] - (tuple[i] as usize) * strides[i];
+                                vec_c.push(flat[base + sub]);
+                            }
+                            ms.push(vec_c);
+                        }
+                        ms.sort_unstable();
+                        sigs.push((own, ms));
+                    }
+                    base += pow(g.num_vertices(), k);
+                }
+                let (new_flat, new_num) = canonical_rename(sigs);
+                rounds += 1;
+                if new_num == num_colors {
+                    break;
+                }
+                flat = new_flat;
+                num_colors = new_num;
+            }
+            WlVariant::Oblivious => {
+                // Signature: (own, for each i the sorted multiset over w of c(sub_i w)).
+                let mut sigs: Vec<(Color, Vec<Vec<Color>>)> = Vec::with_capacity(total);
+                let mut base = 0usize;
+                for g in graphs.iter() {
+                    let n = g.num_vertices();
+                    let strides: Vec<usize> = (0..k).map(|i| pow(n, k - 1 - i)).collect();
+                    for idx in 0..pow(n, k) {
+                        decode(idx, n, &mut tuple);
+                        let own = flat[base + idx];
+                        let mut per_pos: Vec<Vec<Color>> = Vec::with_capacity(k);
+                        for i in 0..k {
+                            let mut ms: Vec<Color> = (0..n)
+                                .map(|w| {
+                                    let sub =
+                                        idx + w * strides[i] - (tuple[i] as usize) * strides[i];
+                                    flat[base + sub]
+                                })
+                                .collect();
+                            ms.sort_unstable();
+                            per_pos.push(ms);
+                        }
+                        sigs.push((own, per_pos));
+                    }
+                    base += pow(g.num_vertices(), k);
+                }
+                let (new_flat, new_num) = canonical_rename(sigs);
+                rounds += 1;
+                if new_num == num_colors {
+                    break;
+                }
+                flat = new_flat;
+                num_colors = new_num;
+            }
+        }
+    }
+
+    let mut colors = Vec::with_capacity(graphs.len());
+    let mut base = 0usize;
+    for &sz in &sizes {
+        colors.push(flat[base..base + sz].to_vec());
+        base += sz;
+    }
+    Coloring { colors, num_colors, rounds }
+}
+
+/// True iff the given `k`-WL variant cannot distinguish `g` and `h` at
+/// the graph level.
+pub fn k_wl_equivalent(g: &Graph, h: &Graph, k: usize, variant: WlVariant) -> bool {
+    let c = k_wl(&[g, h], k, variant, None);
+    c.graphs_equivalent(0, 1)
+}
+
+/// The smallest `k ≤ k_max` (folklore) that distinguishes `g` from
+/// `h`, or `None` if none does. Convenience for hierarchy experiments.
+pub fn distinguishing_level(g: &Graph, h: &Graph, k_max: usize) -> Option<usize> {
+    (1..=k_max).find(|&k| !k_wl_equivalent(g, h, k, WlVariant::Folklore))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color_refinement::cr_equivalent;
+    use gel_graph::families::{cr_blind_pair, cycle, path, srg_16_6_2_2_pair, union_of_cycles};
+    use gel_graph::random::{erdos_renyi, random_permutation};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn one_fwl_matches_color_refinement_on_corpus() {
+        // 1-FWL refines vertices with full-row substitution = CR.
+        let graphs: Vec<gel_graph::Graph> = vec![
+            path(6),
+            cycle(6),
+            union_of_cycles(&[3, 3]),
+            erdos_renyi(10, 0.4, &mut StdRng::seed_from_u64(1)),
+            erdos_renyi(10, 0.4, &mut StdRng::seed_from_u64(2)),
+        ];
+        for a in &graphs {
+            for b in &graphs {
+                assert_eq!(
+                    cr_equivalent(a, b),
+                    k_wl_equivalent(a, b, 1, WlVariant::Folklore),
+                    "1-FWL must agree with CR"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn two_fwl_separates_cr_blind_pair() {
+        let (a, b) = cr_blind_pair();
+        assert!(k_wl_equivalent(&a, &b, 1, WlVariant::Folklore), "1-WL blind");
+        assert!(!k_wl_equivalent(&a, &b, 2, WlVariant::Folklore), "2-WL separates (slide 65)");
+    }
+
+    #[test]
+    fn two_fwl_blind_on_srg_three_fwl_separates() {
+        let (s, r) = srg_16_6_2_2_pair();
+        assert!(
+            k_wl_equivalent(&s, &r, 2, WlVariant::Folklore),
+            "2-FWL cannot distinguish srg(16,6,2,2) graphs"
+        );
+        assert!(
+            !k_wl_equivalent(&s, &r, 3, WlVariant::Folklore),
+            "3-FWL distinguishes Shrikhande from Rook"
+        );
+    }
+
+    #[test]
+    fn oblivious_2wl_equals_folklore_1wl_on_corpus() {
+        let graphs: Vec<gel_graph::Graph> = vec![
+            cycle(6),
+            union_of_cycles(&[3, 3]),
+            path(6),
+            erdos_renyi(8, 0.5, &mut StdRng::seed_from_u64(3)),
+        ];
+        for a in &graphs {
+            for b in &graphs {
+                assert_eq!(
+                    k_wl_equivalent(a, b, 2, WlVariant::Oblivious),
+                    k_wl_equivalent(a, b, 1, WlVariant::Folklore),
+                    "2-OWL ≡ 1-FWL"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn invariance_under_permutation() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let g = erdos_renyi(8, 0.4, &mut StdRng::seed_from_u64(7));
+        let h = g.permute(&random_permutation(8, &mut rng));
+        assert!(k_wl_equivalent(&g, &h, 2, WlVariant::Folklore));
+        assert!(k_wl_equivalent(&g, &h, 2, WlVariant::Oblivious));
+    }
+
+    #[test]
+    fn distinguishing_level_reports_hierarchy() {
+        let (a, b) = cr_blind_pair();
+        assert_eq!(distinguishing_level(&a, &b, 3), Some(2));
+        let (s, r) = srg_16_6_2_2_pair();
+        assert_eq!(distinguishing_level(&s, &r, 3), Some(3));
+        let g = path(5);
+        assert_eq!(distinguishing_level(&g, &g, 3), None);
+    }
+
+    #[test]
+    fn atomic_types_respect_labels() {
+        let g = cycle(4);
+        let labelled =
+            g.with_labels(vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0], 2);
+        assert!(!k_wl_equivalent(&g, &labelled, 2, WlVariant::Folklore));
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn zero_k_rejected() {
+        let g = path(3);
+        let _ = k_wl(&[&g], 0, WlVariant::Folklore, None);
+    }
+}

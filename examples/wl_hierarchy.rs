@@ -1,0 +1,42 @@
+//! A tour of the Weisfeiler–Leman hierarchy (paper slide 65):
+//! `ρ(CR) = ρ(1-WL) ⊋ ρ(2-WL) ⊋ ρ(3-WL) ⊋ ⋯ ⊋ ρ(iso)`, witnessed on
+//! the classical hard pairs.
+//!
+//! Run: `cargo run --release --example wl_hierarchy`
+
+use gelib::graph::cfi::cfi_pair_k4;
+use gelib::graph::families::{cr_blind_pair, srg_16_6_2_2_pair};
+use gelib::graph::are_isomorphic;
+use gelib::wl::{distinguishing_level, k_wl_equivalent, WlVariant};
+
+fn main() {
+    let pairs = vec![
+        ("C6 vs C3+C3 (2-regular pair)", cr_blind_pair()),
+        ("Shrikhande vs 4x4 Rook (srg(16,6,2,2))", srg_16_6_2_2_pair()),
+        ("CFI(K4) vs twisted CFI(K4)", cfi_pair_k4()),
+    ];
+
+    println!("pair                                      | iso | 1-WL | 2-WL | 3-WL | first separated at");
+    println!("------------------------------------------|-----|------|------|------|-------------------");
+    for (name, (g, h)) in &pairs {
+        let iso = are_isomorphic(g, h);
+        let eqs: Vec<bool> =
+            (1..=3).map(|k| k_wl_equivalent(g, h, k, WlVariant::Folklore)).collect();
+        let level = distinguishing_level(g, h, 3);
+        println!(
+            "{name:<42}| {}   | {}    | {}    | {}    | {}",
+            if iso { "≅" } else { "≇" },
+            if eqs[0] { "≡" } else { "≠" },
+            if eqs[1] { "≡" } else { "≠" },
+            if eqs[2] { "≡" } else { "≠" },
+            level.map_or("beyond 3-WL".to_string(), |k| format!("{k}-WL")),
+        );
+    }
+
+    println!();
+    println!("Reading the table (slide 65):");
+    println!(" * two triangles fool colour refinement but not 2-WL;");
+    println!(" * the strongly regular pair fools 2-WL but not 3-WL;");
+    println!(" * the CFI pair over K4 (treewidth 3) also needs 3-WL —");
+    println!("   Cai–Fürer–Immerman give such a pair for EVERY level k.");
+}

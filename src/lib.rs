@@ -1,0 +1,43 @@
+//! # gelib — *A Query Language Perspective on Graph Learning*, in Rust
+//!
+//! A from-scratch reproduction of Floris Geerts' PODS 2023 keynote: the
+//! `GEL(Ω,Θ)` graph embedding language and everything needed to study
+//! it — graphs, Weisfeiler–Leman tests, homomorphism counting, graded
+//! modal logic, and trainable GNNs with an ERM learning loop.
+//!
+//! The umbrella crate re-exports the workspace members:
+//!
+//! * [`tensor`] (gel-tensor) — matrices, MLPs with manual backprop,
+//!   optimizers, losses;
+//! * [`graph`] (gel-graph) — labelled graphs, generators (including the
+//!   CFI construction and the Shrikhande/rook pair), VF2 isomorphism;
+//! * [`wl`] (gel-wl) — colour refinement and folklore/oblivious k-WL;
+//! * [`hom`] (gel-hom) — tree and bounded-width homomorphism counting;
+//! * [`lang`] (gel-lang) — **the embedding language**: AST, parser,
+//!   evaluator, fragment analysis (the paper's *recipe*), WL
+//!   simulation, normal forms;
+//! * [`logic`] (gel-logic) — graded modal logic and its MPNN
+//!   compilation;
+//! * [`gnn`] (gel-gnn) — trainable GNN-101 / GIN / GraphSage models and
+//!   the ERM training loop.
+//!
+//! Start with the `quickstart` example:
+//!
+//! ```bash
+//! cargo run --example quickstart
+//! ```
+//!
+//! and see DESIGN.md / EXPERIMENTS.md for the per-theorem reproduction
+//! index.
+
+#![warn(missing_docs)]
+
+pub mod spec;
+
+pub use gel_graph as graph;
+pub use gel_gnn as gnn;
+pub use gel_hom as hom;
+pub use gel_lang as lang;
+pub use gel_logic as logic;
+pub use gel_tensor as tensor;
+pub use gel_wl as wl;

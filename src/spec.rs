@@ -1,0 +1,85 @@
+//! Graph specifications for the `gel` command-line tool: tiny textual
+//! names resolving to the library's graph families, e.g. `cycle:6`,
+//! `shrikhande`, `er:20:0.3:7`, or `file:graph.el`.
+
+use gel_graph::cfi::{cfi_graph, CfiVariant};
+use gel_graph::families;
+use gel_graph::io::parse_edge_list;
+use gel_graph::random::erdos_renyi;
+use gel_graph::Graph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Resolves a graph specification.
+///
+/// Supported forms: `cycle:N`, `path:N`, `star:N`, `complete:N`,
+/// `grid:R:C`, `hypercube:D`, `petersen`, `shrikhande`, `rook`,
+/// `ladder:N`, `moebius:N`, `cfi-k4` / `cfi-k4-twisted`,
+/// `er:N:P:SEED`, `tree:N:SEED`, and `file:PATH` (edge-list format).
+pub fn parse_graph_spec(spec: &str) -> Result<Graph, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let int = |s: &str| s.parse::<usize>().map_err(|_| format!("bad integer {s:?}"));
+    let fl = |s: &str| s.parse::<f64>().map_err(|_| format!("bad number {s:?}"));
+    match parts.as_slice() {
+        ["cycle", n] => Ok(families::cycle(int(n)?)),
+        ["path", n] => Ok(families::path(int(n)?)),
+        ["star", n] => Ok(families::star(int(n)?)),
+        ["complete", n] => Ok(families::complete(int(n)?)),
+        ["grid", r, c] => Ok(families::grid(int(r)?, int(c)?)),
+        ["hypercube", d] => Ok(families::hypercube(int(d)?)),
+        ["ladder", n] => Ok(families::circular_ladder(int(n)?)),
+        ["moebius", n] => Ok(families::moebius_ladder(int(n)?)),
+        ["petersen"] => Ok(families::petersen()),
+        ["shrikhande"] => Ok(families::shrikhande()),
+        ["rook"] => Ok(families::rook_4x4()),
+        ["cfi-k4"] => Ok(cfi_graph(&families::complete(4), CfiVariant::Untwisted)),
+        ["cfi-k4-twisted"] => {
+            Ok(cfi_graph(&families::complete(4), CfiVariant::TwistedAt(0)))
+        }
+        ["er", n, p, seed] => {
+            let seed: u64 = seed.parse().map_err(|_| "bad seed".to_string())?;
+            Ok(erdos_renyi(int(n)?, fl(p)?, &mut StdRng::seed_from_u64(seed)))
+        }
+        ["tree", n, seed] => {
+            let seed: u64 = seed.parse().map_err(|_| "bad seed".to_string())?;
+            Ok(gel_graph::random::random_tree(int(n)?, &mut StdRng::seed_from_u64(seed)))
+        }
+        ["file", path] => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {path:?}: {e}"))?;
+            parse_edge_list(&text).map_err(|e| e.to_string())
+        }
+        _ => Err(format!(
+            "unknown graph spec {spec:?} (try cycle:6, petersen, er:20:0.3:7, file:g.el)"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_families_resolve() {
+        assert_eq!(parse_graph_spec("cycle:6").unwrap().num_vertices(), 6);
+        assert_eq!(parse_graph_spec("petersen").unwrap().num_vertices(), 10);
+        assert_eq!(parse_graph_spec("shrikhande").unwrap().num_vertices(), 16);
+        assert_eq!(parse_graph_spec("grid:2:3").unwrap().num_vertices(), 6);
+        assert_eq!(parse_graph_spec("cfi-k4").unwrap().num_vertices(), 40);
+    }
+
+    #[test]
+    fn seeded_random_specs_are_deterministic() {
+        let a = parse_graph_spec("er:15:0.4:9").unwrap();
+        let b = parse_graph_spec("er:15:0.4:9").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(parse_graph_spec("tree:10:3").unwrap().num_edges_undirected(), 9);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_graph_spec("nope").is_err());
+        assert!(parse_graph_spec("cycle:x").is_err());
+        assert!(parse_graph_spec("file:/does/not/exist.el").is_err());
+    }
+}

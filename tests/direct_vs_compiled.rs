@@ -1,0 +1,85 @@
+//! Integration: the *direct* linear-algebra GNN implementation
+//! (`gel-gnn`) and the *compiled* language expression (`gel-lang`)
+//! must compute the same embedding when given the same weights — the
+//! two sides of the paper's slide-40 "easy exercise" (GNN 101s are
+//! MPNNs), checked numerically across crates.
+
+use gelib::gnn::{features, GnnAgg, Gnn101Conv};
+use gelib::graph::families::{cycle, petersen, star};
+use gelib::graph::random::erdos_renyi;
+use gelib::graph::Graph;
+use gelib::lang::architectures::{gnn101_vertex_expr, Gnn101Layer};
+use gelib::lang::eval::eval;
+use gelib::tensor::Activation;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds matching (direct, compiled) two-layer GNN-101s and compares
+/// their per-vertex outputs on `g`.
+fn check_agreement(g: &Graph, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dims = [(g.label_dim(), 3), (3, 2)];
+    let layers: Vec<Gnn101Layer> = dims
+        .iter()
+        .map(|&(din, dout)| Gnn101Layer::random(din, dout, Activation::Tanh, &mut rng))
+        .collect();
+
+    // Direct implementation with the same weights.
+    let mut rng2 = StdRng::seed_from_u64(seed + 1000);
+    let mut direct: Vec<Gnn101Conv> = dims
+        .iter()
+        .map(|&(din, dout)| {
+            Gnn101Conv::new(din, dout, Activation::Tanh, GnnAgg::Sum, &mut rng2)
+        })
+        .collect();
+    for (conv, layer) in direct.iter_mut().zip(&layers) {
+        conv.w1.value = layer.w1.clone();
+        conv.w2.value = layer.w2.clone();
+        for (b, &lb) in conv.b.value.data_mut().iter_mut().zip(&layer.bias) {
+            *b = lb;
+        }
+    }
+
+    let mut x = features(g);
+    for conv in &direct {
+        x = conv.infer(g, &x);
+    }
+
+    // Compiled expression.
+    let expr = gnn101_vertex_expr(&layers, g.label_dim());
+    let table = eval(&expr, g);
+
+    for v in g.vertices() {
+        let direct_row = x.row(v as usize);
+        let compiled = table.cell(&[v]);
+        for (a, b) in direct_row.iter().zip(compiled) {
+            assert!(
+                (a - b).abs() < 1e-9,
+                "direct {a} vs compiled {b} at vertex {v} (seed {seed})"
+            );
+        }
+    }
+}
+
+#[test]
+fn direct_and_compiled_gnn101_agree_on_star() {
+    check_agreement(&star(4), 1);
+}
+
+#[test]
+fn direct_and_compiled_gnn101_agree_on_cycle() {
+    check_agreement(&cycle(7), 2);
+}
+
+#[test]
+fn direct_and_compiled_gnn101_agree_on_petersen() {
+    check_agreement(&petersen(), 3);
+}
+
+#[test]
+fn direct_and_compiled_gnn101_agree_on_random_graphs() {
+    for seed in 10..15u64 {
+        let g = erdos_renyi(12, 0.35, &mut StdRng::seed_from_u64(seed));
+        check_agreement(&g, seed);
+    }
+}

@@ -1,0 +1,90 @@
+//! Integration: *invariance* (paper slide 11) — every embedding in the
+//! workspace must be independent of the chosen graph representation:
+//! `ξ(G, v̄) = ξ(π(G), π(v̄))` for every isomorphism π. Property-based
+//! across crates with proptest-driven graph/permutation generation.
+
+use gelib::gnn::{GnnAgg, GraphModel, Readout};
+use gelib::graph::random::{erdos_renyi, random_permutation};
+use gelib::hom::{free_trees_up_to, hom_tree};
+use gelib::lang::eval::eval;
+use gelib::lang::random_expr::{random_mpnn_graph, RandomExprConfig};
+use gelib::logic::{gml_to_mpnn, parse_gml};
+use gelib::wl::{color_refinement, cr_equivalent, k_wl_equivalent, CrOptions, WlVariant};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// CR is invariant: a graph and its permutation are equivalent, and
+    /// vertex colours transport along the permutation.
+    #[test]
+    fn cr_invariant_under_permutation(seed in 0u64..1_000, n in 4usize..14, p in 0.1f64..0.7) {
+        let g = erdos_renyi(n, p, &mut StdRng::seed_from_u64(seed));
+        let perm = random_permutation(n, &mut StdRng::seed_from_u64(seed + 1));
+        let h = g.permute(&perm);
+        prop_assert!(cr_equivalent(&g, &h));
+        let c = color_refinement(&[&g, &h], CrOptions::default());
+        for v in g.vertices() {
+            prop_assert_eq!(c.colors[0][v as usize], c.colors[1][perm[v as usize] as usize]);
+        }
+    }
+
+    /// 2-WL is invariant.
+    #[test]
+    fn two_wl_invariant_under_permutation(seed in 0u64..500, n in 4usize..9) {
+        let g = erdos_renyi(n, 0.4, &mut StdRng::seed_from_u64(seed));
+        let h = g.permute(&random_permutation(n, &mut StdRng::seed_from_u64(seed + 1)));
+        prop_assert!(k_wl_equivalent(&g, &h, 2, WlVariant::Folklore));
+    }
+
+    /// Tree homomorphism counts are invariant.
+    #[test]
+    fn tree_homs_invariant(seed in 0u64..500, n in 3usize..12) {
+        let g = erdos_renyi(n, 0.4, &mut StdRng::seed_from_u64(seed));
+        let h = g.permute(&random_permutation(n, &mut StdRng::seed_from_u64(seed + 7)));
+        for t in free_trees_up_to(5) {
+            prop_assert_eq!(hom_tree(&t, &g), hom_tree(&t, &h));
+        }
+    }
+
+    /// Random closed MPNN expressions are invariant.
+    #[test]
+    fn mpnn_expressions_invariant(seed in 0u64..300, n in 4usize..10) {
+        let g = erdos_renyi(n, 0.4, &mut StdRng::seed_from_u64(seed));
+        let h = g.permute(&random_permutation(n, &mut StdRng::seed_from_u64(seed + 3)));
+        let mut rng = StdRng::seed_from_u64(seed + 9);
+        let e = random_mpnn_graph(&RandomExprConfig::default(), &mut rng);
+        let a = eval(&e, &g);
+        let b = eval(&e, &h);
+        prop_assert!(a.approx_eq(&b, 1e-7), "expression {} broke invariance", e);
+    }
+
+    /// GNN graph models are invariant.
+    #[test]
+    fn gnn_models_invariant(seed in 0u64..200, n in 4usize..10) {
+        let g = erdos_renyi(n, 0.4, &mut StdRng::seed_from_u64(seed));
+        let h = g.permute(&random_permutation(n, &mut StdRng::seed_from_u64(seed + 3)));
+        let mut rng = StdRng::seed_from_u64(seed + 11);
+        let model = GraphModel::gnn101(1, 5, 2, 3, GnnAgg::Sum, Readout::Sum, &mut rng);
+        prop_assert!(model.infer(&g).approx_eq(&model.infer(&h), 1e-9));
+    }
+
+    /// Compiled GML formulas are invariant (truth transports along π).
+    #[test]
+    fn gml_invariant(seed in 0u64..200, n in 4usize..10) {
+        use gelib::graph::random::with_random_one_hot_labels;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = with_random_one_hot_labels(&erdos_renyi(n, 0.4, &mut rng), 2, &mut rng);
+        let perm = random_permutation(n, &mut StdRng::seed_from_u64(seed + 3));
+        let h = g.permute(&perm);
+        let f = parse_gml("<1>(P0 & <2>P1)").unwrap();
+        let expr = gml_to_mpnn(&f);
+        let tg = eval(&expr, &g);
+        let th = eval(&expr, &h);
+        for v in g.vertices() {
+            prop_assert_eq!(tg.cell(&[v]), th.cell(&[perm[v as usize]]));
+        }
+    }
+}
