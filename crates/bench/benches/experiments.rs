@@ -2,23 +2,21 @@
 //! runner that regenerates the corresponding EXPERIMENTS.md table.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use gel_experiments::{e02_tree_homs, e03_mpnn_upper_bound, e06_gml, e07_normal_form,
-    e08_hierarchy, e10_recipe, e11_aggregators, light_corpus};
+use gel_experiments::{
+    e02_tree_homs, e03_mpnn_upper_bound, e06_gml, e07_normal_form, e08_hierarchy, e10_recipe,
+    e11_aggregators, light_corpus,
+};
 
 fn bench_experiment_runners(c: &mut Criterion) {
     let corpus = light_corpus();
 
-    c.bench_function("bench_e02_runner", |b| {
-        b.iter(|| black_box(e02_tree_homs::run(&corpus, 6)))
-    });
+    c.bench_function("bench_e02_runner", |b| b.iter(|| black_box(e02_tree_homs::run(&corpus, 6))));
     c.bench_function("bench_e03_runner", |b| {
         b.iter(|| black_box(e03_mpnn_upper_bound::run(&corpus, 10)))
     });
     c.bench_function("bench_e06_runner", |b| b.iter(|| black_box(e06_gml::run(3))));
     c.bench_function("bench_e07_runner", |b| b.iter(|| black_box(e07_normal_form::run(10))));
-    c.bench_function("bench_e08_runner", |b| {
-        b.iter(|| black_box(e08_hierarchy::run(&corpus, 3)))
-    });
+    c.bench_function("bench_e08_runner", |b| b.iter(|| black_box(e08_hierarchy::run(&corpus, 3))));
     c.bench_function("bench_e10_runner", |b| b.iter(|| black_box(e10_recipe::run(&corpus))));
     c.bench_function("bench_e11_runner", |b| b.iter(|| black_box(e11_aggregators::run())));
     c.bench_function("bench_f1_lattice", |b| {

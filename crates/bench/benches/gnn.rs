@@ -19,18 +19,14 @@ fn bench_forward_backward(c: &mut Criterion) {
         let g = erdos_renyi(n, 10.0 / n as f64, &mut rng);
         for agg in [GnnAgg::Sum, GnnAgg::Mean, GnnAgg::Max] {
             let mut model = VertexModel::gnn101(1, 32, 3, 4, agg, &mut rng);
-            group.bench_with_input(
-                BenchmarkId::new(format!("{agg:?}"), n),
-                &g,
-                |b, g| {
-                    b.iter(|| {
-                        model.zero_grads();
-                        let y = model.forward(g);
-                        model.backward(g, &Matrix::filled(y.rows(), y.cols(), 1.0));
-                        black_box(model.grad_norm())
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(format!("{agg:?}"), n), &g, |b, g| {
+                b.iter(|| {
+                    model.zero_grads();
+                    let y = model.forward(g);
+                    model.backward(g, &Matrix::filled(y.rows(), y.cols(), 1.0));
+                    black_box(model.grad_norm())
+                })
+            });
         }
     }
     group.finish();
@@ -61,9 +57,7 @@ fn bench_training_epoch(c: &mut Criterion) {
     c.bench_function("bench_l1_gin_epoch_32graphs", |b| {
         let mut model = GraphModel::gin(1, 16, 2, 1, Activation::Identity, &mut rng);
         let mut opt = Adam::new(0.01);
-        b.iter(|| {
-            black_box(train_graph_model(&mut model, &data, Loss::BceWithLogits, &mut opt, 1))
-        })
+        b.iter(|| black_box(train_graph_model(&mut model, &data, Loss::BceWithLogits, &mut opt, 1)))
     });
 }
 

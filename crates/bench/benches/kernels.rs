@@ -1,0 +1,79 @@
+//! Serial-vs-parallel kernel benchmarks: the workloads the workspace
+//! parallelized (dense matmul, colour refinement, k-WL) timed at one
+//! thread and at the machine's full width in the same process via
+//! `rayon::set_num_threads`.
+//!
+//! Run: `cargo bench -p gel-bench --bench kernels -- --bench-json BENCH_parallel_kernels.json`
+//! (ids encode the thread count, e.g. `matmul_256/threads=4`).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gel_graph::families::srg_16_6_2_2_pair;
+use gel_graph::random::erdos_renyi;
+use gel_tensor::Matrix;
+use gel_wl::{color_refinement, k_wl, CrOptions, WlVariant};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Thread counts to compare: serial, and the machine's width when the
+/// machine has more than one core.
+fn widths() -> Vec<usize> {
+    let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    if n > 1 {
+        vec![1, n]
+    } else {
+        vec![1]
+    }
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    for size in [128usize, 256] {
+        let a = Matrix::from_fn(size, size, |i, j| ((i * 31 + j * 17) % 23) as f64 - 11.0);
+        let b = Matrix::from_fn(size, size, |i, j| ((i * 13 + j * 7) % 19) as f64 * 0.25);
+        let mut group = c.benchmark_group(format!("matmul_{size}"));
+        for threads in widths() {
+            rayon::set_num_threads(threads);
+            group
+                .bench_function(BenchmarkId::from_parameter(format!("threads={threads}")), |bch| {
+                    bch.iter(|| black_box(&a).matmul(black_box(&b)))
+                });
+        }
+        group.finish();
+    }
+    rayon::set_num_threads(0);
+}
+
+fn bench_color_refinement(c: &mut Criterion) {
+    let g = erdos_renyi(400, 8.0 / 400.0, &mut StdRng::seed_from_u64(gel_bench::BENCH_SEED));
+    let mut group = c.benchmark_group("color_refinement_er400");
+    for threads in widths() {
+        rayon::set_num_threads(threads);
+        group.bench_function(BenchmarkId::from_parameter(format!("threads={threads}")), |bch| {
+            bch.iter(|| color_refinement(black_box(&[&g]), CrOptions::default()))
+        });
+    }
+    group.finish();
+    rayon::set_num_threads(0);
+}
+
+fn bench_kwl(c: &mut Criterion) {
+    let (s, r) = srg_16_6_2_2_pair();
+    for k in [2usize, 3] {
+        let mut group = c.benchmark_group(format!("kwl{k}_srg16"));
+        for threads in widths() {
+            rayon::set_num_threads(threads);
+            group
+                .bench_function(BenchmarkId::from_parameter(format!("threads={threads}")), |bch| {
+                    bch.iter(|| k_wl(black_box(&[&s, &r]), k, WlVariant::Folklore, None))
+                });
+        }
+        group.finish();
+    }
+    rayon::set_num_threads(0);
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(10);
+    targets = bench_matmul, bench_color_refinement, bench_kwl
+}
+criterion_main!(kernels);

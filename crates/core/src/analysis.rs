@@ -64,11 +64,7 @@ impl fmt::Display for ExpressivenessReport {
             Fragment::Mpnn => "MPNN(Ω,Θ)".to_string(),
             Fragment::Gel(k) => format!("GEL_{}(Ω,Θ)", k),
         };
-        write!(
-            f,
-            "fragment {frag}, width {}, separation power ⊆ ρ({})",
-            self.width, self.bound
-        )
+        write!(f, "fragment {frag}, width {}, separation power ⊆ ρ({})", self.width, self.bound)
     }
 }
 
@@ -154,10 +150,7 @@ fn mpnn_shape(expr: &Expr, allow_global: bool) -> bool {
                 // post-processed by readout functions (slide 46) but not
                 // combined with open vertex expressions — that would be a
                 // "virtual node" feature exceeding the CR bound.
-                allow_global
-                    && args
-                        .iter()
-                        .all(|a| a.free_vars().is_empty() && mpnn_shape(a, true))
+                allow_global && args.iter().all(|a| a.free_vars().is_empty() && mpnn_shape(a, true))
             } else {
                 args.iter().all(|a| mpnn_shape(a, allow_global))
             }
@@ -181,9 +174,7 @@ fn mpnn_shape(expr: &Expr, allow_global: bool) -> bool {
                     // Global aggregation: only allowed at the outermost
                     // level (readout, slide 46) and the body must be a
                     // 1-variable MPNN expression.
-                    allow_global
-                        && value.free_vars().len() <= 1
-                        && mpnn_shape(value, false)
+                    allow_global && value.free_vars().len() <= 1 && mpnn_shape(value, false)
                 }
             }
         }
@@ -233,10 +224,7 @@ mod tests {
 
     #[test]
     fn three_variables_is_gel3_bounded_by_2wl() {
-        let tri = apply(
-            Func::Mul { arity: 3, dim: 1 },
-            vec![edge(1, 2), edge(2, 3), edge(1, 3)],
-        );
+        let tri = apply(Func::Mul { arity: 3, dim: 1 }, vec![edge(1, 2), edge(2, 3), edge(1, 3)]);
         let e = agg_over(Agg::Sum, vec![1, 2, 3], tri, None);
         let r = analyze(&e);
         assert_eq!(r.fragment, Fragment::Gel(3));

@@ -74,8 +74,7 @@ pub fn gnn101_vertex_expr(layers: &[Gnn101Layer], label_dim: usize) -> Expr {
             vec![nbr_sum],
         );
         let d_out = layer.w1.cols();
-        let summed =
-            build::apply(Func::Add { arity: 2, dim: d_out }, vec![self_term, nbr_term]);
+        let summed = build::apply(Func::Add { arity: 2, dim: d_out }, vec![self_term, nbr_term]);
         cur = build::apply(Func::Act(layer.activation), vec![summed]);
         cur_dim = d_out;
     }
@@ -122,8 +121,7 @@ pub fn gin_vertex_expr(layers: &[GinLayer], label_dim: usize) -> Expr {
         let prev_other = cur.swap_vars(anchor, other);
         let self_term = build::apply(Func::Scale(1.0 + layer.eps), vec![cur]);
         let nbr_sum = build::nbr_agg(Agg::Sum, anchor, other, prev_other);
-        let summed =
-            build::apply(Func::Add { arity: 2, dim: cur_dim }, vec![self_term, nbr_sum]);
+        let summed = build::apply(Func::Add { arity: 2, dim: cur_dim }, vec![self_term, nbr_sum]);
         let lin = build::apply(
             Func::Linear { weights: layer.w.clone(), bias: layer.bias.clone() },
             vec![summed],
@@ -205,10 +203,7 @@ pub fn triangles_at_vertex_expr() -> Expr {
         vec![build::edge(1, 2), build::edge(2, 3), build::edge(1, 3)],
     );
     // Each unordered triangle through x1 is counted twice (x2/x3 swap).
-    build::apply(
-        Func::Scale(0.5),
-        vec![build::agg_over(Agg::Sum, vec![2, 3], tri, None)],
-    )
+    build::apply(Func::Scale(0.5), vec![build::agg_over(Agg::Sum, vec![2, 3], tri, None)])
 }
 
 #[cfg(test)]
@@ -276,13 +271,8 @@ mod tests {
             l[1] = Gnn101Layer::random(4, 4, Activation::Tanh, &mut rng);
             l
         };
-        let e = gnn101_graph_expr(
-            &layers,
-            1,
-            Matrix::identity(4),
-            vec![0.0; 4],
-            Activation::Identity,
-        );
+        let e =
+            gnn101_graph_expr(&layers, 1, Matrix::identity(4), vec![0.0; 4], Activation::Identity);
         assert!(e.free_vars().is_empty());
         let g = cycle(7);
         let perm: Vec<u32> = (0..7).map(|i| (i + 3) % 7).collect();
@@ -298,7 +288,12 @@ mod tests {
             Matrix::from_fn(r, c, |_, _| rng.gen_range(-a..=a))
         };
         let gin = gin_vertex_expr(
-            &[GinLayer { eps: 0.1, w: m(1, 2, &mut rng), bias: vec![0.0; 2], activation: Activation::ReLU }],
+            &[GinLayer {
+                eps: 0.1,
+                w: m(1, 2, &mut rng),
+                bias: vec![0.0; 2],
+                activation: Activation::ReLU,
+            }],
             1,
         );
         let gcn = gcn_vertex_expr(

@@ -70,10 +70,9 @@ impl std::fmt::Display for EvalError {
             EvalError::LabelIndex { j, label_dim } => {
                 write!(f, "lab{j} out of range for label dimension {label_dim}")
             }
-            EvalError::LabelVecDim { declared, label_dim } => write!(
-                f,
-                "labvec{declared} does not match the graph's label dimension {label_dim}"
-            ),
+            EvalError::LabelVecDim { declared, label_dim } => {
+                write!(f, "labvec{declared} does not match the graph's label dimension {label_dim}")
+            }
         }
     }
 }
@@ -199,8 +198,7 @@ impl Evaluator<'_> {
                 let mut t = EmbeddingTable::zeros(vars.clone(), 1, n);
                 // Fill sparsely from the arc list.
                 for (u, v) in self.g.arcs() {
-                    let assign =
-                        if vars[0] == *from { [u, v] } else { [v, u] };
+                    let assign = if vars[0] == *from { [u, v] } else { [v, u] };
                     t.cell_mut(&assign)[0] = 1.0;
                 }
                 t
@@ -222,11 +220,10 @@ impl Evaluator<'_> {
                 }
                 t
             }
-            Expr::Const { values } => {
-                EmbeddingTable::scalar_cell(values.clone(), n)
-            }
+            Expr::Const { values } => EmbeddingTable::scalar_cell(values.clone(), n),
             Expr::Apply { func, args } => {
-                let tables: Vec<Rc<EmbeddingTable>> = args.iter().map(|a| self.eval_memo(a)).collect();
+                let tables: Vec<Rc<EmbeddingTable>> =
+                    args.iter().map(|a| self.eval_memo(a)).collect();
                 // Union of variables.
                 let mut vars: Vec<Var> =
                     tables.iter().flat_map(|t| t.vars().iter().copied()).collect();
@@ -272,8 +269,11 @@ impl Evaluator<'_> {
         if self.opts.guard_fast_path && over.len() == 1 {
             if let Some(Expr::Edge { from, to }) = guard {
                 let y = over[0];
-                let anchor = if *to == y { Some((*from, true)) } else { None }
-                    .or(if *from == y { Some((*to, false)) } else { None });
+                let anchor = if *to == y { Some((*from, true)) } else { None }.or(if *from == y {
+                    Some((*to, false))
+                } else {
+                    None
+                });
                 if let Some((x, outgoing)) = anchor {
                     if x != y {
                         return self.eval_nbr_aggregate(agg, x, y, outgoing, value);
@@ -301,12 +301,7 @@ impl Evaluator<'_> {
 
         let dim = value_t.dim();
         let mut out = EmbeddingTable::zeros(out_vars.clone(), dim, n);
-        let max_var = all
-            .iter()
-            .chain(over_sorted.iter())
-            .copied()
-            .max()
-            .unwrap_or(0) as usize;
+        let max_var = all.iter().chain(over_sorted.iter()).copied().max().unwrap_or(0) as usize;
         let mut env = vec![0 as Vertex; max_var + 1];
         for_each_assignment(n, out_vars.len(), |outer| {
             for (slot, &var) in outer.iter().zip(&out_vars) {
@@ -314,17 +309,19 @@ impl Evaluator<'_> {
             }
             let mut state = agg.init(dim);
             // Iterate inner assignments over the aggregated variables.
-            let mut env_inner = env.clone();
+            // `over` is disjoint from `out_vars`, so the inner loop can
+            // reuse the same env buffer: it only writes the aggregated
+            // slots, never the outer ones.
             for_each_assignment(n, over_sorted.len(), |inner| {
                 for (slot, &var) in inner.iter().zip(&over_sorted) {
-                    env_inner[var as usize] = *slot;
+                    env[var as usize] = *slot;
                 }
                 let pass = match &guard_t {
-                    Some(gt) => gt.cell_env(&env_inner)[0] != 0.0,
+                    Some(gt) => gt.cell_env(&env)[0] != 0.0,
                     None => true,
                 };
                 if pass {
-                    state.push(value_t.cell_env(&env_inner));
+                    state.push(value_t.cell_env(&env));
                 }
             });
             out.cell_mut(outer).copy_from_slice(&state.finish());
@@ -345,8 +342,7 @@ impl Evaluator<'_> {
         let n = self.g.num_vertices();
         let value_t = self.eval_memo(value);
         let dim = value_t.dim();
-        let mut out_vars: Vec<Var> =
-            value_t.vars().iter().copied().filter(|&v| v != y).collect();
+        let mut out_vars: Vec<Var> = value_t.vars().iter().copied().filter(|&v| v != y).collect();
         if !out_vars.contains(&x) {
             out_vars.push(x);
             out_vars.sort_unstable();
@@ -365,10 +361,11 @@ impl Evaluator<'_> {
                 self.g.in_neighbors(anchor_v)
             };
             let mut state = agg.init(dim);
-            let mut env_inner = env.clone();
+            // `y` is never an output variable (the caller guarantees
+            // `x != y`), so writing its slot in place is safe.
             for &w in nbrs {
-                env_inner[y as usize] = w;
-                state.push(value_t.cell_env(&env_inner));
+                env[y as usize] = w;
+                state.push(value_t.cell_env(&env));
             }
             out.cell_mut(outer).copy_from_slice(&state.finish());
         });
@@ -463,10 +460,7 @@ mod tests {
     fn triangle_expression_in_gel3() {
         // f_mul(E(x1,x2), E(x2,x3), E(x1,x3)) summed over all three vars
         // counts ordered triangles = 6·#triangles (slide 60's example).
-        let tri = apply(
-            Func::Mul { arity: 3, dim: 1 },
-            vec![edge(1, 2), edge(2, 3), edge(1, 3)],
-        );
+        let tri = apply(Func::Mul { arity: 3, dim: 1 }, vec![edge(1, 2), edge(2, 3), edge(1, 3)]);
         let count = agg_over(Agg::Sum, vec![1, 2, 3], tri, None);
         let k4 = gel_graph::families::complete(4);
         assert_eq!(eval(&count, &k4).value(), &[24.0]); // 4 triangles · 6
@@ -506,12 +500,8 @@ mod tests {
     fn multi_var_aggregation() {
         // sum over (x2,x3) of E(x2,x3) with x1 free: constant per x1 = #arcs.
         let g = path(3);
-        let e = agg_over(
-            Agg::Sum,
-            vec![2, 3],
-            apply(Func::Concat, vec![edge(2, 3)]),
-            Some(ne(1, 2)),
-        );
+        let e =
+            agg_over(Agg::Sum, vec![2, 3], apply(Func::Concat, vec![edge(2, 3)]), Some(ne(1, 2)));
         // guard x1 != x2 removes x2 = x1 rows: for vertex 1 (middle) the
         // arcs not incident-from x2=1: arcs (0,1),(1,0),(1,2),(2,1) minus
         // those with source 1 → 2 arcs.

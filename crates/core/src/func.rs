@@ -72,8 +72,7 @@ impl Func {
     pub fn out_dim(&self, d_in: usize) -> Option<usize> {
         match self {
             Func::Linear { weights, bias } => {
-                (weights.rows() == d_in && weights.cols() == bias.len())
-                    .then_some(weights.cols())
+                (weights.rows() == d_in && weights.cols() == bias.len()).then_some(weights.cols())
             }
             Func::Act(_) => Some(d_in),
             Func::Concat => Some(d_in),

@@ -47,9 +47,7 @@ pub fn is_normal_form(expr: &Expr) -> bool {
         Expr::Aggregate { over, value, guard, .. } => {
             let fv = value.free_vars();
             let only_bound = fv.iter().all(|v| over.contains(v));
-            only_bound
-                && is_normal_form(value)
-                && guard.as_ref().map_or(true, |g| is_normal_form(g))
+            only_bound && is_normal_form(value) && guard.as_ref().is_none_or(|g| is_normal_form(g))
         }
     }
 }
@@ -75,8 +73,7 @@ pub fn to_normal_form(expr: &Expr) -> Option<Expr> {
                 None => None,
             };
             let fv = value_nf.free_vars();
-            let extra: Vec<Var> =
-                fv.iter().copied().filter(|v| !over.contains(v)).collect();
+            let extra: Vec<Var> = fv.iter().copied().filter(|v| !over.contains(v)).collect();
             if extra.is_empty() {
                 return Some(Expr::Aggregate {
                     agg: *agg,
@@ -99,12 +96,7 @@ pub fn to_normal_form(expr: &Expr) -> Option<Expr> {
 
 /// Rewrites `Σ_{y | guard} body(anchor, y)` into normal form given that
 /// `body` is a Concat/Linear/Scale/Add tree over single-anchored parts.
-fn separate_sum(
-    body: &Expr,
-    anchor: Var,
-    y: Var,
-    guard: Option<&Expr>,
-) -> Option<Expr> {
+fn separate_sum(body: &Expr, anchor: Var, y: Var, guard: Option<&Expr>) -> Option<Expr> {
     // deg(anchor) under the same guard (itself normal form).
     let count = Expr::Aggregate {
         agg: Agg::Sum,
@@ -132,10 +124,7 @@ fn separate_sum(
         } else {
             // Broadcast deg to dimension d with a linear map 1 → d of ones.
             build::apply(
-                Func::Linear {
-                    weights: gel_tensor::Matrix::filled(1, d, 1.0),
-                    bias: vec![0.0; d],
-                },
+                Func::Linear { weights: gel_tensor::Matrix::filled(1, d, 1.0), bias: vec![0.0; d] },
                 vec![count],
             )
         };
@@ -164,10 +153,7 @@ fn separate_sum(
             );
             let d = bias.len();
             let bias_term = build::apply(
-                Func::Linear {
-                    weights: gel_tensor::Matrix::row_vector(bias),
-                    bias: vec![0.0; d],
-                },
+                Func::Linear { weights: gel_tensor::Matrix::row_vector(bias), bias: vec![0.0; d] },
                 vec![count],
             );
             Some(build::apply(Func::Add { arity: 2, dim: d }, vec![l0, bias_term]))
@@ -205,11 +191,7 @@ mod tests {
     }
 
     fn corpus() -> Vec<Graph> {
-        vec![
-            path(5),
-            star(4),
-            cycle(6).with_labels(vec![1.0, 2.0, 1.0, 2.0, 1.0, 2.0], 1),
-        ]
+        vec![path(5), star(4), cycle(6).with_labels(vec![1.0, 2.0, 1.0, 2.0, 1.0, 2.0], 1)]
     }
 
     #[test]
@@ -223,12 +205,7 @@ mod tests {
     fn concat_body_is_separated() {
         // Σ_{x2}( concat(lab(x1), lab(x2)) | E ) — the paper's general
         // MPNN aggregation (slide 45's example).
-        let e = nbr_agg(
-            Agg::Sum,
-            1,
-            2,
-            apply(Func::Concat, vec![lab(0, 1), lab(0, 2)]),
-        );
+        let e = nbr_agg(Agg::Sum, 1, 2, apply(Func::Concat, vec![lab(0, 1), lab(0, 2)]));
         assert!(!is_normal_form(&e));
         assert_nf_equivalent(&e, &corpus());
     }
@@ -254,12 +231,7 @@ mod tests {
     #[test]
     fn nested_layers_are_normalized() {
         // Two layers where the inner aggregation is itself non-normal.
-        let inner = nbr_agg(
-            Agg::Sum,
-            2,
-            1,
-            apply(Func::Concat, vec![lab(0, 2), lab(0, 1)]),
-        );
+        let inner = nbr_agg(Agg::Sum, 2, 1, apply(Func::Concat, vec![lab(0, 2), lab(0, 1)]));
         let outer = nbr_agg(Agg::Sum, 1, 2, inner);
         assert_nf_equivalent(&outer, &corpus());
     }

@@ -107,9 +107,12 @@ impl Parser<'_> {
         let start = self.pos;
         while self
             .peek()
-            .map(|c| c.is_ascii_alphabetic() || c == b'_' && {
-                // Stop an identifier before '_{' which begins aggregation vars.
-                self.s.get(self.pos + 1) != Some(&b'{')
+            .map(|c| {
+                c.is_ascii_alphabetic()
+                    || c == b'_' && {
+                        // Stop an identifier before '_{' which begins aggregation vars.
+                        self.s.get(self.pos + 1) != Some(&b'{')
+                    }
             })
             .unwrap_or(false)
         {
@@ -141,13 +144,14 @@ impl Parser<'_> {
         }
         while self
             .peek()
-            .map(|c| c.is_ascii_digit() || c == b'.' || c == b'e' || c == b'E' || c == b'-' || c == b'+')
+            .map(|c| {
+                c.is_ascii_digit() || c == b'.' || c == b'e' || c == b'E' || c == b'-' || c == b'+'
+            })
             .unwrap_or(false)
         {
             // Only allow sign after an exponent marker.
             if (self.s[self.pos] == b'-' || self.s[self.pos] == b'+')
-                && (self.pos == 0
-                    || !matches!(self.s.get(self.pos - 1), Some(b'e') | Some(b'E')))
+                && (self.pos == 0 || !matches!(self.s.get(self.pos - 1), Some(b'e') | Some(b'E')))
             {
                 break;
             }

@@ -122,11 +122,7 @@ fn random_mpnn_at(
 /// Samples a random closed `GEL_k(Ω,Θ)` graph expression using up to
 /// `k` variables: a random polynomial over edge/equality/label atoms,
 /// aggregated away variable by variable.
-pub fn random_gel_graph(
-    cfg: &RandomExprConfig,
-    k: usize,
-    rng: &mut impl Rng,
-) -> Expr {
+pub fn random_gel_graph(cfg: &RandomExprConfig, k: usize, rng: &mut impl Rng) -> Expr {
     assert!((2..=6).contains(&k), "supported widths: 2..=6");
     let (body, dim) = random_gel_body(cfg, k, cfg.max_depth, rng);
     // Aggregate all variables away (one at a time, random aggregator).
@@ -206,11 +202,7 @@ fn random_gel_body(
             let y = fv[rng.gen_range(0..fv.len())];
             let anchor = *fv.iter().find(|&&v| v != y).unwrap();
             let agg = cfg.aggregators[rng.gen_range(0..cfg.aggregators.len())];
-            let guard = if rng.gen_bool(0.7) {
-                Some(build::edge(anchor, y))
-            } else {
-                None
-            };
+            let guard = if rng.gen_bool(0.7) { Some(build::edge(anchor, y)) } else { None };
             (build::agg_over(agg, vec![y], body, guard), d)
         }
     }

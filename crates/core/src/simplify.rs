@@ -106,10 +106,7 @@ fn simplify_apply(func: &Func, args: Vec<Expr>) -> Expr {
             }
             if args.len() == 1 {
                 if let Expr::Apply { func: Func::Scale(t), args: inner } = &args[0] {
-                    return Expr::Apply {
-                        func: Func::Scale(s * t),
-                        args: inner.clone(),
-                    };
+                    return Expr::Apply { func: Func::Scale(s * t), args: inner.clone() };
                 }
             }
             Expr::Apply { func: Func::Scale(*s), args }
@@ -208,10 +205,8 @@ mod tests {
 
     #[test]
     fn constants_fold() {
-        let e = apply(
-            Func::Add { arity: 2, dim: 1 },
-            vec![constant(vec![2.0]), constant(vec![3.0])],
-        );
+        let e =
+            apply(Func::Add { arity: 2, dim: 1 }, vec![constant(vec![2.0]), constant(vec![3.0])]);
         assert_eq!(simplify(&e), constant(vec![5.0]));
         let e2 = relu(constant(vec![-4.0]));
         assert_eq!(simplify(&e2), constant(vec![0.0]));
@@ -229,12 +224,7 @@ mod tests {
     #[test]
     fn simplify_stays_in_fragment() {
         use crate::analysis::{analyze, Fragment};
-        let e = nbr_agg(
-            Agg::Sum,
-            1,
-            2,
-            apply(Func::Act(Activation::Identity), vec![lab(0, 2)]),
-        );
+        let e = nbr_agg(Agg::Sum, 1, 2, apply(Func::Act(Activation::Identity), vec![lab(0, 2)]));
         assert_eq!(analyze(&simplify(&e)).fragment, Fragment::Mpnn);
     }
 

@@ -63,11 +63,7 @@ impl EmbeddingTable {
 
     /// Number of cells (`n^p`).
     pub fn num_cells(&self) -> usize {
-        if self.dim == 0 {
-            0
-        } else {
-            self.data.len() / self.dim
-        }
+        self.data.len().checked_div(self.dim).unwrap_or(0)
     }
 
     /// Raw data access.
@@ -159,9 +155,7 @@ impl EmbeddingTable {
         let mut sorted: Vec<&Vec<u64>> = keys.iter().collect();
         sorted.sort();
         sorted.dedup();
-        keys.iter()
-            .map(|k| sorted.binary_search(&k).expect("present") as u32)
-            .collect()
+        keys.iter().map(|k| sorted.binary_search(&k).expect("present") as u32).collect()
     }
 }
 

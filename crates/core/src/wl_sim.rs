@@ -19,10 +19,7 @@ use crate::table::Var;
 /// requires a simultaneous collision under both seeds (~2⁻⁷² per pair),
 /// and each channel's sums stay exact in `f64` (see [`Func::Hash`]).
 fn hash2(seed: u64, e: Expr) -> Expr {
-    build::apply(
-        Func::Concat,
-        vec![build::hash(2 * seed, e.clone()), build::hash(2 * seed + 1, e)],
-    )
+    build::apply(Func::Concat, vec![build::hash(2 * seed, e.clone()), build::hash(2 * seed + 1, e)])
 }
 
 /// An MPNN(Ω, sum) expression with free variable `x1` whose value
@@ -78,7 +75,7 @@ pub fn cr_graph_expr(label_dim: usize, rounds: usize) -> Expr {
 /// the paper's convention that 1-WL *is* colour refinement).
 pub fn k_wl_expr(k: usize, label_dim: usize, rounds: usize) -> Expr {
     assert!(k >= 2, "use cr_expr for k = 1");
-    assert!(k + 1 <= u8::MAX as usize, "too many variables");
+    assert!(k < u8::MAX as usize, "too many variables");
     let fresh: Var = (k + 1) as Var;
 
     // Atomic type: ordered adjacency + equality pattern + labels.
@@ -100,8 +97,7 @@ pub fn k_wl_expr(k: usize, label_dim: usize, rounds: usize) -> Expr {
         let seed_in = 2 * t as u64 + 1;
         let seed_out = 2 * t as u64 + 2;
         // Substituted copies c_{t−1}(x̄[i ← y]).
-        let subs: Vec<Expr> =
-            (1..=k as Var).map(|i| cur.swap_vars(i, fresh)).collect();
+        let subs: Vec<Expr> = (1..=k as Var).map(|i| cur.swap_vars(i, fresh)).collect();
         let vec_sig = hash2(seed_in, build::apply(Func::Concat, subs));
         let msg = build::agg_over(Agg::Sum, vec![fresh], vec_sig, None);
         let cat = build::apply(Func::Concat, vec![cur, msg]);
@@ -145,14 +141,9 @@ mod tests {
         let e = cr_expr(g.label_dim(), rounds);
         let t = eval(&e, g);
         let part = t.value_partition();
-        let c = color_refinement(
-            &[g],
-            CrOptions { max_rounds: Some(rounds), ignore_labels: false },
-        );
-        assert!(
-            partitions_match(&part, &c.colors[0]),
-            "CR simulation diverged on {rounds} rounds"
-        );
+        let c =
+            color_refinement(&[g], CrOptions { max_rounds: Some(rounds), ignore_labels: false });
+        assert!(partitions_match(&part, &c.colors[0]), "CR simulation diverged on {rounds} rounds");
     }
 
     #[test]
@@ -199,10 +190,7 @@ mod tests {
             let t = eval(&e, &g);
             let part = t.value_partition();
             let c = k_wl(&[&g], 2, WlVariant::Folklore, Some(rounds));
-            assert!(
-                partitions_match(&part, &c.colors[0]),
-                "2-WL simulation diverged on {g:?}"
-            );
+            assert!(partitions_match(&part, &c.colors[0]), "2-WL simulation diverged on {g:?}");
         }
     }
 

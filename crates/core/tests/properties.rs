@@ -1,13 +1,13 @@
 //! Property-based tests for the language: evaluator consistency,
 //! renaming laws, hashing, and the parser on the printable fragment.
 
+use gel_graph::random::erdos_renyi;
 use gel_lang::ast::build;
 use gel_lang::eval::{eval, eval_with, EvalOptions};
 use gel_lang::normal_form::{is_normal_form, to_normal_form};
 use gel_lang::parser::parse;
 use gel_lang::random_expr::{random_mpnn_graph, random_mpnn_vertex, RandomExprConfig};
 use gel_lang::Agg;
-use gel_graph::random::erdos_renyi;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

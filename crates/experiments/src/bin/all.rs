@@ -1,29 +1,112 @@
 //! Runs the complete experiment suite and prints every table —
 //! regenerates the data recorded in EXPERIMENTS.md.
 //!
-//! Usage: `cargo run --release -p gel-experiments --bin all [--full]`
-//! (`--full` adds the 40-vertex CFI(K4) pair to the corpus).
+//! Usage:
+//! `cargo run --release -p gel-experiments --bin all [--full] [--bench-json <path>]`
+//!
+//! * `--full` adds the 40-vertex CFI(K4) pair to the corpus.
+//! * `--bench-json <path>` additionally re-runs the suite pinned to one
+//!   thread and writes a machine-readable report (wall-clock per
+//!   experiment, serial vs parallel suite times, WL-cache counters) —
+//!   the file recorded as `BENCH_parallel.json`. Tables printed to
+//!   stdout are identical with and without the flag, and identical at
+//!   every thread count.
+
+use std::time::Instant;
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
 
 fn main() {
-    let full = std::env::args().any(|a| a == "--full");
-    let results = gel_experiments::run_all(full);
+    let args: Vec<String> = std::env::args().collect();
+    let full = args.iter().any(|a| a == "--full");
+    let bench_json = args.iter().position(|a| a == "--bench-json").map(|i| {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("error: --bench-json requires a path argument");
+            std::process::exit(2);
+        })
+    });
+
+    let corpus =
+        if full { gel_experiments::full_corpus() } else { gel_experiments::light_corpus() };
+
+    // When benching, run one untimed warm-up pass so neither timed leg
+    // pays first-run costs (allocator, page cache), then time the
+    // serial leg.
+    let suite_serial_s = bench_json.as_ref().map(|_| {
+        gel_wl::clear_cache();
+        let _ = gel_experiments::run_all(full);
+        let _ = gel_experiments::e10_recipe::lattice_figure(&corpus);
+
+        rayon::set_num_threads(1);
+        gel_wl::clear_cache();
+        let t = Instant::now();
+        let _ = gel_experiments::run_all(full);
+        let _ = gel_experiments::e10_recipe::lattice_figure(&corpus);
+        let s = t.elapsed().as_secs_f64();
+        rayon::set_num_threads(0);
+        s
+    });
+
+    // Time the default (parallel) schedule: suite + lattice figure,
+    // printing excluded. The serial leg times the same scope.
+    gel_wl::clear_cache();
+    let t0 = Instant::now();
+    let timed = gel_experiments::run_all_timed(full);
+    let t_lat = Instant::now();
+    let lattice = gel_experiments::e10_recipe::lattice_figure(&corpus);
+    let lattice_s = t_lat.elapsed().as_secs_f64();
+    let suite_parallel_s = t0.elapsed().as_secs_f64();
+    let cache = gel_wl::cache_stats();
+
     let mut failed = 0;
-    for r in &results {
+    for (r, _) in &timed {
         println!("{}", r.render());
         if !r.passed() {
             failed += 1;
         }
     }
-    // The F1 lattice figure.
-    let corpus = if full {
-        gel_experiments::full_corpus()
-    } else {
-        gel_experiments::light_corpus()
-    };
-    println!("## F1 — separation-power lattice (slide 25), measured on the corpus\n");
-    println!("{}", gel_experiments::e10_recipe::lattice_figure(&corpus).render());
 
-    println!("=== {} experiments, {} failed ===", results.len(), failed);
+    println!("## F1 — separation-power lattice (slide 25), measured on the corpus\n");
+    println!("{}", lattice.render());
+
+    if let Some(path) = bench_json {
+        let suite_serial_s = suite_serial_s.expect("serial leg ran above");
+        let threads = rayon::current_num_threads();
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"threads\": {threads},\n"));
+        out.push_str(&format!("  \"full_corpus\": {full},\n"));
+        out.push_str(&format!("  \"suite_parallel_s\": {suite_parallel_s:.6},\n"));
+        out.push_str(&format!("  \"suite_serial_s\": {suite_serial_s:.6},\n"));
+        out.push_str(&format!(
+            "  \"suite_speedup\": {:.3},\n",
+            suite_serial_s / suite_parallel_s.max(1e-12)
+        ));
+        out.push_str(&format!("  \"lattice_figure_s\": {lattice_s:.6},\n"));
+        out.push_str(&format!(
+            "  \"wl_cache\": {{\"hits\": {}, \"misses\": {}}},\n",
+            cache.hits, cache.misses
+        ));
+        out.push_str("  \"experiments\": [\n");
+        for (i, (r, secs)) in timed.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"id\": \"{}\", \"wall_s\": {:.6}, \"passed\": {}, \"claim\": \"{}\"}}{}\n",
+                r.id,
+                secs,
+                r.passed(),
+                json_escape(r.claim),
+                if i + 1 < timed.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        match std::fs::write(&path, out) {
+            Ok(()) => println!("wrote benchmark JSON to {path}"),
+            Err(e) => eprintln!("warning: could not write {path}: {e}"),
+        }
+    }
+
+    println!("=== {} experiments, {} failed ===", timed.len(), failed);
     if failed > 0 {
         std::process::exit(1);
     }

@@ -5,8 +5,8 @@
 
 use gel_graph::cfi::cfi_pair_k4;
 use gel_graph::families::{
-    circulant, circular_ladder, complete_multipartite, cr_blind_pair, cr_blind_pair_sized,
-    cycle, moebius_ladder, path, petersen, srg_16_6_2_2_pair, star,
+    circulant, circular_ladder, complete_multipartite, cr_blind_pair, cr_blind_pair_sized, cycle,
+    moebius_ladder, path, petersen, srg_16_6_2_2_pair, star,
 };
 use gel_graph::random::{erdos_renyi, random_permutation, random_tree};
 use gel_graph::Graph;
@@ -89,11 +89,7 @@ pub fn full_corpus() -> Vec<GraphPair> {
 /// Computes the ground truth of a pair.
 pub fn annotate(name: &'static str, g: Graph, h: Graph) -> GraphPair {
     let isomorphic = gel_graph::are_isomorphic(&g, &h);
-    let wl_level = if isomorphic {
-        None
-    } else {
-        gel_wl::distinguishing_level(&g, &h, 3)
-    };
+    let wl_level = if isomorphic { None } else { gel_wl::distinguishing_level(&g, &h, 3) };
     GraphPair { name, g, h, truth: PairTruth { isomorphic, wl_level } }
 }
 
@@ -105,13 +101,13 @@ mod tests {
     fn light_corpus_ground_truth() {
         let corpus = light_corpus();
         let by_name = |n: &str| {
-            corpus
-                .iter()
-                .find(|p| p.name == n)
-                .unwrap_or_else(|| panic!("missing pair {n}"))
+            corpus.iter().find(|p| p.name == n).unwrap_or_else(|| panic!("missing pair {n}"))
         };
         // The designed hard pairs land at the expected WL levels.
-        assert_eq!(by_name("C6 vs C3+C3").truth, PairTruth { isomorphic: false, wl_level: Some(2) });
+        assert_eq!(
+            by_name("C6 vs C3+C3").truth,
+            PairTruth { isomorphic: false, wl_level: Some(2) }
+        );
         assert_eq!(
             by_name("shrikhande vs rook4x4").truth,
             PairTruth { isomorphic: false, wl_level: Some(3) }

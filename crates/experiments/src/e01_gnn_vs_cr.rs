@@ -7,7 +7,7 @@
 //! theorem predicts the two verdicts coincide on every pair.
 
 use gel_gnn::{gnn_separates, SeparationConfig};
-use gel_wl::cr_equivalent;
+use gel_wl::cached_cr_equivalent;
 
 use crate::corpus::GraphPair;
 use crate::report::{ExperimentResult, Table};
@@ -18,7 +18,7 @@ pub fn run(corpus: &[GraphPair], trials: usize) -> ExperimentResult {
     let mut agreements = 0;
     let mut violations = 0;
     for (i, pair) in corpus.iter().enumerate() {
-        let cr_sep = !cr_equivalent(&pair.g, &pair.h);
+        let cr_sep = !cached_cr_equivalent(&pair.g, &pair.h);
         let cfg = SeparationConfig { trials, seed: 0xE1 + i as u64, ..Default::default() };
         let gnn_sep = gnn_separates(&pair.g, &pair.h, &cfg);
         let agree = cr_sep == gnn_sep;

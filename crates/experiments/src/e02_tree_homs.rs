@@ -9,7 +9,7 @@
 //! empirical check complete on the corpus.
 
 use gel_hom::{free_trees_up_to, hom_tree};
-use gel_wl::cr_equivalent;
+use gel_wl::cached_cr_equivalent;
 
 use crate::corpus::GraphPair;
 use crate::report::{ExperimentResult, Table};
@@ -17,19 +17,13 @@ use crate::report::{ExperimentResult, Table};
 /// Runs E2 with trees up to `max_tree` vertices.
 pub fn run(corpus: &[GraphPair], max_tree: usize) -> ExperimentResult {
     let trees = free_trees_up_to(max_tree);
-    let mut table = Table::new(&[
-        "pair",
-        "CR verdict",
-        "tree-hom verdict",
-        "witness tree (index)",
-        "agree",
-    ]);
+    let mut table =
+        Table::new(&["pair", "CR verdict", "tree-hom verdict", "witness tree (index)", "agree"]);
     let mut agreements = 0;
     let mut violations = 0;
     for pair in corpus {
-        let cr_eq = cr_equivalent(&pair.g, &pair.h);
-        let witness =
-            trees.iter().position(|t| hom_tree(t, &pair.g) != hom_tree(t, &pair.h));
+        let cr_eq = cached_cr_equivalent(&pair.g, &pair.h);
+        let witness = trees.iter().position(|t| hom_tree(t, &pair.g) != hom_tree(t, &pair.h));
         let hom_eq = witness.is_none();
         let agree = cr_eq == hom_eq;
         if agree {

@@ -11,7 +11,7 @@
 
 use gel_lang::eval::eval;
 use gel_lang::random_expr::{random_mpnn_graph, RandomExprConfig};
-use gel_wl::cr_equivalent;
+use gel_wl::cached_cr_equivalent;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -21,15 +21,14 @@ use crate::report::{ExperimentResult, Table};
 /// Runs E3 with `samples` random expressions per pair.
 pub fn run(corpus: &[GraphPair], samples: usize) -> ExperimentResult {
     let cfg = RandomExprConfig::default();
-    let mut table =
-        Table::new(&["pair", "CR verdict", "random exprs separating", "claim holds"]);
+    let mut table = Table::new(&["pair", "CR verdict", "random exprs separating", "claim holds"]);
     let mut agreements = 0;
     let mut violations = 0;
     for (i, pair) in corpus.iter().enumerate() {
         if pair.g.label_dim() != cfg.label_dim || pair.h.label_dim() != cfg.label_dim {
             continue;
         }
-        let cr_eq = cr_equivalent(&pair.g, &pair.h);
+        let cr_eq = cached_cr_equivalent(&pair.g, &pair.h);
         let mut rng = StdRng::seed_from_u64(0xE3 + i as u64);
         let mut separating = 0usize;
         for _ in 0..samples {

@@ -7,25 +7,20 @@
 
 use gel_lang::eval::eval;
 use gel_lang::wl_sim::{cr_expr, cr_graph_expr};
-use gel_wl::{color_refinement, cr_equivalent, CrOptions};
+use gel_wl::{cached_cr_equivalent, color_refinement, CrOptions};
 
 use crate::corpus::GraphPair;
 use crate::report::{ExperimentResult, Table};
 
 fn partition_matches(vals: &[u32], colors: &[u32]) -> bool {
-    (0..vals.len()).all(|i| {
-        (0..vals.len()).all(|j| (vals[i] == vals[j]) == (colors[i] == colors[j]))
-    })
+    (0..vals.len())
+        .all(|i| (0..vals.len()).all(|j| (vals[i] == vals[j]) == (colors[i] == colors[j])))
 }
 
 /// Runs E4 on the corpus.
 pub fn run(corpus: &[GraphPair]) -> ExperimentResult {
-    let mut table = Table::new(&[
-        "pair",
-        "vertex partition (G)",
-        "vertex partition (H)",
-        "graph-level agree",
-    ]);
+    let mut table =
+        Table::new(&["pair", "vertex partition (G)", "vertex partition (H)", "graph-level agree"]);
     let mut agreements = 0;
     let mut violations = 0;
     for pair in corpus {
@@ -53,9 +48,8 @@ pub fn run(corpus: &[GraphPair]) -> ExperimentResult {
         // Graph level: equal sum-readout values ⇔ CR-equivalent.
         let (graph_ok, cr_eq) = if pair.g.label_dim() == pair.h.label_dim() {
             let readout = cr_graph_expr(pair.g.label_dim(), rounds);
-            let same =
-                eval(&readout, &pair.g).value() == eval(&readout, &pair.h).value();
-            let cr_eq = cr_equivalent(&pair.g, &pair.h);
+            let same = eval(&readout, &pair.g).value() == eval(&readout, &pair.h).value();
+            let cr_eq = cached_cr_equivalent(&pair.g, &pair.h);
             (same == cr_eq, cr_eq)
         } else {
             (true, false)
@@ -71,7 +65,11 @@ pub fn run(corpus: &[GraphPair]) -> ExperimentResult {
             pair.name.to_string(),
             "exact".to_string(),
             "exact".to_string(),
-            format!("{} (CR {})", if graph_ok { "yes" } else { "NO" }, if cr_eq { "=" } else { "≠" }),
+            format!(
+                "{} (CR {})",
+                if graph_ok { "yes" } else { "NO" },
+                if cr_eq { "=" } else { "≠" }
+            ),
         ]);
     }
     ExperimentResult {

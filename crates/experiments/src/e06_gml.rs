@@ -2,9 +2,9 @@
 //! Barceló et al.): the compiled expression must agree with the logic
 //! evaluator *exactly*, at every vertex of every test graph.
 
+use gel_graph::random::{erdos_renyi, with_random_one_hot_labels};
 use gel_lang::eval::eval;
 use gel_logic::{gml_to_mpnn, parse_gml};
-use gel_graph::random::{erdos_renyi, with_random_one_hot_labels};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

@@ -10,14 +10,14 @@
 //! still covers them, via the ReLU approximation argument rather than
 //! exact rewriting.
 
+use gel_graph::families::{cycle, path, star};
+use gel_graph::Graph;
+use gel_lang::architectures::{gnn101_vertex_expr, Gnn101Layer};
 use gel_lang::ast::Expr;
 use gel_lang::eval::eval;
 use gel_lang::func::Agg;
 use gel_lang::normal_form::{is_normal_form, to_normal_form};
 use gel_lang::random_expr::{random_mpnn_vertex, RandomExprConfig};
-use gel_lang::architectures::{gnn101_vertex_expr, Gnn101Layer};
-use gel_graph::families::{cycle, path, star};
-use gel_graph::Graph;
 use gel_tensor::Activation;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -11,7 +11,7 @@
 //! * the oblivious cross-check `ρ(2-OWL) = ρ(1-FWL)`;
 //! * soundness — isomorphic pairs are never separated.
 
-use gel_wl::{cr_equivalent, k_wl_equivalent, WlVariant};
+use gel_wl::{cached_cr_equivalent, cached_k_wl_equivalent, WlVariant};
 
 use crate::corpus::GraphPair;
 use crate::report::{ExperimentResult, Table};
@@ -26,12 +26,12 @@ pub fn run(corpus: &[GraphPair], max_k: usize) -> ExperimentResult {
 
     for pair in corpus {
         let (g, h) = (&pair.g, &pair.h);
-        let cr = cr_equivalent(g, h);
+        let cr = cached_cr_equivalent(g, h);
         let mut eq = Vec::new();
         for k in 1..=max_k {
-            eq.push(k_wl_equivalent(g, h, k, WlVariant::Folklore));
+            eq.push(cached_k_wl_equivalent(g, h, k, WlVariant::Folklore));
         }
-        let owl2 = k_wl_equivalent(g, h, 2, WlVariant::Oblivious);
+        let owl2 = cached_k_wl_equivalent(g, h, 2, WlVariant::Oblivious);
 
         let mut ok = true;
         // CR coincides with 1-WL.

@@ -10,7 +10,7 @@
 use gel_lang::eval::eval;
 use gel_lang::random_expr::{random_gel_graph, RandomExprConfig};
 use gel_lang::wl_sim::{cr_graph_expr, k_wl_graph_expr};
-use gel_wl::{k_wl_equivalent, WlVariant};
+use gel_wl::{cached_k_wl_equivalent, WlVariant};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -35,7 +35,7 @@ pub fn run(corpus: &[GraphPair], samples: usize, max_n: usize) -> ExperimentResu
 
     for (i, pair) in corpus.iter().enumerate() {
         for k in 1..=2usize {
-            let wl_eq = k_wl_equivalent(&pair.g, &pair.h, k, WlVariant::Folklore);
+            let wl_eq = cached_k_wl_equivalent(&pair.g, &pair.h, k, WlVariant::Folklore);
 
             // Upper bound: random probing.
             let n = pair.g.num_vertices().max(pair.h.num_vertices());
@@ -59,8 +59,7 @@ pub fn run(corpus: &[GraphPair], samples: usize, max_n: usize) -> ExperimentResu
             // exponentially in the round count, so use the measured
             // stabilization rounds of the joint refinement.
             let rounds = if k == 1 {
-                gel_wl::color_refinement(&[&pair.g, &pair.h], gel_wl::CrOptions::default())
-                    .rounds
+                gel_wl::color_refinement(&[&pair.g, &pair.h], gel_wl::CrOptions::default()).rounds
                     + 1
             } else {
                 gel_wl::k_wl(&[&pair.g, &pair.h], k, WlVariant::Folklore, None).rounds + 1

@@ -14,10 +14,11 @@ use gel_lang::eval::eval;
 use gel_lang::func::Agg;
 use gel_lang::wl_sim::k_wl_graph_expr;
 use gel_tensor::{Activation, Matrix};
-use gel_wl::{cr_equivalent, k_wl_equivalent, WlVariant};
+use gel_wl::{cached_cr_equivalent, cached_k_wl_equivalent, WlVariant};
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
+use rayon::prelude::*;
 
 use crate::corpus::GraphPair;
 use crate::report::{ExperimentResult, Table};
@@ -34,9 +35,8 @@ pub struct CastArchitecture {
 pub fn architecture_zoo(seed: u64) -> Vec<CastArchitecture> {
     let mut rng = StdRng::seed_from_u64(seed);
     let a = (6.0_f64 / 2.0).sqrt();
-    let m = |r: usize, c: usize, rng: &mut StdRng| {
-        Matrix::from_fn(r, c, |_, _| rng.gen_range(-a..=a))
-    };
+    let m =
+        |r: usize, c: usize, rng: &mut StdRng| Matrix::from_fn(r, c, |_, _| rng.gen_range(-a..=a));
 
     let readout = |vertex: Expr| build::global_agg(Agg::Sum, 1, vertex);
 
@@ -110,8 +110,8 @@ pub fn run(corpus: &[GraphPair]) -> ExperimentResult {
                 continue;
             }
             let bound_eq = match report.bound {
-                WlBound::ColorRefinement => cr_equivalent(&pair.g, &pair.h),
-                WlBound::KWl(k) => k_wl_equivalent(&pair.g, &pair.h, k, WlVariant::Folklore),
+                WlBound::ColorRefinement => cached_cr_equivalent(&pair.g, &pair.h),
+                WlBound::KWl(k) => cached_k_wl_equivalent(&pair.g, &pair.h, k, WlVariant::Folklore),
             };
             if bound_eq {
                 let a = eval(&arch.expr, &pair.g);
@@ -174,12 +174,14 @@ pub fn lattice_figure(corpus: &[GraphPair]) -> Table {
     let non_iso: Vec<&GraphPair> = corpus.iter().filter(|p| !p.truth.isomorphic).collect();
     let total = non_iso.len();
 
-    let count = |f: &dyn Fn(&GraphPair) -> bool| non_iso.iter().filter(|p| f(p)).count();
+    // Each pair is decided independently (the WL cache is shared but
+    // deterministic), so the sweep fans out across threads.
+    let count = |f: &(dyn Fn(&GraphPair) -> bool + Sync)| non_iso.par_iter().count_where(|p| f(p));
 
     let constant = 0usize;
-    let cr = count(&|p| !cr_equivalent(&p.g, &p.h));
-    let wl2 = count(&|p| !k_wl_equivalent(&p.g, &p.h, 2, WlVariant::Folklore));
-    let wl3 = count(&|p| !k_wl_equivalent(&p.g, &p.h, 3, WlVariant::Folklore));
+    let cr = count(&|p| !cached_cr_equivalent(&p.g, &p.h));
+    let wl2 = count(&|p| !cached_k_wl_equivalent(&p.g, &p.h, 2, WlVariant::Folklore));
+    let wl3 = count(&|p| !cached_k_wl_equivalent(&p.g, &p.h, 3, WlVariant::Folklore));
     let iso = total;
 
     for (name, c) in [
@@ -214,9 +216,7 @@ mod tests {
         let counts: Vec<usize> = rendered
             .lines()
             .skip(2)
-            .map(|l| {
-                l.split('|').nth(2).unwrap().trim().parse::<usize>().unwrap()
-            })
+            .map(|l| l.split('|').nth(2).unwrap().trim().parse::<usize>().unwrap())
             .collect();
         assert!(counts.windows(2).all(|w| w[0] <= w[1]), "lattice must be monotone: {counts:?}");
         assert!(counts[1] < counts[2], "2-WL strictly above CR on this corpus");

@@ -10,10 +10,10 @@
 //! finite multisets with labels; mean misses scaling, max misses
 //! multiplicity) is pinned per case.
 
+use gel_graph::{Graph, GraphBuilder};
 use gel_lang::ast::build;
 use gel_lang::eval::eval;
 use gel_lang::func::Agg;
-use gel_graph::{Graph, GraphBuilder};
 
 use crate::report::{ExperimentResult, Table};
 
@@ -55,15 +55,35 @@ pub struct MultisetCase {
 /// The pinned case suite.
 pub const CASES: [MultisetCase; 5] = [
     // Proportional multisets: equal mean and max, different sum.
-    MultisetCase { name: "{1,2} vs {1,1,2,2}", a: &[1.0, 2.0], b: &[1.0, 1.0, 2.0, 2.0], expect: (true, false, false) },
+    MultisetCase {
+        name: "{1,2} vs {1,1,2,2}",
+        a: &[1.0, 2.0],
+        b: &[1.0, 1.0, 2.0, 2.0],
+        expect: (true, false, false),
+    },
     // Equal sum and mean, different max.
-    MultisetCase { name: "{0,2} vs {1,1}", a: &[0.0, 2.0], b: &[1.0, 1.0], expect: (false, false, true) },
+    MultisetCase {
+        name: "{0,2} vs {1,1}",
+        a: &[0.0, 2.0],
+        b: &[1.0, 1.0],
+        expect: (false, false, true),
+    },
     // Equal max, different sum and mean.
-    MultisetCase { name: "{1,1,2} vs {1,2}", a: &[1.0, 1.0, 2.0], b: &[1.0, 2.0], expect: (true, true, false) },
+    MultisetCase {
+        name: "{1,1,2} vs {1,2}",
+        a: &[1.0, 1.0, 2.0],
+        b: &[1.0, 2.0],
+        expect: (true, true, false),
+    },
     // All three differ.
     MultisetCase { name: "{3} vs {1,1}", a: &[3.0], b: &[1.0, 1.0], expect: (true, true, true) },
     // Identical multisets: none may separate (soundness control).
-    MultisetCase { name: "{1,2} vs {2,1}", a: &[1.0, 2.0], b: &[2.0, 1.0], expect: (false, false, false) },
+    MultisetCase {
+        name: "{1,2} vs {2,1}",
+        a: &[1.0, 2.0],
+        b: &[2.0, 1.0],
+        expect: (false, false, false),
+    },
 ];
 
 /// Runs E11.

@@ -11,7 +11,7 @@
 
 use gel_graph::Graph;
 use gel_hom::subgraph::triangle_counts_per_vertex;
-use gel_wl::cr_equivalent;
+use gel_wl::cached_cr_equivalent;
 
 use crate::corpus::GraphPair;
 use crate::report::{ExperimentResult, Table};
@@ -36,9 +36,9 @@ pub fn run(corpus: &[GraphPair]) -> ExperimentResult {
     let mut violations = 0;
     let mut gained = 0usize;
     for pair in corpus {
-        let plain = cr_equivalent(&pair.g, &pair.h);
+        let plain = cached_cr_equivalent(&pair.g, &pair.h);
         let viewed =
-            cr_equivalent(&with_triangle_view(&pair.g), &with_triangle_view(&pair.h));
+            cached_cr_equivalent(&with_triangle_view(&pair.g), &with_triangle_view(&pair.h));
         // Soundness: the view never separates isomorphic graphs, and
         // never *loses* a separation (view refines labels).
         let mut ok = true;
@@ -77,7 +77,8 @@ pub fn run(corpus: &[GraphPair]) -> ExperimentResult {
     }
     ExperimentResult {
         id: "E13",
-        claim: "view embeddings (labels + hom counts) strictly extend CR power, soundly  [slide 72]",
+        claim:
+            "view embeddings (labels + hom counts) strictly extend CR power, soundly  [slide 72]",
         table,
         agreements,
         violations,
@@ -89,6 +90,7 @@ mod tests {
     use super::*;
     use crate::corpus::light_corpus;
     use gel_graph::families::cr_blind_pair;
+    use gel_wl::cr_equivalent;
 
     #[test]
     fn e13_views_gain_power_soundly() {

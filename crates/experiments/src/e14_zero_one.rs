@@ -31,7 +31,8 @@ fn acceptance_rate(model: &GraphModel, n: usize, samples: usize, seed: u64) -> f
 /// size.
 pub fn run(models: usize, samples: usize) -> ExperimentResult {
     let sizes = [8usize, 16, 32, 64];
-    let mut table = Table::new(&["classifier", "n=8", "n=16", "n=32", "n=64", "dispersion shrinks"]);
+    let mut table =
+        Table::new(&["classifier", "n=8", "n=16", "n=32", "n=64", "dispersion shrinks"]);
     let mut agreements = 0;
     let mut violations = 0;
 
@@ -41,10 +42,8 @@ pub fn run(models: usize, samples: usize) -> ExperimentResult {
         // zero-one results apply (bounded activations, averaged
         // messages concentrate by the law of large numbers).
         let model = GraphModel::gnn101(1, 8, 2, 1, GnnAgg::Mean, Readout::Mean, &mut rng);
-        let rates: Vec<f64> = sizes
-            .iter()
-            .map(|&n| acceptance_rate(&model, n, samples, 1000 * m as u64))
-            .collect();
+        let rates: Vec<f64> =
+            sizes.iter().map(|&n| acceptance_rate(&model, n, samples, 1000 * m as u64)).collect();
         let dispersion: Vec<f64> = rates.iter().map(|&r| r.min(1.0 - r)).collect();
         // Shape check: dispersion at the largest size is tiny, and not
         // larger than at the smallest size.

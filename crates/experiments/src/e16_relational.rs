@@ -13,7 +13,7 @@
 
 use gel_gnn::relational_gnn_separates;
 use gel_graph::typed::{TypedGraph, TypedGraphBuilder};
-use gel_wl::{cr_equivalent, relational_cr_equivalent};
+use gel_wl::{cached_cr_equivalent, relational_cr_equivalent};
 
 use crate::report::{ExperimentResult, Table};
 
@@ -66,7 +66,7 @@ pub fn run(trials: usize) -> ExperimentResult {
     let mut agreements = 0;
     let mut violations = 0;
     for (i, (name, g, h)) in relational_corpus().into_iter().enumerate() {
-        let plain = cr_equivalent(&g.forget_relations(), &h.forget_relations());
+        let plain = cached_cr_equivalent(&g.forget_relations(), &h.forget_relations());
         let relational = relational_cr_equivalent(&g, &h);
         let probe = !relational_gnn_separates(&g, &h, trials, 3, 0xE16 + i as u64);
 
@@ -89,7 +89,8 @@ pub fn run(trials: usize) -> ExperimentResult {
     }
     ExperimentResult {
         id: "E16",
-        claim: "relational GNNs have exactly relational-CR power; types strictly refine  [slide 74]",
+        claim:
+            "relational GNNs have exactly relational-CR power; types strictly refine  [slide 74]",
         table,
         agreements,
         violations,
@@ -111,7 +112,7 @@ mod tests {
         // At least one pair is plain-CR-equivalent but relationally
         // separable — the "strictly refines" witness.
         let found = relational_corpus().into_iter().any(|(_, g, h)| {
-            cr_equivalent(&g.forget_relations(), &h.forget_relations())
+            cached_cr_equivalent(&g.forget_relations(), &h.forget_relations())
                 && !relational_cr_equivalent(&g, &h)
         });
         assert!(found);

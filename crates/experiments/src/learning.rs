@@ -9,8 +9,8 @@
 //! * L3: social-network link prediction (2-vertex embedding, slide 9).
 
 use gel_gnn::{
-    eval_graph_accuracy, eval_node_accuracy, train_graph_model, train_node_classifier,
-    GnnAgg, GraphModel, LinkPredictor, VertexModel,
+    eval_graph_accuracy, eval_node_accuracy, train_graph_model, train_node_classifier, GnnAgg,
+    GraphModel, LinkPredictor, VertexModel,
 };
 use gel_graph::datasets::{balanced_molecule_dataset_by, citation_network, social_network};
 use gel_graph::random::with_random_real_labels;
@@ -32,10 +32,8 @@ pub fn run_l1_molecules(count: usize, heavy: usize, epochs: usize) -> Experiment
     // learnable + generalizable; the hetero-ring property is kept in
     // the generator as the *negative* example of slide 31 (see E12).
     let molecules = balanced_molecule_dataset_by(count, heavy, |m| m.hetero_pair, &mut rng);
-    let data: Vec<(Graph, Vec<f64>)> = molecules
-        .iter()
-        .map(|m| (m.graph.clone(), vec![f64::from(m.hetero_pair)]))
-        .collect();
+    let data: Vec<(Graph, Vec<f64>)> =
+        molecules.iter().map(|m| (m.graph.clone(), vec![f64::from(m.hetero_pair)])).collect();
     let (train, test) = data.split_at(data.len() * 4 / 5);
 
     let mut model = GraphModel::gin(4, 16, 2, 1, Activation::Identity, &mut rng);
@@ -81,7 +79,8 @@ pub fn run_l2_citation(per_topic: usize, epochs: usize) -> ExperimentResult {
     ids.shuffle(&mut rng);
     let (train_mask, test_mask) = ids.split_at(n / 5);
 
-    let mut model = VertexModel::gnn101(net.num_topics, 16, 2, net.num_topics, GnnAgg::Mean, &mut rng);
+    let mut model =
+        VertexModel::gnn101(net.num_topics, 16, 2, net.num_topics, GnnAgg::Mean, &mut rng);
     let mut opt = Adam::new(0.01);
     let log = train_node_classifier(&mut model, g, &targets, train_mask, &mut opt, epochs);
     let train_acc = eval_node_accuracy(&model, g, &targets, train_mask);
@@ -129,15 +128,10 @@ pub fn run_l3_links(per_community: usize, epochs: usize) -> ExperimentResult {
             train_neg.push((u, v));
         }
     }
-    let pairs: Vec<((Vertex, Vertex), f64)> = train_pos
-        .iter()
-        .map(|&p| (p, 1.0))
-        .chain(train_neg.iter().map(|&p| (p, 0.0)))
-        .collect();
+    let pairs: Vec<((Vertex, Vertex), f64)> =
+        train_pos.iter().map(|&p| (p, 1.0)).chain(train_neg.iter().map(|&p| (p, 0.0))).collect();
 
-    let mut lp = LinkPredictor {
-        encoder: VertexModel::gnn101(8, 16, 2, 8, GnnAgg::Sum, &mut rng),
-    };
+    let mut lp = LinkPredictor { encoder: VertexModel::gnn101(8, 16, 2, 8, GnnAgg::Sum, &mut rng) };
     let mut opt = Adam::new(0.01);
     let mut last = f64::INFINITY;
     for _ in 0..epochs {

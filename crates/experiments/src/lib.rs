@@ -49,34 +49,52 @@ pub mod e16_relational;
 pub mod learning;
 pub mod report;
 
+use rayon::prelude::*;
+
 pub use corpus::{full_corpus, light_corpus, GraphPair, PairTruth};
 pub use report::{ExperimentResult, Table};
 
 /// Runs every experiment with publication-quality settings and returns
 /// the results in order. `full` additionally includes the 40-vertex
 /// CFI(K4) pair (3-WL on it takes a few seconds in release mode).
+///
+/// Experiments are independent (each seeds its own RNGs), so they fan
+/// out across threads; the order-preserving collect returns results in
+/// the same order — and with the same contents — as a serial run.
 pub fn run_all(full: bool) -> Vec<ExperimentResult> {
+    run_all_timed(full).into_iter().map(|(r, _)| r).collect()
+}
+
+/// [`run_all`], additionally reporting each experiment's wall-clock
+/// seconds (as measured inside the parallel schedule).
+pub fn run_all_timed(full: bool) -> Vec<(ExperimentResult, f64)> {
     let corpus = if full { full_corpus() } else { light_corpus() };
-    let mut results = vec![
-        e01_gnn_vs_cr::run(&corpus, 32),
-        e02_tree_homs::run(&corpus, 8),
-        e03_mpnn_upper_bound::run(&corpus, 50),
-        e04_cr_simulation::run(&corpus),
-        e05_approximation::run(800),
-        e06_gml::run(10),
-        e07_normal_form::run(30),
-        e08_hierarchy::run(&corpus, 3),
-        e09_gel_kwl::run(&corpus, 20, 12),
-        e10_recipe::run(&corpus),
-        e11_aggregators::run(),
-        e12_universality::run(600),
-        e13_views::run(&corpus),
-        e14_zero_one::run(8, 30),
-        e15_wl_vc::run(3000),
-        e16_relational::run(24),
+    let jobs: Vec<Box<dyn Fn() -> ExperimentResult + Sync + Send + '_>> = vec![
+        Box::new(|| e01_gnn_vs_cr::run(&corpus, 32)),
+        Box::new(|| e02_tree_homs::run(&corpus, 8)),
+        Box::new(|| e03_mpnn_upper_bound::run(&corpus, 50)),
+        Box::new(|| e04_cr_simulation::run(&corpus)),
+        Box::new(|| e05_approximation::run(800)),
+        Box::new(|| e06_gml::run(10)),
+        Box::new(|| e07_normal_form::run(30)),
+        Box::new(|| e08_hierarchy::run(&corpus, 3)),
+        Box::new(|| e09_gel_kwl::run(&corpus, 20, 12)),
+        Box::new(|| e10_recipe::run(&corpus)),
+        Box::new(e11_aggregators::run),
+        Box::new(|| e12_universality::run(600)),
+        Box::new(|| e13_views::run(&corpus)),
+        Box::new(|| e14_zero_one::run(8, 30)),
+        Box::new(|| e15_wl_vc::run(3000)),
+        Box::new(|| e16_relational::run(24)),
+        Box::new(|| learning::run_l1_molecules(120, 8, 400)),
+        Box::new(|| learning::run_l2_citation(50, 200)),
+        Box::new(|| learning::run_l3_links(35, 200)),
     ];
-    results.push(learning::run_l1_molecules(120, 8, 400));
-    results.push(learning::run_l2_citation(50, 200));
-    results.push(learning::run_l3_links(35, 200));
-    results
+    jobs.par_iter()
+        .map(|job| {
+            let t0 = std::time::Instant::now();
+            let r = job();
+            (r, t0.elapsed().as_secs_f64())
+        })
+        .collect()
 }

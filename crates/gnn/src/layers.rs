@@ -8,9 +8,7 @@ use gel_graph::Graph;
 use gel_tensor::{Activation, Dense, Init, Matrix, Mlp, Param, Parameterized};
 use rand::Rng;
 
-use crate::agg::{
-    mean_backward, mean_forward, sum_backward, sum_forward, MaxAggregation,
-};
+use crate::agg::{mean_backward, mean_forward, sum_backward, sum_forward, MaxAggregation};
 
 /// Which aggregator a layer uses (slide 69's sum/mean/max comparison).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -122,9 +120,7 @@ impl Gnn101Conv {
         let grad_from_agg = match self.agg {
             GnnAgg::Sum => sum_backward(g, &grad_agg),
             GnnAgg::Mean => mean_backward(g, &grad_agg),
-            GnnAgg::Max => {
-                cache.max_cache.as_ref().unwrap().backward(g.num_vertices(), &grad_agg)
-            }
+            GnnAgg::Max => cache.max_cache.as_ref().unwrap().backward(g.num_vertices(), &grad_agg),
         };
         let mut grad_x = delta.matmul_t(&self.w1.value);
         grad_x += &grad_from_agg;
@@ -154,13 +150,8 @@ pub struct GinConv {
 impl GinConv {
     /// New GIN layer with a 2-layer ReLU MLP `d_in → hidden → d_out`.
     pub fn new(d_in: usize, hidden: usize, d_out: usize, eps: f64, rng: &mut impl Rng) -> Self {
-        let mlp = Mlp::new(
-            &[d_in, hidden, d_out],
-            Activation::ReLU,
-            Activation::Identity,
-            Init::He,
-            rng,
-        );
+        let mlp =
+            Mlp::new(&[d_in, hidden, d_out], Activation::ReLU, Activation::Identity, Init::He, rng);
         Self { eps, mlp, gin_cache: None }
     }
 

@@ -45,8 +45,8 @@ pub use layers::{GinConv, Gnn101Conv, GnnAgg, SageConv};
 pub use models::{features, ConvLayer, GraphModel, Readout, VertexModel};
 pub use relational::{relational_gnn_separates, RelationalConv};
 pub use separation::{gnn101_class_separates, gnn_separates, SeparationConfig};
-pub use tuple::{pair_features, tuple_gnn_separates, TupleConv, TupleGnn};
 pub use train::{
     eval_graph_accuracy, eval_node_accuracy, eval_vertex_mse, train_graph_model,
     train_node_classifier, train_vertex_regression, LinkPredictor, TrainLog,
 };
+pub use tuple::{pair_features, tuple_gnn_separates, TupleConv, TupleGnn};

@@ -74,13 +74,7 @@ impl VertexModel {
         let mut convs = Vec::new();
         let mut d = label_dim;
         for _ in 0..depth {
-            convs.push(ConvLayer::Gnn101(Gnn101Conv::new(
-                d,
-                hidden,
-                Activation::Tanh,
-                agg,
-                rng,
-            )));
+            convs.push(ConvLayer::Gnn101(Gnn101Conv::new(d, hidden, Activation::Tanh, agg, rng)));
             d = hidden;
         }
         let head =
@@ -179,22 +173,11 @@ impl GraphModel {
         let mut convs = Vec::new();
         let mut d = label_dim;
         for _ in 0..depth {
-            convs.push(ConvLayer::Gnn101(Gnn101Conv::new(
-                d,
-                hidden,
-                Activation::Tanh,
-                agg,
-                rng,
-            )));
+            convs.push(ConvLayer::Gnn101(Gnn101Conv::new(d, hidden, Activation::Tanh, agg, rng)));
             d = hidden;
         }
-        let head = Mlp::new(
-            &[d, out_dim],
-            Activation::Identity,
-            Activation::Identity,
-            Init::Xavier,
-            rng,
-        );
+        let head =
+            Mlp::new(&[d, out_dim], Activation::Identity, Activation::Identity, Init::Xavier, rng);
         Self { convs, readout, head, cache_n: 0 }
     }
 
@@ -298,8 +281,7 @@ mod tests {
     #[test]
     fn graph_model_end_to_end_gradient() {
         let mut rng = StdRng::seed_from_u64(3);
-        let mut m =
-            GraphModel::gnn101(1, 4, 2, 1, GnnAgg::Sum, Readout::Mean, &mut rng);
+        let mut m = GraphModel::gnn101(1, 4, 2, 1, GnnAgg::Sum, Readout::Mean, &mut rng);
         let g = cycle(5);
         let y = m.forward(&g);
         m.zero_grads();
@@ -333,10 +315,7 @@ mod tests {
         let dn = m.infer(&g).sum();
         bump(&mut m, h);
         let numeric = (up - dn) / (2.0 * h);
-        assert!(
-            (numeric - analytic).abs() < 1e-4,
-            "numeric {numeric} vs analytic {analytic}"
-        );
+        assert!((numeric - analytic).abs() < 1e-4, "numeric {numeric} vs analytic {analytic}");
     }
 
     #[test]

@@ -13,6 +13,7 @@ use gel_graph::Graph;
 use gel_tensor::Activation;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rayon::prelude::*;
 
 use crate::layers::GnnAgg;
 use crate::models::{GraphModel, Readout};
@@ -44,14 +45,16 @@ impl Default for SeparationConfig {
 /// True iff some random GNN-101 from the configured family produces
 /// different outputs on `g` and `h`.
 pub fn gnn_separates(g: &Graph, h: &Graph, cfg: &SeparationConfig) -> bool {
-    assert_eq!(
-        g.label_dim(),
-        h.label_dim(),
-        "graphs must share a label space to be compared"
-    );
+    assert_eq!(g.label_dim(), h.label_dim(), "graphs must share a label space to be compared");
     let layers = cfg.layers.unwrap_or_else(|| g.num_vertices().max(h.num_vertices()));
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    for _ in 0..cfg.trials {
+    // Each trial derives its own RNG from (seed, trial index), so the
+    // set of probed models — and therefore the answer — is the same at
+    // any thread count. Trials run in batches with a parallel `any`
+    // inside each batch and an early exit between batches, preserving
+    // the serial loop's cheap exits on easily-separated pairs.
+    let probe = |t: usize| {
+        let mut rng =
+            StdRng::seed_from_u64(cfg.seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let model = GraphModel::gnn101(
             g.label_dim(),
             cfg.hidden,
@@ -61,11 +64,16 @@ pub fn gnn_separates(g: &Graph, h: &Graph, cfg: &SeparationConfig) -> bool {
             Readout::Sum,
             &mut rng,
         );
-        let yg = model.infer(g);
-        let yh = model.infer(h);
-        if !yg.approx_eq(&yh, cfg.tol) {
+        !model.infer(g).approx_eq(&model.infer(h), cfg.tol)
+    };
+    let batch = rayon::current_num_threads().max(1);
+    let mut t = 0;
+    while t < cfg.trials {
+        let hi = (t + batch).min(cfg.trials);
+        if (t..hi).into_par_iter().any(probe) {
             return true;
         }
+        t = hi;
     }
     false
 }
@@ -87,9 +95,7 @@ pub fn activation_for_eval_only() -> Activation {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gel_graph::families::{
-        circular_ladder, cr_blind_pair, cycle, moebius_ladder, path, star,
-    };
+    use gel_graph::families::{circular_ladder, cr_blind_pair, cycle, moebius_ladder, path, star};
     use gel_graph::random::random_permutation;
     use gel_wl::cr_equivalent;
 

@@ -179,9 +179,7 @@ impl TupleConv {
                         *gzi = gmi * self.msg_activation.derivative(zi);
                     }
                     // Parameter grads.
-                    for (gb, &g) in
-                        self.b_msg.grad.data_mut().iter_mut().zip(&gz)
-                    {
+                    for (gb, &g) in self.b_msg.grad.data_mut().iter_mut().zip(&gz) {
                         *gb += g;
                     }
                     for (i, &xi) in input.iter().enumerate() {

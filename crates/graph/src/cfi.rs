@@ -51,11 +51,8 @@ pub fn cfi_graph(base: &Graph, variant: CfiVariant) -> Graph {
     if let CfiVariant::TwistedAt(i) = variant {
         assert!(i < base_edges.len(), "twist index out of range");
     }
-    let edge_index: HashMap<(Vertex, Vertex), usize> = base_edges
-        .iter()
-        .enumerate()
-        .flat_map(|(i, &(u, v))| [((u, v), i), ((v, u), i)])
-        .collect();
+    let edge_index: HashMap<(Vertex, Vertex), usize> =
+        base_edges.iter().enumerate().flat_map(|(i, &(u, v))| [((u, v), i), ((v, u), i)]).collect();
 
     // Allocate vertex ids: first all middle vertices, then all ports.
     let mut middle_ids: Vec<Vec<(u32, Vertex)>> = Vec::new(); // per base vertex: (subset mask, id)
@@ -114,11 +111,8 @@ pub fn cfi_graph_multi_twist(base: &Graph, twisted: &[usize]) -> Graph {
     let base_edges: Vec<(Vertex, Vertex)> =
         base.edges_undirected().filter(|&(u, v)| u != v).collect();
     // Reuse the single-twist builder by composing: build directly.
-    let edge_index: HashMap<(Vertex, Vertex), usize> = base_edges
-        .iter()
-        .enumerate()
-        .flat_map(|(i, &(u, v))| [((u, v), i), ((v, u), i)])
-        .collect();
+    let edge_index: HashMap<(Vertex, Vertex), usize> =
+        base_edges.iter().enumerate().flat_map(|(i, &(u, v))| [((u, v), i), ((v, u), i)]).collect();
 
     let mut middle_ids: Vec<Vec<(u32, Vertex)>> = Vec::new();
     let mut next: usize = 0;

@@ -69,8 +69,7 @@ pub fn random_molecule(num_heavy: usize, h_fill: f64, rng: &mut impl Rng) -> Mol
     let mut edges: Vec<(usize, usize)> = Vec::new();
     for v in 1..num_heavy {
         // Attach to a random earlier atom with spare valence.
-        let candidates: Vec<usize> =
-            (0..v).filter(|&u| deg[u] < valence[u]).collect();
+        let candidates: Vec<usize> = (0..v).filter(|&u| deg[u] < valence[u]).collect();
         let u = if candidates.is_empty() {
             // Fall back: attach to the least-saturated earlier atom.
             (0..v).min_by_key(|&u| deg[u]).unwrap()
@@ -155,12 +154,8 @@ fn has_hetero_ring(g: &Graph, types: &[usize], num_heavy: usize) -> bool {
                 low[v] = timer;
                 timer += 1;
             }
-            let nbrs: Vec<usize> = g
-                .neighbors(v as Vertex)
-                .iter()
-                .map(|&w| w as usize)
-                .filter(|&w| w < n)
-                .collect();
+            let nbrs: Vec<usize> =
+                g.neighbors(v as Vertex).iter().map(|&w| w as usize).filter(|&w| w < n).collect();
             if *idx < nbrs.len() {
                 let w = nbrs[*idx];
                 *idx += 1;
@@ -185,7 +180,7 @@ fn has_hetero_ring(g: &Graph, types: &[usize], num_heavy: usize) -> bool {
     }
     // Union heavy vertices over non-bridge edges → cycle components.
     let mut uf: Vec<usize> = (0..n).collect();
-    fn find(uf: &mut Vec<usize>, x: usize) -> usize {
+    fn find(uf: &mut [usize], x: usize) -> usize {
         let mut r = x;
         while uf[r] != r {
             r = uf[r];
@@ -214,16 +209,14 @@ fn has_hetero_ring(g: &Graph, types: &[usize], num_heavy: usize) -> bool {
     // vertices joined by non-bridge edges lies on cycles).
     let mut comp_size = std::collections::HashMap::new();
     let mut comp_hetero = std::collections::HashMap::new();
-    for v in 0..n {
+    for (v, &ty) in types.iter().enumerate().take(n) {
         let r = find(&mut uf, v);
         *comp_size.entry(r).or_insert(0usize) += 1;
-        if types[v] == 1 || types[v] == 2 {
+        if ty == 1 || ty == 2 {
             *comp_hetero.entry(r).or_insert(0usize) += 1;
         }
     }
-    comp_size
-        .iter()
-        .any(|(r, &sz)| sz > 1 && comp_hetero.get(r).copied().unwrap_or(0) >= 2)
+    comp_size.iter().any(|(r, &sz)| sz > 1 && comp_hetero.get(r).copied().unwrap_or(0) >= 2)
 }
 
 /// A batch of random molecules with their labels.
@@ -443,10 +436,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(31);
         let net = citation_network(3, 40, 0.2, 0.01, 0.1, &mut rng);
         let g = &net.graph;
-        let correct = g
-            .vertices()
-            .filter(|&v| g.label(v)[net.topic[v as usize]] == 1.0)
-            .count();
+        let correct = g.vertices().filter(|&v| g.label(v)[net.topic[v as usize]] == 1.0).count();
         assert!(correct as f64 > 0.8 * g.num_vertices() as f64);
     }
 

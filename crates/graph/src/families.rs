@@ -235,7 +235,7 @@ pub fn complete_multipartite(parts: &[usize]) -> Graph {
     let n: usize = parts.iter().sum();
     let mut part_of = Vec::with_capacity(n);
     for (i, &sz) in parts.iter().enumerate() {
-        part_of.extend(std::iter::repeat(i).take(sz));
+        part_of.extend(std::iter::repeat_n(i, sz));
     }
     let mut b = GraphBuilder::new(n);
     for u in 0..n {

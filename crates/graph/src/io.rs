@@ -61,9 +61,8 @@ pub fn parse_edge_list(input: &str) -> Result<Graph, EdgeListError> {
                 builder = Some(GraphBuilder::with_label_dim(n, dim));
             }
             "v" | "e" | "a" => {
-                let b = builder
-                    .as_mut()
-                    .ok_or_else(|| err(line_no, "'n' header must come first"))?;
+                let b =
+                    builder.as_mut().ok_or_else(|| err(line_no, "'n' header must come first"))?;
                 let u: u32 = parts
                     .next()
                     .ok_or_else(|| err(line_no, "missing vertex id"))?
@@ -98,9 +97,7 @@ pub fn parse_edge_list(input: &str) -> Result<Graph, EdgeListError> {
             other => return Err(err(line_no, &format!("unknown tag {other:?}"))),
         }
     }
-    builder
-        .map(GraphBuilder::build)
-        .ok_or_else(|| err(1, "empty input (no 'n' header)"))
+    builder.map(GraphBuilder::build).ok_or_else(|| err(1, "empty input (no 'n' header)"))
 }
 
 /// Serializes to the edge-list format (inverse of [`parse_edge_list`]).

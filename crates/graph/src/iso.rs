@@ -149,10 +149,8 @@ fn feasible(g: &Graph, h: &Graph, v: Vertex, w: Vertex, core_g: &[u32]) -> bool 
     // Conversely, mapped neighbours of w must be matched by v's side:
     // counting suffices because the mapping is injective and the
     // first loop verified every one of v's mapped neighbours.
-    let w_mapped_out =
-        h.out_neighbors(w).iter().filter(|&&y| core_g.iter().any(|&m| m == y)).count();
-    let w_mapped_in =
-        h.in_neighbors(w).iter().filter(|&&y| core_g.iter().any(|&m| m == y)).count();
+    let w_mapped_out = h.out_neighbors(w).iter().filter(|&&y| core_g.contains(&y)).count();
+    let w_mapped_in = h.in_neighbors(w).iter().filter(|&&y| core_g.contains(&y)).count();
     mapped_out == w_mapped_out && mapped_in == w_mapped_in
 }
 

@@ -43,10 +43,8 @@ pub fn random_tree(n: usize, rng: &mut impl Rng) -> Graph {
     }
     let mut b = GraphBuilder::new(n);
     // Min-leaf extraction (O(n log n) with a heap; n is small, use scan-free heap).
-    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = (0..n)
-        .filter(|&v| degree[v] == 1)
-        .map(std::cmp::Reverse)
-        .collect();
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<usize>> =
+        (0..n).filter(|&v| degree[v] == 1).map(std::cmp::Reverse).collect();
     let mut deg = degree;
     for &p in &prufer {
         let std::cmp::Reverse(leaf) = heap.pop().expect("prufer invariant");
@@ -69,10 +67,11 @@ pub fn random_tree(n: usize, rng: &mut impl Rng) -> Graph {
 /// # Panics
 /// Panics if `n · d` is odd or `d ≥ n`.
 pub fn random_regular(n: usize, d: usize, rng: &mut impl Rng) -> Graph {
-    assert!(n * d % 2 == 0, "n*d must be even");
+    assert!((n * d).is_multiple_of(2), "n*d must be even");
     assert!(d < n, "degree must be below n");
     'retry: loop {
-        let mut stubs: Vec<Vertex> = (0..n as u32).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+        let mut stubs: Vec<Vertex> =
+            (0..n as u32).flat_map(|v| std::iter::repeat_n(v, d)).collect();
         stubs.shuffle(rng);
         let mut seen = std::collections::HashSet::new();
         let mut edges = Vec::with_capacity(n * d / 2);
@@ -107,7 +106,7 @@ pub fn stochastic_block_model(
     let n: usize = blocks.iter().sum();
     let mut block_of = Vec::with_capacity(n);
     for (i, &sz) in blocks.iter().enumerate() {
-        block_of.extend(std::iter::repeat(i).take(sz));
+        block_of.extend(std::iter::repeat_n(i, sz));
     }
     let mut b = GraphBuilder::new(n);
     for i in 0..n {

@@ -60,12 +60,7 @@ fn eliminate(factors: Vec<Factor>, var: u32, n: usize) -> Vec<Factor> {
         Factor { vars: out_vars.clone(), table: vec![0.0; Factor::size_for(&out_vars, n)] };
 
     // Enumerate assignments to out_vars × var.
-    let max_var = with
-        .iter()
-        .flat_map(|f| f.vars.iter())
-        .copied()
-        .max()
-        .unwrap_or(0);
+    let max_var = with.iter().flat_map(|f| f.vars.iter()).copied().max().unwrap_or(0);
     let mut assign = vec![0u32; max_var as usize + 1];
     let out_size = out.table.len();
     for out_idx in 0..out_size {

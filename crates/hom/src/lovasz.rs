@@ -32,15 +32,13 @@ impl HomProfile {
     /// Index of the first pattern whose counts differ, if any — a
     /// *witness* of distinguishability.
     pub fn first_difference(&self, other: &HomProfile) -> Option<usize> {
-        self.counts
-            .iter()
-            .zip(&other.counts)
-            .position(|(a, b)| a != b)
-            .or(if self.counts.len() != other.counts.len() {
+        self.counts.iter().zip(&other.counts).position(|(a, b)| a != b).or(
+            if self.counts.len() != other.counts.len() {
                 Some(self.counts.len().min(other.counts.len()))
             } else {
                 None
-            })
+            },
+        )
     }
 }
 

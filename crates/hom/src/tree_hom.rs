@@ -57,10 +57,10 @@ pub fn hom_tree(t: &Graph, g: &Graph) -> f64 {
         if parent[v as usize] != u32::MAX {
             let p = parent[v as usize] as usize;
             let child_table = std::mem::take(&mut h[v as usize]);
-            for u in 0..ng {
+            for (u, hp) in h[p].iter_mut().enumerate() {
                 let s: f64 =
                     g.neighbors(u as Vertex).iter().map(|&w| child_table[w as usize]).sum();
-                h[p][u] *= s;
+                *hp *= s;
             }
         }
     }
@@ -101,10 +101,10 @@ pub fn hom_tree_rooted(t: &Graph, g: &Graph) -> Vec<f64> {
         if parent[v as usize] != u32::MAX {
             let p = parent[v as usize] as usize;
             let child_table = std::mem::take(&mut h[v as usize]);
-            for u in 0..ng {
+            for (u, hp) in h[p].iter_mut().enumerate() {
                 let s: f64 =
                     g.neighbors(u as Vertex).iter().map(|&w| child_table[w as usize]).sum();
-                h[p][u] *= s;
+                *hp *= s;
             }
         }
     }

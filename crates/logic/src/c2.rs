@@ -114,18 +114,12 @@ impl C2Formula {
                 .collect(),
             C2Formula::Equal => (0..n * n).map(|i| i / n == i % n).collect(),
             C2Formula::Not(f) => f.eval_pairs(g).into_iter().map(|b| !b).collect(),
-            C2Formula::And(a, b) => a
-                .eval_pairs(g)
-                .into_iter()
-                .zip(b.eval_pairs(g))
-                .map(|(x, y)| x && y)
-                .collect(),
-            C2Formula::Or(a, b) => a
-                .eval_pairs(g)
-                .into_iter()
-                .zip(b.eval_pairs(g))
-                .map(|(x, y)| x || y)
-                .collect(),
+            C2Formula::And(a, b) => {
+                a.eval_pairs(g).into_iter().zip(b.eval_pairs(g)).map(|(x, y)| x && y).collect()
+            }
+            C2Formula::Or(a, b) => {
+                a.eval_pairs(g).into_iter().zip(b.eval_pairs(g)).map(|(x, y)| x || y).collect()
+            }
             C2Formula::CountExists { at_least, var, body } => {
                 let inner = body.eval_pairs(g);
                 let mut out = vec![false; n * n];
@@ -208,6 +202,7 @@ impl C2Formula {
 }
 
 /// Convenience constructors.
+#[allow(clippy::module_inception)]
 pub mod c2 {
     use super::C2Formula;
 

@@ -28,10 +28,7 @@ use crate::gml::GmlFormula;
 
 /// Affine map `x ↦ a·x + b` on a 1-dimensional expression.
 fn affine(a: f64, b: f64, e: Expr) -> Expr {
-    build::apply(
-        Func::Linear { weights: Matrix::from_rows(&[&[a]]), bias: vec![b] },
-        vec![e],
-    )
+    build::apply(Func::Linear { weights: Matrix::from_rows(&[&[a]]), bias: vec![b] }, vec![e])
 }
 
 /// Affine combination `x + y + b` of two 1-dimensional expressions.
@@ -60,9 +57,7 @@ fn compile_at(f: &GmlFormula, var: Var) -> Expr {
         GmlFormula::Top => affine(0.0, 1.0, build::lab(0, var)),
         GmlFormula::Prop(j) => build::lab(*j, var),
         GmlFormula::Not(inner) => affine(-1.0, 1.0, compile_at(inner, var)),
-        GmlFormula::And(a, b) => {
-            clip(add_bias(-1.0, compile_at(a, var), compile_at(b, var)))
-        }
+        GmlFormula::And(a, b) => clip(add_bias(-1.0, compile_at(a, var), compile_at(b, var))),
         GmlFormula::Or(a, b) => clip(add_bias(0.0, compile_at(a, var), compile_at(b, var))),
         GmlFormula::Diamond { at_least, inner } => {
             let other: Var = if var == 1 { 2 } else { 1 };
@@ -80,11 +75,11 @@ fn compile_at(f: &GmlFormula, var: Var) -> Expr {
 mod tests {
     use super::*;
     use crate::gml::{gml::*, parse_gml};
+    use gel_graph::families::{path, star};
+    use gel_graph::random::{erdos_renyi, with_random_one_hot_labels};
+    use gel_graph::Graph;
     use gel_lang::analysis::{analyze, Fragment};
     use gel_lang::eval::eval;
-    use gel_graph::random::{erdos_renyi, with_random_one_hot_labels};
-    use gel_graph::families::{path, star};
-    use gel_graph::Graph;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -109,8 +104,7 @@ mod tests {
 
     #[test]
     fn agreement_on_handmade_graphs() {
-        let labelled =
-            path(4).with_labels(vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0], 2);
+        let labelled = path(4).with_labels(vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0], 2);
         let formulas = [
             "T",
             "P0",

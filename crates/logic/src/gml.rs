@@ -84,8 +84,7 @@ impl GmlFormula {
                 let sub = inner.eval(g);
                 g.vertices()
                     .map(|v: Vertex| {
-                        g.out_neighbors(v).iter().filter(|&&u| sub[u as usize]).count()
-                            >= *at_least
+                        g.out_neighbors(v).iter().filter(|&&u| sub[u as usize]).count() >= *at_least
                     })
                     .collect()
             }
@@ -117,6 +116,7 @@ impl fmt::Display for GmlFormula {
 }
 
 /// Convenience constructors.
+#[allow(clippy::module_inception)]
 pub mod gml {
     use super::GmlFormula;
 
@@ -218,7 +218,9 @@ impl GmlParser<'_> {
                     c => Err(format!("unknown connective {:?}", c as char)),
                 }
             }
-            other => Err(format!("unexpected {:?} at byte {}", other.map(|&c| c as char), self.pos)),
+            other => {
+                Err(format!("unexpected {:?} at byte {}", other.map(|&c| c as char), self.pos))
+            }
         }
     }
 
@@ -257,7 +259,7 @@ mod tests {
     #[test]
     fn graded_diamond_counts_neighbours() {
         let g = star(3); // center 0
-        // ◇≥3 ⊤: only the center has 3 neighbours.
+                         // ◇≥3 ⊤: only the center has 3 neighbours.
         assert_eq!(diamond(3, top()).eval(&g), vec![true, false, false, false]);
         assert_eq!(diamond(1, top()).eval(&g), vec![true; 4]);
         assert_eq!(diamond(4, top()).eval(&g), vec![false; 4]);

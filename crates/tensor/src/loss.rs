@@ -106,11 +106,7 @@ pub fn accuracy(pred: &Matrix, target: &Matrix) -> f64 {
         return 0.0;
     }
     let argmax = |row: &[f64]| {
-        row.iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .map(|(i, _)| i)
-            .unwrap()
+        row.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).map(|(i, _)| i).unwrap()
     };
     let hits = (0..pred.rows()).filter(|&r| argmax(pred.row(r)) == argmax(target.row(r))).count();
     hits as f64 / pred.rows() as f64

@@ -11,7 +11,13 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Mul, Sub};
 
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+
+/// Products below this many multiply-adds run serially: thread fan-out
+/// costs tens of microseconds, which would dominate the small per-layer
+/// matmuls in GNN training loops.
+const PAR_FLOPS_THRESHOLD: usize = 1 << 17;
 
 /// A dense row-major matrix of `f64`.
 #[derive(Clone, PartialEq, Serialize, Deserialize)]
@@ -140,17 +146,19 @@ impl Matrix {
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
-            self.cols, rhs.rows,
+            self.cols,
+            rhs.rows,
             "matmul shape mismatch: {:?} * {:?}",
             self.shape(),
             rhs.shape()
         );
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         // ikj order: stream over rhs rows, good cache behaviour without
-        // materializing a transpose.
-        for i in 0..self.rows {
+        // materializing a transpose. Each output row accumulates in the
+        // same k order on every path, so the parallel split over rows is
+        // bit-identical to the serial loop.
+        let kernel = |i: usize, out_row: &mut [f64]| {
             let a_row = self.row(i);
-            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
             for (k, &a) in a_row.iter().enumerate() {
                 if a == 0.0 {
                     continue;
@@ -160,6 +168,16 @@ impl Matrix {
                     *o += a * b;
                 }
             }
+        };
+        if self.rows * self.cols * rhs.cols >= PAR_FLOPS_THRESHOLD && self.rows > 1 {
+            out.data
+                .par_chunks_mut(rhs.cols)
+                .enumerate()
+                .for_each(|(i, out_row)| kernel(i, out_row));
+        } else {
+            for i in 0..self.rows {
+                kernel(i, &mut out.data[i * rhs.cols..(i + 1) * rhs.cols]);
+            }
         }
         out
     }
@@ -168,6 +186,24 @@ impl Matrix {
     pub fn t_matmul(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.rows, rhs.rows, "t_matmul shape mismatch");
         let mut out = Matrix::zeros(self.cols, rhs.cols);
+        if self.rows * self.cols * rhs.cols >= PAR_FLOPS_THRESHOLD && self.cols > 1 {
+            // Row-parallel form: output row i accumulates over k in the
+            // same order as the serial k-outer loop below (skipping the
+            // same zero terms), so both paths are bit-identical.
+            out.data.par_chunks_mut(rhs.cols).enumerate().for_each(|(i, out_row)| {
+                for k in 0..self.rows {
+                    let a = self.data[k * self.cols + i];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = rhs.row(k);
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
+                }
+            });
+            return out;
+        }
         for k in 0..self.rows {
             let a_row = self.row(k);
             let b_row = rhs.row(k);
@@ -188,15 +224,25 @@ impl Matrix {
     pub fn matmul_t(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.cols, rhs.cols, "matmul_t shape mismatch");
         let mut out = Matrix::zeros(self.rows, rhs.rows);
-        for i in 0..self.rows {
+        let kernel = |i: usize, out_row: &mut [f64]| {
             let a_row = self.row(i);
-            for j in 0..rhs.rows {
+            for (j, o) in out_row.iter_mut().enumerate() {
                 let b_row = rhs.row(j);
                 let mut acc = 0.0;
                 for (&a, &b) in a_row.iter().zip(b_row) {
                     acc += a * b;
                 }
-                out[(i, j)] = acc;
+                *o = acc;
+            }
+        };
+        if self.rows * self.cols * rhs.rows >= PAR_FLOPS_THRESHOLD && self.rows > 1 {
+            out.data
+                .par_chunks_mut(rhs.rows)
+                .enumerate()
+                .for_each(|(i, out_row)| kernel(i, out_row));
+        } else {
+            for i in 0..self.rows {
+                kernel(i, &mut out.data[i * rhs.rows..(i + 1) * rhs.rows]);
             }
         }
         out
@@ -215,11 +261,7 @@ impl Matrix {
 
     /// Element-wise map.
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&x| f(x)).collect(),
-        }
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
     }
 
     /// In-place element-wise map.
@@ -452,6 +494,24 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn large_matmuls_bit_identical_across_thread_counts() {
+        // Big enough to cross PAR_FLOPS_THRESHOLD on every kernel.
+        let a = Matrix::from_fn(96, 64, |i, j| ((i * 31 + j * 17) % 23) as f64 - 11.0);
+        let b = Matrix::from_fn(64, 96, |i, j| ((i * 13 + j * 7) % 19) as f64 * 0.25);
+        let c = Matrix::from_fn(96, 64, |i, j| ((i + j * 3) % 29) as f64 - 14.0);
+        const _: () = assert!(96 * 64 * 96 >= PAR_FLOPS_THRESHOLD);
+        rayon::set_num_threads(1);
+        let serial = (a.matmul(&b), a.t_matmul(&c), a.matmul_t(&c));
+        for threads in [2, 4, 8] {
+            rayon::set_num_threads(threads);
+            assert_eq!(a.matmul(&b), serial.0, "matmul differs at {threads} threads");
+            assert_eq!(a.t_matmul(&c), serial.1, "t_matmul differs at {threads} threads");
+            assert_eq!(a.matmul_t(&c), serial.2, "matmul_t differs at {threads} threads");
+        }
+        rayon::set_num_threads(0);
     }
 
     #[test]

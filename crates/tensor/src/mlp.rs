@@ -45,11 +45,7 @@ impl Mlp {
     pub fn from_layers(layers: Vec<Dense>) -> Self {
         assert!(!layers.is_empty(), "an MLP needs at least one layer");
         for pair in layers.windows(2) {
-            assert_eq!(
-                pair[0].out_dim(),
-                pair[1].in_dim(),
-                "layer dimension mismatch inside MLP"
-            );
+            assert_eq!(pair[0].out_dim(), pair[1].in_dim(), "layer dimension mismatch inside MLP");
         }
         Self { layers }
     }
@@ -114,7 +110,8 @@ mod tests {
     #[test]
     fn shapes_flow_through() {
         let mut rng = StdRng::seed_from_u64(1);
-        let mut mlp = Mlp::new(&[4, 8, 8, 2], Activation::ReLU, Activation::Identity, Init::He, &mut rng);
+        let mut mlp =
+            Mlp::new(&[4, 8, 8, 2], Activation::ReLU, Activation::Identity, Init::He, &mut rng);
         assert_eq!(mlp.in_dim(), 4);
         assert_eq!(mlp.out_dim(), 2);
         assert_eq!(mlp.depth(), 3);

@@ -62,4 +62,20 @@ proptest! {
         let sum = &a + &b;
         prop_assert!(sum.frobenius_norm() <= a.frobenius_norm() + b.frobenius_norm() + 1e-9);
     }
+
+    /// Products big enough to cross the parallel threshold
+    /// (64·64·32 = 2¹⁷ flops) are *bit-identical* at every thread
+    /// count — the invariant the experiment tables rely on.
+    #[test]
+    fn matmul_bit_identical_across_thread_counts((a, b) in (small_matrix(64, 64), small_matrix(64, 32))) {
+        rayon::set_num_threads(1);
+        let serial = a.matmul(&b);
+        let serial_t = a.matmul_t(&serial.transpose());
+        for threads in [2usize, 4, 8] {
+            rayon::set_num_threads(threads);
+            prop_assert_eq!(&a.matmul(&b), &serial);
+            prop_assert_eq!(&a.matmul_t(&serial.transpose()), &serial_t);
+        }
+        rayon::set_num_threads(0);
+    }
 }

@@ -1,0 +1,251 @@
+//! Memoization of stable WL colourings.
+//!
+//! The experiment suite asks the same ρ-equivalence questions about the
+//! same graph pairs over and over (E10's lattice figure alone runs CR,
+//! 2-WL and 3-WL on every non-isomorphic pair; the GNN separation
+//! probes repeat the CR queries per trial). Joint refinement is the
+//! dominant cost, so this module caches stable [`Coloring`]s keyed by a
+//! structural fingerprint of the input graphs.
+//!
+//! * Keys are 128-bit FNV-1a-style digests of the full structure (CSR
+//!   adjacency, label bits, orientation) plus the query kind, so two
+//!   structurally identical graphs share entries no matter how they
+//!   were built. Collisions are astronomically unlikely at the corpus
+//!   sizes involved (≤ thousands of distinct graphs) and would need
+//!   two *different* graphs to collide in both independent 64-bit
+//!   streams.
+//! * The store is a process-wide `Mutex<HashMap>` of `Arc<Coloring>`;
+//!   refinement runs outside the lock, so concurrent missers may both
+//!   compute (identical results — refinement is deterministic) but
+//!   never block each other on the heavy work.
+//! * Capacity is bounded ([`MAX_ENTRIES`]); on overflow the store is
+//!   cleared wholesale, which is simple, correct, and fine for the
+//!   workloads here (the whole suite fits well under the bound).
+//!
+//! Hits/misses are counted so tests can assert that repeated queries
+//! do not re-run refinement (`misses` == refinement invocations).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use gel_graph::Graph;
+
+use crate::color_refinement::{color_refinement, CrOptions};
+use crate::kwl::{k_wl, WlVariant};
+use crate::partition::Coloring;
+
+/// Entry bound; the map is cleared when it would exceed this.
+pub const MAX_ENTRIES: usize = 4096;
+
+/// `(kind, fingerprint(g), fingerprint(h))`.
+///
+/// `kind` is 0 for colour refinement and `2k + variant` for k-WL, so
+/// distinct queries never share an entry.
+type Key = (u64, u128, u128);
+
+static STORE: OnceLock<Mutex<HashMap<Key, Arc<Coloring>>>> = OnceLock::new();
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+fn store() -> &'static Mutex<HashMap<Key, Arc<Coloring>>> {
+    STORE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Cache effectiveness counters (process-wide).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WlCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that ran joint refinement (== refinement invocations
+    /// through the cached API).
+    pub misses: u64,
+}
+
+/// Current hit/miss counters.
+pub fn cache_stats() -> WlCacheStats {
+    WlCacheStats { hits: HITS.load(Ordering::Relaxed), misses: MISSES.load(Ordering::Relaxed) }
+}
+
+/// Empties the store and zeroes the counters (for tests/benchmarks).
+pub fn clear_cache() {
+    store().lock().unwrap().clear();
+    HITS.store(0, Ordering::Relaxed);
+    MISSES.store(0, Ordering::Relaxed);
+}
+
+/// 128 bits of structural identity: two independent 64-bit FNV-1a
+/// streams (different offset bases and a lane-salt) over the graph's
+/// complete description.
+fn fingerprint(g: &Graph) -> u128 {
+    let mut a: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
+    let mut b: u64 = 0x6c62_272e_07bb_0142; // second lane, distinct basis
+    let mut feed = |x: u64| {
+        a = (a ^ x).wrapping_mul(0x0000_0100_0000_01B3);
+        b = (b ^ x.rotate_left(17) ^ 0x9E37_79B9_7F4A_7C15).wrapping_mul(0x0000_0100_0000_01B3);
+    };
+    feed(g.num_vertices() as u64);
+    feed(g.label_dim() as u64);
+    feed(u64::from(g.is_symmetric()));
+    for v in g.vertices() {
+        let out = g.out_neighbors(v);
+        feed(out.len() as u64);
+        for &u in out {
+            feed(u as u64);
+        }
+        if !g.is_symmetric() {
+            let inn = g.in_neighbors(v);
+            feed(inn.len() as u64);
+            for &u in inn {
+                feed(u as u64);
+            }
+        }
+    }
+    for &x in g.labels_flat() {
+        feed(x.to_bits());
+    }
+    ((a as u128) << 64) | b as u128
+}
+
+/// Looks up `key`, computing and inserting with `compute` on a miss.
+fn get_or_compute(key: Key, compute: impl FnOnce() -> Coloring) -> Arc<Coloring> {
+    if let Some(hit) = store().lock().unwrap().get(&key) {
+        HITS.fetch_add(1, Ordering::Relaxed);
+        return Arc::clone(hit);
+    }
+    MISSES.fetch_add(1, Ordering::Relaxed);
+    // Refine outside the lock: concurrent missers duplicate work at
+    // worst, but nobody blocks on a long refinement.
+    let value = Arc::new(compute());
+    let mut map = store().lock().unwrap();
+    if map.len() >= MAX_ENTRIES {
+        map.clear();
+    }
+    map.insert(key, Arc::clone(&value));
+    value
+}
+
+/// The joint stable CR colouring of `[g, h]`, memoized.
+pub fn cached_joint_cr(g: &Graph, h: &Graph) -> Arc<Coloring> {
+    let key = (0, fingerprint(g), fingerprint(h));
+    get_or_compute(key, || color_refinement(&[g, h], CrOptions::default()))
+}
+
+/// Memoized [`crate::color_refinement::cr_equivalent`].
+pub fn cached_cr_equivalent(g: &Graph, h: &Graph) -> bool {
+    cached_joint_cr(g, h).graphs_equivalent(0, 1)
+}
+
+/// Memoized [`crate::color_refinement::cr_vertex_equivalent`]: one
+/// joint refinement serves every vertex pair of `(g, h)`.
+pub fn cached_cr_vertex_equivalent(
+    g: &Graph,
+    v: gel_graph::Vertex,
+    h: &Graph,
+    w: gel_graph::Vertex,
+) -> bool {
+    let c = cached_joint_cr(g, h);
+    c.colors[0][v as usize] == c.colors[1][w as usize]
+}
+
+/// The joint stable `k`-WL colouring of `[g, h]`, memoized.
+pub fn cached_joint_k_wl(g: &Graph, h: &Graph, k: usize, variant: WlVariant) -> Arc<Coloring> {
+    let kind = 2 * k as u64 + u64::from(variant == WlVariant::Oblivious);
+    let key = (kind, fingerprint(g), fingerprint(h));
+    get_or_compute(key, || k_wl(&[g, h], k, variant, None))
+}
+
+/// Memoized [`crate::kwl::k_wl_equivalent`].
+pub fn cached_k_wl_equivalent(g: &Graph, h: &Graph, k: usize, variant: WlVariant) -> bool {
+    cached_joint_k_wl(g, h, k, variant).graphs_equivalent(0, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color_refinement::{cr_equivalent, cr_vertex_equivalent};
+    use crate::kwl::k_wl_equivalent;
+    use gel_graph::families::{cr_blind_pair, cycle, path, petersen, star};
+    use gel_graph::GraphBuilder;
+
+    #[test]
+    fn cached_results_match_fresh_computation() {
+        clear_cache();
+        let pairs = [
+            (path(5), cycle(5)),
+            (star(4), path(5)),
+            (cycle(6), cr_blind_pair().1),
+            (petersen(), cycle(10)),
+        ];
+        for (g, h) in &pairs {
+            assert_eq!(cached_cr_equivalent(g, h), cr_equivalent(g, h));
+            assert_eq!(
+                cached_k_wl_equivalent(g, h, 2, WlVariant::Folklore),
+                k_wl_equivalent(g, h, 2, WlVariant::Folklore)
+            );
+            for v in g.vertices().take(3) {
+                for w in h.vertices().take(3) {
+                    assert_eq!(
+                        cached_cr_vertex_equivalent(g, v, h, w),
+                        cr_vertex_equivalent(g, v, h, w)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_queries_hit_without_rerunning_refinement() {
+        clear_cache();
+        let g = path(7);
+        let h = star(6);
+        assert!(!cached_cr_equivalent(&g, &h));
+        let after_first = cache_stats();
+        assert_eq!(after_first.misses, 1, "first query must refine");
+        for _ in 0..10 {
+            assert!(!cached_cr_equivalent(&g, &h));
+        }
+        let after = cache_stats();
+        assert_eq!(after.misses, 1, "repeats must not re-run refinement");
+        assert_eq!(after.hits, after_first.hits + 10);
+    }
+
+    #[test]
+    fn structurally_equal_graphs_share_an_entry() {
+        clear_cache();
+        let g1 = path(6);
+        let g2 = path(6); // separately built, same structure
+        let h = cycle(6);
+        cached_cr_equivalent(&g1, &h);
+        let m1 = cache_stats().misses;
+        cached_cr_equivalent(&g2, &h);
+        assert_eq!(cache_stats().misses, m1, "identical structure must hit");
+    }
+
+    #[test]
+    fn distinct_queries_get_distinct_entries() {
+        clear_cache();
+        let g = path(4);
+        let h = star(3);
+        // Same pair, different query kinds: CR vs 2-WL vs 2-OWL.
+        cached_cr_equivalent(&g, &h);
+        cached_k_wl_equivalent(&g, &h, 2, WlVariant::Folklore);
+        cached_k_wl_equivalent(&g, &h, 2, WlVariant::Oblivious);
+        assert_eq!(cache_stats().misses, 3);
+        // Labels flip the fingerprint.
+        let lab = g.with_labels(vec![1.0, 0.0, 0.0, 0.0], 1);
+        cached_cr_equivalent(&lab, &h);
+        assert_eq!(cache_stats().misses, 4);
+        // Orientation is part of the structure.
+        let mut b = GraphBuilder::new(2);
+        b.add_arc(0, 1);
+        let directed = b.build();
+        let mut b2 = GraphBuilder::new(2);
+        b2.add_edge(0, 1);
+        let undirected = b2.build();
+        cached_cr_equivalent(&directed, &undirected);
+        let m = cache_stats().misses;
+        cached_cr_equivalent(&undirected, &directed); // ordered key
+        assert_eq!(cache_stats().misses, m + 1);
+    }
+}

@@ -19,11 +19,16 @@
 //! this coincides with the textbook algorithm).
 
 use gel_graph::Graph;
+use rayon::prelude::*;
 
 use crate::partition::{canonical_rename, label_key, Color, Coloring};
 
+/// Joint vertex counts below this stay serial: signature building is
+/// cheap per vertex, so thread fan-out only pays off on larger unions.
+const CR_PAR_THRESHOLD: usize = 256;
+
 /// Options for colour refinement.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct CrOptions {
     /// Maximum number of rounds (defaults to `n`, which always
     /// suffices; lower values compute the round-`t` colouring, which is
@@ -31,12 +36,6 @@ pub struct CrOptions {
     pub max_rounds: Option<usize>,
     /// Ignore vertex labels and start from the uniform colouring.
     pub ignore_labels: bool,
-}
-
-impl Default for CrOptions {
-    fn default() -> Self {
-        Self { max_rounds: None, ignore_labels: false }
-    }
 }
 
 /// Runs colour refinement jointly on `graphs` until every graph's
@@ -55,29 +54,49 @@ pub fn color_refinement(graphs: &[&Graph], opts: CrOptions) -> Coloring {
     let (mut flat, mut num_colors) = canonical_rename(init_sigs);
     let max_rounds = opts.max_rounds.unwrap_or(total.max(1));
 
-    let mut rounds = 0usize;
-    while rounds < max_rounds {
-        // Signature: (own colour, sorted out-nbr colours, sorted in-nbr colours).
-        let mut sigs: Vec<(Color, Vec<Color>, Vec<Color>)> = Vec::with_capacity(total);
+    // Owner table: flat position -> (graph, graph's base offset),
+    // computed once so rounds can index the union space directly.
+    let owner: Vec<(&Graph, usize)> = {
+        let mut t = Vec::with_capacity(total);
         let mut base = 0usize;
         for (gi, g) in graphs.iter().enumerate() {
-            for v in g.vertices() {
-                let own = flat[base + v as usize];
-                let mut outc: Vec<Color> =
-                    g.out_neighbors(v).iter().map(|&u| flat[base + u as usize]).collect();
-                outc.sort_unstable();
-                let inc: Vec<Color> = if g.is_symmetric() {
-                    Vec::new()
-                } else {
-                    let mut t: Vec<Color> =
-                        g.in_neighbors(v).iter().map(|&u| flat[base + u as usize]).collect();
-                    t.sort_unstable();
-                    t
-                };
-                sigs.push((own, outc, inc));
-            }
+            t.extend(std::iter::repeat_n((*g, base), sizes[gi]));
             base += sizes[gi];
         }
+        t
+    };
+
+    // Signature of vertex at flat position `p` under colouring `flat`:
+    // (own colour, sorted out-nbr colours, sorted in-nbr colours).
+    let signature = |p: usize, flat: &[Color]| {
+        let (g, base) = owner[p];
+        let v = (p - base) as gel_graph::Vertex;
+        let own = flat[p];
+        let mut outc: Vec<Color> =
+            g.out_neighbors(v).iter().map(|&u| flat[base + u as usize]).collect();
+        outc.sort_unstable();
+        let inc: Vec<Color> = if g.is_symmetric() {
+            Vec::new()
+        } else {
+            let mut t: Vec<Color> =
+                g.in_neighbors(v).iter().map(|&u| flat[base + u as usize]).collect();
+            t.sort_unstable();
+            t
+        };
+        (own, outc, inc)
+    };
+
+    let mut rounds = 0usize;
+    while rounds < max_rounds {
+        // Per-vertex signatures are independent, so they fan out over
+        // threads; the order-preserving collect plus the sequential
+        // canonical rename keep colourings bit-identical at any thread
+        // count.
+        let sigs: Vec<(Color, Vec<Color>, Vec<Color>)> = if total >= CR_PAR_THRESHOLD {
+            (0..total).into_par_iter().map(|p| signature(p, &flat)).collect()
+        } else {
+            (0..total).map(|p| signature(p, &flat)).collect()
+        };
         let (new_flat, new_num) = canonical_rename(sigs);
         rounds += 1;
         if new_num == num_colors {
@@ -112,7 +131,12 @@ pub fn cr_equivalent(g: &Graph, h: &Graph) -> bool {
 
 /// True iff vertices `(g, v)` and `(h, w)` receive the same stable
 /// colour — vertex-level `ρ(colour refinement)`.
-pub fn cr_vertex_equivalent(g: &Graph, v: gel_graph::Vertex, h: &Graph, w: gel_graph::Vertex) -> bool {
+pub fn cr_vertex_equivalent(
+    g: &Graph,
+    v: gel_graph::Vertex,
+    h: &Graph,
+    w: gel_graph::Vertex,
+) -> bool {
     let c = color_refinement(&[g, h], CrOptions::default());
     c.colors[0][v as usize] == c.colors[1][w as usize]
 }
@@ -177,7 +201,8 @@ mod tests {
     #[test]
     fn labels_refine_colours() {
         let g = cycle(6);
-        let labelled = g.with_labels(vec![1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0], 2);
+        let labelled =
+            g.with_labels(vec![1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0], 2);
         let c = color_refinement_single(&labelled);
         assert!(c.classes_in(0) >= 2, "labels must split the colouring");
         assert!(!cr_equivalent(&g, &labelled));

@@ -23,8 +23,13 @@
 //! ≤ 40 vertices).
 
 use gel_graph::Graph;
+use rayon::prelude::*;
 
 use crate::partition::{canonical_rename, label_key, Color, Coloring};
+
+/// Tuple spaces below this run serially; above it the Θ(k·n^{k+1})
+/// signature pass dominates and fans out over threads.
+const KWL_PAR_THRESHOLD: usize = 1 << 12;
 
 /// Which k-WL variant to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,12 +77,66 @@ fn atomic_type(g: &Graph, tuple: &[u32]) -> Vec<u64> {
     key
 }
 
+/// One round's refinement signature of the tuple at index `idx`.
+///
+/// Folklore: (own, sorted multiset over w of `[c(sub_1 w), …, c(sub_k w)]`).
+/// Oblivious: (own, for each position i the sorted multiset over w of
+/// `c(sub_i w)`).
+fn tuple_signature(
+    g: &Graph,
+    flat: &[Color],
+    base: usize,
+    strides: &[usize],
+    idx: usize,
+    k: usize,
+    variant: WlVariant,
+) -> (Color, Vec<Vec<Color>>) {
+    let n = g.num_vertices();
+    let mut tuple = vec![0u32; k];
+    decode(idx, n, &mut tuple);
+    let own = flat[base + idx];
+    match variant {
+        WlVariant::Folklore => {
+            let mut ms: Vec<Vec<Color>> = Vec::with_capacity(n);
+            for w in 0..n as u32 {
+                let mut vec_c = Vec::with_capacity(k);
+                for i in 0..k {
+                    let sub = idx + (w as usize) * strides[i] - (tuple[i] as usize) * strides[i];
+                    vec_c.push(flat[base + sub]);
+                }
+                ms.push(vec_c);
+            }
+            ms.sort_unstable();
+            (own, ms)
+        }
+        WlVariant::Oblivious => {
+            let mut per_pos: Vec<Vec<Color>> = Vec::with_capacity(k);
+            for i in 0..k {
+                let mut ms: Vec<Color> = (0..n)
+                    .map(|w| {
+                        let sub = idx + w * strides[i] - (tuple[i] as usize) * strides[i];
+                        flat[base + sub]
+                    })
+                    .collect();
+                ms.sort_unstable();
+                per_pos.push(ms);
+            }
+            (own, per_pos)
+        }
+    }
+}
+
 /// Runs `k`-WL of the given variant jointly on `graphs` until stable
 /// (or `max_rounds`).
 ///
 /// # Panics
 /// Panics if `k == 0` or the tuple space `n^k` overflows.
-pub fn k_wl(graphs: &[&Graph], k: usize, variant: WlVariant, max_rounds: Option<usize>) -> KwlColoring {
+pub fn k_wl(
+    graphs: &[&Graph],
+    k: usize,
+    variant: WlVariant,
+    max_rounds: Option<usize>,
+) -> KwlColoring {
     assert!(k >= 1, "k must be at least 1");
     if k == 1 {
         // By convention 1-WL *is* colour refinement (neighbour
@@ -92,92 +151,52 @@ pub fn k_wl(graphs: &[&Graph], k: usize, variant: WlVariant, max_rounds: Option<
     let sizes: Vec<usize> = graphs.iter().map(|g| pow(g.num_vertices(), k)).collect();
     let total: usize = sizes.iter().sum();
 
-    // Round 0: atomic types.
+    // Round 0: atomic types. Tuples are independent, so large tuple
+    // spaces fan out; the order-preserving collect keeps the signature
+    // vector identical to the serial construction.
     let mut init: Vec<Vec<u64>> = Vec::with_capacity(total);
-    let mut tuple = vec![0u32; k];
     for g in graphs {
         let n = g.num_vertices();
-        for idx in 0..pow(n, k) {
+        let m = pow(n, k);
+        let atomic = |idx: usize| {
+            let mut tuple = vec![0u32; k];
             decode(idx, n, &mut tuple);
-            init.push(atomic_type(g, &tuple));
+            atomic_type(g, &tuple)
+        };
+        if m >= KWL_PAR_THRESHOLD {
+            init.extend((0..m).into_par_iter().map(atomic).collect::<Vec<_>>());
+        } else {
+            init.extend((0..m).map(atomic));
         }
     }
     let (mut flat, mut num_colors) = canonical_rename(init);
     let limit = max_rounds.unwrap_or(total.max(1));
 
-    // Precompute the stride of position i in the tuple index:
-    // substituting w at position i changes the index by (w - v_i)·n^{k-1-i}.
     let mut rounds = 0usize;
     while rounds < limit {
-        match variant {
-            WlVariant::Folklore => {
-                // Signature: (own, sorted multiset over w of [c(sub_1 w), …, c(sub_k w)]).
-                let mut sigs: Vec<(Color, Vec<Vec<Color>>)> = Vec::with_capacity(total);
-                let mut base = 0usize;
-                for g in graphs.iter() {
-                    let n = g.num_vertices();
-                    let strides: Vec<usize> = (0..k).map(|i| pow(n, k - 1 - i)).collect();
-                    for idx in 0..pow(n, k) {
-                        decode(idx, n, &mut tuple);
-                        let own = flat[base + idx];
-                        let mut ms: Vec<Vec<Color>> = Vec::with_capacity(n);
-                        for w in 0..n as u32 {
-                            let mut vec_c = Vec::with_capacity(k);
-                            for i in 0..k {
-                                let sub =
-                                    idx + (w as usize) * strides[i] - (tuple[i] as usize) * strides[i];
-                                vec_c.push(flat[base + sub]);
-                            }
-                            ms.push(vec_c);
-                        }
-                        ms.sort_unstable();
-                        sigs.push((own, ms));
-                    }
-                    base += pow(g.num_vertices(), k);
-                }
-                let (new_flat, new_num) = canonical_rename(sigs);
-                rounds += 1;
-                if new_num == num_colors {
-                    break;
-                }
-                flat = new_flat;
-                num_colors = new_num;
+        let mut sigs: Vec<(Color, Vec<Vec<Color>>)> = Vec::with_capacity(total);
+        let mut base = 0usize;
+        for g in graphs.iter() {
+            let n = g.num_vertices();
+            let m = pow(n, k);
+            // Stride of position i in the tuple index: substituting w at
+            // position i changes the index by (w - v_i)·n^{k-1-i}.
+            let strides: Vec<usize> = (0..k).map(|i| pow(n, k - 1 - i)).collect();
+            let sig = |idx: usize| tuple_signature(g, &flat, base, &strides, idx, k, variant);
+            if m >= KWL_PAR_THRESHOLD {
+                sigs.extend((0..m).into_par_iter().map(sig).collect::<Vec<_>>());
+            } else {
+                sigs.extend((0..m).map(sig));
             }
-            WlVariant::Oblivious => {
-                // Signature: (own, for each i the sorted multiset over w of c(sub_i w)).
-                let mut sigs: Vec<(Color, Vec<Vec<Color>>)> = Vec::with_capacity(total);
-                let mut base = 0usize;
-                for g in graphs.iter() {
-                    let n = g.num_vertices();
-                    let strides: Vec<usize> = (0..k).map(|i| pow(n, k - 1 - i)).collect();
-                    for idx in 0..pow(n, k) {
-                        decode(idx, n, &mut tuple);
-                        let own = flat[base + idx];
-                        let mut per_pos: Vec<Vec<Color>> = Vec::with_capacity(k);
-                        for i in 0..k {
-                            let mut ms: Vec<Color> = (0..n)
-                                .map(|w| {
-                                    let sub =
-                                        idx + w * strides[i] - (tuple[i] as usize) * strides[i];
-                                    flat[base + sub]
-                                })
-                                .collect();
-                            ms.sort_unstable();
-                            per_pos.push(ms);
-                        }
-                        sigs.push((own, per_pos));
-                    }
-                    base += pow(g.num_vertices(), k);
-                }
-                let (new_flat, new_num) = canonical_rename(sigs);
-                rounds += 1;
-                if new_num == num_colors {
-                    break;
-                }
-                flat = new_flat;
-                num_colors = new_num;
-            }
+            base += m;
         }
+        let (new_flat, new_num) = canonical_rename(sigs);
+        rounds += 1;
+        if new_num == num_colors {
+            break;
+        }
+        flat = new_flat;
+        num_colors = new_num;
     }
 
     let mut colors = Vec::with_capacity(graphs.len());
@@ -293,8 +312,7 @@ mod tests {
     #[test]
     fn atomic_types_respect_labels() {
         let g = cycle(4);
-        let labelled =
-            g.with_labels(vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0], 2);
+        let labelled = g.with_labels(vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0], 2);
         assert!(!k_wl_equivalent(&g, &labelled, 2, WlVariant::Folklore));
     }
 

@@ -28,11 +28,16 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod color_refinement;
 pub mod kwl;
 pub mod partition;
 pub mod relational;
 
+pub use cache::{
+    cache_stats, cached_cr_equivalent, cached_cr_vertex_equivalent, cached_joint_cr,
+    cached_joint_k_wl, cached_k_wl_equivalent, clear_cache, WlCacheStats,
+};
 pub use color_refinement::{
     color_refinement, color_refinement_single, cr_equivalent, cr_vertex_equivalent, CrOptions,
 };

@@ -7,6 +7,10 @@ use gel_graph::typed::TypedGraph;
 
 use crate::partition::{canonical_rename, label_key, Color, Coloring};
 
+/// One vertex's refinement signature: its own colour plus, per
+/// relation, the sorted out- and in-neighbour colour multisets.
+type RelSignature = (Color, Vec<(Vec<Color>, Vec<Color>)>);
+
 /// Runs relational colour refinement jointly on `graphs` (which must
 /// agree on the number of relations) until stable.
 ///
@@ -31,7 +35,7 @@ pub fn relational_color_refinement(graphs: &[&TypedGraph]) -> Coloring {
     while rounds < total.max(1) {
         // Signature: (own, for each relation: sorted out- and in-colour
         // multisets).
-        let mut sigs: Vec<(Color, Vec<(Vec<Color>, Vec<Color>)>)> = Vec::with_capacity(total);
+        let mut sigs: Vec<RelSignature> = Vec::with_capacity(total);
         let mut base = 0usize;
         for (gi, g) in graphs.iter().enumerate() {
             for v in 0..g.num_vertices() as u32 {
@@ -45,11 +49,8 @@ pub fn relational_color_refinement(graphs: &[&TypedGraph]) -> Coloring {
                     let inc: Vec<Color> = if rel.is_symmetric() {
                         Vec::new()
                     } else {
-                        let mut t: Vec<Color> = rel
-                            .in_neighbors(v)
-                            .iter()
-                            .map(|&u| flat[base + u as usize])
-                            .collect();
+                        let mut t: Vec<Color> =
+                            rel.in_neighbors(v).iter().map(|&u| flat[base + u as usize]).collect();
                         t.sort_unstable();
                         t
                     };
@@ -88,8 +89,8 @@ pub fn relational_cr_equivalent(g: &TypedGraph, h: &TypedGraph) -> bool {
 mod tests {
     use super::*;
     use crate::color_refinement::cr_equivalent;
-    use gel_graph::typed::TypedGraphBuilder;
     use gel_graph::typed::TypedGraph;
+    use gel_graph::typed::TypedGraphBuilder;
 
     /// A 6-cycle whose edges alternate between two relations according
     /// to `pattern` (length 6, entries 0/1).
@@ -108,10 +109,7 @@ mod tests {
         // relational CR separates.
         let alternating = typed_c6([0, 1, 0, 1, 0, 1]);
         let blocked = typed_c6([0, 0, 0, 1, 1, 1]);
-        assert!(cr_equivalent(
-            &alternating.forget_relations(),
-            &blocked.forget_relations()
-        ));
+        assert!(cr_equivalent(&alternating.forget_relations(), &blocked.forget_relations()));
         assert!(!relational_cr_equivalent(&alternating, &blocked));
     }
 

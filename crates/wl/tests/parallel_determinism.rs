@@ -1,0 +1,101 @@
+//! Property tests for the parallel WL kernels: at every thread count
+//! the colourings must be *identical* — not merely equivalent — to the
+//! sequential run, and the structural-fingerprint cache must agree
+//! with a fresh computation. These are the invariants the experiment
+//! suite's byte-identical output rests on.
+
+use gel_graph::random::erdos_renyi;
+use gel_graph::Graph;
+use gel_wl::{
+    cached_cr_equivalent, cached_joint_cr, cached_k_wl_equivalent, color_refinement, cr_equivalent,
+    k_wl, k_wl_equivalent, CrOptions, WlVariant,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Mutex;
+
+/// Serializes tests that flip the global rayon thread count, so
+/// libtest's own test-level parallelism cannot interleave them.
+static THREADS: Mutex<()> = Mutex::new(());
+
+/// Thread counts to exercise: serial, two workers, and the machine's
+/// full width.
+fn widths() -> Vec<usize> {
+    let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut w = vec![1, 2, n.max(2)];
+    w.dedup();
+    w
+}
+
+fn er_pair(seed: u64, n: usize) -> (Graph, Graph) {
+    let p = 4.0 / n as f64;
+    let g = erdos_renyi(n, p, &mut StdRng::seed_from_u64(seed));
+    let h = erdos_renyi(n, p, &mut StdRng::seed_from_u64(seed ^ 0xDEAD_BEEF));
+    (g, h)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Joint colour refinement is bit-identical at 1, 2, and N
+    /// threads. `n ≥ 128` per graph puts the joint instance above
+    /// `CR_PAR_THRESHOLD`, so the parallel signature pass really runs.
+    #[test]
+    fn cr_identical_across_thread_counts((seed, n) in (0u64..1 << 48, 128usize..192)) {
+        let _guard = THREADS.lock().unwrap_or_else(|e| e.into_inner());
+        let (g, h) = er_pair(seed, n);
+        let mut colorings = Vec::new();
+        for t in widths() {
+            rayon::set_num_threads(t);
+            colorings.push(color_refinement(&[&g, &h], CrOptions::default()));
+        }
+        rayon::set_num_threads(0);
+        for c in &colorings[1..] {
+            prop_assert_eq!(c, &colorings[0]);
+        }
+    }
+
+    /// 2-WL (both variants) is bit-identical at 1, 2, and N threads.
+    /// `n = 64` gives `64² = 4096` tuples per graph — exactly
+    /// `KWL_PAR_THRESHOLD` — so the parallel tuple pass really runs.
+    #[test]
+    fn kwl_identical_across_thread_counts(seed in 0u64..1 << 48) {
+        let _guard = THREADS.lock().unwrap_or_else(|e| e.into_inner());
+        let (g, h) = er_pair(seed, 64);
+        for variant in [WlVariant::Folklore, WlVariant::Oblivious] {
+            let mut colorings = Vec::new();
+            for t in widths() {
+                rayon::set_num_threads(t);
+                colorings.push(k_wl(&[&g, &h], 2, variant, None));
+            }
+            rayon::set_num_threads(0);
+            for c in &colorings[1..] {
+                prop_assert_eq!(c, &colorings[0]);
+            }
+        }
+    }
+
+    /// The WL cache returns exactly what a fresh computation returns —
+    /// for the joint colouring, the CR verdict, and the 2-WL verdict —
+    /// and repeated queries stay stable.
+    #[test]
+    fn cache_identical_to_fresh_computation((seed, n) in (0u64..1 << 48, 8usize..40)) {
+        let _guard = THREADS.lock().unwrap_or_else(|e| e.into_inner());
+        let (g, h) = er_pair(seed, n);
+
+        let fresh = color_refinement(&[&g, &h], CrOptions::default());
+        let cached = cached_joint_cr(&g, &h);
+        prop_assert_eq!(&*cached, &fresh);
+
+        let verdict = cr_equivalent(&g, &h);
+        prop_assert_eq!(cached_cr_equivalent(&g, &h), verdict);
+        prop_assert_eq!(cached_cr_equivalent(&g, &h), verdict, "repeat query drifted");
+
+        let kwl_verdict = k_wl_equivalent(&g, &h, 2, WlVariant::Folklore);
+        prop_assert_eq!(
+            cached_k_wl_equivalent(&g, &h, 2, WlVariant::Folklore),
+            kwl_verdict
+        );
+    }
+}

@@ -41,14 +41,10 @@ fn main() {
             neg.push((u, v));
         }
     }
-    let pairs: Vec<((Vertex, Vertex), f64)> = pos
-        .iter()
-        .map(|&p| (p, 1.0))
-        .chain(neg.iter().map(|&p| (p, 0.0)))
-        .collect();
+    let pairs: Vec<((Vertex, Vertex), f64)> =
+        pos.iter().map(|&p| (p, 1.0)).chain(neg.iter().map(|&p| (p, 0.0))).collect();
 
-    let mut lp =
-        LinkPredictor { encoder: VertexModel::gnn101(8, 16, 2, 8, GnnAgg::Sum, &mut rng) };
+    let mut lp = LinkPredictor { encoder: VertexModel::gnn101(8, 16, 2, 8, GnnAgg::Sum, &mut rng) };
     let mut opt = Adam::new(0.01);
     for epoch in 0..250 {
         let loss = lp.train_epoch(g, &pairs, &mut opt);
@@ -61,7 +57,7 @@ fn main() {
     println!("\nheld-out link accuracy: {acc:.3}  (chance = 0.500)");
 
     // Show a few scored pairs.
-    let scores = lp.score(g, &net.positives[..3.min(net.positives.len())].to_vec());
+    let scores = lp.score(g, &net.positives[..3.min(net.positives.len())]);
     for ((u, v), s) in net.positives.iter().zip(scores) {
         println!("  hidden tie ({u},{v}) scored {s:.3}");
     }

@@ -22,10 +22,8 @@ fn main() {
 
     // Training set T = {(G_i, Ψ(G_i))} (slide 16).
     let molecules = balanced_molecule_dataset_by(150, 9, |m| m.hetero_pair, &mut rng);
-    let data: Vec<(Graph, Vec<f64>)> = molecules
-        .iter()
-        .map(|m| (m.graph.clone(), vec![f64::from(m.hetero_pair)]))
-        .collect();
+    let data: Vec<(Graph, Vec<f64>)> =
+        molecules.iter().map(|m| (m.graph.clone(), vec![f64::from(m.hetero_pair)])).collect();
     let (train, test) = data.split_at(120);
     let actives = train.iter().filter(|(_, t)| t[0] > 0.5).count();
     println!("dataset: {} train / {} test, {} actives in train", train.len(), test.len(), actives);

@@ -35,8 +35,9 @@ fn main() {
     //    them apart — try a whole graph-level embedding.
     let (c6, triangles) = cr_blind_pair();
     assert!(cr_equivalent(&c6, &triangles));
-    let graph_emb = parse("sum_{x1}(mul(sum_{x2}(const[1] | E(x1,x2)), sum_{x2}(const[1] | E(x1,x2))))")
-        .expect("valid");
+    let graph_emb =
+        parse("sum_{x1}(mul(sum_{x2}(const[1] | E(x1,x2)), sum_{x2}(const[1] | E(x1,x2))))")
+            .expect("valid");
     let a = eval(&graph_emb, &c6);
     let b = eval(&graph_emb, &triangles);
     println!(

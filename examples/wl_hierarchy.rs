@@ -4,9 +4,9 @@
 //!
 //! Run: `cargo run --release --example wl_hierarchy`
 
+use gelib::graph::are_isomorphic;
 use gelib::graph::cfi::cfi_pair_k4;
 use gelib::graph::families::{cr_blind_pair, srg_16_6_2_2_pair};
-use gelib::graph::are_isomorphic;
 use gelib::wl::{distinguishing_level, k_wl_equivalent, WlVariant};
 
 fn main() {
@@ -16,8 +16,12 @@ fn main() {
         ("CFI(K4) vs twisted CFI(K4)", cfi_pair_k4()),
     ];
 
-    println!("pair                                      | iso | 1-WL | 2-WL | 3-WL | first separated at");
-    println!("------------------------------------------|-----|------|------|------|-------------------");
+    println!(
+        "pair                                      | iso | 1-WL | 2-WL | 3-WL | first separated at"
+    );
+    println!(
+        "------------------------------------------|-----|------|------|------|-------------------"
+    );
     for (name, (g, h)) in &pairs {
         let iso = are_isomorphic(g, h);
         let eqs: Vec<bool> =

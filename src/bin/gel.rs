@@ -14,7 +14,7 @@
 
 use gelib::lang::{analyze, eval, parse};
 use gelib::spec::parse_graph_spec;
-use gelib::wl::{cr_equivalent, distinguishing_level};
+use gelib::wl::{cached_cr_equivalent, distinguishing_level};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -68,7 +68,7 @@ fn run(args: &[String]) -> Result<(), String> {
             let g = parse_graph_spec(a)?;
             let h = parse_graph_spec(b)?;
             println!("isomorphic: {}", gelib::graph::are_isomorphic(&g, &h));
-            println!("CR-equivalent: {}", cr_equivalent(&g, &h));
+            println!("CR-equivalent: {}", cached_cr_equivalent(&g, &h));
             match distinguishing_level(&g, &h, max_k) {
                 Some(k) => println!("first separated at: {k}-WL"),
                 None => println!("not separated up to {max_k}-WL"),

@@ -34,8 +34,8 @@
 
 pub mod spec;
 
-pub use gel_graph as graph;
 pub use gel_gnn as gnn;
+pub use gel_graph as graph;
 pub use gel_hom as hom;
 pub use gel_lang as lang;
 pub use gel_logic as logic;

@@ -33,9 +33,7 @@ pub fn parse_graph_spec(spec: &str) -> Result<Graph, String> {
         ["shrikhande"] => Ok(families::shrikhande()),
         ["rook"] => Ok(families::rook_4x4()),
         ["cfi-k4"] => Ok(cfi_graph(&families::complete(4), CfiVariant::Untwisted)),
-        ["cfi-k4-twisted"] => {
-            Ok(cfi_graph(&families::complete(4), CfiVariant::TwistedAt(0)))
-        }
+        ["cfi-k4-twisted"] => Ok(cfi_graph(&families::complete(4), CfiVariant::TwistedAt(0))),
         ["er", n, p, seed] => {
             let seed: u64 = seed.parse().map_err(|_| "bad seed".to_string())?;
             Ok(erdos_renyi(int(n)?, fl(p)?, &mut StdRng::seed_from_u64(seed)))
@@ -45,8 +43,8 @@ pub fn parse_graph_spec(spec: &str) -> Result<Graph, String> {
             Ok(gel_graph::random::random_tree(int(n)?, &mut StdRng::seed_from_u64(seed)))
         }
         ["file", path] => {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read {path:?}: {e}"))?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
             parse_edge_list(&text).map_err(|e| e.to_string())
         }
         _ => Err(format!(

@@ -4,7 +4,7 @@
 //! two sides of the paper's slide-40 "easy exercise" (GNN 101s are
 //! MPNNs), checked numerically across crates.
 
-use gelib::gnn::{features, GnnAgg, Gnn101Conv};
+use gelib::gnn::{features, Gnn101Conv, GnnAgg};
 use gelib::graph::families::{cycle, petersen, star};
 use gelib::graph::random::erdos_renyi;
 use gelib::graph::Graph;
@@ -28,9 +28,7 @@ fn check_agreement(g: &Graph, seed: u64) {
     let mut rng2 = StdRng::seed_from_u64(seed + 1000);
     let mut direct: Vec<Gnn101Conv> = dims
         .iter()
-        .map(|&(din, dout)| {
-            Gnn101Conv::new(din, dout, Activation::Tanh, GnnAgg::Sum, &mut rng2)
-        })
+        .map(|&(din, dout)| Gnn101Conv::new(din, dout, Activation::Tanh, GnnAgg::Sum, &mut rng2))
         .collect();
     for (conv, layer) in direct.iter_mut().zip(&layers) {
         conv.w1.value = layer.w1.clone();
@@ -53,10 +51,7 @@ fn check_agreement(g: &Graph, seed: u64) {
         let direct_row = x.row(v as usize);
         let compiled = table.cell(&[v]);
         for (a, b) in direct_row.iter().zip(compiled) {
-            assert!(
-                (a - b).abs() < 1e-9,
-                "direct {a} vs compiled {b} at vertex {v} (seed {seed})"
-            );
+            assert!((a - b).abs() < 1e-9, "direct {a} vs compiled {b} at vertex {v} (seed {seed})");
         }
     }
 }

@@ -1,0 +1,301 @@
+//! A small, dependency-free subset of the `criterion` benchmark API,
+//! vendored so `cargo bench` runs without network access.
+//!
+//! Semantics: every benchmark is auto-calibrated so one *sample* takes
+//! ≳1 ms, then `sample_size` samples are timed and min/mean/max
+//! per-iteration times reported. Results print as plain text and, when
+//! `GEL_BENCH_JSON=<path>` is set (or `--bench-json <path>` is passed),
+//! are additionally written as a machine-readable JSON array — the
+//! format consumed by the repository's `BENCH_parallel.json` tooling.
+//!
+//! Statistical analysis, HTML reports, and regression detection from
+//! upstream criterion are intentionally out of scope.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Fully-qualified benchmark id (`group/name` or bare name).
+    pub id: String,
+    /// Mean seconds per iteration.
+    pub mean_s: f64,
+    /// Fastest sample, seconds per iteration.
+    pub min_s: f64,
+    /// Slowest sample, seconds per iteration.
+    pub max_s: f64,
+    /// Iterations per sample after calibration.
+    pub iters_per_sample: u64,
+}
+
+static RECORDS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// Benchmark harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id.to_string(), self.sample_size, &mut f);
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: self.sample_size, _parent: self }
+    }
+}
+
+/// A named group of benchmarks (`group/name` ids).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `f` under `self.name/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(format!("{}/{}", self.name, id), self.sample_size, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `self.name/id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(format!("{}/{}", self.name, id), self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier (`name`, `name/param`, or bare parameter).
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self { text: format!("{function_name}/{parameter}") }
+    }
+
+    /// Just the parameter (the group supplies the function name).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self { text: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { text: s.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Passed to benchmark closures; `iter` times the workload.
+pub struct Bencher {
+    sample_size: usize,
+    result: Option<(f64, f64, f64, u64)>,
+}
+
+impl Bencher {
+    /// Times `f`: calibrates an iteration count so a sample takes
+    /// ≳1 ms, then records `sample_size` samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate.
+        let mut iters: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(1) || iters >= 1 << 20 {
+                break;
+            }
+            iters = (iters * 4).min(1 << 20);
+        }
+        // Measure.
+        let mut min = f64::INFINITY;
+        let mut max: f64 = 0.0;
+        let mut total = 0.0f64;
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let per = t0.elapsed().as_secs_f64() / iters as f64;
+            min = min.min(per);
+            max = max.max(per);
+            total += per;
+        }
+        self.result = Some((total / self.sample_size as f64, min, max, iters));
+    }
+}
+
+fn run_one(id: String, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    // Honour cargo-bench filter arguments: any free argument must be a
+    // substring of the id for the benchmark to run. Skip flags and the
+    // value of `--bench-json` (a path, not a filter).
+    let mut filters: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--bench-json" {
+            let _ = args.next();
+        } else if !a.starts_with('-') && !a.is_empty() {
+            filters.push(a);
+        }
+    }
+    if !filters.is_empty() && !filters.iter().any(|fl| id.contains(fl.as_str())) {
+        return;
+    }
+    let mut b = Bencher { sample_size, result: None };
+    f(&mut b);
+    let (mean, min, max, iters) = b.result.expect("benchmark closure never called iter()");
+    println!("{id:<50} mean {:>12}  min {:>12}  ({iters} iters/sample)", human(mean), human(min));
+    RECORDS.lock().unwrap().push(BenchRecord {
+        id,
+        mean_s: mean,
+        min_s: min,
+        max_s: max,
+        iters_per_sample: iters,
+    });
+}
+
+fn human(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Writes all recorded results as JSON when requested via
+/// `GEL_BENCH_JSON=<path>` or `--bench-json <path>`. Called by
+/// [`criterion_main!`]; safe to call directly.
+pub fn write_json_if_requested() {
+    let mut path = std::env::var("GEL_BENCH_JSON").ok();
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--bench-json") {
+        path = args.get(i + 1).cloned();
+    }
+    let Some(path) = path else { return };
+    let records = RECORDS.lock().unwrap();
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"id\": \"{}\", \"mean_s\": {:.9}, \"min_s\": {:.9}, \"max_s\": {:.9}, \"iters_per_sample\": {}}}{}\n",
+            r.id.replace('"', "'"),
+            r.mean_s,
+            r.min_s,
+            r.max_s,
+            r.iters_per_sample,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("]\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("warning: could not write bench JSON to {path}: {e}");
+    } else {
+        println!("wrote benchmark JSON to {path}");
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),* $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )*
+        }
+    };
+    ($name:ident, $($target:path),* $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),*
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group then
+/// emitting JSON when requested.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),* $(,)?) => {
+        fn main() {
+            $( $group(); )*
+            $crate::write_json_if_requested();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("unit_test_spin", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let recs = RECORDS.lock().unwrap();
+        let r = recs.iter().find(|r| r.id == "unit_test_spin").expect("recorded");
+        assert!(r.mean_s > 0.0 && r.min_s <= r.mean_s && r.mean_s <= r.max_s);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

@@ -1,0 +1,243 @@
+//! Indexed parallel iterators: random-access sources fanned out over
+//! scoped threads, with order-preserving terminals.
+
+use crate::{as_worker, chunk_bounds, effective_threads};
+
+/// A parallel iterator over a random-access source.
+///
+/// Unlike rayon's driver/consumer architecture, this subset models every
+/// pipeline as an indexed source (`len` + `get`) so terminals can split
+/// the index space into contiguous per-thread chunks and reassemble
+/// results in index order — which is what makes every parallel result in
+/// this workspace bit-identical to the serial one.
+pub trait ParallelIterator: Sized + Sync {
+    /// The element type.
+    type Item: Send;
+
+    /// Number of items.
+    fn par_len(&self) -> usize;
+
+    /// Produces item `index`. Must be safe to call concurrently.
+    fn par_get(&self, index: usize) -> Self::Item;
+
+    /// Maps each item through `f`.
+    fn map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> U + Sync,
+    {
+        Map { src: self, f }
+    }
+
+    /// Pairs each item with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { src: self }
+    }
+
+    /// Applies `f` to every item (unordered effect, ordered schedule).
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        drive(&self, &|item| f(item));
+    }
+
+    /// Collects into `C` in index order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+
+    /// Sums all items.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + Send,
+    {
+        drive(&self, &|item| item).into_iter().sum()
+    }
+
+    /// True when any item satisfies `f`. Evaluates all items (no
+    /// cross-thread short-circuit), so the answer is deterministic.
+    fn any<F>(self, f: F) -> bool
+    where
+        F: Fn(Self::Item) -> bool + Sync,
+    {
+        drive(&self, &|item| f(item)).into_iter().any(|b| b)
+    }
+
+    /// Count of items satisfying `f`.
+    fn count_where<F>(self, f: F) -> usize
+    where
+        F: Fn(Self::Item) -> bool + Sync,
+    {
+        drive(&self, &|item| usize::from(f(item))).into_iter().sum()
+    }
+}
+
+/// Splits `iter`'s index space across threads, applies `f`, and returns
+/// results in index order.
+fn drive<I, T, F>(iter: &I, f: &F) -> Vec<T>
+where
+    I: ParallelIterator,
+    T: Send,
+    F: Fn(I::Item) -> T + Sync,
+{
+    let n = iter.par_len();
+    let threads = effective_threads(n);
+    if threads <= 1 {
+        return (0..n).map(|i| f(iter.par_get(i))).collect();
+    }
+    let mut parts: Vec<Vec<T>> = Vec::with_capacity(threads);
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let (lo, hi) = chunk_bounds(n, threads, t);
+            handles.push(s.spawn(move || {
+                as_worker(|| (lo..hi).map(|i| f(iter.par_get(i))).collect::<Vec<T>>())
+            }));
+        }
+        for h in handles {
+            parts.push(h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)));
+        }
+    });
+    let mut out = Vec::with_capacity(n);
+    for p in parts {
+        out.extend(p);
+    }
+    out
+}
+
+/// Conversion from a parallel iterator, in index order.
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Builds `Self` from the items of `iter`.
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self {
+        drive(&iter, &|item| item)
+    }
+}
+
+/// Types convertible into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// The resulting iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The element type.
+    type Item: Send;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Types whose references yield parallel iterators (`par_iter`).
+pub trait IntoParallelRefIterator<'a> {
+    /// The resulting iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The element type (a reference).
+    type Item: Send + 'a;
+    /// Borrowing conversion.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+/// Parallel iterator over an integer range.
+pub struct RangePar<T> {
+    start: T,
+    len: usize,
+}
+
+macro_rules! impl_range_par {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Iter = RangePar<$t>;
+            type Item = $t;
+            fn into_par_iter(self) -> RangePar<$t> {
+                let len = if self.end > self.start {
+                    (self.end - self.start) as usize
+                } else {
+                    0
+                };
+                RangePar { start: self.start, len }
+            }
+        }
+        impl ParallelIterator for RangePar<$t> {
+            type Item = $t;
+            fn par_len(&self) -> usize {
+                self.len
+            }
+            fn par_get(&self, index: usize) -> $t {
+                self.start + index as $t
+            }
+        }
+    )*};
+}
+
+impl_range_par!(usize, u32, u64);
+
+/// Parallel iterator over a slice.
+pub struct SlicePar<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SlicePar<'a, T> {
+    type Item = &'a T;
+    fn par_len(&self) -> usize {
+        self.slice.len()
+    }
+    fn par_get(&self, index: usize) -> &'a T {
+        &self.slice[index]
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = SlicePar<'a, T>;
+    type Item = &'a T;
+    fn par_iter(&'a self) -> SlicePar<'a, T> {
+        SlicePar { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = SlicePar<'a, T>;
+    type Item = &'a T;
+    fn par_iter(&'a self) -> SlicePar<'a, T> {
+        SlicePar { slice: self }
+    }
+}
+
+/// `map` adaptor.
+pub struct Map<S, F> {
+    src: S,
+    f: F,
+}
+
+impl<S, F, U> ParallelIterator for Map<S, F>
+where
+    S: ParallelIterator,
+    U: Send,
+    F: Fn(S::Item) -> U + Sync,
+{
+    type Item = U;
+    fn par_len(&self) -> usize {
+        self.src.par_len()
+    }
+    fn par_get(&self, index: usize) -> U {
+        (self.f)(self.src.par_get(index))
+    }
+}
+
+/// `enumerate` adaptor.
+pub struct Enumerate<S> {
+    src: S,
+}
+
+impl<S: ParallelIterator> ParallelIterator for Enumerate<S> {
+    type Item = (usize, S::Item);
+    fn par_len(&self) -> usize {
+        self.src.par_len()
+    }
+    fn par_get(&self, index: usize) -> (usize, S::Item) {
+        (index, self.src.par_get(index))
+    }
+}

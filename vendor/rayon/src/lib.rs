@@ -1,0 +1,193 @@
+//! A small, dependency-free subset of the [rayon] data-parallelism API,
+//! vendored so the workspace builds without network access.
+//!
+//! The implementation intentionally trades rayon's work-stealing pool
+//! for scoped `std::thread` fan-out: every parallel operation splits its
+//! index space into at most [`current_num_threads`] contiguous chunks
+//! and joins them in order. This keeps the semantics this workspace
+//! depends on:
+//!
+//! * **Deterministic ordering** — `map(..).collect::<Vec<_>>()` returns
+//!   items in index order at every thread count, so refinement
+//!   signatures, experiment tables, and matmul outputs are bit-identical
+//!   whether run with 1 thread or 64.
+//! * **`RAYON_NUM_THREADS`** is honoured, plus a programmatic override
+//!   ([`set_num_threads`]) used by the benchmark harness to measure
+//!   serial-vs-parallel speedups in-process.
+//! * **Bounded nesting** — a parallel region spawned from inside another
+//!   parallel worker runs serially (depth-1 parallelism), which is the
+//!   behaviour the experiment suite wants: the 19 experiments fan out at
+//!   the top and their inner kernels stay on one core each.
+//!
+//! Only the surface the workspace uses is provided: `par_iter` on
+//! slices, `into_par_iter` on ranges, `map` / `enumerate` / `for_each` /
+//! `collect` / `sum` / `any`, `par_chunks_mut`, and [`join`].
+//!
+//! [rayon]: https://docs.rs/rayon
+
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod iter;
+pub mod slice;
+
+/// The customary glob-import module, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+    pub use crate::slice::ParallelSliceMut;
+}
+
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Number of threads parallel operations may use.
+///
+/// Resolution order: [`set_num_threads`] override, then the
+/// `RAYON_NUM_THREADS` environment variable, then the machine's
+/// available parallelism.
+pub fn current_num_threads() -> usize {
+    let o = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if o > 0 {
+        return o;
+    }
+    if let Ok(s) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Overrides the thread count for subsequent parallel operations
+/// (process-wide). Passing `0` restores the environment/default
+/// resolution. Used by benchmarks to compare serial and parallel runs
+/// in one process; not part of the real rayon API.
+pub fn set_num_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// True when the current thread is itself a parallel worker; nested
+/// parallel regions then degrade to serial execution.
+pub(crate) fn in_worker() -> bool {
+    IN_WORKER.with(|f| f.get())
+}
+
+/// Runs `body` with the worker flag set (so nested regions stay serial).
+pub(crate) fn as_worker<R>(body: impl FnOnce() -> R) -> R {
+    IN_WORKER.with(|f| {
+        let prev = f.replace(true);
+        let r = body();
+        f.set(prev);
+        r
+    })
+}
+
+/// Effective parallel width for an operation over `n` items.
+pub(crate) fn effective_threads(n: usize) -> usize {
+    if n <= 1 || in_worker() {
+        1
+    } else {
+        current_num_threads().min(n)
+    }
+}
+
+/// Runs both closures, potentially in parallel, and returns both
+/// results. Panics propagate.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if effective_threads(2) <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(|| as_worker(b));
+        let ra = as_worker(a);
+        let rb = hb.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
+        (ra, rb)
+    })
+}
+
+/// Splits `0..n` into `threads` contiguous chunks; returns the bounds
+/// of chunk `t`.
+pub(crate) fn chunk_bounds(n: usize, threads: usize, t: usize) -> (usize, usize) {
+    (n * t / threads, n * (t + 1) / threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn identical_across_thread_counts() {
+        let serial: Vec<usize> = {
+            set_num_threads(1);
+            (0..257usize).into_par_iter().map(|i| i * i).collect()
+        };
+        for t in [2, 3, 8] {
+            set_num_threads(t);
+            let par: Vec<usize> = (0..257usize).into_par_iter().map(|i| i * i).collect();
+            assert_eq!(par, serial);
+        }
+        set_num_threads(0);
+    }
+
+    #[test]
+    fn slice_par_iter_and_sum() {
+        let data: Vec<u64> = (0..10_000).collect();
+        let s: u64 = data.par_iter().map(|&x| x).sum();
+        assert_eq!(s, 10_000 * 9_999 / 2);
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_all() {
+        let mut data = vec![0u32; 103];
+        data.par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
+            for x in chunk.iter_mut() {
+                *x = i as u32 + 1;
+            }
+        });
+        assert!(data.iter().all(|&x| x > 0));
+        assert_eq!(data[0], 1);
+        assert_eq!(data[100], 11);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "x".to_string() + "y");
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
+    }
+
+    #[test]
+    fn nested_regions_run_serially_without_deadlock() {
+        let out: Vec<Vec<usize>> = (0..8usize)
+            .into_par_iter()
+            .map(|i| (0..8usize).into_par_iter().map(move |j| i * 8 + j).collect())
+            .collect();
+        assert_eq!(out[7][7], 63);
+    }
+
+    #[test]
+    fn any_finds_match() {
+        assert!((0..1000usize).into_par_iter().any(|i| i == 999));
+        assert!(!(0..1000usize).into_par_iter().any(|i| i > 1000));
+    }
+}

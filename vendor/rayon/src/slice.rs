@@ -1,0 +1,92 @@
+//! Parallel mutable slice splitting (`par_chunks_mut`).
+
+use crate::{as_worker, chunk_bounds, effective_threads};
+
+/// Extension trait providing `par_chunks_mut` on slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Splits into non-overlapping mutable chunks of `chunk_size`
+    /// (last chunk may be shorter) that can be processed in parallel.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ChunksMut { chunks: self.chunks_mut(chunk_size).collect() }
+    }
+}
+
+/// Parallel iterator over mutable chunks.
+pub struct ChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ChunksMut<'a, T> {
+    /// Pairs each chunk with its index.
+    pub fn enumerate(self) -> EnumerateChunksMut<'a, T> {
+        EnumerateChunksMut { chunks: self.chunks }
+    }
+
+    /// Processes every chunk, potentially in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a mut [T]) + Sync,
+    {
+        run_owned(self.chunks, &|(_i, chunk)| f(chunk));
+    }
+}
+
+/// Enumerated variant of [`ChunksMut`].
+pub struct EnumerateChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> EnumerateChunksMut<'a, T> {
+    /// Processes every `(index, chunk)` pair, potentially in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &'a mut [T])) + Sync,
+    {
+        run_owned(self.chunks, &f);
+    }
+}
+
+/// Distributes owned items across threads in contiguous index blocks.
+fn run_owned<'a, T, F>(chunks: Vec<&'a mut [T]>, f: &F)
+where
+    T: Send,
+    F: Fn((usize, &'a mut [T])) + Sync,
+{
+    let n = chunks.len();
+    let threads = effective_threads(n);
+    if threads <= 1 {
+        for pair in chunks.into_iter().enumerate() {
+            f(pair);
+        }
+        return;
+    }
+    let mut indexed: Vec<(usize, &'a mut [T])> = chunks.into_iter().enumerate().collect();
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(threads - 1);
+        // Peel chunks off the tail for threads 1..T; run chunk 0 inline.
+        for t in (1..threads).rev() {
+            let (lo, _) = chunk_bounds(n, threads, t);
+            let part = indexed.split_off(lo);
+            handles.push(s.spawn(move || {
+                as_worker(|| {
+                    for pair in part {
+                        f(pair);
+                    }
+                })
+            }));
+        }
+        as_worker(|| {
+            for pair in indexed.drain(..) {
+                f(pair);
+            }
+        });
+        for h in handles {
+            h.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
+        }
+    });
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! This workspace derives `Serialize`/`Deserialize` on a few core types
+//! (`Graph`, `Matrix`, the `Expr` AST) but builds in an environment
+//! with no crates.io access, so the real serde cannot be fetched. The
+//! derive macros re-exported here expand to nothing: the annotations
+//! compile, no serialization code is generated, and nothing in the
+//! build depends on it (the machine-readable outputs this workspace
+//! produces — e.g. `BENCH_parallel.json` — are written with the
+//! hand-rolled writer in `gel-bench`). Swapping this path dependency
+//! back to crates.io serde restores full functionality without source
+//! changes.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,20 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! The workspace annotates several core types with serde derives but
+//! only exercises actual serialization in (removed) round-trip tests;
+//! offline builds keep the annotations compiling by expanding them to
+//! nothing. See `vendor/serde` for the rationale.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; keeps `#[derive(Serialize)]` compiling offline.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; keeps `#[derive(Deserialize)]` compiling offline.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
