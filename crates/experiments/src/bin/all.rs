@@ -18,6 +18,91 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// Measures the zero-allocation hot path: steady-state buffer
+/// allocations per batched training step, and wall-clock for the same
+/// training workload run per-graph vs block-diagonally batched.
+/// Returns `(allocs_per_step, unbatched_s, batched_s)`.
+///
+/// Runs pinned to one thread: this is a controlled apples-to-apples
+/// measurement of the batching/allocation effect, not of thread
+/// scaling (which `suite_parallel_s`/`suite_serial_s` cover). The
+/// caller records the pin in the JSON as `"hot_path_threads": 1`.
+fn hot_path_bench() -> (f64, f64, f64) {
+    use gel_gnn::{train_graph_model, GnnAgg, GraphModel, Readout};
+    use gel_graph::{families, BatchedGraphs, Graph};
+    use gel_tensor::{Adam, Loss, Matrix, Optimizer, Parameterized};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    // A small synthetic classification corpus: stars vs cycles.
+    let data: Vec<(Graph, Vec<f64>)> = (4..24)
+        .flat_map(|k| [(families::star(k), vec![1.0]), (families::cycle(k), vec![0.0])])
+        .collect();
+    let batch = BatchedGraphs::pack(data.iter().map(|(g, _)| g));
+    let targets = Matrix::from_vec(data.len(), 1, data.iter().map(|(_, t)| t[0]).collect());
+    let epochs = 60;
+    let model = |seed: u64| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        GraphModel::gnn101(1, 16, 3, 1, GnnAgg::Sum, Readout::Sum, &mut rng)
+    };
+
+    // Steady-state allocation count: warm up (first epochs size every
+    // persistent buffer and Adam's moments), then take the counter
+    // delta over the remaining steps.
+    let mut m = model(0xA1);
+    let mut opt = Adam::new(0.01);
+    let (mut pred, mut grad) = (Matrix::default(), Matrix::default());
+    let (warm, steps) = (3u32, 20u32);
+    let mut base = 0u64;
+    for step in 0..warm + steps {
+        if step == warm {
+            base = gel_tensor::buffer_allocs();
+        }
+        m.zero_grads();
+        m.forward_batched_into(&batch, &mut pred);
+        let _ = Loss::BceWithLogits.eval_into(&pred, &targets, &mut grad);
+        m.backward_batched(&batch, &grad);
+        opt.step(&mut m);
+    }
+    let allocs_per_step = (gel_tensor::buffer_allocs() - base) as f64 / f64::from(steps);
+
+    // Batched vs per-graph wall clock on the same workload (untimed
+    // warm-up leg first, as for the suite timings).
+    let mut m = model(0xB2);
+    let mut opt = Adam::new(0.01);
+    let _ = train_graph_model(&mut m, &data, Loss::BceWithLogits, &mut opt, epochs);
+    let mut m = model(0xB2);
+    let mut opt = Adam::new(0.01);
+    let t = Instant::now();
+    let _ = train_graph_model(&mut m, &data, Loss::BceWithLogits, &mut opt, epochs);
+    let unbatched_s = t.elapsed().as_secs_f64();
+
+    let mut m = model(0xB2);
+    let mut opt = Adam::new(0.01);
+    let _ = gel_gnn::train_graph_model_batched(
+        &mut m,
+        &batch,
+        &targets,
+        Loss::BceWithLogits,
+        &mut opt,
+        epochs,
+    );
+    let mut m = model(0xB2);
+    let mut opt = Adam::new(0.01);
+    let t = Instant::now();
+    let _ = gel_gnn::train_graph_model_batched(
+        &mut m,
+        &batch,
+        &targets,
+        Loss::BceWithLogits,
+        &mut opt,
+        epochs,
+    );
+    let batched_s = t.elapsed().as_secs_f64();
+
+    (allocs_per_step, unbatched_s, batched_s)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let full = args.iter().any(|a| a == "--full");
@@ -74,6 +159,9 @@ fn main() {
     if let Some(path) = bench_json {
         let suite_serial_s = suite_serial_s.expect("serial leg ran above");
         let threads = rayon::current_num_threads();
+        rayon::set_num_threads(1);
+        let (allocs_per_step, unbatched_s, batched_s) = hot_path_bench();
+        rayon::set_num_threads(0);
         let mut out = String::from("{\n");
         out.push_str(&format!("  \"threads\": {threads},\n"));
         out.push_str(&format!("  \"full_corpus\": {full},\n"));
@@ -84,6 +172,14 @@ fn main() {
             suite_serial_s / suite_parallel_s.max(1e-12)
         ));
         out.push_str(&format!("  \"lattice_figure_s\": {lattice_s:.6},\n"));
+        out.push_str("  \"hot_path_threads\": 1,\n");
+        out.push_str(&format!("  \"allocs_per_step\": {allocs_per_step:.3},\n"));
+        out.push_str(&format!("  \"unbatched_suite_s\": {unbatched_s:.6},\n"));
+        out.push_str(&format!("  \"batched_suite_s\": {batched_s:.6},\n"));
+        out.push_str(&format!(
+            "  \"batched_speedup\": {:.3},\n",
+            unbatched_s / batched_s.max(1e-12)
+        ));
         out.push_str(&format!(
             "  \"wl_cache\": {{\"hits\": {}, \"misses\": {}}},\n",
             cache.hits, cache.misses

@@ -2,46 +2,71 @@
 //! `Σ_{u ∈ N(v)}` of the paper's GNN-101 recurrence (slide 13) and its
 //! mean/max alternatives (slide 69), each with the exact adjoint needed
 //! for backpropagation.
+//!
+//! Every aggregation has an `_into` form writing into a caller-supplied
+//! buffer (the zero-allocation hot path) and an allocating wrapper that
+//! delegates to it, so both paths are bit-identical by construction.
 
 use gel_graph::Graph;
 use gel_tensor::Matrix;
 
 /// Sum aggregation `S_v = Σ_{u ∈ N_out(v)} X_u` (i.e. `S = A·X`).
 pub fn sum_forward(g: &Graph, x: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(g.num_vertices(), x.cols());
+    sum_forward_into(g, x, &mut out);
+    out
+}
+
+/// [`sum_forward`] into `out` (reshaped as needed).
+pub fn sum_forward_into(g: &Graph, x: &Matrix, out: &mut Matrix) {
     let n = g.num_vertices();
     assert_eq!(x.rows(), n, "feature row count must match |V|");
-    let mut out = Matrix::zeros(n, x.cols());
+    out.ensure_shape(n, x.cols());
     for v in g.vertices() {
         let row = out.row_mut(v as usize);
+        row.fill(0.0);
         for &u in g.out_neighbors(v) {
             for (o, &xv) in row.iter_mut().zip(x.row(u as usize)) {
                 *o += xv;
             }
         }
     }
-    out
 }
 
 /// Adjoint of [`sum_forward`]: `∂L/∂X = Aᵀ · ∂L/∂S`.
 pub fn sum_backward(g: &Graph, grad_out: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(g.num_vertices(), grad_out.cols());
+    sum_backward_into(g, grad_out, &mut out);
+    out
+}
+
+/// [`sum_backward`] into `out` (reshaped as needed).
+pub fn sum_backward_into(g: &Graph, grad_out: &Matrix, out: &mut Matrix) {
     let n = g.num_vertices();
-    let mut grad_x = Matrix::zeros(n, grad_out.cols());
+    out.ensure_shape(n, grad_out.cols());
+    out.fill(0.0);
     for v in g.vertices() {
         let gr = grad_out.row(v as usize);
         for &u in g.out_neighbors(v) {
-            let row = grad_x.row_mut(u as usize);
+            let row = out.row_mut(u as usize);
             for (o, &gv) in row.iter_mut().zip(gr) {
                 *o += gv;
             }
         }
     }
-    grad_x
 }
 
 /// Mean aggregation; vertices with no out-neighbours get the zero
 /// vector (the same empty-bag convention as the language evaluator).
 pub fn mean_forward(g: &Graph, x: &Matrix) -> Matrix {
-    let mut out = sum_forward(g, x);
+    let mut out = Matrix::zeros(g.num_vertices(), x.cols());
+    mean_forward_into(g, x, &mut out);
+    out
+}
+
+/// [`mean_forward`] into `out` (reshaped as needed).
+pub fn mean_forward_into(g: &Graph, x: &Matrix, out: &mut Matrix) {
+    sum_forward_into(g, x, out);
     for v in g.vertices() {
         let d = g.out_degree(v);
         if d > 0 {
@@ -51,26 +76,48 @@ pub fn mean_forward(g: &Graph, x: &Matrix) -> Matrix {
             }
         }
     }
-    out
 }
 
 /// Adjoint of [`mean_forward`].
 pub fn mean_backward(g: &Graph, grad_out: &Matrix) -> Matrix {
-    let mut scaled = grad_out.clone();
+    let mut out = Matrix::zeros(g.num_vertices(), grad_out.cols());
+    mean_backward_into(g, grad_out, &mut out);
+    out
+}
+
+/// [`mean_backward`] into `out` (reshaped as needed). The degree
+/// scaling is folded into the scatter loop — no scaled copy of
+/// `grad_out` is materialized — and scattering `grad_out[v] · (1/d_v)`
+/// per neighbour multiplies the same two floats the pre-scaled copy
+/// held, so the result is bit-identical to the old
+/// clone-then-sum_backward formulation.
+pub fn mean_backward_into(g: &Graph, grad_out: &Matrix, out: &mut Matrix) {
+    let n = g.num_vertices();
+    out.ensure_shape(n, grad_out.cols());
+    out.fill(0.0);
     for v in g.vertices() {
         let d = g.out_degree(v);
-        if d > 0 {
-            let inv = 1.0 / d as f64;
-            for o in scaled.row_mut(v as usize) {
-                *o *= inv;
+        if d == 0 {
+            continue;
+        }
+        let inv = 1.0 / d as f64;
+        let gr = grad_out.row(v as usize);
+        for &u in g.out_neighbors(v) {
+            let row = out.row_mut(u as usize);
+            for (o, &gv) in row.iter_mut().zip(gr) {
+                *o += gv * inv;
             }
         }
     }
-    sum_backward(g, &scaled)
 }
 
 /// Max aggregation with the argmax cache needed for the adjoint.
 /// Empty neighbourhoods yield zeros (and route no gradient).
+///
+/// The argmax buffer is reusable: a persistent `MaxAggregation` fed
+/// through [`MaxAggregation::forward_into`] every step stops touching
+/// the heap once warmed up.
+#[derive(Debug, Default)]
 pub struct MaxAggregation {
     /// `argmax[v * cols + c]` = the neighbour supplying the max, or
     /// `u32::MAX` for empty neighbourhoods.
@@ -79,12 +126,29 @@ pub struct MaxAggregation {
 }
 
 impl MaxAggregation {
-    /// Forward pass.
+    /// An empty cache, ready for [`MaxAggregation::forward_into`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forward pass (allocating convenience wrapper).
     pub fn forward(g: &Graph, x: &Matrix) -> (Matrix, MaxAggregation) {
+        let mut cache = MaxAggregation::new();
+        let mut out = Matrix::zeros(g.num_vertices(), x.cols());
+        cache.forward_into(g, x, &mut out);
+        (out, cache)
+    }
+
+    /// Forward pass into `out`, reusing this cache's argmax buffer.
+    pub fn forward_into(&mut self, g: &Graph, x: &Matrix, out: &mut Matrix) {
         let n = g.num_vertices();
+        assert_eq!(x.rows(), n, "feature row count must match |V|");
         let cols = x.cols();
-        let mut out = Matrix::zeros(n, cols);
-        let mut argmax = vec![u32::MAX; n * cols];
+        out.ensure_shape(n, cols);
+        out.fill(0.0);
+        self.cols = cols;
+        self.argmax.clear();
+        self.argmax.resize(n * cols, u32::MAX);
         for v in g.vertices() {
             let nbrs = g.out_neighbors(v);
             if nbrs.is_empty() {
@@ -100,25 +164,31 @@ impl MaxAggregation {
                     }
                 }
                 out[(v as usize, c)] = best;
-                argmax[v as usize * cols + c] = best_u;
+                self.argmax[v as usize * cols + c] = best_u;
             }
         }
-        (out, MaxAggregation { argmax, cols })
     }
 
     /// Adjoint: gradient flows to the argmax contributor only.
     pub fn backward(&self, n: usize, grad_out: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(n, self.cols);
+        self.backward_into(n, grad_out, &mut out);
+        out
+    }
+
+    /// [`MaxAggregation::backward`] into `out` (reshaped as needed).
+    pub fn backward_into(&self, n: usize, grad_out: &Matrix, out: &mut Matrix) {
         assert_eq!(grad_out.cols(), self.cols);
-        let mut grad_x = Matrix::zeros(n, self.cols);
+        out.ensure_shape(n, self.cols);
+        out.fill(0.0);
         for v in 0..n {
             for c in 0..self.cols {
                 let u = self.argmax[v * self.cols + c];
                 if u != u32::MAX {
-                    grad_x[(u as usize, c)] += grad_out[(v, c)];
+                    out[(u as usize, c)] += grad_out[(v, c)];
                 }
             }
         }
-        grad_x
     }
 }
 
@@ -167,6 +237,25 @@ mod tests {
         let lhs: f64 = mean_forward(&g, &x).hadamard(&y).sum();
         let rhs: f64 = x.hadamard(&mean_backward(&g, &y)).sum();
         assert!((lhs - rhs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_backward_matches_scale_then_scatter() {
+        // The fused loop must agree bit-for-bit with the old
+        // pre-scale-a-copy formulation.
+        let g = star(4);
+        let grad = Matrix::from_fn(5, 3, |i, j| ((i * 7 + j * 3) % 11) as f64 * 0.37 - 1.2);
+        let mut scaled = grad.clone();
+        for v in g.vertices() {
+            let d = g.out_degree(v);
+            if d > 0 {
+                let inv = 1.0 / d as f64;
+                for o in scaled.row_mut(v as usize) {
+                    *o *= inv;
+                }
+            }
+        }
+        assert_eq!(mean_backward(&g, &grad), sum_backward(&g, &scaled));
     }
 
     #[test]

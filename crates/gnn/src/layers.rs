@@ -5,10 +5,12 @@
 //! `Param`s; `Parameterized::visit_params` exposes them to optimizers.
 
 use gel_graph::Graph;
-use gel_tensor::{Activation, Dense, Init, Matrix, Mlp, Param, Parameterized};
+use gel_tensor::{Activation, Dense, Init, Matrix, Mlp, Param, Parameterized, Scratch};
 use rand::Rng;
 
-use crate::agg::{mean_backward, mean_forward, sum_backward, sum_forward, MaxAggregation};
+use crate::agg::{
+    mean_backward_into, mean_forward_into, sum_backward_into, sum_forward_into, MaxAggregation,
+};
 
 /// Which aggregator a layer uses (slide 69's sum/mean/max comparison).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,14 +36,19 @@ pub struct Gnn101Conv {
     pub activation: Activation,
     /// Aggregator.
     pub agg: GnnAgg,
-    cache: Option<Cache>,
+    cache: Cache,
 }
 
+/// Persistent forward-pass cache: the buffers are reused across steps
+/// (zero allocations once warm); `valid` tracks whether a forward has
+/// run since the last backward.
+#[derive(Default)]
 struct Cache {
     x: Matrix,
     aggregated: Matrix,
     pre: Matrix,
-    max_cache: Option<MaxAggregation>,
+    max_cache: MaxAggregation,
+    valid: bool,
 }
 
 impl Gnn101Conv {
@@ -59,7 +66,7 @@ impl Gnn101Conv {
             b: Param::new(Matrix::zeros(1, d_out)),
             activation,
             agg,
-            cache: None,
+            cache: Cache::default(),
         }
     }
 
@@ -75,56 +82,114 @@ impl Gnn101Conv {
 
     /// Forward over the whole vertex set (`x` is `n × d_in`).
     pub fn forward(&mut self, g: &Graph, x: &Matrix) -> Matrix {
-        let (aggregated, max_cache) = match self.agg {
-            GnnAgg::Sum => (sum_forward(g, x), None),
-            GnnAgg::Mean => (mean_forward(g, x), None),
-            GnnAgg::Max => {
-                let (m, c) = MaxAggregation::forward(g, x);
-                (m, Some(c))
-            }
-        };
-        let mut pre = x.matmul(&self.w1.value);
-        pre += &aggregated.matmul(&self.w2.value);
-        pre.add_row_broadcast(self.b.value.row(0));
-        let out = self.activation.apply_matrix(&pre);
-        self.cache = Some(Cache { x: x.clone(), aggregated, pre, max_cache });
+        let mut scratch = Scratch::new();
+        let mut out = Matrix::zeros(0, 0);
+        self.forward_into(g, x, &mut scratch, &mut out);
         out
+    }
+
+    /// Forward into `out`, reusing the layer's persistent cache and
+    /// `scratch` for temporaries — steady-state calls allocate nothing.
+    /// Bit-identical to [`Gnn101Conv::forward`].
+    pub fn forward_into(&mut self, g: &Graph, x: &Matrix, scratch: &mut Scratch, out: &mut Matrix) {
+        let cache = &mut self.cache;
+        match self.agg {
+            GnnAgg::Sum => sum_forward_into(g, x, &mut cache.aggregated),
+            GnnAgg::Mean => mean_forward_into(g, x, &mut cache.aggregated),
+            GnnAgg::Max => cache.max_cache.forward_into(g, x, &mut cache.aggregated),
+        }
+        cache.x.copy_from(x);
+        x.matmul_into(&self.w1.value, &mut cache.pre);
+        let mut prod = scratch.take(x.rows(), self.w2.value.cols());
+        cache.aggregated.matmul_into(&self.w2.value, &mut prod);
+        cache.pre += &prod;
+        scratch.put(prod);
+        cache.pre.add_bias_activate_into(self.b.value.row(0), self.activation, out);
+        cache.valid = true;
     }
 
     /// Inference without caching.
     pub fn infer(&self, g: &Graph, x: &Matrix) -> Matrix {
-        let aggregated = match self.agg {
-            GnnAgg::Sum => sum_forward(g, x),
-            GnnAgg::Mean => mean_forward(g, x),
-            GnnAgg::Max => MaxAggregation::forward(g, x).0,
-        };
-        let mut pre = x.matmul(&self.w1.value);
-        pre += &aggregated.matmul(&self.w2.value);
-        pre.add_row_broadcast(self.b.value.row(0));
-        self.activation.apply_matrix(&pre)
+        let mut scratch = Scratch::new();
+        let mut out = Matrix::zeros(0, 0);
+        self.infer_into(g, x, &mut scratch, &mut out);
+        out
+    }
+
+    /// Inference into `out` with temporaries from `scratch`;
+    /// bit-identical to [`Gnn101Conv::infer`]. (A `Max` aggregator
+    /// still allocates its transient argmax index — inference is not
+    /// part of the zero-allocation training-step contract.)
+    pub fn infer_into(&self, g: &Graph, x: &Matrix, scratch: &mut Scratch, out: &mut Matrix) {
+        let mut aggregated = scratch.take(g.num_vertices(), x.cols());
+        match self.agg {
+            GnnAgg::Sum => sum_forward_into(g, x, &mut aggregated),
+            GnnAgg::Mean => mean_forward_into(g, x, &mut aggregated),
+            GnnAgg::Max => MaxAggregation::new().forward_into(g, x, &mut aggregated),
+        }
+        let mut pre = scratch.take(x.rows(), self.w1.value.cols());
+        x.matmul_into(&self.w1.value, &mut pre);
+        let mut prod = scratch.take(x.rows(), self.w2.value.cols());
+        aggregated.matmul_into(&self.w2.value, &mut prod);
+        pre += &prod;
+        pre.add_bias_activate_into(self.b.value.row(0), self.activation, out);
+        scratch.put(aggregated);
+        scratch.put(pre);
+        scratch.put(prod);
     }
 
     /// Backward; returns `∂L/∂X`.
     pub fn backward(&mut self, g: &Graph, grad_out: &Matrix) -> Matrix {
-        let cache = self.cache.take().expect("backward before forward");
-        let act = self.activation;
-        let delta = Matrix::from_fn(grad_out.rows(), grad_out.cols(), |i, j| {
-            grad_out[(i, j)] * act.derivative(cache.pre[(i, j)])
-        });
-        self.w1.grad += &cache.x.t_matmul(&delta);
-        self.w2.grad += &cache.aggregated.t_matmul(&delta);
-        for (gb, &d) in self.b.grad.data_mut().iter_mut().zip(delta.column_sums().iter()) {
+        let mut scratch = Scratch::new();
+        let mut grad_in = Matrix::zeros(0, 0);
+        self.backward_into(g, grad_out, &mut scratch, &mut grad_in);
+        grad_in
+    }
+
+    /// Backward into `grad_in` with temporaries from `scratch` —
+    /// steady-state calls allocate nothing. Bit-identical to
+    /// [`Gnn101Conv::backward`]: each gradient product is computed into
+    /// a scratch buffer with the same kernel and then `+=`d, preserving
+    /// the accumulation order of the allocating path.
+    pub fn backward_into(
+        &mut self,
+        g: &Graph,
+        grad_out: &Matrix,
+        scratch: &mut Scratch,
+        grad_in: &mut Matrix,
+    ) {
+        let cache = &mut self.cache;
+        assert!(cache.valid, "backward before forward");
+        cache.valid = false;
+        let mut delta = scratch.take(grad_out.rows(), grad_out.cols());
+        self.activation.backprop_delta_into(&cache.pre, grad_out, &mut delta);
+        let mut prod = scratch.take(self.w1.value.rows(), self.w1.value.cols());
+        cache.x.t_matmul_into(&delta, &mut prod);
+        self.w1.grad += &prod;
+        cache.aggregated.t_matmul_into(&delta, &mut prod);
+        self.w2.grad += &prod;
+        let mut bias = scratch.take(1, delta.cols());
+        delta.column_sums_into(bias.row_mut(0));
+        for (gb, &d) in self.b.grad.data_mut().iter_mut().zip(bias.row(0)) {
             *gb += d;
         }
-        let grad_agg = delta.matmul_t(&self.w2.value);
-        let grad_from_agg = match self.agg {
-            GnnAgg::Sum => sum_backward(g, &grad_agg),
-            GnnAgg::Mean => mean_backward(g, &grad_agg),
-            GnnAgg::Max => cache.max_cache.as_ref().unwrap().backward(g.num_vertices(), &grad_agg),
-        };
-        let mut grad_x = delta.matmul_t(&self.w1.value);
-        grad_x += &grad_from_agg;
-        grad_x
+        let mut grad_agg = scratch.take(delta.rows(), self.w2.value.rows());
+        delta.matmul_t_into(&self.w2.value, &mut grad_agg);
+        let mut grad_from_agg = scratch.take(g.num_vertices(), grad_agg.cols());
+        match self.agg {
+            GnnAgg::Sum => sum_backward_into(g, &grad_agg, &mut grad_from_agg),
+            GnnAgg::Mean => mean_backward_into(g, &grad_agg, &mut grad_from_agg),
+            GnnAgg::Max => {
+                cache.max_cache.backward_into(g.num_vertices(), &grad_agg, &mut grad_from_agg)
+            }
+        }
+        delta.matmul_t_into(&self.w1.value, grad_in);
+        *grad_in += &grad_from_agg;
+        scratch.put(delta);
+        scratch.put(prod);
+        scratch.put(bias);
+        scratch.put(grad_agg);
+        scratch.put(grad_from_agg);
     }
 }
 
@@ -144,7 +209,7 @@ pub struct GinConv {
     pub eps: f64,
     /// The per-layer MLP.
     pub mlp: Mlp,
-    gin_cache: Option<Matrix>, // cached input x (for the adjoint of the mix)
+    forwarded: bool, // guards backward-before-forward (the MLP holds the caches)
 }
 
 impl GinConv {
@@ -152,7 +217,7 @@ impl GinConv {
     pub fn new(d_in: usize, hidden: usize, d_out: usize, eps: f64, rng: &mut impl Rng) -> Self {
         let mlp =
             Mlp::new(&[d_in, hidden, d_out], Activation::ReLU, Activation::Identity, Init::He, rng);
-        Self { eps, mlp, gin_cache: None }
+        Self { eps, mlp, forwarded: false }
     }
 
     /// Input dimension.
@@ -167,26 +232,65 @@ impl GinConv {
 
     /// Forward.
     pub fn forward(&mut self, g: &Graph, x: &Matrix) -> Matrix {
-        let mut z = sum_forward(g, x);
+        let mut scratch = Scratch::new();
+        let mut out = Matrix::zeros(0, 0);
+        self.forward_into(g, x, &mut scratch, &mut out);
+        out
+    }
+
+    /// Forward into `out` with temporaries from `scratch`;
+    /// bit-identical to [`GinConv::forward`].
+    pub fn forward_into(&mut self, g: &Graph, x: &Matrix, scratch: &mut Scratch, out: &mut Matrix) {
+        let mut z = scratch.take(g.num_vertices(), x.cols());
+        sum_forward_into(g, x, &mut z);
         z.add_scaled(x, 1.0 + self.eps);
-        self.gin_cache = Some(x.clone());
-        self.mlp.forward(&z)
+        self.mlp.forward_into(&z, scratch, out);
+        scratch.put(z);
+        self.forwarded = true;
     }
 
     /// Inference without caching.
     pub fn infer(&self, g: &Graph, x: &Matrix) -> Matrix {
-        let mut z = sum_forward(g, x);
+        let mut scratch = Scratch::new();
+        let mut out = Matrix::zeros(0, 0);
+        self.infer_into(g, x, &mut scratch, &mut out);
+        out
+    }
+
+    /// Inference into `out` with temporaries from `scratch`;
+    /// bit-identical to [`GinConv::infer`].
+    pub fn infer_into(&self, g: &Graph, x: &Matrix, scratch: &mut Scratch, out: &mut Matrix) {
+        let mut z = scratch.take(g.num_vertices(), x.cols());
+        sum_forward_into(g, x, &mut z);
         z.add_scaled(x, 1.0 + self.eps);
-        self.mlp.infer(&z)
+        self.mlp.infer_into(&z, scratch, out);
+        scratch.put(z);
     }
 
     /// Backward; returns `∂L/∂X`.
     pub fn backward(&mut self, g: &Graph, grad_out: &Matrix) -> Matrix {
-        let _ = self.gin_cache.take().expect("backward before forward");
-        let grad_z = self.mlp.backward(grad_out);
-        let mut grad_x = sum_backward(g, &grad_z);
-        grad_x.add_scaled(&grad_z, 1.0 + self.eps);
-        grad_x
+        let mut scratch = Scratch::new();
+        let mut grad_in = Matrix::zeros(0, 0);
+        self.backward_into(g, grad_out, &mut scratch, &mut grad_in);
+        grad_in
+    }
+
+    /// Backward into `grad_in` with temporaries from `scratch`;
+    /// bit-identical to [`GinConv::backward`].
+    pub fn backward_into(
+        &mut self,
+        g: &Graph,
+        grad_out: &Matrix,
+        scratch: &mut Scratch,
+        grad_in: &mut Matrix,
+    ) {
+        assert!(self.forwarded, "backward before forward");
+        self.forwarded = false;
+        let mut grad_z = scratch.take(0, 0);
+        self.mlp.backward_into(grad_out, scratch, &mut grad_z);
+        sum_backward_into(g, &grad_z, grad_in);
+        grad_in.add_scaled(&grad_z, 1.0 + self.eps);
+        scratch.put(grad_z);
     }
 }
 
@@ -201,7 +305,9 @@ pub struct SageConv {
     dense: Dense,
     /// Aggregator for the pooled branch.
     pub agg: GnnAgg,
-    sage_cache: Option<(usize, Option<MaxAggregation>)>,
+    max_cache: MaxAggregation,
+    cached_d_in: usize,
+    forwarded: bool,
 }
 
 impl SageConv {
@@ -216,7 +322,9 @@ impl SageConv {
         Self {
             dense: Dense::new(2 * d_in, d_out, activation, Init::Xavier, rng),
             agg,
-            sage_cache: None,
+            max_cache: MaxAggregation::new(),
+            cached_d_in: 0,
+            forwarded: false,
         }
     }
 
@@ -232,46 +340,93 @@ impl SageConv {
 
     /// Forward.
     pub fn forward(&mut self, g: &Graph, x: &Matrix) -> Matrix {
-        let (pooled, max_cache) = match self.agg {
-            GnnAgg::Sum => (sum_forward(g, x), None),
-            GnnAgg::Mean => (mean_forward(g, x), None),
-            GnnAgg::Max => {
-                let (m, c) = MaxAggregation::forward(g, x);
-                (m, Some(c))
-            }
-        };
-        self.sage_cache = Some((x.cols(), max_cache));
-        self.dense.forward(&x.hconcat(&pooled))
+        let mut scratch = Scratch::new();
+        let mut out = Matrix::zeros(0, 0);
+        self.forward_into(g, x, &mut scratch, &mut out);
+        out
+    }
+
+    /// Forward into `out` with temporaries from `scratch`;
+    /// bit-identical to [`SageConv::forward`].
+    pub fn forward_into(&mut self, g: &Graph, x: &Matrix, scratch: &mut Scratch, out: &mut Matrix) {
+        let mut pooled = scratch.take(g.num_vertices(), x.cols());
+        match self.agg {
+            GnnAgg::Sum => sum_forward_into(g, x, &mut pooled),
+            GnnAgg::Mean => mean_forward_into(g, x, &mut pooled),
+            GnnAgg::Max => self.max_cache.forward_into(g, x, &mut pooled),
+        }
+        let mut cat = scratch.take(x.rows(), 2 * x.cols());
+        x.hconcat_into(&pooled, &mut cat);
+        self.cached_d_in = x.cols();
+        self.forwarded = true;
+        self.dense.forward_into(&cat, out);
+        scratch.put(pooled);
+        scratch.put(cat);
     }
 
     /// Inference without caching.
     pub fn infer(&self, g: &Graph, x: &Matrix) -> Matrix {
-        let pooled = match self.agg {
-            GnnAgg::Sum => sum_forward(g, x),
-            GnnAgg::Mean => mean_forward(g, x),
-            GnnAgg::Max => MaxAggregation::forward(g, x).0,
-        };
-        self.dense.infer(&x.hconcat(&pooled))
+        let mut scratch = Scratch::new();
+        let mut out = Matrix::zeros(0, 0);
+        self.infer_into(g, x, &mut scratch, &mut out);
+        out
+    }
+
+    /// Inference into `out` with temporaries from `scratch`;
+    /// bit-identical to [`SageConv::infer`].
+    pub fn infer_into(&self, g: &Graph, x: &Matrix, scratch: &mut Scratch, out: &mut Matrix) {
+        let mut pooled = scratch.take(g.num_vertices(), x.cols());
+        match self.agg {
+            GnnAgg::Sum => sum_forward_into(g, x, &mut pooled),
+            GnnAgg::Mean => mean_forward_into(g, x, &mut pooled),
+            GnnAgg::Max => MaxAggregation::new().forward_into(g, x, &mut pooled),
+        }
+        let mut cat = scratch.take(x.rows(), 2 * x.cols());
+        x.hconcat_into(&pooled, &mut cat);
+        self.dense.infer_into(&cat, out);
+        scratch.put(pooled);
+        scratch.put(cat);
     }
 
     /// Backward; returns `∂L/∂X`.
     pub fn backward(&mut self, g: &Graph, grad_out: &Matrix) -> Matrix {
-        let (d_in, max_cache) = self.sage_cache.take().expect("backward before forward");
-        let grad_cat = self.dense.backward(grad_out);
+        let mut scratch = Scratch::new();
+        let mut grad_in = Matrix::zeros(0, 0);
+        self.backward_into(g, grad_out, &mut scratch, &mut grad_in);
+        grad_in
+    }
+
+    /// Backward into `grad_in` with temporaries from `scratch`;
+    /// bit-identical to [`SageConv::backward`].
+    pub fn backward_into(
+        &mut self,
+        g: &Graph,
+        grad_out: &Matrix,
+        scratch: &mut Scratch,
+        grad_in: &mut Matrix,
+    ) {
+        assert!(self.forwarded, "backward before forward");
+        self.forwarded = false;
+        let d_in = self.cached_d_in;
+        let mut grad_cat = scratch.take(0, 0);
+        self.dense.backward_into(grad_out, scratch, &mut grad_cat);
         let n = grad_cat.rows();
-        let mut grad_self = Matrix::zeros(n, d_in);
-        let mut grad_pooled = Matrix::zeros(n, d_in);
+        grad_in.ensure_shape(n, d_in);
+        let mut grad_pooled = scratch.take(n, d_in);
         for i in 0..n {
-            grad_self.row_mut(i).copy_from_slice(&grad_cat.row(i)[..d_in]);
+            grad_in.row_mut(i).copy_from_slice(&grad_cat.row(i)[..d_in]);
             grad_pooled.row_mut(i).copy_from_slice(&grad_cat.row(i)[d_in..]);
         }
-        let grad_from_pool = match self.agg {
-            GnnAgg::Sum => sum_backward(g, &grad_pooled),
-            GnnAgg::Mean => mean_backward(g, &grad_pooled),
-            GnnAgg::Max => max_cache.as_ref().unwrap().backward(n, &grad_pooled),
-        };
-        grad_self += &grad_from_pool;
-        grad_self
+        let mut grad_from_pool = scratch.take(n, d_in);
+        match self.agg {
+            GnnAgg::Sum => sum_backward_into(g, &grad_pooled, &mut grad_from_pool),
+            GnnAgg::Mean => mean_backward_into(g, &grad_pooled, &mut grad_from_pool),
+            GnnAgg::Max => self.max_cache.backward_into(n, &grad_pooled, &mut grad_from_pool),
+        }
+        *grad_in += &grad_from_pool;
+        scratch.put(grad_cat);
+        scratch.put(grad_pooled);
+        scratch.put(grad_from_pool);
     }
 }
 

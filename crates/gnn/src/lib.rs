@@ -42,11 +42,16 @@ pub mod train;
 pub mod tuple;
 
 pub use layers::{GinConv, Gnn101Conv, GnnAgg, SageConv};
-pub use models::{features, ConvLayer, GraphModel, Readout, VertexModel};
-pub use relational::{relational_gnn_separates, RelationalConv};
-pub use separation::{gnn101_class_separates, gnn_separates, SeparationConfig};
-pub use train::{
-    eval_graph_accuracy, eval_node_accuracy, eval_vertex_mse, train_graph_model,
-    train_node_classifier, train_vertex_regression, LinkPredictor, TrainLog,
+pub use models::{
+    features, features_into, pool_segments_into, ConvLayer, GraphModel, Readout, VertexModel,
 };
-pub use tuple::{pair_features, tuple_gnn_separates, TupleConv, TupleGnn};
+pub use relational::{relational_gnn_separates, RelationalConv};
+pub use separation::{
+    gnn101_class_separates, gnn_separates, gnn_separates_per_graph, SeparationConfig,
+};
+pub use train::{
+    eval_graph_accuracy, eval_graph_accuracy_batched, eval_node_accuracy, eval_vertex_mse,
+    eval_vertex_mse_batched, train_graph_model, train_graph_model_batched, train_node_classifier,
+    train_vertex_regression, train_vertex_regression_batched, LinkPredictor, TrainLog,
+};
+pub use tuple::{pair_features, pair_features_into, tuple_gnn_separates, TupleConv, TupleGnn};

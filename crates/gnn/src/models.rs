@@ -1,8 +1,8 @@
 //! Complete GNN models: stacks of convolution layers, graph-level
 //! readouts (slide 14), and prediction heads.
 
-use gel_graph::Graph;
-use gel_tensor::{Activation, Init, Matrix, Mlp, Param, Parameterized};
+use gel_graph::{BatchedGraphs, Graph};
+use gel_tensor::{Activation, Init, Matrix, Mlp, Param, Parameterized, Scratch};
 use rand::Rng;
 
 use crate::layers::{GinConv, Gnn101Conv, GnnAgg, SageConv};
@@ -18,27 +18,27 @@ pub enum ConvLayer {
 }
 
 impl ConvLayer {
-    fn forward(&mut self, g: &Graph, x: &Matrix) -> Matrix {
+    fn forward_into(&mut self, g: &Graph, x: &Matrix, scratch: &mut Scratch, out: &mut Matrix) {
         match self {
-            ConvLayer::Gnn101(l) => l.forward(g, x),
-            ConvLayer::Gin(l) => l.forward(g, x),
-            ConvLayer::Sage(l) => l.forward(g, x),
+            ConvLayer::Gnn101(l) => l.forward_into(g, x, scratch, out),
+            ConvLayer::Gin(l) => l.forward_into(g, x, scratch, out),
+            ConvLayer::Sage(l) => l.forward_into(g, x, scratch, out),
         }
     }
 
-    fn infer(&self, g: &Graph, x: &Matrix) -> Matrix {
+    fn infer_into(&self, g: &Graph, x: &Matrix, scratch: &mut Scratch, out: &mut Matrix) {
         match self {
-            ConvLayer::Gnn101(l) => l.infer(g, x),
-            ConvLayer::Gin(l) => l.infer(g, x),
-            ConvLayer::Sage(l) => l.infer(g, x),
+            ConvLayer::Gnn101(l) => l.infer_into(g, x, scratch, out),
+            ConvLayer::Gin(l) => l.infer_into(g, x, scratch, out),
+            ConvLayer::Sage(l) => l.infer_into(g, x, scratch, out),
         }
     }
 
-    fn backward(&mut self, g: &Graph, grad: &Matrix) -> Matrix {
+    fn backward_into(&mut self, g: &Graph, grad: &Matrix, scratch: &mut Scratch, out: &mut Matrix) {
         match self {
-            ConvLayer::Gnn101(l) => l.backward(g, grad),
-            ConvLayer::Gin(l) => l.backward(g, grad),
-            ConvLayer::Sage(l) => l.backward(g, grad),
+            ConvLayer::Gnn101(l) => l.backward_into(g, grad, scratch, out),
+            ConvLayer::Gin(l) => l.backward_into(g, grad, scratch, out),
+            ConvLayer::Sage(l) => l.backward_into(g, grad, scratch, out),
         }
     }
 
@@ -58,6 +58,7 @@ pub struct VertexModel {
     pub convs: Vec<ConvLayer>,
     /// Per-vertex head.
     pub head: Mlp,
+    scratch: Scratch,
 }
 
 impl VertexModel {
@@ -79,33 +80,66 @@ impl VertexModel {
         }
         let head =
             Mlp::new(&[d, out_dim], Activation::Identity, Activation::Identity, Init::Xavier, rng);
-        Self { convs, head }
+        Self { convs, head, scratch: Scratch::new() }
     }
 
     /// Forward with caching (training).
     pub fn forward(&mut self, g: &Graph) -> Matrix {
-        let mut x = features(g);
+        let mut out = Matrix::zeros(0, 0);
+        self.forward_into(g, &mut out);
+        out
+    }
+
+    /// Forward with caching into `out`, running every kernel through
+    /// the model-owned scratch pool — steady-state calls allocate
+    /// nothing. Bit-identical to [`VertexModel::forward`].
+    pub fn forward_into(&mut self, g: &Graph, out: &mut Matrix) {
+        let mut x = self.scratch.take(g.num_vertices(), g.label_dim());
+        features_into(g, &mut x);
+        let mut y = self.scratch.take(0, 0);
         for conv in &mut self.convs {
-            x = conv.forward(g, &x);
+            conv.forward_into(g, &x, &mut self.scratch, &mut y);
+            std::mem::swap(&mut x, &mut y);
         }
-        self.head.forward(&x)
+        self.head.forward_into(&x, &mut self.scratch, out);
+        self.scratch.put(x);
+        self.scratch.put(y);
     }
 
     /// Inference.
     pub fn infer(&self, g: &Graph) -> Matrix {
-        let mut x = features(g);
+        let mut scratch = Scratch::new();
+        let mut out = Matrix::zeros(0, 0);
+        self.infer_into(g, &mut scratch, &mut out);
+        out
+    }
+
+    /// Inference into `out` with temporaries from a caller-supplied
+    /// scratch pool; bit-identical to [`VertexModel::infer`].
+    pub fn infer_into(&self, g: &Graph, scratch: &mut Scratch, out: &mut Matrix) {
+        let mut x = scratch.take(g.num_vertices(), g.label_dim());
+        features_into(g, &mut x);
+        let mut y = scratch.take(0, 0);
         for conv in &self.convs {
-            x = conv.infer(g, &x);
+            conv.infer_into(g, &x, scratch, &mut y);
+            std::mem::swap(&mut x, &mut y);
         }
-        self.head.infer(&x)
+        self.head.infer_into(&x, scratch, out);
+        scratch.put(x);
+        scratch.put(y);
     }
 
     /// Backward from per-vertex output gradients.
     pub fn backward(&mut self, g: &Graph, grad_out: &Matrix) {
-        let mut grad = self.head.backward(grad_out);
-        for conv in self.convs.iter_mut().rev() {
-            grad = conv.backward(g, &grad);
+        let mut grad = self.scratch.take(0, 0);
+        self.head.backward_into(grad_out, &mut self.scratch, &mut grad);
+        let mut tmp = self.scratch.take(0, 0);
+        for i in (0..self.convs.len()).rev() {
+            self.convs[i].backward_into(g, &grad, &mut self.scratch, &mut tmp);
+            std::mem::swap(&mut grad, &mut tmp);
         }
+        self.scratch.put(grad);
+        self.scratch.put(tmp);
     }
 }
 
@@ -137,6 +171,7 @@ pub struct GraphModel {
     /// Post-pooling head.
     pub head: Mlp,
     cache_n: usize,
+    scratch: Scratch,
 }
 
 impl GraphModel {
@@ -157,7 +192,7 @@ impl GraphModel {
             d = hidden;
         }
         let head = Mlp::new(&[d, hidden, out_dim], Activation::ReLU, out_act, Init::He, rng);
-        Self { convs, readout: Readout::Sum, head, cache_n: 0 }
+        Self { convs, readout: Readout::Sum, head, cache_n: 0, scratch: Scratch::new() }
     }
 
     /// A GNN-101 graph model with the chosen aggregator and readout.
@@ -178,47 +213,180 @@ impl GraphModel {
         }
         let head =
             Mlp::new(&[d, out_dim], Activation::Identity, Activation::Identity, Init::Xavier, rng);
-        Self { convs, readout, head, cache_n: 0 }
+        Self { convs, readout, head, cache_n: 0, scratch: Scratch::new() }
     }
 
     /// Forward with caching; returns a `1 × out_dim` row.
     pub fn forward(&mut self, g: &Graph) -> Matrix {
-        let mut x = features(g);
+        let mut out = Matrix::zeros(0, 0);
+        self.forward_into(g, &mut out);
+        out
+    }
+
+    /// Forward with caching into `out` (a `1 × out_dim` row), running
+    /// every kernel through the model-owned scratch pool — steady-state
+    /// calls allocate nothing. Bit-identical to [`GraphModel::forward`].
+    pub fn forward_into(&mut self, g: &Graph, out: &mut Matrix) {
+        let mut x = self.scratch.take(g.num_vertices(), g.label_dim());
+        features_into(g, &mut x);
+        let mut y = self.scratch.take(0, 0);
         for conv in &mut self.convs {
-            x = conv.forward(g, &x);
+            conv.forward_into(g, &x, &mut self.scratch, &mut y);
+            std::mem::swap(&mut x, &mut y);
         }
         self.cache_n = x.rows();
-        let pooled = pool(&x, self.readout);
-        self.head.forward(&pooled)
+        let mut pooled = self.scratch.take(1, x.cols());
+        pool_into(&x, self.readout, &mut pooled);
+        self.head.forward_into(&pooled, &mut self.scratch, out);
+        self.scratch.put(x);
+        self.scratch.put(y);
+        self.scratch.put(pooled);
     }
 
     /// Inference.
     pub fn infer(&self, g: &Graph) -> Matrix {
-        let mut x = features(g);
+        let mut scratch = Scratch::new();
+        let mut out = Matrix::zeros(0, 0);
+        self.infer_into(g, &mut scratch, &mut out);
+        out
+    }
+
+    /// Inference into `out` with temporaries from a caller-supplied
+    /// scratch pool; bit-identical to [`GraphModel::infer`].
+    pub fn infer_into(&self, g: &Graph, scratch: &mut Scratch, out: &mut Matrix) {
+        let mut x = scratch.take(g.num_vertices(), g.label_dim());
+        features_into(g, &mut x);
+        let mut y = scratch.take(0, 0);
         for conv in &self.convs {
-            x = conv.infer(g, &x);
+            conv.infer_into(g, &x, scratch, &mut y);
+            std::mem::swap(&mut x, &mut y);
         }
-        self.head.infer(&pool(&x, self.readout))
+        let mut pooled = scratch.take(1, x.cols());
+        pool_into(&x, self.readout, &mut pooled);
+        self.head.infer_into(&pooled, scratch, out);
+        scratch.put(x);
+        scratch.put(y);
+        scratch.put(pooled);
     }
 
     /// Backward from the graph-level gradient (`1 × out_dim`).
     pub fn backward(&mut self, g: &Graph, grad_out: &Matrix) {
-        let grad_pooled = self.head.backward(grad_out);
+        let mut grad_pooled = self.scratch.take(0, 0);
+        self.head.backward_into(grad_out, &mut self.scratch, &mut grad_pooled);
         let n = self.cache_n;
         let scale = match self.readout {
             Readout::Sum => 1.0,
             Readout::Mean => 1.0 / n.max(1) as f64,
         };
-        let mut grad_x = Matrix::zeros(n, grad_pooled.cols());
+        let mut grad = self.scratch.take(n, grad_pooled.cols());
         for i in 0..n {
-            for (gx, &gp) in grad_x.row_mut(i).iter_mut().zip(grad_pooled.row(0)) {
+            for (gx, &gp) in grad.row_mut(i).iter_mut().zip(grad_pooled.row(0)) {
                 *gx = gp * scale;
             }
         }
-        let mut grad = grad_x;
-        for conv in self.convs.iter_mut().rev() {
-            grad = conv.backward(g, &grad);
+        self.scratch.put(grad_pooled);
+        let mut tmp = self.scratch.take(0, 0);
+        for i in (0..self.convs.len()).rev() {
+            self.convs[i].backward_into(g, &grad, &mut self.scratch, &mut tmp);
+            std::mem::swap(&mut grad, &mut tmp);
         }
+        self.scratch.put(grad);
+        self.scratch.put(tmp);
+    }
+
+    /// Forward with caching over a packed corpus; row `i` of the
+    /// returned `B × out_dim` matrix equals `forward(member i)`, bit
+    /// for bit (message passing never crosses the block-diagonal
+    /// components; see `gel_graph::batch`).
+    pub fn forward_batched(&mut self, batch: &BatchedGraphs) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.forward_batched_into(batch, &mut out);
+        out
+    }
+
+    /// [`GraphModel::forward_batched`] into `out` — the zero-allocation
+    /// training path over a whole corpus.
+    pub fn forward_batched_into(&mut self, batch: &BatchedGraphs, out: &mut Matrix) {
+        let g = batch.graph();
+        let mut x = self.scratch.take(g.num_vertices(), g.label_dim());
+        features_into(g, &mut x);
+        let mut y = self.scratch.take(0, 0);
+        for conv in &mut self.convs {
+            conv.forward_into(g, &x, &mut self.scratch, &mut y);
+            std::mem::swap(&mut x, &mut y);
+        }
+        self.cache_n = x.rows();
+        let mut pooled = self.scratch.take(batch.num_graphs(), x.cols());
+        pool_segments_into(&x, batch, self.readout, &mut pooled);
+        self.head.forward_into(&pooled, &mut self.scratch, out);
+        self.scratch.put(x);
+        self.scratch.put(y);
+        self.scratch.put(pooled);
+    }
+
+    /// Batched inference: row `i` of the `B × out_dim` result equals
+    /// `infer(member i)` bit for bit.
+    pub fn infer_batched(&self, batch: &BatchedGraphs) -> Matrix {
+        let mut scratch = Scratch::new();
+        let mut out = Matrix::zeros(0, 0);
+        self.infer_batched_into(batch, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`GraphModel::infer_batched`] into `out` with temporaries from a
+    /// caller-supplied scratch pool.
+    pub fn infer_batched_into(
+        &self,
+        batch: &BatchedGraphs,
+        scratch: &mut Scratch,
+        out: &mut Matrix,
+    ) {
+        let g = batch.graph();
+        let mut x = scratch.take(g.num_vertices(), g.label_dim());
+        features_into(g, &mut x);
+        let mut y = scratch.take(0, 0);
+        for conv in &self.convs {
+            conv.infer_into(g, &x, scratch, &mut y);
+            std::mem::swap(&mut x, &mut y);
+        }
+        let mut pooled = scratch.take(batch.num_graphs(), x.cols());
+        pool_segments_into(&x, batch, self.readout, &mut pooled);
+        self.head.infer_into(&pooled, scratch, out);
+        scratch.put(x);
+        scratch.put(y);
+        scratch.put(pooled);
+    }
+
+    /// Backward from per-graph gradients (`B × out_dim`) after
+    /// [`GraphModel::forward_batched`]. Per-member gradients broadcast
+    /// to that member's vertex block only (scaled by `1/n_i` for mean
+    /// readout), then the conv stack backpropagates over the packed
+    /// graph.
+    pub fn backward_batched(&mut self, batch: &BatchedGraphs, grad_out: &Matrix) {
+        assert_eq!(grad_out.rows(), batch.num_graphs(), "one gradient row per member graph");
+        let mut grad_pooled = self.scratch.take(0, 0);
+        self.head.backward_into(grad_out, &mut self.scratch, &mut grad_pooled);
+        let mut grad = self.scratch.take(self.cache_n, grad_pooled.cols());
+        for i in 0..batch.num_graphs() {
+            let scale = match self.readout {
+                Readout::Sum => 1.0,
+                Readout::Mean => 1.0 / batch.graph_size(i).max(1) as f64,
+            };
+            for v in batch.vertex_range(i) {
+                for (gx, &gp) in grad.row_mut(v).iter_mut().zip(grad_pooled.row(i)) {
+                    *gx = gp * scale;
+                }
+            }
+        }
+        self.scratch.put(grad_pooled);
+        let g = batch.graph();
+        let mut tmp = self.scratch.take(0, 0);
+        for i in (0..self.convs.len()).rev() {
+            self.convs[i].backward_into(g, &grad, &mut self.scratch, &mut tmp);
+            std::mem::swap(&mut grad, &mut tmp);
+        }
+        self.scratch.put(grad);
+        self.scratch.put(tmp);
     }
 }
 
@@ -237,16 +405,52 @@ pub fn features(g: &Graph) -> Matrix {
     Matrix::from_vec(g.num_vertices(), g.label_dim(), g.labels_flat().to_vec())
 }
 
-fn pool(x: &Matrix, readout: Readout) -> Matrix {
-    let sums = x.column_sums();
-    let row = match readout {
-        Readout::Sum => sums,
-        Readout::Mean => {
-            let n = x.rows().max(1) as f64;
-            sums.into_iter().map(|s| s / n).collect()
+/// [`features`] into `out` (reshaped as needed) — no allocation once
+/// `out` has capacity.
+pub fn features_into(g: &Graph, out: &mut Matrix) {
+    out.ensure_shape(g.num_vertices(), g.label_dim());
+    out.data_mut().copy_from_slice(g.labels_flat());
+}
+
+/// Pools all rows of `x` into `out` (a `1 × cols` row). Sum readout
+/// accumulates rows in ascending order, exactly like `column_sums`;
+/// mean divides each sum by `n` afterwards — the same `s / n` the
+/// allocating path performed.
+fn pool_into(x: &Matrix, readout: Readout, out: &mut Matrix) {
+    out.ensure_shape(1, x.cols());
+    x.column_sums_into(out.row_mut(0));
+    if readout == Readout::Mean {
+        let n = x.rows().max(1) as f64;
+        for o in out.row_mut(0) {
+            *o /= n;
         }
-    };
-    Matrix::row_vector(&row)
+    }
+}
+
+/// Segment-pools the packed feature matrix `x` into one row per member
+/// graph of `batch`. Row `i` of `out` sums (or averages) exactly the
+/// rows `batch.vertex_range(i)` of `x`, in the same ascending order a
+/// per-graph `column_sums` would visit them, so batched pooling is
+/// bit-identical to pooling each member separately.
+pub fn pool_segments_into(x: &Matrix, batch: &BatchedGraphs, readout: Readout, out: &mut Matrix) {
+    assert_eq!(x.rows(), batch.total_vertices(), "packed rows must cover the batch");
+    let cols = x.cols();
+    out.ensure_shape(batch.num_graphs(), cols);
+    for i in 0..batch.num_graphs() {
+        let row = out.row_mut(i);
+        row.fill(0.0);
+        for v in batch.vertex_range(i) {
+            for (o, &xv) in row.iter_mut().zip(x.row(v)) {
+                *o += xv;
+            }
+        }
+        if readout == Readout::Mean {
+            let n = batch.graph_size(i).max(1) as f64;
+            for o in row {
+                *o /= n;
+            }
+        }
+    }
 }
 
 #[cfg(test)]

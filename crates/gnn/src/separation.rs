@@ -9,7 +9,7 @@
 //! overwhelming probability — the standard empirical protocol in the
 //! GNN expressiveness literature.
 
-use gel_graph::Graph;
+use gel_graph::{BatchedGraphs, Graph};
 use gel_tensor::Activation;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -44,14 +44,55 @@ impl Default for SeparationConfig {
 
 /// True iff some random GNN-101 from the configured family produces
 /// different outputs on `g` and `h`.
+///
+/// The pair is packed once into a block-diagonal [`BatchedGraphs`] and
+/// each probe runs *one* batched inference over it instead of two
+/// per-graph passes. Batched inference is bit-identical to per-graph
+/// inference (message passing never crosses components), so the answer
+/// equals [`gnn_separates_per_graph`]'s on every input.
 pub fn gnn_separates(g: &Graph, h: &Graph, cfg: &SeparationConfig) -> bool {
     assert_eq!(g.label_dim(), h.label_dim(), "graphs must share a label space to be compared");
     let layers = cfg.layers.unwrap_or_else(|| g.num_vertices().max(h.num_vertices()));
+    let pair = BatchedGraphs::pack([g, h]);
     // Each trial derives its own RNG from (seed, trial index), so the
     // set of probed models — and therefore the answer — is the same at
     // any thread count. Trials run in batches with a parallel `any`
     // inside each batch and an early exit between batches, preserving
     // the serial loop's cheap exits on easily-separated pairs.
+    let probe = |t: usize| {
+        let mut rng =
+            StdRng::seed_from_u64(cfg.seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let model = GraphModel::gnn101(
+            g.label_dim(),
+            cfg.hidden,
+            layers,
+            cfg.hidden,
+            cfg.agg,
+            Readout::Sum,
+            &mut rng,
+        );
+        let out = model.infer_batched(&pair);
+        out.row(0).iter().zip(out.row(1)).any(|(a, b)| (a - b).abs() > cfg.tol)
+    };
+    let batch = rayon::current_num_threads().max(1);
+    let mut t = 0;
+    while t < cfg.trials {
+        let hi = (t + batch).min(cfg.trials);
+        if (t..hi).into_par_iter().any(probe) {
+            return true;
+        }
+        t = hi;
+    }
+    false
+}
+
+/// The pre-batching formulation of [`gnn_separates`]: two per-graph
+/// inference passes per probe. Kept public as the reference
+/// implementation for equivalence tests and for the batched-vs-unbatched
+/// benchmark comparison.
+pub fn gnn_separates_per_graph(g: &Graph, h: &Graph, cfg: &SeparationConfig) -> bool {
+    assert_eq!(g.label_dim(), h.label_dim(), "graphs must share a label space to be compared");
+    let layers = cfg.layers.unwrap_or_else(|| g.num_vertices().max(h.num_vertices()));
     let probe = |t: usize| {
         let mut rng =
             StdRng::seed_from_u64(cfg.seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
@@ -140,6 +181,22 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let h = g.permute(&random_permutation(7, &mut rng));
         assert!(!gnn101_class_separates(&g, &h, 6), "isomorphic graphs are never separated");
+    }
+
+    #[test]
+    fn batched_probe_agrees_with_per_graph() {
+        let pairs =
+            [(star(4), path(5)), (cycle(5), cycle(6)), (circular_ladder(6), moebius_ladder(6))];
+        for agg in [GnnAgg::Sum, GnnAgg::Mean, GnnAgg::Max] {
+            let cfg = SeparationConfig { agg, trials: 8, seed: 11, ..Default::default() };
+            for (a, b) in &pairs {
+                assert_eq!(
+                    gnn_separates(a, b, &cfg),
+                    gnn_separates_per_graph(a, b, &cfg),
+                    "batched and per-graph probes disagree"
+                );
+            }
+        }
     }
 
     #[test]

@@ -3,8 +3,8 @@
 //! loss `L`, find `argmin_ξ 1/|T| Σ L(ξ(G_i, v̄_i), Ψ(G_i, v̄_i))` by
 //! gradient descent.
 
-use gel_graph::{Graph, Vertex};
-use gel_tensor::{accuracy, Loss, Matrix, Optimizer, Parameterized};
+use gel_graph::{BatchedGraphs, Graph, Vertex};
+use gel_tensor::{accuracy, Loss, Matrix, Optimizer, Parameterized, Scratch};
 
 use crate::models::{GraphModel, VertexModel};
 
@@ -38,18 +38,50 @@ pub fn train_graph_model(
     // per-example stepping for the small training sets used here.
     let mut log = TrainLog::default();
     let m = data.len().max(1) as f64;
+    let inv_m = 1.0 / m;
+    let (mut pred, mut t, mut grad) = (Matrix::default(), Matrix::default(), Matrix::default());
     for _ in 0..epochs {
         model.zero_grads();
         let mut total = 0.0;
         for (g, target) in data {
-            let pred = model.forward(g);
-            let t = Matrix::row_vector(target);
-            let (l, grad) = loss.eval(&pred, &t);
-            model.backward(g, &grad.scale(1.0 / m));
+            model.forward_into(g, &mut pred);
+            t.ensure_shape(1, target.len());
+            t.row_mut(0).copy_from_slice(target);
+            let l = loss.eval_into(&pred, &t, &mut grad);
+            grad.map_inplace(|x| x * inv_m);
+            model.backward(g, &grad);
             total += l;
         }
         opt.step(model);
         log.losses.push(total / m);
+    }
+    log
+}
+
+/// [`train_graph_model`] over a pre-packed corpus: one forward/backward
+/// over the block-diagonal graph per epoch instead of one per example.
+/// Row `i` of `targets` is the target for member graph `i`. Computes
+/// the same ERM objective (losses average over the batch dimension), so
+/// it converges to the same solutions; per-element gradients are
+/// mathematically equal to the per-graph path's `grad / m`.
+pub fn train_graph_model_batched(
+    model: &mut GraphModel,
+    batch: &BatchedGraphs,
+    targets: &Matrix,
+    loss: Loss,
+    opt: &mut dyn Optimizer,
+    epochs: usize,
+) -> TrainLog {
+    assert_eq!(targets.rows(), batch.num_graphs(), "one target row per member graph");
+    let mut log = TrainLog::default();
+    let (mut pred, mut grad) = (Matrix::default(), Matrix::default());
+    for _ in 0..epochs {
+        model.zero_grads();
+        model.forward_batched_into(batch, &mut pred);
+        let l = loss.eval_into(&pred, targets, &mut grad);
+        model.backward_batched(batch, &grad);
+        opt.step(model);
+        log.losses.push(l);
     }
     log
 }
@@ -61,20 +93,49 @@ pub fn eval_graph_accuracy(model: &GraphModel, data: &[(Graph, Vec<f64>)]) -> f6
     if data.is_empty() {
         return 0.0;
     }
+    let mut scratch = Scratch::new();
+    let mut pred = Matrix::default();
     let mut hits = 0usize;
     for (g, target) in data {
-        let pred = model.infer(g);
-        let ok = if target.len() == 1 {
-            (pred[(0, 0)] >= 0.0) == (target[0] >= 0.5)
-        } else {
-            let am = |r: &[f64]| {
-                r.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0
-            };
-            am(pred.row(0)) == am(target)
-        };
-        hits += usize::from(ok);
+        model.infer_into(g, &mut scratch, &mut pred);
+        hits += usize::from(prediction_hits(pred.row(0), target));
     }
     hits as f64 / data.len() as f64
+}
+
+/// [`eval_graph_accuracy`] over a pre-packed corpus; row `i` of
+/// `targets` is the target of member graph `i`. One batched inference
+/// pass replaces the per-graph loop; the per-row predictions are bit
+/// for bit those of [`GraphModel::infer`], so the accuracy matches
+/// exactly.
+pub fn eval_graph_accuracy_batched(
+    model: &GraphModel,
+    batch: &BatchedGraphs,
+    targets: &Matrix,
+) -> f64 {
+    assert_eq!(targets.rows(), batch.num_graphs(), "one target row per member graph");
+    if batch.num_graphs() == 0 {
+        return 0.0;
+    }
+    let mut scratch = Scratch::new();
+    let mut pred = Matrix::default();
+    model.infer_batched_into(batch, &mut scratch, &mut pred);
+    let hits =
+        (0..batch.num_graphs()).filter(|&i| prediction_hits(pred.row(i), targets.row(i))).count();
+    hits as f64 / batch.num_graphs() as f64
+}
+
+/// Shared hit rule: zero-threshold on the logit for 1-dim targets
+/// (paired with [`Loss::BceWithLogits`]), argmax agreement otherwise.
+fn prediction_hits(pred: &[f64], target: &[f64]) -> bool {
+    if target.len() == 1 {
+        (pred[0] >= 0.0) == (target[0] >= 0.5)
+    } else {
+        let am = |r: &[f64]| {
+            r.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0
+        };
+        am(pred) == am(target)
+    }
 }
 
 /// Semi-supervised node classification (slide 16's second example:
@@ -90,20 +151,26 @@ pub fn train_node_classifier(
 ) -> TrainLog {
     assert_eq!(targets.rows(), g.num_vertices(), "one target row per vertex");
     let mut log = TrainLog::default();
+    let mut pred = Matrix::default();
+    let mut masked_pred = Matrix::default();
+    let mut masked_tgt = Matrix::default();
+    let mut grad_masked = Matrix::default();
+    let mut grad = Matrix::default();
     for _ in 0..epochs {
         model.zero_grads();
-        let pred = model.forward(g);
-        // Masked softmax cross entropy: build masked matrices.
+        model.forward_into(g, &mut pred);
+        // Masked softmax cross entropy: gather the training rows.
         let m = train_mask.len().max(1);
-        let mut masked_pred = Matrix::zeros(m, pred.cols());
-        let mut masked_tgt = Matrix::zeros(m, pred.cols());
+        masked_pred.ensure_shape(m, pred.cols());
+        masked_tgt.ensure_shape(m, pred.cols());
         for (i, &v) in train_mask.iter().enumerate() {
             masked_pred.set_row(i, pred.row(v as usize));
             masked_tgt.set_row(i, targets.row(v as usize));
         }
-        let (l, grad_masked) = Loss::SoftmaxCrossEntropy.eval(&masked_pred, &masked_tgt);
+        let l = Loss::SoftmaxCrossEntropy.eval_into(&masked_pred, &masked_tgt, &mut grad_masked);
         // Scatter gradients back to the full vertex set.
-        let mut grad = Matrix::zeros(pred.rows(), pred.cols());
+        grad.ensure_shape(pred.rows(), pred.cols());
+        grad.fill(0.0);
         for (i, &v) in train_mask.iter().enumerate() {
             grad.set_row(v as usize, grad_masked.row(i));
         }
@@ -213,15 +280,19 @@ pub fn train_vertex_regression(
     // Full-batch, like `train_graph_model`.
     let mut log = TrainLog::default();
     let m = data.len().max(1) as f64;
+    let inv_m = 1.0 / m;
+    let (mut pred, mut t, mut grad) = (Matrix::default(), Matrix::default(), Matrix::default());
     for _ in 0..epochs {
         model.zero_grads();
         let mut total = 0.0;
         for (g, target) in data {
-            let pred = model.forward(g);
+            model.forward_into(g, &mut pred);
             assert_eq!(pred.cols(), 1, "regression expects 1-dim output");
-            let t = Matrix::from_vec(target.len(), 1, target.clone());
-            let (l, grad) = Loss::Mse.eval(&pred, &t);
-            model.backward(g, &grad.scale(1.0 / m));
+            t.ensure_shape(target.len(), 1);
+            t.data_mut().copy_from_slice(target);
+            let l = Loss::Mse.eval_into(&pred, &t, &mut grad);
+            grad.map_inplace(|x| x * inv_m);
+            model.backward(g, &grad);
             total += l;
         }
         opt.step(model);
@@ -230,15 +301,84 @@ pub fn train_vertex_regression(
     log
 }
 
+/// [`train_vertex_regression`] over a pre-packed corpus. `targets` is
+/// the `total_vertices × 1` row-stack of the member targets. The loss
+/// keeps the per-graph normalization of the unbatched path — member
+/// `i` contributes `(1/n_i) Σ_{v ∈ G_i} d_v²` and its vertices receive
+/// gradient `2 d_v / n_i / m` — so the objective optimized is the same.
+pub fn train_vertex_regression_batched(
+    model: &mut VertexModel,
+    batch: &BatchedGraphs,
+    targets: &Matrix,
+    opt: &mut dyn Optimizer,
+    epochs: usize,
+) -> TrainLog {
+    assert_eq!(targets.rows(), batch.total_vertices(), "one target row per packed vertex");
+    assert_eq!(targets.cols(), 1, "regression expects 1-dim output");
+    let mut log = TrainLog::default();
+    let m = batch.num_graphs().max(1) as f64;
+    let g = batch.graph();
+    let (mut pred, mut grad) = (Matrix::default(), Matrix::default());
+    for _ in 0..epochs {
+        model.zero_grads();
+        model.forward_into(g, &mut pred);
+        assert_eq!(pred.cols(), 1, "regression expects 1-dim output");
+        grad.ensure_shape(pred.rows(), 1);
+        let mut total = 0.0;
+        for i in 0..batch.num_graphs() {
+            let inv_n = 1.0 / batch.graph_size(i).max(1) as f64;
+            let mut l = 0.0;
+            for v in batch.vertex_range(i) {
+                let d = pred[(v, 0)] - targets[(v, 0)];
+                l += d * d;
+                grad[(v, 0)] = 2.0 * d * inv_n / m;
+            }
+            total += l * inv_n;
+        }
+        model.backward(g, &grad);
+        opt.step(model);
+        log.losses.push(total / m);
+    }
+    log
+}
+
 /// Mean squared error of a vertex regression model over a dataset.
 pub fn eval_vertex_mse(model: &VertexModel, data: &[(Graph, Vec<f64>)]) -> f64 {
+    let mut scratch = Scratch::new();
+    let (mut pred, mut t, mut grad) = (Matrix::default(), Matrix::default(), Matrix::default());
     let mut total = 0.0;
     for (g, target) in data {
-        let pred = model.infer(g);
-        let t = Matrix::from_vec(target.len(), 1, target.clone());
-        total += Loss::Mse.eval(&pred, &t).0;
+        model.infer_into(g, &mut scratch, &mut pred);
+        t.ensure_shape(target.len(), 1);
+        t.data_mut().copy_from_slice(target);
+        total += Loss::Mse.eval_into(&pred, &t, &mut grad);
     }
     total / data.len().max(1) as f64
+}
+
+/// [`eval_vertex_mse`] over a pre-packed corpus (`targets` as in
+/// [`train_vertex_regression_batched`]): the mean over member graphs of
+/// each member's per-vertex MSE, from one batched inference pass.
+pub fn eval_vertex_mse_batched(
+    model: &VertexModel,
+    batch: &BatchedGraphs,
+    targets: &Matrix,
+) -> f64 {
+    assert_eq!(targets.rows(), batch.total_vertices(), "one target row per packed vertex");
+    let mut scratch = Scratch::new();
+    let mut pred = Matrix::default();
+    model.infer_into(batch.graph(), &mut scratch, &mut pred);
+    let mut total = 0.0;
+    for i in 0..batch.num_graphs() {
+        let inv_n = 1.0 / batch.graph_size(i).max(1) as f64;
+        let mut l = 0.0;
+        for v in batch.vertex_range(i) {
+            let d = pred[(v, 0)] - targets[(v, 0)];
+            l += d * d;
+        }
+        total += l * inv_n;
+    }
+    total / batch.num_graphs().max(1) as f64
 }
 
 #[cfg(test)]

@@ -17,6 +17,14 @@
 //! paper's recipe bounds the class by folklore 2-WL, and random
 //! weights attain the bound — the tests pin both sides on the hard
 //! pairs.
+//!
+//! **Not block-diagonal batchable.** Unlike the MPNN models, the
+//! folklore update's `Σ_w` ranges over *all* vertices of the graph —
+//! including non-neighbours — so packing two graphs into one
+//! disjoint-union graph changes every message (the substitution sum
+//! would suddenly range over both members' vertices). `TupleGnn` is
+//! therefore excluded from `BatchedGraphs` batching and instead gets
+//! the buffer-reuse (`_into`) treatment only.
 
 use gel_graph::Graph;
 use gel_tensor::{Activation, Init, Matrix, Param, Parameterized};
@@ -26,10 +34,19 @@ use rand::Rng;
 /// with both directions for asymmetric graphs) concatenated with the
 /// endpoint labels — the slide-65 atomic colouring, vectorized.
 pub fn pair_features(g: &Graph) -> Matrix {
+    let mut x = Matrix::default();
+    pair_features_into(g, &mut x);
+    x
+}
+
+/// [`pair_features`] into `x` (reshaped as needed) — no allocation once
+/// `x` has capacity.
+pub fn pair_features_into(g: &Graph, x: &mut Matrix) {
     let n = g.num_vertices();
     let d = g.label_dim();
     let dim = 4 + 2 * d;
-    let mut x = Matrix::zeros(n * n, dim);
+    x.ensure_shape(n * n, dim);
+    x.fill(0.0);
     for u in 0..n as u32 {
         for v in 0..n as u32 {
             let row = x.row_mut(u as usize * n + v as usize);
@@ -47,7 +64,6 @@ pub fn pair_features(g: &Graph) -> Matrix {
             row[4 + d..4 + 2 * d].copy_from_slice(g.label(v));
         }
     }
-    x
 }
 
 /// Dimension of [`pair_features`] for label dimension `d`.
@@ -71,7 +87,11 @@ pub struct TupleConv {
     /// Inner σ applied per substitution (fixed to `tanh`: bounded, so
     /// deep stacks stay numerically tame).
     pub msg_activation: Activation,
-    cache: Option<(Matrix, Matrix)>, // (x, pre)
+    cache_x: Matrix,
+    cache_pre: Matrix,
+    cache_valid: bool,
+    msg_buf: Matrix,
+    delta_buf: Matrix,
 }
 
 impl TupleConv {
@@ -84,16 +104,22 @@ impl TupleConv {
             b: Param::new(Matrix::zeros(1, d_out)),
             activation,
             msg_activation: Activation::Tanh,
-            cache: None,
+            cache_x: Matrix::default(),
+            cache_pre: Matrix::default(),
+            cache_valid: false,
+            msg_buf: Matrix::default(),
+            delta_buf: Matrix::default(),
         }
     }
 
     /// The coupled folklore message
-    /// `M(u,v) = Σ_w σ₁([H(w,v) ‖ H(u,w)]·W₁ + b₁)` (`n² × d_out`).
-    fn messages(&self, n: usize, x: &Matrix) -> Matrix {
+    /// `M(u,v) = Σ_w σ₁([H(w,v) ‖ H(u,w)]·W₁ + b₁)` (`n² × d_out`),
+    /// written into `msg` (reshaped as needed).
+    fn messages_into(&self, n: usize, x: &Matrix, msg: &mut Matrix) {
         let d = x.cols();
         let d_out = self.w_msg.value.cols();
-        let mut msg = Matrix::zeros(n * n, d_out);
+        msg.ensure_shape(n * n, d_out);
+        msg.fill(0.0);
         let mut input = vec![0.0; 2 * d];
         let mut z = vec![0.0; d_out];
         for u in 0..n {
@@ -110,7 +136,6 @@ impl TupleConv {
                 }
             }
         }
-        msg
     }
 
     /// `z = input·W₁ + b₁`.
@@ -128,19 +153,30 @@ impl TupleConv {
 
     /// Forward over the `n² × d_in` pair features.
     pub fn forward(&mut self, n: usize, x: &Matrix) -> Matrix {
-        assert_eq!(x.rows(), n * n, "pair features must be n² rows");
-        let msg = self.messages(n, x);
-        let mut pre = x.matmul(&self.w_self.value);
-        pre += &msg;
-        pre.add_row_broadcast(self.b.value.row(0));
-        let out = self.activation.apply_matrix(&pre);
-        self.cache = Some((x.clone(), pre));
+        let mut out = Matrix::default();
+        self.forward_into(n, x, &mut out);
         out
+    }
+
+    /// [`TupleConv::forward`] into `out`, reusing the layer-owned cache
+    /// and message buffers — steady-state calls allocate nothing.
+    pub fn forward_into(&mut self, n: usize, x: &Matrix, out: &mut Matrix) {
+        assert_eq!(x.rows(), n * n, "pair features must be n² rows");
+        let mut msg = std::mem::take(&mut self.msg_buf);
+        self.messages_into(n, x, &mut msg);
+        self.cache_x.copy_from(x);
+        x.matmul_into(&self.w_self.value, &mut self.cache_pre);
+        self.cache_pre += &msg;
+        self.msg_buf = msg;
+        self.cache_pre.add_row_broadcast(self.b.value.row(0));
+        self.activation.apply_matrix_into(&self.cache_pre, out);
+        self.cache_valid = true;
     }
 
     /// Inference without caching.
     pub fn infer(&self, n: usize, x: &Matrix) -> Matrix {
-        let msg = self.messages(n, x);
+        let mut msg = Matrix::default();
+        self.messages_into(n, x, &mut msg);
         let mut pre = x.matmul(&self.w_self.value);
         pre += &msg;
         pre.add_row_broadcast(self.b.value.row(0));
@@ -151,16 +187,29 @@ impl TupleConv {
     /// pre-activations from the cached input instead of storing all n³
     /// of them.
     pub fn backward(&mut self, n: usize, grad_out: &Matrix) -> Matrix {
-        let (x, pre) = self.cache.take().expect("backward before forward");
-        let act = self.activation;
-        let delta = Matrix::from_fn(grad_out.rows(), grad_out.cols(), |i, j| {
-            grad_out[(i, j)] * act.derivative(pre[(i, j)])
-        });
-        self.w_self.grad += &x.t_matmul(&delta);
-        for (gb, &dcol) in self.b.grad.data_mut().iter_mut().zip(delta.column_sums().iter()) {
+        let mut grad_x = Matrix::default();
+        self.backward_into(n, grad_out, &mut grad_x);
+        grad_x
+    }
+
+    /// [`TupleConv::backward`] into `grad_x`, reusing layer-owned
+    /// buffers.
+    pub fn backward_into(&mut self, n: usize, grad_out: &Matrix, grad_x: &mut Matrix) {
+        assert!(self.cache_valid, "backward before forward");
+        self.cache_valid = false;
+        let x = std::mem::take(&mut self.cache_x);
+        let mut delta = std::mem::take(&mut self.delta_buf);
+        self.activation.backprop_delta_into(&self.cache_pre, grad_out, &mut delta);
+        let mut prod = std::mem::take(&mut self.msg_buf);
+        x.t_matmul_into(&delta, &mut prod);
+        self.w_self.grad += &prod;
+        prod.ensure_shape(1, delta.cols());
+        delta.column_sums_into(prod.row_mut(0));
+        for (gb, &dcol) in self.b.grad.data_mut().iter_mut().zip(prod.row(0)) {
             *gb += dcol;
         }
-        let mut grad_x = delta.matmul_t(&self.w_self.value);
+        self.msg_buf = prod;
+        delta.matmul_t_into(&self.w_self.value, grad_x);
 
         // Message path.
         let d = x.cols();
@@ -205,7 +254,8 @@ impl TupleConv {
                 }
             }
         }
-        grad_x
+        self.cache_x = x;
+        self.delta_buf = delta;
     }
 }
 
@@ -226,7 +276,10 @@ pub struct TupleGnn {
     /// Head weights (`d × out_dim`).
     pub head: Param,
     cache_n: usize,
-    head_cache: Option<Matrix>,
+    pooled: Matrix,
+    pooled_valid: bool,
+    buf_x: Matrix,
+    buf_y: Matrix,
 }
 
 impl TupleGnn {
@@ -249,7 +302,10 @@ impl TupleGnn {
             convs,
             head: Param::new(Init::Xavier.matrix(d, out_dim, rng)),
             cache_n: 0,
-            head_cache: None,
+            pooled: Matrix::default(),
+            pooled_valid: false,
+            buf_x: Matrix::default(),
+            buf_y: Matrix::default(),
         }
     }
 
@@ -265,33 +321,52 @@ impl TupleGnn {
 
     /// Forward with caching.
     pub fn forward(&mut self, g: &Graph) -> Matrix {
+        let mut out = Matrix::default();
+        self.forward_into(g, &mut out);
+        out
+    }
+
+    /// [`TupleGnn::forward`] into `out`, ping-ponging between two
+    /// model-owned buffers — steady-state calls allocate nothing.
+    pub fn forward_into(&mut self, g: &Graph, out: &mut Matrix) {
         let n = g.num_vertices();
         self.cache_n = n;
-        let mut x = pair_features(g);
+        let mut x = std::mem::take(&mut self.buf_x);
+        let mut y = std::mem::take(&mut self.buf_y);
+        pair_features_into(g, &mut x);
         for conv in &mut self.convs {
-            x = conv.forward(n, &x);
+            conv.forward_into(n, &x, &mut y);
+            std::mem::swap(&mut x, &mut y);
         }
-        let pooled = Matrix::row_vector(&x.column_sums());
-        let out = pooled.matmul(&self.head.value);
-        self.head_cache = Some(pooled);
-        out
+        self.pooled.ensure_shape(1, x.cols());
+        x.column_sums_into(self.pooled.row_mut(0));
+        self.pooled.matmul_into(&self.head.value, out);
+        self.pooled_valid = true;
+        self.buf_x = x;
+        self.buf_y = y;
     }
 
     /// Backward from the graph-level gradient.
     pub fn backward(&mut self, grad_out: &Matrix) {
         let n = self.cache_n;
-        let pooled = self.head_cache.take().expect("backward before forward");
-        self.head.grad += &pooled.t_matmul(grad_out);
-        let grad_pooled = grad_out.matmul_t(&self.head.value);
-        let d = grad_pooled.cols();
-        let mut grad_x = Matrix::zeros(n * n, d);
+        assert!(self.pooled_valid, "backward before forward");
+        self.pooled_valid = false;
+        let mut grad = std::mem::take(&mut self.buf_x);
+        let mut tmp = std::mem::take(&mut self.buf_y);
+        self.pooled.t_matmul_into(grad_out, &mut tmp);
+        self.head.grad += &tmp;
+        grad_out.matmul_t_into(&self.head.value, &mut tmp);
+        let d = tmp.cols();
+        grad.ensure_shape(n * n, d);
         for i in 0..n * n {
-            grad_x.row_mut(i).copy_from_slice(grad_pooled.row(0));
+            grad.row_mut(i).copy_from_slice(tmp.row(0));
         }
-        let mut grad = grad_x;
-        for conv in self.convs.iter_mut().rev() {
-            grad = conv.backward(n, &grad);
+        for i in (0..self.convs.len()).rev() {
+            self.convs[i].backward_into(n, &grad, &mut tmp);
+            std::mem::swap(&mut grad, &mut tmp);
         }
+        self.buf_x = grad;
+        self.buf_y = tmp;
     }
 }
 

@@ -23,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod cfi;
 pub mod datasets;
 pub mod families;
@@ -32,6 +33,7 @@ pub mod iso;
 pub mod random;
 pub mod typed;
 
+pub use batch::BatchedGraphs;
 pub use cfi::{cfi_graph, cfi_pair, cfi_pair_k4, CfiVariant};
 pub use graph::{Graph, GraphBuilder, Vertex};
 pub use iso::{are_isomorphic, find_isomorphism, verify_isomorphism};

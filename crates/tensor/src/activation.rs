@@ -97,6 +97,23 @@ impl Activation {
         m.map(|x| self.apply(x))
     }
 
+    /// Applies the activation elementwise into `out`; bit-identical to
+    /// [`Activation::apply_matrix`].
+    pub fn apply_matrix_into(self, m: &Matrix, out: &mut Matrix) {
+        m.map_into(|x| self.apply(x), out);
+    }
+
+    /// Backprop delta `δ = grad_out ⊙ σ'(pre)` written into `delta`.
+    /// Elementwise in row-major order — bit-identical to the
+    /// `Matrix::from_fn` formulation the layers used before.
+    pub fn backprop_delta_into(self, pre: &Matrix, grad_out: &Matrix, delta: &mut Matrix) {
+        assert_eq!(pre.shape(), grad_out.shape(), "grad shape mismatch");
+        delta.ensure_shape(pre.rows(), pre.cols());
+        for ((d, &g), &p) in delta.data_mut().iter_mut().zip(grad_out.data()).zip(pre.data()) {
+            *d = g * self.derivative(p);
+        }
+    }
+
     /// True when the function is usable for gradient training.
     pub fn is_differentiable(self) -> bool {
         !matches!(self, Activation::Sign | Activation::Step)

@@ -6,6 +6,7 @@ use crate::activation::Activation;
 use crate::init::Init;
 use crate::matrix::Matrix;
 use crate::param::{Param, Parameterized};
+use crate::scratch::Scratch;
 
 /// A dense (fully connected) layer.
 ///
@@ -67,19 +68,33 @@ impl Dense {
 
     /// Forward pass; caches activations for backward.
     pub fn forward(&mut self, x: &Matrix) -> Matrix {
-        let mut pre = x.matmul(&self.w.value);
-        pre.add_row_broadcast(self.b.value.row(0));
-        let out = self.activation.apply_matrix(&pre);
-        self.cached_input = Some(x.clone());
-        self.cached_pre = Some(pre);
+        let mut out = Matrix::zeros(x.rows(), self.out_dim());
+        self.forward_into(x, &mut out);
         out
+    }
+
+    /// Forward pass into `out`, reusing the layer's persistent caches —
+    /// steady-state calls allocate nothing. Bit-identical to
+    /// [`Dense::forward`].
+    pub fn forward_into(&mut self, x: &Matrix, out: &mut Matrix) {
+        let cache_x = self.cached_input.get_or_insert_with(|| Matrix::zeros(0, 0));
+        cache_x.copy_from(x);
+        let pre = self.cached_pre.get_or_insert_with(|| Matrix::zeros(0, 0));
+        x.matmul_into(&self.w.value, pre);
+        pre.add_bias_activate_into(self.b.value.row(0), self.activation, out);
     }
 
     /// Forward without caching (inference only).
     pub fn infer(&self, x: &Matrix) -> Matrix {
-        let mut pre = x.matmul(&self.w.value);
-        pre.add_row_broadcast(self.b.value.row(0));
-        self.activation.apply_matrix(&pre)
+        let mut out = Matrix::zeros(x.rows(), self.out_dim());
+        self.infer_into(x, &mut out);
+        out
+    }
+
+    /// Inference into `out` via the fused affine+activation kernel;
+    /// bit-identical to [`Dense::infer`].
+    pub fn infer_into(&self, x: &Matrix, out: &mut Matrix) {
+        x.matmul_bias_act_into(&self.w.value, self.b.value.row(0), self.activation, out);
     }
 
     /// Backward pass: given `∂L/∂Y`, accumulates `∂L/∂W`, `∂L/∂b` and
@@ -88,23 +103,44 @@ impl Dense {
     /// # Panics
     /// Panics if called before `forward`.
     pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let mut scratch = Scratch::new();
+        let mut grad_in = Matrix::zeros(0, 0);
+        self.backward_into(grad_out, &mut scratch, &mut grad_in);
+        grad_in
+    }
+
+    /// Backward pass into `grad_in` with temporaries borrowed from
+    /// `scratch` — steady-state calls allocate nothing. Bit-identical
+    /// to [`Dense::backward`]: each gradient product is computed into a
+    /// scratch buffer with the same kernel and then `+=`d, preserving
+    /// the accumulation order of the allocating path.
+    pub fn backward_into(
+        &mut self,
+        grad_out: &Matrix,
+        scratch: &mut Scratch,
+        grad_in: &mut Matrix,
+    ) {
         let x = self.cached_input.as_ref().expect("backward before forward");
         let pre = self.cached_pre.as_ref().expect("backward before forward");
         assert_eq!(grad_out.shape(), pre.shape(), "grad shape mismatch");
 
         // δ = grad_out ⊙ σ'(pre)
-        let act = self.activation;
-        let delta = Matrix::from_fn(pre.rows(), pre.cols(), |i, j| {
-            grad_out[(i, j)] * act.derivative(pre[(i, j)])
-        });
+        let mut delta = scratch.take(pre.rows(), pre.cols());
+        self.activation.backprop_delta_into(pre, grad_out, &mut delta);
 
         // ∂L/∂W = Xᵀ δ ; ∂L/∂b = column sums of δ ; ∂L/∂X = δ Wᵀ
-        self.w.grad += &x.t_matmul(&delta);
-        let bias_grad = delta.column_sums();
-        for (g, &d) in self.b.grad.data_mut().iter_mut().zip(&bias_grad) {
+        let mut prod = scratch.take(self.w.value.rows(), self.w.value.cols());
+        x.t_matmul_into(&delta, &mut prod);
+        self.w.grad += &prod;
+        let mut bias = scratch.take(1, delta.cols());
+        delta.column_sums_into(bias.row_mut(0));
+        for (g, &d) in self.b.grad.data_mut().iter_mut().zip(bias.row(0)) {
             *g += d;
         }
-        delta.matmul_t(&self.w.value)
+        delta.matmul_t_into(&self.w.value, grad_in);
+        scratch.put(delta);
+        scratch.put(prod);
+        scratch.put(bias);
     }
 }
 

@@ -39,12 +39,14 @@ pub mod matrix;
 pub mod mlp;
 pub mod optim;
 pub mod param;
+pub mod scratch;
 
 pub use activation::Activation;
 pub use dense::Dense;
 pub use init::Init;
 pub use loss::{accuracy, softmax_rows, Loss};
-pub use matrix::Matrix;
+pub use matrix::{buffer_allocs, Matrix};
 pub use mlp::Mlp;
 pub use optim::{clip_grad_norm, Adam, Optimizer, Sgd};
 pub use param::{Param, Parameterized};
+pub use scratch::Scratch;

@@ -23,22 +23,30 @@ impl Loss {
     /// Computes `(mean loss, ∂L/∂pred)` for predictions `pred` and
     /// targets `target` of equal shape.
     pub fn eval(self, pred: &Matrix, target: &Matrix) -> (f64, Matrix) {
+        let mut grad = Matrix::zeros(pred.rows(), pred.cols());
+        let loss = self.eval_into(pred, target, &mut grad);
+        (loss, grad)
+    }
+
+    /// Computes the mean loss, writing `∂L/∂pred` into `grad` (reshaped
+    /// as needed) — allocation-free and bit-identical to
+    /// [`Loss::eval`].
+    pub fn eval_into(self, pred: &Matrix, target: &Matrix, grad: &mut Matrix) -> f64 {
         assert_eq!(pred.shape(), target.shape(), "loss shape mismatch");
+        grad.ensure_shape(pred.rows(), pred.cols());
         let n = pred.rows().max(1) as f64;
         match self {
             Loss::Mse => {
-                let mut grad = Matrix::zeros(pred.rows(), pred.cols());
                 let mut total = 0.0;
                 for i in 0..pred.data().len() {
                     let d = pred.data()[i] - target.data()[i];
                     total += d * d;
                     grad.data_mut()[i] = 2.0 * d / n;
                 }
-                (total / n, grad)
+                total / n
             }
             Loss::BinaryCrossEntropy => {
                 let eps = 1e-12;
-                let mut grad = Matrix::zeros(pred.rows(), pred.cols());
                 let mut total = 0.0;
                 for i in 0..pred.data().len() {
                     let p = pred.data()[i].clamp(eps, 1.0 - eps);
@@ -46,10 +54,9 @@ impl Loss {
                     total += -(t * p.ln() + (1.0 - t) * (1.0 - p).ln());
                     grad.data_mut()[i] = ((p - t) / (p * (1.0 - p))) / n;
                 }
-                (total / n, grad)
+                total / n
             }
             Loss::BceWithLogits => {
-                let mut grad = Matrix::zeros(pred.rows(), pred.cols());
                 let mut total = 0.0;
                 for i in 0..pred.data().len() {
                     let x = pred.data()[i];
@@ -58,18 +65,24 @@ impl Loss {
                     let sig = 1.0 / (1.0 + (-x).exp());
                     grad.data_mut()[i] = (sig - t) / n;
                 }
-                (total / n, grad)
+                total / n
             }
             Loss::SoftmaxCrossEntropy => {
-                let mut grad = Matrix::zeros(pred.rows(), pred.cols());
                 let mut total = 0.0;
                 for r in 0..pred.rows() {
                     let row = pred.row(r);
                     let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-                    let exps: Vec<f64> = row.iter().map(|&x| (x - max).exp()).collect();
-                    let z: f64 = exps.iter().sum();
+                    // exp is recomputed in the second pass instead of
+                    // stored, to keep this path allocation-free; both
+                    // passes evaluate `(x - max).exp()` on the same
+                    // inputs, so z and p match the stored-vector
+                    // formulation bit for bit.
+                    let mut z = 0.0;
+                    for &x in row {
+                        z += (x - max).exp();
+                    }
                     for c in 0..pred.cols() {
-                        let p = exps[c] / z;
+                        let p = (row[c] - max).exp() / z;
                         let t = target[(r, c)];
                         if t > 0.0 {
                             total += -t * (p.max(1e-300)).ln();
@@ -77,7 +90,7 @@ impl Loss {
                         grad[(r, c)] = (p - t) / n;
                     }
                 }
-                (total / n, grad)
+                total / n
             }
         }
     }

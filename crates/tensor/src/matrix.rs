@@ -10,31 +10,88 @@
 
 use std::fmt;
 use std::ops::{Add, AddAssign, Mul, Sub};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+
+use crate::activation::Activation;
 
 /// Products below this many multiply-adds run serially: thread fan-out
 /// costs tens of microseconds, which would dominate the small per-layer
 /// matmuls in GNN training loops.
 const PAR_FLOPS_THRESHOLD: usize = 1 << 17;
 
+/// Whether the parallel kernel path can actually help: with one worker
+/// thread the fan-out machinery only adds dispatch overhead (measured
+/// at 10–20% on threshold-sized products), so fall straight through to
+/// the serial loops. Both paths are bit-identical by construction, so
+/// this is purely a scheduling decision.
+#[inline]
+fn par_enabled() -> bool {
+    rayon::current_num_threads() > 1
+}
+
+/// Process-wide count of fresh `f64` buffer allocations made by
+/// `Matrix` (constructors, clones, and capacity-growing reshapes).
+///
+/// This is the allocation counter behind the zero-allocation hot-path
+/// contract: a steady-state training step that runs entirely through
+/// the `*_into` kernels and a warmed-up [`crate::Scratch`] pool leaves
+/// this counter unchanged. Callers take deltas
+/// (`buffer_allocs()` before/after); the counter is monotone and never
+/// reset.
+static BUFFER_ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// Monotone count of `Matrix` heap-buffer allocations so far in this
+/// process (see [`BUFFER_ALLOCS`]'s doc for the measurement contract).
+pub fn buffer_allocs() -> u64 {
+    BUFFER_ALLOCS.load(Ordering::Relaxed)
+}
+
+#[inline]
+fn note_alloc(len: usize) {
+    if len > 0 {
+        BUFFER_ALLOCS.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 /// A dense row-major matrix of `f64`.
-#[derive(Clone, PartialEq, Serialize, Deserialize)]
+#[derive(PartialEq, Serialize, Deserialize)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f64>,
 }
 
+impl Default for Matrix {
+    /// An empty `0 × 0` matrix (no heap allocation).
+    fn default() -> Self {
+        Self { rows: 0, cols: 0, data: Vec::new() }
+    }
+}
+
+impl Clone for Matrix {
+    fn clone(&self) -> Self {
+        note_alloc(self.data.len());
+        Self { rows: self.rows, cols: self.cols, data: self.data.clone() }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.copy_from(source);
+    }
+}
+
 impl Matrix {
     /// Creates a `rows × cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
+        note_alloc(rows * cols);
         Self { rows, cols, data: vec![0.0; rows * cols] }
     }
 
     /// Creates a `rows × cols` matrix filled with `value`.
     pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        note_alloc(rows * cols);
         Self { rows, cols, data: vec![value; rows * cols] }
     }
 
@@ -58,6 +115,7 @@ impl Matrix {
             "data length {} does not match {rows}x{cols}",
             data.len()
         );
+        note_alloc(data.len());
         Self { rows, cols, data }
     }
 
@@ -70,6 +128,7 @@ impl Matrix {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
+        note_alloc(data.len());
         Self { rows: r, cols: c, data }
     }
 
@@ -81,12 +140,50 @@ impl Matrix {
                 data.push(f(i, j));
             }
         }
+        note_alloc(data.len());
         Self { rows, cols, data }
     }
 
     /// Interprets a slice as a `1 × n` row vector.
     pub fn row_vector(v: &[f64]) -> Self {
+        note_alloc(v.len());
         Self { rows: 1, cols: v.len(), data: v.to_vec() }
+    }
+
+    /// Reshapes `self` to `rows × cols` without preserving contents.
+    ///
+    /// Reuses the existing buffer whenever its capacity suffices (no
+    /// heap traffic, counter unchanged); only a capacity-growing resize
+    /// counts as an allocation. Entries are unspecified afterwards —
+    /// callers must fully overwrite them.
+    pub fn ensure_shape(&mut self, rows: usize, cols: usize) {
+        let n = rows * cols;
+        if self.data.len() != n {
+            if n > self.data.capacity() {
+                note_alloc(n);
+            }
+            self.data.resize(n, 0.0);
+        }
+        self.rows = rows;
+        self.cols = cols;
+    }
+
+    /// Makes `self` an exact copy of `src`, reusing the buffer when
+    /// capacity allows.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.ensure_shape(src.rows, src.cols);
+        self.data.copy_from_slice(&src.data);
+    }
+
+    /// Fills every entry with `value`.
+    pub fn fill(&mut self, value: f64) {
+        self.data.fill(value);
+    }
+
+    /// Capacity of the backing buffer in elements.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
     }
 
     /// Number of rows.
@@ -145,6 +242,15 @@ impl Matrix {
     /// # Panics
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// Matrix product `self * rhs` written into `out` (reshaped as
+    /// needed, previous contents discarded). Bit-identical to
+    /// [`Matrix::matmul`].
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols,
             rhs.rows,
@@ -152,12 +258,13 @@ impl Matrix {
             self.shape(),
             rhs.shape()
         );
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        out.ensure_shape(self.rows, rhs.cols);
         // ikj order: stream over rhs rows, good cache behaviour without
         // materializing a transpose. Each output row accumulates in the
         // same k order on every path, so the parallel split over rows is
         // bit-identical to the serial loop.
         let kernel = |i: usize, out_row: &mut [f64]| {
+            out_row.fill(0.0);
             let a_row = self.row(i);
             for (k, &a) in a_row.iter().enumerate() {
                 if a == 0.0 {
@@ -169,7 +276,8 @@ impl Matrix {
                 }
             }
         };
-        if self.rows * self.cols * rhs.cols >= PAR_FLOPS_THRESHOLD && self.rows > 1 {
+        if self.rows * self.cols * rhs.cols >= PAR_FLOPS_THRESHOLD && self.rows > 1 && par_enabled()
+        {
             out.data
                 .par_chunks_mut(rhs.cols)
                 .enumerate()
@@ -179,18 +287,27 @@ impl Matrix {
                 kernel(i, &mut out.data[i * rhs.cols..(i + 1) * rhs.cols]);
             }
         }
-        out
     }
 
     /// `selfᵀ * rhs` without materializing the transpose.
     pub fn t_matmul(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!(self.rows, rhs.rows, "t_matmul shape mismatch");
         let mut out = Matrix::zeros(self.cols, rhs.cols);
-        if self.rows * self.cols * rhs.cols >= PAR_FLOPS_THRESHOLD && self.cols > 1 {
+        self.t_matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// `selfᵀ * rhs` written into `out` (reshaped as needed, previous
+    /// contents discarded). Bit-identical to [`Matrix::t_matmul`].
+    pub fn t_matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.rows, rhs.rows, "t_matmul shape mismatch");
+        out.ensure_shape(self.cols, rhs.cols);
+        if self.rows * self.cols * rhs.cols >= PAR_FLOPS_THRESHOLD && self.cols > 1 && par_enabled()
+        {
             // Row-parallel form: output row i accumulates over k in the
             // same order as the serial k-outer loop below (skipping the
             // same zero terms), so both paths are bit-identical.
             out.data.par_chunks_mut(rhs.cols).enumerate().for_each(|(i, out_row)| {
+                out_row.fill(0.0);
                 for k in 0..self.rows {
                     let a = self.data[k * self.cols + i];
                     if a == 0.0 {
@@ -202,8 +319,9 @@ impl Matrix {
                     }
                 }
             });
-            return out;
+            return;
         }
+        out.data.fill(0.0);
         for k in 0..self.rows {
             let a_row = self.row(k);
             let b_row = rhs.row(k);
@@ -217,13 +335,20 @@ impl Matrix {
                 }
             }
         }
-        out
     }
 
     /// `self * rhsᵀ` without materializing the transpose.
     pub fn matmul_t(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!(self.cols, rhs.cols, "matmul_t shape mismatch");
         let mut out = Matrix::zeros(self.rows, rhs.rows);
+        self.matmul_t_into(rhs, &mut out);
+        out
+    }
+
+    /// `self * rhsᵀ` written into `out` (reshaped as needed, previous
+    /// contents discarded). Bit-identical to [`Matrix::matmul_t`].
+    pub fn matmul_t_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, rhs.cols, "matmul_t shape mismatch");
+        out.ensure_shape(self.rows, rhs.rows);
         let kernel = |i: usize, out_row: &mut [f64]| {
             let a_row = self.row(i);
             for (j, o) in out_row.iter_mut().enumerate() {
@@ -235,7 +360,8 @@ impl Matrix {
                 *o = acc;
             }
         };
-        if self.rows * self.cols * rhs.rows >= PAR_FLOPS_THRESHOLD && self.rows > 1 {
+        if self.rows * self.cols * rhs.rows >= PAR_FLOPS_THRESHOLD && self.rows > 1 && par_enabled()
+        {
             out.data
                 .par_chunks_mut(rhs.rows)
                 .enumerate()
@@ -245,7 +371,77 @@ impl Matrix {
                 kernel(i, &mut out.data[i * rhs.rows..(i + 1) * rhs.rows]);
             }
         }
-        out
+    }
+
+    /// Fused affine + activation: `out = σ(self·rhs + bias)` in a
+    /// single pass over `out` (bias broadcast over rows). Bit-identical
+    /// to `matmul` → `add_row_broadcast` → `Activation::apply_matrix`:
+    /// each output row accumulates over k from zero in the same order,
+    /// then adds the bias, then applies σ entrywise. Inference-path
+    /// companion of [`Matrix::add_bias_activate_into`] (which keeps the
+    /// pre-activation for backprop).
+    pub fn matmul_bias_act_into(
+        &self,
+        rhs: &Matrix,
+        bias: &[f64],
+        act: Activation,
+        out: &mut Matrix,
+    ) {
+        assert_eq!(
+            self.cols,
+            rhs.rows,
+            "matmul shape mismatch: {:?} * {:?}",
+            self.shape(),
+            rhs.shape()
+        );
+        assert_eq!(bias.len(), rhs.cols, "bias width mismatch");
+        out.ensure_shape(self.rows, rhs.cols);
+        let kernel = |i: usize, out_row: &mut [f64]| {
+            out_row.fill(0.0);
+            let a_row = self.row(i);
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = rhs.row(k);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+            for (o, &b) in out_row.iter_mut().zip(bias) {
+                *o = act.apply(*o + b);
+            }
+        };
+        if self.rows * self.cols * rhs.cols >= PAR_FLOPS_THRESHOLD && self.rows > 1 && par_enabled()
+        {
+            out.data
+                .par_chunks_mut(rhs.cols)
+                .enumerate()
+                .for_each(|(i, out_row)| kernel(i, out_row));
+        } else {
+            for i in 0..self.rows {
+                kernel(i, &mut out.data[i * rhs.cols..(i + 1) * rhs.cols]);
+            }
+        }
+    }
+
+    /// Fused bias-add + activation for the training path: adds `bias`
+    /// (broadcast over rows) into `self` in place — leaving `self` as
+    /// the pre-activation that backprop needs — then writes `σ(self)`
+    /// into `out`. Bit-identical to `add_row_broadcast` followed by
+    /// `Activation::apply_matrix`.
+    pub fn add_bias_activate_into(&mut self, bias: &[f64], act: Activation, out: &mut Matrix) {
+        assert_eq!(bias.len(), self.cols, "bias width mismatch");
+        out.ensure_shape(self.rows, self.cols);
+        for i in 0..self.rows {
+            let base = i * self.cols;
+            let pre_row = &mut self.data[base..base + self.cols];
+            let out_row = &mut out.data[base..base + self.cols];
+            for ((p, o), &b) in pre_row.iter_mut().zip(out_row).zip(bias) {
+                *p += b;
+                *o = act.apply(*p);
+            }
+        }
     }
 
     /// The transpose.
@@ -261,7 +457,16 @@ impl Matrix {
 
     /// Element-wise map.
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        note_alloc(self.data.len());
         Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
+    }
+
+    /// Element-wise map written into `out` (reshaped as needed).
+    pub fn map_into(&self, f: impl Fn(f64) -> f64, out: &mut Matrix) {
+        out.ensure_shape(self.rows, self.cols);
+        for (o, &x) in out.data.iter_mut().zip(&self.data) {
+            *o = f(x);
+        }
     }
 
     /// In-place element-wise map.
@@ -274,11 +479,47 @@ impl Matrix {
     /// Element-wise (Hadamard) product.
     pub fn hadamard(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.shape(), rhs.shape(), "hadamard shape mismatch");
+        note_alloc(self.data.len());
         Matrix {
             rows: self.rows,
             cols: self.cols,
             data: self.data.iter().zip(&rhs.data).map(|(&a, &b)| a * b).collect(),
         }
+    }
+
+    /// Element-wise product written into `out`; bit-identical to
+    /// [`Matrix::hadamard`].
+    pub fn hadamard_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "hadamard shape mismatch");
+        out.ensure_shape(self.rows, self.cols);
+        for ((o, &a), &b) in out.data.iter_mut().zip(&self.data).zip(&rhs.data) {
+            *o = a * b;
+        }
+    }
+
+    /// Element-wise sum written into `out`; bit-identical to `&a + &b`.
+    pub fn add_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "add shape mismatch");
+        out.ensure_shape(self.rows, self.cols);
+        for ((o, &a), &b) in out.data.iter_mut().zip(&self.data).zip(&rhs.data) {
+            *o = a + b;
+        }
+    }
+
+    /// Element-wise difference written into `out`; bit-identical to
+    /// `&a - &b`.
+    pub fn sub_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "sub shape mismatch");
+        out.ensure_shape(self.rows, self.cols);
+        for ((o, &a), &b) in out.data.iter_mut().zip(&self.data).zip(&rhs.data) {
+            *o = a - b;
+        }
+    }
+
+    /// Scaled copy written into `out`; bit-identical to
+    /// [`Matrix::scale`].
+    pub fn scale_into(&self, s: f64, out: &mut Matrix) {
+        self.map_into(|x| x * s, out);
     }
 
     /// Scales every entry by `s`.
@@ -312,12 +553,20 @@ impl Matrix {
     /// Column sums as a vector of length `cols`.
     pub fn column_sums(&self) -> Vec<f64> {
         let mut out = vec![0.0; self.cols];
+        self.column_sums_into(&mut out);
+        out
+    }
+
+    /// Column sums written into `out` (length `cols`); bit-identical to
+    /// [`Matrix::column_sums`].
+    pub fn column_sums_into(&self, out: &mut [f64]) {
+        assert_eq!(out.len(), self.cols, "column_sums width mismatch");
+        out.fill(0.0);
         for i in 0..self.rows {
             for (o, &x) in out.iter_mut().zip(self.row(i)) {
                 *o += x;
             }
         }
-        out
     }
 
     /// Frobenius norm.
@@ -332,14 +581,21 @@ impl Matrix {
 
     /// Horizontal concatenation `[self | rhs]`.
     pub fn hconcat(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols + rhs.cols);
+        self.hconcat_into(rhs, &mut out);
+        out
+    }
+
+    /// Horizontal concatenation written into `out` (reshaped as
+    /// needed); bit-identical to [`Matrix::hconcat`].
+    pub fn hconcat_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(self.rows, rhs.rows, "hconcat row mismatch");
         let cols = self.cols + rhs.cols;
-        let mut out = Matrix::zeros(self.rows, cols);
+        out.ensure_shape(self.rows, cols);
         for i in 0..self.rows {
             out.data[i * cols..i * cols + self.cols].copy_from_slice(self.row(i));
             out.data[i * cols + self.cols..(i + 1) * cols].copy_from_slice(rhs.row(i));
         }
-        out
     }
 
     /// True when all entries are finite.
@@ -375,6 +631,7 @@ impl Add<&Matrix> for &Matrix {
     type Output = Matrix;
     fn add(self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.shape(), rhs.shape(), "add shape mismatch");
+        note_alloc(self.data.len());
         Matrix {
             rows: self.rows,
             cols: self.cols,
@@ -387,6 +644,7 @@ impl Sub<&Matrix> for &Matrix {
     type Output = Matrix;
     fn sub(self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.shape(), rhs.shape(), "sub shape mismatch");
+        note_alloc(self.data.len());
         Matrix {
             rows: self.rows,
             cols: self.cols,

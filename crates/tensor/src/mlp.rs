@@ -12,6 +12,7 @@ use crate::dense::Dense;
 use crate::init::Init;
 use crate::matrix::Matrix;
 use crate::param::{Param, Parameterized};
+use crate::scratch::Scratch;
 
 /// A stack of [`Dense`] layers.
 #[derive(Debug, Clone)]
@@ -67,29 +68,93 @@ impl Mlp {
 
     /// Forward pass with caching (training).
     pub fn forward(&mut self, x: &Matrix) -> Matrix {
-        let mut cur = x.clone();
-        for layer in &mut self.layers {
-            cur = layer.forward(&cur);
+        let mut scratch = Scratch::new();
+        let mut out = Matrix::zeros(0, 0);
+        self.forward_into(x, &mut scratch, &mut out);
+        out
+    }
+
+    /// Forward pass with caching into `out`, ping-ponging
+    /// intermediates through `scratch` — steady-state calls allocate
+    /// nothing. Bit-identical to [`Mlp::forward`].
+    pub fn forward_into(&mut self, x: &Matrix, scratch: &mut Scratch, out: &mut Matrix) {
+        let n = self.layers.len();
+        if n == 1 {
+            self.layers[0].forward_into(x, out);
+            return;
         }
-        cur
+        let mut a = scratch.take(0, 0);
+        let mut b = scratch.take(0, 0);
+        self.layers[0].forward_into(x, &mut a);
+        for i in 1..n - 1 {
+            self.layers[i].forward_into(&a, &mut b);
+            std::mem::swap(&mut a, &mut b);
+        }
+        self.layers[n - 1].forward_into(&a, out);
+        scratch.put(a);
+        scratch.put(b);
     }
 
     /// Forward pass without caching (inference).
     pub fn infer(&self, x: &Matrix) -> Matrix {
-        let mut cur = x.clone();
-        for layer in &self.layers {
-            cur = layer.infer(&cur);
+        let mut scratch = Scratch::new();
+        let mut out = Matrix::zeros(0, 0);
+        self.infer_into(x, &mut scratch, &mut out);
+        out
+    }
+
+    /// Inference into `out` via the fused per-layer kernels;
+    /// bit-identical to [`Mlp::infer`].
+    pub fn infer_into(&self, x: &Matrix, scratch: &mut Scratch, out: &mut Matrix) {
+        let n = self.layers.len();
+        if n == 1 {
+            self.layers[0].infer_into(x, out);
+            return;
         }
-        cur
+        let mut a = scratch.take(0, 0);
+        let mut b = scratch.take(0, 0);
+        self.layers[0].infer_into(x, &mut a);
+        for i in 1..n - 1 {
+            self.layers[i].infer_into(&a, &mut b);
+            std::mem::swap(&mut a, &mut b);
+        }
+        self.layers[n - 1].infer_into(&a, out);
+        scratch.put(a);
+        scratch.put(b);
     }
 
     /// Backward pass; returns `∂L/∂X`.
     pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
-        let mut grad = grad_out.clone();
-        for layer in self.layers.iter_mut().rev() {
-            grad = layer.backward(&grad);
+        let mut scratch = Scratch::new();
+        let mut grad_in = Matrix::zeros(0, 0);
+        self.backward_into(grad_out, &mut scratch, &mut grad_in);
+        grad_in
+    }
+
+    /// Backward pass into `grad_in` with temporaries from `scratch` —
+    /// steady-state calls allocate nothing. Bit-identical to
+    /// [`Mlp::backward`].
+    pub fn backward_into(
+        &mut self,
+        grad_out: &Matrix,
+        scratch: &mut Scratch,
+        grad_in: &mut Matrix,
+    ) {
+        let n = self.layers.len();
+        if n == 1 {
+            self.layers[0].backward_into(grad_out, scratch, grad_in);
+            return;
         }
-        grad
+        let mut g = scratch.take(0, 0);
+        let mut h = scratch.take(0, 0);
+        self.layers[n - 1].backward_into(grad_out, scratch, &mut g);
+        for i in (1..n - 1).rev() {
+            self.layers[i].backward_into(&g, scratch, &mut h);
+            std::mem::swap(&mut g, &mut h);
+        }
+        self.layers[0].backward_into(&g, scratch, grad_in);
+        scratch.put(g);
+        scratch.put(h);
     }
 }
 

@@ -1,7 +1,7 @@
 //! Property-based tests for the linear-algebra substrate: the
 //! algebraic laws every downstream layer silently relies on.
 
-use gel_tensor::Matrix;
+use gel_tensor::{buffer_allocs, Activation, Matrix, Scratch};
 use proptest::prelude::*;
 
 fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
@@ -77,5 +77,65 @@ proptest! {
             prop_assert_eq!(&a.matmul_t(&serial.transpose()), &serial_t);
         }
         rayon::set_num_threads(0);
+    }
+
+    /// Every `_into` kernel is bit-identical to its allocating
+    /// counterpart even when `out` starts dirty (wrong shape, garbage
+    /// contents) — the contract the scratch-buffer hot path relies on.
+    #[test]
+    fn into_kernels_match_allocating_on_dirty_out(
+        (a, b, bias) in (small_matrix(5, 4), small_matrix(4, 3),
+                         proptest::collection::vec(-2.0f64..2.0, 3))
+    ) {
+        let mut dirty = Matrix::from_vec(2, 7, vec![f64::NAN; 14]);
+        a.matmul_into(&b, &mut dirty);
+        prop_assert_eq!(&dirty, &a.matmul(&b));
+
+        let ab = a.matmul(&b);
+        let mut dirty = Matrix::from_vec(1, 9, vec![-7.5; 9]);
+        a.t_matmul_into(&ab, &mut dirty);
+        prop_assert_eq!(&dirty, &a.t_matmul(&ab));
+
+        let mut dirty = Matrix::from_vec(6, 2, vec![f64::INFINITY; 12]);
+        a.matmul_t_into(&b.transpose(), &mut dirty);
+        prop_assert_eq!(&dirty, &a.matmul_t(&b.transpose()));
+
+        for act in [Activation::Identity, Activation::ReLU, Activation::Tanh, Activation::Sigmoid] {
+            let mut dirty = Matrix::from_vec(3, 3, vec![f64::NAN; 9]);
+            a.matmul_bias_act_into(&b, &bias, act, &mut dirty);
+            let mut pre_reference = a.matmul(&b);
+            pre_reference.add_row_broadcast(&bias);
+            let reference = act.apply_matrix(&pre_reference);
+            prop_assert_eq!(&dirty, &reference);
+
+            // Training-path fusion: pre-activation kept, output matches.
+            let mut pre = a.matmul(&b);
+            let mut fused = Matrix::from_vec(1, 1, vec![f64::NAN]);
+            pre.add_bias_activate_into(&bias, act, &mut fused);
+            prop_assert_eq!(&fused, &reference);
+            prop_assert_eq!(&pre, &pre_reference);
+        }
+    }
+
+    /// A `Scratch` pool hands back buffers without new heap
+    /// allocations once warm, and `take`n buffers always come back
+    /// correctly shaped regardless of what was `put` in.
+    #[test]
+    fn scratch_reuse_is_allocation_free((r, c) in (1usize..6, 1usize..6)) {
+        let mut scratch = Scratch::new();
+        // Warm: one buffer of the largest shape this test will request.
+        scratch.put(Matrix::zeros(8, 8));
+        let base = buffer_allocs();
+        for _ in 0..16 {
+            let m = scratch.take(r, c);
+            prop_assert_eq!(m.shape(), (r, c));
+            scratch.put(m);
+            let z = scratch.take_zeroed(c, r);
+            prop_assert_eq!(z.shape(), (c, r));
+            prop_assert!(z.data().iter().all(|&x| x == 0.0));
+            scratch.put(z);
+        }
+        prop_assert_eq!(buffer_allocs() - base, 0,
+            "scratch reuse allocated in steady state");
     }
 }

@@ -40,6 +40,7 @@ pub mod prelude {
 }
 
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+static FALLBACK_THREADS: AtomicUsize = AtomicUsize::new(0);
 
 thread_local! {
     static IN_WORKER: Cell<bool> = const { Cell::new(false) };
@@ -49,20 +50,26 @@ thread_local! {
 ///
 /// Resolution order: [`set_num_threads`] override, then the
 /// `RAYON_NUM_THREADS` environment variable, then the machine's
-/// available parallelism.
+/// available parallelism. The environment/parallelism fallback is
+/// resolved once and cached: `env::var` plus `available_parallelism`
+/// cost microseconds per call, and callers (e.g. the tensor kernels'
+/// parallel-dispatch gate) query this on hot paths.
 pub fn current_num_threads() -> usize {
     let o = THREAD_OVERRIDE.load(Ordering::Relaxed);
     if o > 0 {
         return o;
     }
-    if let Ok(s) = std::env::var("RAYON_NUM_THREADS") {
-        if let Ok(n) = s.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
-        }
+    let cached = FALLBACK_THREADS.load(Ordering::Relaxed);
+    if cached > 0 {
+        return cached;
     }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    let n = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    FALLBACK_THREADS.store(n, Ordering::Relaxed);
+    n
 }
 
 /// Overrides the thread count for subsequent parallel operations
