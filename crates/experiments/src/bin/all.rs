@@ -6,16 +6,50 @@
 //!
 //! * `--full` adds the 40-vertex CFI(K4) pair to the corpus.
 //! * `--bench-json <path>` additionally re-runs the suite pinned to one
-//!   thread and writes a machine-readable report (wall-clock per
-//!   experiment, serial vs parallel suite times, WL-cache counters) —
-//!   the file recorded as `BENCH_parallel.json`. Tables printed to
-//!   stdout are identical with and without the flag, and identical at
-//!   every thread count.
+//!   thread — instrumented, one experiment at a time, gel-obs state
+//!   reset between experiments — and writes a machine-readable report
+//!   (`"schema_version": 2`): wall-clock per experiment, serial vs
+//!   parallel suite times, and a fixed-key per-experiment `metrics`
+//!   object (kernel/refinement span seconds, WL-cache hit rate, buffer
+//!   allocations, dispatch decisions) plus suite-wide `obs` totals —
+//!   the file recorded as `BENCH_parallel.json`. Its key set is guarded
+//!   by the `schema_check` bin in CI. Tables printed to stdout are
+//!   identical with and without the flag, and identical at every thread
+//!   count. With the crate's `obs` feature off (build with
+//!   `--no-default-features`) all metric values are zero but the schema
+//!   is unchanged.
 
 use std::time::Instant;
 
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
+use gel_experiments::report::json_escape;
+
+/// Fixed-key per-experiment metrics object for the bench JSON, from one
+/// experiment's gel-obs delta. The key set is part of the schema
+/// (checked by the `schema_check` bin), so it never depends on which
+/// metrics happened to fire — absent metrics read as zero. With the
+/// `obs` feature off every value except `serial_wall_s` is zero.
+fn metrics_json(serial_wall_s: f64, m: &gel_obs::Snapshot) -> String {
+    let hits = m.counter("wl.cache.hits");
+    let misses = m.counter("wl.cache.misses");
+    let lookups = hits + misses;
+    format!(
+        "{{\"serial_wall_s\": {:.6}, \"kernel_s\": {:.6}, \"wl_refine_s\": {:.6}, \
+         \"gnn_forward_s\": {:.6}, \"gnn_backward_s\": {:.6}, \"gnn_infer_s\": {:.6}, \
+         \"wl_cache_hits\": {}, \"wl_cache_misses\": {}, \"wl_cache_hit_rate\": {:.4}, \
+         \"buffer_allocs\": {}, \"dispatch_parallel\": {}, \"dispatch_serial\": {}}}",
+        serial_wall_s,
+        m.leaf_span_total("tensor.").secs,
+        m.leaf_span_total("wl.refine").secs,
+        m.leaf_span_total("gnn.forward").secs,
+        m.leaf_span_total("gnn.backward").secs,
+        m.leaf_span_total("gnn.infer").secs,
+        hits,
+        misses,
+        if lookups > 0 { hits as f64 / lookups as f64 } else { 0.0 },
+        m.counter("tensor.buffer_allocs"),
+        m.counter("tensor.dispatch.parallel") + m.counter("rayon.dispatch.parallel"),
+        m.counter("tensor.dispatch.serial") + m.counter("rayon.dispatch.serial"),
+    )
 }
 
 /// Measures the zero-allocation hot path: steady-state buffer
@@ -118,8 +152,10 @@ fn main() {
 
     // When benching, run one untimed warm-up pass so neither timed leg
     // pays first-run costs (allocator, page cache), then time the
-    // serial leg.
-    let suite_serial_s = bench_json.as_ref().map(|_| {
+    // serial leg. The serial leg is the instrumented one: experiments
+    // run one at a time there, so each gel-obs delta is attributable to
+    // exactly one experiment (the parallel leg would interleave them).
+    let serial = bench_json.as_ref().map(|_| {
         gel_wl::clear_cache();
         let _ = gel_experiments::run_all(full);
         let _ = gel_experiments::e10_recipe::lattice_figure(&corpus);
@@ -127,11 +163,11 @@ fn main() {
         rayon::set_num_threads(1);
         gel_wl::clear_cache();
         let t = Instant::now();
-        let _ = gel_experiments::run_all(full);
+        let instrumented = gel_experiments::run_all_instrumented(full);
         let _ = gel_experiments::e10_recipe::lattice_figure(&corpus);
         let s = t.elapsed().as_secs_f64();
         rayon::set_num_threads(0);
-        s
+        (s, instrumented)
     });
 
     // Time the default (parallel) schedule: suite + lattice figure,
@@ -157,12 +193,34 @@ fn main() {
     println!("{}", lattice.render());
 
     if let Some(path) = bench_json {
-        let suite_serial_s = suite_serial_s.expect("serial leg ran above");
+        let (suite_serial_s, instrumented) = serial.expect("serial leg ran above");
         let threads = rayon::current_num_threads();
         rayon::set_num_threads(1);
         let (allocs_per_step, unbatched_s, batched_s) = hot_path_bench();
         rayon::set_num_threads(0);
+
+        // Suite-wide gel-obs totals: fold the per-experiment deltas.
+        let mut totals = gel_obs::Snapshot::default();
+        for (_, _, m) in &instrumented {
+            for (&k, &v) in &m.counters {
+                *totals.counters.entry(k).or_insert(0) += v;
+            }
+            for (k, &v) in &m.spans {
+                let t = totals.spans.entry(k.clone()).or_default();
+                t.count += v.count;
+                t.secs += v.secs;
+            }
+            for (&k, &v) in &m.gauges {
+                let g = totals.gauges.entry(k).or_insert(f64::MIN);
+                *g = g.max(v);
+            }
+        }
+        let obs_hits = totals.counter("wl.cache.hits");
+        let obs_misses = totals.counter("wl.cache.misses");
+
         let mut out = String::from("{\n");
+        out.push_str("  \"schema_version\": 2,\n");
+        out.push_str(&format!("  \"obs_enabled\": {},\n", cfg!(feature = "obs")));
         out.push_str(&format!("  \"threads\": {threads},\n"));
         out.push_str(&format!("  \"full_corpus\": {full},\n"));
         out.push_str(&format!("  \"suite_parallel_s\": {suite_parallel_s:.6},\n"));
@@ -184,14 +242,37 @@ fn main() {
             "  \"wl_cache\": {{\"hits\": {}, \"misses\": {}}},\n",
             cache.hits, cache.misses
         ));
+        out.push_str(&format!(
+            "  \"obs\": {{\"wl_cache_hits\": {}, \"wl_cache_misses\": {}, \
+             \"wl_cache_hit_rate\": {:.4}, \"buffer_allocs\": {}, \"scratch_takes\": {}, \
+             \"scratch_pool_peak\": {:.0}, \"kernel_s\": {:.6}, \"wl_refine_s\": {:.6}, \
+             \"dispatch_parallel\": {}, \"dispatch_serial\": {}}},\n",
+            obs_hits,
+            obs_misses,
+            if obs_hits + obs_misses > 0 {
+                obs_hits as f64 / (obs_hits + obs_misses) as f64
+            } else {
+                0.0
+            },
+            totals.counter("tensor.buffer_allocs"),
+            totals.counter("tensor.scratch.takes"),
+            totals.gauge("tensor.scratch.pool_peak").max(0.0),
+            totals.leaf_span_total("tensor.").secs,
+            totals.leaf_span_total("wl.refine").secs,
+            totals.counter("tensor.dispatch.parallel") + totals.counter("rayon.dispatch.parallel"),
+            totals.counter("tensor.dispatch.serial") + totals.counter("rayon.dispatch.serial"),
+        ));
         out.push_str("  \"experiments\": [\n");
-        for (i, (r, secs)) in timed.iter().enumerate() {
+        assert_eq!(instrumented.len(), timed.len(), "both legs run the same schedule");
+        for (i, ((r, secs), (_, serial_secs, delta))) in timed.iter().zip(&instrumented).enumerate()
+        {
             out.push_str(&format!(
-                "    {{\"id\": \"{}\", \"wall_s\": {:.6}, \"passed\": {}, \"claim\": \"{}\"}}{}\n",
+                "    {{\"id\": \"{}\", \"wall_s\": {:.6}, \"passed\": {}, \"claim\": \"{}\",\n     \"metrics\": {}}}{}\n",
                 r.id,
                 secs,
                 r.passed(),
                 json_escape(r.claim),
+                metrics_json(*serial_secs, delta),
                 if i + 1 < timed.len() { "," } else { "" }
             ));
         }

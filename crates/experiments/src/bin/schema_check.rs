@@ -1,0 +1,186 @@
+//! Structural diff of two benchmark JSON files.
+//!
+//! Usage: `schema_check <committed.json> <fresh.json>`
+//!
+//! Extracts the set of key *paths* from each file (object keys joined
+//! with `.`, array elements collapsed to `[]` — values are ignored) and
+//! exits non-zero when the sets differ. CI runs this between the
+//! committed `BENCH_parallel.json` and a freshly emitted report, so any
+//! schema drift — a renamed metric, a dropped key, an unversioned
+//! addition — fails the build instead of silently breaking downstream
+//! consumers.
+//!
+//! The scanner is a ~hundred-line recursive-descent walk, not a full
+//! JSON parser: it understands exactly the grammar (objects, arrays,
+//! strings with escapes, numbers, literals) and panics on malformed
+//! input, which for a schema guard is the right behaviour.
+
+use std::collections::BTreeSet;
+
+/// Byte cursor over one JSON document.
+struct Scan<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Scan<'a> {
+    fn new(src: &'a str) -> Self {
+        Self { bytes: src.as_bytes(), pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> u8 {
+        self.skip_ws();
+        assert!(self.pos < self.bytes.len(), "unexpected end of JSON at byte {}", self.pos);
+        self.bytes[self.pos]
+    }
+
+    fn expect(&mut self, b: u8) {
+        let got = self.peek();
+        assert_eq!(got as char, b as char, "expected {:?} at byte {}", b as char, self.pos);
+        self.pos += 1;
+    }
+
+    /// Parses a string literal, returning its raw (unescaped-enough)
+    /// contents — escape sequences are kept verbatim; keys in our
+    /// reports never need unescaping to compare equal.
+    fn string(&mut self) -> String {
+        self.expect(b'"');
+        let start = self.pos;
+        while self.bytes[self.pos] != b'"' {
+            if self.bytes[self.pos] == b'\\' {
+                self.pos += 1;
+            }
+            self.pos += 1;
+            assert!(self.pos < self.bytes.len(), "unterminated string");
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos]).expect("valid utf-8").to_string();
+        self.pos += 1;
+        s
+    }
+
+    /// Walks one value rooted at `path`, recording every key path seen.
+    fn value(&mut self, path: &str, out: &mut BTreeSet<String>) {
+        match self.peek() {
+            b'{' => {
+                self.pos += 1;
+                if self.peek() == b'}' {
+                    self.pos += 1;
+                    return;
+                }
+                loop {
+                    let key = self.string();
+                    let sub = if path.is_empty() { key.clone() } else { format!("{path}.{key}") };
+                    out.insert(sub.clone());
+                    self.expect(b':');
+                    self.value(&sub, out);
+                    match self.peek() {
+                        b',' => self.pos += 1,
+                        b'}' => {
+                            self.pos += 1;
+                            break;
+                        }
+                        c => panic!("expected ',' or '}}', got {:?}", c as char),
+                    }
+                }
+            }
+            b'[' => {
+                self.pos += 1;
+                let sub = format!("{path}[]");
+                if self.peek() == b']' {
+                    self.pos += 1;
+                    return;
+                }
+                loop {
+                    self.value(&sub, out);
+                    match self.peek() {
+                        b',' => self.pos += 1,
+                        b']' => {
+                            self.pos += 1;
+                            break;
+                        }
+                        c => panic!("expected ',' or ']', got {:?}", c as char),
+                    }
+                }
+            }
+            b'"' => {
+                let _ = self.string();
+            }
+            _ => {
+                // Number / true / false / null: consume the token.
+                while self.pos < self.bytes.len()
+                    && !matches!(self.bytes[self.pos], b',' | b'}' | b']')
+                    && !self.bytes[self.pos].is_ascii_whitespace()
+                {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Every key path in `src`, sorted.
+fn key_paths(src: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let mut s = Scan::new(src);
+    s.value("", &mut out);
+    s.skip_ws();
+    assert_eq!(s.pos, s.bytes.len(), "trailing garbage after JSON value");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() != 3 {
+        eprintln!("usage: schema_check <committed.json> <fresh.json>");
+        std::process::exit(2);
+    }
+    let read = |p: &str| {
+        std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("error: cannot read {p}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let committed = key_paths(&read(&args[1]));
+    let fresh = key_paths(&read(&args[2]));
+
+    let missing: Vec<_> = committed.difference(&fresh).collect();
+    let added: Vec<_> = fresh.difference(&committed).collect();
+    if missing.is_empty() && added.is_empty() {
+        println!("schema ok: {} key paths match", committed.len());
+        return;
+    }
+    for k in &missing {
+        eprintln!("schema drift: key path removed: {k}");
+    }
+    for k in &added {
+        eprintln!("schema drift: key path added: {k}");
+    }
+    std::process::exit(1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::key_paths;
+
+    #[test]
+    fn extracts_nested_and_array_paths() {
+        let paths = key_paths(
+            r#"{"a": 1, "b": {"c": [ {"d": true}, {"d": false} ], "e": "x,y}"}, "f": []}"#,
+        );
+        let want: Vec<&str> = vec!["a", "b", "b.c", "b.c[].d", "b.e", "f"];
+        assert_eq!(paths.iter().map(String::as_str).collect::<Vec<_>>(), want);
+    }
+
+    #[test]
+    fn identical_schemas_match_despite_values() {
+        let a = key_paths(r#"{"x": 1.5, "y": [1, 2, 3]}"#);
+        let b = key_paths(r#"{"x": -2e9, "y": []}"#);
+        assert_eq!(a, b);
+    }
+}

@@ -54,6 +54,32 @@ use rayon::prelude::*;
 pub use corpus::{full_corpus, light_corpus, GraphPair, PairTruth};
 pub use report::{ExperimentResult, Table};
 
+/// The canonical experiment schedule: one boxed runner per row of the
+/// theorem table, in report order, closed over `corpus`.
+fn jobs(corpus: &[GraphPair]) -> Vec<Box<dyn Fn() -> ExperimentResult + Sync + Send + '_>> {
+    vec![
+        Box::new(|| e01_gnn_vs_cr::run(corpus, 32)),
+        Box::new(|| e02_tree_homs::run(corpus, 8)),
+        Box::new(|| e03_mpnn_upper_bound::run(corpus, 50)),
+        Box::new(|| e04_cr_simulation::run(corpus)),
+        Box::new(|| e05_approximation::run(800)),
+        Box::new(|| e06_gml::run(10)),
+        Box::new(|| e07_normal_form::run(30)),
+        Box::new(|| e08_hierarchy::run(corpus, 3)),
+        Box::new(|| e09_gel_kwl::run(corpus, 20, 12)),
+        Box::new(|| e10_recipe::run(corpus)),
+        Box::new(e11_aggregators::run),
+        Box::new(|| e12_universality::run(600)),
+        Box::new(|| e13_views::run(corpus)),
+        Box::new(|| e14_zero_one::run(8, 30)),
+        Box::new(|| e15_wl_vc::run(3000)),
+        Box::new(|| e16_relational::run(24)),
+        Box::new(|| learning::run_l1_molecules(120, 8, 400)),
+        Box::new(|| learning::run_l2_citation(50, 200)),
+        Box::new(|| learning::run_l3_links(35, 200)),
+    ]
+}
+
 /// Runs every experiment with publication-quality settings and returns
 /// the results in order. `full` additionally includes the 40-vertex
 /// CFI(K4) pair (3-WL on it takes a few seconds in release mode).
@@ -69,32 +95,42 @@ pub fn run_all(full: bool) -> Vec<ExperimentResult> {
 /// seconds (as measured inside the parallel schedule).
 pub fn run_all_timed(full: bool) -> Vec<(ExperimentResult, f64)> {
     let corpus = if full { full_corpus() } else { light_corpus() };
-    let jobs: Vec<Box<dyn Fn() -> ExperimentResult + Sync + Send + '_>> = vec![
-        Box::new(|| e01_gnn_vs_cr::run(&corpus, 32)),
-        Box::new(|| e02_tree_homs::run(&corpus, 8)),
-        Box::new(|| e03_mpnn_upper_bound::run(&corpus, 50)),
-        Box::new(|| e04_cr_simulation::run(&corpus)),
-        Box::new(|| e05_approximation::run(800)),
-        Box::new(|| e06_gml::run(10)),
-        Box::new(|| e07_normal_form::run(30)),
-        Box::new(|| e08_hierarchy::run(&corpus, 3)),
-        Box::new(|| e09_gel_kwl::run(&corpus, 20, 12)),
-        Box::new(|| e10_recipe::run(&corpus)),
-        Box::new(e11_aggregators::run),
-        Box::new(|| e12_universality::run(600)),
-        Box::new(|| e13_views::run(&corpus)),
-        Box::new(|| e14_zero_one::run(8, 30)),
-        Box::new(|| e15_wl_vc::run(3000)),
-        Box::new(|| e16_relational::run(24)),
-        Box::new(|| learning::run_l1_molecules(120, 8, 400)),
-        Box::new(|| learning::run_l2_citation(50, 200)),
-        Box::new(|| learning::run_l3_links(35, 200)),
-    ];
-    jobs.par_iter()
+    let timed = jobs(&corpus)
+        .par_iter()
         .map(|job| {
             let t0 = std::time::Instant::now();
             let r = job();
-            (r, t0.elapsed().as_secs_f64())
+            let secs = t0.elapsed().as_secs_f64();
+            (r, secs)
         })
-        .collect()
+        .collect();
+    timed
+}
+
+/// [`run_all_timed`] run **serially**, attributing a gel-obs metrics
+/// delta to each experiment (wall time, kernel/refinement spans, cache
+/// hit/miss, allocations, dispatch decisions).
+///
+/// Serial execution is what makes per-experiment attribution exact:
+/// gel-obs counters are process-wide, so concurrent experiments would
+/// bleed into each other's deltas. Observability state (including the
+/// WL colouring cache and its counters) is reset before each
+/// experiment, so deltas are scoped even though the counters are
+/// process-global; with the `obs` feature off every snapshot is empty.
+pub fn run_all_instrumented(full: bool) -> Vec<(ExperimentResult, f64, gel_obs::Snapshot)> {
+    let corpus = if full { full_corpus() } else { light_corpus() };
+    let instrumented = jobs(&corpus)
+        .iter()
+        .map(|job| {
+            gel_wl::cache::clear_cache();
+            gel_obs::reset();
+            let before = gel_obs::snapshot();
+            let t0 = std::time::Instant::now();
+            let r = job();
+            let secs = t0.elapsed().as_secs_f64();
+            let delta = gel_obs::snapshot().since(&before);
+            (r, secs, delta)
+        })
+        .collect();
+    instrumented
 }

@@ -31,6 +31,16 @@ impl Table {
         self.row(&cells.iter().map(|s| s.to_string()).collect::<Vec<_>>());
     }
 
+    /// Column headers.
+    pub fn header(&self) -> &[String] {
+        &self.header
+    }
+
+    /// Data rows, in insertion order.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// Number of data rows.
     pub fn len(&self) -> usize {
         self.rows.len()
@@ -111,6 +121,61 @@ impl ExperimentResult {
     }
 }
 
+/// Escapes `s` for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Canonical JSON for the golden-file regression test: every
+/// experiment's verdict plus its full table (the per-pair separation
+/// verdicts live in the rows). Byte-stable across runs and thread
+/// counts — experiments are deterministic and the serialization has a
+/// single canonical form, so the golden test compares strings and
+/// needs no JSON parser.
+pub fn golden_json(results: &[ExperimentResult]) -> String {
+    let mut out = String::from("{\n  \"golden_schema\": 1,\n  \"experiments\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"id\": \"{}\", \"verdict\": \"{}\", \"agreements\": {}, \"violations\": {},\n     \"header\": [{}],\n     \"rows\": [",
+            json_escape(r.id),
+            if r.passed() { "PASS" } else { "FAIL" },
+            r.agreements,
+            r.violations,
+            cells_json(r.table.header()),
+        );
+        for (j, row) in r.table.rows().iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "       [{}]{}",
+                cells_json(row),
+                if j + 1 < r.table.rows().len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(out, "     ]}}{}", if i + 1 < results.len() { "," } else { "" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn cells_json(cells: &[String]) -> String {
+    cells.iter().map(|c| format!("\"{}\"", json_escape(c))).collect::<Vec<_>>().join(", ")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,5 +209,25 @@ mod tests {
         };
         assert!(r.passed());
         assert!(r.render().contains("PASS"));
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_escape("ρ-equivalent"), "ρ-equivalent");
+    }
+
+    #[test]
+    fn golden_json_is_canonical() {
+        let mut t = Table::new(&["pair", "verdict"]);
+        t.row_str(&["C6 vs 2C3", "separated"]);
+        let r = ExperimentResult { id: "E1", claim: "c", table: t, agreements: 1, violations: 0 };
+        let s = golden_json(std::slice::from_ref(&r));
+        assert_eq!(s, golden_json(std::slice::from_ref(&r)), "must be byte-stable");
+        assert!(s.contains("\"id\": \"E1\""));
+        assert!(s.contains("\"verdict\": \"PASS\""));
+        assert!(s.contains("[\"C6 vs 2C3\", \"separated\"]"));
+        assert!(s.ends_with("}\n"));
     }
 }

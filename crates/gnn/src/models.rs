@@ -18,7 +18,18 @@ pub enum ConvLayer {
 }
 
 impl ConvLayer {
+    /// gel-obs span name of the layer kind, so per-layer timings
+    /// aggregate by architecture.
+    fn span_name(&self) -> &'static str {
+        match self {
+            ConvLayer::Gnn101(_) => "conv.gnn101",
+            ConvLayer::Gin(_) => "conv.gin",
+            ConvLayer::Sage(_) => "conv.sage",
+        }
+    }
+
     fn forward_into(&mut self, g: &Graph, x: &Matrix, scratch: &mut Scratch, out: &mut Matrix) {
+        let _t = gel_obs::span(self.span_name());
         match self {
             ConvLayer::Gnn101(l) => l.forward_into(g, x, scratch, out),
             ConvLayer::Gin(l) => l.forward_into(g, x, scratch, out),
@@ -27,6 +38,7 @@ impl ConvLayer {
     }
 
     fn infer_into(&self, g: &Graph, x: &Matrix, scratch: &mut Scratch, out: &mut Matrix) {
+        let _t = gel_obs::span(self.span_name());
         match self {
             ConvLayer::Gnn101(l) => l.infer_into(g, x, scratch, out),
             ConvLayer::Gin(l) => l.infer_into(g, x, scratch, out),
@@ -35,6 +47,7 @@ impl ConvLayer {
     }
 
     fn backward_into(&mut self, g: &Graph, grad: &Matrix, scratch: &mut Scratch, out: &mut Matrix) {
+        let _t = gel_obs::span(self.span_name());
         match self {
             ConvLayer::Gnn101(l) => l.backward_into(g, grad, scratch, out),
             ConvLayer::Gin(l) => l.backward_into(g, grad, scratch, out),
@@ -94,6 +107,7 @@ impl VertexModel {
     /// the model-owned scratch pool — steady-state calls allocate
     /// nothing. Bit-identical to [`VertexModel::forward`].
     pub fn forward_into(&mut self, g: &Graph, out: &mut Matrix) {
+        let _t = gel_obs::span("gnn.forward");
         let mut x = self.scratch.take(g.num_vertices(), g.label_dim());
         features_into(g, &mut x);
         let mut y = self.scratch.take(0, 0);
@@ -117,6 +131,7 @@ impl VertexModel {
     /// Inference into `out` with temporaries from a caller-supplied
     /// scratch pool; bit-identical to [`VertexModel::infer`].
     pub fn infer_into(&self, g: &Graph, scratch: &mut Scratch, out: &mut Matrix) {
+        let _t = gel_obs::span("gnn.infer");
         let mut x = scratch.take(g.num_vertices(), g.label_dim());
         features_into(g, &mut x);
         let mut y = scratch.take(0, 0);
@@ -131,6 +146,7 @@ impl VertexModel {
 
     /// Backward from per-vertex output gradients.
     pub fn backward(&mut self, g: &Graph, grad_out: &Matrix) {
+        let _t = gel_obs::span("gnn.backward");
         let mut grad = self.scratch.take(0, 0);
         self.head.backward_into(grad_out, &mut self.scratch, &mut grad);
         let mut tmp = self.scratch.take(0, 0);
@@ -227,6 +243,7 @@ impl GraphModel {
     /// every kernel through the model-owned scratch pool — steady-state
     /// calls allocate nothing. Bit-identical to [`GraphModel::forward`].
     pub fn forward_into(&mut self, g: &Graph, out: &mut Matrix) {
+        let _t = gel_obs::span("gnn.forward");
         let mut x = self.scratch.take(g.num_vertices(), g.label_dim());
         features_into(g, &mut x);
         let mut y = self.scratch.take(0, 0);
@@ -254,6 +271,7 @@ impl GraphModel {
     /// Inference into `out` with temporaries from a caller-supplied
     /// scratch pool; bit-identical to [`GraphModel::infer`].
     pub fn infer_into(&self, g: &Graph, scratch: &mut Scratch, out: &mut Matrix) {
+        let _t = gel_obs::span("gnn.infer");
         let mut x = scratch.take(g.num_vertices(), g.label_dim());
         features_into(g, &mut x);
         let mut y = scratch.take(0, 0);
@@ -271,6 +289,7 @@ impl GraphModel {
 
     /// Backward from the graph-level gradient (`1 × out_dim`).
     pub fn backward(&mut self, g: &Graph, grad_out: &Matrix) {
+        let _t = gel_obs::span("gnn.backward");
         let mut grad_pooled = self.scratch.take(0, 0);
         self.head.backward_into(grad_out, &mut self.scratch, &mut grad_pooled);
         let n = self.cache_n;
@@ -307,6 +326,7 @@ impl GraphModel {
     /// [`GraphModel::forward_batched`] into `out` — the zero-allocation
     /// training path over a whole corpus.
     pub fn forward_batched_into(&mut self, batch: &BatchedGraphs, out: &mut Matrix) {
+        let _t = gel_obs::span("gnn.forward");
         let g = batch.graph();
         let mut x = self.scratch.take(g.num_vertices(), g.label_dim());
         features_into(g, &mut x);
@@ -341,6 +361,7 @@ impl GraphModel {
         scratch: &mut Scratch,
         out: &mut Matrix,
     ) {
+        let _t = gel_obs::span("gnn.infer");
         let g = batch.graph();
         let mut x = scratch.take(g.num_vertices(), g.label_dim());
         features_into(g, &mut x);
@@ -363,6 +384,7 @@ impl GraphModel {
     /// readout), then the conv stack backpropagates over the packed
     /// graph.
     pub fn backward_batched(&mut self, batch: &BatchedGraphs, grad_out: &Matrix) {
+        let _t = gel_obs::span("gnn.backward");
         assert_eq!(grad_out.rows(), batch.num_graphs(), "one gradient row per member graph");
         let mut grad_pooled = self.scratch.take(0, 0);
         self.head.backward_into(grad_out, &mut self.scratch, &mut grad_pooled);

@@ -32,6 +32,26 @@ fn par_enabled() -> bool {
     rayon::current_num_threads() > 1
 }
 
+/// Kernel invocations that took the row-parallel path.
+static DISPATCH_PARALLEL: gel_obs::Counter = gel_obs::Counter::new("tensor.dispatch.parallel");
+/// Kernel invocations that stayed on the serial loop (below the FLOP
+/// threshold, single row, or one configured thread).
+static DISPATCH_SERIAL: gel_obs::Counter = gel_obs::Counter::new("tensor.dispatch.serial");
+
+/// Records one kernel scheduling decision and passes the verdict
+/// through. Exactly one call per kernel invocation, so
+/// `parallel + serial` is thread-count-independent for a deterministic
+/// workload (only the split varies).
+#[inline]
+fn dispatch(parallel: bool) -> bool {
+    if parallel {
+        DISPATCH_PARALLEL.incr();
+    } else {
+        DISPATCH_SERIAL.incr();
+    }
+    parallel
+}
+
 /// Process-wide count of fresh `f64` buffer allocations made by
 /// `Matrix` (constructors, clones, and capacity-growing reshapes).
 ///
@@ -43,6 +63,11 @@ fn par_enabled() -> bool {
 /// reset.
 static BUFFER_ALLOCS: AtomicU64 = AtomicU64::new(0);
 
+/// Resettable gel-obs view of the same allocation events, so the
+/// experiment harness can attribute allocations per phase
+/// ([`BUFFER_ALLOCS`] itself stays monotone by contract).
+static OBS_BUFFER_ALLOCS: gel_obs::Counter = gel_obs::Counter::new("tensor.buffer_allocs");
+
 /// Monotone count of `Matrix` heap-buffer allocations so far in this
 /// process (see [`BUFFER_ALLOCS`]'s doc for the measurement contract).
 pub fn buffer_allocs() -> u64 {
@@ -53,6 +78,7 @@ pub fn buffer_allocs() -> u64 {
 fn note_alloc(len: usize) {
     if len > 0 {
         BUFFER_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        OBS_BUFFER_ALLOCS.incr();
     }
 }
 
@@ -259,6 +285,7 @@ impl Matrix {
             rhs.shape()
         );
         out.ensure_shape(self.rows, rhs.cols);
+        let _t = gel_obs::span("tensor.matmul");
         // ikj order: stream over rhs rows, good cache behaviour without
         // materializing a transpose. Each output row accumulates in the
         // same k order on every path, so the parallel split over rows is
@@ -276,8 +303,11 @@ impl Matrix {
                 }
             }
         };
-        if self.rows * self.cols * rhs.cols >= PAR_FLOPS_THRESHOLD && self.rows > 1 && par_enabled()
-        {
+        if dispatch(
+            self.rows * self.cols * rhs.cols >= PAR_FLOPS_THRESHOLD
+                && self.rows > 1
+                && par_enabled(),
+        ) {
             out.data
                 .par_chunks_mut(rhs.cols)
                 .enumerate()
@@ -301,8 +331,12 @@ impl Matrix {
     pub fn t_matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(self.rows, rhs.rows, "t_matmul shape mismatch");
         out.ensure_shape(self.cols, rhs.cols);
-        if self.rows * self.cols * rhs.cols >= PAR_FLOPS_THRESHOLD && self.cols > 1 && par_enabled()
-        {
+        let _t = gel_obs::span("tensor.t_matmul");
+        if dispatch(
+            self.rows * self.cols * rhs.cols >= PAR_FLOPS_THRESHOLD
+                && self.cols > 1
+                && par_enabled(),
+        ) {
             // Row-parallel form: output row i accumulates over k in the
             // same order as the serial k-outer loop below (skipping the
             // same zero terms), so both paths are bit-identical.
@@ -349,6 +383,7 @@ impl Matrix {
     pub fn matmul_t_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, rhs.cols, "matmul_t shape mismatch");
         out.ensure_shape(self.rows, rhs.rows);
+        let _t = gel_obs::span("tensor.matmul_t");
         let kernel = |i: usize, out_row: &mut [f64]| {
             let a_row = self.row(i);
             for (j, o) in out_row.iter_mut().enumerate() {
@@ -360,8 +395,11 @@ impl Matrix {
                 *o = acc;
             }
         };
-        if self.rows * self.cols * rhs.rows >= PAR_FLOPS_THRESHOLD && self.rows > 1 && par_enabled()
-        {
+        if dispatch(
+            self.rows * self.cols * rhs.rows >= PAR_FLOPS_THRESHOLD
+                && self.rows > 1
+                && par_enabled(),
+        ) {
             out.data
                 .par_chunks_mut(rhs.rows)
                 .enumerate()
@@ -396,6 +434,7 @@ impl Matrix {
         );
         assert_eq!(bias.len(), rhs.cols, "bias width mismatch");
         out.ensure_shape(self.rows, rhs.cols);
+        let _t = gel_obs::span("tensor.matmul_bias_act");
         let kernel = |i: usize, out_row: &mut [f64]| {
             out_row.fill(0.0);
             let a_row = self.row(i);
@@ -412,8 +451,11 @@ impl Matrix {
                 *o = act.apply(*o + b);
             }
         };
-        if self.rows * self.cols * rhs.cols >= PAR_FLOPS_THRESHOLD && self.rows > 1 && par_enabled()
-        {
+        if dispatch(
+            self.rows * self.cols * rhs.cols >= PAR_FLOPS_THRESHOLD
+                && self.rows > 1
+                && par_enabled(),
+        ) {
             out.data
                 .par_chunks_mut(rhs.cols)
                 .enumerate()

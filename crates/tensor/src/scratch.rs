@@ -25,6 +25,13 @@
 
 use crate::matrix::Matrix;
 
+/// Buffers handed out by [`Scratch::take`] (and `take_zeroed`) across
+/// every pool in the process; compare against `tensor.buffer_allocs`
+/// to read the pool's effectiveness.
+static SCRATCH_TAKES: gel_obs::Counter = gel_obs::Counter::new("tensor.scratch.takes");
+/// High-water mark of buffers parked in any single pool.
+static POOL_PEAK: gel_obs::Gauge = gel_obs::Gauge::new("tensor.scratch.pool_peak");
+
 /// A size-keyed pool of reusable [`Matrix`] buffers.
 ///
 /// `take` prefers the pooled buffer with the smallest sufficient
@@ -33,12 +40,15 @@ use crate::matrix::Matrix;
 #[derive(Debug, Default)]
 pub struct Scratch {
     pool: Vec<Matrix>,
+    /// Local peak, so the global gauge is only touched when a pool
+    /// grows past its previous high-water mark (never in steady state).
+    peak: usize,
 }
 
 impl Scratch {
     /// An empty pool.
     pub const fn new() -> Self {
-        Self { pool: Vec::new() }
+        Self { pool: Vec::new(), peak: 0 }
     }
 
     /// Number of buffers currently parked in the pool.
@@ -56,6 +66,7 @@ impl Scratch {
     /// pooled buffer; only an empty pool or an undersized best
     /// candidate costs a heap allocation.
     pub fn take(&mut self, rows: usize, cols: usize) -> Matrix {
+        SCRATCH_TAKES.incr();
         let need = rows * cols;
         let mut best: Option<(usize, usize)> = None; // (index, capacity)
         let mut largest: Option<(usize, usize)> = None;
@@ -90,6 +101,10 @@ impl Scratch {
     /// from this point on.
     pub fn put(&mut self, m: Matrix) {
         self.pool.push(m);
+        if self.pool.len() > self.peak {
+            self.peak = self.pool.len();
+            POOL_PEAK.set_max(self.peak as f64);
+        }
     }
 }
 

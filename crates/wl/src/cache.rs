@@ -22,11 +22,14 @@
 //!   cleared wholesale, which is simple, correct, and fine for the
 //!   workloads here (the whole suite fits well under the bound).
 //!
-//! Hits/misses are counted so tests can assert that repeated queries
-//! do not re-run refinement (`misses` == refinement invocations).
+//! Hits/misses are counted through `gel-obs` (`wl.cache.hits` /
+//! `wl.cache.misses`) so tests can assert that repeated queries do not
+//! re-run refinement (`misses` == refinement invocations) and the
+//! experiment harness can attribute cache behaviour per phase. With
+//! the `obs` feature off the counters are no-ops and [`cache_stats`]
+//! reads as zero; the cache itself works identically either way.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use gel_graph::Graph;
@@ -45,8 +48,8 @@ pub const MAX_ENTRIES: usize = 4096;
 type Key = (u64, u128, u128);
 
 static STORE: OnceLock<Mutex<HashMap<Key, Arc<Coloring>>>> = OnceLock::new();
-static HITS: AtomicU64 = AtomicU64::new(0);
-static MISSES: AtomicU64 = AtomicU64::new(0);
+static HITS: gel_obs::Counter = gel_obs::Counter::new("wl.cache.hits");
+static MISSES: gel_obs::Counter = gel_obs::Counter::new("wl.cache.misses");
 
 fn store() -> &'static Mutex<HashMap<Key, Arc<Coloring>>> {
     STORE.get_or_init(|| Mutex::new(HashMap::new()))
@@ -62,16 +65,17 @@ pub struct WlCacheStats {
     pub misses: u64,
 }
 
-/// Current hit/miss counters.
+/// Current hit/miss counters (zero when the `obs` feature is off —
+/// the counters are gel-obs no-ops then).
 pub fn cache_stats() -> WlCacheStats {
-    WlCacheStats { hits: HITS.load(Ordering::Relaxed), misses: MISSES.load(Ordering::Relaxed) }
+    WlCacheStats { hits: HITS.get(), misses: MISSES.get() }
 }
 
 /// Empties the store and zeroes the counters (for tests/benchmarks).
 pub fn clear_cache() {
     store().lock().unwrap().clear();
-    HITS.store(0, Ordering::Relaxed);
-    MISSES.store(0, Ordering::Relaxed);
+    HITS.reset();
+    MISSES.reset();
 }
 
 /// 128 bits of structural identity: two independent 64-bit FNV-1a
@@ -110,10 +114,10 @@ fn fingerprint(g: &Graph) -> u128 {
 /// Looks up `key`, computing and inserting with `compute` on a miss.
 fn get_or_compute(key: Key, compute: impl FnOnce() -> Coloring) -> Arc<Coloring> {
     if let Some(hit) = store().lock().unwrap().get(&key) {
-        HITS.fetch_add(1, Ordering::Relaxed);
+        HITS.incr();
         return Arc::clone(hit);
     }
-    MISSES.fetch_add(1, Ordering::Relaxed);
+    MISSES.incr();
     // Refine outside the lock: concurrent missers duplicate work at
     // worst, but nobody blocks on a long refinement.
     let value = Arc::new(compute());
@@ -128,7 +132,10 @@ fn get_or_compute(key: Key, compute: impl FnOnce() -> Coloring) -> Arc<Coloring>
 /// The joint stable CR colouring of `[g, h]`, memoized.
 pub fn cached_joint_cr(g: &Graph, h: &Graph) -> Arc<Coloring> {
     let key = (0, fingerprint(g), fingerprint(h));
-    get_or_compute(key, || color_refinement(&[g, h], CrOptions::default()))
+    get_or_compute(key, || {
+        let _t = gel_obs::span("wl.refine.cr");
+        color_refinement(&[g, h], CrOptions::default())
+    })
 }
 
 /// Memoized [`crate::color_refinement::cr_equivalent`].
@@ -152,7 +159,10 @@ pub fn cached_cr_vertex_equivalent(
 pub fn cached_joint_k_wl(g: &Graph, h: &Graph, k: usize, variant: WlVariant) -> Arc<Coloring> {
     let kind = 2 * k as u64 + u64::from(variant == WlVariant::Oblivious);
     let key = (kind, fingerprint(g), fingerprint(h));
-    get_or_compute(key, || k_wl(&[g, h], k, variant, None))
+    get_or_compute(key, || {
+        let _t = gel_obs::span("wl.refine.kwl");
+        k_wl(&[g, h], k, variant, None)
+    })
 }
 
 /// Memoized [`crate::kwl::k_wl_equivalent`].
@@ -168,8 +178,13 @@ mod tests {
     use gel_graph::families::{cr_blind_pair, cycle, path, petersen, star};
     use gel_graph::GraphBuilder;
 
+    /// The store and its counters are process-wide; tests that assert
+    /// absolute hit/miss numbers must not interleave.
+    static SERIAL: Mutex<()> = Mutex::new(());
+
     #[test]
     fn cached_results_match_fresh_computation() {
+        let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
         clear_cache();
         let pairs = [
             (path(5), cycle(5)),
@@ -194,8 +209,13 @@ mod tests {
         }
     }
 
+    // The three counter-asserting tests need real counters, so they
+    // are compiled only with the `obs` feature (the workspace default
+    // build enables it through gel-experiments).
+    #[cfg(feature = "obs")]
     #[test]
     fn repeated_queries_hit_without_rerunning_refinement() {
+        let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
         clear_cache();
         let g = path(7);
         let h = star(6);
@@ -210,8 +230,10 @@ mod tests {
         assert_eq!(after.hits, after_first.hits + 10);
     }
 
+    #[cfg(feature = "obs")]
     #[test]
     fn structurally_equal_graphs_share_an_entry() {
+        let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
         clear_cache();
         let g1 = path(6);
         let g2 = path(6); // separately built, same structure
@@ -222,8 +244,10 @@ mod tests {
         assert_eq!(cache_stats().misses, m1, "identical structure must hit");
     }
 
+    #[cfg(feature = "obs")]
     #[test]
     fn distinct_queries_get_distinct_entries() {
+        let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
         clear_cache();
         let g = path(4);
         let h = star(3);

@@ -35,6 +35,38 @@ fn er_pair(seed: u64, n: usize) -> (Graph, Graph) {
     (g, h)
 }
 
+/// The cache's hit/miss counters are thread-count invariant for a
+/// workload of *distinct* queries: every key misses exactly once on
+/// first contact and hits exactly once on the repeat pass, no matter
+/// how the queries were sharded across workers. (Concurrent queries of
+/// the *same* fresh key may legitimately both miss — the cache
+/// computes outside its lock — which is why the workload keeps keys
+/// distinct.) Counters are gel-obs no-ops without the `obs` feature,
+/// so the test only exists with it on.
+#[cfg(feature = "obs")]
+#[test]
+fn cache_counters_deterministic_across_thread_counts() {
+    use rayon::prelude::*;
+    let _guard = THREADS.lock().unwrap_or_else(|e| e.into_inner());
+    let pairs: Vec<_> = (0..24).map(|i| er_pair(0x0B5_0000 + i, 16)).collect();
+    let mut stats = Vec::new();
+    for t in [1usize, 4] {
+        rayon::set_num_threads(t);
+        gel_wl::clear_cache();
+        pairs.par_iter().for_each(|(g, h)| {
+            let _ = cached_cr_equivalent(g, h);
+        });
+        pairs.par_iter().for_each(|(g, h)| {
+            let _ = cached_cr_equivalent(g, h);
+        });
+        stats.push(gel_wl::cache_stats());
+    }
+    rayon::set_num_threads(0);
+    assert_eq!(stats[0], stats[1], "counters must not depend on the thread count");
+    assert_eq!(stats[0].misses, pairs.len() as u64);
+    assert_eq!(stats[0].hits, pairs.len() as u64);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 

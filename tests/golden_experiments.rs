@@ -1,0 +1,67 @@
+//! Golden-file regression harness for the theorem table.
+//!
+//! Runs the full 19-experiment suite (light corpus — the same verdicts
+//! as `--full`, minus the slow CFI(K4) pair) and compares every
+//! verdict, agreement/violation count, and per-pair table row against
+//! the checked-in `tests/golden/experiments.json`, byte for byte.
+//!
+//! The suite is deterministic by construction (fixed seeds, exact
+//! refinement, thread-count-invariant parallel kernels), so any
+//! difference is a behaviour change: either a regression to fix, or an
+//! intentional change to bless with
+//!
+//! ```text
+//! GOLDEN_BLESS=1 cargo test --test golden_experiments
+//! ```
+//!
+//! and review in the diff of the golden file.
+
+use std::path::PathBuf;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/experiments.json")
+}
+
+/// First line where `got` and `want` differ, for a readable failure.
+fn first_divergence(got: &str, want: &str) -> String {
+    for (i, (g, w)) in got.lines().zip(want.lines()).enumerate() {
+        if g != w {
+            return format!("line {}:\n  golden: {w}\n  actual: {g}", i + 1);
+        }
+    }
+    format!(
+        "line counts differ: golden has {}, actual has {}",
+        want.lines().count(),
+        got.lines().count()
+    )
+}
+
+#[test]
+fn experiment_verdicts_match_golden_file() {
+    let results = gel_experiments::run_all(false);
+    let got = gel_experiments::report::golden_json(&results);
+    let path = golden_path();
+
+    if std::env::var_os("GOLDEN_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &got).unwrap();
+        eprintln!("blessed {} ({} experiments)", path.display(), results.len());
+        return;
+    }
+
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {}: {e}\n\
+             generate it with: GOLDEN_BLESS=1 cargo test --test golden_experiments",
+            path.display()
+        )
+    });
+    assert!(
+        got == want,
+        "experiment results diverge from the golden file ({}).\n{}\n\
+         If the change is intentional, re-bless with \
+         GOLDEN_BLESS=1 cargo test --test golden_experiments and review the diff.",
+        path.display(),
+        first_divergence(&got, &want)
+    );
+}

@@ -86,6 +86,7 @@ where
 {
     let n = iter.par_len();
     let threads = effective_threads(n);
+    crate::note_dispatch(threads > 1);
     if threads <= 1 {
         return (0..n).map(|i| f(iter.par_get(i))).collect();
     }

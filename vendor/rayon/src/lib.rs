@@ -105,6 +105,32 @@ pub(crate) fn effective_threads(n: usize) -> usize {
     }
 }
 
+#[cfg(feature = "obs")]
+mod dispatch_counters {
+    /// Parallel regions that actually fanned out over threads.
+    pub static PARALLEL: gel_obs::Counter = gel_obs::Counter::new("rayon.dispatch.parallel");
+    /// Parallel regions that fell through to serial execution (one
+    /// thread configured, single item, or nested inside a worker).
+    pub static SERIAL: gel_obs::Counter = gel_obs::Counter::new("rayon.dispatch.serial");
+}
+
+/// Records one parallel-or-serial dispatch decision. Every entry into
+/// [`join`], iterator driving, or chunked slice processing makes
+/// exactly one call, so `parallel + serial` is a thread-count-
+/// independent invariant of a deterministic workload (only the split
+/// between the two varies with `RAYON_NUM_THREADS`).
+#[inline]
+pub(crate) fn note_dispatch(parallel: bool) {
+    #[cfg(feature = "obs")]
+    if parallel {
+        dispatch_counters::PARALLEL.incr();
+    } else {
+        dispatch_counters::SERIAL.incr();
+    }
+    #[cfg(not(feature = "obs"))]
+    let _ = parallel;
+}
+
 /// Runs both closures, potentially in parallel, and returns both
 /// results. Panics propagate.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
@@ -115,8 +141,10 @@ where
     RB: Send,
 {
     if effective_threads(2) <= 1 {
+        note_dispatch(false);
         return (a(), b());
     }
+    note_dispatch(true);
     std::thread::scope(|s| {
         let hb = s.spawn(|| as_worker(b));
         let ra = as_worker(a);

@@ -59,6 +59,7 @@ where
 {
     let n = chunks.len();
     let threads = effective_threads(n);
+    crate::note_dispatch(threads > 1);
     if threads <= 1 {
         for pair in chunks.into_iter().enumerate() {
             f(pair);
