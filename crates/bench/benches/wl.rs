@@ -1,51 +1,119 @@
-//! WL-family benchmarks: colour-refinement scaling, folklore vs
-//! oblivious k-WL, and the hard instances behind experiment E8.
+//! WL-family benchmarks: colour refinement and k-WL (k ∈ {2, 3}) on
+//! the hard corpus behind E8/E9 — the CFI(K4) pair and the
+//! srg(16,6,2,2) pair (Shrikhande vs 4×4 rook) — timing the
+//! arena-backed refinement engine end to end.
+//!
+//! Run with `cargo bench -p gel-bench --bench wl [-- --smoke]`.
+//! `--smoke` shrinks the iteration counts for CI and *asserts* the
+//! engine's zero-allocation contract: refining a high-round instance
+//! to stability grows the tracked refinement scratch
+//! (`wl.scratch.allocs`) by exactly as much as a 2-round warm-up of
+//! the same instance — i.e. every round after the first allocates
+//! nothing. With the `obs` feature off the counter reads zero on both
+//! sides and the gate passes trivially (the instrumented leg is the
+//! binding one).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+
 use gel_graph::cfi::cfi_pair_k4;
-use gel_graph::families::srg_16_6_2_2_pair;
-use gel_graph::random::erdos_renyi;
-use gel_wl::{color_refinement, k_wl, CrOptions, WlVariant};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use gel_graph::families::{path, srg_16_6_2_2_pair};
+use gel_wl::{color_refinement, k_wl, wl_scratch_allocs, CrOptions, WlVariant};
 
-fn bench_color_refinement_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("color_refinement_er");
-    for n in [50usize, 100, 200, 400] {
-        let g = erdos_renyi(n, 8.0 / n as f64, &mut StdRng::seed_from_u64(gel_bench::BENCH_SEED));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
-            b.iter(|| color_refinement(black_box(&[g]), CrOptions::default()))
-        });
+fn secs_per_iter(iters: u32, mut f: impl FnMut()) -> f64 {
+    // One untimed warm-up call so first-run costs stay out of the mean.
+    f();
+    let t = Instant::now();
+    for _ in 0..iters {
+        f();
     }
-    group.finish();
+    t.elapsed().as_secs_f64() / f64::from(iters)
 }
 
-fn bench_kwl_variants(c: &mut Criterion) {
-    let (s, r) = srg_16_6_2_2_pair();
-    let mut group = c.benchmark_group("kwl_srg16");
-    group.bench_function("2-folklore", |b| {
-        b.iter(|| k_wl(black_box(&[&s, &r]), 2, WlVariant::Folklore, None))
-    });
-    group.bench_function("2-oblivious", |b| {
-        b.iter(|| k_wl(black_box(&[&s, &r]), 2, WlVariant::Oblivious, None))
-    });
-    group.bench_function("3-folklore", |b| {
-        b.iter(|| k_wl(black_box(&[&s, &r]), 3, WlVariant::Folklore, None))
-    });
-    group.finish();
+fn report(name: &str, secs: f64, rounds: usize) {
+    println!("{name:<36} {:>10.2} µs/iter   ({rounds} rounds to stability)", secs * 1e6);
 }
 
-fn bench_e08_hard_pairs(c: &mut Criterion) {
-    // The E8 kernel: deciding the hierarchy level of the CFI(K4) pair.
-    let (g, h) = cfi_pair_k4();
-    c.bench_function("bench_e08_cfi_k4_2wl", |b| {
-        b.iter(|| k_wl(black_box(&[&g, &h]), 2, WlVariant::Folklore, None))
-    });
+/// Tracked-scratch growth across `f`.
+fn scratch_delta(f: impl FnOnce()) -> u64 {
+    let base = wl_scratch_allocs();
+    f();
+    wl_scratch_allocs() - base
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_color_refinement_scaling, bench_kwl_variants, bench_e08_hard_pairs
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let iters = if smoke { 2 } else { 20 };
+    let heavy_iters = if smoke { 1 } else { 5 };
+
+    let (cfi_g, cfi_h) = cfi_pair_k4();
+    let (srg_s, srg_r) = srg_16_6_2_2_pair();
+
+    let cr = color_refinement(&[&cfi_g, &cfi_h], CrOptions::default());
+    report(
+        "cr_cfi_k4",
+        secs_per_iter(iters, || {
+            let _ = color_refinement(&[&cfi_g, &cfi_h], CrOptions::default());
+        }),
+        cr.rounds,
+    );
+    let cr = color_refinement(&[&srg_s, &srg_r], CrOptions::default());
+    report(
+        "cr_srg16",
+        secs_per_iter(iters, || {
+            let _ = color_refinement(&[&srg_s, &srg_r], CrOptions::default());
+        }),
+        cr.rounds,
+    );
+
+    for (name, g, h, k, variant, heavy) in [
+        ("2fwl_srg16", &srg_s, &srg_r, 2, WlVariant::Folklore, false),
+        ("2owl_srg16", &srg_s, &srg_r, 2, WlVariant::Oblivious, false),
+        ("2fwl_cfi_k4", &cfi_g, &cfi_h, 2, WlVariant::Folklore, false),
+        ("3fwl_srg16", &srg_s, &srg_r, 3, WlVariant::Folklore, true),
+        ("3fwl_cfi_k4", &cfi_g, &cfi_h, 3, WlVariant::Folklore, true),
+    ] {
+        let c = k_wl(&[g, h], k, variant, None);
+        report(
+            name,
+            secs_per_iter(if heavy { heavy_iters } else { iters }, || {
+                let _ = k_wl(&[g, h], k, variant, None);
+            }),
+            c.rounds,
+        );
+    }
+
+    // Zero-allocation gate: a long refinement must grow the tracked
+    // scratch exactly as much as a 2-round warm-up of the same
+    // instance — every round past the sizing round is allocation-free.
+    // path(240) drives CR through ~120 rounds; path(18) drives 2-FWL
+    // through well over two.
+    let long_path = path(240);
+    let opts_warm = CrOptions { max_rounds: Some(2), ignore_labels: false };
+    let warm = scratch_delta(|| {
+        let _ = color_refinement(&[&long_path], opts_warm);
+    });
+    let mut rounds = 0;
+    let full = scratch_delta(|| {
+        rounds = color_refinement(&[&long_path], CrOptions::default()).rounds;
+    });
+    assert!(rounds > 2, "gate needs a many-round instance, got {rounds}");
+    println!("cr_steady_state: {rounds} rounds, scratch growth {full} (warm-up {warm})");
+    let cr_gate = (warm, full);
+
+    let short_path = path(18);
+    let warm = scratch_delta(|| {
+        let _ = k_wl(&[&short_path], 2, WlVariant::Folklore, Some(2));
+    });
+    let mut rounds = 0;
+    let full = scratch_delta(|| {
+        rounds = k_wl(&[&short_path], 2, WlVariant::Folklore, None).rounds;
+    });
+    assert!(rounds > 2, "gate needs a many-round instance, got {rounds}");
+    println!("kwl_steady_state: {rounds} rounds, scratch growth {full} (warm-up {warm})");
+
+    if smoke {
+        assert_eq!(cr_gate.0, cr_gate.1, "CR rounds allocated after warm-up");
+        assert_eq!(warm, full, "2-FWL rounds allocated after warm-up");
+        println!("smoke OK: steady-state WL refinement rounds are allocation-free");
+    }
 }
-criterion_main!(benches);

@@ -8,12 +8,16 @@
 //! * `--bench-json <path>` additionally re-runs the suite pinned to one
 //!   thread — instrumented, one experiment at a time, gel-obs state
 //!   reset between experiments — and writes a machine-readable report
-//!   (`"schema_version": 2`): wall-clock per experiment, serial vs
+//!   (`"schema_version": 3`): wall-clock per experiment, serial vs
 //!   parallel suite times, and a fixed-key per-experiment `metrics`
 //!   object (kernel/refinement span seconds, WL-cache hit rate, buffer
-//!   allocations, dispatch decisions) plus suite-wide `obs` totals —
-//!   the file recorded as `BENCH_parallel.json`. Its key set is guarded
-//!   by the `schema_check` bin in CI. Tables printed to stdout are
+//!   allocations, dispatch decisions) plus suite-wide `obs` totals
+//!   (including the WL engine's round count, canonical-renaming
+//!   seconds, and scratch-allocation rate) — the file recorded as
+//!   `BENCH_parallel.json`. Its key set is guarded by the
+//!   `schema_check` bin in CI. The top-level `wl_cache` object and the
+//!   `obs.wl_cache_*` mirror derive from the *same* instrumented-leg
+//!   counters, so they always agree. Tables printed to stdout are
 //!   identical with and without the flag, and identical at every thread
 //!   count. With the crate's `obs` feature off (build with
 //!   `--no-default-features`) all metric values are zero but the schema
@@ -179,7 +183,6 @@ fn main() {
     let lattice = gel_experiments::e10_recipe::lattice_figure(&corpus);
     let lattice_s = t_lat.elapsed().as_secs_f64();
     let suite_parallel_s = t0.elapsed().as_secs_f64();
-    let cache = gel_wl::cache_stats();
 
     let mut failed = 0;
     for (r, _) in &timed {
@@ -219,7 +222,7 @@ fn main() {
         let obs_misses = totals.counter("wl.cache.misses");
 
         let mut out = String::from("{\n");
-        out.push_str("  \"schema_version\": 2,\n");
+        out.push_str("  \"schema_version\": 3,\n");
         out.push_str(&format!("  \"obs_enabled\": {},\n", cfg!(feature = "obs")));
         out.push_str(&format!("  \"threads\": {threads},\n"));
         out.push_str(&format!("  \"full_corpus\": {full},\n"));
@@ -238,14 +241,20 @@ fn main() {
             "  \"batched_speedup\": {:.3},\n",
             unbatched_s / batched_s.max(1e-12)
         ));
+        // Both cache views derive from the same instrumented-leg
+        // counters (one counting site in gel-wl's cache), so they can
+        // never disagree; PR 3's report read the top-level pair from
+        // the shared post-parallel-leg cache instead and the two
+        // measurement scopes drifted apart.
         out.push_str(&format!(
-            "  \"wl_cache\": {{\"hits\": {}, \"misses\": {}}},\n",
-            cache.hits, cache.misses
+            "  \"wl_cache\": {{\"hits\": {obs_hits}, \"misses\": {obs_misses}}},\n",
         ));
+        let wl_rounds = totals.counter("wl.refine.rounds");
         out.push_str(&format!(
             "  \"obs\": {{\"wl_cache_hits\": {}, \"wl_cache_misses\": {}, \
              \"wl_cache_hit_rate\": {:.4}, \"buffer_allocs\": {}, \"scratch_takes\": {}, \
              \"scratch_pool_peak\": {:.0}, \"kernel_s\": {:.6}, \"wl_refine_s\": {:.6}, \
+             \"kwl_rounds\": {}, \"kwl_renames_s\": {:.6}, \"wl_allocs_per_round\": {:.3}, \
              \"dispatch_parallel\": {}, \"dispatch_serial\": {}}},\n",
             obs_hits,
             obs_misses,
@@ -259,6 +268,9 @@ fn main() {
             totals.gauge("tensor.scratch.pool_peak").max(0.0),
             totals.leaf_span_total("tensor.").secs,
             totals.leaf_span_total("wl.refine").secs,
+            wl_rounds,
+            totals.leaf_span_total("wl.rename").secs,
+            totals.counter("wl.scratch.allocs") as f64 / wl_rounds.max(1) as f64,
             totals.counter("tensor.dispatch.parallel") + totals.counter("rayon.dispatch.parallel"),
             totals.counter("tensor.dispatch.serial") + totals.counter("rayon.dispatch.serial"),
         ));

@@ -132,10 +132,9 @@ fn get_or_compute(key: Key, compute: impl FnOnce() -> Coloring) -> Arc<Coloring>
 /// The joint stable CR colouring of `[g, h]`, memoized.
 pub fn cached_joint_cr(g: &Graph, h: &Graph) -> Arc<Coloring> {
     let key = (0, fingerprint(g), fingerprint(h));
-    get_or_compute(key, || {
-        let _t = gel_obs::span("wl.refine.cr");
-        color_refinement(&[g, h], CrOptions::default())
-    })
+    // The `wl.refine.cr` span lives inside `color_refinement` itself,
+    // so cached and direct calls are attributed alike.
+    get_or_compute(key, || color_refinement(&[g, h], CrOptions::default()))
 }
 
 /// Memoized [`crate::color_refinement::cr_equivalent`].
@@ -159,10 +158,8 @@ pub fn cached_cr_vertex_equivalent(
 pub fn cached_joint_k_wl(g: &Graph, h: &Graph, k: usize, variant: WlVariant) -> Arc<Coloring> {
     let kind = 2 * k as u64 + u64::from(variant == WlVariant::Oblivious);
     let key = (kind, fingerprint(g), fingerprint(h));
-    get_or_compute(key, || {
-        let _t = gel_obs::span("wl.refine.kwl");
-        k_wl(&[g, h], k, variant, None)
-    })
+    // As for CR, the `wl.refine.kwl` span lives inside `k_wl`.
+    get_or_compute(key, || k_wl(&[g, h], k, variant, None))
 }
 
 /// Memoized [`crate::kwl::k_wl_equivalent`].
@@ -242,6 +239,30 @@ mod tests {
         let m1 = cache_stats().misses;
         cached_cr_equivalent(&g2, &h);
         assert_eq!(cache_stats().misses, m1, "identical structure must hit");
+    }
+
+    /// `cache_stats()` and the raw gel-obs counters are the *same*
+    /// numbers: there is exactly one counting site (`get_or_compute`),
+    /// and every report field must derive from it. This is the
+    /// regression test for the PR-3 report bug where the top-level
+    /// `wl_cache` object was read from a different measurement scope
+    /// than the `obs` mirror and the two disagreed.
+    #[cfg(feature = "obs")]
+    #[test]
+    fn cache_stats_match_obs_counters() {
+        let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        clear_cache();
+        gel_obs::reset();
+        let g = path(6);
+        let h = cycle(6);
+        cached_cr_equivalent(&g, &h);
+        cached_cr_equivalent(&g, &h);
+        cached_k_wl_equivalent(&g, &h, 2, WlVariant::Folklore);
+        let stats = cache_stats();
+        let snap = gel_obs::snapshot();
+        assert_eq!(stats.hits, snap.counter("wl.cache.hits"));
+        assert_eq!(stats.misses, snap.counter("wl.cache.misses"));
+        assert_eq!((stats.hits, stats.misses), (1, 2));
     }
 
     #[cfg(feature = "obs")]

@@ -17,11 +17,18 @@
 //! disjoint unions. For directed graphs, in- and out-neighbourhoods are
 //! refined separately (the natural generalization; on symmetric graphs
 //! this coincides with the textbook algorithm).
+//!
+//! Signatures live in a packed [`SigArena`] (own colour, out-multiset,
+//! in-multiset as sentinel-delimited digit sections — see the arena
+//! docs for the ordering argument) and are renamed by the
+//! counting-sort [`Renamer`]; both are sized once and reused across
+//! rounds, so steady-state rounds allocate nothing. The colourings are
+//! bit-identical to the naive nested-`Vec` + `BTreeMap` formulation,
+//! which survives as the `#[cfg(test)]` oracle in `crate::naive`.
 
 use gel_graph::Graph;
-use rayon::prelude::*;
 
-use crate::partition::{canonical_rename, label_key, Color, Coloring};
+use crate::partition::{Color, Coloring, Renamer, SigArena, REFINE_ROUNDS};
 
 /// Joint vertex counts below this stay serial: signature building is
 /// cheap per vertex, so thread fan-out only pays off on larger unions.
@@ -41,18 +48,9 @@ pub struct CrOptions {
 /// Runs colour refinement jointly on `graphs` until every graph's
 /// colouring is stable (or `max_rounds` is hit).
 pub fn color_refinement(graphs: &[&Graph], opts: CrOptions) -> Coloring {
+    let _span = gel_obs::span("wl.refine.cr");
     let sizes: Vec<usize> = graphs.iter().map(|g| g.num_vertices()).collect();
     let total: usize = sizes.iter().sum();
-
-    // Round 0: colours from labels.
-    let init_sigs: Vec<Vec<u64>> = graphs
-        .iter()
-        .flat_map(|g| {
-            g.vertices().map(|v| if opts.ignore_labels { vec![0] } else { label_key(g.label(v)) })
-        })
-        .collect();
-    let (mut flat, mut num_colors) = canonical_rename(init_sigs);
-    let max_rounds = opts.max_rounds.unwrap_or(total.max(1));
 
     // Owner table: flat position -> (graph, graph's base offset),
     // computed once so rounds can index the union space directly.
@@ -66,45 +64,83 @@ pub fn color_refinement(graphs: &[&Graph], opts: CrOptions) -> Coloring {
         t
     };
 
-    // Signature of vertex at flat position `p` under colouring `flat`:
-    // (own colour, sorted out-nbr colours, sorted in-nbr colours).
-    let signature = |p: usize, flat: &[Color]| {
+    // Round 0: colours from labels, packed as raw `f64`-bit keys (one
+    // word per label coordinate; empty on zero-dimensional labels) —
+    // slice order equals the `Vec<u64>` order of `label_key`.
+    let mut keys = SigArena::<u64>::new();
+    keys.set_layout(
+        (0..total).map(|p| if opts.ignore_labels { 1 } else { owner[p].0.label_dim() }),
+    );
+    keys.fill(false, |p, slot| {
+        if opts.ignore_labels {
+            slot[0] = 0;
+        } else {
+            let (g, base) = owner[p];
+            let v = (p - base) as gel_graph::Vertex;
+            for (s, &x) in slot.iter_mut().zip(g.label(v)) {
+                *s = x.to_bits();
+            }
+        }
+    });
+    let mut renamer = Renamer::new();
+    let mut flat: Vec<Color> = Vec::new();
+    let mut num_colors = renamer.rename_keys(&keys, &mut flat);
+    drop(keys);
+    let max_rounds = opts.max_rounds.unwrap_or(total.max(1));
+
+    // The per-vertex signature widths depend only on degrees, so the
+    // arena layout is fixed for the whole run: sections are
+    // [own][sorted out-colours][sorted in-colours], each closed by a
+    // sentinel (the in section stays empty on symmetric graphs, as in
+    // the naive signature).
+    let mut arena = SigArena::<u32>::new();
+    arena.set_layout((0..total).map(|p| {
         let (g, base) = owner[p];
         let v = (p - base) as gel_graph::Vertex;
-        let own = flat[p];
-        let mut outc: Vec<Color> =
-            g.out_neighbors(v).iter().map(|&u| flat[base + u as usize]).collect();
-        outc.sort_unstable();
-        let inc: Vec<Color> = if g.is_symmetric() {
-            Vec::new()
-        } else {
-            let mut t: Vec<Color> =
-                g.in_neighbors(v).iter().map(|&u| flat[base + u as usize]).collect();
-            t.sort_unstable();
-            t
-        };
-        (own, outc, inc)
-    };
+        let inc = if g.is_symmetric() { 0 } else { g.in_neighbors(v).len() };
+        2 + g.out_neighbors(v).len() + 1 + inc + 1
+    }));
+    let mut new_flat: Vec<Color> = Vec::new();
 
     let mut rounds = 0usize;
     while rounds < max_rounds {
+        REFINE_ROUNDS.incr();
         // Per-vertex signatures are independent, so they fan out over
-        // threads; the order-preserving collect plus the sequential
-        // canonical rename keep colourings bit-identical at any thread
-        // count.
-        let sigs: Vec<(Color, Vec<Color>, Vec<Color>)> = if total >= CR_PAR_THRESHOLD {
-            (0..total).into_par_iter().map(|p| signature(p, &flat)).collect()
-        } else {
-            (0..total).map(|p| signature(p, &flat)).collect()
-        };
-        let (new_flat, new_num) = canonical_rename(sigs);
+        // threads; positional writes into the arena plus the
+        // thread-count-deterministic rename keep colourings
+        // bit-identical at any thread count.
+        let cur = &flat;
+        arena.fill(total >= CR_PAR_THRESHOLD, |p, slot| {
+            let (g, base) = owner[p];
+            let v = (p - base) as gel_graph::Vertex;
+            slot[0] = cur[p] + 1;
+            slot[1] = 0;
+            let mut w = 2;
+            for &u in g.out_neighbors(v) {
+                slot[w] = cur[base + u as usize] + 1;
+                w += 1;
+            }
+            slot[2..w].sort_unstable();
+            slot[w] = 0;
+            w += 1;
+            if !g.is_symmetric() {
+                let lo = w;
+                for &u in g.in_neighbors(v) {
+                    slot[w] = cur[base + u as usize] + 1;
+                    w += 1;
+                }
+                slot[lo..w].sort_unstable();
+            }
+            slot[w] = 0;
+        });
+        let new_num = renamer.rename_digits(&arena, num_colors + 1, &mut new_flat);
         rounds += 1;
         if new_num == num_colors {
             // A refinement never merges classes, so an equal count means
             // the partition (and, by canonicity, the colouring) is stable.
             break;
         }
-        flat = new_flat;
+        std::mem::swap(&mut flat, &mut new_flat);
         num_colors = new_num;
     }
 

@@ -23,9 +23,8 @@
 //! ≤ 40 vertices).
 
 use gel_graph::Graph;
-use rayon::prelude::*;
 
-use crate::partition::{canonical_rename, label_key, Color, Coloring};
+use crate::partition::{sort_chunks, Color, Coloring, Renamer, SigArena, REFINE_ROUNDS};
 
 /// Tuple spaces below this run serially; above it the Θ(k·n^{k+1})
 /// signature pass dominates and fans out over threads.
@@ -59,69 +58,45 @@ fn decode(idx: usize, n: usize, out: &mut [u32]) {
     }
 }
 
-/// Atomic type of a tuple: equality pattern + ordered adjacency +
-/// labels, encoded as an orderable key.
-fn atomic_type(g: &Graph, tuple: &[u32]) -> Vec<u64> {
+/// Tuple-decode buffers up to this arity live on the stack; beyond it
+/// (reachable only for single-vertex graphs, where `n^k` stays 1) the
+/// fill falls back to a heap buffer.
+const STACK_K: usize = 64;
+
+/// Calls `f` with the decoded tuple for `idx` without touching the
+/// heap in the common case.
+#[inline]
+fn with_tuple<R>(idx: usize, n: usize, k: usize, f: impl FnOnce(&[u32]) -> R) -> R {
+    if k <= STACK_K {
+        let mut buf = [0u32; STACK_K];
+        decode(idx, n, &mut buf[..k]);
+        f(&buf[..k])
+    } else {
+        let mut buf = vec![0u32; k];
+        decode(idx, n, &mut buf);
+        f(&buf)
+    }
+}
+
+/// Writes the atomic type of `tuple` — equality pattern + ordered
+/// adjacency (k·k words) followed by the `k` vertices' label bits —
+/// into `slot`. The word sequence matches the `Vec<u64>` key of the
+/// naive oracle, so slice order equals its ordering.
+fn atomic_type_into(g: &Graph, tuple: &[u32], slot: &mut [u64]) {
     let k = tuple.len();
-    let mut key = Vec::with_capacity(k * k + k);
+    let mut w = 0;
     for i in 0..k {
         for j in 0..k {
             let eq = u64::from(tuple[i] == tuple[j]);
             let edge = u64::from(g.has_edge(tuple[i], tuple[j]));
-            key.push(eq << 1 | edge);
+            slot[w] = eq << 1 | edge;
+            w += 1;
         }
     }
     for &v in tuple {
-        key.extend(label_key(g.label(v)));
-    }
-    key
-}
-
-/// One round's refinement signature of the tuple at index `idx`.
-///
-/// Folklore: (own, sorted multiset over w of `[c(sub_1 w), …, c(sub_k w)]`).
-/// Oblivious: (own, for each position i the sorted multiset over w of
-/// `c(sub_i w)`).
-fn tuple_signature(
-    g: &Graph,
-    flat: &[Color],
-    base: usize,
-    strides: &[usize],
-    idx: usize,
-    k: usize,
-    variant: WlVariant,
-) -> (Color, Vec<Vec<Color>>) {
-    let n = g.num_vertices();
-    let mut tuple = vec![0u32; k];
-    decode(idx, n, &mut tuple);
-    let own = flat[base + idx];
-    match variant {
-        WlVariant::Folklore => {
-            let mut ms: Vec<Vec<Color>> = Vec::with_capacity(n);
-            for w in 0..n as u32 {
-                let mut vec_c = Vec::with_capacity(k);
-                for i in 0..k {
-                    let sub = idx + (w as usize) * strides[i] - (tuple[i] as usize) * strides[i];
-                    vec_c.push(flat[base + sub]);
-                }
-                ms.push(vec_c);
-            }
-            ms.sort_unstable();
-            (own, ms)
-        }
-        WlVariant::Oblivious => {
-            let mut per_pos: Vec<Vec<Color>> = Vec::with_capacity(k);
-            for i in 0..k {
-                let mut ms: Vec<Color> = (0..n)
-                    .map(|w| {
-                        let sub = idx + w * strides[i] - (tuple[i] as usize) * strides[i];
-                        flat[base + sub]
-                    })
-                    .collect();
-                ms.sort_unstable();
-                per_pos.push(ms);
-            }
-            (own, per_pos)
+        for &x in g.label(v) {
+            slot[w] = x.to_bits();
+            w += 1;
         }
     }
 }
@@ -148,54 +123,108 @@ pub fn k_wl(
             crate::color_refinement::CrOptions { max_rounds, ignore_labels: false },
         );
     }
+    let _span = gel_obs::span("wl.refine.kwl");
     let sizes: Vec<usize> = graphs.iter().map(|g| pow(g.num_vertices(), k)).collect();
     let total: usize = sizes.iter().sum();
 
-    // Round 0: atomic types. Tuples are independent, so large tuple
-    // spaces fan out; the order-preserving collect keeps the signature
-    // vector identical to the serial construction.
-    let mut init: Vec<Vec<u64>> = Vec::with_capacity(total);
-    for g in graphs {
-        let n = g.num_vertices();
-        let m = pow(n, k);
-        let atomic = |idx: usize| {
-            let mut tuple = vec![0u32; k];
-            decode(idx, n, &mut tuple);
-            atomic_type(g, &tuple)
-        };
-        if m >= KWL_PAR_THRESHOLD {
-            init.extend((0..m).into_par_iter().map(atomic).collect::<Vec<_>>());
-        } else {
-            init.extend((0..m).map(atomic));
-        }
-    }
-    let (mut flat, mut num_colors) = canonical_rename(init);
+    // `bases[gi]` is graph gi's offset in the flat tuple union;
+    // `bases.partition_point(|&b| b <= p) - 1` recovers the owning
+    // graph of flat position `p` (corpora are a handful of graphs, so
+    // the binary search is a couple of comparisons per element).
+    let bases: Vec<usize> = std::iter::once(0)
+        .chain(sizes.iter().scan(0usize, |acc, &s| {
+            *acc += s;
+            Some(*acc)
+        }))
+        .collect();
+    // Stride of position i in graph gi's tuple index: substituting w
+    // at position i changes the index by (w - v_i)·n^{k-1-i}.
+    let strides_all: Vec<Vec<usize>> =
+        graphs.iter().map(|g| (0..k).map(|i| pow(g.num_vertices(), k - 1 - i)).collect()).collect();
+
+    // Round 0: atomic types in a packed u64 key arena. Tuples are
+    // independent, so large unions fan out; positional writes keep the
+    // arena identical to the serial construction.
+    let mut keys = SigArena::<u64>::new();
+    keys.set_layout((0..total).map(|p| {
+        let gi = bases.partition_point(|&b| b <= p) - 1;
+        k * k + k * graphs[gi].label_dim()
+    }));
+    keys.fill(total >= KWL_PAR_THRESHOLD, |p, slot| {
+        let gi = bases.partition_point(|&b| b <= p) - 1;
+        let g = graphs[gi];
+        with_tuple(p - bases[gi], g.num_vertices(), k, |tuple| atomic_type_into(g, tuple, slot));
+    });
+    let mut renamer = Renamer::new();
+    let mut flat: Vec<Color> = Vec::new();
+    let mut num_colors = renamer.rename_keys(&keys, &mut flat);
+    drop(keys);
     let limit = max_rounds.unwrap_or(total.max(1));
+
+    // Round signatures live in a digit arena whose layout is fixed for
+    // the whole run. Folklore: [own][n sorted k-chunks]; oblivious:
+    // [own][k sorted per-position multisets of n]; every section is
+    // closed by a sentinel (see the arena docs for why flat comparison
+    // of these streams reproduces the naive nested-Vec ordering).
+    let mut arena = SigArena::<u32>::new();
+    arena.set_layout((0..total).map(|p| {
+        let gi = bases.partition_point(|&b| b <= p) - 1;
+        let n = graphs[gi].num_vertices();
+        match variant {
+            WlVariant::Folklore => n * k + 3,
+            WlVariant::Oblivious => 2 + k * (n + 1),
+        }
+    }));
+    let mut new_flat: Vec<Color> = Vec::new();
 
     let mut rounds = 0usize;
     while rounds < limit {
-        let mut sigs: Vec<(Color, Vec<Vec<Color>>)> = Vec::with_capacity(total);
-        let mut base = 0usize;
-        for g in graphs.iter() {
+        REFINE_ROUNDS.incr();
+        let cur = &flat;
+        arena.fill(total >= KWL_PAR_THRESHOLD, |p, slot| {
+            let gi = bases.partition_point(|&b| b <= p) - 1;
+            let g = graphs[gi];
             let n = g.num_vertices();
-            let m = pow(n, k);
-            // Stride of position i in the tuple index: substituting w at
-            // position i changes the index by (w - v_i)·n^{k-1-i}.
-            let strides: Vec<usize> = (0..k).map(|i| pow(n, k - 1 - i)).collect();
-            let sig = |idx: usize| tuple_signature(g, &flat, base, &strides, idx, k, variant);
-            if m >= KWL_PAR_THRESHOLD {
-                sigs.extend((0..m).into_par_iter().map(sig).collect::<Vec<_>>());
-            } else {
-                sigs.extend((0..m).map(sig));
-            }
-            base += m;
-        }
-        let (new_flat, new_num) = canonical_rename(sigs);
+            let base = bases[gi];
+            let idx = p - base;
+            let strides = &strides_all[gi];
+            slot[0] = cur[p] + 1;
+            slot[1] = 0;
+            with_tuple(idx, n, k, |tuple| match variant {
+                WlVariant::Folklore => {
+                    let mut pos = 2;
+                    for w in 0..n {
+                        for i in 0..k {
+                            let sub = idx + w * strides[i] - tuple[i] as usize * strides[i];
+                            slot[pos] = cur[base + sub] + 1;
+                            pos += 1;
+                        }
+                    }
+                    sort_chunks(&mut slot[2..pos], k);
+                    slot[pos] = 0;
+                }
+                WlVariant::Oblivious => {
+                    let mut pos = 2;
+                    for i in 0..k {
+                        let lo = pos;
+                        for w in 0..n {
+                            let sub = idx + w * strides[i] - tuple[i] as usize * strides[i];
+                            slot[pos] = cur[base + sub] + 1;
+                            pos += 1;
+                        }
+                        slot[lo..pos].sort_unstable();
+                        slot[pos] = 0;
+                        pos += 1;
+                    }
+                }
+            });
+        });
+        let new_num = renamer.rename_digits(&arena, num_colors + 1, &mut new_flat);
         rounds += 1;
         if new_num == num_colors {
             break;
         }
-        flat = new_flat;
+        std::mem::swap(&mut flat, &mut new_flat);
         num_colors = new_num;
     }
 

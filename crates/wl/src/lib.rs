@@ -31,6 +31,8 @@
 pub mod cache;
 pub mod color_refinement;
 pub mod kwl;
+#[cfg(test)]
+mod naive;
 pub mod partition;
 pub mod relational;
 
@@ -42,5 +44,7 @@ pub use color_refinement::{
     color_refinement, color_refinement_single, cr_equivalent, cr_vertex_equivalent, CrOptions,
 };
 pub use kwl::{distinguishing_level, k_wl, k_wl_equivalent, WlVariant};
-pub use partition::{canonical_rename, label_key, Color, Coloring};
+pub use partition::{
+    canonical_rename, label_key, wl_scratch_allocs, Color, Coloring, Renamer, SigArena,
+};
 pub use relational::{relational_color_refinement, relational_cr_equivalent};

@@ -1,0 +1,450 @@
+//! The pre-arena ("naive") refinement implementations, kept as the
+//! property-test oracle for the packed-arena engines.
+//!
+//! These are verbatim ports of the original `Vec<Vec<Color>>` +
+//! [`canonical_rename`] formulations: every signature is materialized
+//! as a nested tuple/`Vec` and renamed through a `BTreeMap` in sorted
+//! order. They are allocation-heavy and slow, which is exactly why the
+//! production engines replaced them — but their ordering semantics are
+//! transparently correct, so the tests below assert that the arena
+//! engines reproduce their `Coloring`s *bit-identically* (colors,
+//! `num_colors`, and `rounds`) on random joint corpora at several
+//! thread counts.
+
+use gel_graph::typed::TypedGraph;
+use gel_graph::Graph;
+
+use crate::color_refinement::CrOptions;
+use crate::kwl::WlVariant;
+use crate::partition::{canonical_rename, label_key, Color, Coloring};
+
+/// Oracle colour refinement (original implementation).
+pub fn naive_color_refinement(graphs: &[&Graph], opts: CrOptions) -> Coloring {
+    let sizes: Vec<usize> = graphs.iter().map(|g| g.num_vertices()).collect();
+    let total: usize = sizes.iter().sum();
+
+    let init_sigs: Vec<Vec<u64>> = graphs
+        .iter()
+        .flat_map(|g| {
+            g.vertices().map(|v| if opts.ignore_labels { vec![0] } else { label_key(g.label(v)) })
+        })
+        .collect();
+    let (mut flat, mut num_colors) = canonical_rename(init_sigs);
+    let max_rounds = opts.max_rounds.unwrap_or(total.max(1));
+
+    let owner: Vec<(&Graph, usize)> = {
+        let mut t = Vec::with_capacity(total);
+        let mut base = 0usize;
+        for (gi, g) in graphs.iter().enumerate() {
+            t.extend(std::iter::repeat_n((*g, base), sizes[gi]));
+            base += sizes[gi];
+        }
+        t
+    };
+
+    let signature = |p: usize, flat: &[Color]| {
+        let (g, base) = owner[p];
+        let v = (p - base) as gel_graph::Vertex;
+        let own = flat[p];
+        let mut outc: Vec<Color> =
+            g.out_neighbors(v).iter().map(|&u| flat[base + u as usize]).collect();
+        outc.sort_unstable();
+        let inc: Vec<Color> = if g.is_symmetric() {
+            Vec::new()
+        } else {
+            let mut t: Vec<Color> =
+                g.in_neighbors(v).iter().map(|&u| flat[base + u as usize]).collect();
+            t.sort_unstable();
+            t
+        };
+        (own, outc, inc)
+    };
+
+    let mut rounds = 0usize;
+    while rounds < max_rounds {
+        let sigs: Vec<(Color, Vec<Color>, Vec<Color>)> =
+            (0..total).map(|p| signature(p, &flat)).collect();
+        let (new_flat, new_num) = canonical_rename(sigs);
+        rounds += 1;
+        if new_num == num_colors {
+            break;
+        }
+        flat = new_flat;
+        num_colors = new_num;
+    }
+
+    let mut colors = Vec::with_capacity(graphs.len());
+    let mut base = 0usize;
+    for &sz in &sizes {
+        colors.push(flat[base..base + sz].to_vec());
+        base += sz;
+    }
+    Coloring { colors, num_colors, rounds }
+}
+
+fn pow(n: usize, k: usize) -> usize {
+    n.checked_pow(k as u32).expect("tuple space too large")
+}
+
+fn decode(idx: usize, n: usize, out: &mut [u32]) {
+    let mut rest = idx;
+    for slot in out.iter_mut().rev() {
+        *slot = (rest % n) as u32;
+        rest /= n;
+    }
+}
+
+fn atomic_type(g: &Graph, tuple: &[u32]) -> Vec<u64> {
+    let k = tuple.len();
+    let mut key = Vec::with_capacity(k * k + k);
+    for i in 0..k {
+        for j in 0..k {
+            let eq = u64::from(tuple[i] == tuple[j]);
+            let edge = u64::from(g.has_edge(tuple[i], tuple[j]));
+            key.push(eq << 1 | edge);
+        }
+    }
+    for &v in tuple {
+        key.extend(label_key(g.label(v)));
+    }
+    key
+}
+
+fn tuple_signature(
+    g: &Graph,
+    flat: &[Color],
+    base: usize,
+    strides: &[usize],
+    idx: usize,
+    k: usize,
+    variant: WlVariant,
+) -> (Color, Vec<Vec<Color>>) {
+    let n = g.num_vertices();
+    let mut tuple = vec![0u32; k];
+    decode(idx, n, &mut tuple);
+    let own = flat[base + idx];
+    match variant {
+        WlVariant::Folklore => {
+            let mut ms: Vec<Vec<Color>> = Vec::with_capacity(n);
+            for w in 0..n as u32 {
+                let mut vec_c = Vec::with_capacity(k);
+                for i in 0..k {
+                    let sub = idx + (w as usize) * strides[i] - (tuple[i] as usize) * strides[i];
+                    vec_c.push(flat[base + sub]);
+                }
+                ms.push(vec_c);
+            }
+            ms.sort_unstable();
+            (own, ms)
+        }
+        WlVariant::Oblivious => {
+            let mut per_pos: Vec<Vec<Color>> = Vec::with_capacity(k);
+            for i in 0..k {
+                let mut ms: Vec<Color> = (0..n)
+                    .map(|w| {
+                        let sub = idx + w * strides[i] - (tuple[i] as usize) * strides[i];
+                        flat[base + sub]
+                    })
+                    .collect();
+                ms.sort_unstable();
+                per_pos.push(ms);
+            }
+            (own, per_pos)
+        }
+    }
+}
+
+/// Oracle k-WL (original implementation).
+pub fn naive_k_wl(
+    graphs: &[&Graph],
+    k: usize,
+    variant: WlVariant,
+    max_rounds: Option<usize>,
+) -> Coloring {
+    assert!(k >= 1, "k must be at least 1");
+    if k == 1 {
+        return naive_color_refinement(graphs, CrOptions { max_rounds, ignore_labels: false });
+    }
+    let sizes: Vec<usize> = graphs.iter().map(|g| pow(g.num_vertices(), k)).collect();
+    let total: usize = sizes.iter().sum();
+
+    let mut init: Vec<Vec<u64>> = Vec::with_capacity(total);
+    for g in graphs {
+        let n = g.num_vertices();
+        let m = pow(n, k);
+        init.extend((0..m).map(|idx| {
+            let mut tuple = vec![0u32; k];
+            decode(idx, n, &mut tuple);
+            atomic_type(g, &tuple)
+        }));
+    }
+    let (mut flat, mut num_colors) = canonical_rename(init);
+    let limit = max_rounds.unwrap_or(total.max(1));
+
+    let mut rounds = 0usize;
+    while rounds < limit {
+        let mut sigs: Vec<(Color, Vec<Vec<Color>>)> = Vec::with_capacity(total);
+        let mut base = 0usize;
+        for g in graphs.iter() {
+            let n = g.num_vertices();
+            let m = pow(n, k);
+            let strides: Vec<usize> = (0..k).map(|i| pow(n, k - 1 - i)).collect();
+            sigs.extend(
+                (0..m).map(|idx| tuple_signature(g, &flat, base, &strides, idx, k, variant)),
+            );
+            base += m;
+        }
+        let (new_flat, new_num) = canonical_rename(sigs);
+        rounds += 1;
+        if new_num == num_colors {
+            break;
+        }
+        flat = new_flat;
+        num_colors = new_num;
+    }
+
+    let mut colors = Vec::with_capacity(graphs.len());
+    let mut base = 0usize;
+    for &sz in &sizes {
+        colors.push(flat[base..base + sz].to_vec());
+        base += sz;
+    }
+    Coloring { colors, num_colors, rounds }
+}
+
+/// Per-vertex relational signature: own colour plus sorted (out, in)
+/// neighbour colours per relation.
+type RelSignature = (Color, Vec<(Vec<Color>, Vec<Color>)>);
+
+/// Oracle relational colour refinement (original implementation).
+pub fn naive_relational(graphs: &[&TypedGraph]) -> Coloring {
+    let num_rel = graphs.first().map_or(0, |g| g.num_relations());
+    assert!(
+        graphs.iter().all(|g| g.num_relations() == num_rel),
+        "all graphs must share the relation vocabulary"
+    );
+    let sizes: Vec<usize> = graphs.iter().map(|g| g.num_vertices()).collect();
+    let total: usize = sizes.iter().sum();
+
+    let init: Vec<Vec<u64>> = graphs
+        .iter()
+        .flat_map(|g| (0..g.num_vertices() as u32).map(|v| label_key(g.label(v))))
+        .collect();
+    let (mut flat, mut num_colors) = canonical_rename(init);
+
+    let mut rounds = 0usize;
+    while rounds < total.max(1) {
+        let mut sigs: Vec<RelSignature> = Vec::with_capacity(total);
+        let mut base = 0usize;
+        for (gi, g) in graphs.iter().enumerate() {
+            for v in 0..g.num_vertices() as u32 {
+                let own = flat[base + v as usize];
+                let mut per_rel = Vec::with_capacity(num_rel);
+                for r in 0..num_rel {
+                    let rel = g.relation(r);
+                    let mut outc: Vec<Color> =
+                        rel.out_neighbors(v).iter().map(|&u| flat[base + u as usize]).collect();
+                    outc.sort_unstable();
+                    let inc: Vec<Color> = if rel.is_symmetric() {
+                        Vec::new()
+                    } else {
+                        let mut t: Vec<Color> =
+                            rel.in_neighbors(v).iter().map(|&u| flat[base + u as usize]).collect();
+                        t.sort_unstable();
+                        t
+                    };
+                    per_rel.push((outc, inc));
+                }
+                sigs.push((own, per_rel));
+            }
+            base += sizes[gi];
+        }
+        let (new_flat, new_num) = canonical_rename(sigs);
+        rounds += 1;
+        if new_num == num_colors {
+            break;
+        }
+        flat = new_flat;
+        num_colors = new_num;
+    }
+
+    let mut colors = Vec::with_capacity(graphs.len());
+    let mut base = 0usize;
+    for &sz in &sizes {
+        colors.push(flat[base..base + sz].to_vec());
+        base += sz;
+    }
+    Coloring { colors, num_colors, rounds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color_refinement::color_refinement;
+    use crate::kwl::k_wl;
+    use crate::relational::relational_color_refinement;
+    use gel_graph::random::erdos_renyi;
+    use gel_graph::typed::TypedGraphBuilder;
+    use gel_graph::GraphBuilder;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::sync::Mutex;
+
+    /// Serializes cases that flip the global rayon thread count.
+    static THREADS: Mutex<()> = Mutex::new(());
+
+    /// A random joint corpus: 2–4 graphs of assorted sizes, some
+    /// labelled, some directed — the shapes the experiment suite
+    /// actually refines.
+    fn random_corpus(seed: u64, max_n: usize) -> Vec<Graph> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let count = rng.gen_range(2..=4usize);
+        (0..count)
+            .map(|_| {
+                let n = rng.gen_range(1..=max_n);
+                let p = rng.gen_range(0.05..0.6);
+                let mut g = erdos_renyi(n, p, &mut rng);
+                match rng.gen_range(0..3u8) {
+                    // One-hot-ish random labels.
+                    0 => {
+                        let dim = rng.gen_range(1..=2usize);
+                        let labels: Vec<f64> =
+                            (0..n * dim).map(|_| f64::from(rng.gen_range(0..2u8))).collect();
+                        g = g.with_labels(labels, dim);
+                    }
+                    // Random orientation (directed graph).
+                    1 => {
+                        let mut b = GraphBuilder::new(n);
+                        for (u, v) in g.arcs() {
+                            if u < v || !g.has_edge(v, u) {
+                                b.add_arc(u, v);
+                            }
+                        }
+                        g = b.build();
+                    }
+                    _ => {}
+                }
+                g
+            })
+            .collect()
+    }
+
+    fn random_typed_corpus(seed: u64, max_n: usize) -> Vec<TypedGraph> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let count = rng.gen_range(2..=3usize);
+        let num_rel = rng.gen_range(1..=3usize);
+        (0..count)
+            .map(|_| {
+                let n = rng.gen_range(1..=max_n);
+                let mut b = TypedGraphBuilder::new(n, num_rel, 1);
+                for v in 0..n as u32 {
+                    b.set_label(v, &[f64::from(rng.gen_range(0..2u8))]);
+                }
+                for r in 0..num_rel {
+                    let directed = rng.gen_bool(0.5);
+                    for u in 0..n as u32 {
+                        for v in 0..n as u32 {
+                            if u != v && rng.gen_bool(0.2) {
+                                if directed {
+                                    b.add_arc(r, u, v);
+                                } else if u < v {
+                                    b.add_edge(r, u, v);
+                                }
+                            }
+                        }
+                    }
+                }
+                b.build()
+            })
+            .collect()
+    }
+
+    /// Runs `engine` at 1 and 4 threads and asserts both outputs equal
+    /// `oracle` exactly.
+    fn assert_matches_oracle(oracle: &Coloring, engine: impl Fn() -> Coloring) {
+        for t in [1usize, 4] {
+            rayon::set_num_threads(t);
+            let got = engine();
+            rayon::set_num_threads(0);
+            assert_eq!(&got, oracle, "engine diverged from oracle at {t} thread(s)");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        #[test]
+        fn cr_matches_naive_oracle(seed in 0u64..1 << 48) {
+            let _guard = THREADS.lock().unwrap_or_else(|e| e.into_inner());
+            let corpus = random_corpus(seed, 40);
+            let refs: Vec<&Graph> = corpus.iter().collect();
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE);
+            let opts = CrOptions {
+                max_rounds: if rng.gen_bool(0.3) {
+                    Some(rng.gen_range(1..5usize))
+                } else {
+                    None
+                },
+                ignore_labels: rng.gen_bool(0.3),
+            };
+            let oracle = naive_color_refinement(&refs, opts);
+            assert_matches_oracle(&oracle, || color_refinement(&refs, opts));
+        }
+
+        #[test]
+        fn two_fwl_matches_naive_oracle(seed in 0u64..1 << 48) {
+            let _guard = THREADS.lock().unwrap_or_else(|e| e.into_inner());
+            let corpus = random_corpus(seed, 10);
+            let refs: Vec<&Graph> = corpus.iter().collect();
+            let oracle = naive_k_wl(&refs, 2, WlVariant::Folklore, None);
+            assert_matches_oracle(&oracle, || k_wl(&refs, 2, WlVariant::Folklore, None));
+        }
+
+        #[test]
+        fn two_owl_matches_naive_oracle(seed in 0u64..1 << 48) {
+            let _guard = THREADS.lock().unwrap_or_else(|e| e.into_inner());
+            let corpus = random_corpus(seed, 10);
+            let refs: Vec<&Graph> = corpus.iter().collect();
+            let oracle = naive_k_wl(&refs, 2, WlVariant::Oblivious, None);
+            assert_matches_oracle(&oracle, || k_wl(&refs, 2, WlVariant::Oblivious, None));
+        }
+
+        #[test]
+        fn relational_matches_naive_oracle(seed in 0u64..1 << 48) {
+            let _guard = THREADS.lock().unwrap_or_else(|e| e.into_inner());
+            let corpus = random_typed_corpus(seed, 12);
+            let refs: Vec<&TypedGraph> = corpus.iter().collect();
+            let oracle = naive_relational(&refs);
+            assert_matches_oracle(&oracle, || relational_color_refinement(&refs));
+        }
+    }
+
+    proptest! {
+        // 3-FWL is Θ(n⁴) per round even for the arena engine — and far
+        // worse for the oracle — so fewer, smaller cases.
+        #![proptest_config(ProptestConfig::with_cases(4))]
+
+        #[test]
+        fn three_fwl_matches_naive_oracle(seed in 0u64..1 << 48) {
+            let _guard = THREADS.lock().unwrap_or_else(|e| e.into_inner());
+            let corpus = random_corpus(seed, 6);
+            let refs: Vec<&Graph> = corpus.iter().collect();
+            let oracle = naive_k_wl(&refs, 3, WlVariant::Folklore, None);
+            assert_matches_oracle(&oracle, || k_wl(&refs, 3, WlVariant::Folklore, None));
+        }
+    }
+
+    /// A corpus big enough (2 × 48² = 4608 ≥ `RENAME_PAR_THRESHOLD`)
+    /// that the 4-thread leg exercises the parallel fill *and* the
+    /// parallel sort + serial-merge rename path.
+    #[test]
+    fn parallel_rename_path_matches_oracle() {
+        let _guard = THREADS.lock().unwrap_or_else(|e| e.into_inner());
+        let g = erdos_renyi(48, 0.12, &mut StdRng::seed_from_u64(7));
+        let h = erdos_renyi(48, 0.12, &mut StdRng::seed_from_u64(8));
+        let refs = [&g, &h];
+        let oracle = naive_k_wl(&refs, 2, WlVariant::Folklore, None);
+        assert_matches_oracle(&oracle, || k_wl(&refs, 2, WlVariant::Folklore, None));
+    }
+}

@@ -5,18 +5,22 @@
 
 use gel_graph::typed::TypedGraph;
 
-use crate::partition::{canonical_rename, label_key, Color, Coloring};
-
-/// One vertex's refinement signature: its own colour plus, per
-/// relation, the sorted out- and in-neighbour colour multisets.
-type RelSignature = (Color, Vec<(Vec<Color>, Vec<Color>)>);
+use crate::partition::{Color, Coloring, Renamer, SigArena, REFINE_ROUNDS};
 
 /// Runs relational colour refinement jointly on `graphs` (which must
 /// agree on the number of relations) until stable.
 ///
+/// The signature of a vertex is its own colour plus, per relation, the
+/// sorted out- and in-neighbour colour multisets; like the other
+/// engines it is packed into a reused [`SigArena`] (sections
+/// `[own][out_0][in_0]…[out_{R-1}][in_{R-1}]`, sentinel-delimited) and
+/// renamed with the counting-sort [`Renamer`], bit-identical to the
+/// naive formulation kept as the test oracle.
+///
 /// # Panics
 /// Panics if the graphs disagree on the relation count.
 pub fn relational_color_refinement(graphs: &[&TypedGraph]) -> Coloring {
+    let _span = gel_obs::span("wl.refine.rel");
     let num_rel = graphs.first().map_or(0, |g| g.num_relations());
     assert!(
         graphs.iter().all(|g| g.num_relations() == num_rel),
@@ -25,47 +29,87 @@ pub fn relational_color_refinement(graphs: &[&TypedGraph]) -> Coloring {
     let sizes: Vec<usize> = graphs.iter().map(|g| g.num_vertices()).collect();
     let total: usize = sizes.iter().sum();
 
-    let init: Vec<Vec<u64>> = graphs
-        .iter()
-        .flat_map(|g| (0..g.num_vertices() as u32).map(|v| label_key(g.label(v))))
-        .collect();
-    let (mut flat, mut num_colors) = canonical_rename(init);
+    // Flat position -> (graph, base offset), as in colour refinement.
+    let owner: Vec<(&TypedGraph, usize)> = {
+        let mut t = Vec::with_capacity(total);
+        let mut base = 0usize;
+        for (gi, g) in graphs.iter().enumerate() {
+            t.extend(std::iter::repeat_n((*g, base), sizes[gi]));
+            base += sizes[gi];
+        }
+        t
+    };
+
+    // Round 0: label-bit keys.
+    let mut keys = SigArena::<u64>::new();
+    keys.set_layout((0..total).map(|p| owner[p].0.label_dim()));
+    keys.fill(false, |p, slot| {
+        let (g, base) = owner[p];
+        let v = (p - base) as u32;
+        for (s, &x) in slot.iter_mut().zip(g.label(v)) {
+            *s = x.to_bits();
+        }
+    });
+    let mut renamer = Renamer::new();
+    let mut flat: Vec<Color> = Vec::new();
+    let mut num_colors = renamer.rename_keys(&keys, &mut flat);
+    drop(keys);
+
+    // Fixed per-run layout: own section plus an out and an in section
+    // per relation (in stays empty for symmetric relations).
+    let mut arena = SigArena::<u32>::new();
+    arena.set_layout((0..total).map(|p| {
+        let (g, base) = owner[p];
+        let v = (p - base) as u32;
+        let mut w = 2;
+        for r in 0..num_rel {
+            let rel = g.relation(r);
+            w += rel.out_neighbors(v).len() + 1;
+            w += if rel.is_symmetric() { 0 } else { rel.in_neighbors(v).len() } + 1;
+        }
+        w
+    }));
+    let mut new_flat: Vec<Color> = Vec::new();
 
     let mut rounds = 0usize;
     while rounds < total.max(1) {
-        // Signature: (own, for each relation: sorted out- and in-colour
-        // multisets).
-        let mut sigs: Vec<RelSignature> = Vec::with_capacity(total);
-        let mut base = 0usize;
-        for (gi, g) in graphs.iter().enumerate() {
-            for v in 0..g.num_vertices() as u32 {
-                let own = flat[base + v as usize];
-                let mut per_rel = Vec::with_capacity(num_rel);
-                for r in 0..num_rel {
-                    let rel = g.relation(r);
-                    let mut outc: Vec<Color> =
-                        rel.out_neighbors(v).iter().map(|&u| flat[base + u as usize]).collect();
-                    outc.sort_unstable();
-                    let inc: Vec<Color> = if rel.is_symmetric() {
-                        Vec::new()
-                    } else {
-                        let mut t: Vec<Color> =
-                            rel.in_neighbors(v).iter().map(|&u| flat[base + u as usize]).collect();
-                        t.sort_unstable();
-                        t
-                    };
-                    per_rel.push((outc, inc));
+        REFINE_ROUNDS.incr();
+        let cur = &flat;
+        // Relational corpora are small; the fill stays serial.
+        arena.fill(false, |p, slot| {
+            let (g, base) = owner[p];
+            let v = (p - base) as u32;
+            slot[0] = cur[p] + 1;
+            slot[1] = 0;
+            let mut w = 2;
+            for r in 0..num_rel {
+                let rel = g.relation(r);
+                let mut lo = w;
+                for &u in rel.out_neighbors(v) {
+                    slot[w] = cur[base + u as usize] + 1;
+                    w += 1;
                 }
-                sigs.push((own, per_rel));
+                slot[lo..w].sort_unstable();
+                slot[w] = 0;
+                w += 1;
+                lo = w;
+                if !rel.is_symmetric() {
+                    for &u in rel.in_neighbors(v) {
+                        slot[w] = cur[base + u as usize] + 1;
+                        w += 1;
+                    }
+                    slot[lo..w].sort_unstable();
+                }
+                slot[w] = 0;
+                w += 1;
             }
-            base += sizes[gi];
-        }
-        let (new_flat, new_num) = canonical_rename(sigs);
+        });
+        let new_num = renamer.rename_digits(&arena, num_colors + 1, &mut new_flat);
         rounds += 1;
         if new_num == num_colors {
             break;
         }
-        flat = new_flat;
+        std::mem::swap(&mut flat, &mut new_flat);
         num_colors = new_num;
     }
 

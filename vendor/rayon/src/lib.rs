@@ -33,6 +33,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 pub mod iter;
 pub mod slice;
 
+pub use slice::par_parts_mut;
+
 /// The customary glob-import module, mirroring `rayon::prelude`.
 pub mod prelude {
     pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
@@ -202,6 +204,18 @@ mod tests {
         assert!(data.iter().all(|&x| x > 0));
         assert_eq!(data[0], 1);
         assert_eq!(data[100], 11);
+    }
+
+    #[test]
+    fn par_parts_mut_respects_custom_bounds() {
+        let mut data = vec![0u32; 10];
+        // Uneven element-aligned parts: [0..3), [3..3), [3..10).
+        par_parts_mut(&mut data, &[0, 3, 3, 10], |i, part| {
+            for x in part.iter_mut() {
+                *x = i as u32 + 1;
+            }
+        });
+        assert_eq!(data, vec![1, 1, 1, 3, 3, 3, 3, 3, 3, 3]);
     }
 
     #[test]

@@ -51,6 +51,37 @@ impl<'a, T: Send> EnumerateChunksMut<'a, T> {
     }
 }
 
+/// Splits `data` at the given ascending `bounds` and processes each
+/// part, potentially in parallel. `bounds` must start at `0`, end at
+/// `data.len()`, and be non-decreasing; part `t` is
+/// `data[bounds[t]..bounds[t + 1]]` and is handed to `f` together with
+/// its index. Unlike [`ParallelSliceMut::par_chunks_mut`] the split
+/// points are caller-chosen, which lets callers align parts to
+/// variable-width element boundaries (the WL signature arenas use
+/// this). Not part of the real rayon API.
+///
+/// # Panics
+/// Panics if `bounds` is not a valid partition of `0..data.len()`.
+pub fn par_parts_mut<T, F>(data: &mut [T], bounds: &[usize], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(bounds.first() == Some(&0), "bounds must start at 0");
+    assert!(bounds.last() == Some(&data.len()), "bounds must end at data.len()");
+    let mut parts: Vec<&mut [T]> = Vec::with_capacity(bounds.len().saturating_sub(1));
+    let mut rest = data;
+    let mut prev = 0usize;
+    for &b in &bounds[1..] {
+        assert!(b >= prev, "bounds must be non-decreasing");
+        let (part, tail) = rest.split_at_mut(b - prev);
+        parts.push(part);
+        rest = tail;
+        prev = b;
+    }
+    run_owned(parts, &|(i, part)| f(i, part));
+}
+
 /// Distributes owned items across threads in contiguous index blocks.
 fn run_owned<'a, T, F>(chunks: Vec<&'a mut [T]>, f: &F)
 where
