@@ -1,0 +1,112 @@
+//! Compiled-evaluator benchmarks: the WL-simulation kernels behind
+//! E4/E9 evaluated through a persistent [`EvalEngine`], the
+//! guard-fast-path ablation of DESIGN.md §6, and the random-probe
+//! plan-rebuild path.
+//!
+//! Run with `cargo bench -p gel-bench --bench eval [-- --smoke]`.
+//! `--smoke` shrinks the iteration counts for CI and *asserts* the
+//! engine's zero-allocation contract: steady-state evaluations of a
+//! fixed expression shape must not grow the slab-allocation counter
+//! (`gel_lang::eval_slab_allocs`) at all — the plan, every
+//! intermediate slab and the output table are reused. Unlike the WL
+//! gate's `wl.scratch.allocs`, this counter is always-on (not gated
+//! behind the `obs` feature), so the gate binds in the uninstrumented
+//! `--no-default-features` CI leg too.
+
+use std::time::Instant;
+
+use gel_graph::random::erdos_renyi;
+use gel_lang::eval::EvalOptions;
+use gel_lang::plan::EvalEngine;
+use gel_lang::random_expr::{random_gel_graph, RandomExprConfig};
+use gel_lang::wl_sim::{cr_expr, cr_graph_expr, k_wl_graph_expr};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn secs_per_iter(iters: u32, mut f: impl FnMut()) -> f64 {
+    // One untimed warm-up call: the first eval lowers the plan and
+    // sizes every slab; steady state is what we are measuring.
+    f();
+    let t = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t.elapsed().as_secs_f64() / f64::from(iters)
+}
+
+fn report(name: &str, secs: f64) {
+    println!("{name:<40} {:>10.2} µs/iter", secs * 1e6);
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let iters = if smoke { 3 } else { 50 };
+
+    let mut rng = StdRng::seed_from_u64(gel_bench::BENCH_SEED);
+    let g = erdos_renyi(24, 0.2, &mut rng);
+
+    // E4 kernel: the CR-simulating readout, repeatedly evaluated
+    // through one engine (plan cache hit, zero allocations).
+    let e4 = cr_graph_expr(g.label_dim(), 6);
+    let mut eng = EvalEngine::new();
+    report(
+        "cr_graph_expr_r6 (n=24)",
+        secs_per_iter(iters, || {
+            let _ = eng.eval(&e4, &g);
+        }),
+    );
+
+    // E9 kernel: the 2-WL-simulating readout (n³ tables).
+    let g12 = erdos_renyi(12, 0.3, &mut rng);
+    let e9 = k_wl_graph_expr(2, g12.label_dim(), 4);
+    let mut eng = EvalEngine::new();
+    report(
+        "k_wl_graph_expr_k2_r4 (n=12)",
+        secs_per_iter(iters, || {
+            let _ = eng.eval(&e9, &g12);
+        }),
+    );
+
+    // DESIGN.md §6 ablation: neighbour-list aggregation vs the dense
+    // n² scan on the same MPNN-shaped expression.
+    let vertex = cr_expr(g.label_dim(), 4);
+    for (name, fast) in [("cr_expr_r4_sparse_guard", true), ("cr_expr_r4_dense_guard", false)] {
+        let mut eng = EvalEngine::with_options(EvalOptions { guard_fast_path: fast });
+        report(
+            name,
+            secs_per_iter(iters, || {
+                let _ = eng.eval(&vertex, &g);
+            }),
+        );
+    }
+
+    // Random-probe path (E9's falsification half): every expression is
+    // distinct, so each eval lowers a fresh plan; the slab pool still
+    // recycles the tables.
+    let cfg = RandomExprConfig::default();
+    let mut eng = EvalEngine::new();
+    let mut probe_rng = StdRng::seed_from_u64(gel_bench::BENCH_SEED);
+    report(
+        "random_gel3_probe (n=12, fresh plan)",
+        secs_per_iter(iters, || {
+            let e = random_gel_graph(&cfg, 3, &mut probe_rng);
+            let _ = eng.eval(&e, &g12);
+        }),
+    );
+
+    // Zero-allocation gate: after the sizing call, evaluating the same
+    // expression shape must take every slab from the engine's pool.
+    let mut eng = EvalEngine::new();
+    let _ = eng.eval(&e4, &g);
+    let base = gel_lang::eval_slab_allocs();
+    let steps = 20;
+    for _ in 0..steps {
+        let _ = eng.eval(&e4, &g);
+    }
+    let steady = gel_lang::eval_slab_allocs() - base;
+    println!("eval_steady_state_slab_allocs = {steady} (over {steps} evals)");
+    if smoke {
+        assert_eq!(steady, 0, "steady-state GEL evaluation allocated a slab");
+        println!("smoke OK: steady-state GEL evaluations are allocation-free");
+    }
+}

@@ -4,10 +4,11 @@
 //! epoch against the block-diagonally batched one.
 //!
 //! Run with `cargo bench -p gel-bench --bench layers [-- --smoke]`.
-//! `--smoke` shrinks the iteration counts for CI and *asserts* that the
-//! steady-state buffer-allocation counter stays at zero across a
-//! `Dense` and a `Gnn101Conv` training step — the machine-checked gate
-//! for the zero-allocation contract.
+//! `--smoke` shrinks the iteration counts for CI and *asserts* two
+//! contracts: the steady-state buffer-allocation counter stays at zero
+//! across a `Dense` and a `Gnn101Conv` training step, and the
+//! block-diagonally batched epoch (timed as a min over rounds, pinned
+//! to four threads) is no slower than the per-graph epoch.
 
 use std::time::Instant;
 
@@ -28,6 +29,24 @@ fn secs_per_iter(iters: u32, mut f: impl FnMut()) -> f64 {
         f();
     }
     t.elapsed().as_secs_f64() / f64::from(iters)
+}
+
+/// Minimum per-iteration time over several timed rounds (after one
+/// untimed warm-up call). The minimum is robust against one-off
+/// scheduler hiccups, which a single timed window is not — the batched
+/// speedup this file asserts on used to dip below 1 for exactly that
+/// reason.
+fn min_secs_per_iter(rounds: u32, iters: u32, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(t.elapsed().as_secs_f64() / f64::from(iters));
+    }
+    best
 }
 
 fn report(name: &str, allocating: f64, into: f64) {
@@ -73,23 +92,26 @@ fn bench_mlp(iters: u32) {
 }
 
 /// One 2-layer-GIN training epoch over a corpus, per-graph vs batched.
-fn bench_gin_corpus(iters: u32) {
+/// Returns the batched speedup (per-graph time over batched time),
+/// each side timed as a min over rounds.
+fn bench_gin_corpus(iters: u32) -> f64 {
     let mut rng = StdRng::seed_from_u64(gel_bench::BENCH_SEED);
     let data: Vec<(Graph, Vec<f64>)> = (4..24)
         .flat_map(|k| [(families::star(k), vec![1.0]), (families::cycle(k), vec![0.0])])
         .collect();
     let batch = BatchedGraphs::pack(data.iter().map(|(g, _)| g));
     let targets = Matrix::from_vec(data.len(), 1, data.iter().map(|(_, t)| t[0]).collect());
+    let rounds = 3;
 
     let mut model = GraphModel::gin(1, 16, 2, 1, Activation::Identity, &mut rng);
     let mut opt = Adam::new(0.01);
-    let per_graph = secs_per_iter(iters, || {
+    let per_graph = min_secs_per_iter(rounds, iters, || {
         let _ = train_graph_model(&mut model, &data, Loss::BceWithLogits, &mut opt, 1);
     });
 
     let mut model = GraphModel::gin(1, 16, 2, 1, Activation::Identity, &mut rng);
     let mut opt = Adam::new(0.01);
-    let batched = secs_per_iter(iters, || {
+    let batched = min_secs_per_iter(rounds, iters, || {
         let _ = train_graph_model_batched(
             &mut model,
             &batch,
@@ -99,13 +121,15 @@ fn bench_gin_corpus(iters: u32) {
             1,
         );
     });
+    let speedup = per_graph / batched.max(1e-12);
     println!(
         "{:<40} per-graph {:>10.2} µs   batched {:>8.2} µs   speedup {:>5.2}x",
         "gin_2layer_epoch (40 graphs)",
         per_graph * 1e6,
         batched * 1e6,
-        per_graph / batched.max(1e-12)
+        speedup
     );
+    speedup
 }
 
 /// Steady-state allocation counter across a `Dense` training step;
@@ -164,7 +188,13 @@ fn main() {
     let iters = if smoke { 5 } else { 200 };
 
     bench_mlp(iters);
-    bench_gin_corpus(iters);
+    // The batched-vs-per-graph comparison runs pinned to four threads —
+    // the configuration the batching claim is made for — so the number
+    // is comparable across machines and the smoke assertion below is
+    // meaningful.
+    rayon::set_num_threads(4);
+    let batched_speedup = bench_gin_corpus(iters);
+    rayon::set_num_threads(0);
 
     let dense_allocs = dense_steady_state_allocs(3, 20);
     let gnn_allocs = gnn101_steady_state_allocs(3, 20);
@@ -173,6 +203,11 @@ fn main() {
     if smoke {
         assert_eq!(dense_allocs, 0, "Dense training step allocated in steady state");
         assert_eq!(gnn_allocs, 0, "Gnn101Conv training step allocated in steady state");
+        assert!(
+            batched_speedup >= 1.0,
+            "block-diagonal batching regressed below the per-graph baseline \
+             (speedup {batched_speedup:.2}x at 4 threads)"
+        );
         println!("smoke OK: steady-state training steps are allocation-free");
     }
 }

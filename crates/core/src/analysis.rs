@@ -108,6 +108,7 @@ fn collect_aggs(expr: &Expr, out: &mut Vec<Agg>) {
                 collect_aggs(g, out);
             }
         }
+        Expr::Shared(e) => collect_aggs(e, out),
         _ => {}
     }
 }
@@ -136,6 +137,7 @@ fn contains_global_agg(expr: &Expr) -> bool {
             contains_global_agg(value) || contains_global_agg(g)
         }
         Expr::Apply { args, .. } => args.iter().any(contains_global_agg),
+        Expr::Shared(e) => contains_global_agg(e),
         _ => false,
     }
 }
@@ -178,6 +180,7 @@ fn mpnn_shape(expr: &Expr, allow_global: bool) -> bool {
                 }
             }
         }
+        Expr::Shared(e) => mpnn_shape(e, allow_global),
     }
 }
 

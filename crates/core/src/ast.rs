@@ -14,8 +14,9 @@
 //! ([`Expr::dim`], [`Expr::free_vars`]); [`Expr::validate`] checks
 //! dimension compatibility the way a query-language type checker would.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -92,6 +93,24 @@ pub enum Expr {
         /// over every assignment.
         guard: Option<Box<Expr>>,
     },
+    /// A physically shared subexpression — semantically identical to
+    /// its contents, with `clone()` costing one reference-count bump
+    /// instead of a deep copy.
+    ///
+    /// The WL-simulation builders ([`crate::wl_sim`]) embed several
+    /// copies of the previous round per layer; with owned children that
+    /// makes the *materialized* tree exponential in the round count
+    /// (millions of nodes) even though the number of distinct subtrees
+    /// is linear. Wrapping each round in `Shared` keeps construction,
+    /// plan lowering and drop linear. [`Expr::structural_hash`] and
+    /// evaluation see straight through the wrapper;
+    /// [`Expr::rename_var`] preserves sharing by renaming each shared
+    /// node once. Note `PartialEq` (derived) does *not* unwrap:
+    /// `Shared(e) != e` structurally.
+    Shared(
+        /// The shared subexpression.
+        Arc<Expr>,
+    ),
 }
 
 /// Errors reported by [`Expr::validate`].
@@ -146,6 +165,7 @@ impl Expr {
                 func.out_dim(d_in).expect("ill-typed Apply; validate first")
             }
             Expr::Aggregate { value, .. } => value.dim(),
+            Expr::Shared(e) => e.dim(),
         }
     }
 
@@ -186,6 +206,7 @@ impl Expr {
                 }
                 out.extend(inner);
             }
+            Expr::Shared(e) => e.collect_free(out),
         }
     }
 
@@ -224,6 +245,7 @@ impl Expr {
                     g.collect_all(out);
                 }
             }
+            Expr::Shared(e) => e.collect_all(out),
         }
     }
 
@@ -282,6 +304,7 @@ impl Expr {
                 }
                 Ok(d)
             }
+            Expr::Shared(e) => e.validate(),
         }
     }
 
@@ -296,6 +319,14 @@ impl Expr {
     /// `to`. Used by the WL-simulation builders which instantiate one
     /// template at several positions (experiment E9).
     pub fn rename_var(&self, from: Var, to: Var) -> Expr {
+        self.rename_memo(from, to, &mut HashMap::new())
+    }
+
+    /// [`Expr::rename_var`] with a per-call memo of already-renamed
+    /// [`Expr::Shared`] nodes (keyed by pointer), so renaming a shared
+    /// DAG stays linear in its *distinct* nodes and the result is
+    /// shared the same way the input was.
+    fn rename_memo(&self, from: Var, to: Var, memo: &mut HashMap<*const Expr, Arc<Expr>>) -> Expr {
         let r = |v: Var| if v == from { to } else { v };
         match self {
             Expr::Label { j, var } => Expr::Label { j: *j, var: r(*var) },
@@ -305,14 +336,23 @@ impl Expr {
             Expr::Const { values } => Expr::Const { values: values.clone() },
             Expr::Apply { func, args } => Expr::Apply {
                 func: func.clone(),
-                args: args.iter().map(|a| a.rename_var(from, to)).collect(),
+                args: args.iter().map(|a| a.rename_memo(from, to, memo)).collect(),
             },
             Expr::Aggregate { agg, over, value, guard } => Expr::Aggregate {
                 agg: *agg,
                 over: over.iter().map(|&v| r(v)).collect(),
-                value: Box::new(value.rename_var(from, to)),
-                guard: guard.as_ref().map(|g| Box::new(g.rename_var(from, to))),
+                value: Box::new(value.rename_memo(from, to, memo)),
+                guard: guard.as_ref().map(|g| Box::new(g.rename_memo(from, to, memo))),
             },
+            Expr::Shared(rc) => {
+                let p = Arc::as_ptr(rc);
+                if let Some(hit) = memo.get(&p) {
+                    return Expr::Shared(Arc::clone(hit));
+                }
+                let renamed = Arc::new(rc.rename_memo(from, to, memo));
+                memo.insert(p, Arc::clone(&renamed));
+                Expr::Shared(renamed)
+            }
         }
     }
 
@@ -322,66 +362,83 @@ impl Expr {
     /// round embeds several copies of the previous round) back to
     /// linear work.
     pub fn structural_hash(&self) -> u64 {
-        fn mix(h: u64, x: u64) -> u64 {
-            let mut h = h ^ x.wrapping_mul(0x9e3779b97f4a7c15);
-            h = h.wrapping_mul(0x100000001b3);
-            h ^ (h >> 29)
+        if let Expr::Shared(e) = self {
+            // Transparent: hashes as its contents. (This unfolds the
+            // DAG; the plan compiler uses a pointer-memoized walk
+            // instead — see `plan::dag_hash`.)
+            return e.structural_hash();
         }
-        fn go(e: &Expr) -> u64 {
-            match e {
-                Expr::Label { j, var } => mix(mix(1, *j as u64), *var as u64),
-                Expr::LabelVec { var, dim } => mix(mix(2, *var as u64), *dim as u64),
-                Expr::Edge { from, to } => mix(mix(3, *from as u64), *to as u64),
-                Expr::Cmp { a, op, b } => mix(mix(mix(4, *a as u64), *op as u64), *b as u64),
-                Expr::Const { values } => values.iter().fold(5, |h, v| mix(h, v.to_bits())),
-                Expr::Apply { func, args } => {
-                    let mut h = 6;
-                    h = match func {
-                        crate::func::Func::Linear { weights, bias } => {
-                            let mut h = mix(h, 10);
-                            h = mix(h, weights.rows() as u64);
-                            h = mix(h, weights.cols() as u64);
-                            for v in weights.data() {
-                                h = mix(h, v.to_bits());
-                            }
-                            for v in bias {
-                                h = mix(h, v.to_bits());
-                            }
-                            h
-                        }
-                        crate::func::Func::Act(a) => mix(h, 11 + *a as u64 * 31),
-                        crate::func::Func::Concat => mix(h, 12),
-                        crate::func::Func::Add { arity, dim } => {
-                            mix(mix(mix(h, 13), *arity as u64), *dim as u64)
-                        }
-                        crate::func::Func::Mul { arity, dim } => {
-                            mix(mix(mix(h, 14), *arity as u64), *dim as u64)
-                        }
-                        crate::func::Func::Scale(s) => mix(mix(h, 15), s.to_bits()),
-                        crate::func::Func::Proj { start, len } => {
-                            mix(mix(mix(h, 16), *start as u64), *len as u64)
-                        }
-                        crate::func::Func::Hash { seed } => mix(mix(h, 17), *seed),
-                    };
-                    for a in args {
-                        h = mix(h, go(a));
-                    }
-                    h
-                }
-                Expr::Aggregate { agg, over, value, guard } => {
-                    let mut h = mix(7, *agg as u64);
-                    for v in over {
-                        h = mix(h, *v as u64);
-                    }
-                    h = mix(h, go(value));
-                    if let Some(g) = guard {
-                        h = mix(h, go(g));
-                    }
-                    h
+        let mut h = self.hash_header();
+        match self {
+            Expr::Apply { args, .. } => {
+                for a in args {
+                    h = hash_mix(h, a.structural_hash());
                 }
             }
+            Expr::Aggregate { value, guard, .. } => {
+                h = hash_mix(h, value.structural_hash());
+                if let Some(g) = guard {
+                    h = hash_mix(h, g.structural_hash());
+                }
+            }
+            _ => {}
         }
-        go(self)
+        h
+    }
+
+    /// The child-independent prefix of [`Expr::structural_hash`]: for a
+    /// leaf this is the full hash; for `Apply`/`Aggregate` the full
+    /// hash is this header [`hash_mix`]ed with each child's hash in
+    /// order (value, then guard). The plan compiler uses this to hash
+    /// an expression bottom-up in the same walk that lowers it, turning
+    /// the quadratic per-subtree rehash into linear work.
+    pub(crate) fn hash_header(&self) -> u64 {
+        let mix = hash_mix;
+        match self {
+            Expr::Label { j, var } => mix(mix(1, *j as u64), *var as u64),
+            Expr::LabelVec { var, dim } => mix(mix(2, *var as u64), *dim as u64),
+            Expr::Edge { from, to } => mix(mix(3, *from as u64), *to as u64),
+            Expr::Cmp { a, op, b } => mix(mix(mix(4, *a as u64), *op as u64), *b as u64),
+            Expr::Const { values } => values.iter().fold(5, |h, v| mix(h, v.to_bits())),
+            Expr::Apply { func, .. } => {
+                let h = 6;
+                match func {
+                    crate::func::Func::Linear { weights, bias } => {
+                        let mut h = mix(h, 10);
+                        h = mix(h, weights.rows() as u64);
+                        h = mix(h, weights.cols() as u64);
+                        for v in weights.data() {
+                            h = mix(h, v.to_bits());
+                        }
+                        for v in bias {
+                            h = mix(h, v.to_bits());
+                        }
+                        h
+                    }
+                    crate::func::Func::Act(a) => mix(h, 11 + *a as u64 * 31),
+                    crate::func::Func::Concat => mix(h, 12),
+                    crate::func::Func::Add { arity, dim } => {
+                        mix(mix(mix(h, 13), *arity as u64), *dim as u64)
+                    }
+                    crate::func::Func::Mul { arity, dim } => {
+                        mix(mix(mix(h, 14), *arity as u64), *dim as u64)
+                    }
+                    crate::func::Func::Scale(s) => mix(mix(h, 15), s.to_bits()),
+                    crate::func::Func::Proj { start, len } => {
+                        mix(mix(mix(h, 16), *start as u64), *len as u64)
+                    }
+                    crate::func::Func::Hash { seed } => mix(mix(h, 17), *seed),
+                }
+            }
+            Expr::Aggregate { agg, over, .. } => {
+                let mut h = mix(7, *agg as u64);
+                for v in over {
+                    h = mix(h, *v as u64);
+                }
+                h
+            }
+            Expr::Shared(e) => e.hash_header(),
+        }
     }
 
     /// Swaps variables `a` and `b` everywhere (free and bound). Unlike
@@ -405,8 +462,21 @@ impl Expr {
             Expr::Aggregate { value, guard, .. } => {
                 1 + value.size() + guard.as_ref().map_or(0, |g| g.size())
             }
+            // Logical size: counts the unfolding, like every other
+            // observer of the syntax tree.
+            Expr::Shared(e) => e.size(),
         }
     }
+}
+
+/// The mixing step of [`Expr::structural_hash`]. Exposed to the plan
+/// compiler so it can fold child hashes into [`Expr::hash_header`]
+/// without re-walking subtrees.
+#[inline]
+pub(crate) fn hash_mix(h: u64, x: u64) -> u64 {
+    let mut h = h ^ x.wrapping_mul(0x9e3779b97f4a7c15);
+    h = h.wrapping_mul(0x100000001b3);
+    h ^ (h >> 29)
 }
 
 impl fmt::Display for Expr {
@@ -453,6 +523,9 @@ impl fmt::Display for Expr {
                 }
                 write!(f, ")")
             }
+            // Transparent: prints (and therefore re-parses) as the
+            // unfolded expression.
+            Expr::Shared(e) => write!(f, "{e}"),
         }
     }
 }
@@ -538,6 +611,12 @@ pub mod build {
     /// The injective mix (for WL simulation).
     pub fn hash(seed: u64, e: Expr) -> Expr {
         apply(Func::Hash { seed }, vec![e])
+    }
+
+    /// Wraps `e` in [`Expr::Shared`] so subsequent `clone()`s are
+    /// reference-count bumps instead of deep copies.
+    pub fn share(e: Expr) -> Expr {
+        Expr::Shared(Arc::new(e))
     }
 }
 

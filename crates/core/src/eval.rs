@@ -1,21 +1,25 @@
 //! Evaluation of `GEL(Ω,Θ)` expressions on a graph: computes the
 //! embedding table `ξ_φ(G, ·) : V^p → ℝ^d` (paper slides 42–46).
 //!
-//! The evaluator is a straightforward bottom-up interpreter over dense
-//! [`EmbeddingTable`]s. Aggregations cost `O(n^{|free ∪ over|})` in
-//! general; the *guard-aware fast path* recognizes the MPNN shape
+//! Evaluation is performed by the compiled engine in [`crate::plan`]:
+//! the expression is lowered to a flat plan of stride-addressed slab
+//! kernels (deduplicated by [`Expr::structural_hash`], exactly like
+//! the old interpreter's memo) and executed with slice-level kernels.
+//! Aggregations cost `O(n^{|free ∪ over|})` in general; the
+//! *guard-aware fast path* recognizes the MPNN shape
 //! `agg_{y}(… | E(x, y))` and iterates neighbour lists instead of all
 //! of `V` — the sparse-vs-dense ablation called out in DESIGN.md §6.
+//!
+//! The original cell-at-a-time tree-walking interpreter is retained
+//! under `#[cfg(test)]` as the property-test oracle (module
+//! [`oracle`]); the engine must reproduce its tables *bit-identically*
+//! at any thread count.
 
-use std::cell::RefCell;
-use std::collections::HashMap;
-use std::rc::Rc;
+use gel_graph::Graph;
 
-use gel_graph::{Graph, Vertex};
-
-use crate::ast::{CmpOp, Expr};
-use crate::func::Agg;
-use crate::table::{EmbeddingTable, Var};
+use crate::ast::Expr;
+use crate::plan::EvalEngine;
+use crate::table::EmbeddingTable;
 
 /// Evaluator options (ablations).
 #[derive(Debug, Clone, Copy)]
@@ -32,6 +36,10 @@ impl Default for EvalOptions {
 }
 
 /// Evaluates `expr` on `g`, producing its embedding table.
+///
+/// Builds a throwaway [`EvalEngine`] per call; hot loops evaluating
+/// many expressions should hold an engine and use
+/// [`EvalEngine::eval`], which reuses the compiled plan and its slabs.
 ///
 /// # Panics
 /// Panics on ill-typed expressions ([`Expr::validate`] first for
@@ -97,6 +105,7 @@ pub fn check_against_graph(expr: &Expr, g: &Graph) -> Result<(), EvalError> {
                 walk(value, dim)?;
                 guard.as_ref().map_or(Ok(()), |gd| walk(gd, dim))
             }
+            Expr::Shared(e) => walk(e, dim),
             _ => Ok(()),
         }
     }
@@ -111,265 +120,303 @@ pub fn try_eval(expr: &Expr, g: &Graph) -> Result<EmbeddingTable, EvalError> {
 }
 
 /// Evaluates with explicit options.
+///
+/// The result is moved out of the engine without a defensive copy (the
+/// old interpreter deep-cloned the root table whenever its memo still
+/// shared it).
 pub fn eval_with(expr: &Expr, g: &Graph, opts: EvalOptions) -> EmbeddingTable {
-    let ev = Evaluator { g, opts, memo: RefCell::new(HashMap::new()) };
-    let rc = ev.eval_memo(expr);
-    Rc::try_unwrap(rc).unwrap_or_else(|rc| (*rc).clone())
+    EvalEngine::with_options(opts).eval_owned(expr, g)
 }
 
-struct Evaluator<'a> {
-    g: &'a Graph,
-    opts: EvalOptions,
-    /// Memo keyed by [`Expr::structural_hash`]: the architecture and
-    /// WL-simulation compilers produce expressions with massive
-    /// duplication of equal subtrees (each layer embeds copies of the
-    /// previous one); memoizing collapses that duplication so equal
-    /// subtrees are evaluated once.
-    memo: RefCell<HashMap<u64, Rc<EmbeddingTable>>>,
-}
+/// The original bottom-up tree-walking interpreter, kept verbatim as
+/// the property-test oracle for the compiled engine (the same move as
+/// `crates/wl/src/naive.rs`): its per-cell `cell_env` addressing and
+/// `Rc` memo are transparently correct, and `crate::plan`'s tests
+/// assert the engine reproduces its tables bit-identically.
+#[cfg(test)]
+pub(crate) mod oracle {
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+    use std::rc::Rc;
 
-/// Iterates all assignments of `vars.len()` vertices, invoking `f` with
-/// the current assignment (in `vars` order).
-fn for_each_assignment(n: usize, arity: usize, mut f: impl FnMut(&[Vertex])) {
-    if arity == 0 {
-        f(&[]);
-        return;
+    use gel_graph::{Graph, Vertex};
+
+    use crate::ast::{CmpOp, Expr};
+    use crate::func::Agg;
+    use crate::table::{EmbeddingTable, Var};
+
+    use super::EvalOptions;
+
+    /// Oracle evaluation with default options.
+    pub fn oracle_eval(expr: &Expr, g: &Graph) -> EmbeddingTable {
+        oracle_eval_with(expr, g, EvalOptions::default())
     }
-    let mut cur = vec![0 as Vertex; arity];
-    loop {
-        f(&cur);
-        // Odometer increment.
-        let mut i = arity;
+
+    /// Oracle evaluation with explicit options.
+    pub fn oracle_eval_with(expr: &Expr, g: &Graph, opts: EvalOptions) -> EmbeddingTable {
+        let ev = Evaluator { g, opts, memo: RefCell::new(HashMap::new()) };
+        let rc = ev.eval_memo(expr);
+        // Dropping the memo's clones makes the root reference unique —
+        // no defensive deep copy of the final table.
+        ev.memo.borrow_mut().clear();
+        Rc::try_unwrap(rc).expect("root table uniquely owned after memo clear")
+    }
+
+    struct Evaluator<'a> {
+        g: &'a Graph,
+        opts: EvalOptions,
+        /// Memo keyed by [`Expr::structural_hash`]: the architecture and
+        /// WL-simulation compilers produce expressions with massive
+        /// duplication of equal subtrees (each layer embeds copies of the
+        /// previous one); memoizing collapses that duplication so equal
+        /// subtrees are evaluated once.
+        memo: RefCell<HashMap<u64, Rc<EmbeddingTable>>>,
+    }
+
+    /// Iterates all assignments of `vars.len()` vertices, invoking `f` with
+    /// the current assignment (in `vars` order).
+    fn for_each_assignment(n: usize, arity: usize, mut f: impl FnMut(&[Vertex])) {
+        if arity == 0 {
+            f(&[]);
+            return;
+        }
+        let mut cur = vec![0 as Vertex; arity];
         loop {
-            if i == 0 {
-                return;
+            f(&cur);
+            // Odometer increment.
+            let mut i = arity;
+            loop {
+                if i == 0 {
+                    return;
+                }
+                i -= 1;
+                cur[i] += 1;
+                if (cur[i] as usize) < n {
+                    break;
+                }
+                cur[i] = 0;
             }
-            i -= 1;
-            cur[i] += 1;
-            if (cur[i] as usize) < n {
-                break;
-            }
-            cur[i] = 0;
         }
     }
-}
 
-impl Evaluator<'_> {
-    fn eval_memo(&self, expr: &Expr) -> Rc<EmbeddingTable> {
-        let key = expr.structural_hash();
-        if let Some(hit) = self.memo.borrow().get(&key) {
-            return Rc::clone(hit);
+    impl Evaluator<'_> {
+        fn eval_memo(&self, expr: &Expr) -> Rc<EmbeddingTable> {
+            let key = expr.structural_hash();
+            if let Some(hit) = self.memo.borrow().get(&key) {
+                return Rc::clone(hit);
+            }
+            let table = Rc::new(self.eval(expr));
+            self.memo.borrow_mut().insert(key, Rc::clone(&table));
+            table
         }
-        let table = Rc::new(self.eval(expr));
-        self.memo.borrow_mut().insert(key, Rc::clone(&table));
-        table
-    }
 
-    fn eval(&self, expr: &Expr) -> EmbeddingTable {
-        let n = self.g.num_vertices();
-        match expr {
-            Expr::Label { j, var } => {
-                assert!(
-                    *j < self.g.label_dim(),
-                    "label component {j} out of range (dim {})",
-                    self.g.label_dim()
-                );
-                let mut t = EmbeddingTable::zeros(vec![*var], 1, n);
-                for v in 0..n as Vertex {
-                    t.cell_mut(&[v])[0] = self.g.label(v)[*j];
+        fn eval(&self, expr: &Expr) -> EmbeddingTable {
+            let n = self.g.num_vertices();
+            match expr {
+                // Transparent wrapper (and the memo key is the inner
+                // expression's structural hash, so sharing dedups).
+                Expr::Shared(e) => self.eval(e),
+                Expr::Label { j, var } => {
+                    assert!(
+                        *j < self.g.label_dim(),
+                        "label component {j} out of range (dim {})",
+                        self.g.label_dim()
+                    );
+                    let mut t = EmbeddingTable::zeros(vec![*var], 1, n);
+                    for v in 0..n as Vertex {
+                        t.cell_mut(&[v])[0] = self.g.label(v)[*j];
+                    }
+                    t
                 }
-                t
-            }
-            Expr::LabelVec { var, dim } => {
-                assert_eq!(
-                    *dim,
-                    self.g.label_dim(),
-                    "LabelVec dimension does not match the graph's label dimension"
-                );
-                let mut t = EmbeddingTable::zeros(vec![*var], *dim, n);
-                for v in 0..n as Vertex {
-                    t.cell_mut(&[v]).copy_from_slice(self.g.label(v));
+                Expr::LabelVec { var, dim } => {
+                    assert_eq!(
+                        *dim,
+                        self.g.label_dim(),
+                        "LabelVec dimension does not match the graph's label dimension"
+                    );
+                    let mut t = EmbeddingTable::zeros(vec![*var], *dim, n);
+                    for v in 0..n as Vertex {
+                        t.cell_mut(&[v]).copy_from_slice(self.g.label(v));
+                    }
+                    t
                 }
-                t
-            }
-            Expr::Edge { from, to } => {
-                let mut vars = vec![*from, *to];
-                vars.sort_unstable();
-                let mut t = EmbeddingTable::zeros(vars.clone(), 1, n);
-                // Fill sparsely from the arc list.
-                for (u, v) in self.g.arcs() {
-                    let assign = if vars[0] == *from { [u, v] } else { [v, u] };
-                    t.cell_mut(&assign)[0] = 1.0;
+                Expr::Edge { from, to } => {
+                    let mut vars = vec![*from, *to];
+                    vars.sort_unstable();
+                    let mut t = EmbeddingTable::zeros(vars.clone(), 1, n);
+                    // Fill sparsely from the arc list.
+                    for (u, v) in self.g.arcs() {
+                        let assign = if vars[0] == *from { [u, v] } else { [v, u] };
+                        t.cell_mut(&assign)[0] = 1.0;
+                    }
+                    t
                 }
-                t
+                Expr::Cmp { a, op, b } => {
+                    let mut vars = vec![*a, *b];
+                    vars.sort_unstable();
+                    let mut t = EmbeddingTable::zeros(vars, 1, n);
+                    for v in 0..n as Vertex {
+                        for w in 0..n as Vertex {
+                            let holds = match op {
+                                CmpOp::Eq => v == w,
+                                CmpOp::Ne => v != w,
+                            };
+                            if holds {
+                                t.cell_mut(&[v, w])[0] = 1.0;
+                            }
+                        }
+                    }
+                    t
+                }
+                Expr::Const { values } => EmbeddingTable::scalar_cell(values.clone(), n),
+                Expr::Apply { func, args } => {
+                    let tables: Vec<Rc<EmbeddingTable>> =
+                        args.iter().map(|a| self.eval_memo(a)).collect();
+                    // Union of variables.
+                    let mut vars: Vec<Var> =
+                        tables.iter().flat_map(|t| t.vars().iter().copied()).collect();
+                    vars.sort_unstable();
+                    vars.dedup();
+                    let d_in: usize = tables.iter().map(|t| t.dim()).sum();
+                    let d_out = func.out_dim(d_in).expect("ill-typed Apply");
+                    let mut out = EmbeddingTable::zeros(vars.clone(), d_out, n);
+                    let max_var = vars.iter().copied().max().unwrap_or(0) as usize;
+                    let mut env = vec![0 as Vertex; max_var + 1];
+                    let mut input = Vec::with_capacity(d_in);
+                    let mut result = Vec::with_capacity(d_out);
+                    for_each_assignment(n, vars.len(), |assign| {
+                        for (slot, &var) in assign.iter().zip(&vars) {
+                            env[var as usize] = *slot;
+                        }
+                        input.clear();
+                        for t in &tables {
+                            input.extend_from_slice(t.cell_env(&env));
+                        }
+                        func.apply(&input, &mut result);
+                        out.cell_mut(assign).copy_from_slice(&result);
+                    });
+                    out
+                }
+                Expr::Aggregate { agg, over, value, guard } => {
+                    self.eval_aggregate(*agg, over, value, guard.as_deref())
+                }
             }
-            Expr::Cmp { a, op, b } => {
-                let mut vars = vec![*a, *b];
-                vars.sort_unstable();
-                let mut t = EmbeddingTable::zeros(vars, 1, n);
-                for v in 0..n as Vertex {
-                    for w in 0..n as Vertex {
-                        let holds = match op {
-                            CmpOp::Eq => v == w,
-                            CmpOp::Ne => v != w,
-                        };
-                        if holds {
-                            t.cell_mut(&[v, w])[0] = 1.0;
+        }
+
+        fn eval_aggregate(
+            &self,
+            agg: Agg,
+            over: &[Var],
+            value: &Expr,
+            guard: Option<&Expr>,
+        ) -> EmbeddingTable {
+            let n = self.g.num_vertices();
+
+            // Fast path: single aggregation variable with an edge guard
+            // anchored at a free variable — the MPNN neighbourhood shape.
+            if self.opts.guard_fast_path && over.len() == 1 {
+                if let Some(Expr::Edge { from, to }) = guard {
+                    let y = over[0];
+                    let anchor = if *to == y { Some((*from, true)) } else { None }
+                        .or(if *from == y { Some((*to, false)) } else { None });
+                    if let Some((x, outgoing)) = anchor {
+                        if x != y {
+                            return self.eval_nbr_aggregate(agg, x, y, outgoing, value);
                         }
                     }
                 }
-                t
             }
-            Expr::Const { values } => EmbeddingTable::scalar_cell(values.clone(), n),
-            Expr::Apply { func, args } => {
-                let tables: Vec<Rc<EmbeddingTable>> =
-                    args.iter().map(|a| self.eval_memo(a)).collect();
-                // Union of variables.
-                let mut vars: Vec<Var> =
-                    tables.iter().flat_map(|t| t.vars().iter().copied()).collect();
-                vars.sort_unstable();
-                vars.dedup();
-                let d_in: usize = tables.iter().map(|t| t.dim()).sum();
-                let d_out = func.out_dim(d_in).expect("ill-typed Apply");
-                let mut out = EmbeddingTable::zeros(vars.clone(), d_out, n);
-                let max_var = vars.iter().copied().max().unwrap_or(0) as usize;
-                let mut env = vec![0 as Vertex; max_var + 1];
-                let mut input = Vec::with_capacity(d_in);
-                let mut result = Vec::with_capacity(d_out);
-                for_each_assignment(n, vars.len(), |assign| {
-                    for (slot, &var) in assign.iter().zip(&vars) {
-                        env[var as usize] = *slot;
-                    }
-                    input.clear();
-                    for t in &tables {
-                        input.extend_from_slice(t.cell_env(&env));
-                    }
-                    func.apply(&input, &mut result);
-                    out.cell_mut(assign).copy_from_slice(&result);
-                });
-                out
+
+            let value_t = self.eval_memo(value);
+            let guard_t = guard.map(|ge| self.eval_memo(ge));
+
+            // Output variables: (value ∪ guard vars) \ over.
+            let mut all: Vec<Var> = value_t.vars().to_vec();
+            if let Some(gt) = &guard_t {
+                all.extend_from_slice(gt.vars());
             }
-            Expr::Aggregate { agg, over, value, guard } => {
-                self.eval_aggregate(*agg, over, value, guard.as_deref())
-            }
-        }
-    }
+            all.sort_unstable();
+            all.dedup();
+            let out_vars: Vec<Var> = all.iter().copied().filter(|v| !over.contains(v)).collect();
+            let over_sorted: Vec<Var> = {
+                let mut o = over.to_vec();
+                o.sort_unstable();
+                o
+            };
 
-    fn eval_aggregate(
-        &self,
-        agg: Agg,
-        over: &[Var],
-        value: &Expr,
-        guard: Option<&Expr>,
-    ) -> EmbeddingTable {
-        let n = self.g.num_vertices();
-
-        // Fast path: single aggregation variable with an edge guard
-        // anchored at a free variable — the MPNN neighbourhood shape.
-        if self.opts.guard_fast_path && over.len() == 1 {
-            if let Some(Expr::Edge { from, to }) = guard {
-                let y = over[0];
-                let anchor = if *to == y { Some((*from, true)) } else { None }.or(if *from == y {
-                    Some((*to, false))
-                } else {
-                    None
-                });
-                if let Some((x, outgoing)) = anchor {
-                    if x != y {
-                        return self.eval_nbr_aggregate(agg, x, y, outgoing, value);
-                    }
-                }
-            }
-        }
-
-        let value_t = self.eval_memo(value);
-        let guard_t = guard.map(|ge| self.eval_memo(ge));
-
-        // Output variables: (value ∪ guard vars) \ over.
-        let mut all: Vec<Var> = value_t.vars().to_vec();
-        if let Some(gt) = &guard_t {
-            all.extend_from_slice(gt.vars());
-        }
-        all.sort_unstable();
-        all.dedup();
-        let out_vars: Vec<Var> = all.iter().copied().filter(|v| !over.contains(v)).collect();
-        let over_sorted: Vec<Var> = {
-            let mut o = over.to_vec();
-            o.sort_unstable();
-            o
-        };
-
-        let dim = value_t.dim();
-        let mut out = EmbeddingTable::zeros(out_vars.clone(), dim, n);
-        let max_var = all.iter().chain(over_sorted.iter()).copied().max().unwrap_or(0) as usize;
-        let mut env = vec![0 as Vertex; max_var + 1];
-        for_each_assignment(n, out_vars.len(), |outer| {
-            for (slot, &var) in outer.iter().zip(&out_vars) {
-                env[var as usize] = *slot;
-            }
-            let mut state = agg.init(dim);
-            // Iterate inner assignments over the aggregated variables.
-            // `over` is disjoint from `out_vars`, so the inner loop can
-            // reuse the same env buffer: it only writes the aggregated
-            // slots, never the outer ones.
-            for_each_assignment(n, over_sorted.len(), |inner| {
-                for (slot, &var) in inner.iter().zip(&over_sorted) {
+            let dim = value_t.dim();
+            let mut out = EmbeddingTable::zeros(out_vars.clone(), dim, n);
+            let max_var = all.iter().chain(over_sorted.iter()).copied().max().unwrap_or(0) as usize;
+            let mut env = vec![0 as Vertex; max_var + 1];
+            for_each_assignment(n, out_vars.len(), |outer| {
+                for (slot, &var) in outer.iter().zip(&out_vars) {
                     env[var as usize] = *slot;
                 }
-                let pass = match &guard_t {
-                    Some(gt) => gt.cell_env(&env)[0] != 0.0,
-                    None => true,
+                let mut state = agg.init(dim);
+                // Iterate inner assignments over the aggregated variables.
+                // `over` is disjoint from `out_vars`, so the inner loop can
+                // reuse the same env buffer: it only writes the aggregated
+                // slots, never the outer ones.
+                for_each_assignment(n, over_sorted.len(), |inner| {
+                    for (slot, &var) in inner.iter().zip(&over_sorted) {
+                        env[var as usize] = *slot;
+                    }
+                    let pass = match &guard_t {
+                        Some(gt) => gt.cell_env(&env)[0] != 0.0,
+                        None => true,
+                    };
+                    if pass {
+                        state.push(value_t.cell_env(&env));
+                    }
+                });
+                out.cell_mut(outer).copy_from_slice(&state.finish());
+            });
+            out
+        }
+
+        /// Neighbour-list fast path for `agg_{y}(value | E(x, y))` (or the
+        /// reversed guard `E(y, x)` with `outgoing = false`).
+        fn eval_nbr_aggregate(
+            &self,
+            agg: Agg,
+            x: Var,
+            y: Var,
+            outgoing: bool,
+            value: &Expr,
+        ) -> EmbeddingTable {
+            let n = self.g.num_vertices();
+            let value_t = self.eval_memo(value);
+            let dim = value_t.dim();
+            let mut out_vars: Vec<Var> =
+                value_t.vars().iter().copied().filter(|&v| v != y).collect();
+            if !out_vars.contains(&x) {
+                out_vars.push(x);
+                out_vars.sort_unstable();
+            }
+            let mut out = EmbeddingTable::zeros(out_vars.clone(), dim, n);
+            let max_var = out_vars.iter().copied().max().unwrap_or(0).max(y) as usize;
+            let mut env = vec![0 as Vertex; max_var + 1];
+            for_each_assignment(n, out_vars.len(), |outer| {
+                for (slot, &var) in outer.iter().zip(&out_vars) {
+                    env[var as usize] = *slot;
+                }
+                let anchor_v = env[x as usize];
+                let nbrs = if outgoing {
+                    self.g.out_neighbors(anchor_v)
+                } else {
+                    self.g.in_neighbors(anchor_v)
                 };
-                if pass {
+                let mut state = agg.init(dim);
+                // `y` is never an output variable (the caller guarantees
+                // `x != y`), so writing its slot in place is safe.
+                for &w in nbrs {
+                    env[y as usize] = w;
                     state.push(value_t.cell_env(&env));
                 }
+                out.cell_mut(outer).copy_from_slice(&state.finish());
             });
-            out.cell_mut(outer).copy_from_slice(&state.finish());
-        });
-        out
-    }
-
-    /// Neighbour-list fast path for `agg_{y}(value | E(x, y))` (or the
-    /// reversed guard `E(y, x)` with `outgoing = false`).
-    fn eval_nbr_aggregate(
-        &self,
-        agg: Agg,
-        x: Var,
-        y: Var,
-        outgoing: bool,
-        value: &Expr,
-    ) -> EmbeddingTable {
-        let n = self.g.num_vertices();
-        let value_t = self.eval_memo(value);
-        let dim = value_t.dim();
-        let mut out_vars: Vec<Var> = value_t.vars().iter().copied().filter(|&v| v != y).collect();
-        if !out_vars.contains(&x) {
-            out_vars.push(x);
-            out_vars.sort_unstable();
+            out
         }
-        let mut out = EmbeddingTable::zeros(out_vars.clone(), dim, n);
-        let max_var = out_vars.iter().copied().max().unwrap_or(0).max(y) as usize;
-        let mut env = vec![0 as Vertex; max_var + 1];
-        for_each_assignment(n, out_vars.len(), |outer| {
-            for (slot, &var) in outer.iter().zip(&out_vars) {
-                env[var as usize] = *slot;
-            }
-            let anchor_v = env[x as usize];
-            let nbrs = if outgoing {
-                self.g.out_neighbors(anchor_v)
-            } else {
-                self.g.in_neighbors(anchor_v)
-            };
-            let mut state = agg.init(dim);
-            // `y` is never an output variable (the caller guarantees
-            // `x != y`), so writing its slot in place is safe.
-            for &w in nbrs {
-                env[y as usize] = w;
-                state.push(value_t.cell_env(&env));
-            }
-            out.cell_mut(outer).copy_from_slice(&state.finish());
-        });
-        out
     }
 }
 
@@ -377,7 +424,7 @@ impl Evaluator<'_> {
 mod tests {
     use super::*;
     use crate::ast::build::*;
-    use crate::func::Func;
+    use crate::func::{Agg, Func};
     use gel_graph::families::{cycle, path, star};
     use gel_graph::GraphBuilder;
 

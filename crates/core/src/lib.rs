@@ -56,6 +56,7 @@ pub mod eval;
 pub mod func;
 pub mod normal_form;
 pub mod parser;
+pub mod plan;
 pub mod random_expr;
 pub mod simplify;
 pub mod table;
@@ -66,5 +67,6 @@ pub use ast::{build, CmpOp, Expr, TypeError};
 pub use eval::{check_against_graph, eval, eval_with, try_eval, EvalError, EvalOptions};
 pub use func::{Agg, Func};
 pub use parser::{parse, ParseError};
+pub use plan::{eval_slab_allocs, EvalEngine};
 pub use simplify::simplify;
 pub use table::{EmbeddingTable, Var};

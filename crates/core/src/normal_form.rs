@@ -49,6 +49,7 @@ pub fn is_normal_form(expr: &Expr) -> bool {
             let only_bound = fv.iter().all(|v| over.contains(v));
             only_bound && is_normal_form(value) && guard.as_ref().is_none_or(|g| is_normal_form(g))
         }
+        Expr::Shared(e) => is_normal_form(e),
     }
 }
 
@@ -62,6 +63,8 @@ pub fn to_normal_form(expr: &Expr) -> Option<Expr> {
         | Expr::Edge { .. }
         | Expr::Cmp { .. }
         | Expr::Const { .. } => Some(expr.clone()),
+        // The rewrite rebuilds the tree, so unwrap the sharing.
+        Expr::Shared(e) => to_normal_form(e),
         Expr::Apply { func, args } => {
             let args: Option<Vec<Expr>> = args.iter().map(to_normal_form).collect();
             Some(Expr::Apply { func: func.clone(), args: args? })

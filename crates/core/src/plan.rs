@@ -1,0 +1,1220 @@
+//! Compiled evaluation of `GEL(Ω,Θ)` expressions: lowering to a flat
+//! plan of stride-addressed slab kernels.
+//!
+//! The original evaluator (kept as the test oracle in
+//! `eval::oracle`) walked the expression tree per *cell*: every table
+//! entry re-derived its flat index through [`EmbeddingTable::cell_env`]
+//! and every shared subtree went through an `Rc<RefCell<HashMap>>`
+//! memo. [`EvalEngine`] instead *compiles* the expression once:
+//!
+//! * **Plan lowering.** The tree is flattened into a DAG of plan
+//!   nodes in children-first order, deduplicated by
+//!   [`Expr::structural_hash`] — the same key the old memo used, so
+//!   the architecture compilers' massive subtree sharing collapses
+//!   identically. Executing the plan is a single in-order sweep.
+//! * **Stride layout.** Each node owns a contiguous `f64` slab in the
+//!   row-major layout of [`EmbeddingTable`] (variables ascending, last
+//!   variable fastest). For every kernel input, the lowering
+//!   precomputes one stride per *output* odometer digit — the flat
+//!   offset is maintained incrementally as the odometer advances, so
+//!   the hot loops never touch a hash map or recompute `Σ vⱼ·n^…`.
+//! * **Contraction order.** Dense aggregation streams the innermost
+//!   aggregated axis contiguously and accumulates straight into the
+//!   output cell, in exactly the serial element order of the oracle
+//!   (`Sum`/`Mean` add in inner-odometer order, `Max`/`Min` copy-first
+//!   then fold), so results are bit-identical, not just close. The
+//!   MPNN edge-guard fast path survives compilation as the
+//!   [`Kind::AggNbr`] kernel: CSR neighbour iteration for any number
+//!   of free variables, still gated by the DESIGN.md §6
+//!   `guard_fast_path` ablation flag.
+//! * **Scratch reuse.** Slabs come from a best-fit pool owned by the
+//!   engine; re-evaluating the same expression shape (E9 probes each
+//!   random expression on both graphs of a pair) hits the cached plan
+//!   and touches no allocator at all. Pool misses are tracked by the
+//!   always-on [`eval_slab_allocs`] counter and mirrored to the
+//!   `eval.slab.allocs` obs counter.
+//!
+//! Outer-assignment loops of `Apply`/`Aggregate` parallelize over
+//! contiguous output-cell ranges (`rayon::par_parts_mut`) once a node
+//! exceeds [`PAR_MIN_WORK`]; each range replays the identical serial
+//! per-cell order, so tables are bit-identical at any thread count —
+//! the same discipline as the matmul and WL-renaming kernels.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use gel_graph::{Graph, Vertex};
+
+use crate::ast::{CmpOp, Expr};
+use crate::eval::EvalOptions;
+use crate::func::{Agg, Func};
+use crate::table::{EmbeddingTable, Var};
+
+/// Tracked slab-pool misses since process start. Steady-state
+/// evaluations of a cached plan perform none: the CI smoke gate
+/// (`gel-bench --bench eval -- --smoke`) asserts the counter stays
+/// flat across repeated calls. Always on (independent of the `obs`
+/// feature) and monotone.
+pub fn eval_slab_allocs() -> u64 {
+    SLAB_ALLOCS.load(Ordering::Relaxed)
+}
+
+static SLAB_ALLOCS: AtomicU64 = AtomicU64::new(0);
+static OBS_SLAB_ALLOCS: gel_obs::Counter = gel_obs::Counter::new("eval.slab.allocs");
+static OBS_CALLS: gel_obs::Counter = gel_obs::Counter::new("eval.calls");
+static OBS_PLAN_BUILDS: gel_obs::Counter = gel_obs::Counter::new("eval.plan.builds");
+static OBS_PLAN_NODES: gel_obs::Counter = gel_obs::Counter::new("eval.plan.nodes");
+
+fn note_slab_alloc(len: usize) {
+    if len > 0 {
+        SLAB_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        OBS_SLAB_ALLOCS.incr();
+    }
+}
+
+/// Minimum kernel work (output elements × inner iterations) before an
+/// outer-assignment loop is split across rayon threads; below it the
+/// dispatch overhead dominates.
+const PAR_MIN_WORK: usize = 1 << 14;
+
+/// Zero strides for the guard-less aggregation path (a digit may never
+/// index past 255 distinct `u8` variables).
+static ZERO_STRIDES: [usize; 256] = [0; 256];
+
+/// Best-fit recycler for node slabs: `take` prefers the smallest
+/// pooled buffer whose capacity fits, so repeated plans of the same
+/// shapes reach a zero-allocation steady state.
+#[derive(Default)]
+struct SlabPool {
+    slabs: Vec<Vec<f64>>,
+}
+
+impl SlabPool {
+    fn take(&mut self, len: usize) -> Vec<f64> {
+        let mut best: Option<(usize, usize)> = None;
+        for (i, s) in self.slabs.iter().enumerate() {
+            let c = s.capacity();
+            let tighter = match best {
+                Some((_, bc)) => c < bc,
+                None => true,
+            };
+            if c >= len && tighter {
+                best = Some((i, c));
+            }
+        }
+        let mut s = match best {
+            Some((i, _)) => self.slabs.swap_remove(i),
+            None => {
+                note_slab_alloc(len);
+                Vec::with_capacity(len)
+            }
+        };
+        s.clear();
+        s.resize(len, 0.0);
+        s
+    }
+
+    fn put(&mut self, s: Vec<f64>) {
+        if s.capacity() > 0 {
+            self.slabs.push(s);
+        }
+    }
+}
+
+/// Per-input addressing of a kernel operand: `strides[j]` is the flat
+/// element offset the operand's slab moves by when output odometer
+/// digit `j` increments.
+struct ArgSpec {
+    node: usize,
+    dim: usize,
+    strides: Vec<usize>,
+}
+
+/// Aggregation operand: strides split between the outer (free) and
+/// inner (aggregated) odometers.
+struct AccSpec {
+    node: usize,
+    outer_strides: Vec<usize>,
+    inner_strides: Vec<usize>,
+}
+
+enum Kind {
+    Label {
+        j: usize,
+    },
+    LabelVec,
+    Edge {
+        flip: bool,
+    },
+    CmpEq,
+    CmpNe,
+    Const {
+        values: Vec<f64>,
+    },
+    Apply {
+        func: Func,
+        args: Vec<ArgSpec>,
+        d_in: usize,
+    },
+    AggDense {
+        agg: Agg,
+        value: AccSpec,
+        guard: Option<AccSpec>,
+        over_len: usize,
+        inner_cells: usize,
+    },
+    AggNbr {
+        agg: Agg,
+        value: AccSpec,
+        x_pos: usize,
+        y_stride: usize,
+        outgoing: bool,
+    },
+}
+
+struct Node {
+    vars: Vec<Var>,
+    dim: usize,
+    len: usize,
+    data: Vec<f64>,
+    kind: Kind,
+}
+
+/// Reused serial-path scratch (the parallel path gives each chunk its
+/// own small locals instead of sharing these across threads).
+#[derive(Default)]
+struct ExecScratch {
+    input: Vec<f64>,
+    result: Vec<f64>,
+    digits: Vec<usize>,
+    inner_digits: Vec<usize>,
+    offsets: Vec<usize>,
+    bounds: Vec<usize>,
+}
+
+/// The compiled evaluation engine. Owns the lowered plan, every
+/// intermediate slab, and the output table; repeated [`Self::eval`]
+/// calls on the same expression/graph shape reuse all of them, making
+/// steady-state evaluation allocation-free (see [`eval_slab_allocs`]).
+///
+/// The free functions [`crate::eval::eval`] / [`crate::eval::eval_with`]
+/// build a throwaway engine per call; hot loops that evaluate many
+/// expressions (the E4/E9 probe harnesses, benchmarks) hold one engine
+/// per graph and call [`Self::eval`] for a borrowed result.
+pub struct EvalEngine {
+    opts: EvalOptions,
+    n: usize,
+    nodes: Vec<Node>,
+    node_of: HashMap<u64, usize>,
+    root: usize,
+    cache_key: Option<(u64, usize, usize, bool)>,
+    root_table: EmbeddingTable,
+    pool: SlabPool,
+    scratch: ExecScratch,
+    /// Structural hashes of [`Expr::Shared`] nodes, keyed by `Arc`
+    /// target pointer. Refilled per call (pointers may be reused across
+    /// expressions); keeps hashing a shared DAG linear in its distinct
+    /// nodes. The map retains its capacity, so steady-state refills
+    /// don't allocate.
+    hash_memo: HashMap<*const Expr, u64>,
+}
+
+impl Default for EvalEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EvalEngine {
+    /// An engine with default [`EvalOptions`].
+    pub fn new() -> Self {
+        Self::with_options(EvalOptions::default())
+    }
+
+    /// An engine with explicit options (ablations).
+    pub fn with_options(opts: EvalOptions) -> Self {
+        Self {
+            opts,
+            n: 0,
+            nodes: Vec::new(),
+            node_of: HashMap::new(),
+            root: 0,
+            cache_key: None,
+            root_table: EmbeddingTable::placeholder(),
+            pool: SlabPool::default(),
+            scratch: ExecScratch::default(),
+            hash_memo: HashMap::new(),
+        }
+    }
+
+    /// Number of nodes in the current plan (0 before the first call).
+    /// Equal subtrees share a node, exactly as the old memo shared
+    /// tables.
+    pub fn plan_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Evaluates `expr` on `g`, returning a borrow of the engine-owned
+    /// result table. Calling again with the same expression shape
+    /// (same [`Expr::structural_hash`], vertex count and label
+    /// dimension) reuses the cached plan and performs zero heap
+    /// allocations.
+    ///
+    /// # Panics
+    /// Panics on ill-typed expressions and out-of-range label atoms,
+    /// like [`crate::eval::eval`] — run
+    /// [`crate::eval::check_against_graph`] first for untrusted input.
+    pub fn eval(&mut self, expr: &Expr, g: &Graph) -> &EmbeddingTable {
+        OBS_CALLS.incr();
+        self.ensure_plan(expr, g);
+        let _sp = gel_obs::span("eval.exec");
+        let root_len = self.nodes[self.root].len;
+        let mut root_data = self.root_table.take_data();
+        if root_data.len() != root_len {
+            // The previous result was moved out by `eval_owned`.
+            self.pool.put(root_data);
+            root_data = self.pool.take(root_len);
+        }
+        self.nodes[self.root].data = root_data;
+        for i in 0..self.nodes.len() {
+            let mut data = std::mem::take(&mut self.nodes[i].data);
+            exec_node(&self.nodes, i, &mut data, g, self.n, &mut self.scratch);
+            self.nodes[i].data = data;
+        }
+        self.root_table.set_data(std::mem::take(&mut self.nodes[self.root].data));
+        &self.root_table
+    }
+
+    /// [`Self::eval`], but moves the result out of the engine. The
+    /// next call re-acquires a root slab from the pool; use the
+    /// borrowing variant on zero-allocation hot paths.
+    pub fn eval_owned(&mut self, expr: &Expr, g: &Graph) -> EmbeddingTable {
+        self.eval(expr, g);
+        let vars = self.root_table.vars().to_vec();
+        let dim = self.root_table.dim();
+        let data = self.root_table.take_data();
+        EmbeddingTable::from_parts(vars, dim, self.n, data)
+    }
+
+    /// Lowers a fresh plan unless the cached one already matches
+    /// `(expr, g)`'s shape.
+    fn ensure_plan(&mut self, expr: &Expr, g: &Graph) {
+        // Hash with a pointer memo at `Shared` boundaries — a naive
+        // `structural_hash` would unfold the DAG.
+        self.hash_memo.clear();
+        let root_hash = dag_hash(expr, &mut self.hash_memo);
+        let key = (root_hash, g.num_vertices(), g.label_dim(), self.opts.guard_fast_path);
+        if self.cache_key == Some(key) {
+            return;
+        }
+        let _sp = gel_obs::span("eval.lower");
+        self.cache_key = None;
+        // Recycle every slab of the outgoing plan before lowering.
+        for node in self.nodes.drain(..) {
+            self.pool.put(node.data);
+        }
+        self.pool.put(self.root_table.take_data());
+        self.root_table = EmbeddingTable::placeholder();
+        self.node_of.clear();
+        self.n = g.num_vertices();
+        self.root = self.lower(expr, g).0;
+        let root = &mut self.nodes[self.root];
+        let data = std::mem::take(&mut root.data);
+        self.root_table = EmbeddingTable::from_parts(root.vars.clone(), root.dim, self.n, data);
+        // Size the shared serial-path scratch once per plan.
+        let mut max_p = 0;
+        let mut max_q = 0;
+        let mut max_args = 0;
+        for node in &self.nodes {
+            max_p = max_p.max(node.vars.len());
+            match &node.kind {
+                Kind::AggDense { over_len, .. } => max_q = max_q.max(*over_len),
+                Kind::Apply { args, .. } => max_args = max_args.max(args.len()),
+                _ => {}
+            }
+        }
+        self.scratch.digits.resize(max_p, 0);
+        self.scratch.inner_digits.resize(max_q, 0);
+        self.scratch.offsets.resize(max_args, 0);
+        self.cache_key = Some(key);
+        OBS_PLAN_BUILDS.incr();
+        OBS_PLAN_NODES.add(self.nodes.len() as u64);
+    }
+
+    /// Recursively lowers `expr`, returning its node index and its
+    /// [`Expr::structural_hash`]. Nodes are pushed children-first, so
+    /// an in-order sweep executes the DAG. The hash is folded bottom-up
+    /// from child hashes during this same walk ([`Expr::hash_header`]):
+    /// the WL-simulation expressions physically embed copies of each
+    /// round, so calling `structural_hash` per visited node — as the
+    /// old memoizing interpreter did — rehashes every subtree and costs
+    /// quadratic time, which dominated end-to-end evaluation.
+    fn lower(&mut self, expr: &Expr, g: &Graph) -> (usize, u64) {
+        if let Expr::Shared(rc) = expr {
+            // `ensure_plan` hashed the whole DAG, so this is a lookup;
+            // a hash hit skips the subtree entirely — shared rounds
+            // lower exactly once.
+            let h = dag_hash(expr, &mut self.hash_memo);
+            if let Some(&i) = self.node_of.get(&h) {
+                return (i, h);
+            }
+            return self.lower(rc, g);
+        }
+        if let Expr::Aggregate { agg, over, value, guard } = expr {
+            return self.lower_aggregate(
+                g,
+                *agg,
+                over,
+                value,
+                guard.as_deref(),
+                expr.hash_header(),
+            );
+        }
+        if let Expr::Apply { func, args } = expr {
+            let mut key = expr.hash_header();
+            let arg_nodes: Vec<usize> = args
+                .iter()
+                .map(|a| {
+                    let (i, h) = self.lower(a, g);
+                    key = crate::ast::hash_mix(key, h);
+                    i
+                })
+                .collect();
+            if let Some(&i) = self.node_of.get(&key) {
+                return (i, key);
+            }
+            let mut vars: Vec<Var> =
+                arg_nodes.iter().flat_map(|&i| self.nodes[i].vars.iter().copied()).collect();
+            vars.sort_unstable();
+            vars.dedup();
+            let d_in: usize = arg_nodes.iter().map(|&i| self.nodes[i].dim).sum();
+            let d_out = func.out_dim(d_in).expect("ill-typed Apply");
+            let specs = arg_nodes
+                .iter()
+                .map(|&i| ArgSpec {
+                    node: i,
+                    dim: self.nodes[i].dim,
+                    strides: strides_for(&self.nodes[i].vars, self.nodes[i].dim, &vars, self.n),
+                })
+                .collect();
+            let node =
+                self.make_node(vars, d_out, Kind::Apply { func: func.clone(), args: specs, d_in });
+            return (self.push_node(node, key), key);
+        }
+        // Leaves: the header is the full structural hash.
+        let key = expr.hash_header();
+        if let Some(&i) = self.node_of.get(&key) {
+            return (i, key);
+        }
+        let node = match expr {
+            Expr::Label { j, var } => {
+                assert!(
+                    *j < g.label_dim(),
+                    "label component {j} out of range (dim {})",
+                    g.label_dim()
+                );
+                self.make_node(vec![*var], 1, Kind::Label { j: *j })
+            }
+            Expr::LabelVec { var, dim } => {
+                assert_eq!(
+                    *dim,
+                    g.label_dim(),
+                    "LabelVec dimension does not match the graph's label dimension"
+                );
+                self.make_node(vec![*var], *dim, Kind::LabelVec)
+            }
+            Expr::Edge { from, to } => {
+                let mut vars = vec![*from, *to];
+                vars.sort_unstable();
+                let flip = vars[0] != *from;
+                self.make_node(vars, 1, Kind::Edge { flip })
+            }
+            Expr::Cmp { a, op, b } => {
+                let mut vars = vec![*a, *b];
+                vars.sort_unstable();
+                let kind = match op {
+                    CmpOp::Eq => Kind::CmpEq,
+                    CmpOp::Ne => Kind::CmpNe,
+                };
+                self.make_node(vars, 1, kind)
+            }
+            Expr::Const { values } => {
+                self.make_node(Vec::new(), values.len(), Kind::Const { values: values.clone() })
+            }
+            Expr::Apply { .. } | Expr::Aggregate { .. } | Expr::Shared(_) => {
+                unreachable!("handled above")
+            }
+        };
+        (self.push_node(node, key), key)
+    }
+
+    fn push_node(&mut self, node: Node, key: u64) -> usize {
+        let i = self.nodes.len();
+        self.nodes.push(node);
+        self.node_of.insert(key, i);
+        i
+    }
+
+    fn lower_aggregate(
+        &mut self,
+        g: &Graph,
+        agg: Agg,
+        over: &[Var],
+        value: &Expr,
+        guard: Option<&Expr>,
+        header: u64,
+    ) -> (usize, u64) {
+        let n = self.n;
+
+        // Fast path: single aggregation variable with an edge guard
+        // anchored at a free variable — the MPNN neighbourhood shape
+        // (DESIGN.md §6 ablation; same detection as the oracle).
+        if self.opts.guard_fast_path && over.len() == 1 {
+            if let Some(ge @ Expr::Edge { from, to }) = guard {
+                let y = over[0];
+                let anchor = if *to == y { Some((*from, true)) } else { None }.or(if *from == y {
+                    Some((*to, false))
+                } else {
+                    None
+                });
+                if let Some((x, outgoing)) = anchor {
+                    if x != y {
+                        let (vi, vh) = self.lower(value, g);
+                        // The guard is an `Edge` leaf, so its header is
+                        // its full structural hash.
+                        let key = crate::ast::hash_mix(
+                            crate::ast::hash_mix(header, vh),
+                            ge.hash_header(),
+                        );
+                        if let Some(&i) = self.node_of.get(&key) {
+                            return (i, key);
+                        }
+                        let vnode = &self.nodes[vi];
+                        let dim = vnode.dim;
+                        let mut out_vars: Vec<Var> =
+                            vnode.vars.iter().copied().filter(|&v| v != y).collect();
+                        if !out_vars.contains(&x) {
+                            out_vars.push(x);
+                            out_vars.sort_unstable();
+                        }
+                        let value = AccSpec {
+                            node: vi,
+                            outer_strides: strides_for(&vnode.vars, dim, &out_vars, n),
+                            inner_strides: Vec::new(),
+                        };
+                        let y_stride = strides_for(&vnode.vars, dim, &[y], n)[0];
+                        let x_pos = out_vars.iter().position(|&v| v == x).expect("x is free");
+                        let node = self.make_node(
+                            out_vars,
+                            dim,
+                            Kind::AggNbr { agg, value, x_pos, y_stride, outgoing },
+                        );
+                        return (self.push_node(node, key), key);
+                    }
+                }
+            }
+        }
+
+        let (vi, vh) = self.lower(value, g);
+        let mut key = crate::ast::hash_mix(header, vh);
+        let gi = guard.map(|ge| {
+            let (i, h) = self.lower(ge, g);
+            key = crate::ast::hash_mix(key, h);
+            i
+        });
+        if let Some(&i) = self.node_of.get(&key) {
+            return (i, key);
+        }
+        // Output variables: (value ∪ guard vars) \ over.
+        let mut all: Vec<Var> = self.nodes[vi].vars.clone();
+        if let Some(gi) = gi {
+            all.extend_from_slice(&self.nodes[gi].vars);
+        }
+        all.sort_unstable();
+        all.dedup();
+        let out_vars: Vec<Var> = all.iter().copied().filter(|v| !over.contains(v)).collect();
+        let over_sorted: Vec<Var> = {
+            let mut o = over.to_vec();
+            o.sort_unstable();
+            o
+        };
+        let dim = self.nodes[vi].dim;
+        let value_spec = AccSpec {
+            node: vi,
+            outer_strides: strides_for(&self.nodes[vi].vars, dim, &out_vars, n),
+            inner_strides: strides_for(&self.nodes[vi].vars, dim, &over_sorted, n),
+        };
+        let guard_spec = gi.map(|gi| AccSpec {
+            node: gi,
+            outer_strides: strides_for(&self.nodes[gi].vars, self.nodes[gi].dim, &out_vars, n),
+            inner_strides: strides_for(&self.nodes[gi].vars, self.nodes[gi].dim, &over_sorted, n),
+        });
+        let inner_cells =
+            n.checked_pow(over_sorted.len() as u32).expect("too many aggregated variables");
+        assert!(over_sorted.len() <= ZERO_STRIDES.len(), "too many aggregated variables");
+        let node = self.make_node(
+            out_vars,
+            dim,
+            Kind::AggDense {
+                agg,
+                value: value_spec,
+                guard: guard_spec,
+                over_len: over_sorted.len(),
+                inner_cells,
+            },
+        );
+        (self.push_node(node, key), key)
+    }
+
+    fn make_node(&mut self, vars: Vec<Var>, dim: usize, kind: Kind) -> Node {
+        assert!(vars.windows(2).all(|w| w[0] < w[1]), "vars must be strictly ascending");
+        let cells = self.n.checked_pow(vars.len() as u32).expect("table too large");
+        let len = cells.checked_mul(dim).expect("table too large");
+        let data = self.pool.take(len);
+        Node { vars, dim, len, data, kind }
+    }
+}
+
+/// [`Expr::structural_hash`] with a pointer memo at [`Expr::Shared`]
+/// boundaries: linear in the DAG's distinct nodes where the naive
+/// recursion is linear in its (exponential) unfolding. Produces
+/// identical values — `Shared` is transparent to the hash.
+fn dag_hash(e: &Expr, memo: &mut HashMap<*const Expr, u64>) -> u64 {
+    match e {
+        Expr::Shared(rc) => {
+            let p = std::sync::Arc::as_ptr(rc);
+            if let Some(&h) = memo.get(&p) {
+                return h;
+            }
+            let h = dag_hash(rc, memo);
+            memo.insert(p, h);
+            h
+        }
+        Expr::Apply { args, .. } => {
+            let mut h = e.hash_header();
+            for a in args {
+                h = crate::ast::hash_mix(h, dag_hash(a, memo));
+            }
+            h
+        }
+        Expr::Aggregate { value, guard, .. } => {
+            let mut h = crate::ast::hash_mix(e.hash_header(), dag_hash(value, memo));
+            if let Some(g) = guard {
+                h = crate::ast::hash_mix(h, dag_hash(g, memo));
+            }
+            h
+        }
+        _ => e.hash_header(),
+    }
+}
+
+/// Strides of a child table (vars `child_vars`, cell width
+/// `child_dim`) per digit of an odometer running over `digit_vars`:
+/// the flat element offset the child moves by when that digit
+/// increments (0 when the digit's variable is not free in the child).
+fn strides_for(child_vars: &[Var], child_dim: usize, digit_vars: &[Var], n: usize) -> Vec<usize> {
+    digit_vars
+        .iter()
+        .map(|v| match child_vars.iter().position(|cv| cv == v) {
+            Some(pos) => child_dim * n.pow((child_vars.len() - 1 - pos) as u32),
+            None => 0,
+        })
+        .collect()
+}
+
+/// Writes the base-`n` digits of `cell` (most significant first).
+#[inline]
+fn decompose(mut cell: usize, n: usize, digits: &mut [usize]) {
+    for d in digits.iter_mut().rev() {
+        *d = cell % n;
+        cell /= n;
+    }
+    debug_assert_eq!(cell, 0);
+}
+
+#[inline]
+fn dot(digits: &[usize], strides: &[usize]) -> usize {
+    digits.iter().zip(strides).map(|(d, s)| d * s).sum()
+}
+
+/// Advances the output odometer by one cell, updating two incremental
+/// offsets (`o1`/`o2`) by their per-digit strides. Must not be called
+/// past the last cell of the range.
+#[inline]
+fn advance2(
+    digits: &mut [usize],
+    n: usize,
+    s1: &[usize],
+    o1: &mut usize,
+    s2: &[usize],
+    o2: &mut usize,
+) {
+    let mut j = digits.len();
+    loop {
+        debug_assert!(j > 0, "advanced past the last assignment");
+        j -= 1;
+        digits[j] += 1;
+        if digits[j] < n {
+            *o1 += s1[j];
+            *o2 += s2[j];
+            return;
+        }
+        digits[j] = 0;
+        *o1 -= s1[j] * (n - 1);
+        *o2 -= s2[j] * (n - 1);
+    }
+}
+
+/// One [`crate::func::AggState::push`], inlined against the output
+/// cell (which starts zeroed): identical fold order and operations,
+/// so aggregates are bit-identical to the oracle's.
+#[inline]
+fn push_acc(agg: Agg, acc: &mut [f64], x: &[f64], count: usize) {
+    match agg {
+        Agg::Sum | Agg::Mean => {
+            for (a, &v) in acc.iter_mut().zip(x) {
+                *a += v;
+            }
+        }
+        Agg::Max => {
+            if count == 0 {
+                acc.copy_from_slice(x);
+            } else {
+                for (a, &v) in acc.iter_mut().zip(x) {
+                    *a = a.max(v);
+                }
+            }
+        }
+        Agg::Min => {
+            if count == 0 {
+                acc.copy_from_slice(x);
+            } else {
+                for (a, &v) in acc.iter_mut().zip(x) {
+                    *a = a.min(v);
+                }
+            }
+        }
+    }
+}
+
+/// Splits `total_cells` into contiguous per-thread ranges (element
+/// bounds, cell-aligned) for `rayon::par_parts_mut`.
+fn chunk_bounds(bounds: &mut Vec<usize>, total_cells: usize, dim: usize) -> bool {
+    let threads = rayon::current_num_threads();
+    if threads < 2 || total_cells < 2 {
+        return false;
+    }
+    let parts = threads.min(total_cells);
+    bounds.clear();
+    for t in 0..=parts {
+        bounds.push(total_cells * t / parts * dim);
+    }
+    true
+}
+
+fn exec_node(
+    nodes: &[Node],
+    i: usize,
+    out: &mut [f64],
+    g: &Graph,
+    n: usize,
+    scratch: &mut ExecScratch,
+) {
+    let node = &nodes[i];
+    let d = node.dim;
+    match &node.kind {
+        Kind::Label { j } => {
+            for (v, o) in out.iter_mut().enumerate() {
+                *o = g.label(v as Vertex)[*j];
+            }
+        }
+        Kind::LabelVec => {
+            for v in 0..n {
+                out[v * d..(v + 1) * d].copy_from_slice(g.label(v as Vertex));
+            }
+        }
+        Kind::Edge { flip } => {
+            out.fill(0.0);
+            for (u, v) in g.arcs() {
+                let (a, b) = if *flip { (v, u) } else { (u, v) };
+                out[a as usize * n + b as usize] = 1.0;
+            }
+        }
+        // Only the diagonal differs from the constant fill, so neither
+        // comparison kernel visits all n² cells cell-by-cell.
+        Kind::CmpEq => {
+            out.fill(0.0);
+            for v in 0..n {
+                out[v * n + v] = 1.0;
+            }
+        }
+        Kind::CmpNe => {
+            out.fill(1.0);
+            for v in 0..n {
+                out[v * n + v] = 0.0;
+            }
+        }
+        Kind::Const { values } => out.copy_from_slice(values),
+        Kind::Apply { func, args, d_in } => {
+            let p = node.vars.len();
+            let total = node.len.checked_div(d).unwrap_or(0);
+            let work = total.saturating_mul(d_in + d);
+            if work >= PAR_MIN_WORK && chunk_bounds(&mut scratch.bounds, total, d) {
+                let bounds = &scratch.bounds[..];
+                rayon::par_parts_mut(out, bounds, |t, part| {
+                    let mut input = Vec::with_capacity(*d_in);
+                    let mut result = Vec::with_capacity(d);
+                    let mut digits = vec![0usize; p];
+                    let mut offsets = vec![0usize; args.len()];
+                    run_apply(
+                        nodes,
+                        func,
+                        args,
+                        part,
+                        bounds[t] / d.max(1),
+                        part.len() / d.max(1),
+                        n,
+                        d,
+                        &mut input,
+                        &mut result,
+                        &mut digits,
+                        &mut offsets,
+                    );
+                });
+            } else {
+                let digits = &mut scratch.digits[..p];
+                let offsets = &mut scratch.offsets[..args.len()];
+                run_apply(
+                    nodes,
+                    func,
+                    args,
+                    out,
+                    0,
+                    total,
+                    n,
+                    d,
+                    &mut scratch.input,
+                    &mut scratch.result,
+                    digits,
+                    offsets,
+                );
+            }
+        }
+        Kind::AggDense { agg, value, guard, over_len, inner_cells } => {
+            let p = node.vars.len();
+            let total = node.len.checked_div(d).unwrap_or(0);
+            let work = total.saturating_mul(*inner_cells).saturating_mul(d.max(1));
+            if work >= PAR_MIN_WORK && chunk_bounds(&mut scratch.bounds, total, d) {
+                let bounds = &scratch.bounds[..];
+                rayon::par_parts_mut(out, bounds, |t, part| {
+                    let mut digits = vec![0usize; p];
+                    let mut inner_digits = vec![0usize; *over_len];
+                    run_agg_dense(
+                        nodes,
+                        *agg,
+                        value,
+                        guard.as_ref(),
+                        part,
+                        bounds[t] / d.max(1),
+                        part.len() / d.max(1),
+                        n,
+                        d,
+                        *inner_cells,
+                        &mut digits,
+                        &mut inner_digits,
+                    );
+                });
+            } else {
+                let (digits, inner_digits) =
+                    (&mut scratch.digits[..p], &mut scratch.inner_digits[..*over_len]);
+                run_agg_dense(
+                    nodes,
+                    *agg,
+                    value,
+                    guard.as_ref(),
+                    out,
+                    0,
+                    total,
+                    n,
+                    d,
+                    *inner_cells,
+                    digits,
+                    inner_digits,
+                );
+            }
+        }
+        Kind::AggNbr { agg, value, x_pos, y_stride, outgoing } => {
+            let p = node.vars.len();
+            let total = node.len.checked_div(d).unwrap_or(0);
+            let avg_deg = g.num_arcs() / n.max(1) + 1;
+            let work = total.saturating_mul(avg_deg).saturating_mul(d.max(1));
+            if work >= PAR_MIN_WORK && chunk_bounds(&mut scratch.bounds, total, d) {
+                let bounds = &scratch.bounds[..];
+                rayon::par_parts_mut(out, bounds, |t, part| {
+                    let mut digits = vec![0usize; p];
+                    run_agg_nbr(
+                        nodes,
+                        g,
+                        *agg,
+                        value,
+                        *x_pos,
+                        *y_stride,
+                        *outgoing,
+                        part,
+                        bounds[t] / d.max(1),
+                        part.len() / d.max(1),
+                        n,
+                        d,
+                        &mut digits,
+                    );
+                });
+            } else {
+                let digits = &mut scratch.digits[..p];
+                run_agg_nbr(
+                    nodes, g, *agg, value, *x_pos, *y_stride, *outgoing, out, 0, total, n, d,
+                    digits,
+                );
+            }
+        }
+    }
+}
+
+/// The `Apply` kernel over a contiguous output-cell range: gather each
+/// argument's cell through its incremental offset into one packed
+/// input row, apply `func`, write the result row. Identical per-cell
+/// order to the oracle's `for_each_assignment` loop.
+#[allow(clippy::too_many_arguments)]
+fn run_apply(
+    nodes: &[Node],
+    func: &Func,
+    args: &[ArgSpec],
+    out: &mut [f64],
+    start_cell: usize,
+    cells: usize,
+    n: usize,
+    d: usize,
+    input: &mut Vec<f64>,
+    result: &mut Vec<f64>,
+    digits: &mut [usize],
+    offsets: &mut [usize],
+) {
+    if cells == 0 {
+        return;
+    }
+    decompose(start_cell, n, digits);
+    for (o, arg) in offsets.iter_mut().zip(args) {
+        *o = dot(digits, &arg.strides);
+    }
+    for c in 0..cells {
+        input.clear();
+        for (o, arg) in offsets.iter().zip(args) {
+            input.extend_from_slice(&nodes[arg.node].data[*o..*o + arg.dim]);
+        }
+        func.apply(input, result);
+        out[c * d..(c + 1) * d].copy_from_slice(result);
+        if c + 1 < cells {
+            advance_args(digits, n, args, offsets);
+        }
+    }
+}
+
+#[inline]
+fn advance_args(digits: &mut [usize], n: usize, args: &[ArgSpec], offsets: &mut [usize]) {
+    let mut j = digits.len();
+    loop {
+        debug_assert!(j > 0, "advanced past the last assignment");
+        j -= 1;
+        digits[j] += 1;
+        if digits[j] < n {
+            for (o, arg) in offsets.iter_mut().zip(args) {
+                *o += arg.strides[j];
+            }
+            return;
+        }
+        digits[j] = 0;
+        for (o, arg) in offsets.iter_mut().zip(args) {
+            *o -= arg.strides[j] * (n - 1);
+        }
+    }
+}
+
+/// The dense aggregation kernel: for every output assignment, stream
+/// the inner odometer over the aggregated variables and fold passing
+/// value cells straight into the (pre-zeroed) output cell.
+#[allow(clippy::too_many_arguments)]
+fn run_agg_dense(
+    nodes: &[Node],
+    agg: Agg,
+    value: &AccSpec,
+    guard: Option<&AccSpec>,
+    out: &mut [f64],
+    start_cell: usize,
+    cells: usize,
+    n: usize,
+    d: usize,
+    inner_cells: usize,
+    digits: &mut [usize],
+    inner_digits: &mut [usize],
+) {
+    if cells == 0 {
+        return;
+    }
+    let q = inner_digits.len();
+    let (guarded, g_node, g_outer, g_inner) = match guard {
+        Some(gs) => (true, gs.node, &gs.outer_strides[..], &gs.inner_strides[..]),
+        None => (false, value.node, &ZERO_STRIDES[..digits.len()], &ZERO_STRIDES[..q]),
+    };
+    let vdata = &nodes[value.node].data[..];
+    let gdata = &nodes[g_node].data[..];
+    decompose(start_cell, n, digits);
+    let mut vbase = dot(digits, &value.outer_strides);
+    let mut gbase = dot(digits, g_outer);
+    for c in 0..cells {
+        let cell = &mut out[c * d..(c + 1) * d];
+        cell.fill(0.0);
+        let mut count = 0usize;
+        inner_digits.fill(0);
+        let mut voff = vbase;
+        let mut goff = gbase;
+        for ic in 0..inner_cells {
+            if !guarded || gdata[goff] != 0.0 {
+                push_acc(agg, cell, &vdata[voff..voff + d], count);
+                count += 1;
+            }
+            if ic + 1 < inner_cells {
+                advance2(inner_digits, n, &value.inner_strides, &mut voff, g_inner, &mut goff);
+            }
+        }
+        if agg == Agg::Mean && count > 0 {
+            let cf = count as f64;
+            for a in cell {
+                *a /= cf;
+            }
+        }
+        if c + 1 < cells {
+            advance2(digits, n, &value.outer_strides, &mut vbase, g_outer, &mut gbase);
+        }
+    }
+}
+
+/// The CSR neighbour-list kernel for `agg_{y}(value | E(x, y))`: the
+/// generalized edge-guard fast path — any number of free variables,
+/// neighbour iteration in adjacency order, same accumulation
+/// discipline as the dense kernel.
+#[allow(clippy::too_many_arguments)]
+fn run_agg_nbr(
+    nodes: &[Node],
+    g: &Graph,
+    agg: Agg,
+    value: &AccSpec,
+    x_pos: usize,
+    y_stride: usize,
+    outgoing: bool,
+    out: &mut [f64],
+    start_cell: usize,
+    cells: usize,
+    n: usize,
+    d: usize,
+    digits: &mut [usize],
+) {
+    if cells == 0 {
+        return;
+    }
+    let vdata = &nodes[value.node].data[..];
+    let mut unused = 0usize;
+    decompose(start_cell, n, digits);
+    let mut vbase = dot(digits, &value.outer_strides);
+    for c in 0..cells {
+        let cell = &mut out[c * d..(c + 1) * d];
+        cell.fill(0.0);
+        let anchor = digits[x_pos] as Vertex;
+        let nbrs = if outgoing { g.out_neighbors(anchor) } else { g.in_neighbors(anchor) };
+        let mut count = 0usize;
+        for &w in nbrs {
+            let voff = vbase + w as usize * y_stride;
+            push_acc(agg, cell, &vdata[voff..voff + d], count);
+            count += 1;
+        }
+        if agg == Agg::Mean && count > 0 {
+            let cf = count as f64;
+            for a in cell {
+                *a /= cf;
+            }
+        }
+        if c + 1 < cells {
+            advance2(
+                digits,
+                n,
+                &value.outer_strides,
+                &mut vbase,
+                &ZERO_STRIDES[..digits.len()],
+                &mut unused,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::build::*;
+    use crate::eval::oracle::{oracle_eval, oracle_eval_with};
+    use crate::random_expr::{random_gel_graph, RandomExprConfig};
+    use gel_graph::families::cycle;
+    use gel_graph::GraphBuilder;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A random *directed* labelled graph (arc (u,v) present does not
+    /// imply (v,u)), so the engine's in/out-neighbour handling and the
+    /// reversed-guard fast path both get exercised.
+    fn random_graph(n: usize, label_dim: usize, rng: &mut StdRng) -> Graph {
+        let mut b = GraphBuilder::new(n);
+        for u in 0..n as Vertex {
+            for v in 0..n as Vertex {
+                if u != v && rng.gen_bool(0.3) {
+                    b.add_arc(u, v);
+                }
+            }
+        }
+        let labels: Vec<f64> = (0..n * label_dim).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        b.build().with_labels(labels, label_dim)
+    }
+
+    fn assert_engine_matches_oracle(e: &Expr, g: &Graph) {
+        for fast in [true, false] {
+            let opts = EvalOptions { guard_fast_path: fast };
+            let want = oracle_eval_with(e, g, opts);
+            let mut eng = EvalEngine::with_options(opts);
+            assert_eq!(eng.eval(e, g), &want, "engine diverged (fast_path={fast}) on {e}");
+            // A second call replays the cached plan; still identical.
+            assert_eq!(eng.eval(e, g), &want, "cached plan diverged (fast_path={fast}) on {e}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        // Random GEL_k expressions (k ∈ {1,2,3} ⇒ intermediate tables of
+        // arity 0–3), all four aggregators, labelled directed graphs:
+        // the engine must reproduce the oracle's tables bit-for-bit,
+        // with the fast path both on and off.
+        fn engine_matches_oracle_on_random_gel(seed in 0u64..1_000_000) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = 3 + (seed % 5) as usize;
+            let label_dim = 1 + (seed % 2) as usize;
+            let g = random_graph(n, label_dim, &mut rng);
+            let cfg = RandomExprConfig {
+                label_dim,
+                max_depth: 3,
+                max_dim: 3,
+                aggregators: vec![Agg::Sum, Agg::Mean, Agg::Max, Agg::Min],
+            };
+            let k = 1 + (seed % 3) as usize;
+            let e = random_gel_graph(&cfg, k, &mut rng);
+            for fast in [true, false] {
+                let opts = EvalOptions { guard_fast_path: fast };
+                let want = oracle_eval_with(&e, &g, opts);
+                let mut eng = EvalEngine::with_options(opts);
+                prop_assert_eq!(eng.eval(&e, &g), &want);
+                prop_assert_eq!(eng.eval(&e, &g), &want);
+            }
+        }
+    }
+
+    #[test]
+    fn engine_matches_oracle_on_handcrafted_shapes() {
+        let labels: Vec<f64> = (0..14).map(|i| f64::from(i) * 0.5 - 3.0).collect();
+        let g = cycle(7).with_labels(labels, 2);
+        let exprs = vec![
+            eq(1, 2),
+            ne(1, 2),
+            lab_vec(1, 2),
+            hash(7, lab_vec(1, 2)),
+            constant(vec![2.0, -1.0, 0.5]),
+            agg_over(Agg::Min, vec![2], mul2(lab(0, 1), lab(1, 2)), Some(ne(1, 2))),
+            agg_over(Agg::Max, vec![1, 2], add2(lab(0, 1), lab(0, 2)), None),
+            agg_over(Agg::Sum, vec![2], lab_vec(1, 2), Some(eq(1, 2))),
+            nbr_agg(Agg::Min, 1, 2, lab_vec(2, 2)),
+            // Reversed guard: E(y, x) anchors the in-neighbour walk.
+            agg_over(Agg::Mean, vec![2], lab(0, 2), Some(edge(2, 1))),
+            global_agg(Agg::Mean, 1, nbr_agg(Agg::Sum, 1, 2, mul2(lab(0, 1), lab(0, 2)))),
+            // Aggregated variable absent from the value: n copies of a cell.
+            agg_over(Agg::Sum, vec![2], lab(1, 1), None),
+        ];
+        for e in exprs {
+            assert_engine_matches_oracle(&e, &g);
+        }
+    }
+
+    #[test]
+    fn engine_matches_oracle_on_directed_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(0xD15EA5E);
+        let g = random_graph(8, 1, &mut rng);
+        let exprs = vec![
+            nbr_agg(Agg::Sum, 1, 2, lab(0, 2)),
+            agg_over(Agg::Sum, vec![2], lab(0, 2), Some(edge(2, 1))),
+            mul2(nbr_agg(Agg::Max, 1, 2, lab(0, 2)), nbr_agg(Agg::Min, 1, 2, lab(0, 2))),
+        ];
+        for e in exprs {
+            assert_engine_matches_oracle(&e, &g);
+        }
+    }
+
+    /// Exercises the parallel outer-assignment chunking of all three
+    /// heavy kernels (Apply, dense Aggregate, neighbour Aggregate) on
+    /// shapes big enough to cross [`PAR_MIN_WORK`], asserting
+    /// bit-identical tables at 1 and 4 threads against the serial
+    /// oracle.
+    #[test]
+    fn parallel_kernels_are_bit_identical() {
+        let n = 40;
+        let mut rng = StdRng::seed_from_u64(42);
+        let g = random_graph(n, 1, &mut rng);
+        let tri = apply(Func::Mul { arity: 3, dim: 1 }, vec![edge(1, 2), edge(2, 3), edge(1, 3)]);
+        let exprs = vec![
+            // Apply over n³ cells + dense aggregation over x3.
+            agg_over(Agg::Sum, vec![3], tri, None),
+            // Neighbour kernel with a 2-variable output table.
+            nbr_agg(Agg::Sum, 1, 2, mul2(lab(0, 2), lab(0, 3))),
+            // Mean keeps the count/divide discipline under chunking.
+            agg_over(Agg::Mean, vec![3], add2(lab(0, 1), mul2(lab(0, 2), lab(0, 3))), None),
+        ];
+        for e in &exprs {
+            let want = oracle_eval(e, &g);
+            for threads in [1, 4] {
+                rayon::set_num_threads(threads);
+                let mut eng = EvalEngine::new();
+                assert_eq!(eng.eval(e, &g), &want, "thread count {threads} changed {e}");
+                rayon::set_num_threads(0);
+            }
+        }
+    }
+
+    #[test]
+    fn plan_dedups_shared_subtrees() {
+        let g = cycle(5);
+        let deg = nbr_agg(Agg::Sum, 1, 2, constant(vec![1.0]));
+        let e = mul2(deg.clone(), deg);
+        let mut eng = EvalEngine::new();
+        eng.eval(&e, &g);
+        // const → AggNbr (guard folded into the kernel) → mul: the
+        // duplicated degree subtree lowers to a single shared node.
+        assert_eq!(eng.plan_nodes(), 3);
+    }
+
+    #[test]
+    fn owned_results_and_plan_reuse() {
+        let g = cycle(6);
+        let e = global_agg(Agg::Sum, 1, nbr_agg(Agg::Sum, 1, 2, constant(vec![1.0])));
+        let mut eng = EvalEngine::new();
+        let a = eng.eval_owned(&e, &g);
+        let b = eng.eval_owned(&e, &g);
+        assert_eq!(a, b);
+        assert_eq!(a.value(), &[12.0]);
+        // A different graph shape relowers the plan transparently.
+        assert_eq!(eng.eval(&e, &cycle(7)).value(), &[14.0]);
+        // And switching back works too (slabs recycle through the pool).
+        assert_eq!(eng.eval(&e, &g).value(), &[12.0]);
+    }
+}

@@ -52,6 +52,8 @@ fn pass(expr: &Expr) -> Expr {
             value: Box::new(pass(value)),
             guard: guard.as_ref().map(|g| Box::new(pass(g))),
         },
+        // The optimizer rewrites trees; drop the sharing wrapper.
+        Expr::Shared(e) => pass(e),
     }
 }
 

@@ -46,6 +46,42 @@ impl EmbeddingTable {
         Self { vars: Vec::new(), dim: value.len(), n, data: value }
     }
 
+    /// Assembles a table from pre-computed parts. The compiled engine
+    /// (crate::plan) builds its slabs outside the table and moves them
+    /// in without a copy.
+    ///
+    /// # Panics
+    /// Panics if `vars` is not strictly ascending or `data` does not
+    /// hold exactly `n^p · dim` values.
+    pub(crate) fn from_parts(vars: Vec<Var>, dim: usize, n: usize, data: Vec<f64>) -> Self {
+        assert!(vars.windows(2).all(|w| w[0] < w[1]), "vars must be strictly ascending");
+        let cells = n.checked_pow(vars.len() as u32).expect("table too large");
+        assert_eq!(data.len(), cells.checked_mul(dim).expect("table too large"));
+        Self { vars, dim, n, data }
+    }
+
+    /// An inert zero-cell placeholder (`dim = 0`); used by the compiled
+    /// engine as the "no result yet" state of its output table.
+    pub(crate) fn placeholder() -> Self {
+        Self { vars: Vec::new(), dim: 0, n: 0, data: Vec::new() }
+    }
+
+    /// Moves the backing slab out, leaving the table empty. The engine
+    /// recycles root slabs through its pool between evaluations.
+    pub(crate) fn take_data(&mut self) -> Vec<f64> {
+        std::mem::take(&mut self.data)
+    }
+
+    /// Restores a slab moved out with [`Self::take_data`].
+    pub(crate) fn set_data(&mut self, data: Vec<f64>) {
+        debug_assert_eq!(
+            data.len(),
+            self.n.pow(self.vars.len() as u32) * self.dim,
+            "slab does not match the table's shape"
+        );
+        self.data = data;
+    }
+
     /// Free variables (sorted).
     pub fn vars(&self) -> &[Var] {
         &self.vars

@@ -34,14 +34,17 @@ fn hash2(seed: u64, e: Expr) -> Expr {
 ///                         sum_{x2}( hash(c_{t−1}(x2)) | E(x1,x2) ) ) )
 /// ```
 pub fn cr_expr(label_dim: usize, rounds: usize) -> Expr {
-    let mut cur = hash2(0, build::lab_vec(1, label_dim));
+    // Each round embeds the previous one several times; sharing the
+    // rounds keeps the materialized expression linear in `rounds`
+    // where owned children would make it exponential (`Expr::Shared`).
+    let mut cur = build::share(hash2(0, build::lab_vec(1, label_dim)));
     for t in 0..rounds {
         let seed_in = 2 * t as u64 + 1;
         let seed_out = 2 * t as u64 + 2;
         let prev_other = cur.swap_vars(1, 2);
         let msg = build::nbr_agg(Agg::Sum, 1, 2, hash2(seed_in, prev_other));
         let cat = build::apply(Func::Concat, vec![cur, msg]);
-        cur = hash2(seed_out, cat);
+        cur = build::share(hash2(seed_out, cat));
     }
     cur
 }
@@ -91,7 +94,9 @@ pub fn k_wl_expr(k: usize, label_dim: usize, rounds: usize) -> Expr {
     for i in 1..=k as Var {
         parts.push(build::lab_vec(i, label_dim));
     }
-    let mut cur = hash2(0, build::apply(Func::Concat, parts));
+    // Rounds are shared for the same reason as in [`cr_expr`]: each
+    // layer embeds k+1 copies of the previous one.
+    let mut cur = build::share(hash2(0, build::apply(Func::Concat, parts)));
 
     for t in 0..rounds {
         let seed_in = 2 * t as u64 + 1;
@@ -101,7 +106,7 @@ pub fn k_wl_expr(k: usize, label_dim: usize, rounds: usize) -> Expr {
         let vec_sig = hash2(seed_in, build::apply(Func::Concat, subs));
         let msg = build::agg_over(Agg::Sum, vec![fresh], vec_sig, None);
         let cat = build::apply(Func::Concat, vec![cur, msg]);
-        cur = hash2(seed_out, cat);
+        cur = build::share(hash2(seed_out, cat));
     }
     cur
 }

@@ -5,7 +5,7 @@
 //! partition — per vertex within each graph, and at the graph level via
 //! the sum readout.
 
-use gel_lang::eval::eval;
+use gel_lang::plan::EvalEngine;
 use gel_lang::wl_sim::{cr_expr, cr_graph_expr};
 use gel_wl::{cached_cr_equivalent, color_refinement, CrOptions};
 
@@ -23,6 +23,10 @@ pub fn run(corpus: &[GraphPair]) -> ExperimentResult {
         Table::new(&["pair", "vertex partition (G)", "vertex partition (H)", "graph-level agree"]);
     let mut agreements = 0;
     let mut violations = 0;
+    // One compiled engine per graph side, reused across the corpus so
+    // table slabs recycle through the engines' pools.
+    let mut eng_g = EvalEngine::new();
+    let mut eng_h = EvalEngine::new();
     for pair in corpus {
         // The simulating expression's size grows exponentially in its
         // round count (each layer embeds copies of the previous one),
@@ -33,9 +37,9 @@ pub fn run(corpus: &[GraphPair]) -> ExperimentResult {
         let rounds = joint.rounds + 1;
         let mut ok = true;
 
-        for g in [&pair.g, &pair.h] {
+        for (g, eng) in [(&pair.g, &mut eng_g), (&pair.h, &mut eng_h)] {
             let e = cr_expr(g.label_dim(), rounds);
-            let part = eval(&e, g).value_partition();
+            let part = eng.eval(&e, g).value_partition();
             let colors = color_refinement(
                 &[g],
                 CrOptions { max_rounds: Some(rounds), ignore_labels: false },
@@ -48,7 +52,8 @@ pub fn run(corpus: &[GraphPair]) -> ExperimentResult {
         // Graph level: equal sum-readout values ⇔ CR-equivalent.
         let (graph_ok, cr_eq) = if pair.g.label_dim() == pair.h.label_dim() {
             let readout = cr_graph_expr(pair.g.label_dim(), rounds);
-            let same = eval(&readout, &pair.g).value() == eval(&readout, &pair.h).value();
+            let same =
+                eng_g.eval(&readout, &pair.g).value() == eng_h.eval(&readout, &pair.h).value();
             let cr_eq = cached_cr_equivalent(&pair.g, &pair.h);
             (same == cr_eq, cr_eq)
         } else {

@@ -7,7 +7,7 @@
 //!   [`gel_lang::wl_sim::k_wl_graph_expr`] separates exactly the pairs
 //!   k-WL separates.
 
-use gel_lang::eval::eval;
+use gel_lang::plan::EvalEngine;
 use gel_lang::random_expr::{random_gel_graph, RandomExprConfig};
 use gel_lang::wl_sim::{cr_graph_expr, k_wl_graph_expr};
 use gel_wl::{cached_k_wl_equivalent, WlVariant};
@@ -32,6 +32,12 @@ pub fn run(corpus: &[GraphPair], samples: usize, max_n: usize) -> ExperimentResu
     ]);
     let mut agreements = 0;
     let mut violations = 0;
+    // One compiled engine per graph side, reused across every probe:
+    // the slab pools recycle all intermediate tables, so the hundreds
+    // of random-probe evaluations stop touching the allocator once the
+    // pools are warm (eval.slab.allocs counts the misses).
+    let mut eng_g = EvalEngine::new();
+    let mut eng_h = EvalEngine::new();
 
     for (i, pair) in corpus.iter().enumerate() {
         for k in 1..=2usize {
@@ -46,9 +52,9 @@ pub fn run(corpus: &[GraphPair], samples: usize, max_n: usize) -> ExperimentResu
                 for _ in 0..samples {
                     let e = random_gel_graph(&cfg, k + 1, &mut rng);
                     probed += 1;
-                    let a = eval(&e, &pair.g);
-                    let b = eval(&e, &pair.h);
-                    if !a.approx_eq(&b, 1e-7) {
+                    let a = eng_g.eval(&e, &pair.g);
+                    let b = eng_h.eval(&e, &pair.h);
+                    if !a.approx_eq(b, 1e-7) {
                         separating += 1;
                     }
                 }
@@ -69,7 +75,7 @@ pub fn run(corpus: &[GraphPair], samples: usize, max_n: usize) -> ExperimentResu
             } else {
                 k_wl_graph_expr(k, pair.g.label_dim(), rounds)
             };
-            let sim_eq = eval(&sim, &pair.g).value() == eval(&sim, &pair.h).value();
+            let sim_eq = eng_g.eval(&sim, &pair.g).value() == eng_h.eval(&sim, &pair.h).value();
             let constructive_ok = sim_eq == wl_eq;
 
             let holds = upper_ok && constructive_ok;

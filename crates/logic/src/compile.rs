@@ -79,13 +79,18 @@ mod tests {
     use gel_graph::random::{erdos_renyi, with_random_one_hot_labels};
     use gel_graph::Graph;
     use gel_lang::analysis::{analyze, Fragment};
-    use gel_lang::eval::eval;
+    use gel_lang::EvalEngine;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn check_agreement(f: &GmlFormula, g: &Graph) {
+    // Agreement checks run through a persistent [`EvalEngine`] — the
+    // compiled-plan evaluator the experiments use — so the GML
+    // translation doubles as an end-to-end test of the engine on a
+    // second expression front-end (plans and slabs are reused across
+    // the formula corpus).
+    fn check_agreement(eng: &mut EvalEngine, f: &GmlFormula, g: &Graph) {
         let expr = gml_to_mpnn(f);
-        let table = eval(&expr, g);
+        let table = eng.eval(&expr, g);
         let truth = f.eval(g);
         for v in g.vertices() {
             let got = table.cell(&[v])[0];
@@ -116,8 +121,9 @@ mod tests {
             "<1><1>P1",
             "(<1>P0 & !<2>P1)",
         ];
+        let mut eng = EvalEngine::new();
         for s in formulas {
-            check_agreement(&parse_gml(s).unwrap(), &labelled);
+            check_agreement(&mut eng, &parse_gml(s).unwrap(), &labelled);
         }
     }
 
@@ -132,12 +138,13 @@ mod tests {
             "<2>(T & !P0)",
             "(P1 & <1>(P1 & <1>(P1 & <1>P1)))",
         ];
+        let mut eng = EvalEngine::new();
         for seed in 0..8u64 {
             let mut rng = StdRng::seed_from_u64(seed);
             let g = erdos_renyi(12, 0.3, &mut rng);
             let g = with_random_one_hot_labels(&g, 2, &mut rng);
             for s in formulas {
-                check_agreement(&parse_gml(s).unwrap(), &g);
+                check_agreement(&mut eng, &parse_gml(s).unwrap(), &g);
             }
         }
     }
@@ -146,12 +153,12 @@ mod tests {
     fn star_center_detector() {
         // ◇≥3⊤ compiled: picks out exactly the hub.
         let g = star(5);
-        check_agreement(&diamond(3, top()), &g);
+        check_agreement(&mut EvalEngine::new(), &diamond(3, top()), &g);
     }
 
     #[test]
     fn grade_zero_diamond_is_trivially_true() {
         let g = path(3);
-        check_agreement(&diamond(0, prop(0)), &g);
+        check_agreement(&mut EvalEngine::new(), &diamond(0, prop(0)), &g);
     }
 }

@@ -19,8 +19,13 @@ use crate::activation::Activation;
 
 /// Products below this many multiply-adds run serially: thread fan-out
 /// costs tens of microseconds, which would dominate the small per-layer
-/// matmuls in GNN training loops.
-const PAR_FLOPS_THRESHOLD: usize = 1 << 17;
+/// matmuls in GNN training loops. The break-even sits far above naive
+/// expectations: a 560×16×16 product (~2¹⁷ madds, ~35 µs serial) ran
+/// ~2.7× *slower* through the fan-out at four threads — the overhead
+/// that made block-diagonal batching regress below the per-graph
+/// baseline — so the gate only admits products whose serial time
+/// (~120 µs and up) can absorb the fan-out cost.
+const PAR_FLOPS_THRESHOLD: usize = 1 << 19;
 
 /// Whether the parallel kernel path can actually help: with one worker
 /// thread the fan-out machinery only adds dispatch overhead (measured
