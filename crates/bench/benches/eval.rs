@@ -16,12 +16,31 @@
 use std::time::Instant;
 
 use gel_graph::random::erdos_renyi;
+use gel_lang::ast::build;
+use gel_lang::ast::Expr;
 use gel_lang::eval::EvalOptions;
 use gel_lang::plan::EvalEngine;
 use gel_lang::random_expr::{random_gel_graph, RandomExprConfig};
 use gel_lang::wl_sim::{cr_expr, cr_graph_expr, k_wl_graph_expr};
+use gel_lang::{Agg, Func};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// The GEL₃ sum-product probe of the density sweep: the global
+/// triangle count `Σ_{x1,x2,x3} E(x1,x2)·E(x2,x3)·E(x1,x3)`, whose
+/// dense evaluation sweeps all `n³` cells while the sparse path runs
+/// FAQ-style elimination over the `O(nnz)` edge lists.
+fn triangle_probe() -> Expr {
+    build::agg_over(
+        Agg::Sum,
+        vec![1, 2, 3],
+        build::apply(
+            Func::Mul { arity: 3, dim: 1 },
+            vec![build::edge(1, 2), build::edge(2, 3), build::edge(1, 3)],
+        ),
+        None,
+    )
+}
 
 fn secs_per_iter(iters: u32, mut f: impl FnMut()) -> f64 {
     // One untimed warm-up call: the first eval lowers the plan and
@@ -71,7 +90,10 @@ fn main() {
     // n² scan on the same MPNN-shaped expression.
     let vertex = cr_expr(g.label_dim(), 4);
     for (name, fast) in [("cr_expr_r4_sparse_guard", true), ("cr_expr_r4_dense_guard", false)] {
-        let mut eng = EvalEngine::with_options(EvalOptions { guard_fast_path: fast });
+        let mut eng = EvalEngine::with_options(EvalOptions {
+            guard_fast_path: fast,
+            ..EvalOptions::default()
+        });
         report(
             name,
             secs_per_iter(iters, || {
@@ -94,6 +116,47 @@ fn main() {
         }),
     );
 
+    // Table-density sweep (DESIGN.md §7): the GEL₃ triangle probe at a
+    // grid of sizes × edge densities, dense engine vs forced-sparse.
+    // The crossover size per density is where the O(nnz) elimination
+    // path overtakes the O(n³) dense sweep.
+    let probe = triangle_probe();
+    let sizes: &[usize] = if smoke { &[12, 16] } else { &[16, 32, 48, 64] };
+    let densities: &[f64] = if smoke { &[0.1] } else { &[0.02, 0.1, 0.3] };
+    println!("\ntable-density sweep: triangle probe (GEL_3), dense vs sparse");
+    for &p in densities {
+        let mut crossover: Option<usize> = None;
+        for &n in sizes {
+            let mut grng = StdRng::seed_from_u64(gel_bench::BENCH_SEED ^ n as u64);
+            let gs = erdos_renyi(n, p, &mut grng);
+            let mut dense_eng =
+                EvalEngine::with_options(EvalOptions { sparse: false, ..EvalOptions::default() });
+            let dense_s = secs_per_iter(iters, || {
+                let _ = dense_eng.eval(&probe, &gs);
+            });
+            let mut sparse_eng = EvalEngine::with_options(EvalOptions {
+                sparse_min_cells: 0,
+                ..EvalOptions::default()
+            });
+            let sparse_s = secs_per_iter(iters, || {
+                let _ = sparse_eng.eval(&probe, &gs);
+            });
+            if crossover.is_none() && sparse_s < dense_s {
+                crossover = Some(n);
+            }
+            println!(
+                "  n={n:<3} p={p:<5} dense {:>9.2} µs  sparse {:>9.2} µs  speedup {:>6.2}x",
+                dense_s * 1e6,
+                sparse_s * 1e6,
+                dense_s / sparse_s,
+            );
+        }
+        match crossover {
+            Some(n) => println!("  p={p:<5} sparse overtakes dense at n={n}"),
+            None => println!("  p={p:<5} dense stays ahead over the swept sizes"),
+        }
+    }
+
     // Zero-allocation gate: after the sizing call, evaluating the same
     // expression shape must take every slab from the engine's pool.
     let mut eng = EvalEngine::new();
@@ -108,5 +171,25 @@ fn main() {
     if smoke {
         assert_eq!(steady, 0, "steady-state GEL evaluation allocated a slab");
         println!("smoke OK: steady-state GEL evaluations are allocation-free");
+    }
+
+    // The same gate for the warmed *sparse* path: coordinate lists,
+    // join scratch and the elimination arena all recycle — a steady
+    // forced-sparse evaluation touches neither pool.
+    let mut grng = StdRng::seed_from_u64(gel_bench::BENCH_SEED);
+    let gs = erdos_renyi(32, 0.1, &mut grng);
+    let mut eng =
+        EvalEngine::with_options(EvalOptions { sparse_min_cells: 0, ..EvalOptions::default() });
+    let _ = eng.eval(&probe, &gs);
+    let _ = eng.eval(&probe, &gs); // second call grows every scratch to steady size
+    let base = gel_lang::eval_slab_allocs();
+    for _ in 0..steps {
+        let _ = eng.eval(&probe, &gs);
+    }
+    let sparse_steady = gel_lang::eval_slab_allocs() - base;
+    println!("eval_sparse_steady_state_allocs = {sparse_steady} (over {steps} evals)");
+    if smoke {
+        assert_eq!(sparse_steady, 0, "steady-state sparse evaluation allocated a buffer");
+        println!("smoke OK: steady-state sparse evaluations are allocation-free");
     }
 }

@@ -46,10 +46,18 @@ fn bench_guard_ablation(c: &mut Criterion) {
     for n in [20usize, 40, 80] {
         let g = erdos_renyi(n, 6.0 / n as f64, &mut rng);
         group.bench_with_input(BenchmarkId::new("sparse", n), &g, |b, g| {
-            b.iter(|| eval_with(&expr, g, EvalOptions { guard_fast_path: true }))
+            b.iter(|| {
+                eval_with(&expr, g, EvalOptions { guard_fast_path: true, ..EvalOptions::default() })
+            })
         });
         group.bench_with_input(BenchmarkId::new("dense", n), &g, |b, g| {
-            b.iter(|| eval_with(&expr, g, EvalOptions { guard_fast_path: false }))
+            b.iter(|| {
+                eval_with(
+                    &expr,
+                    g,
+                    EvalOptions { guard_fast_path: false, ..EvalOptions::default() },
+                )
+            })
         });
     }
     group.finish();

@@ -27,11 +27,22 @@ pub struct EvalOptions {
     /// Use the neighbour-list fast path for edge-guarded single-variable
     /// aggregations (default true).
     pub guard_fast_path: bool,
+    /// Allow sparse (coordinate-list) node representations and the
+    /// variable-elimination sum kernel in the compiled engine (default
+    /// true). `false` forces the pure dense PR-5 engine — the ablation
+    /// baseline for the bench density sweep.
+    pub sparse: bool,
+    /// Minimum dense cell count before a node is considered for a
+    /// sparse representation (default 4096): below it the dense kernels
+    /// win on constant factors, and the estimated nonzeros must also be
+    /// at most a quarter of the cells. `0` forces sparse everywhere it
+    /// is representable — the property-test and ablation hook.
+    pub sparse_min_cells: usize,
 }
 
 impl Default for EvalOptions {
     fn default() -> Self {
-        Self { guard_fast_path: true }
+        Self { guard_fast_path: true, sparse: true, sparse_min_cells: 4096 }
     }
 }
 
@@ -483,13 +494,14 @@ mod tests {
     fn fast_path_matches_dense_path() {
         let g = cycle(5).with_labels(vec![1.0, 2.0, 3.0, 4.0, 5.0], 1);
         let e = nbr_agg(Agg::Sum, 1, 2, lab(0, 2));
-        let fast = eval_with(&e, &g, EvalOptions { guard_fast_path: true });
-        let dense = eval_with(&e, &g, EvalOptions { guard_fast_path: false });
+        let on = EvalOptions { guard_fast_path: true, ..EvalOptions::default() };
+        let off = EvalOptions { guard_fast_path: false, ..EvalOptions::default() };
+        let fast = eval_with(&e, &g, on);
+        let dense = eval_with(&e, &g, off);
         assert!(fast.approx_eq(&dense, 0.0));
         for agg in [Agg::Mean, Agg::Max, Agg::Min] {
             let e = nbr_agg(agg, 1, 2, lab(0, 2));
-            assert!(eval_with(&e, &g, EvalOptions { guard_fast_path: true })
-                .approx_eq(&eval_with(&e, &g, EvalOptions { guard_fast_path: false }), 0.0));
+            assert!(eval_with(&e, &g, on).approx_eq(&eval_with(&e, &g, off), 0.0));
         }
     }
 

@@ -28,7 +28,10 @@
 //!   falsification experiments (E3, E9, E11);
 //! * [`mod@simplify`] — an algebraic, semantics-preserving expression
 //!   optimizer (constant folding, linear-map fusion, concat
-//!   flattening).
+//!   flattening);
+//! * [`mod@sparse`] — sorted coordinate lists with merge-join and
+//!   contraction kernels, the data layer behind the compiled engine's
+//!   sparse/factorized evaluation paths (slide 70).
 //!
 //! ## Quick example
 //!
@@ -59,6 +62,7 @@ pub mod parser;
 pub mod plan;
 pub mod random_expr;
 pub mod simplify;
+pub mod sparse;
 pub mod table;
 pub mod wl_sim;
 
@@ -67,6 +71,6 @@ pub use ast::{build, CmpOp, Expr, TypeError};
 pub use eval::{check_against_graph, eval, eval_with, try_eval, EvalError, EvalOptions};
 pub use func::{Agg, Func};
 pub use parser::{parse, ParseError};
-pub use plan::{eval_slab_allocs, EvalEngine};
+pub use plan::{eval_dense_fallbacks, eval_slab_allocs, eval_sparse_nnz, EvalEngine};
 pub use simplify::simplify;
 pub use table::{EmbeddingTable, Var};

@@ -48,6 +48,7 @@ use gel_graph::{Graph, Vertex};
 use crate::ast::{CmpOp, Expr};
 use crate::eval::EvalOptions;
 use crate::func::{Agg, Func};
+use crate::sparse::{contract_sum, join_multiply, rekey_into, CoordList, JoinScratch};
 use crate::table::{EmbeddingTable, Var};
 
 /// Tracked slab-pool misses since process start. Steady-state
@@ -64,6 +65,45 @@ static OBS_SLAB_ALLOCS: gel_obs::Counter = gel_obs::Counter::new("eval.slab.allo
 static OBS_CALLS: gel_obs::Counter = gel_obs::Counter::new("eval.calls");
 static OBS_PLAN_BUILDS: gel_obs::Counter = gel_obs::Counter::new("eval.plan.builds");
 static OBS_PLAN_NODES: gel_obs::Counter = gel_obs::Counter::new("eval.plan.nodes");
+
+/// Total entries emitted by sparse node representations (coordinate
+/// lists) since process start. Always on and monotone, like
+/// [`eval_slab_allocs`]; mirrored to the `eval.sparse.nnz` obs counter.
+pub fn eval_sparse_nnz() -> u64 {
+    SPARSE_NNZ.load(Ordering::Relaxed)
+}
+
+/// Times a sparse node had to scatter its entries into a dense slab
+/// because some consumer (or the root) reads the dense layout. A
+/// steadily climbing count signals a plan whose representation choices
+/// fight each other; mirrored to `eval.sparse.fallbacks`.
+pub fn eval_dense_fallbacks() -> u64 {
+    DENSE_FALLBACKS.load(Ordering::Relaxed)
+}
+
+static SPARSE_NNZ: AtomicU64 = AtomicU64::new(0);
+static DENSE_FALLBACKS: AtomicU64 = AtomicU64::new(0);
+static OBS_SPARSE_NNZ: gel_obs::Counter = gel_obs::Counter::new("eval.sparse.nnz");
+static OBS_SPARSE_FALLBACKS: gel_obs::Counter = gel_obs::Counter::new("eval.sparse.fallbacks");
+
+fn note_sparse(nnz: usize) {
+    SPARSE_NNZ.fetch_add(nnz as u64, Ordering::Relaxed);
+    OBS_SPARSE_NNZ.add(nnz as u64);
+}
+
+/// Scatters a sparse node's entries into its dense slab — the
+/// representation fallback when a dense consumer needs the table.
+/// Absent entries become `+0.0` (see DESIGN.md §7 on the `±0`/`NaN`
+/// caveat of eliding semantically-zero cells).
+fn densify(sp: &CoordList, out: &mut [f64]) {
+    out.fill(0.0);
+    let d = sp.dim();
+    for (i, &c) in sp.coords().iter().enumerate() {
+        out[c * d..(c + 1) * d].copy_from_slice(sp.value(i));
+    }
+    DENSE_FALLBACKS.fetch_add(1, Ordering::Relaxed);
+    OBS_SPARSE_FALLBACKS.incr();
+}
 
 fn note_slab_alloc(len: usize) {
     if len > 0 {
@@ -114,9 +154,73 @@ impl SlabPool {
         s
     }
 
+    /// Like [`Self::take`] but only guarantees *capacity*: the buffer
+    /// comes back empty, for growable (sparse-value) storage.
+    fn take_cap(&mut self, cap: usize) -> Vec<f64> {
+        let mut best: Option<(usize, usize)> = None;
+        for (i, s) in self.slabs.iter().enumerate() {
+            let c = s.capacity();
+            let tighter = match best {
+                Some((_, bc)) => c < bc,
+                None => true,
+            };
+            if c >= cap && tighter {
+                best = Some((i, c));
+            }
+        }
+        let mut s = match best {
+            Some((i, _)) => self.slabs.swap_remove(i),
+            None => {
+                note_slab_alloc(cap);
+                Vec::with_capacity(cap)
+            }
+        };
+        s.clear();
+        s
+    }
+
     fn put(&mut self, s: Vec<f64>) {
         if s.capacity() > 0 {
             self.slabs.push(s);
+        }
+    }
+}
+
+/// The coordinate-buffer sibling of [`SlabPool`] (`Vec<usize>` instead
+/// of `Vec<f64>`). Misses feed the same [`eval_slab_allocs`] counter,
+/// so the CI smoke gate covers sparse buffers too.
+#[derive(Default)]
+struct IdxPool {
+    bufs: Vec<Vec<usize>>,
+}
+
+impl IdxPool {
+    fn take_cap(&mut self, cap: usize) -> Vec<usize> {
+        let mut best: Option<(usize, usize)> = None;
+        for (i, b) in self.bufs.iter().enumerate() {
+            let c = b.capacity();
+            let tighter = match best {
+                Some((_, bc)) => c < bc,
+                None => true,
+            };
+            if c >= cap && tighter {
+                best = Some((i, c));
+            }
+        }
+        let mut b = match best {
+            Some((i, _)) => self.bufs.swap_remove(i),
+            None => {
+                note_slab_alloc(cap);
+                Vec::with_capacity(cap)
+            }
+        };
+        b.clear();
+        b
+    }
+
+    fn put(&mut self, b: Vec<usize>) {
+        if b.capacity() > 0 {
+            self.bufs.push(b);
         }
     }
 }
@@ -170,6 +274,67 @@ enum Kind {
         y_stride: usize,
         outgoing: bool,
     },
+    /// Scalar `Func::Mul` with at least one sparse operand: iterate the
+    /// driver's entries (expanded over the output variables it does not
+    /// bind), probe the remaining operands, emit a sparse product.
+    MulSparse {
+        func: Func,
+        args: Vec<MulArg>,
+        driver: usize,
+        /// Output digit index of each driver coordinate digit.
+        driver_pos: Vec<usize>,
+        /// Output digit indices the driver does not bind.
+        expand_pos: Vec<usize>,
+    },
+    /// Unguarded `Sum`/`Mean` whose value is sparse and binds every
+    /// aggregated variable: one streaming pass over the entries.
+    AggSparseValue {
+        agg: Agg,
+        value: usize,
+        /// Per value-coordinate digit: output-coordinate stride (0 for
+        /// aggregated digits).
+        keep_strides: Vec<usize>,
+        inner_cells: usize,
+    },
+    /// Aggregation gated by a sparse scalar guard that binds every
+    /// aggregated variable: per output cell, a binary-searched run of
+    /// guard entries replaces the dense inner odometer.
+    AggSparseGuard {
+        agg: Agg,
+        value: AccSpec,
+        guard: usize,
+        /// Guard-entry re-key strides into `(output part, aggregated
+        /// part)` mixed radix.
+        gkey_strides: Vec<usize>,
+        gkey_identity: bool,
+        /// Per output digit: contribution to the key's output part.
+        gkey_outer: Vec<usize>,
+        /// `n^|over|` — the width of one output cell's key range.
+        over_pow: usize,
+        over_len: usize,
+    },
+    /// `Sum` over a pure product of edge/equality indicators: FAQ-style
+    /// variable elimination in min-degree order (paper slide 70)
+    /// instead of a dense `n^k` sweep. Exact: 0/1 factors make every
+    /// partial sum an integer, so reassociating the sum cannot change
+    /// the float.
+    AggElim {
+        factors: Vec<usize>,
+        factor_vars: Vec<Vec<Var>>,
+        order: Vec<Var>,
+        /// Number of aggregated variables in no factor — each multiplies
+        /// the (integer) result by `n`, exactly.
+        free_over: u32,
+    },
+}
+
+/// One operand of [`Kind::MulSparse`], gathered in expression order so
+/// the packed input row is identical to the dense `Apply` kernel's.
+struct MulArg {
+    node: usize,
+    dim: usize,
+    sparse: bool,
+    strides: Vec<usize>,
 }
 
 struct Node {
@@ -177,7 +342,18 @@ struct Node {
     dim: usize,
     len: usize,
     data: Vec<f64>,
+    /// Sparse entries (when `sparse`); like `data`, allocation is
+    /// deferred to the post-lowering representation pass.
+    sp: CoordList,
     kind: Kind,
+    /// The node emits a sparse (coordinate-list) representation.
+    sparse: bool,
+    /// Some consumer — or the root — reads the dense slab.
+    needs_dense: bool,
+    /// Some consumer reads the sparse entries.
+    sparse_used: bool,
+    /// Lowering-time nonzero estimate; sizes the pooled buffers.
+    est_nnz: usize,
 }
 
 /// Reused serial-path scratch (the parallel path gives each chunk its
@@ -190,6 +366,22 @@ struct ExecScratch {
     inner_digits: Vec<usize>,
     offsets: Vec<usize>,
     bounds: Vec<usize>,
+    /// Sorted-merge-join scratch shared by every sparse kernel.
+    join: JoinScratch,
+    /// Re-keyed guard entries of [`Kind::AggSparseGuard`].
+    gkeys: Vec<(usize, u32)>,
+    /// Variable-elimination factor arena ([`Kind::AggElim`]): one slot
+    /// per factor, plus ping-pong lists for join/contract outputs. All
+    /// capacities persist across evaluations, so the warmed path makes
+    /// no allocations.
+    arena: Vec<CoordList>,
+    avars: Vec<Vec<Var>>,
+    alive: Vec<bool>,
+    with_v: Vec<usize>,
+    tmp: CoordList,
+    tmp_vars: Vec<Var>,
+    tmp2: CoordList,
+    tmp2_vars: Vec<Var>,
 }
 
 /// The compiled evaluation engine. Owns the lowered plan, every
@@ -207,9 +399,10 @@ pub struct EvalEngine {
     nodes: Vec<Node>,
     node_of: HashMap<u64, usize>,
     root: usize,
-    cache_key: Option<(u64, usize, usize, bool)>,
+    cache_key: Option<(u64, usize, usize, bool, bool, usize)>,
     root_table: EmbeddingTable,
     pool: SlabPool,
+    idx_pool: IdxPool,
     scratch: ExecScratch,
     /// Structural hashes of [`Expr::Shared`] nodes, keyed by `Arc`
     /// target pointer. Refilled per call (pointers may be reused across
@@ -242,6 +435,7 @@ impl EvalEngine {
             cache_key: None,
             root_table: EmbeddingTable::placeholder(),
             pool: SlabPool::default(),
+            idx_pool: IdxPool::default(),
             scratch: ExecScratch::default(),
             hash_memo: HashMap::new(),
         }
@@ -278,8 +472,10 @@ impl EvalEngine {
         self.nodes[self.root].data = root_data;
         for i in 0..self.nodes.len() {
             let mut data = std::mem::take(&mut self.nodes[i].data);
-            exec_node(&self.nodes, i, &mut data, g, self.n, &mut self.scratch);
+            let mut sp = std::mem::take(&mut self.nodes[i].sp);
+            exec_node(&self.nodes, i, &mut data, &mut sp, g, self.n, &mut self.scratch);
             self.nodes[i].data = data;
+            self.nodes[i].sp = sp;
         }
         self.root_table.set_data(std::mem::take(&mut self.nodes[self.root].data));
         &self.root_table
@@ -303,21 +499,58 @@ impl EvalEngine {
         // `structural_hash` would unfold the DAG.
         self.hash_memo.clear();
         let root_hash = dag_hash(expr, &mut self.hash_memo);
-        let key = (root_hash, g.num_vertices(), g.label_dim(), self.opts.guard_fast_path);
+        let key = (
+            root_hash,
+            g.num_vertices(),
+            g.label_dim(),
+            self.opts.guard_fast_path,
+            self.opts.sparse,
+            self.opts.sparse_min_cells,
+        );
         if self.cache_key == Some(key) {
             return;
         }
         let _sp = gel_obs::span("eval.lower");
         self.cache_key = None;
-        // Recycle every slab of the outgoing plan before lowering.
+        // Recycle every buffer of the outgoing plan before lowering.
         for node in self.nodes.drain(..) {
             self.pool.put(node.data);
+            let (coords, vals) = node.sp.into_parts();
+            self.idx_pool.put(coords);
+            self.pool.put(vals);
         }
         self.pool.put(self.root_table.take_data());
         self.root_table = EmbeddingTable::placeholder();
         self.node_of.clear();
         self.n = g.num_vertices();
         self.root = self.lower(expr, g).0;
+        // Representation fixup + deferred buffer allocation. The root
+        // must exist densely; a sparse atom nothing ever reads sparsely
+        // downgrades to its (cheap) dense kernel instead of paying an
+        // emit-then-scatter fallback.
+        self.nodes[self.root].needs_dense = true;
+        for i in 0..self.nodes.len() {
+            let downgrade = {
+                let nd = &self.nodes[i];
+                nd.sparse && !nd.sparse_used && matches!(nd.kind, Kind::Edge { .. } | Kind::CmpEq)
+            };
+            if downgrade {
+                self.nodes[i].sparse = false;
+            }
+            let (len, dim, sparse, needs_dense, est) = {
+                let nd = &self.nodes[i];
+                (nd.len, nd.dim, nd.sparse, nd.needs_dense, nd.est_nnz)
+            };
+            if !sparse || needs_dense {
+                self.nodes[i].data = self.pool.take(len);
+            }
+            if sparse {
+                let cap = est.max(1).min(len.max(1));
+                let coords = self.idx_pool.take_cap(cap);
+                let vals = self.pool.take_cap(cap * dim.max(1));
+                self.nodes[i].sp = CoordList::with_buffers(dim, coords, vals);
+            }
+        }
         let root = &mut self.nodes[self.root];
         let data = std::mem::take(&mut root.data);
         self.root_table = EmbeddingTable::from_parts(root.vars.clone(), root.dim, self.n, data);
@@ -330,6 +563,12 @@ impl EvalEngine {
             match &node.kind {
                 Kind::AggDense { over_len, .. } => max_q = max_q.max(*over_len),
                 Kind::Apply { args, .. } => max_args = max_args.max(args.len()),
+                Kind::MulSparse { args, driver_pos, .. } => {
+                    max_args = max_args.max(args.len());
+                    max_q = max_q.max(driver_pos.len());
+                }
+                Kind::AggSparseValue { keep_strides, .. } => max_q = max_q.max(keep_strides.len()),
+                Kind::AggSparseGuard { over_len, .. } => max_q = max_q.max(*over_len),
                 _ => {}
             }
         }
@@ -389,6 +628,72 @@ impl EvalEngine {
             vars.dedup();
             let d_in: usize = arg_nodes.iter().map(|&i| self.nodes[i].dim).sum();
             let d_out = func.out_dim(d_in).expect("ill-typed Apply");
+            // Sparse product: a scalar Mul with sparse operands stays
+            // sparse — the cheapest sparse operand to expand drives,
+            // the rest are probed (dense gather or binary search).
+            if matches!(func, Func::Mul { dim: 1, .. }) && self.opts.sparse {
+                let cells = self.n.checked_pow(vars.len() as u32).expect("table too large");
+                let mut best: Option<(usize, usize)> = None;
+                for (ai, &i) in arg_nodes.iter().enumerate() {
+                    if !self.nodes[i].sparse {
+                        continue;
+                    }
+                    let missing = (vars.len() - self.nodes[i].vars.len()) as u32;
+                    let est = self.n.pow(missing).saturating_mul(self.nodes[i].est_nnz);
+                    if best.is_none_or(|(be, _)| est < be) {
+                        best = Some((est, ai));
+                    }
+                }
+                if let Some((est, driver)) = best {
+                    if self.sparse_ok(cells, est) {
+                        for &i in &arg_nodes {
+                            if self.nodes[i].sparse {
+                                self.nodes[i].sparse_used = true;
+                            } else {
+                                self.nodes[i].needs_dense = true;
+                            }
+                        }
+                        let specs: Vec<MulArg> = arg_nodes
+                            .iter()
+                            .map(|&i| MulArg {
+                                node: i,
+                                dim: self.nodes[i].dim,
+                                sparse: self.nodes[i].sparse,
+                                strides: strides_for(
+                                    &self.nodes[i].vars,
+                                    self.nodes[i].dim,
+                                    &vars,
+                                    self.n,
+                                ),
+                            })
+                            .collect();
+                        let dvars = &self.nodes[arg_nodes[driver]].vars;
+                        let driver_pos: Vec<usize> = dvars
+                            .iter()
+                            .map(|v| vars.iter().position(|u| u == v).expect("driver var free"))
+                            .collect();
+                        let expand_pos: Vec<usize> =
+                            (0..vars.len()).filter(|i| !dvars.contains(&vars[*i])).collect();
+                        let mut node = self.make_node(
+                            vars,
+                            d_out,
+                            Kind::MulSparse {
+                                func: func.clone(),
+                                args: specs,
+                                driver,
+                                driver_pos,
+                                expand_pos,
+                            },
+                        );
+                        node.sparse = true;
+                        node.est_nnz = est;
+                        return (self.push_node(node, key), key);
+                    }
+                }
+            }
+            for &i in &arg_nodes {
+                self.nodes[i].needs_dense = true;
+            }
             let specs = arg_nodes
                 .iter()
                 .map(|&i| ArgSpec {
@@ -427,7 +732,10 @@ impl EvalEngine {
                 let mut vars = vec![*from, *to];
                 vars.sort_unstable();
                 let flip = vars[0] != *from;
-                self.make_node(vars, 1, Kind::Edge { flip })
+                let mut node = self.make_node(vars, 1, Kind::Edge { flip });
+                node.est_nnz = g.num_arcs();
+                node.sparse = self.sparse_ok(node.len, node.est_nnz);
+                node
             }
             Expr::Cmp { a, op, b } => {
                 let mut vars = vec![*a, *b];
@@ -436,7 +744,13 @@ impl EvalEngine {
                     CmpOp::Eq => Kind::CmpEq,
                     CmpOp::Ne => Kind::CmpNe,
                 };
-                self.make_node(vars, 1, kind)
+                let mut node = self.make_node(vars, 1, kind);
+                if matches!(op, CmpOp::Eq) {
+                    // The diagonal: n of n² cells.
+                    node.est_nnz = self.n;
+                    node.sparse = self.sparse_ok(node.len, node.est_nnz);
+                }
+                node
             }
             Expr::Const { values } => {
                 self.make_node(Vec::new(), values.len(), Kind::Const { values: values.clone() })
@@ -480,6 +794,7 @@ impl EvalEngine {
                 if let Some((x, outgoing)) = anchor {
                     if x != y {
                         let (vi, vh) = self.lower(value, g);
+                        self.nodes[vi].needs_dense = true;
                         // The guard is an `Edge` leaf, so its header is
                         // its full structural hash.
                         let key = crate::ast::hash_mix(
@@ -515,6 +830,69 @@ impl EvalEngine {
             }
         }
 
+        // FAQ-style variable elimination: a `Sum` whose value (and
+        // guard, if any) decomposes into a product of 0/1 edge/equality
+        // indicators is a sum-product query — contract the aggregated
+        // variables in min-degree order over sparse factors instead of
+        // sweeping the dense `n^k` cross product (paper slide 70).
+        if self.opts.sparse && agg == Agg::Sum && !over.is_empty() {
+            let mut atoms: Vec<&Expr> = Vec::new();
+            let ok = collect_indicator_atoms(value, &mut atoms)
+                && guard.is_none_or(|g0| collect_indicator_atoms(g0, &mut atoms));
+            if ok && !atoms.is_empty() {
+                let mut all: Vec<Var> =
+                    atoms.iter().flat_map(|a| atom_vars(a)).chain(over.iter().copied()).collect();
+                all.sort_unstable();
+                all.dedup();
+                let cells = n.checked_pow(all.len() as u32).unwrap_or(usize::MAX);
+                if cells >= self.opts.sparse_min_cells {
+                    let vh = dag_hash(value, &mut self.hash_memo);
+                    let mut key = crate::ast::hash_mix(header, vh);
+                    if let Some(g0) = guard {
+                        key = crate::ast::hash_mix(key, dag_hash(g0, &mut self.hash_memo));
+                    }
+                    if let Some(&i) = self.node_of.get(&key) {
+                        return (i, key);
+                    }
+                    let mut factors = Vec::with_capacity(atoms.len());
+                    let mut factor_vars = Vec::with_capacity(atoms.len());
+                    for a in &atoms {
+                        let (fi, _) = self.lower(a, g);
+                        self.nodes[fi].sparse = true;
+                        self.nodes[fi].sparse_used = true;
+                        factors.push(fi);
+                        factor_vars.push(self.nodes[fi].vars.clone());
+                    }
+                    let scopes: Vec<Vec<u32>> = factor_vars
+                        .iter()
+                        .map(|fv| {
+                            fv.iter()
+                                .map(|v| all.iter().position(|u| u == v).unwrap() as u32)
+                                .collect()
+                        })
+                        .collect();
+                    let eliminable: Vec<bool> = all.iter().map(|v| over.contains(v)).collect();
+                    let (order_ids, _width) =
+                        gel_graph::elim::min_degree_order_masked(all.len(), &scopes, &eliminable);
+                    let order: Vec<Var> = order_ids.iter().map(|&i| all[i as usize]).collect();
+                    let free_over = all
+                        .iter()
+                        .filter(|v| {
+                            over.contains(v) && !factor_vars.iter().any(|fv| fv.contains(v))
+                        })
+                        .count() as u32;
+                    let out_vars: Vec<Var> =
+                        all.iter().copied().filter(|v| !over.contains(v)).collect();
+                    let node = self.make_node(
+                        out_vars,
+                        1,
+                        Kind::AggElim { factors, factor_vars, order, free_over },
+                    );
+                    return (self.push_node(node, key), key);
+                }
+            }
+        }
+
         let (vi, vh) = self.lower(value, g);
         let mut key = crate::ast::hash_mix(header, vh);
         let gi = guard.map(|ge| {
@@ -539,6 +917,104 @@ impl EvalEngine {
             o
         };
         let dim = self.nodes[vi].dim;
+
+        // Unguarded Sum/Mean over a sparse value that binds every
+        // aggregated variable: stream the entries once. Skipping the
+        // absent (zero) addends is bit-identical — the accumulator
+        // starts at `+0.0` and addition can never make it `-0.0`.
+        if gi.is_none()
+            && self.nodes[vi].sparse
+            && matches!(agg, Agg::Sum | Agg::Mean)
+            && over.iter().all(|v| self.nodes[vi].vars.contains(v))
+        {
+            self.nodes[vi].sparse_used = true;
+            let p_out = out_vars.len();
+            let vvars = self.nodes[vi].vars.clone();
+            let keep_strides: Vec<usize> = vvars
+                .iter()
+                .map(|v| match out_vars.iter().position(|u| u == v) {
+                    Some(pos) => n.pow((p_out - 1 - pos) as u32),
+                    None => 0,
+                })
+                .collect();
+            let inner_cells =
+                n.checked_pow(over_sorted.len() as u32).expect("too many aggregated variables");
+            let node = self.make_node(
+                out_vars,
+                dim,
+                Kind::AggSparseValue { agg, value: vi, keep_strides, inner_cells },
+            );
+            return (self.push_node(node, key), key);
+        }
+
+        // A sparse scalar guard that binds every aggregated variable:
+        // its entry runs replace the dense inner odometer, in the same
+        // per-cell visit order (coordinate order restricted to one
+        // output cell IS the inner odometer order).
+        if let Some(gn) = gi {
+            if self.nodes[gn].sparse
+                && self.nodes[gn].dim == 1
+                && over.iter().all(|v| self.nodes[gn].vars.contains(v))
+            {
+                self.nodes[gn].sparse_used = true;
+                self.nodes[vi].needs_dense = true;
+                let q = over_sorted.len();
+                let over_pow = n.checked_pow(q as u32).expect("too many aggregated variables");
+                let gv = self.nodes[gn].vars.clone();
+                let gout: Vec<Var> =
+                    gv.iter().copied().filter(|v| !over_sorted.contains(v)).collect();
+                let gkey_strides: Vec<usize> = gv
+                    .iter()
+                    .map(|v| match over_sorted.iter().position(|u| u == v) {
+                        Some(r) => n.pow((q - 1 - r) as u32),
+                        None => {
+                            let r2 = gv
+                                .iter()
+                                .filter(|u| !over_sorted.contains(u))
+                                .position(|u| u == v)
+                                .expect("free guard var");
+                            n.pow((gout.len() - 1 - r2) as u32) * over_pow
+                        }
+                    })
+                    .collect();
+                let gkey_identity = gkey_strides
+                    .iter()
+                    .enumerate()
+                    .all(|(i, &ks)| ks == n.pow((gv.len() - 1 - i) as u32));
+                let gkey_outer: Vec<usize> = out_vars
+                    .iter()
+                    .map(|v| match gout.iter().position(|u| u == v) {
+                        Some(r2) => n.pow((gout.len() - 1 - r2) as u32),
+                        None => 0,
+                    })
+                    .collect();
+                let value_spec = AccSpec {
+                    node: vi,
+                    outer_strides: strides_for(&self.nodes[vi].vars, dim, &out_vars, n),
+                    inner_strides: strides_for(&self.nodes[vi].vars, dim, &over_sorted, n),
+                };
+                let node = self.make_node(
+                    out_vars,
+                    dim,
+                    Kind::AggSparseGuard {
+                        agg,
+                        value: value_spec,
+                        guard: gn,
+                        gkey_strides,
+                        gkey_identity,
+                        gkey_outer,
+                        over_pow,
+                        over_len: q,
+                    },
+                );
+                return (self.push_node(node, key), key);
+            }
+        }
+
+        self.nodes[vi].needs_dense = true;
+        if let Some(gi) = gi {
+            self.nodes[gi].needs_dense = true;
+        }
         let value_spec = AccSpec {
             node: vi,
             outer_strides: strides_for(&self.nodes[vi].vars, dim, &out_vars, n),
@@ -566,12 +1042,37 @@ impl EvalEngine {
         (self.push_node(node, key), key)
     }
 
+    /// Builds a plan node with *deferred* storage: slabs and coordinate
+    /// buffers are attached by the representation pass in
+    /// [`Self::ensure_plan`], once consumers have voted on `needs_dense`
+    /// / `sparse_used`.
     fn make_node(&mut self, vars: Vec<Var>, dim: usize, kind: Kind) -> Node {
         assert!(vars.windows(2).all(|w| w[0] < w[1]), "vars must be strictly ascending");
         let cells = self.n.checked_pow(vars.len() as u32).expect("table too large");
         let len = cells.checked_mul(dim).expect("table too large");
-        let data = self.pool.take(len);
-        Node { vars, dim, len, data, kind }
+        Node {
+            vars,
+            dim,
+            len,
+            data: Vec::new(),
+            sp: CoordList::default(),
+            kind,
+            sparse: false,
+            needs_dense: false,
+            sparse_used: false,
+            est_nnz: 0,
+        }
+    }
+
+    /// The density/size heuristic (DESIGN.md §7): a node goes sparse
+    /// only when its dense table is big enough for the kernels'
+    /// constant factors to amortize AND the estimated nonzeros are at
+    /// most a quarter of the cells. `sparse_min_cells == 0` forces
+    /// sparse wherever representable — the property-test hook.
+    fn sparse_ok(&self, cells: usize, est: usize) -> bool {
+        self.opts.sparse
+            && (self.opts.sparse_min_cells == 0
+                || (cells >= self.opts.sparse_min_cells && est.saturating_mul(4) <= cells))
     }
 }
 
@@ -605,6 +1106,35 @@ fn dag_hash(e: &Expr, memo: &mut HashMap<*const Expr, u64>) -> u64 {
             h
         }
         _ => e.hash_header(),
+    }
+}
+
+/// Collects the leaves of a product of 0/1 indicator atoms: edge atoms
+/// and `=` comparisons, possibly nested under scalar `Func::Mul` and
+/// `Shared`. Returns `false` (leaving `out` in an unspecified state)
+/// when the expression contains anything else — the elimination path
+/// only fires on pure sum-product queries, where 0/1 factors keep
+/// every partial sum an exact integer.
+fn collect_indicator_atoms<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) -> bool {
+    match e {
+        Expr::Shared(rc) => collect_indicator_atoms(rc, out),
+        Expr::Edge { .. } | Expr::Cmp { op: CmpOp::Eq, .. } => {
+            out.push(e);
+            true
+        }
+        Expr::Apply { func: Func::Mul { dim: 1, .. }, args } => {
+            args.iter().all(|a| collect_indicator_atoms(a, out))
+        }
+        _ => false,
+    }
+}
+
+/// The (≤ 2) variables of an indicator atom.
+fn atom_vars(e: &Expr) -> [Var; 2] {
+    match e {
+        Expr::Edge { from, to } => [*from, *to],
+        Expr::Cmp { a, b, .. } => [*a, *b],
+        _ => unreachable!("not an indicator atom"),
     }
 }
 
@@ -716,6 +1246,7 @@ fn exec_node(
     nodes: &[Node],
     i: usize,
     out: &mut [f64],
+    sp: &mut CoordList,
     g: &Graph,
     n: usize,
     scratch: &mut ExecScratch,
@@ -733,11 +1264,39 @@ fn exec_node(
                 out[v * d..(v + 1) * d].copy_from_slice(g.label(v as Vertex));
             }
         }
+        Kind::Edge { flip } if node.sparse => {
+            let _ss = gel_obs::span("sparse.exec");
+            sp.reset(1);
+            for (u, v) in g.arcs() {
+                let (a, b) = if *flip { (v, u) } else { (u, v) };
+                sp.push1(a as usize * n + b as usize, 1.0);
+            }
+            if *flip {
+                // CSR iterates (u asc, v asc): already sorted unless
+                // the variable order swaps the digits.
+                sp.sort_entries(&mut scratch.join);
+            }
+            note_sparse(sp.len());
+            if node.needs_dense {
+                densify(sp, out);
+            }
+        }
         Kind::Edge { flip } => {
             out.fill(0.0);
             for (u, v) in g.arcs() {
                 let (a, b) = if *flip { (v, u) } else { (u, v) };
                 out[a as usize * n + b as usize] = 1.0;
+            }
+        }
+        Kind::CmpEq if node.sparse => {
+            let _ss = gel_obs::span("sparse.exec");
+            sp.reset(1);
+            for v in 0..n {
+                sp.push1(v * n + v, 1.0);
+            }
+            note_sparse(sp.len());
+            if node.needs_dense {
+                densify(sp, out);
             }
         }
         // Only the diagonal differs from the constant fill, so neither
@@ -875,6 +1434,82 @@ fn exec_node(
                     digits,
                 );
             }
+        }
+        // The sparse kernels run serially — their cost is O(nnz), far
+        // below the dense parallel threshold — so any thread count
+        // replays the identical fold order for free. Each wraps in a
+        // "sparse.exec" span: nested under eval.exec, the leaf-time
+        // accounting attributes sparse time to `sparse.*` instead.
+        Kind::MulSparse { func, args, driver, driver_pos, expand_pos } => {
+            let _ss = gel_obs::span("sparse.exec");
+            sp.reset(d);
+            let p = node.vars.len();
+            let dl = driver_pos.len();
+            run_mul_sparse(
+                nodes,
+                func,
+                args,
+                *driver,
+                driver_pos,
+                expand_pos,
+                sp,
+                n,
+                &mut scratch.input,
+                &mut scratch.result,
+                &mut scratch.digits[..p],
+                &mut scratch.inner_digits[..dl],
+                &mut scratch.join,
+            );
+            note_sparse(sp.len());
+            if node.needs_dense {
+                densify(sp, out);
+            }
+        }
+        Kind::AggSparseValue { agg, value, keep_strides, inner_cells } => {
+            let _ss = gel_obs::span("sparse.exec");
+            run_agg_sparse_value(
+                nodes,
+                *agg,
+                *value,
+                keep_strides,
+                *inner_cells,
+                out,
+                n,
+                d,
+                &mut scratch.inner_digits[..keep_strides.len()],
+            );
+        }
+        Kind::AggSparseGuard {
+            agg,
+            value,
+            guard,
+            gkey_strides,
+            gkey_identity,
+            gkey_outer,
+            over_pow,
+            over_len,
+        } => {
+            let _ss = gel_obs::span("sparse.exec");
+            rekey_into(&nodes[*guard].sp, n, gkey_strides, *gkey_identity, &mut scratch.gkeys);
+            let p = node.vars.len();
+            run_agg_sparse_guard(
+                nodes,
+                *agg,
+                value,
+                *guard,
+                &scratch.gkeys,
+                gkey_outer,
+                *over_pow,
+                out,
+                n,
+                d,
+                &mut scratch.digits[..p],
+                &mut scratch.inner_digits[..*over_len],
+            );
+        }
+        Kind::AggElim { factors, factor_vars, order, free_over } => {
+            let _ss = gel_obs::span("sparse.exec");
+            run_agg_elim(nodes, factors, factor_vars, order, *free_over, out, n, scratch);
         }
     }
 }
@@ -1054,6 +1689,264 @@ fn run_agg_nbr(
     }
 }
 
+/// The sparse product kernel: iterate the driver's entries, expand the
+/// output digits the driver does not bind, gather the remaining
+/// operands (dense gather or sparse binary search) into the same packed
+/// input row as the dense `Apply` kernel, and emit the product entries.
+/// Output coordinates are unique (driver coords are unique, the
+/// expansion enumerates distinct completions), so the final sort needs
+/// no dedup — and early-returns when the driver's digits lead the
+/// output order.
+#[allow(clippy::too_many_arguments)]
+fn run_mul_sparse(
+    nodes: &[Node],
+    func: &Func,
+    args: &[MulArg],
+    driver: usize,
+    driver_pos: &[usize],
+    expand_pos: &[usize],
+    sp_out: &mut CoordList,
+    n: usize,
+    input: &mut Vec<f64>,
+    result: &mut Vec<f64>,
+    digits: &mut [usize],
+    ddigits: &mut [usize],
+    join: &mut JoinScratch,
+) {
+    let dsp = &nodes[args[driver].node].sp;
+    let combos = n.checked_pow(expand_pos.len() as u32).expect("table too large");
+    for e in 0..dsp.len() {
+        decompose(dsp.coords()[e], n, ddigits);
+        let dval = dsp.value(e)[0];
+        digits.fill(0);
+        for (k, &pos) in driver_pos.iter().enumerate() {
+            digits[pos] = ddigits[k];
+        }
+        for _ in 0..combos {
+            let oc = digits.iter().fold(0, |acc, &dg| acc * n + dg);
+            input.clear();
+            for (ai, arg) in args.iter().enumerate() {
+                if ai == driver {
+                    input.push(dval);
+                } else if arg.sparse {
+                    input.push(nodes[arg.node].sp.probe1(dot(digits, &arg.strides)));
+                } else {
+                    let off = dot(digits, &arg.strides);
+                    input.extend_from_slice(&nodes[arg.node].data[off..off + arg.dim]);
+                }
+            }
+            func.apply(input, result);
+            sp_out.push1(oc, result[0]);
+            // Advance the expansion odometer (driver digits fixed).
+            for (k, &pos) in expand_pos.iter().enumerate().rev() {
+                digits[pos] += 1;
+                if digits[pos] < n {
+                    break;
+                }
+                digits[pos] = 0;
+                debug_assert!(k > 0 || sp_out.len().is_multiple_of(combos));
+            }
+        }
+    }
+    sp_out.sort_entries(join);
+}
+
+/// Unguarded `Sum`/`Mean` over a sparse value binding every aggregated
+/// variable: stream the entries, scattering each into its output cell.
+/// Entry order restricted to one output cell is ascending over the
+/// aggregated digits — exactly the dense kernel's inner-odometer fold
+/// order — and skipping absent (`+0.0`) addends cannot change a sum
+/// that starts at `+0.0`, so the result is bit-identical.
+#[allow(clippy::too_many_arguments)]
+fn run_agg_sparse_value(
+    nodes: &[Node],
+    agg: Agg,
+    value: usize,
+    keep_strides: &[usize],
+    inner_cells: usize,
+    out: &mut [f64],
+    n: usize,
+    d: usize,
+    digits: &mut [usize],
+) {
+    out.fill(0.0);
+    let sp = &nodes[value].sp;
+    for (e, &c) in sp.coords().iter().enumerate() {
+        decompose(c, n, digits);
+        let oc = dot(digits, keep_strides);
+        for (a, &v) in out[oc * d..(oc + 1) * d].iter_mut().zip(sp.value(e)) {
+            *a += v;
+        }
+    }
+    if agg == Agg::Mean {
+        // Unguarded Mean divides by the full inner-cell count.
+        let cf = inner_cells as f64;
+        for a in out {
+            *a /= cf;
+        }
+    }
+}
+
+/// Guarded aggregation over a sparse scalar guard binding every
+/// aggregated variable: per output cell, a binary-searched run of
+/// re-keyed guard entries replaces the dense inner odometer. The run
+/// ascends in aggregated-digit order, and stored zeros (a sparse
+/// product may keep explicit zeros) are skipped exactly like the dense
+/// kernel's `!= 0.0` test — same passing cells, same fold order.
+#[allow(clippy::too_many_arguments)]
+fn run_agg_sparse_guard(
+    nodes: &[Node],
+    agg: Agg,
+    value: &AccSpec,
+    guard: usize,
+    gkeys: &[(usize, u32)],
+    gkey_outer: &[usize],
+    over_pow: usize,
+    out: &mut [f64],
+    n: usize,
+    d: usize,
+    digits: &mut [usize],
+    inner_digits: &mut [usize],
+) {
+    let cells = out.len() / d.max(1);
+    if cells == 0 {
+        return;
+    }
+    let vdata = &nodes[value.node].data[..];
+    let gsp = &nodes[guard].sp;
+    digits.fill(0);
+    let mut vbase = 0usize;
+    let mut gbase = 0usize;
+    for c in 0..cells {
+        let cell = &mut out[c * d..(c + 1) * d];
+        cell.fill(0.0);
+        let lo = gbase * over_pow;
+        let hi = lo + over_pow;
+        let start = gkeys.partition_point(|&(k, _)| k < lo);
+        let mut count = 0usize;
+        for &(k, idx) in &gkeys[start..] {
+            if k >= hi {
+                break;
+            }
+            if gsp.value(idx as usize)[0] != 0.0 {
+                decompose(k - lo, n, inner_digits);
+                let voff = vbase + dot(inner_digits, &value.inner_strides);
+                push_acc(agg, cell, &vdata[voff..voff + d], count);
+                count += 1;
+            }
+        }
+        if agg == Agg::Mean && count > 0 {
+            let cf = count as f64;
+            for a in cell {
+                *a /= cf;
+            }
+        }
+        if c + 1 < cells {
+            advance2(digits, n, &value.outer_strides, &mut vbase, gkey_outer, &mut gbase);
+        }
+    }
+}
+
+/// The FAQ-style elimination kernel (`Sum` over a product of 0/1
+/// indicator factors): copy each factor's coordinate list into the
+/// scratch arena, then for each variable of the planned order join all
+/// factors containing it and contract it out with [`contract_sum`];
+/// finally join the survivors and scatter into the dense output,
+/// multiplied by `n^free_over` for aggregated variables no factor
+/// constrains. All arithmetic is on integers below 2^53, so the
+/// reassociated sums are exact — bit-identical to the dense sweep.
+#[allow(clippy::too_many_arguments)]
+fn run_agg_elim(
+    nodes: &[Node],
+    factors: &[usize],
+    factor_vars: &[Vec<Var>],
+    order: &[Var],
+    free_over: u32,
+    out: &mut [f64],
+    n: usize,
+    s: &mut ExecScratch,
+) {
+    let k = factors.len();
+    while s.arena.len() < k {
+        s.arena.push(CoordList::default());
+        s.avars.push(Vec::new());
+    }
+    s.alive.clear();
+    s.alive.resize(k, true);
+    for (slot, (&fi, fv)) in factors.iter().zip(factor_vars).enumerate() {
+        s.arena[slot].copy_from_list(&nodes[fi].sp);
+        s.avars[slot].clear();
+        s.avars[slot].extend_from_slice(fv);
+    }
+    for &v in order {
+        s.with_v.clear();
+        for i in 0..k {
+            if s.alive[i] && s.avars[i].contains(&v) {
+                s.with_v.push(i);
+            }
+        }
+        // Variables in no live factor are the `free_over` multiplier.
+        let Some(&first) = s.with_v.first() else { continue };
+        std::mem::swap(&mut s.tmp, &mut s.arena[first]);
+        std::mem::swap(&mut s.tmp_vars, &mut s.avars[first]);
+        for w in 1..s.with_v.len() {
+            let j = s.with_v[w];
+            join_multiply(
+                &s.tmp,
+                &s.tmp_vars,
+                &s.arena[j],
+                &s.avars[j],
+                n,
+                &mut s.join,
+                &mut s.tmp2,
+                &mut s.tmp2_vars,
+            );
+            std::mem::swap(&mut s.tmp, &mut s.tmp2);
+            std::mem::swap(&mut s.tmp_vars, &mut s.tmp2_vars);
+            s.alive[j] = false;
+        }
+        contract_sum(&s.tmp, &s.tmp_vars, v, n, &mut s.join, &mut s.arena[first]);
+        s.avars[first].clear();
+        let tv = std::mem::take(&mut s.tmp_vars);
+        s.avars[first].extend(tv.iter().copied().filter(|&u| u != v));
+        s.tmp_vars = tv;
+    }
+    // Join the surviving (fully contracted) factors.
+    let mut acc: Option<usize> = None;
+    for i in 0..k {
+        if !s.alive[i] {
+            continue;
+        }
+        match acc {
+            None => acc = Some(i),
+            Some(a) => {
+                join_multiply(
+                    &s.arena[a],
+                    &s.avars[a],
+                    &s.arena[i],
+                    &s.avars[i],
+                    n,
+                    &mut s.join,
+                    &mut s.tmp,
+                    &mut s.tmp_vars,
+                );
+                std::mem::swap(&mut s.arena[a], &mut s.tmp);
+                std::mem::swap(&mut s.avars[a], &mut s.tmp_vars);
+                s.alive[i] = false;
+            }
+        }
+    }
+    out.fill(0.0);
+    let mult = (n as f64).powi(free_over as i32);
+    if let Some(a) = acc {
+        let fin = &s.arena[a];
+        debug_assert!(fin.coords().iter().all(|&c| c < out.len()));
+        for (e, &c) in fin.coords().iter().enumerate() {
+            out[c] = fin.value(e)[0] * mult;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1084,7 +1977,7 @@ mod tests {
 
     fn assert_engine_matches_oracle(e: &Expr, g: &Graph) {
         for fast in [true, false] {
-            let opts = EvalOptions { guard_fast_path: fast };
+            let opts = EvalOptions { guard_fast_path: fast, ..EvalOptions::default() };
             let want = oracle_eval_with(e, g, opts);
             let mut eng = EvalEngine::with_options(opts);
             assert_eq!(eng.eval(e, g), &want, "engine diverged (fast_path={fast}) on {e}");
@@ -1095,10 +1988,11 @@ mod tests {
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(24))]
-        // Random GEL_k expressions (k ∈ {1,2,3} ⇒ intermediate tables of
+        // Random GEL_k expressions (k ∈ {2,3} ⇒ intermediate tables of
         // arity 0–3), all four aggregators, labelled directed graphs:
         // the engine must reproduce the oracle's tables bit-for-bit,
         // with the fast path both on and off.
+        #[test]
         fn engine_matches_oracle_on_random_gel(seed in 0u64..1_000_000) {
             let mut rng = StdRng::seed_from_u64(seed);
             let n = 3 + (seed % 5) as usize;
@@ -1110,10 +2004,10 @@ mod tests {
                 max_dim: 3,
                 aggregators: vec![Agg::Sum, Agg::Mean, Agg::Max, Agg::Min],
             };
-            let k = 1 + (seed % 3) as usize;
+            let k = 2 + (seed % 2) as usize;
             let e = random_gel_graph(&cfg, k, &mut rng);
             for fast in [true, false] {
-                let opts = EvalOptions { guard_fast_path: fast };
+                let opts = EvalOptions { guard_fast_path: fast, ..EvalOptions::default() };
                 let want = oracle_eval_with(&e, &g, opts);
                 let mut eng = EvalEngine::with_options(opts);
                 prop_assert_eq!(eng.eval(&e, &g), &want);
@@ -1216,5 +2110,149 @@ mod tests {
         assert_eq!(eng.eval(&e, &cycle(7)).value(), &[14.0]);
         // And switching back works too (slabs recycle through the pool).
         assert_eq!(eng.eval(&e, &g).value(), &[12.0]);
+    }
+
+    /// Forced-sparse options: every representable node goes through the
+    /// coordinate-list kernels regardless of size.
+    fn forced_sparse(fast: bool) -> EvalOptions {
+        EvalOptions { guard_fast_path: fast, sparse: true, sparse_min_cells: 0 }
+    }
+
+    /// Forced-sparse evaluation must be *equal* to both the oracle and
+    /// the dense engine (`assert_eq` tolerates the documented `±0.0`
+    /// divergence of elided cells), twice (cached plan).
+    fn assert_sparse_matches_dense(e: &Expr, g: &Graph, fast: bool) {
+        let opts = forced_sparse(fast);
+        let want = oracle_eval_with(e, g, opts);
+        let mut dense = EvalEngine::with_options(EvalOptions {
+            guard_fast_path: fast,
+            sparse: false,
+            ..EvalOptions::default()
+        });
+        assert_eq!(dense.eval(e, g), &want, "dense engine diverged on {e}");
+        let mut eng = EvalEngine::with_options(opts);
+        assert_eq!(eng.eval(e, g), &want, "sparse engine diverged on {e}");
+        assert_eq!(eng.eval(e, g), &want, "cached sparse plan diverged on {e}");
+    }
+
+    /// Handcrafted shapes hitting each sparse kernel: the FAQ
+    /// elimination pass (pure indicator sum-products, with and without
+    /// free aggregated variables, equality atoms, and indicator
+    /// guards), the sparse product (`MulSparse`), the streaming
+    /// unguarded aggregation (`AggSparseValue`), and the run-probed
+    /// guarded aggregation (`AggSparseGuard`).
+    #[test]
+    fn sparse_kernels_match_dense_on_handcrafted_shapes() {
+        let mut rng = StdRng::seed_from_u64(0x5EED);
+        let g = random_graph(9, 2, &mut rng);
+        let tri = apply(Func::Mul { arity: 3, dim: 1 }, vec![edge(1, 2), edge(2, 3), edge(1, 3)]);
+        let exprs = vec![
+            // AggElim: triangles at a vertex, global triangle count.
+            agg_over(Agg::Sum, vec![2, 3], tri.clone(), None),
+            agg_over(Agg::Sum, vec![1, 2, 3], tri, None),
+            // AggElim with an equality atom collapsing two variables.
+            agg_over(
+                Agg::Sum,
+                vec![2, 3],
+                apply(Func::Mul { arity: 3, dim: 1 }, vec![edge(1, 2), eq(2, 3), edge(3, 1)]),
+                None,
+            ),
+            // AggElim with the guard as an extra indicator factor
+            // (mutual-edge count at x1).
+            agg_over(Agg::Sum, vec![2], edge(1, 2), Some(edge(2, 1))),
+            // AggElim with a free aggregated variable (×n multiplier).
+            agg_over(Agg::Sum, vec![2, 3], edge(1, 2), None),
+            // MulSparse (edge × dense label) then AggSparseValue.
+            agg_over(Agg::Sum, vec![2], mul2(edge(1, 2), lab(0, 2)), None),
+            agg_over(Agg::Mean, vec![2], mul2(edge(1, 2), lab(1, 2)), None),
+            // MulSparse products feeding Max force the dense fallback.
+            agg_over(Agg::Max, vec![2], mul2(edge(1, 2), lab(0, 2)), None),
+            // AggSparseGuard via a sparse (product) guard binding x2 —
+            // not an edge atom, so the AggNbr fast path stays out.
+            agg_over(Agg::Min, vec![2], lab(0, 2), Some(mul2(edge(1, 2), edge(2, 1)))),
+            agg_over(Agg::Mean, vec![2], lab_vec(2, 2), Some(mul2(edge(1, 2), edge(2, 1)))),
+        ];
+        for e in &exprs {
+            for fast in [true, false] {
+                assert_sparse_matches_dense(e, &g, fast);
+            }
+        }
+        // Single-edge guard with the fast path ablated: AggSparseGuard
+        // carries the MPNN shape.
+        let mpnn = agg_over(Agg::Sum, vec![2], lab(0, 2), Some(edge(1, 2)));
+        assert_sparse_matches_dense(&mpnn, &g, false);
+    }
+
+    /// The elimination pass replaces the Apply + dense-aggregate pair
+    /// with a single plan node over the (3) edge factors — a structural
+    /// probe that the `AggElim` gate actually fires.
+    #[test]
+    fn elimination_collapses_sum_product_plans() {
+        let g = cycle(7);
+        let tri = apply(Func::Mul { arity: 3, dim: 1 }, vec![edge(1, 2), edge(2, 3), edge(1, 3)]);
+        let e = agg_over(Agg::Sum, vec![1, 2, 3], tri, None);
+        let mut eng = EvalEngine::with_options(forced_sparse(true));
+        // 6 · #triangles(C7) = 0.
+        assert_eq!(eng.eval(&e, &g).value(), &[0.0]);
+        // 3 edge atoms + 1 AggElim node; the dense plan needs 5.
+        assert_eq!(eng.plan_nodes(), 4);
+        let mut dense =
+            EvalEngine::with_options(EvalOptions { sparse: false, ..EvalOptions::default() });
+        dense.eval(&e, &g);
+        assert_eq!(dense.plan_nodes(), 5);
+    }
+
+    /// The sparse kernels are serial, so thread count must not change a
+    /// single bit, mirroring `parallel_kernels_are_bit_identical`.
+    #[test]
+    fn sparse_paths_bit_identical_across_threads() {
+        let n = 40;
+        let mut rng = StdRng::seed_from_u64(1729);
+        let g = random_graph(n, 1, &mut rng);
+        let tri = apply(Func::Mul { arity: 3, dim: 1 }, vec![edge(1, 2), edge(2, 3), edge(1, 3)]);
+        let exprs = vec![
+            agg_over(Agg::Sum, vec![2, 3], tri, None),
+            agg_over(Agg::Sum, vec![2], mul2(edge(1, 2), lab(0, 2)), None),
+            agg_over(Agg::Min, vec![2], lab(0, 2), Some(mul2(edge(1, 2), edge(2, 1)))),
+        ];
+        for e in &exprs {
+            let want = oracle_eval(e, &g);
+            for threads in [1, 4] {
+                rayon::set_num_threads(threads);
+                let mut eng = EvalEngine::with_options(forced_sparse(true));
+                assert_eq!(eng.eval(e, &g), &want, "thread count {threads} changed {e}");
+                rayon::set_num_threads(0);
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        // Forced-sparse evaluation of random GEL_k expressions equals
+        // the oracle — the whole-plan version of the kernel-level
+        // properties in `crate::sparse` (`assert_eq`, so the documented
+        // `±0.0` elision caveat is tolerated; see DESIGN.md §7).
+        #[test]
+        fn sparse_engine_matches_oracle_on_random_gel(seed in 0u64..1_000_000) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = 3 + (seed % 5) as usize;
+            let label_dim = 1 + (seed % 2) as usize;
+            let g = random_graph(n, label_dim, &mut rng);
+            let cfg = RandomExprConfig {
+                label_dim,
+                max_depth: 3,
+                max_dim: 3,
+                aggregators: vec![Agg::Sum, Agg::Mean, Agg::Max, Agg::Min],
+            };
+            let k = 2 + (seed % 2) as usize;
+            let e = random_gel_graph(&cfg, k, &mut rng);
+            for fast in [true, false] {
+                let opts = forced_sparse(fast);
+                let want = oracle_eval_with(&e, &g, opts);
+                let mut eng = EvalEngine::with_options(opts);
+                prop_assert_eq!(eng.eval(&e, &g), &want);
+                prop_assert_eq!(eng.eval(&e, &g), &want);
+            }
+        }
     }
 }

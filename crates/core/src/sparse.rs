@@ -1,0 +1,666 @@
+//! Sparse embedding tables: sorted coordinate lists and the sorted
+//! merge-join / contraction kernels behind the compiled evaluator's
+//! sparse execution paths (`crate::plan`).
+//!
+//! A [`CoordList`] stores the nonzero cells of a table over variables
+//! `vars` (strictly ascending, as everywhere) as flat row-major cell
+//! ids — exactly the indices of [`crate::table::EmbeddingTable`]'s
+//! dense layout, so a coordinate list is the dense slab with the zero
+//! cells elided and the survivors kept in the same (lexicographic)
+//! order. Keeping the dense order is load-bearing: the aggregation
+//! kernels in `plan.rs` replay the dense fold order over the stored
+//! entries, which is what makes sparse and dense evaluation
+//! bit-identical rather than merely close.
+//!
+//! **Invariants** (checked by [`CoordList::is_strictly_sorted`] and
+//! property-tested below): coordinates strictly ascending — sorted and
+//! duplicate-free. Values may contain explicit zeros (a sparse product
+//! with a zero dense operand stores the zero); "nnz" in counters means
+//! entry count.
+//!
+//! [`join_multiply`] and [`contract_sum`] are the two moves of the
+//! FAQ-style variable elimination pass (scalar factors only): a sorted
+//! merge-join on the shared variables in time
+//! `O((|A| + |B|)·log + |A ⋈ B|·log)` and a sum-contraction of one
+//! variable. Both are restricted by `plan.rs` to integer-valued
+//! indicator factors, where reassociating the sum is exact — see
+//! DESIGN.md §6.
+
+use crate::table::Var;
+
+/// Integer power `n^e` with overflow panic (table sizes are checked the
+/// same way in `plan.rs`).
+#[inline]
+fn npow(n: usize, e: usize) -> usize {
+    n.checked_pow(e as u32).expect("sparse table too large")
+}
+
+/// A sparse table over some variable set: strictly ascending flat cell
+/// ids plus `dim` values per entry, in the same order.
+#[derive(Debug, Clone, Default)]
+pub struct CoordList {
+    dim: usize,
+    coords: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CoordList {
+    /// An empty list with the given cell width.
+    pub fn new(dim: usize) -> Self {
+        Self { dim, coords: Vec::new(), values: Vec::new() }
+    }
+
+    /// Clears the list and resets its cell width, keeping capacity.
+    pub fn reset(&mut self, dim: usize) {
+        self.dim = dim;
+        self.coords.clear();
+        self.values.clear();
+    }
+
+    /// An empty list adopting recycled buffers (their contents are
+    /// discarded, their capacity kept) — how the evaluation engine's
+    /// pools hand storage to plan nodes.
+    pub fn with_buffers(dim: usize, mut coords: Vec<usize>, mut values: Vec<f64>) -> Self {
+        coords.clear();
+        values.clear();
+        Self { dim, coords, values }
+    }
+
+    /// Dismantles the list into its buffers for pool recycling.
+    pub fn into_parts(self) -> (Vec<usize>, Vec<f64>) {
+        (self.coords, self.values)
+    }
+
+    /// Cell width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Whether the list has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+
+    /// The stored cell ids.
+    pub fn coords(&self) -> &[usize] {
+        &self.coords
+    }
+
+    /// The stored values (`len() * dim()` floats).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Appends an entry. Callers may push out of order as long as they
+    /// finish with [`Self::sort_entries`].
+    pub fn push(&mut self, coord: usize, value: &[f64]) {
+        debug_assert_eq!(value.len(), self.dim);
+        self.coords.push(coord);
+        self.values.extend_from_slice(value);
+    }
+
+    /// Appends a scalar entry (`dim == 1`).
+    pub fn push1(&mut self, coord: usize, value: f64) {
+        debug_assert_eq!(self.dim, 1);
+        self.coords.push(coord);
+        self.values.push(value);
+    }
+
+    /// The value row of entry `i`.
+    pub fn value(&self, i: usize) -> &[f64] {
+        &self.values[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Binary-searches for `coord`, returning its value row.
+    pub fn get(&self, coord: usize) -> Option<&[f64]> {
+        self.coords.binary_search(&coord).ok().map(|i| self.value(i))
+    }
+
+    /// [`Self::get`] for scalar lists, with 0.0 for absent cells.
+    pub fn probe1(&self, coord: usize) -> f64 {
+        debug_assert_eq!(self.dim, 1);
+        match self.coords.binary_search(&coord) {
+            Ok(i) => self.values[i],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Clones `src`'s entries into `self`, reusing `self`'s buffers —
+    /// how the elimination kernel seeds its factor arena without
+    /// touching the allocator once warmed.
+    pub fn copy_from_list(&mut self, src: &CoordList) {
+        self.dim = src.dim;
+        self.coords.clear();
+        self.coords.extend_from_slice(&src.coords);
+        self.values.clear();
+        self.values.extend_from_slice(&src.values);
+    }
+
+    /// The representation invariant: coordinates strictly ascending
+    /// (sorted, duplicate-free) and one value row per coordinate.
+    pub fn is_strictly_sorted(&self) -> bool {
+        self.values.len() == self.coords.len() * self.dim
+            && self.coords.windows(2).all(|w| w[0] < w[1])
+    }
+
+    /// Restores the sorted invariant after out-of-order pushes
+    /// (coordinates must be distinct). Scalar lists sort in place;
+    /// wider lists gather their value rows through `scratch`.
+    pub fn sort_entries(&mut self, scratch: &mut JoinScratch) {
+        if self.coords.windows(2).all(|w| w[0] < w[1]) {
+            return;
+        }
+        if self.dim == 1 {
+            scratch.pairs.clear();
+            scratch
+                .pairs
+                .extend(self.coords.iter().zip(&self.values).map(|(&c, &v)| (c, v.to_bits())));
+            scratch.pairs.sort_unstable_by_key(|&(c, _)| c);
+            for (i, &(c, bits)) in scratch.pairs.iter().enumerate() {
+                self.coords[i] = c;
+                self.values[i] = f64::from_bits(bits);
+            }
+        } else {
+            scratch.keys.clear();
+            scratch.keys.extend(self.coords.iter().map(|&c| (c, 0u32)));
+            for (i, k) in scratch.keys.iter_mut().enumerate() {
+                k.1 = i as u32;
+            }
+            scratch.keys.sort_unstable_by_key(|&(c, _)| c);
+            scratch.vals.clear();
+            scratch.vals.extend_from_slice(&self.values);
+            for (i, &(c, src)) in scratch.keys.iter().enumerate() {
+                self.coords[i] = c;
+                let s = src as usize * self.dim;
+                self.values[i * self.dim..(i + 1) * self.dim]
+                    .copy_from_slice(&scratch.vals[s..s + self.dim]);
+            }
+        }
+        debug_assert!(self.is_strictly_sorted());
+    }
+}
+
+/// Reusable buffers for [`join_multiply`] / [`contract_sum`] /
+/// [`CoordList::sort_entries`] — owned by the engine's scratch so the
+/// warmed sparse path stays allocation-free.
+#[derive(Debug, Default)]
+pub struct JoinScratch {
+    /// `(key, original index)` pairs for re-keying one operand.
+    keys: Vec<(usize, u32)>,
+    /// Same, for the second operand of a join.
+    keys_b: Vec<(usize, u32)>,
+    /// `(coord, value bits)` pairs for scalar in-place sorts.
+    pairs: Vec<(usize, u64)>,
+    /// Gather buffer for wide value rows.
+    vals: Vec<f64>,
+    /// Per-run `(out contribution, value)` cache of the second operand.
+    run_b: Vec<(usize, f64)>,
+    /// Variable-block partitions of a join (shared / a-only / b-only).
+    vars_shared: Vec<Var>,
+    vars_a: Vec<Var>,
+    vars_b: Vec<Var>,
+    /// Re-key strides of each operand.
+    strides_a: Vec<usize>,
+    strides_b: Vec<usize>,
+    /// Output-coordinate contribution strides per block digit.
+    out_shared: Vec<usize>,
+    out_a: Vec<usize>,
+    out_b: Vec<usize>,
+}
+
+/// Writes the base-`n` digits of `cell`, most significant first.
+#[inline]
+fn digits_of(mut cell: usize, n: usize, out: &mut [usize]) {
+    for d in out.iter_mut().rev() {
+        *d = cell % n;
+        cell /= n;
+    }
+    debug_assert_eq!(cell, 0);
+}
+
+/// Re-keys the coordinates of `src` into a permuted mixed radix given
+/// per-position key strides, as `(key, entry index)` pairs sorted by
+/// key. Skips the sort when the remap is the identity (keys already
+/// ascend with the coords). The per-entry digit decompose is cheap: the
+/// number of positions is bounded by expression arity. Shared with
+/// `plan.rs`, whose sparse-guard kernel re-keys guard entries into
+/// `(output part, aggregated part)` order the same way.
+pub(crate) fn rekey_into(
+    src: &CoordList,
+    n: usize,
+    key_strides: &[usize],
+    identity: bool,
+    out: &mut Vec<(usize, u32)>,
+) {
+    out.clear();
+    let p = key_strides.len();
+    let mut digits = [0usize; 16];
+    assert!(p <= digits.len(), "too many variables in sparse join");
+    for (i, &c) in src.coords.iter().enumerate() {
+        let key = if identity {
+            c
+        } else {
+            digits_of(c, n, &mut digits[..p]);
+            digits[..p].iter().zip(key_strides).map(|(d, s)| d * s).sum()
+        };
+        out.push((key, i as u32));
+    }
+    if !identity {
+        out.sort_unstable();
+    }
+}
+
+/// Sorted merge-join of two scalar factors: multiplies matching
+/// entries on their shared variables and emits the product factor over
+/// the variable union, sorted. `out_vars` receives the union.
+///
+/// Each operand is re-keyed to `(shared vars, own-only vars)` mixed
+/// radix (a no-op when the shared variables already lead), runs with
+/// equal shared prefixes are matched two-pointer style, and the run
+/// product is emitted. Output coordinates are unique — `(shared, a
+/// rest, b rest)` determines the cell — so the final
+/// [`CoordList::sort_entries`] restores the invariant without any
+/// dedup pass.
+#[allow(clippy::too_many_arguments)]
+pub fn join_multiply(
+    a: &CoordList,
+    a_vars: &[Var],
+    b: &CoordList,
+    b_vars: &[Var],
+    n: usize,
+    s: &mut JoinScratch,
+    out: &mut CoordList,
+    out_vars: &mut Vec<Var>,
+) {
+    assert_eq!(a.dim, 1, "join_multiply is scalar");
+    assert_eq!(b.dim, 1, "join_multiply is scalar");
+    debug_assert!(a_vars.windows(2).all(|w| w[0] < w[1]));
+    debug_assert!(b_vars.windows(2).all(|w| w[0] < w[1]));
+    out.reset(1);
+    out_vars.clear();
+    out_vars.extend_from_slice(a_vars);
+    out_vars.extend_from_slice(b_vars);
+    out_vars.sort_unstable();
+    out_vars.dedup();
+    if a.is_empty() || b.is_empty() {
+        return;
+    }
+
+    // Variable blocks and stride tables live in the scratch: the warmed
+    // elimination loop re-joins the same shapes without allocating.
+    s.vars_shared.clear();
+    s.vars_shared.extend(a_vars.iter().copied().filter(|v| b_vars.contains(v)));
+    s.vars_a.clear();
+    s.vars_a.extend(a_vars.iter().copied().filter(|v| !s.vars_shared.contains(v)));
+    s.vars_b.clear();
+    s.vars_b.extend(b_vars.iter().copied().filter(|v| !s.vars_shared.contains(v)));
+    let (qs, qa, qb) = (s.vars_shared.len(), s.vars_a.len(), s.vars_b.len());
+    let (pow_a, pow_b) = (npow(n, qa), npow(n, qb));
+
+    // Key strides: key = (shared digits, own-only digits) mixed radix.
+    let a_id = fill_key_strides(a_vars, &s.vars_shared, &s.vars_a, pow_a, n, &mut s.strides_a);
+    let b_id = fill_key_strides(b_vars, &s.vars_shared, &s.vars_b, pow_b, n, &mut s.strides_b);
+    rekey_into(a, n, &s.strides_a, a_id, &mut s.keys);
+    rekey_into(b, n, &s.strides_b, b_id, &mut s.keys_b);
+
+    // Output contribution strides per block digit.
+    fill_out_strides(&s.vars_shared, out_vars, n, &mut s.out_shared);
+    fill_out_strides(&s.vars_a, out_vars, n, &mut s.out_a);
+    fill_out_strides(&s.vars_b, out_vars, n, &mut s.out_b);
+
+    let mut sdig = [0usize; 16];
+    let contrib = |rest: usize, q: usize, strides: &[usize], dig: &mut [usize; 16]| -> usize {
+        digits_of(rest, n, &mut dig[..q]);
+        dig[..q].iter().zip(strides).map(|(d, s)| d * s).sum()
+    };
+
+    let (keys_a, keys_b) = (&s.keys, &s.keys_b);
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < keys_a.len() && j < keys_b.len() {
+        let sa = keys_a[i].0 / pow_a;
+        let sb = keys_b[j].0 / pow_b;
+        if sa < sb {
+            i += 1;
+            continue;
+        }
+        if sb < sa {
+            j += 1;
+            continue;
+        }
+        let i2 = keys_a[i..].iter().take_while(|&&(k, _)| k / pow_a == sa).count() + i;
+        let j2 = keys_b[j..].iter().take_while(|&&(k, _)| k / pow_b == sb).count() + j;
+        let c_shared = contrib(sa, qs, &s.out_shared, &mut sdig);
+        s.run_b.clear();
+        for &(kb, yb) in &keys_b[j..j2] {
+            s.run_b.push((contrib(kb % pow_b, qb, &s.out_b, &mut sdig), b.values[yb as usize]));
+        }
+        for &(kak, xa) in &keys_a[i..i2] {
+            let c_a = c_shared + contrib(kak % pow_a, qa, &s.out_a, &mut sdig);
+            let va = a.values[xa as usize];
+            for &(c_b, vb) in &s.run_b {
+                out.push1(c_a + c_b, va * vb);
+            }
+        }
+        i = i2;
+        j = j2;
+    }
+    out.sort_entries(s);
+}
+
+/// Fills `out` with the `(shared block, own-only block)` key stride of
+/// each variable of `vars`; returns whether the remap is the identity.
+fn fill_key_strides(
+    vars: &[Var],
+    shared: &[Var],
+    own: &[Var],
+    own_pow: usize,
+    n: usize,
+    out: &mut Vec<usize>,
+) -> bool {
+    out.clear();
+    let qs = shared.len();
+    for v in vars {
+        let ks = if let Some(r) = shared.iter().position(|sv| sv == v) {
+            npow(n, qs - 1 - r) * own_pow
+        } else {
+            let r = own.iter().position(|ov| ov == v).expect("var in own block");
+            npow(n, own.len() - 1 - r)
+        };
+        out.push(ks);
+    }
+    out.iter().enumerate().all(|(i, &ks)| ks == npow(n, vars.len() - 1 - i))
+}
+
+/// Fills `out` with the output-coordinate stride of each variable of
+/// `block` within `out_vars`' row-major layout.
+fn fill_out_strides(block: &[Var], out_vars: &[Var], n: usize, out: &mut Vec<usize>) {
+    out.clear();
+    let p_out = out_vars.len();
+    out.extend(
+        block.iter().map(|v| npow(n, p_out - 1 - out_vars.iter().position(|o| o == v).unwrap())),
+    );
+}
+
+/// Sums variable `var` out of a scalar factor: entries sharing all
+/// other digits fold into one. Output is over `src_vars` minus `var`,
+/// sorted. When `var` is the fastest digit the input order already
+/// groups the runs; otherwise entries are re-keyed and sorted first
+/// (ties between equal keys break by entry index, so the fold order is
+/// deterministic — `plan.rs` only contracts integer factors, where
+/// the order is immaterial anyway).
+pub fn contract_sum(
+    src: &CoordList,
+    src_vars: &[Var],
+    var: Var,
+    n: usize,
+    s: &mut JoinScratch,
+    out: &mut CoordList,
+) {
+    assert_eq!(src.dim, 1, "contract_sum is scalar");
+    let p = src_vars.len();
+    let pos = src_vars.iter().position(|&v| v == var).expect("contracted var present");
+    out.reset(1);
+    if src.is_empty() {
+        return;
+    }
+    let below = npow(n, p - 1 - pos);
+    if pos == p - 1 {
+        // Fastest digit: removing it keeps the coordinate order.
+        let mut key = src.coords[0] / n;
+        let mut acc = src.values[0];
+        for (&c, &v) in src.coords[1..].iter().zip(&src.values[1..]) {
+            let k = c / n;
+            if k == key {
+                acc += v;
+            } else {
+                out.push1(key, acc);
+                key = k;
+                acc = v;
+            }
+        }
+        out.push1(key, acc);
+    } else {
+        s.keys.clear();
+        for (i, &c) in src.coords.iter().enumerate() {
+            let high = c / (below * n);
+            let low = c % below;
+            s.keys.push((high * below + low, i as u32));
+        }
+        s.keys.sort_unstable();
+        let mut key = s.keys[0].0;
+        let mut acc = src.values[s.keys[0].1 as usize];
+        for &(k, idx) in &s.keys[1..] {
+            if k == key {
+                acc += src.values[idx as usize];
+            } else {
+                out.push1(key, acc);
+                key = k;
+                acc = src.values[idx as usize];
+            }
+        }
+        out.push1(key, acc);
+    }
+    debug_assert!(out.is_strictly_sorted());
+}
+
+#[cfg(test)]
+// Coordinates in expected values are written as explicit mixed-radix
+// sums (`0 * 9 + 1 * 3 + 0`) so each digit is visible.
+#[allow(clippy::erasing_op, clippy::identity_op)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A random scalar factor over `vars` with the given entry
+    /// probability, plus its dense reference table.
+    fn random_factor(
+        vars: &[Var],
+        n: usize,
+        density: f64,
+        rng: &mut StdRng,
+    ) -> (CoordList, Vec<f64>) {
+        let cells = npow(n, vars.len());
+        let mut cl = CoordList::new(1);
+        let mut dense = vec![0.0; cells];
+        for (c, cell) in dense.iter_mut().enumerate() {
+            if rng.gen_bool(density) {
+                let v = f64::from(rng.gen_range(1..=3_i32));
+                cl.push1(c, v);
+                *cell = v;
+            }
+        }
+        (cl, dense)
+    }
+
+    /// Dense reference of a join: pointwise product over the union
+    /// variable space.
+    fn dense_join(
+        da: &[f64],
+        a_vars: &[Var],
+        db: &[f64],
+        b_vars: &[Var],
+        u_vars: &[Var],
+        n: usize,
+    ) -> Vec<f64> {
+        let p = u_vars.len();
+        let cells = npow(n, p);
+        let proj = |digits: &[usize], vars: &[Var]| -> usize {
+            vars.iter().fold(0, |acc, v| {
+                let pos = u_vars.iter().position(|u| u == v).unwrap();
+                acc * n + digits[pos]
+            })
+        };
+        let mut out = vec![0.0; cells];
+        let mut digits = vec![0usize; p];
+        for (c, o) in out.iter_mut().enumerate() {
+            digits_of(c, n, &mut digits);
+            *o = da[proj(&digits, a_vars)] * db[proj(&digits, b_vars)];
+        }
+        out
+    }
+
+    fn to_dense(cl: &CoordList, cells: usize) -> Vec<f64> {
+        let mut out = vec![0.0; cells];
+        for (i, &c) in cl.coords().iter().enumerate() {
+            out[c] = cl.values[i];
+        }
+        out
+    }
+
+    #[test]
+    fn push_get_and_invariant() {
+        let mut cl = CoordList::new(2);
+        cl.push(3, &[1.0, 2.0]);
+        cl.push(7, &[3.0, 4.0]);
+        assert!(cl.is_strictly_sorted());
+        assert_eq!(cl.get(7), Some(&[3.0, 4.0][..]));
+        assert_eq!(cl.get(5), None);
+        cl.push(5, &[9.0, 9.0]);
+        assert!(!cl.is_strictly_sorted());
+        cl.sort_entries(&mut JoinScratch::default());
+        assert!(cl.is_strictly_sorted());
+        assert_eq!(cl.coords(), &[3, 5, 7]);
+        assert_eq!(cl.value(1), &[9.0, 9.0]);
+    }
+
+    #[test]
+    fn join_on_shared_variable_is_matrix_product_support() {
+        // A(1,2) ⋈ B(2,3) over a 3-vertex space.
+        let n = 3;
+        let mut a = CoordList::new(1);
+        a.push1(0 * n + 1, 2.0); // (x1=0, x2=1)
+        a.push1(2 * n + 1, 5.0); // (x1=2, x2=1)
+        let mut b = CoordList::new(1);
+        b.push1(1 * n + 0, 7.0); // (x2=1, x3=0)
+        b.push1(2 * n + 2, 1.0); // (x2=2, x3=2) — no partner in A
+        let mut out = CoordList::new(1);
+        let mut out_vars = Vec::new();
+        join_multiply(
+            &a,
+            &[1, 2],
+            &b,
+            &[2, 3],
+            n,
+            &mut JoinScratch::default(),
+            &mut out,
+            &mut out_vars,
+        );
+        assert_eq!(out_vars, vec![1, 2, 3]);
+        // Matches: (0,1,0) = 14, (2,1,0) = 35.
+        assert_eq!(out.coords(), &[0 * 9 + 1 * 3 + 0, 2 * 9 + 1 * 3 + 0]);
+        assert_eq!(out.values(), &[14.0, 35.0]);
+        assert!(out.is_strictly_sorted());
+    }
+
+    #[test]
+    fn contract_fastest_and_middle_variable() {
+        let n = 3;
+        let mut f = CoordList::new(1);
+        // Entries over vars (1,2,3): coords (a,b,c) → a·9 + b·3 + c.
+        for (a, b, c, v) in [(0, 0, 1, 1.0), (0, 1, 1, 2.0), (0, 2, 1, 4.0), (1, 0, 0, 8.0)] {
+            f.push1(a * 9 + b * 3 + c, v);
+        }
+        let mut s = JoinScratch::default();
+        let mut out = CoordList::new(1);
+        // Sum out x3 (fastest digit).
+        contract_sum(&f, &[1, 2, 3], 3, n, &mut s, &mut out);
+        assert_eq!(out.coords(), &[0 * 3 + 0, 0 * 3 + 1, 0 * 3 + 2, 1 * 3 + 0]);
+        assert_eq!(out.values(), &[1.0, 2.0, 4.0, 8.0]);
+        // Sum out x2 (middle digit): (0,·,1) entries fold.
+        contract_sum(&f, &[1, 2, 3], 2, n, &mut s, &mut out);
+        assert_eq!(out.coords(), &[0 * 3 + 1, 1 * 3 + 0]);
+        assert_eq!(out.values(), &[7.0, 8.0]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Join result matches the dense product and satisfies the
+        /// sorted/dedup invariant, across overlapping variable sets.
+        #[test]
+        fn join_matches_dense_reference(seed in 0u64..10_000) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = 2 + (seed % 4) as usize;
+            // Variable sets with varying overlap: {1,2}/{2,3}, {1,3}/{1,3},
+            // {1,2,3}/{3,4}, {2}/{1,2}.
+            let (av, bv): (Vec<Var>, Vec<Var>) = match seed % 4 {
+                0 => (vec![1, 2], vec![2, 3]),
+                1 => (vec![1, 3], vec![1, 3]),
+                2 => (vec![1, 2, 3], vec![3, 4]),
+                _ => (vec![2], vec![1, 2]),
+            };
+            let (a, da) = random_factor(&av, n, 0.4, &mut rng);
+            let (b, db) = random_factor(&bv, n, 0.4, &mut rng);
+            let mut out = CoordList::new(1);
+            let mut uv = Vec::new();
+            join_multiply(&a, &av, &b, &bv, n, &mut JoinScratch::default(), &mut out, &mut uv);
+            prop_assert!(out.is_strictly_sorted(), "join output must be sorted + deduped");
+            let want = dense_join(&da, &av, &db, &bv, &uv, n);
+            // The sparse join stores exactly the support intersection;
+            // explicit zeros cannot arise from positive integer values.
+            prop_assert_eq!(to_dense(&out, want.len()), want);
+        }
+
+        /// Contraction matches the dense marginal and keeps the
+        /// invariant, for every digit position.
+        #[test]
+        fn contract_matches_dense_reference(seed in 0u64..10_000) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = 2 + (seed % 4) as usize;
+            let vars: Vec<Var> = vec![1, 2, 3];
+            let (f, df) = random_factor(&vars, n, 0.4, &mut rng);
+            if f.is_empty() { return; }
+            let var = vars[(seed % 3) as usize];
+            let mut out = CoordList::new(1);
+            contract_sum(&f, &vars, var, n, &mut JoinScratch::default(), &mut out);
+            prop_assert!(out.is_strictly_sorted());
+            // Dense marginal.
+            let keep: Vec<Var> = vars.iter().copied().filter(|&v| v != var).collect();
+            let mut want = vec![0.0; npow(n, keep.len())];
+            let mut digits = vec![0usize; vars.len()];
+            for (c, &v) in df.iter().enumerate() {
+                digits_of(c, n, &mut digits);
+                let k = keep.iter().fold(0, |acc, kv| {
+                    acc * n + digits[vars.iter().position(|v2| v2 == kv).unwrap()]
+                });
+                want[k] += v;
+            }
+            let got = to_dense(&out, want.len());
+            // Entries that fold to zero are absent sparse-side; values
+            // here are positive integers so that cannot happen.
+            prop_assert_eq!(got, want);
+        }
+
+        /// Out-of-order pushes + sort restore the invariant and lose
+        /// nothing.
+        #[test]
+        fn sort_entries_restores_invariant(seed in 0u64..10_000) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let dim = 1 + (seed % 3) as usize;
+            let mut coords: Vec<usize> = (0..40).collect();
+            // Shuffle.
+            for i in (1..coords.len()).rev() {
+                coords.swap(i, rng.gen_range(0..=i));
+            }
+            let mut cl = CoordList::new(dim);
+            for &c in coords.iter().take(17) {
+                let row: Vec<f64> = (0..dim).map(|j| (c * dim + j) as f64).collect();
+                cl.push(c, &row);
+            }
+            cl.sort_entries(&mut JoinScratch::default());
+            prop_assert!(cl.is_strictly_sorted());
+            // Every entry still carries its own row.
+            for (i, &c) in cl.coords().iter().enumerate() {
+                let want: Vec<f64> = (0..dim).map(|j| (c * dim + j) as f64).collect();
+                prop_assert_eq!(cl.value(i), &want[..]);
+            }
+        }
+    }
+}

@@ -21,8 +21,8 @@ proptest! {
         let g = erdos_renyi(n, 0.5, &mut StdRng::seed_from_u64(seed));
         let mut rng = StdRng::seed_from_u64(seed + 1);
         let e = random_mpnn_graph(&RandomExprConfig::default(), &mut rng);
-        let fast = eval_with(&e, &g, EvalOptions { guard_fast_path: true });
-        let dense = eval_with(&e, &g, EvalOptions { guard_fast_path: false });
+        let fast = eval_with(&e, &g, EvalOptions { guard_fast_path: true, ..EvalOptions::default() });
+        let dense = eval_with(&e, &g, EvalOptions { guard_fast_path: false, ..EvalOptions::default() });
         prop_assert!(fast.approx_eq(&dense, 1e-9), "ablation changed semantics of {}", e);
     }
 

@@ -8,14 +8,17 @@
 //! * `--bench-json <path>` additionally re-runs the suite pinned to one
 //!   thread — instrumented, one experiment at a time, gel-obs state
 //!   reset between experiments — and writes a machine-readable report
-//!   (`"schema_version": 4`): wall-clock per experiment, serial vs
+//!   (`"schema_version": 5`): wall-clock per experiment, serial vs
 //!   parallel suite times, and a fixed-key per-experiment `metrics`
 //!   object (kernel/refinement span seconds, WL-cache hit rate, buffer
 //!   allocations, dispatch decisions) plus suite-wide `obs` totals
 //!   (including the WL engine's round count, canonical-renaming
 //!   seconds, scratch-allocation rate, and the compiled GEL
-//!   evaluator's span seconds, slab-allocations-per-eval rate, and
-//!   plan-node count) — the file recorded as
+//!   evaluator's span seconds, slab-allocations-per-eval rate,
+//!   plan-node count, sparse-path seconds/nonzeros, and dense-fallback
+//!   count) and a `density_sweep` object (the GEL₃ triangle probe on an
+//!   n × edge-density grid, dense engine vs forced-sparse, with the
+//!   per-density crossover size) — the file recorded as
 //!   `BENCH_parallel.json`. Its key set is guarded by the
 //!   `schema_check` bin in CI. The top-level `wl_cache` object and the
 //!   `obs.wl_cache_*` mirror derive from the *same* instrumented-leg
@@ -145,6 +148,93 @@ fn hot_path_bench() -> (f64, f64, f64) {
     (allocs_per_step, unbatched_s, batched_s)
 }
 
+/// One timed configuration, as the minimum over `rounds` rounds of
+/// `iters` evaluations each (first round discarded as warm-up, same
+/// rationale as `hot_path_bench`).
+fn min_secs_per_iter(rounds: u32, iters: u32, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for round in 0..=rounds {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        if round > 0 {
+            best = best.min(t.elapsed().as_secs_f64() / f64::from(iters));
+        }
+    }
+    best
+}
+
+/// Table-density sweep (DESIGN.md §7): the GEL₃ triangle probe
+/// `Σ_{x1,x2,x3} E(x1,x2)·E(x2,x3)·E(x1,x3)` on an n × edge-density
+/// grid, dense engine vs forced-sparse elimination, each as
+/// min-over-rounds. Returns the `density_sweep` JSON object: one row
+/// per grid point plus the per-density crossover size (the first swept
+/// n where sparse beats dense; `null` when dense stays ahead).
+///
+/// Runs pinned to one thread (the caller pins, and the object records
+/// it as `"threads": 1`): the sparse kernels are serial by design, so
+/// this compares the representations rather than thread scaling.
+fn density_sweep_json() -> String {
+    use gel_graph::random::erdos_renyi;
+    use gel_lang::ast::build;
+    use gel_lang::{Agg, EvalEngine, EvalOptions, Func};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let probe = build::agg_over(
+        Agg::Sum,
+        vec![1, 2, 3],
+        build::apply(
+            Func::Mul { arity: 3, dim: 1 },
+            vec![build::edge(1, 2), build::edge(2, 3), build::edge(1, 3)],
+        ),
+        None,
+    );
+
+    let sizes: [usize; 4] = [16, 32, 48, 64];
+    let densities: [f64; 3] = [0.02, 0.1, 0.3];
+    let mut rows = String::new();
+    let mut crossovers = String::new();
+    for (di, &p) in densities.iter().enumerate() {
+        let mut crossover: Option<usize> = None;
+        for (si, &n) in sizes.iter().enumerate() {
+            let mut grng = StdRng::seed_from_u64(0x5EED ^ n as u64);
+            let g = erdos_renyi(n, p, &mut grng);
+            let mut dense_eng =
+                EvalEngine::with_options(EvalOptions { sparse: false, ..EvalOptions::default() });
+            let dense_s = min_secs_per_iter(3, 8, || {
+                let _ = dense_eng.eval(&probe, &g);
+            });
+            let mut sparse_eng = EvalEngine::with_options(EvalOptions {
+                sparse_min_cells: 0,
+                ..EvalOptions::default()
+            });
+            let sparse_s = min_secs_per_iter(3, 8, || {
+                let _ = sparse_eng.eval(&probe, &g);
+            });
+            if crossover.is_none() && sparse_s < dense_s {
+                crossover = Some(n);
+            }
+            rows.push_str(&format!(
+                "      {{\"n\": {n}, \"density\": {p}, \"dense_s\": {dense_s:.9}, \
+                 \"sparse_s\": {sparse_s:.9}, \"speedup\": {:.3}}}{}\n",
+                dense_s / sparse_s.max(1e-12),
+                if di + 1 < densities.len() || si + 1 < sizes.len() { "," } else { "" },
+            ));
+        }
+        crossovers.push_str(&format!(
+            "      {{\"density\": {p}, \"crossover_n\": {}}}{}\n",
+            crossover.map_or_else(|| "null".to_string(), |n| n.to_string()),
+            if di + 1 < densities.len() { "," } else { "" },
+        ));
+    }
+    format!(
+        "{{\"threads\": 1, \"probe\": \"triangle_gel3\",\n    \"rows\": [\n{rows}    ],\n    \
+         \"crossover\": [\n{crossovers}    ]}}"
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let full = args.iter().any(|a| a == "--full");
@@ -204,6 +294,7 @@ fn main() {
         let threads = rayon::current_num_threads();
         rayon::set_num_threads(1);
         let (allocs_per_step, unbatched_s, batched_s) = hot_path_bench();
+        let density_sweep = density_sweep_json();
         rayon::set_num_threads(0);
 
         // Suite-wide gel-obs totals: fold the per-experiment deltas.
@@ -226,7 +317,7 @@ fn main() {
         let obs_misses = totals.counter("wl.cache.misses");
 
         let mut out = String::from("{\n");
-        out.push_str("  \"schema_version\": 4,\n");
+        out.push_str("  \"schema_version\": 5,\n");
         out.push_str(&format!("  \"obs_enabled\": {},\n", cfg!(feature = "obs")));
         out.push_str(&format!("  \"threads\": {threads},\n"));
         out.push_str(&format!("  \"full_corpus\": {full},\n"));
@@ -245,6 +336,7 @@ fn main() {
             "  \"batched_speedup\": {:.3},\n",
             unbatched_s / batched_s.max(1e-12)
         ));
+        out.push_str(&format!("  \"density_sweep\": {density_sweep},\n"));
         // Both cache views derive from the same instrumented-leg
         // counters (one counting site in gel-wl's cache), so they can
         // never disagree; PR 3's report read the top-level pair from
@@ -260,6 +352,7 @@ fn main() {
              \"scratch_pool_peak\": {:.0}, \"kernel_s\": {:.6}, \"wl_refine_s\": {:.6}, \
              \"kwl_rounds\": {}, \"kwl_renames_s\": {:.6}, \"wl_allocs_per_round\": {:.3}, \
              \"eval_s\": {:.6}, \"eval_allocs_per_probe\": {:.3}, \"eval_plan_nodes\": {}, \
+             \"eval_sparse_s\": {:.6}, \"eval_sparse_nnz\": {}, \"eval_dense_fallbacks\": {}, \
              \"dispatch_parallel\": {}, \"dispatch_serial\": {}}},\n",
             obs_hits,
             obs_misses,
@@ -279,6 +372,9 @@ fn main() {
             totals.leaf_span_total("eval.").secs,
             totals.counter("eval.slab.allocs") as f64 / totals.counter("eval.calls").max(1) as f64,
             totals.counter("eval.plan.nodes"),
+            totals.leaf_span_total("sparse.").secs,
+            totals.counter("eval.sparse.nnz"),
+            totals.counter("eval.sparse.fallbacks"),
             totals.counter("tensor.dispatch.parallel") + totals.counter("rayon.dispatch.parallel"),
             totals.counter("tensor.dispatch.serial") + totals.counter("rayon.dispatch.serial"),
         ));

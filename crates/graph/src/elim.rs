@@ -1,0 +1,131 @@
+//! Shared variable-elimination planning: the min-degree heuristic used
+//! by both the FAQ homomorphism counter (`gel-hom`) and the compiled
+//! GEL evaluator's sparse sum-product kernel (`gel-lang`).
+//!
+//! Both consumers solve the same problem — pick an order in which to
+//! sum out the variables of `Σ_x̄ Π_i F_i(x̄_i)` so the largest
+//! intermediate factor stays small (Khamis–Ngo–Rudra, FAQ, PODS 2016;
+//! the paper's slide 70 "semantic treewidth" connection) — so the
+//! planner lives here, on the hypergraph of factor scopes, below both
+//! crates in the dependency order.
+//!
+//! Determinism: adjacency is kept in `BTreeSet`s and ties in the
+//! degree heuristic break by vertex id, so the returned order is a
+//! pure function of the *set* of scopes — independent of the order in
+//! which scopes are listed or of any hash-map iteration order. The
+//! evaluator caches compiled plans and requires bit-identical replays;
+//! a nondeterministic order would silently reshuffle float summation.
+
+use std::collections::BTreeSet;
+
+/// A min-degree elimination order over the primal graph of `scopes`
+/// (each scope is a clique), restricted to the vertices with
+/// `eliminable[v] == true`. Returns the elimination order (eliminable
+/// vertices only, each exactly once) and the induced width — the
+/// largest number of neighbours a vertex has at the moment it is
+/// eliminated.
+///
+/// Non-eliminable (free) vertices participate in adjacency and
+/// fill-in — they appear in intermediate factor scopes — but are never
+/// summed out, matching an aggregation whose output keeps them.
+///
+/// Ties in the degree heuristic break by smallest vertex id, and the
+/// working adjacency is ordered, so the result is deterministic in the
+/// scope *set* (scope list order is irrelevant).
+///
+/// # Panics
+/// Panics if `eliminable.len() != num_vars` or a scope mentions a
+/// vertex `>= num_vars`.
+pub fn min_degree_order_masked(
+    num_vars: usize,
+    scopes: &[Vec<u32>],
+    eliminable: &[bool],
+) -> (Vec<u32>, usize) {
+    assert_eq!(eliminable.len(), num_vars, "one eliminable flag per vertex");
+    let mut adj: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); num_vars];
+    for scope in scopes {
+        for (i, &a) in scope.iter().enumerate() {
+            assert!((a as usize) < num_vars, "scope vertex {a} out of range");
+            for &b in &scope[i + 1..] {
+                if a != b {
+                    adj[a as usize].insert(b);
+                    adj[b as usize].insert(a);
+                }
+            }
+        }
+    }
+    let goal = eliminable.iter().filter(|&&e| e).count();
+    let mut done = vec![false; num_vars];
+    let mut order = Vec::with_capacity(goal);
+    let mut width = 0usize;
+    for _ in 0..goal {
+        let v = (0..num_vars as u32)
+            .filter(|&v| eliminable[v as usize] && !done[v as usize])
+            .min_by_key(|&v| (adj[v as usize].len(), v))
+            .expect("eliminable vertex remains");
+        width = width.max(adj[v as usize].len());
+        // Fill-in: the neighbours of `v` become the scope of the factor
+        // produced by eliminating it, hence pairwise connected.
+        let nbrs: Vec<u32> = adj[v as usize].iter().copied().collect();
+        for i in 0..nbrs.len() {
+            for j in (i + 1)..nbrs.len() {
+                adj[nbrs[i] as usize].insert(nbrs[j]);
+                adj[nbrs[j] as usize].insert(nbrs[i]);
+            }
+        }
+        for &w in &nbrs {
+            adj[w as usize].remove(&v);
+        }
+        adj[v as usize].clear();
+        done[v as usize] = true;
+        order.push(v);
+    }
+    (order, width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle_scopes(n: u32) -> Vec<Vec<u32>> {
+        (0..n).map(|i| vec![i, (i + 1) % n]).collect()
+    }
+
+    #[test]
+    fn cycle_width_is_two_and_path_is_one() {
+        let (order, w) = min_degree_order_masked(8, &cycle_scopes(8), &[true; 8]);
+        assert_eq!(w, 2);
+        assert_eq!(order.len(), 8);
+        let path: Vec<Vec<u32>> = (0..7).map(|i| vec![i, i + 1]).collect();
+        let (_, wp) = min_degree_order_masked(8, &path, &[true; 8]);
+        assert_eq!(wp, 1);
+    }
+
+    #[test]
+    fn order_is_invariant_under_scope_permutation() {
+        let mut scopes = vec![vec![0u32, 1], vec![1, 2], vec![0, 2], vec![2, 3], vec![3, 4, 5]];
+        let baseline = min_degree_order_masked(6, &scopes, &[true; 6]);
+        // Any listing order of the same scope set gives the same plan.
+        scopes.reverse();
+        assert_eq!(min_degree_order_masked(6, &scopes, &[true; 6]), baseline);
+        scopes.swap(0, 2);
+        assert_eq!(min_degree_order_masked(6, &scopes, &[true; 6]), baseline);
+    }
+
+    #[test]
+    fn mask_keeps_free_vertices_out_of_the_order() {
+        // Triangle 0-1-2 with vertex 0 free (an aggregation output).
+        let scopes = vec![vec![0u32, 1], vec![1, 2], vec![0, 2]];
+        let (order, w) = min_degree_order_masked(3, &scopes, &[false, true, true]);
+        assert_eq!(order.len(), 2);
+        assert!(!order.contains(&0));
+        assert_eq!(w, 2);
+    }
+
+    #[test]
+    fn isolated_eliminable_vertices_have_zero_width() {
+        let (order, w) = min_degree_order_masked(3, &[], &[true; 3]);
+        assert_eq!(order, vec![0, 1, 2]);
+        assert_eq!(w, 0);
+    }
+}

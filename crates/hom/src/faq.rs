@@ -91,40 +91,17 @@ fn eliminate(factors: Vec<Factor>, var: u32, n: usize) -> Vec<Factor> {
 
 /// A min-degree elimination order for the pattern `p` (ties broken by
 /// id). Returns the order and its induced width.
+///
+/// Thin wrapper over the shared planner
+/// [`gel_graph::elim::min_degree_order_masked`] — the compiled GEL
+/// evaluator's sparse sum-product kernel plans with the same function,
+/// so the treewidth heuristic (and its deterministic tie-breaking)
+/// lives in exactly one place.
 pub fn min_degree_order(p: &Graph) -> (Vec<u32>, usize) {
     let n = p.num_vertices();
-    // Moralized working adjacency (undirected).
-    let mut adj: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); n];
-    for (a, b) in p.arcs() {
-        if a != b {
-            adj[a as usize].insert(b);
-            adj[b as usize].insert(a);
-        }
-    }
-    let mut eliminated = vec![false; n];
-    let mut order = Vec::with_capacity(n);
-    let mut width = 0usize;
-    for _ in 0..n {
-        let v = (0..n as u32)
-            .filter(|&v| !eliminated[v as usize])
-            .min_by_key(|&v| (adj[v as usize].len(), v))
-            .unwrap();
-        width = width.max(adj[v as usize].len());
-        // Connect neighbours (fill-in).
-        let nbrs: Vec<u32> = adj[v as usize].iter().copied().collect();
-        for i in 0..nbrs.len() {
-            for j in (i + 1)..nbrs.len() {
-                adj[nbrs[i] as usize].insert(nbrs[j]);
-                adj[nbrs[j] as usize].insert(nbrs[i]);
-            }
-        }
-        for &w in &nbrs {
-            adj[w as usize].remove(&v);
-        }
-        eliminated[v as usize] = true;
-        order.push(v);
-    }
-    (order, width)
+    // Moralized scopes: one 2-clique per (undirected) arc.
+    let scopes: Vec<Vec<u32>> = p.arcs().filter(|(a, b)| a != b).map(|(a, b)| vec![a, b]).collect();
+    gel_graph::elim::min_degree_order_masked(n, &scopes, &vec![true; n])
 }
 
 /// Counts homomorphisms from an arbitrary pattern `p` into `g`
