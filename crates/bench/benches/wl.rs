@@ -5,19 +5,22 @@
 //!
 //! Run with `cargo bench -p gel-bench --bench wl [-- --smoke]`.
 //! `--smoke` shrinks the iteration counts for CI and *asserts* the
-//! engine's zero-allocation contract: refining a high-round instance
-//! to stability grows the tracked refinement scratch
-//! (`wl.scratch.allocs`) by exactly as much as a 2-round warm-up of
-//! the same instance — i.e. every round after the first allocates
-//! nothing. With the `obs` feature off the counter reads zero on both
-//! sides and the gate passes trivially (the instrumented leg is the
-//! binding one).
+//! engine's zero-allocation contract, separately per counter: refining
+//! a high-round instance to stability grows the tracked refinement
+//! scratch — first-use sizing (`wl.scratch.init_allocs`) *and* in-use
+//! regrowth (`wl.scratch.allocs`) — by exactly as much as a 2-round
+//! warm-up of the same instance. I.e. every round after the sizing
+//! phase neither creates a buffer nor grows one. With the `obs`
+//! feature off the counters read zero on both sides and the gate
+//! passes trivially (the instrumented leg is the binding one).
 
 use std::time::Instant;
 
 use gel_graph::cfi::cfi_pair_k4;
 use gel_graph::families::{path, srg_16_6_2_2_pair};
-use gel_wl::{color_refinement, k_wl, wl_scratch_allocs, CrOptions, WlVariant};
+use gel_wl::{
+    color_refinement, k_wl, wl_scratch_allocs, wl_scratch_init_allocs, CrOptions, WlVariant,
+};
 
 fn secs_per_iter(iters: u32, mut f: impl FnMut()) -> f64 {
     // One untimed warm-up call so first-run costs stay out of the mean.
@@ -33,11 +36,11 @@ fn report(name: &str, secs: f64, rounds: usize) {
     println!("{name:<36} {:>10.2} µs/iter   ({rounds} rounds to stability)", secs * 1e6);
 }
 
-/// Tracked-scratch growth across `f`.
-fn scratch_delta(f: impl FnOnce()) -> u64 {
-    let base = wl_scratch_allocs();
+/// Tracked-scratch growth across `f`: `(first-use sizing, regrowth)`.
+fn scratch_delta(f: impl FnOnce()) -> (u64, u64) {
+    let (init, grow) = (wl_scratch_init_allocs(), wl_scratch_allocs());
     f();
-    wl_scratch_allocs() - base
+    (wl_scratch_init_allocs() - init, wl_scratch_allocs() - grow)
 }
 
 fn main() {
@@ -97,7 +100,10 @@ fn main() {
         rounds = color_refinement(&[&long_path], CrOptions::default()).rounds;
     });
     assert!(rounds > 2, "gate needs a many-round instance, got {rounds}");
-    println!("cr_steady_state: {rounds} rounds, scratch growth {full} (warm-up {warm})");
+    println!(
+        "cr_steady_state: {rounds} rounds, scratch init {} regrow {} (warm-up init {} regrow {})",
+        full.0, full.1, warm.0, warm.1
+    );
     let cr_gate = (warm, full);
 
     let short_path = path(18);
@@ -109,11 +115,19 @@ fn main() {
         rounds = k_wl(&[&short_path], 2, WlVariant::Folklore, None).rounds;
     });
     assert!(rounds > 2, "gate needs a many-round instance, got {rounds}");
-    println!("kwl_steady_state: {rounds} rounds, scratch growth {full} (warm-up {warm})");
+    println!(
+        "kwl_steady_state: {rounds} rounds, scratch init {} regrow {} (warm-up init {} regrow {})",
+        full.0, full.1, warm.0, warm.1
+    );
 
     if smoke {
-        assert_eq!(cr_gate.0, cr_gate.1, "CR rounds allocated after warm-up");
-        assert_eq!(warm, full, "2-FWL rounds allocated after warm-up");
+        // Per-counter equality is strictly tighter than the old
+        // combined-total check: no buffer is first-allocated *and* no
+        // buffer regrows after the 2-round warm-up.
+        assert_eq!(cr_gate.0 .0, cr_gate.1 .0, "CR rounds created buffers after warm-up");
+        assert_eq!(cr_gate.0 .1, cr_gate.1 .1, "CR rounds regrew scratch after warm-up");
+        assert_eq!(warm.0, full.0, "2-FWL rounds created buffers after warm-up");
+        assert_eq!(warm.1, full.1, "2-FWL rounds regrew scratch after warm-up");
         println!("smoke OK: steady-state WL refinement rounds are allocation-free");
     }
 }

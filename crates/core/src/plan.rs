@@ -44,6 +44,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use gel_graph::{Graph, Vertex};
+use gel_tensor::kernels::{gather_sum_into, gather_sum_scalar};
 
 use crate::ast::{CmpOp, Expr};
 use crate::eval::EvalOptions;
@@ -1661,19 +1662,30 @@ fn run_agg_nbr(
     let mut vbase = dot(digits, &value.outer_strides);
     for c in 0..cells {
         let cell = &mut out[c * d..(c + 1) * d];
-        cell.fill(0.0);
         let anchor = digits[x_pos] as Vertex;
         let nbrs = if outgoing { g.out_neighbors(anchor) } else { g.in_neighbors(anchor) };
-        let mut count = 0usize;
-        for &w in nbrs {
-            let voff = vbase + w as usize * y_stride;
-            push_acc(agg, cell, &vdata[voff..voff + d], count);
-            count += 1;
-        }
-        if agg == Agg::Mean && count > 0 {
-            let cf = count as f64;
-            for a in cell {
-                *a /= cf;
+        match agg {
+            // Sum/Mean lower to the fused CSR gather: per-column folds
+            // in adjacency order, bit-identical to the push_acc loop.
+            Agg::Sum | Agg::Mean => {
+                if d == 1 {
+                    cell[0] = gather_sum_scalar(vdata, vbase, y_stride, nbrs);
+                } else {
+                    gather_sum_into(cell, vdata, vbase, y_stride, nbrs);
+                }
+                if agg == Agg::Mean && !nbrs.is_empty() {
+                    let cf = nbrs.len() as f64;
+                    for a in cell {
+                        *a /= cf;
+                    }
+                }
+            }
+            Agg::Max | Agg::Min => {
+                cell.fill(0.0);
+                for (count, &w) in nbrs.iter().enumerate() {
+                    let voff = vbase + w as usize * y_stride;
+                    push_acc(agg, cell, &vdata[voff..voff + d], count);
+                }
             }
         }
         if c + 1 < cells {

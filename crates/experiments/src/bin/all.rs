@@ -8,7 +8,7 @@
 //! * `--bench-json <path>` additionally re-runs the suite pinned to one
 //!   thread — instrumented, one experiment at a time, gel-obs state
 //!   reset between experiments — and writes a machine-readable report
-//!   (`"schema_version": 5`): wall-clock per experiment, serial vs
+//!   (`"schema_version": 6`): wall-clock per experiment, serial vs
 //!   parallel suite times, and a fixed-key per-experiment `metrics`
 //!   object (kernel/refinement span seconds, WL-cache hit rate, buffer
 //!   allocations, dispatch decisions) plus suite-wide `obs` totals
@@ -18,8 +18,10 @@
 //!   plan-node count, sparse-path seconds/nonzeros, and dense-fallback
 //!   count) and a `density_sweep` object (the GEL₃ triangle probe on an
 //!   n × edge-density grid, dense engine vs forced-sparse, with the
-//!   per-density crossover size) — the file recorded as
-//!   `BENCH_parallel.json`. Its key set is guarded by the
+//!   per-density crossover size) and a `kernels` object (blocked SIMD
+//!   matmul GFLOP/s vs the ikj oracle with the `simd_speedup` ratio,
+//!   and the fused CSR gather vs the per-neighbour loop) — the file
+//!   recorded as `BENCH_parallel.json`. Its key set is guarded by the
 //!   `schema_check` bin in CI. The top-level `wl_cache` object and the
 //!   `obs.wl_cache_*` mirror derive from the *same* instrumented-leg
 //!   counters, so they always agree. Tables printed to stdout are
@@ -235,6 +237,59 @@ fn density_sweep_json() -> String {
     )
 }
 
+/// Inner-kernel microbench for the bench JSON (`"kernels"` object):
+/// the blocked SIMD matmul vs the PR 6 ikj oracle (GFLOP/s and the
+/// `simd_speedup` ratio, same measurement as `--bench kernels`) and
+/// the fused CSR gather vs the per-neighbour axpy loop. Runs pinned to
+/// one thread (the caller pins): these compare kernel codegen, not
+/// thread scaling.
+fn kernels_json() -> String {
+    use gel_graph::random::erdos_renyi;
+    use gel_tensor::{kernels, Matrix};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let n = 128usize;
+    let a = Matrix::from_fn(n, n, |i, j| ((i * 31 + j * 17) % 61) as f64 * 0.25 - 7.0);
+    let b = Matrix::from_fn(n, n, |i, j| ((i * 13 + j * 41) % 53) as f64 * 0.125 - 3.0);
+    let mut out = Matrix::zeros(n, n);
+    let blocked_s = min_secs_per_iter(3, 16, || a.matmul_into(&b, &mut out));
+    let oracle_s = min_secs_per_iter(3, 16, || kernels::matmul_ikj_into(&a, &b, &mut out));
+    let flops = 2.0 * (n * n * n) as f64;
+
+    let (gn, cols, deg) = (2048usize, 32usize, 8.0);
+    let mut grng = StdRng::seed_from_u64(0xBE7C);
+    let g = erdos_renyi(gn, deg / gn as f64, &mut grng);
+    let x = Matrix::from_fn(gn, cols, |i, j| ((i * 7 + j) % 97) as f64 * 0.03 - 1.4);
+    let mut fused = Matrix::zeros(gn, cols);
+    let fused_s = min_secs_per_iter(3, 16, || gel_gnn::agg::sum_forward_into(&g, &x, &mut fused));
+    let mut naive = Matrix::zeros(gn, cols);
+    let naive_s = min_secs_per_iter(3, 16, || {
+        for v in g.vertices() {
+            let row = naive.row_mut(v as usize);
+            row.fill(0.0);
+            for &u in g.out_neighbors(v) {
+                for (o, &xv) in row.iter_mut().zip(x.row(u as usize)) {
+                    *o += xv;
+                }
+            }
+        }
+    });
+    assert_eq!(fused, naive, "fused gather must stay bit-identical to the axpy loop");
+
+    format!(
+        "{{\"threads\": 1, \"matmul_n\": {n}, \"blocked_gflops\": {:.3}, \
+         \"oracle_gflops\": {:.3}, \"simd_speedup\": {:.3}, \"gather_fused_s\": {:.9}, \
+         \"gather_naive_s\": {:.9}, \"gather_speedup\": {:.3}}}",
+        flops / blocked_s.max(1e-12) / 1e9,
+        flops / oracle_s.max(1e-12) / 1e9,
+        oracle_s / blocked_s.max(1e-12),
+        fused_s,
+        naive_s,
+        naive_s / fused_s.max(1e-12),
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let full = args.iter().any(|a| a == "--full");
@@ -295,6 +350,7 @@ fn main() {
         rayon::set_num_threads(1);
         let (allocs_per_step, unbatched_s, batched_s) = hot_path_bench();
         let density_sweep = density_sweep_json();
+        let kernels = kernels_json();
         rayon::set_num_threads(0);
 
         // Suite-wide gel-obs totals: fold the per-experiment deltas.
@@ -317,7 +373,7 @@ fn main() {
         let obs_misses = totals.counter("wl.cache.misses");
 
         let mut out = String::from("{\n");
-        out.push_str("  \"schema_version\": 5,\n");
+        out.push_str("  \"schema_version\": 6,\n");
         out.push_str(&format!("  \"obs_enabled\": {},\n", cfg!(feature = "obs")));
         out.push_str(&format!("  \"threads\": {threads},\n"));
         out.push_str(&format!("  \"full_corpus\": {full},\n"));
@@ -337,6 +393,7 @@ fn main() {
             unbatched_s / batched_s.max(1e-12)
         ));
         out.push_str(&format!("  \"density_sweep\": {density_sweep},\n"));
+        out.push_str(&format!("  \"kernels\": {kernels},\n"));
         // Both cache views derive from the same instrumented-leg
         // counters (one counting site in gel-wl's cache), so they can
         // never disagree; PR 3's report read the top-level pair from
@@ -351,6 +408,7 @@ fn main() {
              \"wl_cache_hit_rate\": {:.4}, \"buffer_allocs\": {}, \"scratch_takes\": {}, \
              \"scratch_pool_peak\": {:.0}, \"kernel_s\": {:.6}, \"wl_refine_s\": {:.6}, \
              \"kwl_rounds\": {}, \"kwl_renames_s\": {:.6}, \"wl_allocs_per_round\": {:.3}, \
+             \"wl_init_allocs\": {}, \
              \"eval_s\": {:.6}, \"eval_allocs_per_probe\": {:.3}, \"eval_plan_nodes\": {}, \
              \"eval_sparse_s\": {:.6}, \"eval_sparse_nnz\": {}, \"eval_dense_fallbacks\": {}, \
              \"dispatch_parallel\": {}, \"dispatch_serial\": {}}},\n",
@@ -369,6 +427,7 @@ fn main() {
             wl_rounds,
             totals.leaf_span_total("wl.rename").secs,
             totals.counter("wl.scratch.allocs") as f64 / wl_rounds.max(1) as f64,
+            totals.counter("wl.scratch.init_allocs"),
             totals.leaf_span_total("eval.").secs,
             totals.counter("eval.slab.allocs") as f64 / totals.counter("eval.calls").max(1) as f64,
             totals.counter("eval.plan.nodes"),

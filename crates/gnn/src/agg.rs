@@ -8,6 +8,7 @@
 //! delegates to it, so both paths are bit-identical by construction.
 
 use gel_graph::Graph;
+use gel_tensor::kernels::{gather_sum_into, gather_wsum_into};
 use gel_tensor::Matrix;
 
 /// Sum aggregation `S_v = Σ_{u ∈ N_out(v)} X_u` (i.e. `S = A·X`).
@@ -17,19 +18,16 @@ pub fn sum_forward(g: &Graph, x: &Matrix) -> Matrix {
     out
 }
 
-/// [`sum_forward`] into `out` (reshaped as needed).
+/// [`sum_forward`] into `out` (reshaped as needed). Each row is one
+/// fused CSR gather ([`gather_sum_into`]): same per-column neighbour
+/// fold order as the per-neighbour axpy loop, so bit-identical to it.
 pub fn sum_forward_into(g: &Graph, x: &Matrix, out: &mut Matrix) {
     let n = g.num_vertices();
     assert_eq!(x.rows(), n, "feature row count must match |V|");
-    out.ensure_shape(n, x.cols());
+    let cols = x.cols();
+    out.ensure_shape(n, cols);
     for v in g.vertices() {
-        let row = out.row_mut(v as usize);
-        row.fill(0.0);
-        for &u in g.out_neighbors(v) {
-            for (o, &xv) in row.iter_mut().zip(x.row(u as usize)) {
-                *o += xv;
-            }
-        }
+        gather_sum_into(out.row_mut(v as usize), x.data(), 0, cols, g.out_neighbors(v));
     }
 }
 
@@ -41,18 +39,18 @@ pub fn sum_backward(g: &Graph, grad_out: &Matrix) -> Matrix {
 }
 
 /// [`sum_backward`] into `out` (reshaped as needed).
+///
+/// The adjoint scatter (`out[u] += grad[v]` for `u ∈ N_out(v)`, `v`
+/// ascending) is rewritten as a gather over *in*-neighbours:
+/// `out[u] = Σ_{v ∈ N_in(u)} grad[v]`. CSR adjacency lists are sorted
+/// ascending, so the per-cell fold order — and therefore every bit of
+/// the result — matches the scatter formulation exactly.
 pub fn sum_backward_into(g: &Graph, grad_out: &Matrix, out: &mut Matrix) {
     let n = g.num_vertices();
-    out.ensure_shape(n, grad_out.cols());
-    out.fill(0.0);
-    for v in g.vertices() {
-        let gr = grad_out.row(v as usize);
-        for &u in g.out_neighbors(v) {
-            let row = out.row_mut(u as usize);
-            for (o, &gv) in row.iter_mut().zip(gr) {
-                *o += gv;
-            }
-        }
+    let cols = grad_out.cols();
+    out.ensure_shape(n, cols);
+    for u in g.vertices() {
+        gather_sum_into(out.row_mut(u as usize), grad_out.data(), 0, cols, g.in_neighbors(u));
     }
 }
 
@@ -86,28 +84,29 @@ pub fn mean_backward(g: &Graph, grad_out: &Matrix) -> Matrix {
 }
 
 /// [`mean_backward`] into `out` (reshaped as needed). The degree
-/// scaling is folded into the scatter loop — no scaled copy of
-/// `grad_out` is materialized — and scattering `grad_out[v] · (1/d_v)`
-/// per neighbour multiplies the same two floats the pre-scaled copy
-/// held, so the result is bit-identical to the old
-/// clone-then-sum_backward formulation.
+/// scaling is folded into the gather weight — no scaled copy of
+/// `grad_out` is materialized — and multiplying `grad_out[v] · (1/d_v)`
+/// per contribution multiplies the same two floats the pre-scaled copy
+/// held. Like [`sum_backward_into`], the adjoint runs as an
+/// in-neighbour gather ([`gather_wsum_into`]); sorted CSR lists keep
+/// the fold order identical to the scatter formulation, so the result
+/// is bit-identical to the old clone-then-sum_backward one.
+///
+/// Every `v ∈ N_in(u)` has `d_v ≥ 1` (it has the arc `v → u`), so the
+/// weight is always finite.
 pub fn mean_backward_into(g: &Graph, grad_out: &Matrix, out: &mut Matrix) {
     let n = g.num_vertices();
-    out.ensure_shape(n, grad_out.cols());
-    out.fill(0.0);
-    for v in g.vertices() {
-        let d = g.out_degree(v);
-        if d == 0 {
-            continue;
-        }
-        let inv = 1.0 / d as f64;
-        let gr = grad_out.row(v as usize);
-        for &u in g.out_neighbors(v) {
-            let row = out.row_mut(u as usize);
-            for (o, &gv) in row.iter_mut().zip(gr) {
-                *o += gv * inv;
-            }
-        }
+    let cols = grad_out.cols();
+    out.ensure_shape(n, cols);
+    for u in g.vertices() {
+        gather_wsum_into(
+            out.row_mut(u as usize),
+            grad_out.data(),
+            0,
+            cols,
+            g.in_neighbors(u),
+            |v| 1.0 / g.out_degree(v) as f64,
+        );
     }
 }
 

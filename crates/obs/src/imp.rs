@@ -43,15 +43,30 @@ struct Shard {
     /// Open-span stack: names and start times, parallel vectors.
     names: Vec<&'static str>,
     starts: Vec<Instant>,
-    /// Completed-span accumulation keyed by the full name path
-    /// (`Vec<&str>` so lookups borrow the live stack — no per-span
-    /// allocation once a path has been seen on this thread).
-    spans: BTreeMap<Vec<&'static str>, SpanStat>,
+    /// Completed-span accumulation: path → slot in `stats`. Keyed by
+    /// `Vec<&str>` so lookups borrow the live stack — no per-span
+    /// allocation once a path has been seen on this thread.
+    span_ids: BTreeMap<Vec<&'static str>, usize>,
+    stats: Vec<SpanStat>,
+    /// One-entry cache of the last closed span's path and slot:
+    /// tight loops close the same span millions of times in a row, and
+    /// a handful of pointer compares ([`same_path`]) beats walking the
+    /// map with by-content string comparisons every close.
+    last_path: Vec<&'static str>,
+    last_id: usize,
+}
+
+/// Whether two span paths are the same stack of name literals, by
+/// pointer identity. Distinct literals with equal text miss the cache
+/// and fall back to the by-content map lookup — slower, never wrong.
+#[inline]
+fn same_path(a: &[&'static str], b: &[&'static str]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| std::ptr::eq(*x, *y))
 }
 
 impl Shard {
     fn flush(&mut self) {
-        if self.counts.iter().all(|&c| c == 0) && self.spans.is_empty() {
+        if self.counts.iter().all(|&c| c == 0) && self.span_ids.is_empty() {
             return;
         }
         let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
@@ -62,12 +77,15 @@ impl Shard {
                 *pending = 0;
             }
         }
-        for (path, stat) in std::mem::take(&mut self.spans) {
+        for (path, id) in std::mem::take(&mut self.span_ids) {
+            let stat = self.stats[id];
             let key = path.join("/");
             let slot = reg.spans.entry(key).or_default();
             slot.count += stat.count;
             slot.secs += stat.secs;
         }
+        self.stats.clear();
+        self.last_path.clear();
     }
 }
 
@@ -246,12 +264,25 @@ impl Drop for SpanGuard {
         with_shard(|s| {
             let Some(start) = s.starts.pop() else { return };
             let secs = start.elapsed().as_secs_f64();
-            if let Some(stat) = s.spans.get_mut(s.names.as_slice()) {
-                stat.count += 1;
-                stat.secs += secs;
+            let id = if same_path(&s.last_path, &s.names) {
+                s.last_id
             } else {
-                s.spans.insert(s.names.clone(), SpanStat { count: 1, secs });
-            }
+                let id = match s.span_ids.get(s.names.as_slice()) {
+                    Some(&id) => id,
+                    None => {
+                        let id = s.stats.len();
+                        s.stats.push(SpanStat::default());
+                        s.span_ids.insert(s.names.clone(), id);
+                        id
+                    }
+                };
+                s.last_path.clear();
+                s.last_path.extend_from_slice(&s.names);
+                s.last_id = id;
+                id
+            };
+            s.stats[id].count += 1;
+            s.stats[id].secs += secs;
             s.names.pop();
         });
     }
@@ -288,7 +319,9 @@ pub fn snapshot() -> Snapshot {
 pub fn reset() {
     with_shard(|s| {
         s.counts.iter_mut().for_each(|c| *c = 0);
-        s.spans.clear();
+        s.span_ids.clear();
+        s.stats.clear();
+        s.last_path.clear();
     });
     let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
     reg.counter_totals.iter_mut().for_each(|t| *t = 0);

@@ -1,0 +1,624 @@
+//! Register-blocked, cache-tiled inner kernels.
+//!
+//! Every dense matmul entry point on [`Matrix`] and the CSR
+//! neighbour-gathers in `gel-gnn` / `gel-core` bottom out here. The
+//! kernels are written in safe stable Rust — fixed-size array
+//! accumulators and `chunks_exact`-style slicing the autovectorizer
+//! reliably lowers to packed SIMD — with two hard contracts:
+//!
+//! 1. **Fixed accumulation order.** Each output cell folds its terms in
+//!    ascending `k` (resp. ascending neighbour) order, exactly like the
+//!    scalar reference loops. Vectorization happens *across* output
+//!    cells (independent accumulator chains), never *within* one cell's
+//!    chain, so no sum is ever reassociated. K-panel blocking spills
+//!    exact partial sums to `out` between panels, which leaves every
+//!    per-cell chain `((0 + Σ panel₀) + Σ panel₁) + …` — the same
+//!    binary additions in the same order as one straight pass. B-panel
+//!    packing copies operand values into a contiguous scratch tile
+//!    before the inner loop; a copy changes which address a value is
+//!    read from, never the value or the fold order.
+//! 2. **Thread-count independence.** A kernel computes rows
+//!    `[row0, row0 + rows)` of the output from a borrowed slice; the
+//!    parallel dispatchers in `matrix.rs` split the output into
+//!    fixed-size [`PAR_ROWS`]-row blocks, so every cell is produced by
+//!    the identical instruction sequence no matter how the blocks land
+//!    on threads.
+//!
+//! The matmul cores diverge from the PR 6 kernels in two reviewed,
+//! *deterministic* ways (the gather kernels diverge in neither and stay
+//! bit-identical to their reference loops):
+//!
+//! * the `a == 0.0` skip is dropped — a skipped term contributes
+//!   `±0.0`, which only matters for signed-zero/NaN corners that the
+//!   workloads never produce (the same caveat DESIGN.md §7 documents
+//!   for the sparse path);
+//! * each multiply-add step is an explicit [`f64::mul_add`] — the
+//!   correctly-rounded IEEE fma, one rounding instead of two. rustc
+//!   never contracts `a * b + c` on its own, so this is a deliberate
+//!   kernel property, not a target-dependent accident: `mul_add` yields
+//!   the same bits on every CPU (the soft-float fallback is the same
+//!   correctly-rounded operation), keeping results machine- and
+//!   thread-count-independent while roughly doubling peak throughput
+//!   on fma hardware.
+//!
+//! [`matmul_ikj_into`] keeps the old loop alive as the property-test
+//! oracle (≤1e-12 relative error) and the bench baseline for
+//! `simd_speedup`.
+
+use crate::matrix::Matrix;
+
+/// Rows per register tile: four independent accumulator rows is enough
+/// instruction-level parallelism to hide the multiply-add latency
+/// without spilling the tile out of 16 vector registers.
+pub const MR: usize = 4;
+/// Columns per register tile: 8 f64 = two f64×4 vector accumulators per
+/// row; the 4×8 tile holds 32 partial sums entirely in registers.
+pub const NR: usize = 8;
+/// K-panel depth: one packed B panel is `KC × NR × 8` bytes (16 KiB,
+/// half of a typical L1d), streamed once per row tile while the partial
+/// sums spill to `out` exactly once per panel.
+const KC: usize = 256;
+
+/// Shallow-product cutoff: for `kk ≤ SMALL_KC` the B panel fits a
+/// 1 KiB stack buffer whose zero-init is a few cycles, so [`gemm_into`]
+/// skips the thread-local scratch entirely. The GNN training loops in
+/// the experiment suite issue hundreds of thousands of sub-microsecond
+/// products with `kk ∈ {8, 16}`, where every nanosecond of per-call
+/// setup shows up in the suite profile. Purely a scheduling decision:
+/// both buffers feed the identical packed tiles.
+const SMALL_KC: usize = 16;
+
+/// Rows per parallel work block (a multiple of [`MR`]): big enough to
+/// amortize one B-panel packing pass over `PAR_ROWS / MR` register
+/// tiles, small enough to split medium matrices across a pool. Block
+/// boundaries never affect values — each cell's fold only depends on
+/// its own row — so any fixed block size is bit-identical to serial.
+pub const PAR_ROWS: usize = 16;
+
+/// `out[li..][..MR rows × NR cols] (+)= A[gi.., k0..k0+kl] · Bpanel`,
+/// with `A` row-major (`a[i * lda + k]`) and `bp` a packed `kl × NR`
+/// column panel of `B` (see [`gemm_into`]). `first` selects "initialize
+/// from zero" vs "continue from the partial sums already in `out`".
+///
+/// The whole inner loop is lockstep zips over `chunks_exact` and fixed
+/// arrays, so it lowers to branchless packed fma with no bound checks.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn tile_rm(
+    a: &[f64],
+    lda: usize,
+    gi: usize,
+    k0: usize,
+    kl: usize,
+    bp: &[f64],
+    first: bool,
+    out: &mut [f64],
+    li: usize,
+    jo: usize,
+    n: usize,
+) {
+    let mut acc = [[0.0f64; NR]; MR];
+    if !first {
+        for (r, accr) in acc.iter_mut().enumerate() {
+            accr.copy_from_slice(&out[(li + r) * n + jo..][..NR]);
+        }
+    }
+    let a0 = &a[gi * lda + k0..][..kl];
+    let a1 = &a[(gi + 1) * lda + k0..][..kl];
+    let a2 = &a[(gi + 2) * lda + k0..][..kl];
+    let a3 = &a[(gi + 3) * lda + k0..][..kl];
+    for ((((bv, &r0), &r1), &r2), &r3) in bp.chunks_exact(NR).zip(a0).zip(a1).zip(a2).zip(a3) {
+        let bv: &[f64; NR] = bv.try_into().unwrap();
+        let av = [r0, r1, r2, r3];
+        for (accr, &ar) in acc.iter_mut().zip(&av) {
+            for (o, &bc) in accr.iter_mut().zip(bv) {
+                *o = ar.mul_add(bc, *o);
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        out[(li + r) * n + jo..][..NR].copy_from_slice(accr);
+    }
+}
+
+/// [`tile_rm`] with `A` accessed transposed (`a[k * lda + i]`): the
+/// `MR` A-values per `k` step are contiguous, so the tile reads one
+/// short vector from each operand per iteration. Requires
+/// `gi + MR <= lda` (always true here: `lda` is the output row count
+/// for the transposed operand).
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn tile_cm(
+    a: &[f64],
+    lda: usize,
+    gi: usize,
+    k0: usize,
+    bp: &[f64],
+    first: bool,
+    out: &mut [f64],
+    li: usize,
+    jo: usize,
+    n: usize,
+) {
+    let mut acc = [[0.0f64; NR]; MR];
+    if !first {
+        for (r, accr) in acc.iter_mut().enumerate() {
+            accr.copy_from_slice(&out[(li + r) * n + jo..][..NR]);
+        }
+    }
+    // chunk t starts at a[(k0 + t) * lda + gi]; bp's chunk count (= kl)
+    // bounds the zip.
+    let astep = a[k0 * lda + gi..].chunks(lda);
+    for (bv, arow) in bp.chunks_exact(NR).zip(astep) {
+        let bv: &[f64; NR] = bv.try_into().unwrap();
+        let av: &[f64; MR] = arow[..MR].try_into().unwrap();
+        for (accr, &ar) in acc.iter_mut().zip(av) {
+            for (o, &bc) in accr.iter_mut().zip(bv) {
+                *o = ar.mul_add(bc, *o);
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        out[(li + r) * n + jo..][..NR].copy_from_slice(accr);
+    }
+}
+
+/// One-row variant of [`tile_rm`] for row tails (`rows % MR ≠ 0`,
+/// ubiquitous here: graphs in the corpus have ~17–25 nodes): a single
+/// [`NR`]-wide vector accumulator instead of scalar per-cell loops.
+/// Same per-cell ascending-`k` chains, so same bits as [`edge_cells`].
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn tile_rm1(
+    a: &[f64],
+    lda: usize,
+    gi: usize,
+    k0: usize,
+    kl: usize,
+    bp: &[f64],
+    first: bool,
+    out: &mut [f64],
+    li: usize,
+    jo: usize,
+    n: usize,
+) {
+    let mut acc = [0.0f64; NR];
+    if !first {
+        acc.copy_from_slice(&out[li * n + jo..][..NR]);
+    }
+    let arow = &a[gi * lda + k0..][..kl];
+    for (bv, &av) in bp.chunks_exact(NR).zip(arow) {
+        let bv: &[f64; NR] = bv.try_into().unwrap();
+        for (o, &bc) in acc.iter_mut().zip(bv) {
+            *o = av.mul_add(bc, *o);
+        }
+    }
+    out[li * n + jo..][..NR].copy_from_slice(&acc);
+}
+
+/// [`tile_rm1`] with `A` accessed transposed (`a[k * lda + i]`).
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn tile_cm1(
+    a: &[f64],
+    lda: usize,
+    gi: usize,
+    k0: usize,
+    bp: &[f64],
+    first: bool,
+    out: &mut [f64],
+    li: usize,
+    jo: usize,
+    n: usize,
+) {
+    let mut acc = [0.0f64; NR];
+    if !first {
+        acc.copy_from_slice(&out[li * n + jo..][..NR]);
+    }
+    for (t, bv) in bp.chunks_exact(NR).enumerate() {
+        let bv: &[f64; NR] = bv.try_into().unwrap();
+        let av = a[(k0 + t) * lda + gi];
+        for (o, &bc) in acc.iter_mut().zip(bv) {
+            *o = av.mul_add(bc, *o);
+        }
+    }
+    out[li * n + jo..][..NR].copy_from_slice(&acc);
+}
+
+/// Scalar edge cells (row/column tails narrower than a full tile):
+/// per-cell ascending-`k` folds, byte-for-byte the same chain the fast
+/// tiles produce for interior cells. Reads `B` unpacked, in either
+/// layout (`bt` = transposed, `b[j * ldb + k]`).
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn edge_cells(
+    a: &[f64],
+    lda: usize,
+    at: bool,
+    b: &[f64],
+    ldb: usize,
+    bt: bool,
+    gi0: usize,
+    li0: usize,
+    mr: usize,
+    j0: usize,
+    nc: usize,
+    k0: usize,
+    kl: usize,
+    first: bool,
+    out: &mut [f64],
+    n: usize,
+) {
+    for r in 0..mr {
+        let orow = &mut out[(li0 + r) * n + j0..][..nc];
+        for (c, o) in orow.iter_mut().enumerate() {
+            let j = j0 + c;
+            let mut s = if first { 0.0 } else { *o };
+            for t in 0..kl {
+                let k = k0 + t;
+                let av = if at { a[k * lda + gi0 + r] } else { a[(gi0 + r) * lda + k] };
+                let bv = if bt { b[j * ldb + k] } else { b[k * ldb + j] };
+                s = av.mul_add(bv, s);
+            }
+            *o = s;
+        }
+    }
+}
+
+/// The shared blocked GEMM core: writes rows `[row0, row0 + rows)` of
+/// `C = A·B` into `out`, where `rows · n = out.len()`, `A(i, k)` lives
+/// at `a[i * lda + k]` (`at = false`) or `a[k * lda + i]` (`at = true`),
+/// and `B(k, j)` lives at `b[k * ldb + j]` (`bt = false`) or
+/// `b[j * ldb + k]` (`bt = true` — this is how `C = A·Bᵀ` runs on the
+/// same core).
+///
+/// Structure: panels over `k` (depth [`KC`]); per column tile the `B`
+/// panel is packed — transposing if `bt` — into a contiguous stack
+/// buffer reused across all [`MR`]×[`NR`] register tiles of the block,
+/// which removes every bound check and strided access from the inner
+/// loop. See the module docs for the accumulation-order contract.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_into(
+    a: &[f64],
+    lda: usize,
+    at: bool,
+    b: &[f64],
+    ldb: usize,
+    bt: bool,
+    kk: usize,
+    row0: usize,
+    rows: usize,
+    n: usize,
+    out: &mut [f64],
+) {
+    if n == 0 {
+        return;
+    }
+    debug_assert_eq!(out.len(), rows * n);
+    if kk == 0 {
+        out.fill(0.0);
+        return;
+    }
+    // `B` rows exactly NR wide and untransposed: the rows *are* the
+    // packed panel (`b[k0 * NR..]` is a contiguous kl × NR tile), so no
+    // buffer is needed at all. This covers every `C = A·B` / `C = Aᵀ·B`
+    // product with an 8-column right operand — the suite's hottest case.
+    if !bt && ldb == NR && n == NR {
+        gemm_panels(a, lda, at, b, ldb, bt, kk, row0, n, out, rows, &mut []);
+        return;
+    }
+    // Shallow products pack into a small stack buffer instead of the
+    // thread-local scratch (see [`SMALL_KC`]); same tiles, same bits.
+    if kk <= SMALL_KC {
+        let mut buf = [0.0f64; SMALL_KC * NR];
+        gemm_panels(a, lda, at, b, ldb, bt, kk, row0, n, out, rows, &mut buf);
+        return;
+    }
+    // Reusable per-thread pack buffer: a fresh `[0.0; KC * NR]` stack
+    // array would cost a 16 KiB zero-init on *every* call, which
+    // dominates the many sub-microsecond matmuls in GNN training loops.
+    // The thread-local Vec is sized once per thread and reused; only
+    // `[..kl * NR]` is read after being written each panel.
+    thread_local! {
+        static BPACK: std::cell::RefCell<Vec<f64>> =
+            const { std::cell::RefCell::new(Vec::new()) };
+    }
+    BPACK.with(|cell| {
+        let mut buf = cell.borrow_mut();
+        if buf.len() < KC * NR {
+            buf.resize(KC * NR, 0.0);
+        }
+        gemm_panels(a, lda, at, b, ldb, bt, kk, row0, n, out, rows, &mut buf);
+    });
+}
+
+/// The panel/tile loops of [`gemm_into`], with the pack buffer
+/// provided by the caller.
+#[allow(clippy::too_many_arguments)]
+fn gemm_panels(
+    a: &[f64],
+    lda: usize,
+    at: bool,
+    b: &[f64],
+    ldb: usize,
+    bt: bool,
+    kk: usize,
+    row0: usize,
+    n: usize,
+    out: &mut [f64],
+    rows: usize,
+    bpack: &mut [f64],
+) {
+    let mut k0 = 0;
+    while k0 < kk {
+        let kl = (kk - k0).min(KC);
+        let first = k0 == 0;
+        let mut j = 0;
+        while j + NR <= n {
+            let bp: &[f64] = if !bt && ldb == NR && n == NR {
+                // Zero-copy: `B`'s rows are already a contiguous panel.
+                &b[k0 * NR..][..kl * NR]
+            } else if bt {
+                // Column-outer transpose: read each B row's
+                // `[k0, k0 + kl)` slice contiguously and scatter it down
+                // panel column `c` (stride-NR writes) — one pass per
+                // operand row instead of one strided probe per element.
+                for (c, brow) in b[j * ldb..].chunks(ldb).take(NR).enumerate() {
+                    let col = bpack[c..kl * NR].iter_mut().step_by(NR);
+                    for (p, &v) in col.zip(&brow[k0..k0 + kl]) {
+                        *p = v;
+                    }
+                }
+                &bpack[..kl * NR]
+            } else {
+                for (t, prow) in bpack[..kl * NR].chunks_exact_mut(NR).enumerate() {
+                    prow.copy_from_slice(&b[(k0 + t) * ldb + j..][..NR]);
+                }
+                &bpack[..kl * NR]
+            };
+            let mut i = 0;
+            while i + MR <= rows {
+                if at {
+                    tile_cm(a, lda, row0 + i, k0, bp, first, out, i, j, n);
+                } else {
+                    tile_rm(a, lda, row0 + i, k0, kl, bp, first, out, i, j, n);
+                }
+                i += MR;
+            }
+            while i < rows {
+                if at {
+                    tile_cm1(a, lda, row0 + i, k0, bp, first, out, i, j, n);
+                } else {
+                    tile_rm1(a, lda, row0 + i, k0, kl, bp, first, out, i, j, n);
+                }
+                i += 1;
+            }
+            j += NR;
+        }
+        if j < n {
+            edge_cells(a, lda, at, b, ldb, bt, row0, 0, rows, j, n - j, k0, kl, first, out, n);
+        }
+        k0 += kl;
+    }
+}
+
+/// Fused CSR-neighbour gather: `out[c] = Σ_t src[base + idx[t]·stride + c]`
+/// for `c < out.len()`, folding neighbours in `idx` order per column.
+/// Column-chunked (8 / 4 / scalar tail) register accumulators turn the
+/// per-neighbour row-axpy loop into one streamed pass with no
+/// intermediate loads/stores of `out`; per-column fold order is
+/// unchanged, so results are bit-identical to the naive loop.
+pub fn gather_sum_into(out: &mut [f64], src: &[f64], base: usize, stride: usize, idx: &[u32]) {
+    let w = out.len();
+    let mut j = 0;
+    while j + 8 <= w {
+        let mut acc = [0.0f64; 8];
+        for &u in idx {
+            let rv: &[f64; 8] = src[base + u as usize * stride + j..][..8].try_into().unwrap();
+            for (o, &x) in acc.iter_mut().zip(rv) {
+                *o += x;
+            }
+        }
+        out[j..j + 8].copy_from_slice(&acc);
+        j += 8;
+    }
+    if j + 4 <= w {
+        let mut acc = [0.0f64; 4];
+        for &u in idx {
+            let rv: &[f64; 4] = src[base + u as usize * stride + j..][..4].try_into().unwrap();
+            for (o, &x) in acc.iter_mut().zip(rv) {
+                *o += x;
+            }
+        }
+        out[j..j + 4].copy_from_slice(&acc);
+        j += 4;
+    }
+    for (c, o) in out[j..w].iter_mut().enumerate() {
+        let mut s = 0.0;
+        for &u in idx {
+            s += src[base + u as usize * stride + j + c];
+        }
+        *o = s;
+    }
+}
+
+/// [`gather_sum_into`] with a per-neighbour weight (e.g. `1/deg(u)` for
+/// the mean-aggregation adjoint): `out[c] = Σ_t src[…] · weight(idx[t])`,
+/// same fold order and therefore bit-identical to the weighted
+/// per-neighbour axpy loop.
+pub fn gather_wsum_into(
+    out: &mut [f64],
+    src: &[f64],
+    base: usize,
+    stride: usize,
+    idx: &[u32],
+    weight: impl Fn(u32) -> f64 + Copy,
+) {
+    let w = out.len();
+    let mut j = 0;
+    while j + 8 <= w {
+        let mut acc = [0.0f64; 8];
+        for &u in idx {
+            let wt = weight(u);
+            let rv: &[f64; 8] = src[base + u as usize * stride + j..][..8].try_into().unwrap();
+            for (o, &x) in acc.iter_mut().zip(rv) {
+                *o += x * wt;
+            }
+        }
+        out[j..j + 8].copy_from_slice(&acc);
+        j += 8;
+    }
+    if j + 4 <= w {
+        let mut acc = [0.0f64; 4];
+        for &u in idx {
+            let wt = weight(u);
+            let rv: &[f64; 4] = src[base + u as usize * stride + j..][..4].try_into().unwrap();
+            for (o, &x) in acc.iter_mut().zip(rv) {
+                *o += x * wt;
+            }
+        }
+        out[j..j + 4].copy_from_slice(&acc);
+        j += 4;
+    }
+    for (c, o) in out[j..w].iter_mut().enumerate() {
+        let mut s = 0.0;
+        for &u in idx {
+            s += src[base + u as usize * stride + j + c] * weight(u);
+        }
+        *o = s;
+    }
+}
+
+/// Width-1 gather: one strictly sequential sum over the neighbour list
+/// (a single chain must stay scalar — no reassociation).
+#[inline]
+pub fn gather_sum_scalar(src: &[f64], base: usize, stride: usize, idx: &[u32]) -> f64 {
+    let mut s = 0.0;
+    for &u in idx {
+        s += src[base + u as usize * stride];
+    }
+    s
+}
+
+/// The PR 6 reference matmul (ikj streaming loop with the `a == 0.0`
+/// skip), kept as the property-test oracle and the `simd_speedup`
+/// baseline for `--bench kernels`. Not used on any hot path.
+pub fn matmul_ikj_into(a: &Matrix, rhs: &Matrix, out: &mut Matrix) {
+    assert_eq!(a.cols(), rhs.rows(), "matmul shape mismatch");
+    out.ensure_shape(a.rows(), rhs.cols());
+    let n = rhs.cols();
+    for i in 0..a.rows() {
+        let a_row = a.row(i);
+        let out_row = &mut out.data_mut()[i * n..(i + 1) * n];
+        out_row.fill(0.0);
+        for (k, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &rhs.data()[k * n..(k + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat(rows: usize, cols: usize, seed: u64) -> Matrix {
+        Matrix::from_fn(rows, cols, |i, j| {
+            let h = (i as u64)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add((j as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9))
+                .wrapping_add(seed);
+            ((h >> 17) % 4096) as f64 / 512.0 - 4.0
+        })
+    }
+
+    #[test]
+    fn gemm_matches_oracle_on_ragged_shapes() {
+        let mut blocked = Matrix::default();
+        let mut oracle = Matrix::default();
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (4, 8, 8), (5, 9, 13), (8, 300, 17), (13, 257, 9)]
+        {
+            let a = mat(m, k, 11);
+            let b = mat(k, n, 23);
+            a.matmul_into(&b, &mut blocked);
+            matmul_ikj_into(&a, &b, &mut oracle);
+            let tol = 1e-12 * oracle.max_abs().max(1.0);
+            assert!(
+                blocked.approx_eq(&oracle, tol),
+                "blocked gemm diverges from oracle at {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn kpanel_spill_preserves_order_exactly() {
+        // k > KC forces the panel spill/reload path; the per-cell chain
+        // must equal one straight ascending-k pass bit-for-bit.
+        let (m, k, n) = (5, 2 * KC + 3, 9);
+        let a = mat(m, k, 5);
+        let b = mat(k, n, 7);
+        let mut blocked = Matrix::default();
+        a.matmul_into(&b, &mut blocked);
+        let mut straight = Matrix::zeros(m, n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0f64;
+                for t in 0..k {
+                    s = a[(i, t)].mul_add(b[(t, j)], s);
+                }
+                straight[(i, j)] = s;
+            }
+        }
+        assert_eq!(blocked, straight);
+    }
+
+    #[test]
+    fn gather_matches_naive_axpy_bitwise() {
+        let src = mat(32, 11, 3);
+        let idx: Vec<u32> = vec![3, 3, 7, 0, 31, 12, 12, 5];
+        for w in [1, 3, 4, 7, 8, 11] {
+            let mut fused = vec![0.0; w];
+            gather_sum_into(&mut fused, src.data(), 0, 11, &idx);
+            let mut naive = vec![0.0; w];
+            for &u in &idx {
+                for (o, &x) in naive.iter_mut().zip(&src.data()[u as usize * 11..][..w]) {
+                    *o += x;
+                }
+            }
+            assert_eq!(fused, naive, "gather diverges at width {w}");
+
+            let mut wfused = vec![0.0; w];
+            gather_wsum_into(&mut wfused, src.data(), 0, 11, &idx, |u| 1.0 / (u + 1) as f64);
+            let mut wnaive = vec![0.0; w];
+            for &u in &idx {
+                let wt = 1.0 / (u + 1) as f64;
+                for (o, &x) in wnaive.iter_mut().zip(&src.data()[u as usize * 11..][..w]) {
+                    *o += x * wt;
+                }
+            }
+            assert_eq!(wfused, wnaive, "weighted gather diverges at width {w}");
+        }
+        assert_eq!(gather_sum_scalar(src.data(), 2, 11, &idx), {
+            let mut s = 0.0;
+            for &u in &idx {
+                s += src.data()[2 + u as usize * 11];
+            }
+            s
+        });
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let mut out = [0.0f64; 0];
+        gemm_into(&[], 0, false, &[], 0, false, 0, 0, 0, 0, &mut out);
+        gemm_into(&[], 0, false, &[], 0, true, 0, 0, 0, 0, &mut out);
+        let mut cell = [1.0f64, 2.0];
+        gather_sum_into(&mut cell, &[], 0, 0, &[]);
+        assert_eq!(cell, [0.0, 0.0]);
+    }
+}

@@ -34,6 +34,7 @@
 pub mod activation;
 pub mod dense;
 pub mod init;
+pub mod kernels;
 pub mod loss;
 pub mod matrix;
 pub mod mlp;

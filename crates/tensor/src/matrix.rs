@@ -4,9 +4,10 @@
 //! workspace (GNN layers are linear-algebra programs, paper slide 13).
 //! It is deliberately small: dense `f64`, row-major, no BLAS — the
 //! graphs in the reproduced experiments have at most a few thousand
-//! vertices and feature dimensions below a few hundred, where a simple
-//! ikj triple loop with a transposed right operand is competitive and
-//! easy to audit.
+//! vertices and feature dimensions below a few hundred. The product
+//! kernels bottom out in the register-blocked, cache-tiled cores of
+//! [`crate::kernels`]; this module owns shapes, dispatch (serial vs
+//! deterministic row-block parallel), and observability.
 
 use std::fmt;
 use std::ops::{Add, AddAssign, Mul, Sub};
@@ -16,16 +17,19 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::activation::Activation;
+use crate::kernels;
 
 /// Products below this many multiply-adds run serially: thread fan-out
 /// costs tens of microseconds, which would dominate the small per-layer
 /// matmuls in GNN training loops. The break-even sits far above naive
-/// expectations: a 560×16×16 product (~2¹⁷ madds, ~35 µs serial) ran
-/// ~2.7× *slower* through the fan-out at four threads — the overhead
-/// that made block-diagonal batching regress below the per-graph
-/// baseline — so the gate only admits products whose serial time
-/// (~120 µs and up) can absorb the fan-out cost.
-const PAR_FLOPS_THRESHOLD: usize = 1 << 19;
+/// expectations: a 560×16×16 product (~2¹⁷ madds, ~35 µs on the old
+/// kernels) ran ~2.7× *slower* through the fan-out at four threads —
+/// the overhead that made block-diagonal batching regress below the
+/// per-graph baseline — which put the old break-even at 2¹⁹ madds
+/// (~120 µs serial). The packed SIMD kernels run the serial path ~4.4×
+/// faster, so the same ~120 µs of absorbable work is now ~4× as many
+/// madds: 2²¹.
+const PAR_FLOPS_THRESHOLD: usize = 1 << 21;
 
 /// Whether the parallel kernel path can actually help: with one worker
 /// thread the fan-out machinery only adds dispatch overhead (measured
@@ -291,36 +295,43 @@ impl Matrix {
         );
         out.ensure_shape(self.rows, rhs.cols);
         let _t = gel_obs::span("tensor.matmul");
-        // ikj order: stream over rhs rows, good cache behaviour without
-        // materializing a transpose. Each output row accumulates in the
-        // same k order on every path, so the parallel split over rows is
-        // bit-identical to the serial loop.
-        let kernel = |i: usize, out_row: &mut [f64]| {
-            out_row.fill(0.0);
-            let a_row = self.row(i);
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = rhs.row(k);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        };
+        let n = rhs.cols;
+        // Blocked core from `kernels`: per-cell ascending-k accumulation
+        // on every path. The parallel split hands out fixed PAR_ROWS-row
+        // blocks, so every cell is computed by the identical instruction
+        // sequence at any thread count.
         if dispatch(
-            self.rows * self.cols * rhs.cols >= PAR_FLOPS_THRESHOLD
-                && self.rows > 1
-                && par_enabled(),
+            self.rows * self.cols * n >= PAR_FLOPS_THRESHOLD && self.rows > 1 && par_enabled(),
         ) {
-            out.data
-                .par_chunks_mut(rhs.cols)
-                .enumerate()
-                .for_each(|(i, out_row)| kernel(i, out_row));
+            out.data.par_chunks_mut(kernels::PAR_ROWS * n).enumerate().for_each(|(blk, part)| {
+                kernels::gemm_into(
+                    &self.data,
+                    self.cols,
+                    false,
+                    &rhs.data,
+                    n,
+                    false,
+                    self.cols,
+                    blk * kernels::PAR_ROWS,
+                    part.len() / n,
+                    n,
+                    part,
+                );
+            });
         } else {
-            for i in 0..self.rows {
-                kernel(i, &mut out.data[i * rhs.cols..(i + 1) * rhs.cols]);
-            }
+            kernels::gemm_into(
+                &self.data,
+                self.cols,
+                false,
+                &rhs.data,
+                n,
+                false,
+                self.cols,
+                0,
+                self.rows,
+                n,
+                &mut out.data,
+            );
         }
     }
 
@@ -337,42 +348,41 @@ impl Matrix {
         assert_eq!(self.rows, rhs.rows, "t_matmul shape mismatch");
         out.ensure_shape(self.cols, rhs.cols);
         let _t = gel_obs::span("tensor.t_matmul");
+        let n = rhs.cols;
+        // Same blocked core with A read transposed (`a[k * lda + i]`):
+        // output cell (i, j) folds over k ascending on both paths.
         if dispatch(
-            self.rows * self.cols * rhs.cols >= PAR_FLOPS_THRESHOLD
-                && self.cols > 1
-                && par_enabled(),
+            self.rows * self.cols * n >= PAR_FLOPS_THRESHOLD && self.cols > 1 && par_enabled(),
         ) {
-            // Row-parallel form: output row i accumulates over k in the
-            // same order as the serial k-outer loop below (skipping the
-            // same zero terms), so both paths are bit-identical.
-            out.data.par_chunks_mut(rhs.cols).enumerate().for_each(|(i, out_row)| {
-                out_row.fill(0.0);
-                for k in 0..self.rows {
-                    let a = self.data[k * self.cols + i];
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let b_row = rhs.row(k);
-                    for (o, &b) in out_row.iter_mut().zip(b_row) {
-                        *o += a * b;
-                    }
-                }
+            out.data.par_chunks_mut(kernels::PAR_ROWS * n).enumerate().for_each(|(blk, part)| {
+                kernels::gemm_into(
+                    &self.data,
+                    self.cols,
+                    true,
+                    &rhs.data,
+                    n,
+                    false,
+                    self.rows,
+                    blk * kernels::PAR_ROWS,
+                    part.len() / n,
+                    n,
+                    part,
+                );
             });
-            return;
-        }
-        out.data.fill(0.0);
-        for k in 0..self.rows {
-            let a_row = self.row(k);
-            let b_row = rhs.row(k);
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
+        } else {
+            kernels::gemm_into(
+                &self.data,
+                self.cols,
+                true,
+                &rhs.data,
+                n,
+                false,
+                self.rows,
+                0,
+                self.cols,
+                n,
+                &mut out.data,
+            );
         }
     }
 
@@ -389,30 +399,43 @@ impl Matrix {
         assert_eq!(self.cols, rhs.cols, "matmul_t shape mismatch");
         out.ensure_shape(self.rows, rhs.rows);
         let _t = gel_obs::span("tensor.matmul_t");
-        let kernel = |i: usize, out_row: &mut [f64]| {
-            let a_row = self.row(i);
-            for (j, o) in out_row.iter_mut().enumerate() {
-                let b_row = rhs.row(j);
-                let mut acc = 0.0;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
-                }
-                *o = acc;
-            }
-        };
+        let n = rhs.rows;
+        // Same blocked core with B read transposed (`b[j * ldb + k]`,
+        // handled by a transposing pack): cell (i, j) is still one
+        // ascending-k fold, so this is bit-identical to the per-cell
+        // dot-product loop.
         if dispatch(
-            self.rows * self.cols * rhs.rows >= PAR_FLOPS_THRESHOLD
-                && self.rows > 1
-                && par_enabled(),
+            self.rows * self.cols * n >= PAR_FLOPS_THRESHOLD && self.rows > 1 && par_enabled(),
         ) {
-            out.data
-                .par_chunks_mut(rhs.rows)
-                .enumerate()
-                .for_each(|(i, out_row)| kernel(i, out_row));
+            out.data.par_chunks_mut(kernels::PAR_ROWS * n).enumerate().for_each(|(blk, part)| {
+                kernels::gemm_into(
+                    &self.data,
+                    self.cols,
+                    false,
+                    &rhs.data,
+                    self.cols,
+                    true,
+                    self.cols,
+                    blk * kernels::PAR_ROWS,
+                    part.len() / n,
+                    n,
+                    part,
+                );
+            });
         } else {
-            for i in 0..self.rows {
-                kernel(i, &mut out.data[i * rhs.rows..(i + 1) * rhs.rows]);
-            }
+            kernels::gemm_into(
+                &self.data,
+                self.cols,
+                false,
+                &rhs.data,
+                self.cols,
+                true,
+                self.cols,
+                0,
+                self.rows,
+                n,
+                &mut out.data,
+            );
         }
     }
 
@@ -440,35 +463,42 @@ impl Matrix {
         assert_eq!(bias.len(), rhs.cols, "bias width mismatch");
         out.ensure_shape(self.rows, rhs.cols);
         let _t = gel_obs::span("tensor.matmul_bias_act");
-        let kernel = |i: usize, out_row: &mut [f64]| {
-            out_row.fill(0.0);
-            let a_row = self.row(i);
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
+        let n = rhs.cols;
+        if n == 0 {
+            return;
+        }
+        // Blocked gemm, then the bias + σ epilogue over the finished
+        // block: per cell this is "ascending-k sum, + bias, σ" — the
+        // same chain as matmul → add_row_broadcast → apply_matrix.
+        let block = |blk: usize, part: &mut [f64]| {
+            kernels::gemm_into(
+                &self.data,
+                self.cols,
+                false,
+                &rhs.data,
+                n,
+                false,
+                self.cols,
+                blk * kernels::PAR_ROWS,
+                part.len() / n,
+                n,
+                part,
+            );
+            for row in part.chunks_exact_mut(n) {
+                for (o, &b) in row.iter_mut().zip(bias) {
+                    *o = act.apply(*o + b);
                 }
-                let b_row = rhs.row(k);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-            for (o, &b) in out_row.iter_mut().zip(bias) {
-                *o = act.apply(*o + b);
             }
         };
         if dispatch(
-            self.rows * self.cols * rhs.cols >= PAR_FLOPS_THRESHOLD
-                && self.rows > 1
-                && par_enabled(),
+            self.rows * self.cols * n >= PAR_FLOPS_THRESHOLD && self.rows > 1 && par_enabled(),
         ) {
             out.data
-                .par_chunks_mut(rhs.cols)
+                .par_chunks_mut(kernels::PAR_ROWS * n)
                 .enumerate()
-                .for_each(|(i, out_row)| kernel(i, out_row));
+                .for_each(|(blk, part)| block(blk, part));
         } else {
-            for i in 0..self.rows {
-                kernel(i, &mut out.data[i * rhs.cols..(i + 1) * rhs.cols]);
-            }
+            block(0, &mut out.data);
         }
     }
 
@@ -803,18 +833,20 @@ mod tests {
 
     #[test]
     fn large_matmuls_bit_identical_across_thread_counts() {
-        // Big enough to cross PAR_FLOPS_THRESHOLD on every kernel.
-        let a = Matrix::from_fn(96, 64, |i, j| ((i * 31 + j * 17) % 23) as f64 - 11.0);
-        let b = Matrix::from_fn(64, 96, |i, j| ((i * 13 + j * 7) % 19) as f64 * 0.25);
-        let c = Matrix::from_fn(96, 64, |i, j| ((i + j * 3) % 29) as f64 - 14.0);
-        const _: () = assert!(96 * 64 * 96 >= PAR_FLOPS_THRESHOLD);
+        // Big enough that every kernel's flop product (160·96·160)
+        // crosses PAR_FLOPS_THRESHOLD and takes the parallel path.
+        const _: () = assert!(160 * 96 * 160 >= PAR_FLOPS_THRESHOLD);
+        let a = Matrix::from_fn(160, 96, |i, j| ((i * 31 + j * 17) % 23) as f64 - 11.0);
+        let b = Matrix::from_fn(96, 160, |i, j| ((i * 13 + j * 7) % 19) as f64 * 0.25);
+        let c = Matrix::from_fn(160, 160, |i, j| ((i + j * 3) % 29) as f64 - 14.0);
+        let d = Matrix::from_fn(160, 96, |i, j| ((i * 5 + j) % 27) as f64 * 0.5 - 6.0);
         rayon::set_num_threads(1);
-        let serial = (a.matmul(&b), a.t_matmul(&c), a.matmul_t(&c));
+        let serial = (a.matmul(&b), a.t_matmul(&c), a.matmul_t(&d));
         for threads in [2, 4, 8] {
             rayon::set_num_threads(threads);
             assert_eq!(a.matmul(&b), serial.0, "matmul differs at {threads} threads");
             assert_eq!(a.t_matmul(&c), serial.1, "t_matmul differs at {threads} threads");
-            assert_eq!(a.matmul_t(&c), serial.2, "matmul_t differs at {threads} threads");
+            assert_eq!(a.matmul_t(&d), serial.2, "matmul_t differs at {threads} threads");
         }
         rayon::set_num_threads(0);
     }
