@@ -71,6 +71,9 @@ pub use ast::{build, CmpOp, Expr, TypeError};
 pub use eval::{check_against_graph, eval, eval_with, try_eval, EvalError, EvalOptions};
 pub use func::{Agg, Func};
 pub use parser::{parse, ParseError};
-pub use plan::{eval_dense_fallbacks, eval_slab_allocs, eval_sparse_nnz, EvalEngine};
+pub use plan::{
+    eval_dense_fallbacks, eval_plan_builds, eval_slab_allocs, eval_sparse_nnz, expr_dag_hash,
+    EvalEngine,
+};
 pub use simplify::simplify;
 pub use table::{EmbeddingTable, Var};

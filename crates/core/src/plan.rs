@@ -61,7 +61,31 @@ pub fn eval_slab_allocs() -> u64 {
     SLAB_ALLOCS.load(Ordering::Relaxed)
 }
 
+/// Tracked plan lowerings since process start: the number of times any
+/// [`EvalEngine`] actually lowered an expression into a fresh plan (a
+/// cached-plan hit does not count). Always on and monotone, like
+/// [`eval_slab_allocs`]; mirrored to the `eval.plan.builds` obs
+/// counter. The `gel-serve` plan cache and its `--bench serve` smoke
+/// gate use the delta of this counter to prove that warm-cache
+/// requests never re-lower.
+pub fn eval_plan_builds() -> u64 {
+    PLAN_BUILDS.load(Ordering::Relaxed)
+}
+
+/// The hash key under which an expression's plan is cached: the
+/// structural hash computed with pointer memoization at
+/// [`Expr::Shared`] boundaries, so hashing a shared DAG is linear in
+/// its distinct nodes (a plain [`Expr::structural_hash`] would unfold
+/// it). Equal subtrees — shared or physically copied — collide to the
+/// same key, exactly as inside [`EvalEngine`]; external plan caches
+/// (the `gel-serve` server) key persistent engines by this value.
+pub fn expr_dag_hash(expr: &Expr) -> u64 {
+    let mut memo = HashMap::new();
+    dag_hash(expr, &mut memo)
+}
+
 static SLAB_ALLOCS: AtomicU64 = AtomicU64::new(0);
+static PLAN_BUILDS: AtomicU64 = AtomicU64::new(0);
 static OBS_SLAB_ALLOCS: gel_obs::Counter = gel_obs::Counter::new("eval.slab.allocs");
 static OBS_CALLS: gel_obs::Counter = gel_obs::Counter::new("eval.calls");
 static OBS_PLAN_BUILDS: gel_obs::Counter = gel_obs::Counter::new("eval.plan.builds");
@@ -406,11 +430,12 @@ pub struct EvalEngine {
     idx_pool: IdxPool,
     scratch: ExecScratch,
     /// Structural hashes of [`Expr::Shared`] nodes, keyed by `Arc`
-    /// target pointer. Refilled per call (pointers may be reused across
-    /// expressions); keeps hashing a shared DAG linear in its distinct
-    /// nodes. The map retains its capacity, so steady-state refills
-    /// don't allocate.
-    hash_memo: HashMap<*const Expr, u64>,
+    /// target address (`usize`, not a raw pointer, so the engine stays
+    /// `Send` and can move between server worker threads). Refilled
+    /// per call (addresses may be reused across expressions); keeps
+    /// hashing a shared DAG linear in its distinct nodes. The map
+    /// retains its capacity, so steady-state refills don't allocate.
+    hash_memo: HashMap<usize, u64>,
 }
 
 impl Default for EvalEngine {
@@ -577,6 +602,7 @@ impl EvalEngine {
         self.scratch.inner_digits.resize(max_q, 0);
         self.scratch.offsets.resize(max_args, 0);
         self.cache_key = Some(key);
+        PLAN_BUILDS.fetch_add(1, Ordering::Relaxed);
         OBS_PLAN_BUILDS.incr();
         OBS_PLAN_NODES.add(self.nodes.len() as u64);
     }
@@ -1081,10 +1107,10 @@ impl EvalEngine {
 /// boundaries: linear in the DAG's distinct nodes where the naive
 /// recursion is linear in its (exponential) unfolding. Produces
 /// identical values — `Shared` is transparent to the hash.
-fn dag_hash(e: &Expr, memo: &mut HashMap<*const Expr, u64>) -> u64 {
+fn dag_hash(e: &Expr, memo: &mut HashMap<usize, u64>) -> u64 {
     match e {
         Expr::Shared(rc) => {
-            let p = std::sync::Arc::as_ptr(rc);
+            let p = std::sync::Arc::as_ptr(rc) as usize;
             if let Some(&h) = memo.get(&p) {
                 return h;
             }

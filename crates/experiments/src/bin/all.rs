@@ -8,7 +8,7 @@
 //! * `--bench-json <path>` additionally re-runs the suite pinned to one
 //!   thread — instrumented, one experiment at a time, gel-obs state
 //!   reset between experiments — and writes a machine-readable report
-//!   (`"schema_version": 6`): wall-clock per experiment, serial vs
+//!   (`"schema_version": 7`): wall-clock per experiment, serial vs
 //!   parallel suite times, and a fixed-key per-experiment `metrics`
 //!   object (kernel/refinement span seconds, WL-cache hit rate, buffer
 //!   allocations, dispatch decisions) plus suite-wide `obs` totals
@@ -20,7 +20,10 @@
 //!   n × edge-density grid, dense engine vs forced-sparse, with the
 //!   per-density crossover size) and a `kernels` object (blocked SIMD
 //!   matmul GFLOP/s vs the ikj oracle with the `simd_speedup` ratio,
-//!   and the fused CSR gather vs the per-neighbour loop) — the file
+//!   and the fused CSR gather vs the per-neighbour loop) and a `serve`
+//!   object (the `gel-serve` loopback load scenario: 8 concurrent
+//!   clients over the E4/E9 expression set, cold and warm latency
+//!   quantiles/throughput and plan-cache counters) — the file
 //!   recorded as `BENCH_parallel.json`. Its key set is guarded by the
 //!   `schema_check` bin in CI. The top-level `wl_cache` object and the
 //!   `obs.wl_cache_*` mirror derive from the *same* instrumented-leg
@@ -290,6 +293,68 @@ fn kernels_json() -> String {
     )
 }
 
+/// Serving-layer bench for the bench JSON (`"serve"` object): the
+/// `gel-serve` loopback load scenario of `--bench serve` — 8
+/// concurrent clients round-robining the E4/E9 expression set against
+/// one server, cold then warm. Reports latency quantiles, throughput,
+/// and plan-cache behaviour; asserts the warm phase re-lowers nothing
+/// (the same always-on gate as the bench's `--smoke` mode).
+fn serve_json() -> String {
+    use gel_graph::random::{erdos_renyi, with_random_real_labels};
+    use gel_lang::wl_sim::{cr_graph_expr, k_wl_graph_expr};
+    use gel_serve::{run_load, LoadConfig, ServeOptions, Server};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let clients = 8usize;
+    let label_dim = 2usize;
+    let mut rng = StdRng::seed_from_u64(0xBE5E);
+    let g = erdos_renyi(24, 0.2, &mut rng);
+    let g = with_random_real_labels(&g, label_dim, &mut rng);
+    let exprs = vec![cr_graph_expr(label_dim, 6), k_wl_graph_expr(2, label_dim, 2)];
+
+    let server = Server::bind(ServeOptions {
+        max_inflight: clients,
+        plan_cache_cap: 16,
+        ..ServeOptions::default()
+    })
+    .expect("bind loopback");
+    server.register_graph("bench", g).expect("register");
+    let cfg = LoadConfig { clients, requests_per_client: 16, graph: "bench", exprs: &exprs };
+
+    let cold = run_load(&server, &cfg).expect("cold serve load");
+    let warm = run_load(&server, &cfg).expect("warm serve load");
+    assert_eq!(
+        cold.plan_builds,
+        exprs.len() as u64,
+        "cold serve phase must lower one plan per expression"
+    );
+    assert_eq!(warm.plan_builds, 0, "warm serve phase must not re-lower plans");
+    let stats = server.stats();
+    server.shutdown();
+
+    format!(
+        "{{\"clients\": {clients}, \"requests\": {}, \
+         \"cold_p50_us\": {:.1}, \"cold_p99_us\": {:.1}, \"cold_rps\": {:.1}, \
+         \"warm_p50_us\": {:.1}, \"warm_p99_us\": {:.1}, \"warm_rps\": {:.1}, \
+         \"warm_hit_rate\": {:.4}, \"warm_plan_builds\": {}, \
+         \"cache_hits\": {}, \"cache_misses\": {}, \"cache_evictions\": {}, \"plans\": {}}}",
+        cold.requests + warm.requests,
+        cold.p50_us,
+        cold.p99_us,
+        cold.throughput_rps,
+        warm.p50_us,
+        warm.p99_us,
+        warm.throughput_rps,
+        warm.hit_rate(),
+        warm.plan_builds,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.evictions,
+        stats.plans,
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let full = args.iter().any(|a| a == "--full");
@@ -352,28 +417,18 @@ fn main() {
         let density_sweep = density_sweep_json();
         let kernels = kernels_json();
         rayon::set_num_threads(0);
+        let serve = serve_json();
 
         // Suite-wide gel-obs totals: fold the per-experiment deltas.
         let mut totals = gel_obs::Snapshot::default();
         for (_, _, m) in &instrumented {
-            for (&k, &v) in &m.counters {
-                *totals.counters.entry(k).or_insert(0) += v;
-            }
-            for (k, &v) in &m.spans {
-                let t = totals.spans.entry(k.clone()).or_default();
-                t.count += v.count;
-                t.secs += v.secs;
-            }
-            for (&k, &v) in &m.gauges {
-                let g = totals.gauges.entry(k).or_insert(f64::MIN);
-                *g = g.max(v);
-            }
+            totals.absorb(m);
         }
         let obs_hits = totals.counter("wl.cache.hits");
         let obs_misses = totals.counter("wl.cache.misses");
 
         let mut out = String::from("{\n");
-        out.push_str("  \"schema_version\": 6,\n");
+        out.push_str("  \"schema_version\": 7,\n");
         out.push_str(&format!("  \"obs_enabled\": {},\n", cfg!(feature = "obs")));
         out.push_str(&format!("  \"threads\": {threads},\n"));
         out.push_str(&format!("  \"full_corpus\": {full},\n"));
@@ -394,6 +449,7 @@ fn main() {
         ));
         out.push_str(&format!("  \"density_sweep\": {density_sweep},\n"));
         out.push_str(&format!("  \"kernels\": {kernels},\n"));
+        out.push_str(&format!("  \"serve\": {serve},\n"));
         // Both cache views derive from the same instrumented-leg
         // counters (one counting site in gel-wl's cache), so they can
         // never disagree; PR 3's report read the top-level pair from

@@ -121,6 +121,26 @@ impl Snapshot {
         total
     }
 
+    /// Merges `other` into `self`: counters and span stats add, gauges
+    /// keep the maximum (the high-water interpretation every gauge in
+    /// the workspace uses). This is the fold the experiment runner and
+    /// the `gel-serve` request loop use to aggregate per-scope
+    /// [`Snapshot::since`] deltas into totals.
+    pub fn absorb(&mut self, other: &Snapshot) {
+        for (&k, &v) in &other.counters {
+            *self.counters.entry(k).or_insert(0) += v;
+        }
+        for (&k, &v) in &other.gauges {
+            let g = self.gauges.entry(k).or_insert(f64::MIN);
+            *g = g.max(v);
+        }
+        for (k, &v) in &other.spans {
+            let t = self.spans.entry(k.clone()).or_default();
+            t.count += v.count;
+            t.secs += v.secs;
+        }
+    }
+
     /// The change from `earlier` to `self`: per-key saturating
     /// difference of counters and span stats; gauges keep their value
     /// in `self`. Keys only present in `earlier` are dropped (a counter
@@ -229,6 +249,29 @@ mod tests {
         PEAK.set_max(3.0);
         assert_eq!(PEAK.get(), 5.0);
         assert_eq!(snapshot().gauge("test.peak"), 5.0);
+    }
+
+    #[test]
+    fn absorb_adds_counters_and_spans_and_maxes_gauges() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        A.add(3);
+        PEAK.set(4.0);
+        {
+            let _s = span("absorb.work");
+        }
+        let first = snapshot();
+        reset();
+        A.add(5);
+        PEAK.set(2.0);
+        {
+            let _s = span("absorb.work");
+        }
+        let mut totals = first.clone();
+        totals.absorb(&snapshot());
+        assert_eq!(totals.counter("test.a"), 8);
+        assert_eq!(totals.span("absorb.work").count, 2);
+        assert_eq!(totals.gauge("test.peak"), 4.0, "gauges absorb as high-water maxima");
     }
 
     #[test]

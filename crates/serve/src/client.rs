@@ -1,0 +1,181 @@
+//! A blocking client for the [`crate::proto`] wire protocol.
+//!
+//! One request in flight per connection (the protocol is strictly
+//! request/response); open several clients for concurrency. Buffers
+//! are reused across calls, so a warm client allocates only for the
+//! response payloads it hands back.
+
+use std::io::{BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use gel_graph::Graph;
+use gel_lang::Expr;
+
+use crate::proto::{
+    decode_response, encode_request, read_frame, write_frame, ErrorCode, FrameRead, ProtoError,
+    Request, Response, StatsReply,
+};
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write).
+    Io(std::io::Error),
+    /// The server's bytes did not decode as a response frame.
+    Proto(ProtoError),
+    /// The server closed the connection mid-exchange.
+    Disconnected,
+    /// The server answered with a typed error frame.
+    Server {
+        /// Failure class.
+        code: ErrorCode,
+        /// Server-provided detail.
+        msg: String,
+    },
+    /// The server answered with a well-formed frame of the wrong kind
+    /// for the request that was sent.
+    Unexpected(Response),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Proto(e) => write!(f, "{e}"),
+            ClientError::Disconnected => write!(f, "server disconnected"),
+            ClientError::Server { code, msg } => write!(f, "server error ({code:?}): {msg}"),
+            ClientError::Unexpected(r) => write!(f, "unexpected response kind: {r:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A connected client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    wbuf: Vec<u8>,
+    rbuf: Vec<u8>,
+}
+
+impl Client {
+    /// Connects to a [`crate::Server`].
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let writer = BufWriter::new(stream);
+        Ok(Client { reader, writer, wbuf: Vec::new(), rbuf: Vec::new() })
+    }
+
+    /// Sends one request and waits for its response frame. Typed
+    /// server errors come back as `Ok(Response::Error { .. })`; use
+    /// the convenience wrappers to have them lifted into
+    /// [`ClientError::Server`].
+    pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        encode_request(req, &mut self.wbuf);
+        write_frame(&mut self.writer, &self.wbuf)?;
+        match read_frame(&mut self.reader, &mut self.rbuf)? {
+            FrameRead::Frame => decode_response(&self.rbuf).map_err(ClientError::Proto),
+            FrameRead::Eof => Err(ClientError::Disconnected),
+            FrameRead::Malformed(e) => Err(ClientError::Proto(e)),
+        }
+    }
+
+    fn expect<T>(
+        &mut self,
+        req: &Request,
+        pick: impl FnOnce(Response) -> Result<T, Response>,
+    ) -> Result<T, ClientError> {
+        match self.call(req)? {
+            Response::Error { code, msg } => Err(ClientError::Server { code, msg }),
+            other => pick(other).map_err(ClientError::Unexpected),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.expect(&Request::Ping, |r| match r {
+            Response::Pong => Ok(()),
+            other => Err(other),
+        })
+    }
+
+    /// Registers `graph` under `name`; returns `(n, arcs)` as stored.
+    pub fn register_graph(&mut self, name: &str, graph: &Graph) -> Result<(u32, u64), ClientError> {
+        self.expect(&Request::RegisterGraph { name: name.to_string(), graph: graph.clone() }, |r| {
+            match r {
+                Response::Registered { n, arcs } => Ok((n, arcs)),
+                other => Err(other),
+            }
+        })
+    }
+
+    /// Removes the named graph.
+    pub fn unregister_graph(&mut self, name: &str) -> Result<(), ClientError> {
+        self.expect(&Request::UnregisterGraph { name: name.to_string() }, |r| match r {
+            Response::Unregistered => Ok(()),
+            other => Err(other),
+        })
+    }
+
+    /// Lists registered graph names (sorted).
+    pub fn list_graphs(&mut self) -> Result<Vec<String>, ClientError> {
+        self.expect(&Request::ListGraphs, |r| match r {
+            Response::Graphs { names } => Ok(names),
+            other => Err(other),
+        })
+    }
+
+    /// Evaluates a binary-encoded expression; returns the embedding
+    /// table as `(vars, dim, n, row-major data)` with exact bits.
+    #[allow(clippy::type_complexity)]
+    pub fn eval(
+        &mut self,
+        graph: &str,
+        expr: &Expr,
+    ) -> Result<(Vec<u8>, u32, u32, Vec<f64>), ClientError> {
+        self.expect(&Request::Eval { graph: graph.to_string(), expr: expr.clone() }, |r| match r {
+            Response::Table { vars, dim, n, data } => Ok((vars, dim, n, data)),
+            other => Err(other),
+        })
+    }
+
+    /// Evaluates expression text (surface syntax).
+    #[allow(clippy::type_complexity)]
+    pub fn eval_text(
+        &mut self,
+        graph: &str,
+        text: &str,
+    ) -> Result<(Vec<u8>, u32, u32, Vec<f64>), ClientError> {
+        self.expect(&Request::EvalText { graph: graph.to_string(), text: text.to_string() }, |r| {
+            match r {
+                Response::Table { vars, dim, n, data } => Ok((vars, dim, n, data)),
+                other => Err(other),
+            }
+        })
+    }
+
+    /// Runs the paper's analysis recipe server-side.
+    pub fn analyze(&mut self, expr: &Expr) -> Result<String, ClientError> {
+        self.expect(&Request::Analyze { expr: expr.clone() }, |r| match r {
+            Response::Report { text } => Ok(text),
+            other => Err(other),
+        })
+    }
+
+    /// Fetches server statistics.
+    pub fn stats(&mut self) -> Result<StatsReply, ClientError> {
+        self.expect(&Request::Stats, |r| match r {
+            Response::Stats(s) => Ok(s),
+            other => Err(other),
+        })
+    }
+}

@@ -1,0 +1,361 @@
+//! Wire-protocol battery: property-tested round-trips of every frame
+//! type, and adversarial decoding — truncations, oversized length
+//! claims, garbage, and depth bombs must come back as
+//! [`ProtoError`]s, never as panics or unbounded allocations.
+
+use std::io::Cursor;
+
+use gel_graph::random::{erdos_renyi, with_random_real_labels};
+use gel_lang::random_expr::{random_mpnn_graph, RandomExprConfig};
+use gel_lang::wl_sim::{cr_graph_expr, k_wl_graph_expr};
+use gel_lang::{expr_dag_hash, Expr};
+use gel_serve::proto::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
+    ErrorCode, FrameRead, Request, Response, StatsReply, MAX_EXPR_DEPTH, MAX_FRAME_LEN,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn roundtrip_request(req: &Request) -> Request {
+    let mut buf = Vec::new();
+    encode_request(req, &mut buf);
+    decode_request(&buf).expect("valid request must decode")
+}
+
+fn roundtrip_response(resp: &Response) -> Response {
+    let mut buf = Vec::new();
+    encode_response(resp, &mut buf);
+    decode_response(&buf).expect("valid response must decode")
+}
+
+fn random_graph(seed: u64, n: usize, dim: usize) -> gel_graph::Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = erdos_renyi(n, 0.4, &mut rng);
+    with_random_real_labels(&g, dim, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every request frame type round-trips exactly.
+    #[test]
+    fn request_roundtrip(seed in 0u64..5_000, n in 1usize..12, dim in 1usize..4) {
+        let g = random_graph(seed, n, dim);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD00D);
+        let expr = random_mpnn_graph(&RandomExprConfig::default(), &mut rng);
+        let name = format!("g{seed}");
+        let reqs = [
+            Request::Ping,
+            Request::RegisterGraph { name: name.clone(), graph: g },
+            Request::UnregisterGraph { name: name.clone() },
+            Request::ListGraphs,
+            Request::Eval { graph: name.clone(), expr: expr.clone() },
+            Request::EvalText { graph: name, text: expr.to_string() },
+            Request::Analyze { expr },
+            Request::Stats,
+        ];
+        for req in &reqs {
+            prop_assert_eq!(&roundtrip_request(req), req);
+        }
+    }
+
+    /// Every response frame type round-trips exactly, error codes
+    /// included.
+    #[test]
+    fn response_roundtrip(seed in 0u64..5_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cells: Vec<f64> = (0..rng.gen_range(0..64)).map(|_| rng.gen_range(-1e9..1e9)).collect();
+        let resps = [
+            Response::Pong,
+            Response::Registered { n: rng.gen::<u64>() as u32, arcs: rng.gen::<u64>() },
+            Response::Unregistered,
+            Response::Graphs { names: vec!["a".into(), String::new(), "ümlaut".into()] },
+            Response::Table {
+                vars: vec![1, 2],
+                dim: rng.gen_range(1..8),
+                n: rng.gen_range(1..100),
+                data: cells,
+            },
+            Response::Report { text: "fragment MPNN(Ω,Θ)".into() },
+            Response::Stats(StatsReply {
+                graphs: rng.gen(),
+                plans: rng.gen(),
+                cache_hits: rng.gen(),
+                cache_misses: rng.gen(),
+                evictions: rng.gen(),
+                requests: rng.gen(),
+                rejected: rng.gen(),
+            }),
+            Response::Error { code: ErrorCode::Busy, msg: "full".into() },
+            Response::Error { code: ErrorCode::Parse, msg: String::new() },
+        ];
+        for resp in &resps {
+            prop_assert_eq!(&roundtrip_response(resp), resp);
+        }
+    }
+
+    /// Truncating a valid frame at *every* prefix length yields a
+    /// protocol error — never a panic, never a bogus success.
+    #[test]
+    fn truncation_always_errors(seed in 0u64..500) {
+        let g = random_graph(seed, 6, 2);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
+        let expr = random_mpnn_graph(&RandomExprConfig::default(), &mut rng);
+        for req in [
+            Request::RegisterGraph { name: "g".into(), graph: g },
+            Request::Eval { graph: "g".into(), expr },
+        ] {
+            let mut buf = Vec::new();
+            encode_request(&req, &mut buf);
+            for cut in 0..buf.len() {
+                prop_assert!(
+                    decode_request(&buf[..cut]).is_err(),
+                    "{cut}-byte prefix of a {}-byte frame decoded",
+                    buf.len()
+                );
+            }
+        }
+    }
+
+    /// Arbitrary garbage never panics the decoders (errors are fine;
+    /// tiny accidental successes like a 1-byte Ping are fine too).
+    #[test]
+    fn garbage_never_panics(seed in 0u64..2_000, len in 0usize..400) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let junk: Vec<u8> = (0..len).map(|_| rng.gen::<u64>() as u8).collect();
+        let _ = decode_request(&junk);
+        let _ = decode_response(&junk);
+    }
+
+    /// Flipping any single byte of a valid frame either still decodes
+    /// or errors — no panics anywhere in the mutation space.
+    #[test]
+    fn single_byte_corruption_never_panics(seed in 0u64..300) {
+        let g = random_graph(seed, 5, 2);
+        let req = Request::RegisterGraph { name: "g".into(), graph: g };
+        let mut buf = Vec::new();
+        encode_request(&req, &mut buf);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF00);
+        for _ in 0..64 {
+            let pos = rng.gen_range(0..buf.len());
+            let old = buf[pos];
+            buf[pos] = buf[pos].wrapping_add(rng.gen_range(1..=255u8));
+            let _ = decode_request(&buf);
+            buf[pos] = old;
+        }
+    }
+}
+
+/// The binary expression codec preserves `Shared` structure: the wire
+/// size of a WL-simulation expression stays linear in the round count
+/// even though its display unfolding is exponential.
+#[test]
+fn shared_expressions_stay_linear_on_the_wire() {
+    let mut prev = 0usize;
+    for rounds in 1..=6 {
+        let expr = cr_graph_expr(2, rounds);
+        let mut buf = Vec::new();
+        encode_request(&Request::Analyze { expr }, &mut buf);
+        assert!(
+            buf.len() < 64 * 1024,
+            "round {rounds}: {} bytes — sharing lost on the wire",
+            buf.len()
+        );
+        // Linear growth: each extra round adds a bounded increment.
+        assert!(buf.len() >= prev, "size must be monotone in rounds");
+        prev = buf.len();
+    }
+}
+
+/// Deep-shared E4/E9 expressions survive the round trip semantically:
+/// same DAG hash (so the same plan-cache key) and bit-identical
+/// evaluation.
+#[test]
+fn wl_expressions_roundtrip_semantically() {
+    let g = random_graph(7, 8, 2);
+    for expr in [cr_graph_expr(2, 6), k_wl_graph_expr(2, 2, 3)] {
+        let mut buf = Vec::new();
+        encode_request(&Request::Analyze { expr: expr.clone() }, &mut buf);
+        let Request::Analyze { expr: back } = decode_request(&buf).unwrap() else {
+            panic!("tag changed in flight")
+        };
+        assert_eq!(expr_dag_hash(&back), expr_dag_hash(&expr));
+        let a = gel_lang::eval(&expr, &g);
+        let b = gel_lang::eval(&back, &g);
+        assert_eq!(a.data(), b.data(), "decoded expression evaluates differently");
+    }
+}
+
+/// Moderately shared expressions round-trip to structural equality
+/// (deep compare is affordable at low round counts).
+#[test]
+fn shared_expressions_roundtrip_structurally() {
+    let expr = cr_graph_expr(2, 3);
+    let mut buf = Vec::new();
+    encode_request(&Request::Analyze { expr: expr.clone() }, &mut buf);
+    let Request::Analyze { expr: back } = decode_request(&buf).unwrap() else {
+        panic!("tag changed in flight")
+    };
+    assert_eq!(back, expr);
+}
+
+/// NaN and infinities travel as exact bit patterns.
+#[test]
+fn table_cells_are_bit_exact() {
+    let weird = vec![f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.0, f64::MIN_POSITIVE];
+    let resp = Response::Table { vars: vec![1], dim: 5, n: 1, data: weird.clone() };
+    let mut buf = Vec::new();
+    encode_response(&resp, &mut buf);
+    let Response::Table { data, .. } = decode_response(&buf).unwrap() else {
+        panic!("tag changed in flight")
+    };
+    let bits: Vec<u64> = data.iter().map(|v| v.to_bits()).collect();
+    let want: Vec<u64> = weird.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(bits, want);
+}
+
+/// A length field claiming more elements than the frame holds is
+/// rejected before any buffer is reserved — the classic amplification
+/// attack (4 bytes of input demanding gigabytes of allocation).
+#[test]
+fn oversized_interior_lengths_are_rejected() {
+    // Eval request: name "g", then a Const whose declared length is
+    // u32::MAX but whose frame ends right after.
+    let mut buf = vec![0x05];
+    buf.extend_from_slice(&1u32.to_le_bytes());
+    buf.push(b'g');
+    buf.push(5); // EX_CONST
+    buf.extend_from_slice(&u32::MAX.to_le_bytes());
+    let err = decode_request(&buf).unwrap_err();
+    assert!(err.msg.contains("cap") || err.msg.contains("remain"), "got: {}", err.msg);
+
+    // RegisterGraph claiming 2^32-1 arcs in a 32-byte frame.
+    let mut buf = vec![0x02];
+    buf.extend_from_slice(&1u32.to_le_bytes());
+    buf.push(b'g');
+    buf.extend_from_slice(&4u32.to_le_bytes()); // n
+    buf.extend_from_slice(&1u32.to_le_bytes()); // label_dim
+    buf.extend_from_slice(&u32::MAX.to_le_bytes()); // arcs
+    let err = decode_request(&buf).unwrap_err();
+    assert!(err.msg.contains("cap") || err.msg.contains("remain"), "got: {}", err.msg);
+}
+
+/// A nest of shared-definition tags deeper than [`MAX_EXPR_DEPTH`]
+/// errors out instead of overflowing the decoder's stack.
+#[test]
+fn depth_bomb_is_defused() {
+    let mut buf = vec![0x07]; // Analyze
+    buf.extend(std::iter::repeat_n(8u8, MAX_EXPR_DEPTH * 20)); // EX_SHARED_DEF…
+    buf.push(3); // EX_EDGE
+    buf.push(1);
+    buf.push(2);
+    let err = decode_request(&buf).unwrap_err();
+    assert!(err.msg.contains("deep"), "got: {}", err.msg);
+}
+
+/// Framing: a header outside `1..=MAX_FRAME_LEN` is malformed and —
+/// critically — the payload buffer is untouched (no allocation on a
+/// hostile header).
+#[test]
+fn hostile_frame_headers_do_not_allocate() {
+    for claim in [0u32, (MAX_FRAME_LEN as u32) + 1, u32::MAX] {
+        let mut stream = Cursor::new(claim.to_le_bytes().to_vec());
+        let mut buf = Vec::new();
+        match read_frame(&mut stream, &mut buf).unwrap() {
+            FrameRead::Malformed(_) => {}
+            _ => panic!("header {claim} accepted"),
+        }
+        assert_eq!(buf.capacity(), 0, "header {claim} caused an allocation");
+    }
+}
+
+/// Framing: truncated streams (mid-header and mid-payload) are
+/// malformed, a clean close is EOF, and a whole frame round-trips.
+#[test]
+fn frame_stream_states() {
+    // Clean EOF.
+    let mut empty = Cursor::new(Vec::new());
+    let mut buf = Vec::new();
+    assert!(matches!(read_frame(&mut empty, &mut buf).unwrap(), FrameRead::Eof));
+
+    // Death mid-header.
+    let mut partial = Cursor::new(vec![3, 0]);
+    assert!(matches!(read_frame(&mut partial, &mut buf).unwrap(), FrameRead::Malformed(_)));
+
+    // Death mid-payload.
+    let mut short = Cursor::new(vec![5, 0, 0, 0, 1, 2]);
+    assert!(matches!(read_frame(&mut short, &mut buf).unwrap(), FrameRead::Malformed(_)));
+
+    // Round trip.
+    let mut wire = Vec::new();
+    write_frame(&mut wire, &[0xAB, 0xCD, 0xEF]).unwrap();
+    let mut stream = Cursor::new(wire);
+    assert!(matches!(read_frame(&mut stream, &mut buf).unwrap(), FrameRead::Frame));
+    assert_eq!(buf, vec![0xAB, 0xCD, 0xEF]);
+}
+
+/// A backreference to a shared slot that was never defined is an
+/// error, not an index panic.
+#[test]
+fn dangling_shared_backreference_errors() {
+    let mut buf = vec![0x07]; // Analyze
+    buf.push(9); // EX_SHARED_REF
+    buf.extend_from_slice(&0u32.to_le_bytes());
+    let err = decode_request(&buf).unwrap_err();
+    assert!(err.msg.contains("backreference"), "got: {}", err.msg);
+}
+
+/// Trailing bytes after a complete message are rejected (a desynced
+/// stream must not half-succeed).
+#[test]
+fn trailing_bytes_are_rejected() {
+    let mut buf = Vec::new();
+    encode_request(&Request::Ping, &mut buf);
+    buf.push(0);
+    assert!(decode_request(&buf).is_err());
+}
+
+/// The expression node cap stops breadth bombs: a frame can declare a
+/// huge Apply arity, but it must actually *carry* the arguments.
+#[test]
+fn apply_arity_bomb_is_rejected() {
+    let mut buf = vec![0x07]; // Analyze
+    buf.push(6); // EX_APPLY
+    buf.push(3); // FN_CONCAT
+    buf.extend_from_slice(&u16::MAX.to_le_bytes());
+    let err = decode_request(&buf).unwrap_err();
+    assert!(err.msg.contains("cap") || err.msg.contains("remain"), "got: {}", err.msg);
+}
+
+/// `Expr` generation sanity: the generators used above do exercise
+/// every codec branch (apply, aggregate-with-guard, shared).
+#[test]
+fn generators_cover_codec_surface() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut saw_apply = false;
+    let mut saw_agg = false;
+    for seed in 0..200 {
+        let _ = seed;
+        let e = random_mpnn_graph(&RandomExprConfig::default(), &mut rng);
+        fn walk(e: &Expr, apply: &mut bool, agg: &mut bool) {
+            match e {
+                Expr::Apply { args, .. } => {
+                    *apply = true;
+                    args.iter().for_each(|a| walk(a, apply, agg));
+                }
+                Expr::Aggregate { value, guard, .. } => {
+                    *agg = true;
+                    walk(value, apply, agg);
+                    if let Some(g) = guard {
+                        walk(g, apply, agg);
+                    }
+                }
+                Expr::Shared(rc) => walk(rc, apply, agg),
+                _ => {}
+            }
+        }
+        walk(&e, &mut saw_apply, &mut saw_agg);
+    }
+    assert!(saw_apply && saw_agg, "random expressions too shallow to trust the proptests");
+}

@@ -1,0 +1,181 @@
+//! End-to-end server determinism: eight concurrent clients submitting
+//! the E4/E9 expression set over loopback TCP receive responses
+//! *byte-identical* to a direct in-process [`EvalEngine`] run — at
+//! every server-side rayon thread count.
+//!
+//! This is the serving determinism contract: the wire carries exact
+//! `f64` bit patterns and no timing- or interleaving-dependent state,
+//! the engine's parallel kernels use fixed-shape reductions, and the
+//! plan cache hands each request a warmed engine whose result cannot
+//! depend on which connection warmed it.
+
+use gel_graph::random::{erdos_renyi, with_random_real_labels};
+use gel_graph::Graph;
+use gel_lang::wl_sim::{cr_graph_expr, k_wl_graph_expr};
+use gel_lang::{EvalEngine, Expr};
+use gel_serve::{Client, ServeOptions, Server};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const CLIENTS: usize = 8;
+const REQUESTS_PER_CLIENT: usize = 6;
+const LABEL_DIM: usize = 2;
+
+fn corpus_graph() -> Graph {
+    let mut rng = StdRng::seed_from_u64(0xE2E);
+    let g = erdos_renyi(14, 0.3, &mut rng);
+    with_random_real_labels(&g, LABEL_DIM, &mut rng)
+}
+
+/// The expression set: E4 (colour refinement, 6 rounds) and E9
+/// (folklore 2-WL, 4 rounds) — the deep-shared DAGs that stress both
+/// the wire codec and the plan cache.
+fn expression_set() -> Vec<Expr> {
+    vec![cr_graph_expr(LABEL_DIM, 6), k_wl_graph_expr(2, LABEL_DIM, 4)]
+}
+
+/// A response reduced to comparable bits: (vars, dim, cell bit patterns).
+type TableBits = (Vec<u8>, u32, Vec<u64>);
+
+/// Reference answer bits, straight from an engine (no server).
+fn direct_baseline(g: &Graph, exprs: &[Expr]) -> Vec<TableBits> {
+    exprs
+        .iter()
+        .map(|e| {
+            let mut engine = EvalEngine::new();
+            let t = engine.eval(e, g);
+            (t.vars().to_vec(), t.dim() as u32, t.data().iter().map(|v| v.to_bits()).collect())
+        })
+        .collect()
+}
+
+/// Runs the full client fleet against a fresh server; returns the
+/// response bits of every request, indexed by expression.
+fn serve_fleet(g: &Graph, exprs: &[Expr]) -> Vec<Vec<TableBits>> {
+    let server = Server::bind(ServeOptions {
+        max_inflight: CLIENTS,
+        plan_cache_cap: 8,
+        ..ServeOptions::default()
+    })
+    .expect("bind loopback");
+    server.register_graph("corpus", g.clone()).expect("register");
+    let addr = server.local_addr();
+
+    let mut per_expr: Vec<Vec<TableBits>> = vec![Vec::new(); exprs.len()];
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut got = Vec::new();
+                    for i in 0..REQUESTS_PER_CLIENT {
+                        let which = (c + i) % exprs.len();
+                        let (vars, dim, n, data) =
+                            client.eval("corpus", &exprs[which]).expect("eval");
+                        assert_eq!(n as usize, g.num_vertices());
+                        let bits = data.iter().map(|v| v.to_bits()).collect::<Vec<u64>>();
+                        got.push((which, (vars, dim, bits)));
+                    }
+                    got
+                })
+            })
+            .collect();
+        for h in handles {
+            for (which, resp) in h.join().expect("client thread") {
+                per_expr[which].push(resp);
+            }
+        }
+    });
+    server.shutdown();
+    per_expr
+}
+
+#[test]
+fn concurrent_responses_match_direct_engine_bit_for_bit() {
+    let g = corpus_graph();
+    let exprs = expression_set();
+    let baseline = direct_baseline(&g, &exprs);
+
+    // The server's evaluation parallelism must not leak into response
+    // bytes: run the whole fleet at 1 and at 4 rayon threads.
+    for threads in [1usize, 4] {
+        rayon::set_num_threads(threads);
+        let per_expr = serve_fleet(&g, &exprs);
+        rayon::set_num_threads(0);
+
+        for (which, responses) in per_expr.iter().enumerate() {
+            assert_eq!(
+                responses.len(),
+                CLIENTS * REQUESTS_PER_CLIENT / exprs.len(),
+                "every request must be answered"
+            );
+            for resp in responses {
+                assert_eq!(
+                    resp, &baseline[which],
+                    "expression {which} at {threads} server threads diverged from direct eval"
+                );
+            }
+        }
+    }
+}
+
+/// The same fleet twice in a row (warm cache the second time) returns
+/// the same bytes — warmth is invisible to the client.
+#[test]
+fn warm_and_cold_responses_are_identical() {
+    let g = corpus_graph();
+    let exprs = expression_set();
+    let server = Server::bind(ServeOptions::default()).expect("bind");
+    server.register_graph("corpus", g.clone()).expect("register");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    for e in &exprs {
+        let cold = client.eval("corpus", e).expect("cold eval");
+        let warm = client.eval("corpus", e).expect("warm eval");
+        let cold_bits: Vec<u64> = cold.3.iter().map(|v| v.to_bits()).collect();
+        let warm_bits: Vec<u64> = warm.3.iter().map(|v| v.to_bits()).collect();
+        assert_eq!((cold.0, cold.1, cold.2), (warm.0.clone(), warm.1, warm.2));
+        assert_eq!(cold_bits, warm_bits);
+    }
+    let stats = server.stats();
+    assert_eq!(stats.cache_misses, exprs.len() as u64);
+    assert_eq!(stats.cache_hits, exprs.len() as u64);
+    server.shutdown();
+}
+
+/// Error containment end to end: bad text, unknown graphs, and
+/// protocol garbage produce typed error frames and the connection
+/// keeps working afterwards.
+#[test]
+fn errors_do_not_kill_the_connection() {
+    let server = Server::bind(ServeOptions::default()).expect("bind");
+    server.register_graph("g", corpus_graph()).expect("register");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    // Parse error.
+    let err = client.eval_text("g", "sum_{(((").unwrap_err();
+    assert!(matches!(
+        err,
+        gel_serve::ClientError::Server { code: gel_serve::ErrorCode::Parse, .. }
+    ));
+
+    // Unknown graph.
+    let err = client.eval_text("nope", "lab0(x1)").unwrap_err();
+    assert!(matches!(
+        err,
+        gel_serve::ClientError::Server { code: gel_serve::ErrorCode::UnknownGraph, .. }
+    ));
+
+    // Analyze error (label index out of range for dim-2 labels).
+    let err = client.eval_text("g", "lab9(x1)").unwrap_err();
+    assert!(matches!(
+        err,
+        gel_serve::ClientError::Server { code: gel_serve::ErrorCode::Analyze, .. }
+    ));
+
+    // The connection survived all of it.
+    client.ping().expect("connection must stay open after typed errors");
+    let (vars, dim, n, _) = client.eval_text("g", "lab0(x1)").expect("still serving");
+    assert_eq!((vars, dim, n as usize), (vec![1u8], 1, 14));
+    server.shutdown();
+}
