@@ -660,18 +660,35 @@ impl EvalEngine {
             // the rest are probed (dense gather or binary search).
             if matches!(func, Func::Mul { dim: 1, .. }) && self.opts.sparse {
                 let cells = self.n.checked_pow(vars.len() as u32).expect("table too large");
+                // Driver choice: cheapest expansion bound, which for a
+                // fixed output scope is the same ordering as lowest
+                // factor density.
                 let mut best: Option<(usize, usize)> = None;
+                let mut density_product = 1.0f64;
                 for (ai, &i) in arg_nodes.iter().enumerate() {
                     if !self.nodes[i].sparse {
+                        // Dense factors are probed, not expanded; with
+                        // no nnz statistic they count as density 1.
                         continue;
                     }
                     let missing = (vars.len() - self.nodes[i].vars.len()) as u32;
-                    let est = self.n.pow(missing).saturating_mul(self.nodes[i].est_nnz);
-                    if best.is_none_or(|(be, _)| est < be) {
-                        best = Some((est, ai));
+                    let bound = self.n.pow(missing).saturating_mul(self.nodes[i].est_nnz);
+                    density_product *= self.node_density(i);
+                    if best.is_none_or(|(be, _)| bound < be) {
+                        best = Some((bound, ai));
                     }
                 }
-                if let Some((est, driver)) = best {
+                if let Some((bound, driver)) = best {
+                    // Output-nnz estimate under factor independence:
+                    // |out| ≈ cells · Π densᵢ. Each density comes from
+                    // the factors' own statistics — for `Edge` leaves
+                    // that is the graph's arc count (the same `m/n²`
+                    // a store segment header reports without touching
+                    // adjacency). The driver's expansion bound caps
+                    // the estimate: the kernel can never emit more
+                    // coordinates than the driver expands to.
+                    let est = ((cells as f64) * density_product).ceil() as usize;
+                    let est = est.clamp(1, bound.max(1));
                     if self.sparse_ok(cells, est) {
                         for &i in &arg_nodes {
                             if self.nodes[i].sparse {
@@ -1094,12 +1111,25 @@ impl EvalEngine {
     /// The density/size heuristic (DESIGN.md §7): a node goes sparse
     /// only when its dense table is big enough for the kernels'
     /// constant factors to amortize AND the estimated nonzeros are at
-    /// most a quarter of the cells. `sparse_min_cells == 0` forces
-    /// sparse wherever representable — the property-test hook.
+    /// most a quarter of the cells. The estimate fed here is no longer
+    /// the driver's loose `n^missing · nnz` expansion bound but the
+    /// density-product estimate derived from graph statistics (arc
+    /// count / density — what a store segment header exposes), so
+    /// products of several sparse factors now qualify where the old
+    /// bound pessimistically kept them dense. `sparse_min_cells == 0`
+    /// forces sparse wherever representable — the property-test hook.
     fn sparse_ok(&self, cells: usize, est: usize) -> bool {
         self.opts.sparse
             && (self.opts.sparse_min_cells == 0
                 || (cells >= self.opts.sparse_min_cells && est.saturating_mul(4) <= cells))
+    }
+
+    /// `est_nnz / cells` for a node, clamped to `[0, 1]` (scalar
+    /// tables only: `len == cells` when `dim == 1`).
+    fn node_density(&self, i: usize) -> f64 {
+        let nd = &self.nodes[i];
+        let cells = (nd.len / nd.dim.max(1)).max(1);
+        nd.est_nnz.min(cells) as f64 / cells as f64
     }
 }
 

@@ -8,7 +8,7 @@
 //! * `--bench-json <path>` additionally re-runs the suite pinned to one
 //!   thread — instrumented, one experiment at a time, gel-obs state
 //!   reset between experiments — and writes a machine-readable report
-//!   (`"schema_version": 7`): wall-clock per experiment, serial vs
+//!   (`"schema_version": 8`): wall-clock per experiment, serial vs
 //!   parallel suite times, and a fixed-key per-experiment `metrics`
 //!   object (kernel/refinement span seconds, WL-cache hit rate, buffer
 //!   allocations, dispatch decisions) plus suite-wide `obs` totals
@@ -23,8 +23,11 @@
 //!   and the fused CSR gather vs the per-neighbour loop) and a `serve`
 //!   object (the `gel-serve` loopback load scenario: 8 concurrent
 //!   clients over the E4/E9 expression set, cold and warm latency
-//!   quantiles/throughput and plan-cache counters) — the file
-//!   recorded as `BENCH_parallel.json`. Its key set is guarded by the
+//!   quantiles/throughput and plan-cache counters) and an `ingest`
+//!   object (the gel-store substrate: R-MAT edges streamed through the
+//!   WAL into an out-of-core CSR segment with edges/s and the peak
+//!   ingest buffer, plus the incremental-vs-full recolour comparison)
+//!   — the file recorded as `BENCH_parallel.json`. Its key set is guarded by the
 //!   `schema_check` bin in CI. The top-level `wl_cache` object and the
 //!   `obs.wl_cache_*` mirror derive from the *same* instrumented-leg
 //!   counters, so they always agree. Tables printed to stdout are
@@ -355,6 +358,88 @@ fn serve_json() -> String {
     )
 }
 
+/// Store-substrate bench for the bench JSON (`"ingest"` object): the
+/// same measurement as `--bench ingest` at reduced scale — stream an
+/// R-MAT edge set through the write-ahead log into an out-of-core CSR
+/// segment (edges/s, peak ingest buffer vs budget), then compare the
+/// incremental colour-refinement engine's single-edge repair against a
+/// from-scratch recolour of the same edited graph, asserting the
+/// partitions agree.
+fn ingest_json() -> String {
+    use gel_graph::random::rmat_edges;
+    use gel_store::{IngestOptions, Store, Wal};
+    use gel_wl::IncrementalColoring;
+
+    let scale = 16u32; // 65 536 vertices
+    let edges: u64 = 1 << 19; // 524 288 edges streamed, ~1M arcs
+    let dir = std::env::temp_dir().join(format!("gel-ingest-json-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Store::open(&dir).expect("open ingest store");
+    let wal_path = dir.join("rmat.wal");
+
+    let opts = IngestOptions::default();
+    let t = Instant::now();
+    let mut wal = Wal::create(&wal_path).expect("create wal");
+    wal.append_meta(1u64 << scale, 1).expect("append meta");
+    let mut batch = Vec::with_capacity(4096);
+    for (u, v) in rmat_edges(scale, edges, 0xD1CE) {
+        batch.push((u, v));
+        if batch.len() == 4096 {
+            wal.append_edges(&batch).expect("append edges");
+            batch.clear();
+        }
+    }
+    if !batch.is_empty() {
+        wal.append_edges(&batch).expect("append edges");
+    }
+    wal.commit().expect("commit wal");
+    let stats = store.ingest_wal("rmat", &wal_path, opts).expect("build segment");
+    let ingest_s = t.elapsed().as_secs_f64();
+
+    let g = store.open_graph("rmat").expect("open segment");
+    // Frontier edit: the two highest-id minimum-degree vertices — the
+    // streaming-append locality case the incremental index exists for
+    // (a hub edit genuinely recolours most of a skewed graph and falls
+    // back to a rebuild; `--bench ingest` reports that case).
+    let n32 = g.num_vertices() as u32;
+    let degrees: Vec<usize> = (0..n32).map(|v| g.out_degree(v)).collect();
+    let min_deg = *degrees.iter().min().expect("non-empty graph");
+    let mut frontier = (0..n32).rev().filter(|&v| degrees[v as usize] == min_deg);
+    let eu = frontier.next().expect("a min-degree vertex");
+    let ev = frontier
+        .find(|&v| !g.out_neighbors(eu).contains(&v))
+        .expect("two non-adjacent min-degree vertices");
+
+    // Full recolour of the edited graph, from scratch.
+    let mut edited = gel_graph::DynGraph::from_graph(&g);
+    edited.insert_edge(eu, ev);
+    let t = Instant::now();
+    let fresh = IncrementalColoring::from_dyn(edited);
+    let full_s = t.elapsed().as_secs_f64();
+
+    // Incremental: repair the stable trace after the same edit.
+    let mut incr = IncrementalColoring::new(&g);
+    let t = Instant::now();
+    incr.insert_edge(eu, ev);
+    let incr_s = t.elapsed().as_secs_f64();
+    let matches = incr.stable_coloring() == fresh.stable_coloring();
+    assert!(matches, "incremental recolour diverged from the from-scratch recolour");
+
+    let _ = std::fs::remove_dir_all(&dir);
+    format!(
+        "{{\"scale\": {scale}, \"edges\": {edges}, \"arcs\": {}, \"ingest_s\": {ingest_s:.6}, \
+         \"edges_per_s\": {:.0}, \"passes\": {}, \"peak_buffer_bytes\": {}, \
+         \"chunk_budget_bytes\": {}, \"full_recolor_s\": {full_s:.6}, \
+         \"incr_recolor_s\": {incr_s:.9}, \"incr_speedup\": {:.1}, \"incr_matches_full\": {matches}}}",
+        stats.meta.num_arcs,
+        edges as f64 / ingest_s.max(1e-12),
+        stats.passes,
+        stats.peak_buffer_bytes,
+        opts.chunk_budget_bytes,
+        full_s / incr_s.max(1e-12),
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let full = args.iter().any(|a| a == "--full");
@@ -418,6 +503,7 @@ fn main() {
         let kernels = kernels_json();
         rayon::set_num_threads(0);
         let serve = serve_json();
+        let ingest = ingest_json();
 
         // Suite-wide gel-obs totals: fold the per-experiment deltas.
         let mut totals = gel_obs::Snapshot::default();
@@ -426,9 +512,10 @@ fn main() {
         }
         let obs_hits = totals.counter("wl.cache.hits");
         let obs_misses = totals.counter("wl.cache.misses");
+        let obs_evictions = totals.counter("wl.cache.evictions");
 
         let mut out = String::from("{\n");
-        out.push_str("  \"schema_version\": 7,\n");
+        out.push_str("  \"schema_version\": 8,\n");
         out.push_str(&format!("  \"obs_enabled\": {},\n", cfg!(feature = "obs")));
         out.push_str(&format!("  \"threads\": {threads},\n"));
         out.push_str(&format!("  \"full_corpus\": {full},\n"));
@@ -450,17 +537,20 @@ fn main() {
         out.push_str(&format!("  \"density_sweep\": {density_sweep},\n"));
         out.push_str(&format!("  \"kernels\": {kernels},\n"));
         out.push_str(&format!("  \"serve\": {serve},\n"));
+        out.push_str(&format!("  \"ingest\": {ingest},\n"));
         // Both cache views derive from the same instrumented-leg
         // counters (one counting site in gel-wl's cache), so they can
         // never disagree; PR 3's report read the top-level pair from
         // the shared post-parallel-leg cache instead and the two
         // measurement scopes drifted apart.
         out.push_str(&format!(
-            "  \"wl_cache\": {{\"hits\": {obs_hits}, \"misses\": {obs_misses}}},\n",
+            "  \"wl_cache\": {{\"hits\": {obs_hits}, \"misses\": {obs_misses}, \
+             \"evictions\": {obs_evictions}}},\n",
         ));
         let wl_rounds = totals.counter("wl.refine.rounds");
         out.push_str(&format!(
             "  \"obs\": {{\"wl_cache_hits\": {}, \"wl_cache_misses\": {}, \
+             \"wl_cache_evictions\": {obs_evictions}, \
              \"wl_cache_hit_rate\": {:.4}, \"buffer_allocs\": {}, \"scratch_takes\": {}, \
              \"scratch_pool_peak\": {:.0}, \"kernel_s\": {:.6}, \"wl_refine_s\": {:.6}, \
              \"kwl_rounds\": {}, \"kwl_renames_s\": {:.6}, \"wl_allocs_per_round\": {:.3}, \

@@ -38,8 +38,43 @@ pub struct GraphPair {
     pub truth: PairTruth,
 }
 
+/// Routes corpus pairs through an on-disk [`gel_store::Store`]
+/// (DESIGN.md §11): every graph is persisted as a checksummed segment
+/// and re-read, and the round-trip is asserted exact. The experiments
+/// therefore run on store-opened graphs, which keeps the golden
+/// experiment tables continuously gated on the store's fidelity — a
+/// segment format regression fails every suite run, not just the
+/// store's own unit tests.
+fn through_store(pairs: Vec<(&'static str, Graph, Graph)>) -> Vec<(&'static str, Graph, Graph)> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static UNIQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "gel-corpus-{}-{}",
+        std::process::id(),
+        UNIQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let store = gel_store::Store::open(&dir).expect("open corpus store");
+    let out = pairs
+        .into_iter()
+        .enumerate()
+        .map(|(i, (name, g, h))| {
+            let (gn, hn) = (format!("pair{i}-g"), format!("pair{i}-h"));
+            store.put_graph(&gn, &g).expect("persist corpus graph");
+            store.put_graph(&hn, &h).expect("persist corpus graph");
+            let g2 = store.open_graph(&gn).expect("reopen corpus graph");
+            let h2 = store.open_graph(&hn).expect("reopen corpus graph");
+            assert_eq!(g2, g, "segment round-trip must be exact ({name})");
+            assert_eq!(h2, h, "segment round-trip must be exact ({name})");
+            (name, g2, h2)
+        })
+        .collect();
+    let _ = std::fs::remove_dir_all(&dir);
+    out
+}
+
 /// Builds the light corpus (everything except the 40-vertex CFI pair,
-/// whose 3-WL run is reserved for `--full` / bench runs).
+/// whose 3-WL run is reserved for `--full` / bench runs). Every pair
+/// is round-tripped through the on-disk store (see [`through_store`]).
 pub fn light_corpus() -> Vec<GraphPair> {
     let mut rng = StdRng::seed_from_u64(0xC0FFEE);
     let mut pairs: Vec<(&'static str, Graph, Graph)> = Vec::new();
@@ -75,14 +110,15 @@ pub fn light_corpus() -> Vec<GraphPair> {
     let h = g.permute(&random_permutation(9, &mut rng));
     pairs.push(("isomorphic control", g, h));
 
-    pairs.into_iter().map(|(name, g, h)| annotate(name, g, h)).collect()
+    through_store(pairs).into_iter().map(|(name, g, h)| annotate(name, g, h)).collect()
 }
 
 /// The full corpus: light corpus plus the CFI(K4) twisted pair.
 pub fn full_corpus() -> Vec<GraphPair> {
     let mut pairs = light_corpus();
     let (g, h) = cfi_pair_k4();
-    pairs.push(annotate("CFI(K4) vs twisted", g, h));
+    let routed = through_store(vec![("CFI(K4) vs twisted", g, h)]);
+    pairs.extend(routed.into_iter().map(|(name, g, h)| annotate(name, g, h)));
     pairs
 }
 

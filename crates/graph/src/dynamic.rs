@@ -1,0 +1,216 @@
+//! A mutable graph companion to the immutable CSR [`Graph`]: sorted
+//! per-vertex adjacency vectors that support edge insertion and
+//! deletion in `O(deg)` while preserving every invariant [`Graph`]
+//! promises (sorted deduplicated neighbour lists, exact in/out
+//! transposes, a truthful `symmetric` flag).
+//!
+//! This is the substrate the incremental colour-refinement engine in
+//! `gel-wl` edits through: algorithms that only *read* graphs keep
+//! taking `&Graph`, and a [`DynGraph`] snapshots into one whenever a
+//! frozen value is needed. Snapshots are canonical — a `DynGraph`
+//! built from a `Graph` and snapshotted straight back compares equal.
+
+use crate::graph::{Graph, Vertex};
+
+/// A mutable directed graph with dense `ℝ^d` vertex labels and sorted
+/// per-vertex adjacency. See the module docs for how it relates to
+/// [`Graph`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynGraph {
+    label_dim: usize,
+    out: Vec<Vec<Vertex>>,
+    inn: Vec<Vec<Vertex>>,
+    labels: Vec<f64>,
+    num_arcs: usize,
+}
+
+impl DynGraph {
+    /// An edgeless graph on `n` vertices with the constant `1.0`
+    /// scalar label (the same default as `GraphBuilder`).
+    pub fn new(n: usize) -> DynGraph {
+        DynGraph {
+            label_dim: 1,
+            out: vec![Vec::new(); n],
+            inn: vec![Vec::new(); n],
+            labels: vec![1.0; n],
+            num_arcs: 0,
+        }
+    }
+
+    /// A mutable copy of `g`.
+    pub fn from_graph(g: &Graph) -> DynGraph {
+        let n = g.num_vertices();
+        DynGraph {
+            label_dim: g.label_dim(),
+            out: (0..n as u32).map(|v| g.out_neighbors(v).to_vec()).collect(),
+            inn: (0..n as u32).map(|v| g.in_neighbors(v).to_vec()).collect(),
+            labels: g.labels_flat().to_vec(),
+            num_arcs: g.num_arcs(),
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Number of directed arcs.
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.num_arcs
+    }
+
+    /// Label dimension `d`.
+    #[inline]
+    pub fn label_dim(&self) -> usize {
+        self.label_dim
+    }
+
+    /// The `ℝ^d` label of `v`.
+    #[inline]
+    pub fn label(&self, v: Vertex) -> &[f64] {
+        &self.labels[v as usize * self.label_dim..(v as usize + 1) * self.label_dim]
+    }
+
+    /// Out-neighbours of `v` (sorted, deduplicated).
+    #[inline]
+    pub fn out_neighbors(&self, v: Vertex) -> &[Vertex] {
+        &self.out[v as usize]
+    }
+
+    /// In-neighbours of `v` (sorted, deduplicated).
+    #[inline]
+    pub fn in_neighbors(&self, v: Vertex) -> &[Vertex] {
+        &self.inn[v as usize]
+    }
+
+    /// True when the arc `(u, v)` exists.
+    #[inline]
+    pub fn has_arc(&self, u: Vertex, v: Vertex) -> bool {
+        self.out[u as usize].binary_search(&v).is_ok()
+    }
+
+    /// Inserts the arc `(u, v)`; returns `false` if already present.
+    pub fn insert_arc(&mut self, u: Vertex, v: Vertex) -> bool {
+        assert!((u as usize) < self.out.len() && (v as usize) < self.out.len());
+        match self.out[u as usize].binary_search(&v) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.out[u as usize].insert(pos, v);
+                let ipos = self.inn[v as usize]
+                    .binary_search(&u)
+                    .expect_err("in-adjacency out of sync with out-adjacency");
+                self.inn[v as usize].insert(ipos, u);
+                self.num_arcs += 1;
+                true
+            }
+        }
+    }
+
+    /// Removes the arc `(u, v)`; returns `false` if absent.
+    pub fn remove_arc(&mut self, u: Vertex, v: Vertex) -> bool {
+        match self.out[u as usize].binary_search(&v) {
+            Err(_) => false,
+            Ok(pos) => {
+                self.out[u as usize].remove(pos);
+                let ipos = self.inn[v as usize]
+                    .binary_search(&u)
+                    .expect("in-adjacency out of sync with out-adjacency");
+                self.inn[v as usize].remove(ipos);
+                self.num_arcs -= 1;
+                true
+            }
+        }
+    }
+
+    /// Inserts the undirected edge `{u, v}` (both arcs); returns the
+    /// number of arcs actually added (0, 1, or 2).
+    pub fn insert_edge(&mut self, u: Vertex, v: Vertex) -> usize {
+        let a = self.insert_arc(u, v) as usize;
+        let b = if u != v { self.insert_arc(v, u) as usize } else { 0 };
+        a + b
+    }
+
+    /// Removes the undirected edge `{u, v}` (both arcs); returns the
+    /// number of arcs actually removed.
+    pub fn remove_edge(&mut self, u: Vertex, v: Vertex) -> usize {
+        let a = self.remove_arc(u, v) as usize;
+        let b = if u != v { self.remove_arc(v, u) as usize } else { 0 };
+        a + b
+    }
+
+    /// Freezes into an immutable CSR [`Graph`]. The result is
+    /// canonical: `DynGraph::from_graph(&g).snapshot() == g`.
+    pub fn snapshot(&self) -> Graph {
+        let n = self.num_vertices();
+        let pack = |lists: &[Vec<Vertex>]| {
+            let mut off = Vec::with_capacity(n + 1);
+            let mut adj = Vec::with_capacity(self.num_arcs);
+            off.push(0u32);
+            for row in lists {
+                adj.extend_from_slice(row);
+                off.push(adj.len() as u32);
+            }
+            (off, adj)
+        };
+        let (out_off, out_adj) = pack(&self.out);
+        let (in_off, in_adj) = pack(&self.inn);
+        let symmetric = (0..n as u32).all(|v| self.out[v as usize] == self.inn[v as usize]);
+        Graph::from_raw_parts(
+            n,
+            self.label_dim,
+            out_off,
+            out_adj,
+            in_off,
+            in_adj,
+            self.labels.clone(),
+            symmetric,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families;
+
+    #[test]
+    fn round_trip_is_identity() {
+        let g = families::petersen();
+        let d = DynGraph::from_graph(&g);
+        assert_eq!(d.snapshot(), g);
+    }
+
+    #[test]
+    fn insert_remove_round_trip() {
+        let g = families::cycle(6);
+        let mut d = DynGraph::from_graph(&g);
+        assert_eq!(d.insert_edge(0, 3), 2);
+        assert!(d.has_arc(0, 3) && d.has_arc(3, 0));
+        assert_eq!(d.insert_edge(0, 3), 0, "re-insert is a no-op");
+        assert_eq!(d.remove_edge(0, 3), 2);
+        assert_eq!(d.snapshot(), g, "insert then remove restores the graph");
+    }
+
+    #[test]
+    fn snapshot_tracks_symmetry() {
+        let mut d = DynGraph::new(3);
+        d.insert_arc(0, 1);
+        assert!(!d.snapshot().is_symmetric());
+        d.insert_arc(1, 0);
+        assert!(d.snapshot().is_symmetric());
+    }
+
+    #[test]
+    fn arc_count_tracks_edits() {
+        let mut d = DynGraph::new(4);
+        assert_eq!(d.num_arcs(), 0);
+        d.insert_edge(0, 1);
+        d.insert_edge(1, 2);
+        assert_eq!(d.num_arcs(), 4);
+        d.remove_arc(0, 1);
+        assert_eq!(d.num_arcs(), 3);
+        assert_eq!(d.snapshot().num_arcs(), 3);
+    }
+}

@@ -133,6 +133,77 @@ impl Graph {
         &self.labels
     }
 
+    /// Raw out-CSR view `(offsets, adjacency)` — `n + 1` offsets over
+    /// a flat neighbour array. This is the layout the on-disk segment
+    /// format of `gel-store` persists verbatim, so round-trips are
+    /// byte-exact by construction.
+    #[inline]
+    pub fn csr_out(&self) -> (&[u32], &[Vertex]) {
+        (&self.out_off, &self.out_adj)
+    }
+
+    /// Raw in-CSR view `(offsets, adjacency)` (the transpose of
+    /// [`Graph::csr_out`]).
+    #[inline]
+    pub fn csr_in(&self) -> (&[u32], &[Vertex]) {
+        (&self.in_off, &self.in_adj)
+    }
+
+    /// Reassembles a graph from raw CSR parts — the inverse of reading
+    /// [`Graph::csr_out`]/[`Graph::csr_in`]/[`Graph::labels_flat`] back
+    /// from a `gel-store` segment. Cheap structural invariants
+    /// (monotone offsets, in-range sorted neighbour lists, matching
+    /// lengths) are always checked so a corrupted segment cannot build
+    /// a graph that later violates slice bounds; the full
+    /// transpose-consistency check runs in debug builds only.
+    ///
+    /// # Panics
+    /// Panics when any invariant fails.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_raw_parts(
+        n: usize,
+        label_dim: usize,
+        out_off: Vec<u32>,
+        out_adj: Vec<Vertex>,
+        in_off: Vec<u32>,
+        in_adj: Vec<Vertex>,
+        labels: Vec<f64>,
+        symmetric: bool,
+    ) -> Graph {
+        assert!(label_dim >= 1, "label dimension must be at least 1");
+        assert_eq!(labels.len(), n * label_dim, "label buffer size mismatch");
+        let check_csr = |off: &[u32], adj: &[Vertex], what: &str| {
+            assert_eq!(off.len(), n + 1, "{what} offset table must have n + 1 entries");
+            assert_eq!(off[0], 0, "{what} offsets must start at 0");
+            assert!(off.windows(2).all(|w| w[0] <= w[1]), "{what} offsets must be monotone");
+            assert_eq!(off[n] as usize, adj.len(), "{what} offsets must cover the adjacency");
+            for v in 0..n {
+                let row = &adj[off[v] as usize..off[v + 1] as usize];
+                assert!(
+                    row.windows(2).all(|w| w[0] < w[1]),
+                    "{what} neighbour lists must be sorted and deduplicated"
+                );
+                assert!(row.iter().all(|&u| (u as usize) < n), "{what} neighbour out of range");
+            }
+        };
+        check_csr(&out_off, &out_adj, "out");
+        check_csr(&in_off, &in_adj, "in");
+        assert_eq!(out_adj.len(), in_adj.len(), "in/out arc counts must match");
+        let g = Graph { n, label_dim, out_off, out_adj, in_off, in_adj, labels, symmetric };
+        debug_assert!(
+            g.arcs().all(|(u, v)| g.in_adj
+                [g.in_off[v as usize] as usize..g.in_off[v as usize + 1] as usize]
+                .binary_search(&u)
+                .is_ok()),
+            "in-CSR must be the transpose of out-CSR"
+        );
+        debug_assert!(
+            !symmetric || g.arcs().all(|(u, v)| g.has_edge(v, u)),
+            "symmetric flag requires a symmetric arc set"
+        );
+        g
+    }
+
     /// Iterator over all arcs `(u, v)`.
     pub fn arcs(&self) -> impl Iterator<Item = (Vertex, Vertex)> + '_ {
         (0..self.n).flat_map(move |u| {

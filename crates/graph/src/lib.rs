@@ -6,6 +6,8 @@
 //! needs:
 //!
 //! * [`graph`] — the CSR [`Graph`] value type and [`GraphBuilder`];
+//! * [`dynamic`] — the mutable [`DynGraph`] companion that the
+//!   incremental colour-refinement engine edits through;
 //! * [`families`] — deterministic families (cycles, grids, Petersen,
 //!   the Shrikhande / 4×4-rook strongly-regular pair, ladders);
 //! * [`cfi`] — the Cai–Fürer–Immerman construction, the canonical
@@ -29,6 +31,7 @@
 pub mod batch;
 pub mod cfi;
 pub mod datasets;
+pub mod dynamic;
 pub mod elim;
 pub mod families;
 pub mod graph;
@@ -39,5 +42,6 @@ pub mod typed;
 
 pub use batch::BatchedGraphs;
 pub use cfi::{cfi_graph, cfi_pair, cfi_pair_k4, CfiVariant};
+pub use dynamic::DynGraph;
 pub use graph::{Graph, GraphBuilder, Vertex};
 pub use iso::{are_isomorphic, find_isomorphism, verify_isomorphism};

@@ -145,6 +145,80 @@ pub fn random_permutation(n: usize, rng: &mut impl Rng) -> Vec<Vertex> {
     p
 }
 
+/// A streaming R-MAT arc generator over `2^scale` vertices
+/// (Chakrabarti–Zhan–Faloutsos): each arc descends `scale` quadrant
+/// choices weighted `(a, b, c, d)`, which yields the skewed degree
+/// distributions of social/citation graphs. The iterator holds O(1)
+/// state, so multi-million-edge streams never materialise an edge
+/// list — `gel-store` ingests them straight into its write-ahead log.
+///
+/// Arcs are raw samples: duplicates and self-loops occur exactly as
+/// the model produces them (dedup happens downstream in CSR builds).
+/// The stream is a pure function of `(scale, num_edges, seed)`.
+pub struct RmatEdges {
+    scale: u32,
+    remaining: u64,
+    probs: [f64; 4],
+    rng: rand::rngs::StdRng,
+}
+
+impl RmatEdges {
+    /// Total arcs this stream yields (including already-consumed ones
+    /// when called mid-iteration it reports what is left).
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// Vertex-id upper bound `2^scale`.
+    pub fn num_vertices(&self) -> usize {
+        1usize << self.scale
+    }
+}
+
+impl Iterator for RmatEdges {
+    type Item = (Vertex, Vertex);
+
+    fn next(&mut self) -> Option<(Vertex, Vertex)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let (mut u, mut v) = (0u32, 0u32);
+        for _ in 0..self.scale {
+            let r: f64 = self.rng.gen();
+            let q = match r {
+                _ if r < self.probs[0] => 0,
+                _ if r < self.probs[0] + self.probs[1] => 1,
+                _ if r < self.probs[0] + self.probs[1] + self.probs[2] => 2,
+                _ => 3,
+            };
+            u = (u << 1) | (q >> 1);
+            v = (v << 1) | (q & 1);
+        }
+        Some((u, v))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let r = self.remaining as usize;
+        (r, Some(r))
+    }
+}
+
+/// R-MAT stream with the classic social-network mix
+/// `(a, b, c, d) = (0.57, 0.19, 0.19, 0.05)`; `scale ≤ 31`.
+pub fn rmat_edges(scale: u32, num_edges: u64, seed: u64) -> RmatEdges {
+    rmat_edges_with(scale, num_edges, [0.57, 0.19, 0.19, 0.05], seed)
+}
+
+/// R-MAT stream with explicit quadrant weights (must sum to ~1).
+pub fn rmat_edges_with(scale: u32, num_edges: u64, probs: [f64; 4], seed: u64) -> RmatEdges {
+    assert!((1..=31).contains(&scale), "scale must be in 1..=31");
+    let total: f64 = probs.iter().sum();
+    assert!((total - 1.0).abs() < 1e-9, "quadrant weights must sum to 1");
+    use rand::SeedableRng;
+    RmatEdges { scale, remaining: num_edges, probs, rng: rand::rngs::StdRng::seed_from_u64(seed) }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,5 +302,28 @@ mod tests {
         let a = erdos_renyi(20, 0.3, &mut StdRng::seed_from_u64(99));
         let b = erdos_renyi(20, 0.3, &mut StdRng::seed_from_u64(99));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rmat_deterministic_and_in_range() {
+        let a: Vec<_> = rmat_edges(6, 500, 42).collect();
+        let b: Vec<_> = rmat_edges(6, 500, 42).collect();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 500);
+        assert!(a.iter().all(|&(u, v)| u < 64 && v < 64));
+        let c: Vec<_> = rmat_edges(6, 500, 43).collect();
+        assert_ne!(a, c, "different seeds must give different streams");
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        // The (0.57, .19, .19, .05) mix concentrates arcs on low ids.
+        let mut deg = vec![0usize; 1 << 8];
+        for (u, _) in rmat_edges(8, 20_000, 7) {
+            deg[u as usize] += 1;
+        }
+        let low: usize = deg[..128].iter().sum();
+        let high: usize = deg[128..].iter().sum();
+        assert!(low > 2 * high, "low {low} high {high}");
     }
 }

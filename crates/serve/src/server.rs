@@ -55,6 +55,7 @@ use crate::proto::{
 static OBS_REQUESTS: gel_obs::Counter = gel_obs::Counter::new("serve.requests");
 static OBS_REJECTED: gel_obs::Counter = gel_obs::Counter::new("serve.rejected");
 static OBS_ERRORS: gel_obs::Counter = gel_obs::Counter::new("serve.errors");
+static OBS_STORE_LOADS: gel_obs::Counter = gel_obs::Counter::new("serve.store.loads");
 
 /// Server configuration.
 #[derive(Debug, Clone, Copy)]
@@ -99,6 +100,11 @@ struct Shared {
     /// metrics another thread flushed in the window; totals remain
     /// exact, attribution is best-effort.
     obs_totals: Mutex<gel_obs::Snapshot>,
+    /// Optional on-disk corpus ([`gel_store::Store`]): eval requests
+    /// naming a graph absent from the in-memory registry fall back to
+    /// opening its segment and registering it, so clients address
+    /// million-edge corpora by name without pushing them over the wire.
+    store: RwLock<Option<gel_store::Store>>,
     shutdown: AtomicBool,
 }
 
@@ -129,6 +135,7 @@ impl Server {
             requests: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             obs_totals: Mutex::new(gel_obs::Snapshot::default()),
+            store: RwLock::new(None),
             shutdown: AtomicBool::new(false),
         });
         let accept_state = Arc::clone(&shared);
@@ -158,6 +165,16 @@ impl Server {
     /// the same registry capacity as the wire path.
     pub fn register_graph(&self, name: &str, g: Graph) -> Result<(), Response> {
         register(&self.shared, name.to_string(), g).map(|_| ())
+    }
+
+    /// Attaches an on-disk [`gel_store::Store`] as the fallback corpus:
+    /// an eval naming a graph the registry does not hold is answered by
+    /// opening `<name>.seg` from the store and registering the result
+    /// (counted under `serve.store.loads`; subject to the registry
+    /// capacity like any other registration). Replaces any previously
+    /// attached store.
+    pub fn attach_store(&self, store: gel_store::Store) {
+        *self.shared.store.write().unwrap_or_else(|e| e.into_inner()) = Some(store);
     }
 
     /// A point-in-time statistics frame, identical to what a
@@ -334,10 +351,41 @@ impl Drop for InflightGuard<'_> {
     }
 }
 
+/// Registry lookup with store fallback: a name the in-memory registry
+/// does not hold is loaded from the attached [`gel_store::Store`] (if
+/// any) and registered, subject to the same capacity as a wire
+/// registration. The segment read happens outside the registry lock;
+/// two racing loaders both read but the second insert wins harmlessly
+/// (segments are immutable, so both hold the same graph).
+fn resolve_graph(state: &Arc<Shared>, name: &str) -> Result<Arc<Graph>, Response> {
+    if let Some(g) = state.graphs.read().unwrap_or_else(|e| e.into_inner()).get(name) {
+        return Ok(Arc::clone(g));
+    }
+    let store = state.store.read().unwrap_or_else(|e| e.into_inner()).clone();
+    if let Some(store) = store {
+        if store.contains(name) {
+            let g = store.open_graph(name).map_err(|e| {
+                err(ErrorCode::UnknownGraph, format!("store segment {name:?} unreadable: {e}"))
+            })?;
+            register(state, name.to_string(), g)?;
+            OBS_STORE_LOADS.incr();
+            let g = state
+                .graphs
+                .read()
+                .unwrap_or_else(|e| e.into_inner())
+                .get(name)
+                .cloned()
+                .expect("just registered");
+            return Ok(g);
+        }
+    }
+    Err(err(ErrorCode::UnknownGraph, format!("no graph named {name:?}")))
+}
+
 fn eval_on(state: &Arc<Shared>, graph_name: &str, expr: gel_lang::Expr) -> Response {
-    let Some(g) = state.graphs.read().unwrap_or_else(|e| e.into_inner()).get(graph_name).cloned()
-    else {
-        return err(ErrorCode::UnknownGraph, format!("no graph named {graph_name:?}"));
+    let g = match resolve_graph(state, graph_name) {
+        Ok(g) => g,
+        Err(resp) => return resp,
     };
 
     // Pre-flight: typed errors instead of evaluator panics.

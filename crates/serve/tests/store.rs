@@ -1,0 +1,87 @@
+//! End-to-end coverage of the store-backed corpus: a server with an
+//! attached [`gel_store::Store`] answers eval requests for graphs it
+//! never saw over the wire, loading them from disk on first use, and
+//! the loaded graph evaluates bit-identically to an in-process run.
+
+use gel_graph::families::{cycle, petersen};
+use gel_serve::{Client, ClientError, ErrorCode, ServeOptions, Server};
+use gel_store::Store;
+
+fn tmpstore(tag: &str) -> Store {
+    let d = std::env::temp_dir().join(format!("gel-serve-store-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    Store::open(d).unwrap()
+}
+
+/// Degree of every vertex: `sum_{x2} E(x1, x2)`.
+const DEGREE: &str = "sum_{x2}(const[1] | E(x1,x2))";
+
+#[test]
+fn eval_falls_back_to_the_attached_store() {
+    let store = tmpstore("fallback");
+    let g = petersen();
+    store.put_graph("petersen", &g).unwrap();
+    store.put_graph("c6", &cycle(6)).unwrap();
+
+    let server = Server::bind(ServeOptions::default()).unwrap();
+    server.attach_store(store.clone());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // Never registered over the wire — resolved from disk.
+    assert_eq!(client.list_graphs().unwrap(), Vec::<String>::new());
+    let (_, dim, n, data) = client.eval_text("petersen", DEGREE).unwrap();
+    assert_eq!((dim, n), (1, 10));
+    let direct = gel_lang::eval(&gel_lang::parse(DEGREE).unwrap(), &g);
+    let bits: Vec<u64> = data.iter().map(|v| v.to_bits()).collect();
+    let want: Vec<u64> = direct.data().iter().map(|v| v.to_bits()).collect();
+    assert_eq!(bits, want, "store-loaded eval must be bit-identical");
+
+    // The fallback registered the graph: later evals are registry hits
+    // and the name shows up in listings.
+    assert_eq!(client.list_graphs().unwrap(), vec!["petersen"]);
+    let (_, _, n2, _) = client.eval_text("c6", DEGREE).unwrap();
+    assert_eq!(n2, 6);
+    assert_eq!(client.list_graphs().unwrap(), vec!["c6", "petersen"]);
+
+    // A name in neither registry nor store is still UnknownGraph.
+    match client.eval_text("absent", DEGREE) {
+        Err(ClientError::Server { code: ErrorCode::UnknownGraph, .. }) => {}
+        other => panic!("expected UnknownGraph, got {other:?}"),
+    }
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(store.dir());
+}
+
+#[test]
+fn store_fallback_respects_registry_capacity() {
+    let store = tmpstore("cap");
+    store.put_graph("a", &cycle(4)).unwrap();
+    store.put_graph("b", &cycle(5)).unwrap();
+
+    let opts = ServeOptions { max_graphs: 1, ..ServeOptions::default() };
+    let server = Server::bind(opts).unwrap();
+    server.attach_store(store.clone());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    client.eval_text("a", DEGREE).unwrap();
+    match client.eval_text("b", DEGREE) {
+        Err(ClientError::Server { code: ErrorCode::RegistryFull, .. }) => {}
+        other => panic!("expected RegistryFull, got {other:?}"),
+    }
+    // Freeing a slot lets the fallback admit the second graph.
+    client.unregister_graph("a").unwrap();
+    client.eval_text("b", DEGREE).unwrap();
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(store.dir());
+}
+
+#[test]
+fn detached_server_still_rejects_unknown_names() {
+    let server = Server::bind(ServeOptions::default()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    match client.eval_text("nowhere", DEGREE) {
+        Err(ClientError::Server { code: ErrorCode::UnknownGraph, .. }) => {}
+        other => panic!("expected UnknownGraph, got {other:?}"),
+    }
+    server.shutdown();
+}

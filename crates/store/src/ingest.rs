@@ -1,0 +1,644 @@
+//! Out-of-core CSR construction: WAL → segment in bounded memory.
+//!
+//! The builder never materialises the edge list. It makes one pass
+//! over the log to learn the shape (vertex count, raw degrees,
+//! labels), then builds each CSR section with *chunked scatter
+//! passes*: the vertex range is greedily split into chunks whose raw
+//! arcs fit a caller-chosen byte budget, and each chunk replays the
+//! log, collects just its arcs, sorts and deduplicates them, and
+//! appends the finished neighbour lists straight to the segment file.
+//! Because every arc with a given source lands in exactly one chunk,
+//! per-chunk dedup is global dedup, and the final offsets stream out
+//! chunk by chunk. The same machinery runs twice — keyed by source
+//! for the out-CSR, by target for the in-CSR.
+//!
+//! Peak memory is `O(n)` bookkeeping (degrees, offsets, labels) plus
+//! the chunk budget — independent of the arc count `m`. The price is
+//! re-reading the log once per chunk, the classic out-of-core
+//! trade: disk sequential reads are cheap, RAM is the scarce
+//! resource. [`IngestStats::peak_buffer_bytes`] reports the observed
+//! high-water mark of builder-owned buffers so the `--bench ingest`
+//! smoke gate can assert the bound instead of trusting it.
+//!
+//! The result is bit-compatible with [`gel_graph::GraphBuilder`]: the
+//! same sort + dedup semantics, the same symmetry detection (the out
+//! and in sections are compared after the build), so a graph ingested
+//! from an edge-list file equals `parse_edge_list` of the same file.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use crate::segment::{Fnv64, SegmentMeta, HEADER_BYTES, SEGMENT_MAGIC};
+use crate::wal::{pairs, Wal, WalReader, WalRecord};
+
+static INGEST_ARCS: gel_obs::Counter = gel_obs::Counter::new("store.ingest.arcs");
+static INGEST_PASSES: gel_obs::Counter = gel_obs::Counter::new("store.ingest.passes");
+static INGEST_PEAK: gel_obs::Gauge = gel_obs::Gauge::new("store.ingest.peak_bytes");
+
+/// Tuning knobs for [`build_segment_from_wal`].
+#[derive(Debug, Clone, Copy)]
+pub struct IngestOptions {
+    /// Byte budget for the per-chunk arc buffer (the dominant
+    /// allocation). Smaller budgets mean more log replays; the
+    /// default (8 MiB ≈ 1M arcs per chunk) builds multi-million-edge
+    /// graphs in a handful of passes.
+    pub chunk_budget_bytes: usize,
+}
+
+impl Default for IngestOptions {
+    fn default() -> Self {
+        IngestOptions { chunk_budget_bytes: 8 << 20 }
+    }
+}
+
+/// What an ingest did: shape, cost, and memory high-water mark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Final segment header.
+    pub meta: SegmentMeta,
+    /// Raw arcs streamed from the log (before dedup; an undirected
+    /// edge counts as two arcs).
+    pub arcs_streamed: u64,
+    /// WAL records replayed on the first (shape) pass.
+    pub wal_records: u64,
+    /// Total log replays (1 shape pass + one per scatter chunk).
+    pub passes: u32,
+    /// High-water mark of builder-owned buffer bytes.
+    pub peak_buffer_bytes: u64,
+}
+
+/// Tracks builder-owned allocation bytes and their high-water mark.
+struct MemGauge {
+    current: u64,
+    peak: u64,
+}
+
+impl MemGauge {
+    fn new() -> MemGauge {
+        MemGauge { current: 0, peak: 0 }
+    }
+
+    fn add(&mut self, bytes: u64) {
+        self.current += bytes;
+        if self.current > self.peak {
+            self.peak = self.current;
+        }
+    }
+
+    fn sub(&mut self, bytes: u64) {
+        self.current = self.current.saturating_sub(bytes);
+    }
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// The shape pass: meta, raw degree tallies, labels.
+struct Shape {
+    n: usize,
+    label_dim: usize,
+    deg_out: Vec<u32>,
+    deg_in: Vec<u32>,
+    labels: Vec<f64>,
+    arcs_streamed: u64,
+    wal_records: u64,
+}
+
+fn scan_shape(wal_path: &Path) -> io::Result<Shape> {
+    let mut reader = WalReader::open(wal_path)?;
+    let (mut n, mut label_dim) = (None::<usize>, 1usize);
+    let mut deg_out: Vec<u32> = Vec::new();
+    let mut deg_in: Vec<u32> = Vec::new();
+    let mut labels: Vec<f64> = Vec::new();
+    let mut arcs_streamed = 0u64;
+    let mut wal_records = 0u64;
+    let bump = |deg: &mut Vec<u32>, v: u32, n: usize| -> io::Result<()> {
+        if v as usize >= n {
+            return Err(bad(format!("vertex {v} out of range (n = {n})")));
+        }
+        deg[v as usize] = deg[v as usize]
+            .checked_add(1)
+            .ok_or_else(|| bad("raw degree overflow (more than u32::MAX arcs at one vertex)"))?;
+        Ok(())
+    };
+    while let Some(rec) = reader.next()? {
+        wal_records += 1;
+        match rec {
+            WalRecord::Meta { n: wn, label_dim: wd } => {
+                if n.is_some() {
+                    return Err(bad("duplicate Meta record"));
+                }
+                if wn > u32::MAX as u64 || wd == 0 || wd > u32::MAX as u64 {
+                    return Err(bad("Meta record out of range"));
+                }
+                n = Some(wn as usize);
+                label_dim = wd as usize;
+                deg_out = vec![0u32; wn as usize];
+                deg_in = vec![0u32; wn as usize];
+                // GraphBuilder label defaults: constant 1 for scalar
+                // labels, zeros otherwise.
+                labels = if label_dim == 1 {
+                    vec![1.0; wn as usize]
+                } else {
+                    vec![0.0; wn as usize * label_dim]
+                };
+            }
+            WalRecord::Arcs(body) => {
+                let n = n.ok_or_else(|| bad("arc record before Meta"))?;
+                for (u, v) in pairs(body) {
+                    bump(&mut deg_out, u, n)?;
+                    bump(&mut deg_in, v, n)?;
+                    arcs_streamed += 1;
+                }
+            }
+            WalRecord::Edges(body) => {
+                let n = n.ok_or_else(|| bad("edge record before Meta"))?;
+                for (u, v) in pairs(body) {
+                    bump(&mut deg_out, u, n)?;
+                    bump(&mut deg_in, v, n)?;
+                    arcs_streamed += 1;
+                    if u != v {
+                        bump(&mut deg_out, v, n)?;
+                        bump(&mut deg_in, u, n)?;
+                        arcs_streamed += 1;
+                    }
+                }
+            }
+            WalRecord::Labels { start, values } => {
+                let n = n.ok_or_else(|| bad("label record before Meta"))?;
+                if !values.len().is_multiple_of(8 * label_dim) {
+                    return Err(bad("label record length not a multiple of the row size"));
+                }
+                let rows = values.len() / (8 * label_dim);
+                let start = start as usize;
+                if start + rows > n {
+                    return Err(bad("label record out of range"));
+                }
+                for (i, chunk) in values.chunks_exact(8).enumerate() {
+                    labels[start * label_dim + i] =
+                        f64::from_bits(u64::from_le_bytes(chunk.try_into().unwrap()));
+                }
+            }
+        }
+    }
+    if reader.torn() {
+        return Err(bad("WAL has a torn tail; recover it with Wal::open before building"));
+    }
+    let n = n.ok_or_else(|| bad("WAL has no Meta record"))?;
+    if arcs_streamed > u32::MAX as u64 {
+        return Err(bad("more than u32::MAX raw arcs (CSR offsets are u32)"));
+    }
+    Ok(Shape { n, label_dim, deg_out, deg_in, labels, arcs_streamed, wal_records })
+}
+
+/// Greedy chunking of `0..n` so each chunk's raw-arc total fits
+/// `cap_arcs` (single heavy vertices get a chunk of their own).
+fn plan_chunks(deg: &[u32], cap_arcs: u64) -> Vec<(u32, u32)> {
+    let mut chunks = Vec::new();
+    let n = deg.len() as u32;
+    let mut start = 0u32;
+    let mut acc = 0u64;
+    for v in 0..n {
+        let d = deg[v as usize] as u64;
+        if v > start && acc + d > cap_arcs {
+            chunks.push((start, v));
+            start = v;
+            acc = 0;
+        }
+        acc += d;
+    }
+    if start < n || n == 0 {
+        chunks.push((start, n));
+    }
+    chunks
+}
+
+/// One scatter direction: replays the log per chunk, writes finished
+/// neighbour lists to `file` starting at `section_pos`, and returns
+/// the final (deduplicated) CSR offsets.
+///
+/// `key_of` maps an arc to `(key, value)` for this direction —
+/// `(u, v)` for the out-CSR, `(v, u)` for the in-CSR.
+#[allow(clippy::too_many_arguments)] // one pass = one bundle of pipeline state
+fn scatter_pass(
+    wal_path: &Path,
+    file: &mut File,
+    section_pos: u64,
+    n: usize,
+    chunks: &[(u32, u32)],
+    out_direction: bool,
+    mem: &mut MemGauge,
+    passes: &mut u32,
+) -> io::Result<Vec<u32>> {
+    let mut off = vec![0u32; n + 1];
+    mem.add((n as u64 + 1) * 4);
+    file.seek(SeekFrom::Start(section_pos))?;
+    let mut w = BufWriter::with_capacity(64 * 1024, &mut *file);
+    mem.add(64 * 1024);
+    let mut buf: Vec<(u32, u32)> = Vec::new();
+    let mut written = 0u32;
+    for &(a, b) in chunks {
+        buf.clear();
+        let mut reader = WalReader::open(wal_path)?;
+        *passes += 1;
+        INGEST_PASSES.incr();
+        let in_range = |k: u32| k >= a && k < b;
+        while let Some(rec) = reader.next()? {
+            match rec {
+                WalRecord::Arcs(body) => {
+                    for (u, v) in pairs(body) {
+                        let (k, val) = if out_direction { (u, v) } else { (v, u) };
+                        if in_range(k) {
+                            buf.push((k, val));
+                        }
+                    }
+                }
+                WalRecord::Edges(body) => {
+                    for (u, v) in pairs(body) {
+                        // Both arcs (u,v) and (v,u); key by direction.
+                        if in_range(u) {
+                            buf.push((u, v));
+                        }
+                        if u != v && in_range(v) {
+                            buf.push((v, u));
+                        }
+                    }
+                }
+                WalRecord::Meta { .. } | WalRecord::Labels { .. } => {}
+            }
+        }
+        buf.sort_unstable();
+        buf.dedup();
+        mem.add(buf.capacity() as u64 * 8);
+        let mut i = 0usize;
+        for v in a..b {
+            let start = i;
+            while i < buf.len() && buf[i].0 == v {
+                w.write_all(&buf[i].1.to_le_bytes())?;
+                i += 1;
+            }
+            written += (i - start) as u32;
+            off[v as usize + 1] = written;
+        }
+        debug_assert_eq!(i, buf.len(), "chunk buffer held arcs outside its vertex range");
+        mem.sub(buf.capacity() as u64 * 8);
+    }
+    w.flush()?;
+    drop(w);
+    mem.sub(64 * 1024);
+    // The loop above stored cumulative arc counts directly, so `off`
+    // is already the prefix-sum CSR offset table.
+    Ok(off)
+}
+
+fn write_u32s_at(file: &mut File, pos: u64, xs: &[u32]) -> io::Result<()> {
+    file.seek(SeekFrom::Start(pos))?;
+    let mut w = BufWriter::with_capacity(64 * 1024, file);
+    for &x in xs {
+        w.write_all(&x.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Streamed byte-equality of two same-length file ranges.
+fn ranges_equal(path: &Path, pos_a: u64, pos_b: u64, len: u64) -> io::Result<bool> {
+    let mut fa = BufReader::new(File::open(path)?);
+    let mut fb = BufReader::new(File::open(path)?);
+    fa.seek(SeekFrom::Start(pos_a))?;
+    fb.seek(SeekFrom::Start(pos_b))?;
+    let mut ba = [0u8; 64 * 1024];
+    let mut bb = [0u8; 64 * 1024];
+    let mut left = len;
+    while left > 0 {
+        let take = (left as usize).min(ba.len());
+        fa.read_exact(&mut ba[..take])?;
+        fb.read_exact(&mut bb[..take])?;
+        if ba[..take] != bb[..take] {
+            return Ok(false);
+        }
+        left -= take as u64;
+    }
+    Ok(true)
+}
+
+/// Builds the segment at `seg_path` from the committed log at
+/// `wal_path`. See the module docs for the algorithm and the memory
+/// contract.
+pub fn build_segment_from_wal(
+    wal_path: &Path,
+    seg_path: &Path,
+    opts: IngestOptions,
+) -> io::Result<IngestStats> {
+    let mut mem = MemGauge::new();
+    let mut passes = 0u32;
+
+    let shape = scan_shape(wal_path)?;
+    passes += 1;
+    INGEST_PASSES.incr();
+    INGEST_ARCS.add(shape.arcs_streamed);
+    let n = shape.n;
+    mem.add((n as u64) * 8); // deg_out + deg_in
+    mem.add(shape.labels.len() as u64 * 8);
+
+    let cap_arcs = ((opts.chunk_budget_bytes / 8) as u64).max(1);
+    let out_chunks = plan_chunks(&shape.deg_out, cap_arcs);
+    let in_chunks = plan_chunks(&shape.deg_in, cap_arcs);
+
+    let tmp = seg_path.with_extension("seg.tmp");
+    let mut file =
+        OpenOptions::new().read(true).write(true).create(true).truncate(true).open(&tmp)?;
+
+    let off_bytes = (n as u64 + 1) * 4;
+    let out_off_pos = HEADER_BYTES;
+    let out_adj_pos = out_off_pos + off_bytes;
+    let out_off = scatter_pass(
+        wal_path,
+        &mut file,
+        out_adj_pos,
+        n,
+        &out_chunks,
+        true,
+        &mut mem,
+        &mut passes,
+    )?;
+    let m = out_off[n] as u64;
+    let in_off_pos = out_adj_pos + m * 4;
+    let in_adj_pos = in_off_pos + off_bytes;
+    let in_off =
+        scatter_pass(wal_path, &mut file, in_adj_pos, n, &in_chunks, false, &mut mem, &mut passes)?;
+    if in_off[n] as u64 != m {
+        return Err(bad("out/in arc totals disagree (WAL changed between passes?)"));
+    }
+
+    // Labels section.
+    let labels_pos = in_adj_pos + m * 4;
+    file.seek(SeekFrom::Start(labels_pos))?;
+    {
+        let mut w = BufWriter::with_capacity(64 * 1024, &mut file);
+        for &x in &shape.labels {
+            w.write_all(&x.to_bits().to_le_bytes())?;
+        }
+        w.flush()?;
+    }
+
+    // Offsets (known only now that dedup is done).
+    write_u32s_at(&mut file, out_off_pos, &out_off)?;
+    write_u32s_at(&mut file, in_off_pos, &in_off)?;
+
+    // Symmetry = exact equality of the out and in CSR sections, the
+    // same criterion GraphBuilder::build applies in memory.
+    file.flush()?;
+    let symmetric = out_off == in_off && ranges_equal(&tmp, out_adj_pos, in_adj_pos, m * 4)?;
+
+    let meta = SegmentMeta { n, label_dim: shape.label_dim, num_arcs: m as usize, symmetric };
+    {
+        use crate::segment::HEADER_BYTES as HB;
+        let mut h = [0u8; HB as usize];
+        h[0..8].copy_from_slice(&SEGMENT_MAGIC);
+        let flags: u64 = if symmetric { 1 } else { 0 };
+        h[8..16].copy_from_slice(&flags.to_le_bytes());
+        h[16..24].copy_from_slice(&(n as u64).to_le_bytes());
+        h[24..32].copy_from_slice(&(shape.label_dim as u64).to_le_bytes());
+        h[32..40].copy_from_slice(&(m).to_le_bytes());
+        file.seek(SeekFrom::Start(0))?;
+        file.write_all(&h)?;
+    }
+
+    // Checksum: one sequential read of everything written, then the
+    // trailing digest.
+    let body_len = labels_pos + shape.labels.len() as u64 * 8;
+    file.flush()?;
+    file.seek(SeekFrom::Start(0))?;
+    let mut hash = Fnv64::new();
+    {
+        let mut r = BufReader::with_capacity(64 * 1024, &mut file);
+        let mut buf = [0u8; 64 * 1024];
+        let mut left = body_len;
+        while left > 0 {
+            let take = (left as usize).min(buf.len());
+            r.read_exact(&mut buf[..take])?;
+            hash.update(&buf[..take]);
+            left -= take as u64;
+        }
+    }
+    file.seek(SeekFrom::Start(body_len))?;
+    file.write_all(&hash.digest().to_le_bytes())?;
+    file.set_len(body_len + 8)?;
+    file.flush()?;
+    drop(file);
+    std::fs::rename(&tmp, seg_path)?;
+
+    INGEST_PEAK.set_max(mem.peak as f64);
+    Ok(IngestStats {
+        meta,
+        arcs_streamed: shape.arcs_streamed,
+        wal_records: shape.wal_records,
+        passes,
+        peak_buffer_bytes: mem.peak,
+    })
+}
+
+/// Streams edge-list text (the `gel_graph::io` format: `n`/`v`/`e`/`a`
+/// lines, `#` comments) from `reader` into the log at `wal_path`,
+/// batching arcs so memory stays bounded by the batch size no matter
+/// how large the input is. Returns the committed log's record count.
+pub fn wal_from_edge_list(reader: impl BufRead, wal_path: &Path) -> io::Result<u64> {
+    const BATCH: usize = 4096;
+    let err = |line: usize, msg: &str| bad(format!("edge list error on line {line}: {msg}"));
+    let mut wal = Wal::create(wal_path)?;
+    let mut shape: Option<(usize, usize)> = None;
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(BATCH);
+    let mut arcs: Vec<(u32, u32)> = Vec::with_capacity(BATCH);
+    for (i, line) in reader.lines().enumerate() {
+        let line_no = i + 1;
+        let raw = line?;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let tag = parts.next().unwrap();
+        match tag {
+            "n" => {
+                if shape.is_some() {
+                    return Err(err(line_no, "duplicate 'n' header"));
+                }
+                let n: usize = parts
+                    .next()
+                    .ok_or_else(|| err(line_no, "missing vertex count"))?
+                    .parse()
+                    .map_err(|_| err(line_no, "bad vertex count"))?;
+                let dim: usize = match parts.next() {
+                    Some(d) => d.parse().map_err(|_| err(line_no, "bad label dim"))?,
+                    None => 1,
+                };
+                shape = Some((n, dim));
+                wal.append_meta(n as u64, dim as u64)?;
+            }
+            "v" | "e" | "a" => {
+                let &(n, dim) =
+                    shape.as_ref().ok_or_else(|| err(line_no, "'n' header must come first"))?;
+                let u: u32 = parts
+                    .next()
+                    .ok_or_else(|| err(line_no, "missing vertex id"))?
+                    .parse()
+                    .map_err(|_| err(line_no, "bad vertex id"))?;
+                if (u as usize) >= n {
+                    return Err(err(line_no, "vertex id out of range"));
+                }
+                if tag == "v" {
+                    let label: Result<Vec<f64>, _> = parts.map(str::parse).collect();
+                    let label = label.map_err(|_| err(line_no, "bad label value"))?;
+                    if label.len() != dim {
+                        return Err(err(line_no, "label dimension mismatch"));
+                    }
+                    wal.append_labels(u as u64, &label)?;
+                } else {
+                    let v: u32 = parts
+                        .next()
+                        .ok_or_else(|| err(line_no, "missing second vertex"))?
+                        .parse()
+                        .map_err(|_| err(line_no, "bad vertex id"))?;
+                    if (v as usize) >= n {
+                        return Err(err(line_no, "vertex id out of range"));
+                    }
+                    let batch = if tag == "e" { &mut edges } else { &mut arcs };
+                    batch.push((u, v));
+                    if batch.len() >= BATCH {
+                        if tag == "e" {
+                            wal.append_edges(&edges)?;
+                            edges.clear();
+                        } else {
+                            wal.append_arcs(&arcs)?;
+                            arcs.clear();
+                        }
+                    }
+                }
+            }
+            other => return Err(err(line_no, &format!("unknown tag {other:?}"))),
+        }
+    }
+    if shape.is_none() {
+        return Err(err(1, "empty input (no 'n' header)"));
+    }
+    if !edges.is_empty() {
+        wal.append_edges(&edges)?;
+    }
+    if !arcs.is_empty() {
+        wal.append_arcs(&arcs)?;
+    }
+    wal.commit()?;
+    Ok(wal.records())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::read_segment;
+    use gel_graph::io::{parse_edge_list, to_edge_list};
+    use gel_graph::{families, random};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("gel-store-ing-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn build_from_text(
+        dir: &Path,
+        text: &str,
+        opts: IngestOptions,
+    ) -> (gel_graph::Graph, IngestStats) {
+        let wal_path = dir.join("g.wal");
+        let seg_path = dir.join("g.seg");
+        wal_from_edge_list(io::Cursor::new(text), &wal_path).unwrap();
+        let stats = build_segment_from_wal(&wal_path, &seg_path, opts).unwrap();
+        (read_segment(&seg_path).unwrap(), stats)
+    }
+
+    #[test]
+    fn text_ingest_matches_in_memory_parser() {
+        let dir = tmpdir("parse");
+        for g in [
+            families::petersen(),
+            families::cycle(9),
+            families::path(4).with_labels(vec![0.5, 1.5, -2.0, 7.0], 1),
+            random::erdos_renyi(40, 0.2, &mut StdRng::seed_from_u64(3)),
+        ] {
+            let text = to_edge_list(&g);
+            let expect = parse_edge_list(&text).unwrap();
+            let (got, stats) = build_from_text(&dir, &text, IngestOptions::default());
+            assert_eq!(got, expect);
+            assert_eq!(stats.meta.num_arcs, expect.num_arcs());
+            assert_eq!(stats.meta.symmetric, expect.is_symmetric());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn directed_and_duplicate_arcs() {
+        let dir = tmpdir("dup");
+        let text = "n 4\na 0 1\na 0 1\na 2 1\na 1 0\ne 2 3\n";
+        let expect = parse_edge_list(text).unwrap();
+        let (got, stats) = build_from_text(&dir, text, IngestOptions::default());
+        assert_eq!(got, expect);
+        assert_eq!(stats.arcs_streamed, 6, "raw arcs counted before dedup");
+        assert_eq!(got.num_arcs(), 5, "duplicates collapse");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tiny_chunk_budget_gives_same_graph_more_passes() {
+        let dir = tmpdir("chunks");
+        let g = random::erdos_renyi(60, 0.3, &mut StdRng::seed_from_u64(11));
+        let text = to_edge_list(&g);
+        let (roomy, s_roomy) = build_from_text(&dir, &text, IngestOptions::default());
+        let tight = IngestOptions { chunk_budget_bytes: 256 };
+        let (cramped, s_tight) = build_from_text(&dir, &text, tight);
+        assert_eq!(roomy, cramped, "chunking must not change the graph");
+        assert!(s_tight.passes > s_roomy.passes, "tighter budget, more passes");
+        assert!(
+            s_tight.peak_buffer_bytes < s_roomy.peak_buffer_bytes
+                || s_roomy.peak_buffer_bytes < (1 << 20),
+            "tight budget must not inflate the buffer high-water mark"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn self_loops_round_trip() {
+        let dir = tmpdir("loops");
+        let text = "n 3\ne 0 0\ne 0 1\na 2 2\n";
+        let expect = parse_edge_list(text).unwrap();
+        let (got, _) = build_from_text(&dir, text, IngestOptions::default());
+        assert_eq!(got, expect);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        let dir = tmpdir("errs");
+        let wal_path = dir.join("bad.wal");
+        // Arc before Meta.
+        let mut w = Wal::create(&wal_path).unwrap();
+        w.append_arcs(&[(0, 1)]).unwrap();
+        w.commit().unwrap();
+        assert!(
+            build_segment_from_wal(&wal_path, &dir.join("bad.seg"), Default::default()).is_err()
+        );
+        // Vertex out of range.
+        let mut w = Wal::create(&wal_path).unwrap();
+        w.append_meta(2, 1).unwrap();
+        w.append_arcs(&[(0, 5)]).unwrap();
+        w.commit().unwrap();
+        assert!(
+            build_segment_from_wal(&wal_path, &dir.join("bad.seg"), Default::default()).is_err()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,35 @@
+//! # gel-store — the persistent graph substrate
+//!
+//! DESIGN.md §11: million-edge graphs live on disk, not in the
+//! process. This crate provides the three layers that make that work:
+//!
+//! * [`segment`] — frozen, checksummed on-disk CSR images with a
+//!   fixed little-endian layout; a [`Graph`](gel_graph::Graph)
+//!   round-trips through a segment byte-identically, and the fixed
+//!   header exposes `n`/`m`/density to planners without adjacency
+//!   I/O;
+//! * [`wal`] — the framed, per-record-checksummed write-ahead
+//!   ingestion log with torn-tail recovery; the log *is* the edge
+//!   buffer during ingest, which is what keeps memory bounded;
+//! * [`ingest`] — out-of-core CSR construction by chunked scatter
+//!   passes over the log (`O(n)` bookkeeping + a byte-budgeted chunk,
+//!   independent of the edge count), bit-compatible with
+//!   `GraphBuilder`;
+//! * [`registry`] — the named [`Store`] directory that
+//!   `gel-experiments` and `gel-serve` open corpora through.
+//!
+//! The `--bench ingest` harness streams a synthetic multi-million-edge
+//! R-MAT graph through this stack and gates edges/s plus the memory
+//! bound in CI.
+
+#![warn(missing_docs)]
+
+pub mod ingest;
+pub mod registry;
+pub mod segment;
+pub mod wal;
+
+pub use ingest::{build_segment_from_wal, wal_from_edge_list, IngestOptions, IngestStats};
+pub use registry::Store;
+pub use segment::{read_meta, read_segment, write_segment, SegmentMeta};
+pub use wal::{Wal, WalReader, WalRecord};

@@ -1,0 +1,189 @@
+//! The named corpus registry: a directory of segments that consumers
+//! (`gel-experiments`, `gel-serve`) open graphs through by name
+//! instead of constructing them in-process.
+//!
+//! Layout is deliberately boring — one `<name>.seg` file per graph,
+//! plus transient `<name>.wal` logs during ingest — so a registry is
+//! inspectable with `ls` and rsync-able between machines. Names are
+//! restricted to `[A-Za-z0-9._-]` (no path separators), which keeps
+//! lookups from escaping the registry directory.
+
+use std::io::{self, BufRead};
+use std::path::{Path, PathBuf};
+
+use gel_graph::Graph;
+
+use crate::ingest::{build_segment_from_wal, wal_from_edge_list, IngestOptions, IngestStats};
+use crate::segment::{read_meta, read_segment, write_segment, SegmentMeta};
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// A directory of named graph segments. See the module docs.
+#[derive(Debug, Clone)]
+pub struct Store {
+    dir: PathBuf,
+}
+
+impl Store {
+    /// Opens (creating if needed) the registry at `dir`.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<Store> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Store { dir })
+    }
+
+    /// The registry directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn check_name(name: &str) -> io::Result<()> {
+        let ok = !name.is_empty()
+            && name.len() <= 128
+            && name.chars().all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
+            && !name.starts_with('.');
+        if ok {
+            Ok(())
+        } else {
+            Err(bad(format!("invalid graph name {name:?}")))
+        }
+    }
+
+    /// The segment path a name resolves to.
+    pub fn segment_path(&self, name: &str) -> io::Result<PathBuf> {
+        Self::check_name(name)?;
+        Ok(self.dir.join(format!("{name}.seg")))
+    }
+
+    /// True when a segment named `name` exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.segment_path(name).map(|p| p.is_file()).unwrap_or(false)
+    }
+
+    /// Registered graph names, sorted.
+    pub fn list(&self) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let file = entry.file_name();
+            let file = file.to_string_lossy();
+            if let Some(name) = file.strip_suffix(".seg") {
+                if Self::check_name(name).is_ok() {
+                    names.push(name.to_string());
+                }
+            }
+        }
+        names.sort_unstable();
+        Ok(names)
+    }
+
+    /// Persists `g` under `name` (atomic replace).
+    pub fn put_graph(&self, name: &str, g: &Graph) -> io::Result<SegmentMeta> {
+        let path = self.segment_path(name)?;
+        write_segment(&path, g)?;
+        read_meta(&path)
+    }
+
+    /// Loads the graph named `name`, verifying the segment checksum.
+    pub fn open_graph(&self, name: &str) -> io::Result<Graph> {
+        read_segment(&self.segment_path(name)?)
+    }
+
+    /// Header-only statistics of `name` — `n`, arc count, label
+    /// dimension, symmetry — without reading the adjacency (this is
+    /// what the sparse-lowering planner's density estimates consume).
+    pub fn meta(&self, name: &str) -> io::Result<SegmentMeta> {
+        read_meta(&self.segment_path(name)?)
+    }
+
+    /// Removes the segment named `name`.
+    pub fn remove(&self, name: &str) -> io::Result<()> {
+        std::fs::remove_file(self.segment_path(name)?)
+    }
+
+    /// Streams edge-list text into `name` through a write-ahead log in
+    /// bounded memory: text → `<name>.wal` → out-of-core CSR build →
+    /// `<name>.seg`. The log is deleted on success and left in place
+    /// on failure (diagnosable, and recoverable via [`crate::Wal`]).
+    pub fn ingest_edge_list(
+        &self,
+        name: &str,
+        reader: impl BufRead,
+        opts: IngestOptions,
+    ) -> io::Result<IngestStats> {
+        let seg = self.segment_path(name)?;
+        let wal = self.dir.join(format!("{name}.wal"));
+        wal_from_edge_list(reader, &wal)?;
+        let stats = build_segment_from_wal(&wal, &seg, opts)?;
+        std::fs::remove_file(&wal)?;
+        Ok(stats)
+    }
+
+    /// Builds `name` from an already-written log (e.g. one streamed
+    /// from a generator). The log is left in place.
+    pub fn ingest_wal(
+        &self,
+        name: &str,
+        wal_path: &Path,
+        opts: IngestOptions,
+    ) -> io::Result<IngestStats> {
+        build_segment_from_wal(wal_path, &self.segment_path(name)?, opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gel_graph::families;
+
+    fn tmpstore(tag: &str) -> Store {
+        let d = std::env::temp_dir().join(format!("gel-store-reg-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        Store::open(d).unwrap()
+    }
+
+    #[test]
+    fn put_list_open_remove() {
+        let s = tmpstore("basic");
+        let g = families::petersen();
+        let h = families::cycle(6);
+        s.put_graph("petersen", &g).unwrap();
+        s.put_graph("c6", &h).unwrap();
+        assert_eq!(s.list().unwrap(), vec!["c6", "petersen"]);
+        assert!(s.contains("petersen") && !s.contains("absent"));
+        assert_eq!(s.open_graph("petersen").unwrap(), g);
+        assert_eq!(s.open_graph("c6").unwrap(), h);
+        let m = s.meta("petersen").unwrap();
+        assert_eq!((m.n, m.num_arcs, m.symmetric), (10, 30, true));
+        s.remove("c6").unwrap();
+        assert_eq!(s.list().unwrap(), vec!["petersen"]);
+        let _ = std::fs::remove_dir_all(s.dir());
+    }
+
+    #[test]
+    fn names_cannot_escape_the_directory() {
+        let s = tmpstore("names");
+        for bad in ["", "../oops", "a/b", "a\\b", ".hidden", "nul\0"] {
+            assert!(s.segment_path(bad).is_err(), "{bad:?} must be rejected");
+        }
+        for good in ["ok", "social-2026", "cfi_pair.v1"] {
+            assert!(s.segment_path(good).is_ok(), "{good:?} must be accepted");
+        }
+        let _ = std::fs::remove_dir_all(s.dir());
+    }
+
+    #[test]
+    fn ingest_edge_list_end_to_end() {
+        let s = tmpstore("ingest");
+        let g = families::petersen();
+        let text = gel_graph::io::to_edge_list(&g);
+        let stats =
+            s.ingest_edge_list("p", std::io::Cursor::new(text), IngestOptions::default()).unwrap();
+        assert_eq!(stats.meta.num_arcs, g.num_arcs());
+        assert_eq!(s.open_graph("p").unwrap(), g);
+        assert!(!s.dir().join("p.wal").exists(), "ingest log is cleaned up on success");
+        let _ = std::fs::remove_dir_all(s.dir());
+    }
+}

@@ -29,6 +29,14 @@ use crate::kernels;
 /// (~120 µs serial). The packed SIMD kernels run the serial path ~4.4×
 /// faster, so the same ~120 µs of absorbable work is now ~4× as many
 /// madds: 2²¹.
+///
+/// Re-measured against the packed kernels (2026-08): the serial core
+/// runs 128³ = 2²¹ madds in ~138 µs (~15 Gmadd/s), and the rayon
+/// fan-out costs ~40–90 µs per dispatch — so 2²¹ sits right at the
+/// point where a second thread's half-share of the serial time pays
+/// for the fan-out. Below it the dispatch can only lose; well above
+/// it the overhead amortises. Single-worker pools skip the question
+/// entirely via [`par_enabled`].
 const PAR_FLOPS_THRESHOLD: usize = 1 << 21;
 
 /// Whether the parallel kernel path can actually help: with one worker

@@ -18,16 +18,20 @@
 //!   refinement runs outside the lock, so concurrent missers may both
 //!   compute (identical results — refinement is deterministic) but
 //!   never block each other on the heavy work.
-//! * Capacity is bounded ([`MAX_ENTRIES`]); on overflow the store is
-//!   cleared wholesale, which is simple, correct, and fine for the
-//!   workloads here (the whole suite fits well under the bound).
+//! * Capacity is bounded ([`MAX_ENTRIES`]) by the same deterministic
+//!   LRU policy as the `gel-serve` plan cache: every slot carries the
+//!   tick of its last touch (one global counter, so ticks are unique),
+//!   and overflow evicts the slot with the smallest tick. Eviction
+//!   order is therefore a pure function of the query order — no
+//!   wholesale flushes, no hash-order nondeterminism.
 //!
-//! Hits/misses are counted through `gel-obs` (`wl.cache.hits` /
-//! `wl.cache.misses`) so tests can assert that repeated queries do not
-//! re-run refinement (`misses` == refinement invocations) and the
-//! experiment harness can attribute cache behaviour per phase. With
-//! the `obs` feature off the counters are no-ops and [`cache_stats`]
-//! reads as zero; the cache itself works identically either way.
+//! Hits/misses/evictions are counted through `gel-obs`
+//! (`wl.cache.hits` / `wl.cache.misses` / `wl.cache.evictions`) so
+//! tests can assert that repeated queries do not re-run refinement
+//! (`misses` == refinement invocations) and the experiment harness can
+//! attribute cache behaviour per phase. With the `obs` feature off the
+//! counters are no-ops and [`cache_stats`] reads as zero; the cache
+//! itself works identically either way.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
@@ -38,7 +42,8 @@ use crate::color_refinement::{color_refinement, CrOptions};
 use crate::kwl::{k_wl, WlVariant};
 use crate::partition::Coloring;
 
-/// Entry bound; the map is cleared when it would exceed this.
+/// Entry bound; the least-recently-used entry is evicted when the map
+/// would exceed this.
 pub const MAX_ENTRIES: usize = 4096;
 
 /// `(kind, fingerprint(g), fingerprint(h))`.
@@ -47,12 +52,24 @@ pub const MAX_ENTRIES: usize = 4096;
 /// distinct queries never share an entry.
 type Key = (u64, u128, u128);
 
-static STORE: OnceLock<Mutex<HashMap<Key, Arc<Coloring>>>> = OnceLock::new();
+struct Slot {
+    value: Arc<Coloring>,
+    /// Tick of the most recent touch; unique across slots.
+    last_used: u64,
+}
+
+struct Inner {
+    slots: HashMap<Key, Slot>,
+    tick: u64,
+}
+
+static STORE: OnceLock<Mutex<Inner>> = OnceLock::new();
 static HITS: gel_obs::Counter = gel_obs::Counter::new("wl.cache.hits");
 static MISSES: gel_obs::Counter = gel_obs::Counter::new("wl.cache.misses");
+static EVICTIONS: gel_obs::Counter = gel_obs::Counter::new("wl.cache.evictions");
 
-fn store() -> &'static Mutex<HashMap<Key, Arc<Coloring>>> {
-    STORE.get_or_init(|| Mutex::new(HashMap::new()))
+fn store() -> &'static Mutex<Inner> {
+    STORE.get_or_init(|| Mutex::new(Inner { slots: HashMap::new(), tick: 0 }))
 }
 
 /// Cache effectiveness counters (process-wide).
@@ -63,19 +80,30 @@ pub struct WlCacheStats {
     /// Lookups that ran joint refinement (== refinement invocations
     /// through the cached API).
     pub misses: u64,
+    /// Entries dropped by the LRU policy.
+    pub evictions: u64,
 }
 
-/// Current hit/miss counters (zero when the `obs` feature is off —
-/// the counters are gel-obs no-ops then).
+/// Current hit/miss/eviction counters (zero when the `obs` feature is
+/// off — the counters are gel-obs no-ops then).
 pub fn cache_stats() -> WlCacheStats {
-    WlCacheStats { hits: HITS.get(), misses: MISSES.get() }
+    WlCacheStats { hits: HITS.get(), misses: MISSES.get(), evictions: EVICTIONS.get() }
+}
+
+/// Resident entries (diagnostic surface for the eviction tests).
+pub fn cache_len() -> usize {
+    store().lock().unwrap().slots.len()
 }
 
 /// Empties the store and zeroes the counters (for tests/benchmarks).
 pub fn clear_cache() {
-    store().lock().unwrap().clear();
+    let mut inner = store().lock().unwrap();
+    inner.slots.clear();
+    inner.tick = 0;
+    drop(inner);
     HITS.reset();
     MISSES.reset();
+    EVICTIONS.reset();
 }
 
 /// 128 bits of structural identity: two independent 64-bit FNV-1a
@@ -111,21 +139,41 @@ fn fingerprint(g: &Graph) -> u128 {
     ((a as u128) << 64) | b as u128
 }
 
+/// Evicts least-recently-used slots until at most `cap` remain.
+fn enforce_cap(inner: &mut Inner, cap: usize) {
+    while inner.slots.len() > cap {
+        let victim = inner
+            .slots
+            .iter()
+            .min_by_key(|(_, slot)| slot.last_used)
+            .map(|(key, _)| *key)
+            .expect("non-empty map over capacity");
+        inner.slots.remove(&victim);
+        EVICTIONS.incr();
+    }
+}
+
 /// Looks up `key`, computing and inserting with `compute` on a miss.
 fn get_or_compute(key: Key, compute: impl FnOnce() -> Coloring) -> Arc<Coloring> {
-    if let Some(hit) = store().lock().unwrap().get(&key) {
-        HITS.incr();
-        return Arc::clone(hit);
+    {
+        let mut inner = store().lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(slot) = inner.slots.get_mut(&key) {
+            slot.last_used = tick;
+            HITS.incr();
+            return Arc::clone(&slot.value);
+        }
     }
     MISSES.incr();
     // Refine outside the lock: concurrent missers duplicate work at
     // worst, but nobody blocks on a long refinement.
     let value = Arc::new(compute());
-    let mut map = store().lock().unwrap();
-    if map.len() >= MAX_ENTRIES {
-        map.clear();
-    }
-    map.insert(key, Arc::clone(&value));
+    let mut inner = store().lock().unwrap();
+    inner.tick += 1;
+    let tick = inner.tick;
+    inner.slots.insert(key, Slot { value: Arc::clone(&value), last_used: tick });
+    enforce_cap(&mut inner, MAX_ENTRIES);
     value
 }
 
@@ -173,6 +221,7 @@ mod tests {
     use crate::color_refinement::{cr_equivalent, cr_vertex_equivalent};
     use crate::kwl::k_wl_equivalent;
     use gel_graph::families::{cr_blind_pair, cycle, path, petersen, star};
+    #[cfg(feature = "obs")]
     use gel_graph::GraphBuilder;
 
     /// The store and its counters are process-wide; tests that assert
@@ -292,5 +341,55 @@ mod tests {
         let m = cache_stats().misses;
         cached_cr_equivalent(&undirected, &directed); // ordered key
         assert_eq!(cache_stats().misses, m + 1);
+    }
+
+    /// Synthetic key for driving the LRU policy without paying for
+    /// real refinement on thousands of graphs.
+    #[cfg(feature = "obs")]
+    fn probe(i: u64) -> Arc<Coloring> {
+        get_or_compute((u64::MAX, i as u128, 0), || Coloring {
+            colors: vec![vec![i as u32]],
+            num_colors: 1,
+            rounds: 0,
+        })
+    }
+
+    /// Overflow evicts exactly the least-recently-used entry, the
+    /// eviction counter matches the obs mirror, and a re-touched entry
+    /// survives in favour of a staler one — the same deterministic-LRU
+    /// contract as the serve plan cache.
+    #[cfg(feature = "obs")]
+    #[test]
+    fn overflow_evicts_lru_deterministically() {
+        let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        clear_cache();
+        gel_obs::reset();
+        for i in 0..MAX_ENTRIES as u64 + 3 {
+            probe(i);
+        }
+        assert_eq!(cache_len(), MAX_ENTRIES, "cap must hold");
+        let stats = cache_stats();
+        assert_eq!(stats.evictions, 3, "exactly the overflow is evicted");
+        assert_eq!(
+            stats.evictions,
+            gel_obs::snapshot().counter("wl.cache.evictions"),
+            "stats and obs mirror must agree"
+        );
+        // Keys 0..3 were the oldest and must be gone; key 3 survived.
+        let misses = cache_stats().misses;
+        probe(3);
+        assert_eq!(cache_stats().misses, misses, "key 3 must still hit");
+        probe(0);
+        assert_eq!(cache_stats().misses, misses + 1, "key 0 was evicted");
+        // Re-inserting key 0 overflows again: the victim is the
+        // stalest entry (key 4), never the just-touched key 3.
+        assert_eq!(cache_stats().evictions, 4);
+        let misses = cache_stats().misses;
+        probe(3);
+        probe(5);
+        assert_eq!(cache_stats().misses, misses, "3 and 5 must survive");
+        probe(4);
+        assert_eq!(cache_stats().misses, misses + 1, "4 was the LRU victim");
+        clear_cache();
     }
 }

@@ -1,0 +1,609 @@
+//! Incremental colour refinement: a stable colouring maintained as a
+//! live index under edge insertions and deletions.
+//!
+//! ## Why naive repair is wrong
+//!
+//! The tempting shortcut — re-refine from the *old stable partition*
+//! with the edit endpoints split off — computes the coarsest stable
+//! refinement of the wrong base partition and overshoots. Insert the
+//! chord `{0, 3}` into a 6-cycle: the true stable partition is
+//! `{0,3} | {1,2,4,5}`, but refining from the old (monochromatic)
+//! partition with the endpoints split yields the strictly finer
+//! `{0} | {3} | {1,5} | {2,4}`. Deletions can even *coarsen* the
+//! stable partition, so no refinement of the old one can be right.
+//!
+//! ## The patched round trace
+//!
+//! What a fresh run actually produces is a *sequence* of rounds
+//! `P_0, P_1, …, P_S` where `P_t` refines `P_{t−1}` and `P_S = P_{S−1}`
+//! is the stable point. This engine stores that whole trace and, on an
+//! edit, repairs it round by round with a worklist:
+//!
+//! * Round 0 depends only on labels — never dirty for edge edits.
+//! * Round `t`'s colour of `v` depends on `v`'s round-`t−1` colour,
+//!   its neighbours' round-`t−1` colours, and its adjacency. So the
+//!   candidates at round `t` are the vertices whose round-`t−1`
+//!   colour just changed, *their* in/out-neighbours, and the edit
+//!   endpoints (whose adjacency changed at every round).
+//! * Each round keeps a persistent signature table (`digest → colour
+//!   id`, ids monotone, never reused). Candidates recompute their
+//!   digest against the patched previous round and look it up; only
+//!   vertices whose id actually changes propagate to the next round.
+//!
+//! By induction, the repaired round `t` induces exactly the partition
+//! a fresh run would compute — persistent ids just name the classes
+//! differently, which the canonical dense renaming at the output
+//! erases. That is the determinism contract: the stable colouring is
+//! **bit-identical to a from-scratch recolouring at any thread
+//! count** (repairs are serial; the fresh build parallelises only
+//! position-independent digest fills).
+//!
+//! The trace ends at the first round whose class count equals its
+//! predecessor's — refinement is monotone, so equal counts mean equal
+//! partitions. Repairs recheck that stopping point: the trace is
+//! truncated when stability now happens earlier and extended by full
+//! rounds when an edit pushed it later.
+//!
+//! ## The global-cascade fallback
+//!
+//! Locality is a property of the *edit*, not the algorithm. On a
+//! skew-degree graph, an edit next to a hub genuinely recolours a
+//! constant fraction of the graph — the hub's round-`t` class changes,
+//! so every neighbour's round-`t+1` class changes, and two hops cover
+//! the graph. No repair scheme can beat that honestly, so when a
+//! round's changed set exceeds `n / 64` the worklist is abandoned and
+//! the trace rebuilt with the parallel fresh build ([`INCR_FALLBACKS`]
+//! counts these). Frontier edits — the streaming-append case the
+//! index exists for — never come near the threshold and stay on the
+//! microsecond repair path.
+//!
+//! Signatures are 128-bit digests with commutative two-lane multiset
+//! accumulation over neighbour colours (no per-vertex sorting), the
+//! same collision posture as the WL cache fingerprints: a collision
+//! could merge two classes, with probability ≈ 2⁻¹²⁸ per comparison —
+//! negligible against any realistic workload.
+
+use std::collections::HashMap;
+
+use gel_graph::dynamic::DynGraph;
+use gel_graph::{Graph, Vertex};
+use rayon::prelude::*;
+
+use crate::partition::{Color, Coloring};
+
+/// Fresh trace builds (initial + explicit rebuilds).
+pub static INCR_BUILDS: gel_obs::Counter = gel_obs::Counter::new("wl.incr.builds");
+/// Edit repairs applied to a trace.
+pub static INCR_REPAIRS: gel_obs::Counter = gel_obs::Counter::new("wl.incr.repairs");
+/// Vertex colour changes across all repairs (the true work metric —
+/// the incremental-vs-full speedup comes from this staying near the
+/// edit locality instead of `n × rounds`).
+pub static INCR_RECOLORED: gel_obs::Counter = gel_obs::Counter::new("wl.incr.recolored");
+/// Full refinement rounds run to extend a trace whose stable point
+/// moved later.
+pub static INCR_EXTENSIONS: gel_obs::Counter = gel_obs::Counter::new("wl.incr.extensions");
+/// Repairs that cascaded past the fallback threshold and were finished
+/// as parallel rebuilds instead.
+pub static INCR_FALLBACKS: gel_obs::Counter = gel_obs::Counter::new("wl.incr.fallbacks");
+
+/// Vertex counts below this keep the fresh-build digest fill serial.
+const INCR_PAR_THRESHOLD: usize = 256;
+
+/// A repair whose per-round changed set exceeds `n / FALLBACK_DIVISOR`
+/// (on graphs of at least [`INCR_PAR_THRESHOLD`] vertices) abandons
+/// the serial worklist and rebuilds from scratch: the cascade is
+/// global, and the parallel fresh build does the same work faster.
+/// The divisor errs toward bailing early — a false positive costs one
+/// parallel rebuild, while a missed cascade costs a serial `O(m)`
+/// worklist round (measured several times a rebuild on a hub edit).
+const FALLBACK_DIVISOR: usize = 64;
+
+const OUT_SALT: [u64; 2] = [0x9e37_79b9_7f4a_7c15, 0xd1b5_4a32_d192_ed03];
+const IN_SALT: [u64; 2] = [0x8cb9_2ba7_2f3d_8dd7, 0xaef1_7502_108e_f2d9];
+
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    // splitmix64 finalizer.
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// Commutative multiset digest of one vertex's refinement signature at
+/// round `t`, computed from the round-`t−1` colours.
+fn refine_digest(g: &DynGraph, prev: &[Color], v: Vertex) -> u128 {
+    let mut lanes = [0u64; 4];
+    for &u in g.out_neighbors(v) {
+        let c = prev[u as usize] as u64;
+        lanes[0] = lanes[0].wrapping_add(mix64(c ^ OUT_SALT[0]));
+        lanes[1] = lanes[1].wrapping_add(mix64(c ^ OUT_SALT[1]));
+    }
+    for &u in g.in_neighbors(v) {
+        let c = prev[u as usize] as u64;
+        lanes[2] = lanes[2].wrapping_add(mix64(c ^ IN_SALT[0]));
+        lanes[3] = lanes[3].wrapping_add(mix64(c ^ IN_SALT[1]));
+    }
+    let own = prev[v as usize] as u64;
+    let hi = mix64(own ^ mix64(lanes[0] ^ mix64(lanes[2])));
+    let lo = mix64(own.wrapping_add(OUT_SALT[0]) ^ mix64(lanes[1] ^ mix64(lanes[3])));
+    ((hi as u128) << 64) | lo as u128
+}
+
+/// Digest of a vertex's initial (label) signature.
+fn label_digest(label: &[f64]) -> u128 {
+    let mut hi = 0x6a09_e667_f3bc_c908u64;
+    let mut lo = 0xbb67_ae85_84ca_a73bu64;
+    for &x in label {
+        let b = x.to_bits();
+        hi = mix64(hi ^ b);
+        lo = mix64(lo.wrapping_add(b).rotate_left(17));
+    }
+    ((hi as u128) << 64) | lo as u128
+}
+
+/// One stored refinement round: persistent colour ids plus the
+/// signature table that assigned them.
+struct Round {
+    /// Per-vertex colour id (persistent, *not* dense).
+    colors: Vec<Color>,
+    /// Signature table; ids are monotone and never reused, so equal
+    /// digests always map to equal ids across repairs.
+    table: HashMap<u128, Color>,
+    next_id: Color,
+    /// Population per id (indexed by id; stale ids simply sit at 0).
+    pops: Vec<u32>,
+    /// Ids with non-zero population = classes in this round's
+    /// partition.
+    classes: usize,
+}
+
+impl Round {
+    fn with_capacity(n: usize) -> Round {
+        Round {
+            colors: vec![0; n],
+            table: HashMap::new(),
+            next_id: 0,
+            pops: Vec::new(),
+            classes: 0,
+        }
+    }
+
+    /// Id for `digest`, allocating the next fresh id on first sight.
+    fn assign(&mut self, digest: u128) -> Color {
+        match self.table.entry(digest) {
+            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let id = self.next_id;
+                self.next_id += 1;
+                self.pops.push(0);
+                e.insert(id);
+                id
+            }
+        }
+    }
+
+    /// Population bookkeeping for the *initial* assignment of `v`
+    /// (fresh build: every vertex set exactly once).
+    fn init_color(&mut self, v: usize, id: Color) {
+        self.colors[v] = id;
+        let p = &mut self.pops[id as usize];
+        *p += 1;
+        if *p == 1 {
+            self.classes += 1;
+        }
+    }
+
+    /// Moves `v` to `id`, updating populations; returns true when the
+    /// colour actually changed.
+    fn recolor(&mut self, v: usize, id: Color) -> bool {
+        let old = self.colors[v];
+        if old == id {
+            return false;
+        }
+        let po = &mut self.pops[old as usize];
+        *po -= 1;
+        if *po == 0 {
+            self.classes -= 1;
+        }
+        let pn = &mut self.pops[id as usize];
+        *pn += 1;
+        if *pn == 1 {
+            self.classes += 1;
+        }
+        self.colors[v] = id;
+        true
+    }
+}
+
+/// A stable colouring maintained incrementally under edge edits. See
+/// the module docs for the algorithm and the determinism contract.
+pub struct IncrementalColoring {
+    g: DynGraph,
+    rounds: Vec<Round>,
+    digests: Vec<u128>,
+    repaired_vertices: u64,
+    full_fallbacks: u64,
+}
+
+/// Work counters of one [`IncrementalColoring`] instance (process-wide
+/// totals live in the obs registry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IncrementalStats {
+    /// Stored rounds (including round 0 and the stable fixpoint).
+    pub rounds: usize,
+    /// Classes of the stable partition.
+    pub num_colors: usize,
+    /// Cumulative vertex recolourings across repairs on this instance.
+    pub repaired_vertices: u64,
+    /// Total signature-table entries across rounds (memory proxy;
+    /// grows with edit history until [`IncrementalColoring::rebuild`]).
+    pub table_entries: usize,
+    /// Repairs on this instance that cascaded globally and were
+    /// finished as parallel rebuilds (see the fallback note in the
+    /// module docs).
+    pub full_fallbacks: u64,
+}
+
+impl IncrementalColoring {
+    /// Builds the full refinement trace of `g` from scratch.
+    pub fn new(g: &Graph) -> IncrementalColoring {
+        Self::from_dyn(DynGraph::from_graph(g))
+    }
+
+    /// Builds the trace taking ownership of a mutable graph.
+    pub fn from_dyn(g: DynGraph) -> IncrementalColoring {
+        let n = g.num_vertices();
+        let mut me = IncrementalColoring {
+            g,
+            rounds: Vec::new(),
+            digests: vec![0u128; n],
+            repaired_vertices: 0,
+            full_fallbacks: 0,
+        };
+        me.build();
+        me
+    }
+
+    /// The graph being maintained.
+    pub fn graph(&self) -> &DynGraph {
+        &self.g
+    }
+
+    fn fill_digests(&mut self, from_labels: bool) {
+        let IncrementalColoring { g, rounds, digests, .. } = self;
+        let n = g.num_vertices();
+        let prev = rounds.last().map(|r| r.colors.as_slice()).unwrap_or(&[]);
+        let fill = |lo: usize, part: &mut [u128]| {
+            for (i, slot) in part.iter_mut().enumerate() {
+                let v = (lo + i) as Vertex;
+                *slot =
+                    if from_labels { label_digest(g.label(v)) } else { refine_digest(g, prev, v) };
+            }
+        };
+        if n >= INCR_PAR_THRESHOLD {
+            // Position-independent writes: bit-identical at any thread
+            // count, like the SigArena fills in `color_refinement`.
+            let chunk = n.div_ceil(rayon::current_num_threads().max(1)).max(1);
+            digests.par_chunks_mut(chunk).enumerate().for_each(|(ci, part)| {
+                fill(ci * chunk, part);
+            });
+        } else {
+            fill(0, digests);
+        }
+    }
+
+    /// Appends one full refinement round (digests for every vertex, id
+    /// assignment in ascending vertex order). Returns true when the
+    /// new round's partition equals its predecessor's.
+    fn push_full_round(&mut self, from_labels: bool) -> bool {
+        self.fill_digests(from_labels);
+        let n = self.g.num_vertices();
+        let mut round = Round::with_capacity(n);
+        for v in 0..n {
+            let id = round.assign(self.digests[v]);
+            round.init_color(v, id);
+        }
+        let stable = self.rounds.last().map(|p| p.classes == round.classes).unwrap_or(false);
+        self.rounds.push(round);
+        stable
+    }
+
+    fn build(&mut self) {
+        INCR_BUILDS.incr();
+        let _span = gel_obs::span("wl.incr.build");
+        self.rounds.clear();
+        self.push_full_round(true);
+        if self.g.num_vertices() == 0 {
+            return;
+        }
+        // At most n rounds can strictly refine; the loop always exits
+        // via the equal-count fixpoint.
+        while !self.push_full_round(false) {}
+    }
+
+    /// Discards the trace (and its accumulated stale table entries)
+    /// and rebuilds from the current graph. Colour output is unchanged
+    /// — this is purely a memory compaction.
+    pub fn rebuild(&mut self) {
+        self.build();
+    }
+
+    /// Inserts the undirected edge `{u, v}` and repairs the trace.
+    /// Returns false (and leaves everything untouched) when the edge
+    /// was already present.
+    pub fn insert_edge(&mut self, u: Vertex, v: Vertex) -> bool {
+        if self.g.insert_edge(u, v) == 0 {
+            return false;
+        }
+        self.repair(&[u, v]);
+        true
+    }
+
+    /// Removes the undirected edge `{u, v}` and repairs the trace.
+    pub fn remove_edge(&mut self, u: Vertex, v: Vertex) -> bool {
+        if self.g.remove_edge(u, v) == 0 {
+            return false;
+        }
+        self.repair(&[u, v]);
+        true
+    }
+
+    /// Inserts the directed arc `(u, v)` and repairs the trace.
+    pub fn insert_arc(&mut self, u: Vertex, v: Vertex) -> bool {
+        if !self.g.insert_arc(u, v) {
+            return false;
+        }
+        self.repair(&[u, v]);
+        true
+    }
+
+    /// Removes the directed arc `(u, v)` and repairs the trace.
+    pub fn remove_arc(&mut self, u: Vertex, v: Vertex) -> bool {
+        if !self.g.remove_arc(u, v) {
+            return false;
+        }
+        self.repair(&[u, v]);
+        true
+    }
+
+    /// Worklist repair after an edit touching `touched` (see module
+    /// docs). Serial by design — determinism costs nothing here
+    /// because the worklists are tiny for local edits. When the
+    /// cascade turns out to be global (a hub edit on a skewed graph
+    /// genuinely recolours most of the graph — that is real partition
+    /// change, not repair overhead), the worklist is abandoned and the
+    /// trace rebuilt with the parallel fresh build, which computes the
+    /// identical output for less wall clock.
+    fn repair(&mut self, touched: &[Vertex]) {
+        INCR_REPAIRS.incr();
+        let _span = gel_obs::span("wl.incr.repair");
+        let n = self.g.num_vertices();
+        let fallback_at = if n >= INCR_PAR_THRESHOLD { n / FALLBACK_DIVISOR } else { usize::MAX };
+        // `changed` = vertices whose previous-round colour changed.
+        let mut changed: Vec<Vertex> = Vec::new();
+        let mut cand: Vec<Vertex> = Vec::new();
+        for t in 1..self.rounds.len() {
+            cand.clear();
+            cand.extend_from_slice(touched);
+            for &w in &changed {
+                cand.push(w);
+                cand.extend_from_slice(self.g.out_neighbors(w));
+                cand.extend_from_slice(self.g.in_neighbors(w));
+            }
+            cand.sort_unstable();
+            cand.dedup();
+            let (before, after) = self.rounds.split_at_mut(t);
+            let prev = &before[t - 1];
+            let cur = &mut after[0];
+            changed.clear();
+            for &v in &cand {
+                let d = refine_digest(&self.g, &prev.colors, v);
+                let id = cur.assign(d);
+                if cur.recolor(v as usize, id) {
+                    changed.push(v);
+                    self.repaired_vertices += 1;
+                    INCR_RECOLORED.incr();
+                }
+            }
+            if changed.len() > fallback_at {
+                INCR_FALLBACKS.incr();
+                self.full_fallbacks += 1;
+                self.build();
+                return;
+            }
+        }
+        // Re-find the stable point: truncate if stability now happens
+        // earlier, extend with full rounds if it happens later.
+        let stable_at =
+            (1..self.rounds.len()).find(|&t| self.rounds[t].classes == self.rounds[t - 1].classes);
+        match stable_at {
+            Some(t) => self.rounds.truncate(t + 1),
+            None => {
+                while !self.push_full_round(false) {
+                    INCR_EXTENSIONS.incr();
+                }
+                INCR_EXTENSIONS.incr();
+            }
+        }
+    }
+
+    /// Number of stored rounds (round 0 plus each refinement round up
+    /// to and including the stable fixpoint).
+    pub fn num_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// The stable colouring, canonicalised to dense colour ids by
+    /// first occurrence in ascending vertex order. This is the
+    /// bit-identity surface: equal graphs give equal outputs whether
+    /// reached by edits or built fresh, at any thread count.
+    pub fn stable_coloring(&self) -> Coloring {
+        let last = self.rounds.last().expect("trace always has round 0");
+        let mut rename: HashMap<Color, Color> = HashMap::with_capacity(last.classes);
+        let mut dense: Vec<Color> = Vec::with_capacity(last.colors.len());
+        for &c in &last.colors {
+            let next = rename.len() as Color;
+            dense.push(*rename.entry(c).or_insert(next));
+        }
+        Coloring {
+            colors: vec![dense],
+            num_colors: last.classes,
+            rounds: self.rounds.len().saturating_sub(1),
+        }
+    }
+
+    /// Instance-level work counters.
+    pub fn stats(&self) -> IncrementalStats {
+        IncrementalStats {
+            rounds: self.rounds.len(),
+            num_colors: self.rounds.last().map(|r| r.classes).unwrap_or(0),
+            repaired_vertices: self.repaired_vertices,
+            table_entries: self.rounds.iter().map(|r| r.table.len()).sum(),
+            full_fallbacks: self.full_fallbacks,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gel_graph::families::{cycle, path, petersen};
+    use gel_graph::random::erdos_renyi;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn fresh(g: &DynGraph) -> Coloring {
+        IncrementalColoring::from_dyn(g.clone()).stable_coloring()
+    }
+
+    #[test]
+    fn matches_color_refinement_partition() {
+        for g in [petersen(), cycle(7), path(6)] {
+            let inc = IncrementalColoring::new(&g).stable_coloring();
+            let cr = crate::color_refinement_single(&g);
+            assert_eq!(inc.num_colors, cr.num_colors, "class counts must agree");
+            // Same partition: equal colours in one ⟺ equal in the other.
+            let n = g.num_vertices();
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    assert_eq!(
+                        inc.colors[0][a] == inc.colors[0][b],
+                        cr.colors[0][a] == cr.colors[0][b],
+                        "partition mismatch at ({a}, {b})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chord_insert_matches_fresh() {
+        // The counterexample from the module docs: C6 + chord {0,3}.
+        let mut inc = IncrementalColoring::new(&cycle(6));
+        assert!(inc.insert_edge(0, 3));
+        assert_eq!(inc.stable_coloring(), fresh(inc.graph()));
+        assert_eq!(inc.stable_coloring().num_colors, 2, "{{0,3}} | {{1,2,4,5}}");
+    }
+
+    #[test]
+    fn deletion_can_coarsen_and_still_matches() {
+        let mut inc = IncrementalColoring::new(&path(3));
+        // Deleting {1,2} leaves an edge plus an isolated vertex.
+        assert!(inc.remove_edge(1, 2));
+        assert_eq!(inc.stable_coloring(), fresh(inc.graph()));
+    }
+
+    #[test]
+    fn no_op_edits_change_nothing() {
+        let mut inc = IncrementalColoring::new(&cycle(5));
+        let before = inc.stable_coloring();
+        assert!(!inc.remove_edge(0, 2), "absent edge");
+        assert!(!inc.insert_edge(0, 1), "present edge");
+        assert_eq!(inc.stable_coloring(), before);
+        assert_eq!(inc.stats().repaired_vertices, 0);
+    }
+
+    #[test]
+    fn random_edit_sequences_match_fresh() {
+        let mut rng = StdRng::seed_from_u64(1234);
+        for seed in 0..5u64 {
+            let g = erdos_renyi(18, 0.25, &mut StdRng::seed_from_u64(seed));
+            let mut inc = IncrementalColoring::new(&g);
+            for _ in 0..30 {
+                let u = rng.gen_range(0..18u32);
+                let v = rng.gen_range(0..18u32);
+                if u == v {
+                    continue;
+                }
+                if rng.gen_bool(0.5) {
+                    inc.insert_edge(u, v);
+                } else {
+                    inc.remove_edge(u, v);
+                }
+                assert_eq!(inc.stable_coloring(), fresh(inc.graph()));
+            }
+        }
+    }
+
+    #[test]
+    fn directed_arc_edits_match_fresh() {
+        let mut inc = IncrementalColoring::from_dyn(DynGraph::new(5));
+        for (u, v) in [(0, 1), (1, 2), (2, 0), (3, 2), (0, 3)] {
+            assert!(inc.insert_arc(u, v));
+            assert_eq!(inc.stable_coloring(), fresh(inc.graph()));
+        }
+        assert!(inc.remove_arc(2, 0));
+        assert_eq!(inc.stable_coloring(), fresh(inc.graph()));
+    }
+
+    #[test]
+    fn global_cascade_falls_back_to_rebuild() {
+        // Dense enough that any edit's two-hop neighbourhood is the
+        // whole graph: the worklist blows past n / 8 and the repair
+        // must finish as a rebuild — with identical output.
+        let g = erdos_renyi(400, 0.05, &mut StdRng::seed_from_u64(42));
+        let mut inc = IncrementalColoring::new(&g);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..6 {
+            let u = rng.gen_range(0..400u32);
+            let v = rng.gen_range(0..400u32);
+            if u == v {
+                continue;
+            }
+            if !inc.insert_edge(u, v) {
+                inc.remove_edge(u, v);
+            }
+            assert_eq!(inc.stable_coloring(), fresh(inc.graph()));
+        }
+        assert!(
+            inc.stats().full_fallbacks >= 1,
+            "dense-graph edits must trip the cascade fallback (stats: {:?})",
+            inc.stats()
+        );
+    }
+
+    #[test]
+    fn rebuild_compacts_without_changing_colors() {
+        let mut inc = IncrementalColoring::new(&cycle(8));
+        for (u, v) in [(0, 4), (1, 5), (0, 4)] {
+            inc.insert_edge(u, v);
+        }
+        inc.remove_edge(1, 5);
+        let before = inc.stable_coloring();
+        let tables_before = inc.stats().table_entries;
+        inc.rebuild();
+        assert_eq!(inc.stable_coloring(), before);
+        assert!(inc.stats().table_entries <= tables_before);
+    }
+
+    #[test]
+    fn empty_graph_is_handled() {
+        let inc = IncrementalColoring::from_dyn(DynGraph::new(0));
+        let c = inc.stable_coloring();
+        assert_eq!(c.num_colors, 0);
+        assert!(c.colors[0].is_empty());
+    }
+}

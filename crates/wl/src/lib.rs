@@ -9,6 +9,10 @@
 //! * [`kwl`] — the k-dimensional algorithms, both the *folklore*
 //!   variant the paper calls `k-WL` (with `ρ(k-WL) = ρ(GEL_{k+1})`,
 //!   slide 66) and the *oblivious* variant common in ML papers;
+//! * [`incremental`] — colour refinement as a live index: a stable
+//!   colouring maintained under edge insertions/deletions by patching
+//!   the stored round trace (bit-identical to recolouring from
+//!   scratch);
 //! * [`partition`] — colourings, canonical renaming and histograms;
 //! * [`relational`] — relational colour refinement for multi-relation
 //!   graphs (slide 74).
@@ -30,6 +34,7 @@
 
 pub mod cache;
 pub mod color_refinement;
+pub mod incremental;
 pub mod kwl;
 #[cfg(test)]
 mod naive;
@@ -37,12 +42,13 @@ pub mod partition;
 pub mod relational;
 
 pub use cache::{
-    cache_stats, cached_cr_equivalent, cached_cr_vertex_equivalent, cached_joint_cr,
+    cache_len, cache_stats, cached_cr_equivalent, cached_cr_vertex_equivalent, cached_joint_cr,
     cached_joint_k_wl, cached_k_wl_equivalent, clear_cache, WlCacheStats,
 };
 pub use color_refinement::{
     color_refinement, color_refinement_single, cr_equivalent, cr_vertex_equivalent, CrOptions,
 };
+pub use incremental::{IncrementalColoring, IncrementalStats};
 pub use kwl::{distinguishing_level, k_wl, k_wl_equivalent, WlVariant};
 pub use partition::{
     canonical_rename, label_key, wl_scratch_allocs, wl_scratch_init_allocs, Color, Coloring,
