@@ -42,6 +42,63 @@ fn triangle_probe() -> Expr {
     )
 }
 
+/// The cyclic GEL₄ probes of the wco sweep: a closed sum over the
+/// indicator product of a shape's edges.
+fn cyclic_probe(atoms: Vec<Expr>) -> Expr {
+    let arity = atoms.len();
+    build::agg_over(
+        Agg::Sum,
+        vec![1, 2, 3, 4],
+        build::apply(Func::Mul { arity, dim: 1 }, atoms),
+        None,
+    )
+}
+
+/// Global 4-cycle count — induced width 2, the canonical case where a
+/// binary join plan materializes quadratically more intermediate
+/// tuples than the output holds.
+fn cycle4_probe() -> Expr {
+    cyclic_probe(vec![build::edge(1, 2), build::edge(2, 3), build::edge(3, 4), build::edge(1, 4)])
+}
+
+/// Global 4-clique count — all six edge atoms, the AGM-bound poster
+/// child.
+fn clique4_probe() -> Expr {
+    cyclic_probe(vec![
+        build::edge(1, 2),
+        build::edge(1, 3),
+        build::edge(1, 4),
+        build::edge(2, 3),
+        build::edge(2, 4),
+        build::edge(3, 4),
+    ])
+}
+
+/// The skewed wco gate instance: vertex 0 fans into a block of "mid"
+/// vertices, every mid fans into a shared "leaf" block, and a few
+/// leaves close back into a few mids. The binary plan's wedge
+/// intermediate is `mids × leaves` sized regardless of how few cycles
+/// close; the generic join's work tracks the homomorphism count.
+fn hub_graph(n: usize) -> gel_graph::Graph {
+    let mids = 1u32..=(n as u32 / 3);
+    let leaves = (n as u32 / 3 + 1)..=(n as u32 - 2);
+    let mut b = gel_graph::GraphBuilder::new(n);
+    for m in mids.clone() {
+        b.add_arc(0, m);
+        for l in leaves.clone() {
+            b.add_arc(m, l);
+        }
+    }
+    for (i, l) in leaves.enumerate() {
+        if i % 20 == 0 {
+            for m in mids.clone().step_by(11) {
+                b.add_arc(l, m);
+            }
+        }
+    }
+    b.build()
+}
+
 fn secs_per_iter(iters: u32, mut f: impl FnMut()) -> f64 {
     // One untimed warm-up call: the first eval lowers the plan and
     // sizes every slab; steady state is what we are measuring.
@@ -157,6 +214,71 @@ fn main() {
         }
     }
 
+    // Worst-case-optimal join sweep (DESIGN.md §12): cyclic probes
+    // through the JoinWco kernel vs the binary merge-join plan
+    // (`wco: false` ablation), both forced sparse. Two instance
+    // families, because they answer different questions:
+    //
+    //  * Erdős–Rényi at p = 0.02 — on unskewed sparse graphs the
+    //    elimination intermediates (wedge lists) are the same size as
+    //    the join output, so BOTH plans are output-bound and the ratio
+    //    hovers near 1× at small n, growing slowly with n. This is the
+    //    honest baseline picture, printed but not gated.
+    //  * The hub graph — a root fanning into mids, mids fanning into a
+    //    shared leaf block, a handful of leaves closing back. Binary
+    //    elimination must materialize the mids×leaves wedge table no
+    //    matter how few cycles close; the generic join's work tracks
+    //    the actual homomorphism count (AGM-bound behaviour), so the
+    //    structural speedup is large and stable. This point carries
+    //    the ≥ 5× smoke gate.
+    println!("\nwco sweep: cyclic probes, generic join vs binary join plan");
+    let time_pair = |probe: &Expr, gs: &gel_graph::Graph| {
+        let mut wco_eng =
+            EvalEngine::with_options(EvalOptions { sparse_min_cells: 0, ..EvalOptions::default() });
+        let wco_s = secs_per_iter(iters, || {
+            let _ = wco_eng.eval(probe, gs);
+        });
+        let mut binary_eng = EvalEngine::with_options(EvalOptions {
+            sparse_min_cells: 0,
+            wco: false,
+            ..EvalOptions::default()
+        });
+        let binary_s = secs_per_iter(iters, || {
+            let _ = binary_eng.eval(probe, gs);
+        });
+        (wco_s, binary_s)
+    };
+    for (pname, probe) in [("cycle4", cycle4_probe()), ("clique4", clique4_probe())] {
+        for n in [32usize, 64] {
+            let mut grng = StdRng::seed_from_u64(gel_bench::BENCH_SEED ^ n as u64);
+            let gs = erdos_renyi(n, 0.02, &mut grng);
+            let (wco_s, binary_s) = time_pair(&probe, &gs);
+            println!(
+                "  {pname:<8} n={n:<3} p=0.02 binary {:>9.2} µs  wco {:>9.2} µs  speedup {:>6.2}x",
+                binary_s * 1e6,
+                wco_s * 1e6,
+                binary_s / wco_s,
+            );
+        }
+    }
+    let hub = hub_graph(64);
+    let (wco_s, binary_s) = time_pair(&cycle4_probe(), &hub);
+    let hub_speedup = binary_s / wco_s;
+    println!(
+        "  cycle4   hub n=64   binary {:>9.2} µs  wco {:>9.2} µs  speedup {:>6.2}x",
+        binary_s * 1e6,
+        wco_s * 1e6,
+        hub_speedup,
+    );
+    if smoke {
+        assert!(
+            hub_speedup >= 5.0,
+            "JoinWco on the 4-cycle probe over the n=64 hub graph is only \
+             {hub_speedup:.2}x over the binary join plan (gate: >= 5x)"
+        );
+        println!("smoke OK: wco join >= 5x over binary plan on the hub 4-cycle probe");
+    }
+
     // Zero-allocation gate: after the sizing call, evaluating the same
     // expression shape must take every slab from the engine's pool.
     let mut eng = EvalEngine::new();
@@ -191,5 +313,39 @@ fn main() {
     if smoke {
         assert_eq!(sparse_steady, 0, "steady-state sparse evaluation allocated a buffer");
         println!("smoke OK: steady-state sparse evaluations are allocation-free");
+    }
+
+    // And for the warmed wco + sparse-*output* path: the generic-join
+    // kernel runs out of its scratch, and the root table's coordinate
+    // and value buffers round-trip through the engine's pools instead
+    // of being reallocated per call.
+    let mut grng = StdRng::seed_from_u64(gel_bench::BENCH_SEED ^ 0x5702);
+    let gs = erdos_renyi(64, 0.02, &mut grng);
+    let per_pair = build::agg_over(
+        Agg::Sum,
+        vec![2, 3],
+        build::apply(
+            Func::Mul { arity: 4, dim: 1 },
+            vec![build::edge(1, 2), build::edge(2, 3), build::edge(3, 4), build::edge(1, 4)],
+        ),
+        None,
+    );
+    let mut eng = EvalEngine::with_options(EvalOptions {
+        sparse_min_cells: 0,
+        sparse_output: true,
+        ..EvalOptions::default()
+    });
+    let _ = eng.eval(&per_pair, &gs);
+    let _ = eng.eval(&per_pair, &gs);
+    let base = gel_lang::eval_slab_allocs();
+    for _ in 0..steps {
+        let t = eng.eval(&per_pair, &gs);
+        debug_assert!(t.is_sparse());
+    }
+    let wco_steady = gel_lang::eval_slab_allocs() - base;
+    println!("eval_wco_sparse_output_steady_state_allocs = {wco_steady} (over {steps} evals)");
+    if smoke {
+        assert_eq!(wco_steady, 0, "steady-state wco/sparse-output evaluation allocated");
+        println!("smoke OK: steady-state wco + sparse-output evaluations are allocation-free");
     }
 }

@@ -16,7 +16,7 @@
 use gel_graph::random::{erdos_renyi, with_random_real_labels};
 use gel_lang::wl_sim::{cr_graph_expr, k_wl_graph_expr};
 use gel_lang::Expr;
-use gel_serve::{run_load, LoadConfig, LoadReport, ServeOptions, Server};
+use gel_serve::{run_load, run_load_batched, LoadConfig, LoadReport, ServeOptions, Server};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -76,6 +76,21 @@ fn main() {
     assert_eq!(warm.plan_builds, 0, "warm-cache requests must not allocate new plans");
     assert_eq!(warm.cache_misses, 0, "warm phase must be all hits");
 
+    // Batched: the same warm workload shipped as EvalBatch frames —
+    // every round-trip carries the full expression set, so the wire
+    // and dispatch overhead amortizes across the batch. The cache is
+    // already warm, so batching must not re-lower either.
+    let batch = exprs.len();
+    let batched = run_load_batched(&server, &cfg, batch).expect("batched load run");
+    report("serve warm batched", &batched);
+    assert_eq!(
+        batched.requests,
+        (CLIENTS * requests_per_client) as u64,
+        "batched phase dropped round-trips"
+    );
+    assert_eq!(batched.plan_builds, 0, "batched warm requests must not allocate new plans");
+    assert_eq!(batched.cache_misses, 0, "batched warm phase must be all hits");
+
     let stats = server.stats();
     println!(
         "{:<28} {:>7} plans   {} hits / {} misses / {} evictions",
@@ -84,6 +99,6 @@ fn main() {
     server.shutdown();
 
     if smoke {
-        println!("serve smoke gates passed: warm cache re-lowered 0 plans");
+        println!("serve smoke gates passed: warm cache re-lowered 0 plans (incl. batched)");
     }
 }

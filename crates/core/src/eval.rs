@@ -38,11 +38,33 @@ pub struct EvalOptions {
     /// at most a quarter of the cells. `0` forces sparse everywhere it
     /// is representable — the property-test and ablation hook.
     pub sparse_min_cells: usize,
+    /// Use the worst-case-optimal multiway join ([`Kind::JoinWco`])
+    /// for *cyclic* sum-product queries (default true). `false` keeps
+    /// the binary merge-join `AggElim` plan on cyclic shapes — the
+    /// ablation baseline the bench crossover sweep compares against.
+    /// Acyclic queries take the FAQ elimination path either way.
+    ///
+    /// [`Kind::JoinWco`]: crate::plan::EvalEngine
+    pub wco: bool,
+    /// Allow the *root* table to stay sparse (default false): when the
+    /// plan root already emits a coordinate list, skip the final
+    /// densify and return a sparse [`EmbeddingTable`] instead of an
+    /// `n^width × dim` slab. Callers that index the result cell-wise
+    /// should keep this off or densify explicitly.
+    ///
+    /// [`EmbeddingTable`]: crate::table::EmbeddingTable
+    pub sparse_output: bool,
 }
 
 impl Default for EvalOptions {
     fn default() -> Self {
-        Self { guard_fast_path: true, sparse: true, sparse_min_cells: 4096 }
+        Self {
+            guard_fast_path: true,
+            sparse: true,
+            sparse_min_cells: 4096,
+            wco: true,
+            sparse_output: false,
+        }
     }
 }
 

@@ -49,7 +49,9 @@ use gel_tensor::kernels::{gather_sum_into, gather_sum_scalar};
 use crate::ast::{CmpOp, Expr};
 use crate::eval::EvalOptions;
 use crate::func::{Agg, Func};
-use crate::sparse::{contract_sum, join_multiply, rekey_into, CoordList, JoinScratch};
+use crate::sparse::{
+    contract_sum, join_multiply, join_multiway, rekey_into, CoordList, JoinScratch, MAX_WCO_FACTORS,
+};
 use crate::table::{EmbeddingTable, Var};
 
 /// Tracked slab-pool misses since process start. Steady-state
@@ -111,6 +113,27 @@ static DENSE_FALLBACKS: AtomicU64 = AtomicU64::new(0);
 static OBS_SPARSE_NNZ: gel_obs::Counter = gel_obs::Counter::new("eval.sparse.nnz");
 static OBS_SPARSE_FALLBACKS: gel_obs::Counter = gel_obs::Counter::new("eval.sparse.fallbacks");
 
+/// Worst-case-optimal multiway joins executed ([`Kind::JoinWco`]
+/// kernel invocations) since process start. Always on and monotone;
+/// mirrored to the `eval.wco.joins` obs counter. The bench crossover
+/// sweep uses the delta to prove the cyclic probes actually took the
+/// wco path.
+pub fn eval_wco_joins() -> u64 {
+    WCO_JOINS.load(Ordering::Relaxed)
+}
+
+/// Leapfrog seeks performed across all wco joins (the kernel's
+/// intersection work — the quantity the AGM bound caps). Mirrored to
+/// `eval.wco.seeks`.
+pub fn eval_wco_seeks() -> u64 {
+    WCO_SEEKS.load(Ordering::Relaxed)
+}
+
+static WCO_JOINS: AtomicU64 = AtomicU64::new(0);
+static WCO_SEEKS: AtomicU64 = AtomicU64::new(0);
+static OBS_WCO_JOINS: gel_obs::Counter = gel_obs::Counter::new("eval.wco.joins");
+static OBS_WCO_SEEKS: gel_obs::Counter = gel_obs::Counter::new("eval.wco.seeks");
+
 fn note_sparse(nnz: usize) {
     SPARSE_NNZ.fetch_add(nnz as u64, Ordering::Relaxed);
     OBS_SPARSE_NNZ.add(nnz as u64);
@@ -135,6 +158,39 @@ fn note_slab_alloc(len: usize) {
         SLAB_ALLOCS.fetch_add(1, Ordering::Relaxed);
         OBS_SLAB_ALLOCS.incr();
     }
+}
+
+/// Error of [`EvalEngine::try_eval_capped`]: the lowered plan needs a
+/// dense slab longer than the caller's cap, so evaluating it would
+/// allocate (and fill) more dense storage than the caller is willing
+/// to pay for. Raised before any storage is allocated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanTooDense {
+    /// Length (elements) of the offending dense slab.
+    pub len: usize,
+    /// The caller's cap.
+    pub cap: usize,
+}
+
+impl std::fmt::Display for PlanTooDense {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "plan needs a dense slab of {} elements (cap {})", self.len, self.cap)
+    }
+}
+
+impl std::error::Error for PlanTooDense {}
+
+/// The [`PlanTooDense`] pre-pass: every node that will own a dense slab
+/// (dense representation, or sparse with a dense consumer) must fit
+/// under the cap.
+fn check_dense_cap(nodes: &[Node], cap: Option<usize>) -> Result<(), PlanTooDense> {
+    let Some(cap) = cap else { return Ok(()) };
+    for nd in nodes {
+        if (!nd.sparse || nd.needs_dense) && nd.len > cap {
+            return Err(PlanTooDense { len: nd.len, cap });
+        }
+    }
+    Ok(())
 }
 
 /// Minimum kernel work (output elements × inner iterations) before an
@@ -351,6 +407,25 @@ enum Kind {
         /// the (integer) result by `n`, exactly.
         free_over: u32,
     },
+    /// `Sum` over a *cyclic* product of 0/1 indicators: the
+    /// worst-case-optimal multiway join
+    /// ([`crate::sparse::join_multiway`]) intersects every factor per
+    /// variable of a shared AGM-aware order instead of materializing
+    /// binary-join intermediates that can exceed the output size
+    /// (triangles, k-cycles, k-cliques). Emits a sparse output —
+    /// free variables lead the order ascending, so entries emerge in
+    /// dense layout order.
+    JoinWco {
+        factors: Vec<usize>,
+        factor_vars: Vec<Vec<Var>>,
+        /// Free variables (ascending) then eliminated variables in the
+        /// AGM-aware order from [`gel_graph::elim::wco_order_masked`].
+        order: Vec<Var>,
+        /// Length of the free prefix of `order`.
+        n_free: usize,
+        /// Aggregated variables in no factor (each multiplies by `n`).
+        free_over: u32,
+    },
 }
 
 /// One operand of [`Kind::MulSparse`], gathered in expression order so
@@ -409,6 +484,12 @@ struct ExecScratch {
     tmp2_vars: Vec<Var>,
 }
 
+/// Plan-cache identity: the expression's DAG hash, the graph shape
+/// (`n`, `label_dim`), and every lowering-relevant [`EvalOptions`]
+/// field (`guard_fast_path`, `sparse`, `sparse_min_cells`, `wco`,
+/// `sparse_output`) — a cached plan is reusable only when all match.
+type PlanCacheKey = (u64, usize, usize, bool, bool, usize, bool, bool);
+
 /// The compiled evaluation engine. Owns the lowered plan, every
 /// intermediate slab, and the output table; repeated [`Self::eval`]
 /// calls on the same expression/graph shape reuse all of them, making
@@ -424,7 +505,11 @@ pub struct EvalEngine {
     nodes: Vec<Node>,
     node_of: HashMap<u64, usize>,
     root: usize,
-    cache_key: Option<(u64, usize, usize, bool, bool, usize)>,
+    cache_key: Option<PlanCacheKey>,
+    /// The current plan's root emits (and the table keeps) a sparse
+    /// coordinate list instead of the dense slab
+    /// ([`EvalOptions::sparse_output`]).
+    root_sparse: bool,
     root_table: EmbeddingTable,
     pool: SlabPool,
     idx_pool: IdxPool,
@@ -459,6 +544,7 @@ impl EvalEngine {
             node_of: HashMap::new(),
             root: 0,
             cache_key: None,
+            root_sparse: false,
             root_table: EmbeddingTable::placeholder(),
             pool: SlabPool::default(),
             idx_pool: IdxPool::default(),
@@ -487,15 +573,40 @@ impl EvalEngine {
     pub fn eval(&mut self, expr: &Expr, g: &Graph) -> &EmbeddingTable {
         OBS_CALLS.incr();
         self.ensure_plan(expr, g);
+        self.run_plan(g)
+    }
+
+    /// Like [`Self::eval`], but fails — *before* lowering allocates any
+    /// storage — when some plan node needs a dense slab larger than
+    /// `cap` elements. With [`EvalOptions::sparse_output`] set, plans
+    /// whose root (and intermediates) stay sparse evaluate under a cap
+    /// far below `n^width · dim`; the `gel-serve` layer uses this to
+    /// admit large-n/low-nnz queries its dense size precheck rejects.
+    pub fn try_eval_capped(
+        &mut self,
+        expr: &Expr,
+        g: &Graph,
+        cap: usize,
+    ) -> Result<&EmbeddingTable, PlanTooDense> {
+        OBS_CALLS.incr();
+        self.ensure_plan_capped(expr, g, Some(cap))?;
+        Ok(self.run_plan(g))
+    }
+
+    /// Executes the current plan (the exec sweep shared by [`Self::eval`]
+    /// and [`Self::try_eval_capped`]).
+    fn run_plan(&mut self, g: &Graph) -> &EmbeddingTable {
         let _sp = gel_obs::span("eval.exec");
-        let root_len = self.nodes[self.root].len;
-        let mut root_data = self.root_table.take_data();
-        if root_data.len() != root_len {
-            // The previous result was moved out by `eval_owned`.
-            self.pool.put(root_data);
-            root_data = self.pool.take(root_len);
+        if !self.root_sparse {
+            let root_len = self.nodes[self.root].len;
+            let mut root_data = self.root_table.take_data();
+            if root_data.len() != root_len {
+                // The previous result was moved out by `eval_owned`.
+                self.pool.put(root_data);
+                root_data = self.pool.take(root_len);
+            }
+            self.nodes[self.root].data = root_data;
         }
-        self.nodes[self.root].data = root_data;
         for i in 0..self.nodes.len() {
             let mut data = std::mem::take(&mut self.nodes[i].data);
             let mut sp = std::mem::take(&mut self.nodes[i].sp);
@@ -503,7 +614,20 @@ impl EvalEngine {
             self.nodes[i].data = data;
             self.nodes[i].sp = sp;
         }
-        self.root_table.set_data(std::mem::take(&mut self.nodes[self.root].data));
+        if self.root_sparse {
+            // Copy the root's coordinate list into the table's
+            // persistent buffers (capacities survive across calls, so
+            // the warmed path allocates nothing).
+            let rsp = &self.nodes[self.root].sp;
+            let (mut coords, mut vals) = self.root_table.take_storage();
+            coords.clear();
+            vals.clear();
+            coords.extend_from_slice(rsp.coords());
+            vals.extend_from_slice(rsp.values());
+            self.root_table.set_sparse(coords, vals);
+        } else {
+            self.root_table.set_data(std::mem::take(&mut self.nodes[self.root].data));
+        }
         &self.root_table
     }
 
@@ -512,6 +636,18 @@ impl EvalEngine {
     /// borrowing variant on zero-allocation hot paths.
     pub fn eval_owned(&mut self, expr: &Expr, g: &Graph) -> EmbeddingTable {
         self.eval(expr, g);
+        if self.root_table.is_sparse() {
+            // Swap in an empty shell of the same shape so a later
+            // cached-plan call still finds matching vars/dim.
+            let shell = EmbeddingTable::from_sparse_parts(
+                self.root_table.vars().to_vec(),
+                self.root_table.dim(),
+                self.n,
+                Vec::new(),
+                Vec::new(),
+            );
+            return std::mem::replace(&mut self.root_table, shell);
+        }
         let vars = self.root_table.vars().to_vec();
         let dim = self.root_table.dim();
         let data = self.root_table.take_data();
@@ -521,6 +657,20 @@ impl EvalEngine {
     /// Lowers a fresh plan unless the cached one already matches
     /// `(expr, g)`'s shape.
     fn ensure_plan(&mut self, expr: &Expr, g: &Graph) {
+        self.ensure_plan_capped(expr, g, None).expect("uncapped lowering cannot exceed a cap");
+    }
+
+    /// [`Self::ensure_plan`] with an optional dense-slab cap: errors
+    /// *before any storage is allocated* when some node needs a dense
+    /// slab longer than `cap`. On error the engine keeps no cached key
+    /// — the half-lowered plan skeleton (no buffers attached) is
+    /// recycled by the next lowering.
+    fn ensure_plan_capped(
+        &mut self,
+        expr: &Expr,
+        g: &Graph,
+        cap: Option<usize>,
+    ) -> Result<(), PlanTooDense> {
         // Hash with a pointer memo at `Shared` boundaries — a naive
         // `structural_hash` would unfold the DAG.
         self.hash_memo.clear();
@@ -532,9 +682,15 @@ impl EvalEngine {
             self.opts.guard_fast_path,
             self.opts.sparse,
             self.opts.sparse_min_cells,
+            self.opts.wco,
+            self.opts.sparse_output,
         );
         if self.cache_key == Some(key) {
-            return;
+            // The cap is not part of the cache key: re-verify it
+            // against the cached plan's dense slabs (cheap — node
+            // counts are small).
+            check_dense_cap(&self.nodes, cap)?;
+            return Ok(());
         }
         let _sp = gel_obs::span("eval.lower");
         self.cache_key = None;
@@ -545,16 +701,24 @@ impl EvalEngine {
             self.idx_pool.put(coords);
             self.pool.put(vals);
         }
-        self.pool.put(self.root_table.take_data());
+        let (rcoords, rdata) = self.root_table.take_storage();
+        self.idx_pool.put(rcoords);
+        self.pool.put(rdata);
         self.root_table = EmbeddingTable::placeholder();
         self.node_of.clear();
         self.n = g.num_vertices();
         self.root = self.lower(expr, g).0;
-        // Representation fixup + deferred buffer allocation. The root
-        // must exist densely; a sparse atom nothing ever reads sparsely
-        // downgrades to its (cheap) dense kernel instead of paying an
+        // Representation fixup. The root must exist densely — unless
+        // `sparse_output` lets an already-sparse root skip the final
+        // densify; a sparse atom nothing ever reads sparsely downgrades
+        // to its (cheap) dense kernel instead of paying an
         // emit-then-scatter fallback.
-        self.nodes[self.root].needs_dense = true;
+        self.root_sparse = self.opts.sparse_output && self.nodes[self.root].sparse;
+        if self.root_sparse {
+            self.nodes[self.root].sparse_used = true;
+        } else {
+            self.nodes[self.root].needs_dense = true;
+        }
         for i in 0..self.nodes.len() {
             let downgrade = {
                 let nd = &self.nodes[i];
@@ -563,6 +727,12 @@ impl EvalEngine {
             if downgrade {
                 self.nodes[i].sparse = false;
             }
+        }
+        // Dense-slab cap check *before* the deferred buffer allocation:
+        // nothing has been allocated yet, so an error leaves only the
+        // recyclable plan skeleton behind.
+        check_dense_cap(&self.nodes, cap)?;
+        for i in 0..self.nodes.len() {
             let (len, dim, sparse, needs_dense, est) = {
                 let nd = &self.nodes[i];
                 (nd.len, nd.dim, nd.sparse, nd.needs_dense, nd.est_nnz)
@@ -577,9 +747,23 @@ impl EvalEngine {
                 self.nodes[i].sp = CoordList::with_buffers(dim, coords, vals);
             }
         }
-        let root = &mut self.nodes[self.root];
-        let data = std::mem::take(&mut root.data);
-        self.root_table = EmbeddingTable::from_parts(root.vars.clone(), root.dim, self.n, data);
+        if self.root_sparse {
+            let root = &self.nodes[self.root];
+            let cap_est = root.est_nnz.max(1).min(root.len.max(1));
+            let coords = self.idx_pool.take_cap(cap_est);
+            let vals = self.pool.take_cap(cap_est * root.dim.max(1));
+            self.root_table = EmbeddingTable::from_sparse_parts(
+                root.vars.clone(),
+                root.dim,
+                self.n,
+                coords,
+                vals,
+            );
+        } else {
+            let root = &mut self.nodes[self.root];
+            let data = std::mem::take(&mut root.data);
+            self.root_table = EmbeddingTable::from_parts(root.vars.clone(), root.dim, self.n, data);
+        }
         // Size the shared serial-path scratch once per plan.
         let mut max_p = 0;
         let mut max_q = 0;
@@ -605,6 +789,7 @@ impl EvalEngine {
         PLAN_BUILDS.fetch_add(1, Ordering::Relaxed);
         OBS_PLAN_BUILDS.incr();
         OBS_PLAN_NODES.add(self.nodes.len() as u64);
+        Ok(())
     }
 
     /// Recursively lowers `expr`, returning its node index and its
@@ -688,6 +873,36 @@ impl EvalEngine {
                     // the estimate: the kernel can never emit more
                     // coordinates than the driver expands to.
                     let est = ((cells as f64) * density_product).ceil() as usize;
+                    // Cyclic Mul chains make the independence product
+                    // overshoot (it counts each shared variable's
+                    // selectivity once per factor pair); the AGM
+                    // fractional-cover bound over the sparse factors is
+                    // a hard output cap, so take the minimum. Variables
+                    // bound only by dense (probed) operands contribute
+                    // a full factor `n` each.
+                    let mut scopes: Vec<Vec<u32>> = Vec::new();
+                    let mut log_sizes: Vec<f64> = Vec::new();
+                    let mut in_scope = vec![false; vars.len()];
+                    for &i in &arg_nodes {
+                        if !self.nodes[i].sparse {
+                            continue;
+                        }
+                        let scope: Vec<u32> = self.nodes[i]
+                            .vars
+                            .iter()
+                            .map(|v| vars.iter().position(|u| u == v).expect("arg var free") as u32)
+                            .collect();
+                        for &p in &scope {
+                            in_scope[p as usize] = true;
+                        }
+                        scopes.push(scope);
+                        log_sizes.push((self.nodes[i].est_nnz.max(1) as f64).ln());
+                    }
+                    let uncovered = in_scope.iter().filter(|&&b| !b).count();
+                    let log_agm =
+                        gel_graph::elim::agm_cover_log_bound(vars.len(), &scopes, &log_sizes)
+                            + uncovered as f64 * (self.n.max(1) as f64).ln();
+                    let est = est.min(log_bound_to_count(log_agm));
                     let est = est.clamp(1, bound.max(1));
                     if self.sparse_ok(cells, est) {
                         for &i in &arg_nodes {
@@ -916,9 +1131,8 @@ impl EvalEngine {
                         })
                         .collect();
                     let eliminable: Vec<bool> = all.iter().map(|v| over.contains(v)).collect();
-                    let (order_ids, _width) =
+                    let (order_ids, width) =
                         gel_graph::elim::min_degree_order_masked(all.len(), &scopes, &eliminable);
-                    let order: Vec<Var> = order_ids.iter().map(|&i| all[i as usize]).collect();
                     let free_over = all
                         .iter()
                         .filter(|v| {
@@ -927,6 +1141,56 @@ impl EvalEngine {
                         .count() as u32;
                     let out_vars: Vec<Var> =
                         all.iter().copied().filter(|v| !over.contains(v)).collect();
+                    // Cyclic residual (induced width ≥ 2): binary
+                    // merge-joins materialize intermediates that can
+                    // exceed the output (triangles, k-cycles,
+                    // k-cliques), so take the worst-case-optimal
+                    // multiway join instead — its work is capped by the
+                    // AGM fractional-cover bound. Free variables lead
+                    // the order ascending so output entries emerge in
+                    // dense layout order; aggregated variables follow
+                    // in cheapest-incident-factor-first order.
+                    if self.opts.wco && width >= 2 && factors.len() <= MAX_WCO_FACTORS {
+                        let sizes: Vec<f64> =
+                            factors.iter().map(|&fi| self.nodes[fi].est_nnz as f64).collect();
+                        let elim_ids = gel_graph::elim::wco_order_masked(
+                            all.len(),
+                            &scopes,
+                            &sizes,
+                            &eliminable,
+                        );
+                        let mut order: Vec<Var> = out_vars.clone();
+                        // Aggregated variables in no factor stay out of
+                        // the join order — they are the exact
+                        // `n^free_over` multiplier.
+                        order.extend(
+                            elim_ids
+                                .iter()
+                                .map(|&i| all[i as usize])
+                                .filter(|v| factor_vars.iter().any(|fv| fv.contains(v))),
+                        );
+                        let n_free = out_vars.len();
+                        let out_cells = n.checked_pow(n_free as u32).unwrap_or(usize::MAX);
+                        let log_sizes: Vec<f64> = factors
+                            .iter()
+                            .map(|&fi| (self.nodes[fi].est_nnz.max(1) as f64).ln())
+                            .collect();
+                        // The AGM bound on the full join also bounds
+                        // the output nnz (every output tuple extends to
+                        // at least one join tuple).
+                        let agm =
+                            gel_graph::elim::agm_cover_log_bound(all.len(), &scopes, &log_sizes);
+                        let est = log_bound_to_count(agm);
+                        let mut node = self.make_node(
+                            out_vars,
+                            1,
+                            Kind::JoinWco { factors, factor_vars, order, n_free, free_over },
+                        );
+                        node.sparse = true;
+                        node.est_nnz = est.clamp(1, out_cells.max(1));
+                        return (self.push_node(node, key), key);
+                    }
+                    let order: Vec<Var> = order_ids.iter().map(|&i| all[i as usize]).collect();
                     let node = self.make_node(
                         out_vars,
                         1,
@@ -1192,6 +1456,16 @@ fn atom_vars(e: &Expr) -> [Var; 2] {
         Expr::Edge { from, to } => [*from, *to],
         Expr::Cmp { a, b, .. } => [*a, *b],
         _ => unreachable!("not an indicator atom"),
+    }
+}
+
+/// Converts a natural-log size bound
+/// ([`gel_graph::elim::agm_cover_log_bound`]) to a saturating count.
+fn log_bound_to_count(log_bound: f64) -> usize {
+    if log_bound < (usize::MAX as f64 / 4.0).ln() {
+        log_bound.exp().ceil() as usize
+    } else {
+        usize::MAX
     }
 }
 
@@ -1567,6 +1841,14 @@ fn exec_node(
         Kind::AggElim { factors, factor_vars, order, free_over } => {
             let _ss = gel_obs::span("sparse.exec");
             run_agg_elim(nodes, factors, factor_vars, order, *free_over, out, n, scratch);
+        }
+        Kind::JoinWco { factors, factor_vars, order, n_free, free_over } => {
+            let _ss = gel_obs::span("sparse.exec");
+            run_join_wco(nodes, factors, factor_vars, order, *n_free, *free_over, sp, n, scratch);
+            note_sparse(sp.len());
+            if node.needs_dense {
+                densify(sp, out);
+            }
         }
     }
 }
@@ -2015,6 +2297,48 @@ fn run_agg_elim(
     }
 }
 
+/// The worst-case-optimal join kernel wrapper ([`Kind::JoinWco`]):
+/// copy each factor's coordinate list into the scratch arena (the
+/// kernel re-keys its trie views in place), run
+/// [`crate::sparse::join_multiway`] over the planned order, then scale
+/// every emitted (integer) count by `n^free_over` for aggregated
+/// variables no factor constrains — exact, like `AggElim`'s
+/// multiplier. Arena and join-scratch capacities persist across
+/// evaluations, so the warmed path allocates nothing.
+#[allow(clippy::too_many_arguments)]
+fn run_join_wco(
+    nodes: &[Node],
+    factors: &[usize],
+    factor_vars: &[Vec<Var>],
+    order: &[Var],
+    n_free: usize,
+    free_over: u32,
+    sp_out: &mut CoordList,
+    n: usize,
+    s: &mut ExecScratch,
+) {
+    let k = factors.len();
+    while s.arena.len() < k {
+        s.arena.push(CoordList::default());
+        s.avars.push(Vec::new());
+    }
+    for (slot, &fi) in factors.iter().enumerate() {
+        s.arena[slot].copy_from_list(&nodes[fi].sp);
+    }
+    let seeks =
+        join_multiway(&mut s.arena[..k], factor_vars, order, n_free, n, &mut s.join, sp_out);
+    if free_over > 0 {
+        let mult = (n as f64).powi(free_over as i32);
+        for v in sp_out.values_mut() {
+            *v *= mult;
+        }
+    }
+    WCO_JOINS.fetch_add(1, Ordering::Relaxed);
+    WCO_SEEKS.fetch_add(seeks, Ordering::Relaxed);
+    OBS_WCO_JOINS.incr();
+    OBS_WCO_SEEKS.add(seeks);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2183,7 +2507,12 @@ mod tests {
     /// Forced-sparse options: every representable node goes through the
     /// coordinate-list kernels regardless of size.
     fn forced_sparse(fast: bool) -> EvalOptions {
-        EvalOptions { guard_fast_path: fast, sparse: true, sparse_min_cells: 0 }
+        EvalOptions {
+            guard_fast_path: fast,
+            sparse: true,
+            sparse_min_cells: 0,
+            ..EvalOptions::default()
+        }
     }
 
     /// Forced-sparse evaluation must be *equal* to both the oracle and
@@ -2322,5 +2651,215 @@ mod tests {
                 prop_assert_eq!(eng.eval(&e, &g), &want);
             }
         }
+    }
+
+    /// The cyclic probe family of the wco path: k-cycles, cliques, and
+    /// chorded cycles as indicator products, aggregated over a chosen
+    /// variable subset.
+    fn cyclic_probe(atoms: Vec<Expr>, over: Vec<Var>) -> Expr {
+        let arity = atoms.len();
+        agg_over(Agg::Sum, over, apply(Func::Mul { arity, dim: 1 }, atoms), None)
+    }
+
+    /// Cyclic sum-products route through [`Kind::JoinWco`] (counter
+    /// delta ≥ 1 — other tests may run concurrently) while keeping the
+    /// same compact plan shape as the `AggElim` path, and the `wco`
+    /// ablation restores the binary-join plan bit-identically.
+    #[test]
+    fn wco_gate_fires_on_cyclic_shapes() {
+        let mut rng = StdRng::seed_from_u64(0xC4C4);
+        let g = random_graph(10, 1, &mut rng);
+        let c4 =
+            cyclic_probe(vec![edge(1, 2), edge(2, 3), edge(3, 4), edge(1, 4)], vec![1, 2, 3, 4]);
+        let want = oracle_eval(&c4, &g);
+        let before = eval_wco_joins();
+        let mut eng = EvalEngine::with_options(forced_sparse(true));
+        assert_eq!(eng.eval(&c4, &g), &want);
+        assert!(eval_wco_joins() > before, "cyclic probe did not take the wco path");
+        // 4 edge atoms + 1 JoinWco node — same shape as the AggElim plan.
+        assert_eq!(eng.plan_nodes(), 5);
+        let mut binary =
+            EvalEngine::with_options(EvalOptions { wco: false, ..forced_sparse(true) });
+        assert_eq!(binary.eval(&c4, &g), &want, "wco ablation diverged");
+        assert_eq!(binary.plan_nodes(), 5);
+        // Acyclic shapes stay on the elimination path.
+        let path3 = cyclic_probe(vec![edge(1, 2), edge(2, 3)], vec![2, 3]);
+        let before = eval_wco_joins();
+        let mut eng = EvalEngine::with_options(forced_sparse(true));
+        let seen = eng.eval(&path3, &g).data().to_vec();
+        assert_eq!(eval_wco_joins(), before, "acyclic probe must stay on AggElim");
+        assert_eq!(seen, oracle_eval(&path3, &g).data());
+    }
+
+    /// The wco engine, the binary merge-join engine (`wco: false`) and
+    /// the dense oracle agree bit-for-bit on cycles, cliques, chorded
+    /// cycles and free-variable variants, at 1 and 4 threads.
+    #[test]
+    fn wco_matches_binary_join_and_oracle_on_probe_family() {
+        let mut rng = StdRng::seed_from_u64(0xAC3D);
+        let g = random_graph(12, 1, &mut rng);
+        let probes = vec![
+            // Triangle count (closed) and per-vertex triangle counts.
+            cyclic_probe(vec![edge(1, 2), edge(2, 3), edge(1, 3)], vec![1, 2, 3]),
+            cyclic_probe(vec![edge(1, 2), edge(2, 3), edge(1, 3)], vec![2, 3]),
+            // 4-cycle, closed and with one / two free variables.
+            cyclic_probe(vec![edge(1, 2), edge(2, 3), edge(3, 4), edge(1, 4)], vec![1, 2, 3, 4]),
+            cyclic_probe(vec![edge(1, 2), edge(2, 3), edge(3, 4), edge(1, 4)], vec![2, 3, 4]),
+            cyclic_probe(vec![edge(1, 2), edge(2, 3), edge(3, 4), edge(1, 4)], vec![2, 4]),
+            // Chorded 4-cycle and the full 4-clique.
+            cyclic_probe(
+                vec![edge(1, 2), edge(2, 3), edge(3, 4), edge(1, 4), edge(1, 3)],
+                vec![1, 2, 3, 4],
+            ),
+            cyclic_probe(
+                vec![edge(1, 2), edge(2, 3), edge(3, 4), edge(1, 4), edge(1, 3), edge(2, 4)],
+                vec![1, 2, 3, 4],
+            ),
+            // Cyclic core with a free aggregated variable (×n) and an
+            // equality atom collapsing one cycle vertex.
+            cyclic_probe(vec![edge(1, 2), edge(2, 3), edge(1, 3)], vec![1, 2, 3, 5]),
+            cyclic_probe(vec![edge(1, 2), edge(2, 3), edge(3, 4), eq(1, 4)], vec![1, 2, 3, 4]),
+        ];
+        for e in &probes {
+            let want = oracle_eval(e, &g);
+            for threads in [1, 4] {
+                rayon::set_num_threads(threads);
+                let mut wco = EvalEngine::with_options(forced_sparse(true));
+                assert_eq!(wco.eval(e, &g), &want, "wco diverged at {threads} threads on {e}");
+                assert_eq!(wco.eval(e, &g), &want, "cached wco plan diverged on {e}");
+                let mut binary =
+                    EvalEngine::with_options(EvalOptions { wco: false, ..forced_sparse(true) });
+                assert_eq!(binary.eval(e, &g), &want, "binary join diverged on {e}");
+                rayon::set_num_threads(0);
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        // Random cyclic GEL_{2,3} sum-products: cycle length 3–5 with
+        // random arc directions, optional chord, optional pendant edge,
+        // and a random (non-empty) aggregated subset. The wco engine,
+        // the binary merge-join engine and the dense oracle must agree
+        // bit-for-bit, serially and at 4 threads (the sparse kernels
+        // are serial, so thread count must not change a single bit).
+        #[test]
+        fn wco_matches_binary_join_on_random_cyclic_gel(seed in 0u64..1_000_000) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = 4 + (seed % 4) as usize;
+            let g = random_graph(n, 1, &mut rng);
+            let len = 3 + (seed % 3) as u8;
+            let mut atoms = Vec::new();
+            for i in 1..=len {
+                let j = i % len + 1;
+                let (a, b) = if (seed >> i) & 1 == 0 { (i, j) } else { (j, i) };
+                atoms.push(edge(a, b));
+            }
+            let mut max_var = len;
+            if len >= 4 && (seed >> 11) & 1 == 1 {
+                atoms.push(edge(1, 3)); // chord
+            }
+            if (seed >> 12) & 1 == 1 {
+                max_var = len + 1;
+                atoms.push(edge(len, max_var)); // pendant
+            }
+            let mut over: Vec<Var> =
+                (1..=max_var).filter(|v| (seed >> (16 + v)) & 1 == 1).collect();
+            if over.is_empty() {
+                over.push(1 + (seed % max_var as u64) as Var);
+            }
+            let e = cyclic_probe(atoms, over);
+            let want = oracle_eval(&e, &g);
+            for threads in [1, 4] {
+                rayon::set_num_threads(threads);
+                let mut wco = EvalEngine::with_options(forced_sparse(true));
+                prop_assert_eq!(wco.eval(&e, &g), &want, "wco diverged on {}", e);
+                let mut binary =
+                    EvalEngine::with_options(EvalOptions { wco: false, ..forced_sparse(true) });
+                prop_assert_eq!(binary.eval(&e, &g), &want, "binary join diverged on {}", e);
+                rayon::set_num_threads(0);
+            }
+        }
+    }
+
+    /// Sparse output: with `sparse_output` on, a sparse root skips the
+    /// final densify — the returned table is sparse, equal (as a
+    /// function) to the dense result, replays from the cached plan, and
+    /// round-trips through `eval_owned`.
+    #[test]
+    fn sparse_output_root_skips_densify() {
+        let mut rng = StdRng::seed_from_u64(0x0B7);
+        let g = random_graph(12, 1, &mut rng);
+        // Per-(x1,x4) count of paths x1→x2→x3→x4 closing a 4-cycle:
+        // a cyclic query with a 2-variable output table.
+        let e = cyclic_probe(vec![edge(1, 2), edge(2, 3), edge(3, 4), edge(1, 4)], vec![2, 3]);
+        let opts = EvalOptions { sparse_output: true, ..forced_sparse(true) };
+        let want = oracle_eval(&e, &g);
+        let mut eng = EvalEngine::with_options(opts);
+        let t = eng.eval(&e, &g);
+        assert!(t.is_sparse(), "root should stay sparse under sparse_output");
+        assert!(t.nnz() <= t.num_cells());
+        assert!(t.approx_eq(&want, 0.0), "sparse output diverged from the oracle");
+        assert_eq!(t.to_dense(), want, "densified sparse output must be bit-identical");
+        // Cached replay keeps the sparse representation and the values.
+        let t2 = eng.eval(&e, &g);
+        assert!(t2.is_sparse());
+        assert!(t2.approx_eq(&want, 0.0));
+        // eval_owned moves the sparse table out; the next borrowed call
+        // still works (fresh buffers).
+        let owned = eng.eval_owned(&e, &g);
+        assert!(owned.is_sparse());
+        assert_eq!(owned.to_dense(), want);
+        assert!(eng.eval(&e, &g).approx_eq(&want, 0.0));
+        // A dense root (defaults) is unaffected by the flag being off.
+        let mut dense_eng = EvalEngine::with_options(forced_sparse(true));
+        assert!(!dense_eng.eval(&e, &g).is_sparse());
+    }
+
+    /// `try_eval_capped` admits plans whose slabs all stay sparse and
+    /// rejects — before allocating — plans needing a dense slab over
+    /// the cap; the error names the offending length.
+    #[test]
+    fn try_eval_capped_gates_dense_slabs() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = random_graph(16, 1, &mut rng);
+        let e = cyclic_probe(vec![edge(1, 2), edge(2, 3), edge(3, 4), edge(1, 4)], vec![3, 4]);
+        let sparse_opts = EvalOptions { sparse_output: true, ..forced_sparse(true) };
+        let mut eng = EvalEngine::with_options(sparse_opts);
+        // All nodes sparse (atoms + JoinWco root): a cap far below the
+        // n² output admits the plan.
+        let want = oracle_eval(&e, &g);
+        let t = eng.try_eval_capped(&e, &g, 64).expect("fully sparse plan fits any cap");
+        assert!(t.is_sparse());
+        assert!(t.approx_eq(&want, 0.0));
+        // Cached-plan revalidation: a cap of 0 still admits (no dense
+        // slabs), and the dense engine is rejected up front.
+        assert!(eng.try_eval_capped(&e, &g, 0).is_ok());
+        let mut dense_eng =
+            EvalEngine::with_options(EvalOptions { sparse: false, ..EvalOptions::default() });
+        let err = dense_eng.try_eval_capped(&e, &g, 64).unwrap_err();
+        assert!(err.len > 64, "error must carry the offending slab length");
+        // The engine recovers: an uncapped call evaluates normally.
+        assert_eq!(dense_eng.eval(&e, &g), &want);
+    }
+
+    /// The warmed wco + sparse-output path performs zero pool misses:
+    /// the slab-alloc counter must stay flat across repeated calls on
+    /// a cached plan.
+    #[test]
+    fn wco_sparse_output_steady_state_allocs_zero() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let g = random_graph(14, 1, &mut rng);
+        let e = cyclic_probe(vec![edge(1, 2), edge(2, 3), edge(3, 4), edge(1, 4)], vec![2, 3]);
+        let opts = EvalOptions { sparse_output: true, ..forced_sparse(true) };
+        let mut eng = EvalEngine::with_options(opts);
+        for _ in 0..3 {
+            eng.eval(&e, &g); // warm the plan, buffers and scratch
+        }
+        let before = eval_slab_allocs();
+        for _ in 0..10 {
+            eng.eval(&e, &g);
+        }
+        assert_eq!(eval_slab_allocs(), before, "warmed wco/sparse-output path allocated");
     }
 }

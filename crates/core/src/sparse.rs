@@ -96,6 +96,12 @@ impl CoordList {
         &self.values
     }
 
+    /// Mutable view of the stored values (coordinates stay fixed — for
+    /// in-place scaling, e.g. the `n^free_over` multiplier).
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
     /// Appends an entry. Callers may push out of order as long as they
     /// finish with [`Self::sort_entries`].
     pub fn push(&mut self, coord: usize, value: &[f64]) {
@@ -211,6 +217,79 @@ pub struct JoinScratch {
     out_shared: Vec<usize>,
     out_a: Vec<usize>,
     out_b: Vec<usize>,
+    /// Worst-case-optimal join state ([`join_multiway`]): per-factor
+    /// per-trie-level digit strides …
+    wco_strides: Vec<Vec<usize>>,
+    /// … the `(factor, trie level)` pairs active at each order depth …
+    wco_active: Vec<Vec<(u32, u32)>>,
+    /// … per-factor stacks of trie ranges (one frame per bound level) …
+    wco_ranges: Vec<Vec<(usize, usize)>>,
+    /// … per-depth leapfrog iterator blocks (reused across the
+    /// recursion so a `descend` call never zero-initialises scratch) …
+    wco_iters: Vec<Vec<LfIter>>,
+    /// … the key radix of each factor (`n.next_power_of_two()` on the
+    /// shift/mask fast path, `n` on the division fallback) …
+    wco_radix: Vec<usize>,
+    /// … and the output-coordinate stride of each free-prefix depth.
+    wco_out_strides: Vec<usize>,
+}
+
+/// One factor's leapfrog iterator at one join depth: a cursor into the
+/// factor's trie-ordered coordinate array, restricted to the subtree
+/// `cur..hi` selected by the already-bound prefix. `base` is the packed
+/// key of that prefix, so the entries binding vertex `v` at this level
+/// occupy the half-open raw-key range `[base + v*below, base +
+/// (v+1)*below)` — every seek is a `partition_point` over plain
+/// `usize` keys with no division in the probe. `dig` caches the vertex
+/// bound by the entry at `cur` (one division per seek, not per probe).
+#[derive(Debug, Clone, Copy)]
+struct LfIter {
+    /// Factor index.
+    f: u32,
+    /// Digit shift of this trie level (shift/mask radix only).
+    shift: u32,
+    /// Current entry, end of the matched run, and subtree end.
+    cur: usize,
+    end: usize,
+    hi: usize,
+    /// Key stride of this trie level (`radix^(q-1-level)`).
+    below: usize,
+    /// Packed key of the bound prefix (digits above this level).
+    base: usize,
+    /// Vertex bound by the entry at `cur`.
+    dig: usize,
+    /// Digit mask (`radix - 1`); zero selects the division fallback.
+    mask: usize,
+}
+
+impl LfIter {
+    /// The vertex bound by raw key `key` at this iterator's level.
+    #[inline]
+    fn dig_of(&self, key: usize) -> usize {
+        if self.mask != 0 {
+            (key >> self.shift) & self.mask
+        } else {
+            (key - self.base) / self.below
+        }
+    }
+}
+
+/// First index in `coords[lo..hi]` whose key is `>= target`, assuming
+/// `coords[lo] < target`: exponential probe forward from `lo`, then a
+/// binary search of the last doubling window. Leapfrog seeks usually
+/// land a handful of entries ahead, so this is `O(log distance)`
+/// instead of `O(log (hi - lo))`.
+#[inline]
+fn gallop(coords: &[usize], lo: usize, hi: usize, target: usize) -> usize {
+    debug_assert!(lo < hi && coords[lo] < target);
+    let mut step = 1usize;
+    let mut base = lo;
+    while base + step < hi && coords[base + step] < target {
+        base += step;
+        step <<= 1;
+    }
+    let end = (base + step + 1).min(hi);
+    base + coords[base..end].partition_point(|&k| k < target)
 }
 
 /// Writes the base-`n` digits of `cell`, most significant first.
@@ -384,6 +463,294 @@ fn fill_out_strides(block: &[Var], out_vars: &[Var], n: usize, out: &mut Vec<usi
     out.extend(
         block.iter().map(|v| npow(n, p_out - 1 - out_vars.iter().position(|o| o == v).unwrap())),
     );
+}
+
+/// Factor-count cap of [`join_multiway`], matching its stack-local
+/// iterator arrays (expression arity bounds the factor count long
+/// before this).
+pub const MAX_WCO_FACTORS: usize = 32;
+
+/// Worst-case-optimal multiway join (leapfrog-triejoin style): joins
+/// all scalar `factors` at once by intersecting, variable by variable
+/// in the shared `order`, the candidate vertices of every factor
+/// containing that variable — then sums the per-assignment products
+/// over `order[n_free..]` into a scalar output over the free prefix
+/// `order[..n_free]` (which must be the output variables in ascending
+/// order, so results emerge in dense layout order without a final
+/// sort; `n_free == 0` folds everything into coordinate 0).
+///
+/// Each factor is viewed as a *trie*: its sorted coordinate array,
+/// re-keyed in place so the mixed-radix digits follow the factor's
+/// variables in global-order position ("trie order" — a no-op for
+/// factors whose variables already ascend with the order). Level `l`
+/// of the trie is then digit `l` of the key, and a subtree is a
+/// contiguous key range, so the per-variable intersection is a
+/// leapfrog over `partition_point` range splits — no hashing, no
+/// materialized intermediates. Total work is bounded by the AGM
+/// fractional-cover bound of the factor hypergraph (Ngo–Porat–Ré–Rudra;
+/// `gel_graph::elim::agm_cover_log_bound` computes the planning-side
+/// estimate), which for cyclic joins is asymptotically below any
+/// binary join plan.
+///
+/// Requirements: scalar factors (`dim == 1`), every variable of every
+/// factor present in `order`, every `order` variable present in at
+/// least one factor, at most [`MAX_WCO_FACTORS`] factors. All state
+/// lives in `s`, so the warmed path allocates nothing.
+///
+/// Determinism: assignments are enumerated in lexicographic `order`;
+/// the callers (`plan.rs`) restrict the kernel to integer-valued
+/// indicator factors, where re-associating the eliminated sums is
+/// exact — the same contract as [`join_multiply`] / [`contract_sum`].
+///
+/// Returns the number of leapfrog seeks performed (an obs metric).
+pub fn join_multiway(
+    factors: &mut [CoordList],
+    factor_vars: &[Vec<Var>],
+    order: &[Var],
+    n_free: usize,
+    n: usize,
+    s: &mut JoinScratch,
+    out: &mut CoordList,
+) -> u64 {
+    let nf = factors.len();
+    assert_eq!(factor_vars.len(), nf, "one variable list per factor");
+    assert!(nf <= MAX_WCO_FACTORS, "too many factors in multiway join");
+    assert!(n_free <= order.len(), "free prefix within order");
+    debug_assert!(order[..n_free].windows(2).all(|w| w[0] < w[1]), "free prefix ascending");
+    out.reset(1);
+    if nf == 0 {
+        return 0;
+    }
+
+    // Per-depth active lists and per-factor range stacks.
+    while s.wco_active.len() < order.len() {
+        s.wco_active.push(Vec::new());
+    }
+    for a in s.wco_active[..order.len()].iter_mut() {
+        a.clear();
+    }
+    while s.wco_strides.len() < nf {
+        s.wco_strides.push(Vec::new());
+    }
+    while s.wco_ranges.len() < nf {
+        s.wco_ranges.push(Vec::new());
+    }
+    while s.wco_iters.len() < order.len() {
+        s.wco_iters.push(Vec::new());
+    }
+
+    // Digit radix per factor: rounding `n` up to a power of two makes
+    // every hot-loop digit extraction a shift/mask instead of a
+    // div/mod. When `n` is itself a power of two (the common bench and
+    // partition sizes) the packed keys are numerically unchanged, so
+    // identity-order factors skip the repack entirely; otherwise the
+    // repack rides the same decode pass as the trie re-key. Factors
+    // whose widened key would overflow 63 bits keep base-`n` keys and
+    // the division path.
+    let nb = n.next_power_of_two();
+    let shift = nb.trailing_zeros() as usize;
+    s.wco_radix.clear();
+
+    let mut empty = false;
+    for (f, vars) in factor_vars.iter().enumerate() {
+        assert_eq!(factors[f].dim, 1, "join_multiway is scalar");
+        debug_assert!(vars.windows(2).all(|w| w[0] < w[1]));
+        let q = vars.len();
+        assert!(q <= 16, "too many variables in sparse join");
+        let radix = if q * shift <= 63 { nb } else { n };
+        s.wco_radix.push(radix);
+        // Global order position of each variable, and its trie level
+        // (rank of that position among the factor's own variables).
+        let mut pos = [0usize; 16];
+        for (i, v) in vars.iter().enumerate() {
+            pos[i] = order.iter().position(|o| o == v).expect("factor variable in order");
+        }
+        let mut kstr = [0usize; 16];
+        let mut identity = true;
+        for i in 0..q {
+            let level = (0..q).filter(|&j| pos[j] < pos[i]).count();
+            if level != i {
+                identity = false;
+            }
+            kstr[i] = npow(radix, q - 1 - level);
+            s.wco_active[pos[i]].push((f as u32, level as u32));
+        }
+        // Trie view: re-key the sorted coordinates to trie order (and
+        // into the widened radix when it differs from `n`).
+        if !identity || radix != n {
+            let mut digits = [0usize; 16];
+            for c in factors[f].coords.iter_mut() {
+                digits_of(*c, n, &mut digits[..q]);
+                *c = digits[..q].iter().zip(&kstr[..q]).map(|(d, st)| d * st).sum();
+            }
+            if !identity {
+                factors[f].sort_entries(s);
+            }
+            debug_assert!(factors[f].is_strictly_sorted());
+        }
+        let st = &mut s.wco_strides[f];
+        st.clear();
+        st.extend((0..q).map(|l| npow(radix, q - 1 - l)));
+        let r = &mut s.wco_ranges[f];
+        r.clear();
+        r.push((0, factors[f].len()));
+        empty |= factors[f].is_empty();
+    }
+    if empty {
+        return 0;
+    }
+    assert!(
+        s.wco_active[..order.len()].iter().all(|a| !a.is_empty()),
+        "every order variable must appear in a factor"
+    );
+    s.wco_out_strides.clear();
+    s.wco_out_strides.extend((0..n_free).map(|d| npow(n, n_free - 1 - d)));
+
+    let mut ctx = WcoCtx {
+        factors,
+        strides: &s.wco_strides,
+        radix: &s.wco_radix,
+        active: &s.wco_active,
+        out_strides: &s.wco_out_strides,
+        ranges: &mut s.wco_ranges,
+        iters: &mut s.wco_iters,
+        out,
+        order_len: order.len(),
+        n_free,
+        nf,
+        seeks: 0,
+    };
+    ctx.descend(0, 0);
+    let seeks = ctx.seeks;
+    debug_assert!(out.is_strictly_sorted());
+    seeks
+}
+
+/// Recursion state of [`join_multiway`]. Shared-reference fields are
+/// copied out of `self` before recursing, so only `ranges`/`out`/
+/// `seeks` are touched through `&mut self`.
+struct WcoCtx<'a> {
+    factors: &'a [CoordList],
+    strides: &'a [Vec<usize>],
+    radix: &'a [usize],
+    active: &'a [Vec<(u32, u32)>],
+    out_strides: &'a [usize],
+    ranges: &'a mut [Vec<(usize, usize)>],
+    iters: &'a mut [Vec<LfIter>],
+    out: &'a mut CoordList,
+    order_len: usize,
+    n_free: usize,
+    nf: usize,
+    seeks: u64,
+}
+
+impl WcoCtx<'_> {
+    fn descend(&mut self, d: usize, out_coord: usize) {
+        if d == self.order_len {
+            // Full assignment: every factor's range is one entry.
+            let mut prod = 1.0;
+            for f in 0..self.nf {
+                let &(lo, hi) = self.ranges[f].last().expect("range per bound level");
+                debug_assert_eq!(hi, lo + 1, "full trie key is unique");
+                prod *= self.factors[f].values[lo];
+            }
+            // The free prefix is enumerated lexicographically, so the
+            // output coordinate is non-decreasing: accumulate into the
+            // last entry or append.
+            if self.out.coords.last() == Some(&out_coord) {
+                *self.out.values.last_mut().expect("entry exists") += prod;
+            } else {
+                debug_assert!(self.out.coords.last().is_none_or(|&c| c < out_coord));
+                self.out.push1(out_coord, prod);
+            }
+            return;
+        }
+        let factors = self.factors;
+        let free_stride = if d < self.n_free { self.out_strides[d] } else { 0 };
+
+        // Leapfrog iterators over the active factors' current ranges.
+        // The per-depth block is taken out of the scratch for the
+        // duration of this call (deeper recursion uses deeper blocks)
+        // and restored on every exit path.
+        let mut its = std::mem::take(&mut self.iters[d]);
+        its.clear();
+        for &(f, l) in &self.active[d] {
+            let fu = f as usize;
+            let &(lo, hi) = self.ranges[fu].last().expect("range per bound level");
+            if lo == hi {
+                self.iters[d] = its;
+                return;
+            }
+            let below = self.strides[fu][l as usize];
+            let radix = self.radix[fu];
+            let key = factors[fu].coords[lo];
+            let (base, shift, mask) = if radix.is_power_of_two() {
+                let shift = below.trailing_zeros();
+                (key & !(below * radix - 1), shift, radix - 1)
+            } else {
+                (key - key % (below * radix), 0, 0)
+            };
+            let mut it = LfIter { f, shift, cur: lo, end: lo, hi, below, base, dig: 0, mask };
+            it.dig = it.dig_of(key);
+            its.push(it);
+        }
+        'outer: loop {
+            // The largest current candidate vertex across factors.
+            let mut vmax = 0usize;
+            for it in its.iter() {
+                if it.dig > vmax {
+                    vmax = it.dig;
+                }
+            }
+            // Leapfrog everyone up to it; an overshoot raises the bar
+            // and restarts the pass. Seek targets are raw packed keys
+            // (`base + v*below`), so the gallop compares plain
+            // integers; the cached `dig` recompute per landed seek is a
+            // shift/mask (or one division on the wide-key fallback).
+            let mut matched = true;
+            for it in its.iter_mut() {
+                if it.dig < vmax {
+                    let coords = &factors[it.f as usize].coords;
+                    let target = it.base + vmax * it.below;
+                    it.cur = gallop(coords, it.cur, it.hi, target);
+                    self.seeks += 1;
+                    if it.cur == it.hi {
+                        break 'outer;
+                    }
+                    it.dig = it.dig_of(coords[it.cur]);
+                    if it.dig > vmax {
+                        matched = false;
+                    }
+                }
+            }
+            if !matched {
+                continue;
+            }
+            // All factors agree on vertex `vmax`: bind it, recurse into
+            // the matching subtries, then advance past them.
+            for it in its.iter_mut() {
+                let coords = &factors[it.f as usize].coords;
+                let stop = it.base + (vmax + 1) * it.below;
+                it.end = gallop(coords, it.cur, it.hi, stop);
+                self.ranges[it.f as usize].push((it.cur, it.end));
+            }
+            self.descend(d + 1, out_coord + vmax * free_stride);
+            let mut exhausted = false;
+            for it in its.iter_mut() {
+                self.ranges[it.f as usize].pop();
+                it.cur = it.end;
+                if it.cur == it.hi {
+                    exhausted = true;
+                } else {
+                    it.dig = it.dig_of(factors[it.f as usize].coords[it.cur]);
+                }
+            }
+            if exhausted {
+                break 'outer;
+            }
+        }
+        self.iters[d] = its;
+    }
 }
 
 /// Sums variable `var` out of a scalar factor: entries sharing all
@@ -579,8 +946,158 @@ mod tests {
         assert_eq!(out.values(), &[7.0, 8.0]);
     }
 
+    /// Dense reference of [`join_multiway`]'s semantics: enumerate all
+    /// assignments of `order`, probe each factor at the coordinate of
+    /// its own (ascending) variables, and fold products over the
+    /// eliminated suffix into the free-prefix coordinate.
+    fn dense_multiway(
+        dense: &[Vec<f64>],
+        factor_vars: &[Vec<Var>],
+        order: &[Var],
+        n_free: usize,
+        n: usize,
+    ) -> Vec<f64> {
+        let p = order.len();
+        let mut out = vec![0.0; npow(n, n_free)];
+        let mut assign = vec![0usize; p];
+        for cell in 0..npow(n, p) {
+            digits_of(cell, n, &mut assign);
+            let mut prod = 1.0;
+            for (df, vars) in dense.iter().zip(factor_vars) {
+                let c = vars
+                    .iter()
+                    .fold(0, |acc, v| acc * n + assign[order.iter().position(|o| o == v).unwrap()]);
+                prod *= df[c];
+            }
+            let oc = (0..n_free).fold(0, |acc, d| acc * n + assign[d]);
+            out[oc] += prod;
+        }
+        out
+    }
+
+    #[test]
+    fn multiway_triangle_count_matches_dense() {
+        let n = 5;
+        let mut rng = StdRng::seed_from_u64(7);
+        let vars: Vec<Vec<Var>> = vec![vec![1, 2], vec![2, 3], vec![1, 3]];
+        let (mut factors, dense): (Vec<CoordList>, Vec<Vec<f64>>) =
+            vars.iter().map(|v| random_factor(v, n, 0.5, &mut rng)).unzip();
+        let mut out = CoordList::new(1);
+        let mut s = JoinScratch::default();
+        // Fully aggregated: n_free = 0, scalar count at coordinate 0.
+        join_multiway(&mut factors, &vars, &[1, 2, 3], 0, n, &mut s, &mut out);
+        let want = dense_multiway(&dense, &vars, &[1, 2, 3], 0, n);
+        assert_eq!(to_dense(&out, 1), want);
+        assert!(out.is_strictly_sorted());
+    }
+
+    #[test]
+    fn multiway_free_prefix_emits_sorted_per_vertex_counts() {
+        let n = 4;
+        let mut rng = StdRng::seed_from_u64(11);
+        let vars: Vec<Vec<Var>> = vec![vec![1, 2], vec![2, 3], vec![1, 3]];
+        let (mut factors, dense): (Vec<CoordList>, Vec<Vec<f64>>) =
+            vars.iter().map(|v| random_factor(v, n, 0.5, &mut rng)).unzip();
+        let mut out = CoordList::new(1);
+        let mut s = JoinScratch::default();
+        // x1 free: per-vertex incident-triangle weights, eliminated
+        // vars ordered 3 before 2 to exercise a non-ascending suffix.
+        join_multiway(&mut factors, &vars, &[1, 3, 2], 1, n, &mut s, &mut out);
+        assert!(out.is_strictly_sorted());
+        let want = dense_multiway(&dense, &vars, &[1, 3, 2], 1, n);
+        assert_eq!(to_dense(&out, n), want);
+    }
+
+    #[test]
+    fn multiway_empty_factor_short_circuits() {
+        let n = 3;
+        let mut a = CoordList::new(1);
+        a.push1(1, 1.0);
+        let b = CoordList::new(1);
+        let mut factors = vec![a, b];
+        let vars: Vec<Vec<Var>> = vec![vec![1, 2], vec![2, 3]];
+        let mut out = CoordList::new(1);
+        let seeks = join_multiway(
+            &mut factors,
+            &vars,
+            &[1, 2, 3],
+            0,
+            n,
+            &mut JoinScratch::default(),
+            &mut out,
+        );
+        assert!(out.is_empty());
+        assert_eq!(seeks, 0);
+    }
+
+    #[test]
+    fn trie_rekey_preserves_entry_multiset() {
+        let n = 4;
+        let mut rng = StdRng::seed_from_u64(23);
+        let vars: Vec<Vec<Var>> = vec![vec![1, 2], vec![2, 3], vec![1, 3]];
+        let (mut factors, _): (Vec<CoordList>, Vec<Vec<f64>>) =
+            vars.iter().map(|v| random_factor(v, n, 0.6, &mut rng)).unzip();
+        let before: Vec<(usize, Vec<f64>)> = factors
+            .iter()
+            .map(|f| {
+                let mut vals = f.values().to_vec();
+                vals.sort_by(f64::total_cmp);
+                (f.len(), vals)
+            })
+            .collect();
+        let mut out = CoordList::new(1);
+        // Order [3, 1, 2] forces a non-identity re-key of every factor.
+        join_multiway(&mut factors, &vars, &[3, 1, 2], 0, n, &mut JoinScratch::default(), &mut out);
+        for (f, (len, vals)) in factors.iter().zip(&before) {
+            assert_eq!(f.len(), *len, "re-key must not add or drop entries");
+            assert!(f.is_strictly_sorted());
+            let mut got = f.values().to_vec();
+            got.sort_by(f64::total_cmp);
+            assert_eq!(&got, vals, "re-key must permute, not rewrite, values");
+        }
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Multiway join matches the dense reference on random cyclic
+        /// factor sets, orders, and free prefixes, and the trie re-key
+        /// keeps every factor strictly sorted.
+        #[test]
+        fn multiway_matches_dense_reference(seed in 0u64..10_000) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = 2 + (seed % 3) as usize;
+            // Cyclic hypergraphs: triangle, 4-cycle, 4-clique, and a
+            // triangle sharing an edge with a path.
+            let vars: Vec<Vec<Var>> = match seed % 4 {
+                0 => vec![vec![1, 2], vec![2, 3], vec![1, 3]],
+                1 => vec![vec![1, 2], vec![2, 3], vec![3, 4], vec![1, 4]],
+                2 => vec![
+                    vec![1, 2], vec![1, 3], vec![1, 4], vec![2, 3], vec![2, 4], vec![3, 4],
+                ],
+                _ => vec![vec![1, 2], vec![2, 3], vec![1, 3], vec![3, 4]],
+            };
+            let all: Vec<Var> = { let mut a: Vec<Var> =
+                vars.iter().flatten().copied().collect(); a.sort_unstable(); a.dedup(); a };
+            let n_free = (seed / 4 % 3) as usize % all.len();
+            // order = free prefix (ascending) + a rotation of the rest.
+            let mut order: Vec<Var> = all[..n_free].to_vec();
+            let mut rest: Vec<Var> = all[n_free..].to_vec();
+            let rot = (seed % 7) as usize % rest.len().max(1);
+            rest.rotate_left(rot);
+            order.append(&mut rest);
+            let (mut factors, dense): (Vec<CoordList>, Vec<Vec<f64>>) =
+                vars.iter().map(|v| random_factor(v, n, 0.4, &mut rng)).unzip();
+            let mut out = CoordList::new(1);
+            join_multiway(&mut factors, &vars, &order, n_free, n,
+                          &mut JoinScratch::default(), &mut out);
+            prop_assert!(out.is_strictly_sorted());
+            for f in &factors {
+                prop_assert!(f.is_strictly_sorted(), "trie re-key must keep factors sorted");
+            }
+            let want = dense_multiway(&dense, &vars, &order, n_free, n);
+            prop_assert_eq!(to_dense(&out, want.len()), want);
+        }
 
         /// Join result matches the dense product and satisfies the
         /// sorted/dedup invariant, across overlapping variable sets.

@@ -13,6 +13,17 @@ use gel_graph::Vertex;
 pub type Var = u8;
 
 /// The value table of an expression on a fixed graph.
+///
+/// Two representations share the struct: the default **dense** slab
+/// over all `n^p` cells, and (when `coords` is `Some`) a **sparse**
+/// coordinate list holding only the stored cells — `coords[i]` is the
+/// flat cell index (strictly ascending) and `data[i·dim..(i+1)·dim]`
+/// its value; absent cells are `+0.0^dim`. Sparse tables come out of
+/// the compiled engine under
+/// [`EvalOptions::sparse_output`](crate::eval::EvalOptions) and answer
+/// point lookups through [`Self::probe_cell`]; the dense positional
+/// accessors ([`Self::cell`], [`Self::value`], …) require a dense
+/// table — call [`Self::densify`] (or [`Self::to_dense`]) first.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EmbeddingTable {
     /// Free variables of the expression, sorted ascending.
@@ -23,8 +34,12 @@ pub struct EmbeddingTable {
     n: usize,
     /// Row-major data: the cell for assignment `(v_{i₁}, …, v_{i_p})`
     /// (variables in `vars` order) starts at
-    /// `(Σ_j v_{i_j} · n^{p−1−j}) · dim`.
+    /// `(Σ_j v_{i_j} · n^{p−1−j}) · dim`. For sparse tables, the
+    /// packed values of the stored cells (in `coords` order).
     data: Vec<f64>,
+    /// Sparse representation marker: the strictly ascending flat cell
+    /// indices of the stored cells. `None` = dense.
+    coords: Option<Vec<usize>>,
 }
 
 impl EmbeddingTable {
@@ -37,13 +52,13 @@ impl EmbeddingTable {
         assert!(vars.windows(2).all(|w| w[0] < w[1]), "vars must be strictly ascending");
         let cells = n.checked_pow(vars.len() as u32).expect("table too large");
         let data = vec![0.0; cells.checked_mul(dim).expect("table too large")];
-        Self { vars, dim, n, data }
+        Self { vars, dim, n, data, coords: None }
     }
 
     /// A table with no free variables holding a single cell (a graph
     /// embedding value).
     pub fn scalar_cell(value: Vec<f64>, n: usize) -> Self {
-        Self { vars: Vec::new(), dim: value.len(), n, data: value }
+        Self { vars: Vec::new(), dim: value.len(), n, data: value, coords: None }
     }
 
     /// Assembles a table from pre-computed parts. The compiled engine
@@ -57,13 +72,36 @@ impl EmbeddingTable {
         assert!(vars.windows(2).all(|w| w[0] < w[1]), "vars must be strictly ascending");
         let cells = n.checked_pow(vars.len() as u32).expect("table too large");
         assert_eq!(data.len(), cells.checked_mul(dim).expect("table too large"));
-        Self { vars, dim, n, data }
+        Self { vars, dim, n, data, coords: None }
+    }
+
+    /// Assembles a *sparse* table from pre-computed parts: `coords` are
+    /// the strictly ascending flat cell indices of the stored cells and
+    /// `values` their packed `dim`-wide rows.
+    ///
+    /// # Panics
+    /// Panics if `vars` is not strictly ascending, `coords` is not
+    /// strictly ascending / in range, or `values` does not hold exactly
+    /// `coords.len() · dim` entries.
+    pub fn from_sparse_parts(
+        vars: Vec<Var>,
+        dim: usize,
+        n: usize,
+        coords: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Self {
+        assert!(vars.windows(2).all(|w| w[0] < w[1]), "vars must be strictly ascending");
+        let cells = n.checked_pow(vars.len() as u32).expect("table too large");
+        assert!(coords.windows(2).all(|w| w[0] < w[1]), "coords must be strictly ascending");
+        assert!(coords.last().is_none_or(|&c| c < cells), "coordinate out of range");
+        assert_eq!(values.len(), coords.len().checked_mul(dim).expect("table too large"));
+        Self { vars, dim, n, data: values, coords: Some(coords) }
     }
 
     /// An inert zero-cell placeholder (`dim = 0`); used by the compiled
     /// engine as the "no result yet" state of its output table.
     pub(crate) fn placeholder() -> Self {
-        Self { vars: Vec::new(), dim: 0, n: 0, data: Vec::new() }
+        Self { vars: Vec::new(), dim: 0, n: 0, data: Vec::new(), coords: None }
     }
 
     /// Moves the backing slab out, leaving the table empty. The engine
@@ -80,6 +118,82 @@ impl EmbeddingTable {
             "slab does not match the table's shape"
         );
         self.data = data;
+        self.coords = None;
+    }
+
+    /// Moves *both* backing buffers out (coordinate buffer empty for a
+    /// dense table), leaving the table without storage. The engine
+    /// recycles them through its pools between plans.
+    pub(crate) fn take_storage(&mut self) -> (Vec<usize>, Vec<f64>) {
+        (self.coords.take().unwrap_or_default(), std::mem::take(&mut self.data))
+    }
+
+    /// Installs sparse storage (the counterpart of [`Self::set_data`]
+    /// for the sparse-output path). Shape checked in debug builds only
+    /// — the engine's hot path calls this per evaluation.
+    pub(crate) fn set_sparse(&mut self, coords: Vec<usize>, values: Vec<f64>) {
+        debug_assert!(coords.windows(2).all(|w| w[0] < w[1]));
+        debug_assert_eq!(values.len(), coords.len() * self.dim);
+        self.data = values;
+        self.coords = Some(coords);
+    }
+
+    /// True when the table is stored as a sparse coordinate list.
+    pub fn is_sparse(&self) -> bool {
+        self.coords.is_some()
+    }
+
+    /// Stored-cell count: the nonzero count for a sparse table, the
+    /// full cell count for a dense one.
+    pub fn nnz(&self) -> usize {
+        match &self.coords {
+            Some(c) => c.len(),
+            None => self.num_cells(),
+        }
+    }
+
+    /// The sparse coordinate array (`None` for dense tables).
+    pub fn sparse_coords(&self) -> Option<&[usize]> {
+        self.coords.as_deref()
+    }
+
+    /// Point lookup by assignment, valid for both representations:
+    /// `None` means the cell is absent from a sparse table (i.e. an
+    /// all-zero row); dense tables always return `Some`.
+    pub fn probe_cell(&self, assignment: &[Vertex]) -> Option<&[f64]> {
+        self.probe_flat(self.cell_index(assignment))
+    }
+
+    /// Point lookup by flat cell index (see [`Self::probe_cell`]).
+    pub fn probe_flat(&self, cell: usize) -> Option<&[f64]> {
+        match &self.coords {
+            Some(coords) => coords
+                .binary_search(&cell)
+                .ok()
+                .map(|i| &self.data[i * self.dim..(i + 1) * self.dim]),
+            None => Some(&self.data[cell * self.dim..(cell + 1) * self.dim]),
+        }
+    }
+
+    /// Scatters a sparse table into the dense layout in place (no-op
+    /// when already dense). Allocates the full `n^p · dim` slab.
+    pub fn densify(&mut self) {
+        let Some(coords) = self.coords.take() else { return };
+        let values = std::mem::take(&mut self.data);
+        let cells = self.n.checked_pow(self.vars.len() as u32).expect("table too large");
+        let mut data = vec![0.0; cells.checked_mul(self.dim).expect("table too large")];
+        for (i, &c) in coords.iter().enumerate() {
+            data[c * self.dim..(c + 1) * self.dim]
+                .copy_from_slice(&values[i * self.dim..(i + 1) * self.dim]);
+        }
+        self.data = data;
+    }
+
+    /// A densified copy (the original stays untouched).
+    pub fn to_dense(&self) -> Self {
+        let mut t = self.clone();
+        t.densify();
+        t
     }
 
     /// Free variables (sorted).
@@ -99,10 +213,14 @@ impl EmbeddingTable {
 
     /// Number of cells (`n^p`).
     pub fn num_cells(&self) -> usize {
-        self.data.len().checked_div(self.dim).unwrap_or(0)
+        match &self.coords {
+            Some(_) => self.n.checked_pow(self.vars.len() as u32).expect("table too large"),
+            None => self.data.len().checked_div(self.dim).unwrap_or(0),
+        }
     }
 
-    /// Raw data access.
+    /// Raw data access: the dense slab, or (sparse) the packed stored
+    /// rows in [`Self::sparse_coords`] order.
     pub fn data(&self) -> &[f64] {
         &self.data
     }
@@ -120,8 +238,13 @@ impl EmbeddingTable {
     }
 
     /// The cell for an assignment given in `vars` order.
+    ///
+    /// # Panics
+    /// Panics on sparse tables (positional indexing does not apply) —
+    /// use [`Self::probe_cell`] or [`Self::densify`] instead.
     #[inline]
     pub fn cell(&self, assignment: &[Vertex]) -> &[f64] {
+        assert!(self.coords.is_none(), "cell() needs a dense table; densify first");
         let i = self.cell_index(assignment) * self.dim;
         &self.data[i..i + self.dim]
     }
@@ -129,6 +252,7 @@ impl EmbeddingTable {
     /// Mutable cell access.
     #[inline]
     pub fn cell_mut(&mut self, assignment: &[Vertex]) -> &mut [f64] {
+        debug_assert!(self.coords.is_none(), "cell_mut() needs a dense table");
         let i = self.cell_index(assignment) * self.dim;
         &mut self.data[i..i + self.dim]
     }
@@ -138,6 +262,7 @@ impl EmbeddingTable {
     /// ignored).
     #[inline]
     pub fn cell_env(&self, env: &[Vertex]) -> &[f64] {
+        debug_assert!(self.coords.is_none(), "cell_env() needs a dense table");
         let mut idx = 0usize;
         for &var in &self.vars {
             idx = idx * self.n + env[var as usize] as usize;
@@ -152,6 +277,7 @@ impl EmbeddingTable {
     /// Panics unless the table has exactly one free variable.
     pub fn vertex_rows(&self) -> Vec<&[f64]> {
         assert_eq!(self.vars.len(), 1, "vertex_rows needs exactly one free variable");
+        assert!(self.coords.is_none(), "vertex_rows() needs a dense table; densify first");
         (0..self.n).map(|v| &self.data[v * self.dim..(v + 1) * self.dim]).collect()
     }
 
@@ -161,20 +287,33 @@ impl EmbeddingTable {
     /// Panics unless the table is closed.
     pub fn value(&self) -> &[f64] {
         assert!(self.vars.is_empty(), "value() needs a closed expression");
+        assert!(self.coords.is_none(), "value() needs a dense table; densify first");
         &self.data
     }
 
     /// True when the two tables agree entrywise within `tol` (same
-    /// vars/dim required).
+    /// vars/dim required). Representation-agnostic: a sparse table
+    /// equals the dense table it would densify to (absent cells read
+    /// as `+0.0`).
     pub fn approx_eq(&self, other: &Self, tol: f64) -> bool {
-        self.vars == other.vars
-            && self.dim == other.dim
-            && self.n == other.n
-            && self
+        if self.vars != other.vars || self.dim != other.dim || self.n != other.n {
+            return false;
+        }
+        if self.coords.is_none() && other.coords.is_none() {
+            return self
                 .data
                 .iter()
                 .zip(&other.data)
-                .all(|(a, b)| (a - b).abs() <= tol || (a.is_nan() && b.is_nan()))
+                .all(|(a, b)| (a - b).abs() <= tol || (a.is_nan() && b.is_nan()));
+        }
+        static ZEROS: [f64; 64] = [0.0; 64];
+        let zeros = vec![0.0; self.dim.saturating_sub(ZEROS.len())];
+        let zero_row = if self.dim <= ZEROS.len() { &ZEROS[..self.dim] } else { &zeros[..] };
+        (0..self.num_cells()).all(|c| {
+            let a = self.probe_flat(c).unwrap_or(zero_row);
+            let b = other.probe_flat(c).unwrap_or(zero_row);
+            a.iter().zip(b).all(|(x, y)| (x - y).abs() <= tol || (x.is_nan() && y.is_nan()))
+        })
     }
 
     /// The partition of cells by exact value — two assignments are in
@@ -182,11 +321,11 @@ impl EmbeddingTable {
     /// class ids per cell. Used to compare an expression's separation
     /// behaviour with a WL colouring.
     pub fn value_partition(&self) -> Vec<u32> {
+        let zero_row = vec![0.0f64; self.dim];
         let mut keys: Vec<Vec<u64>> = Vec::with_capacity(self.num_cells());
         for c in 0..self.num_cells() {
-            keys.push(
-                self.data[c * self.dim..(c + 1) * self.dim].iter().map(|x| x.to_bits()).collect(),
-            );
+            let row = self.probe_flat(c).unwrap_or(&zero_row);
+            keys.push(row.iter().map(|x| x.to_bits()).collect());
         }
         let mut sorted: Vec<&Vec<u64>> = keys.iter().collect();
         sorted.sort();
@@ -251,5 +390,59 @@ mod tests {
         b.cell_mut(&[0])[0] = 1.0 + 1e-12;
         assert!(a.approx_eq(&b, 1e-9));
         assert!(!a.approx_eq(&b, 1e-15));
+    }
+
+    #[test]
+    fn sparse_probe_and_densify() {
+        // vars [1,3], dim 2, n = 3: cells are x1*3 + x3.
+        let coords = vec![1, 5, 7];
+        let values = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let mut t = EmbeddingTable::from_sparse_parts(vec![1, 3], 2, 3, coords, values);
+        assert!(t.is_sparse());
+        assert_eq!(t.nnz(), 3);
+        assert_eq!(t.num_cells(), 9);
+        assert_eq!(t.probe_flat(5), Some(&[3.0, 4.0][..]));
+        assert_eq!(t.probe_flat(4), None);
+        assert_eq!(t.probe_cell(&[0, 1]), Some(&[1.0, 2.0][..]));
+        assert_eq!(t.probe_cell(&[2, 2]), None);
+        let dense = t.to_dense();
+        assert!(!dense.is_sparse());
+        assert_eq!(dense.cell(&[2, 1]), &[5.0, 6.0]);
+        assert_eq!(dense.cell(&[0, 0]), &[0.0, 0.0]);
+        assert!(t.approx_eq(&dense, 0.0));
+        assert!(dense.approx_eq(&t, 0.0));
+        t.densify();
+        assert!(!t.is_sparse());
+        assert_eq!(t, dense);
+    }
+
+    #[test]
+    fn sparse_dense_approx_eq_detects_mismatch() {
+        let mut dense = EmbeddingTable::zeros(vec![2], 1, 4);
+        dense.cell_mut(&[1])[0] = 2.0;
+        let same = EmbeddingTable::from_sparse_parts(vec![2], 1, 4, vec![1], vec![2.0]);
+        assert!(same.approx_eq(&dense, 0.0));
+        // A sparse table that misses the nonzero cell must not compare
+        // equal, nor one with an extra nonzero.
+        let empty = EmbeddingTable::from_sparse_parts(vec![2], 1, 4, vec![], vec![]);
+        assert!(!empty.approx_eq(&dense, 1e-9));
+        let extra = EmbeddingTable::from_sparse_parts(vec![2], 1, 4, vec![1, 3], vec![2.0, 1.0]);
+        assert!(!extra.approx_eq(&dense, 1e-9));
+        // Sparse × sparse with different supports but equal function.
+        let zeroed = EmbeddingTable::from_sparse_parts(vec![2], 1, 4, vec![1, 3], vec![2.0, 0.0]);
+        assert!(zeroed.approx_eq(&same, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn sparse_unsorted_coords_rejected() {
+        let _ = EmbeddingTable::from_sparse_parts(vec![1], 1, 4, vec![2, 1], vec![1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "densify first")]
+    fn sparse_positional_access_rejected() {
+        let t = EmbeddingTable::from_sparse_parts(vec![1], 1, 4, vec![1], vec![1.0]);
+        let _ = t.cell(&[1]);
     }
 }

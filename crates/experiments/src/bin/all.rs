@@ -8,7 +8,7 @@
 //! * `--bench-json <path>` additionally re-runs the suite pinned to one
 //!   thread — instrumented, one experiment at a time, gel-obs state
 //!   reset between experiments — and writes a machine-readable report
-//!   (`"schema_version": 8`): wall-clock per experiment, serial vs
+//!   (`"schema_version": 9`): wall-clock per experiment, serial vs
 //!   parallel suite times, and a fixed-key per-experiment `metrics`
 //!   object (kernel/refinement span seconds, WL-cache hit rate, buffer
 //!   allocations, dispatch decisions) plus suite-wide `obs` totals
@@ -20,10 +20,15 @@
 //!   n × edge-density grid, dense engine vs forced-sparse, with the
 //!   per-density crossover size) and a `kernels` object (blocked SIMD
 //!   matmul GFLOP/s vs the ikj oracle with the `simd_speedup` ratio,
-//!   and the fused CSR gather vs the per-neighbour loop) and a `serve`
+//!   and the fused CSR gather vs the per-neighbour loop) and a `wco`
+//!   object (the worst-case-optimal generic-join sweep of DESIGN.md
+//!   §12: cyclic GEL₄ probes through the leapfrog kernel vs the binary
+//!   merge-join plan on Erdős–Rényi and skewed hub instances, with the
+//!   kernel's always-on join/seek counters) and a `serve`
 //!   object (the `gel-serve` loopback load scenario: 8 concurrent
-//!   clients over the E4/E9 expression set, cold and warm latency
-//!   quantiles/throughput and plan-cache counters) and an `ingest`
+//!   clients over the E4/E9 expression set, cold, warm, and
+//!   EvalBatch-framed batched latency quantiles/throughput and
+//!   plan-cache counters) and an `ingest`
 //!   object (the gel-store substrate: R-MAT edges streamed through the
 //!   WAL into an out-of-core CSR segment with edges/s and the peak
 //!   ingest buffer, plus the incremental-vs-full recolour comparison)
@@ -296,16 +301,127 @@ fn kernels_json() -> String {
     )
 }
 
+/// Worst-case-optimal join bench for the bench JSON (`"wco"` object):
+/// the `--bench eval` wco sweep — cyclic GEL₄ probes through the
+/// generic (leapfrog) join kernel vs the binary merge-join plan
+/// (`wco: false` ablation), both forced sparse. The Erdős–Rényi points
+/// are the unskewed baseline where both plans are output-bound and the
+/// ratio hovers near 1×; the hub instance is the structural case the
+/// kernel exists for (binary elimination materializes the mids×leaves
+/// wedge table no matter how few cycles close), recorded separately as
+/// `hub_speedup`. Also records the kernel's always-on join/seek
+/// counters over the sweep. Runs pinned to one thread (the caller
+/// pins): the sparse kernels are serial by design.
+fn wco_json() -> String {
+    use gel_graph::random::erdos_renyi;
+    use gel_lang::ast::build;
+    use gel_lang::{Agg, EvalEngine, EvalOptions, Expr, Func};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let cyclic = |atoms: Vec<Expr>| {
+        let arity = atoms.len();
+        build::agg_over(
+            Agg::Sum,
+            vec![1, 2, 3, 4],
+            build::apply(Func::Mul { arity, dim: 1 }, atoms),
+            None,
+        )
+    };
+    let cycle4 =
+        cyclic(vec![build::edge(1, 2), build::edge(2, 3), build::edge(3, 4), build::edge(1, 4)]);
+    let clique4 = cyclic(vec![
+        build::edge(1, 2),
+        build::edge(1, 3),
+        build::edge(1, 4),
+        build::edge(2, 3),
+        build::edge(2, 4),
+        build::edge(3, 4),
+    ]);
+
+    // The skewed gate instance of `--bench eval`: vertex 0 fans into a
+    // mid block, every mid fans into a shared leaf block, and a few
+    // leaves close back into a few mids.
+    let hub = {
+        let n = 64usize;
+        let mids = 1u32..=(n as u32 / 3);
+        let leaves = (n as u32 / 3 + 1)..=(n as u32 - 2);
+        let mut b = gel_graph::GraphBuilder::new(n);
+        for m in mids.clone() {
+            b.add_arc(0, m);
+            for l in leaves.clone() {
+                b.add_arc(m, l);
+            }
+        }
+        for (i, l) in leaves.enumerate() {
+            if i % 20 == 0 {
+                for m in mids.clone().step_by(11) {
+                    b.add_arc(l, m);
+                }
+            }
+        }
+        b.build()
+    };
+
+    let time_pair = |probe: &Expr, gs: &gel_graph::Graph| {
+        let mut wco_eng =
+            EvalEngine::with_options(EvalOptions { sparse_min_cells: 0, ..EvalOptions::default() });
+        let wco_s = min_secs_per_iter(3, 8, || {
+            let _ = wco_eng.eval(probe, gs);
+        });
+        let mut binary_eng = EvalEngine::with_options(EvalOptions {
+            sparse_min_cells: 0,
+            wco: false,
+            ..EvalOptions::default()
+        });
+        let binary_s = min_secs_per_iter(3, 8, || {
+            let _ = binary_eng.eval(probe, gs);
+        });
+        (wco_s, binary_s)
+    };
+
+    let joins0 = gel_lang::eval_wco_joins();
+    let seeks0 = gel_lang::eval_wco_seeks();
+    let mut rows = String::new();
+    for (pname, probe) in [("cycle4", &cycle4), ("clique4", &clique4)] {
+        for n in [32usize, 64] {
+            let mut grng = StdRng::seed_from_u64(0x5EED ^ n as u64);
+            let gs = erdos_renyi(n, 0.02, &mut grng);
+            let (wco_s, binary_s) = time_pair(probe, &gs);
+            rows.push_str(&format!(
+                "      {{\"probe\": \"{pname}\", \"graph\": \"er\", \"n\": {n}, \
+                 \"binary_s\": {binary_s:.9}, \"wco_s\": {wco_s:.9}, \"speedup\": {:.3}}},\n",
+                binary_s / wco_s.max(1e-12),
+            ));
+        }
+    }
+    let (hub_wco_s, hub_binary_s) = time_pair(&cycle4, &hub);
+    let hub_speedup = hub_binary_s / hub_wco_s.max(1e-12);
+    rows.push_str(&format!(
+        "      {{\"probe\": \"cycle4\", \"graph\": \"hub\", \"n\": 64, \
+         \"binary_s\": {hub_binary_s:.9}, \"wco_s\": {hub_wco_s:.9}, \
+         \"speedup\": {hub_speedup:.3}}}\n",
+    ));
+    let joins = gel_lang::eval_wco_joins() - joins0;
+    let seeks = gel_lang::eval_wco_seeks() - seeks0;
+    format!(
+        "{{\"threads\": 1,\n    \"rows\": [\n{rows}    ],\n    \
+         \"hub_speedup\": {hub_speedup:.3}, \"wco_joins\": {joins}, \"wco_seeks\": {seeks}}}"
+    )
+}
+
 /// Serving-layer bench for the bench JSON (`"serve"` object): the
 /// `gel-serve` loopback load scenario of `--bench serve` — 8
 /// concurrent clients round-robining the E4/E9 expression set against
-/// one server, cold then warm. Reports latency quantiles, throughput,
-/// and plan-cache behaviour; asserts the warm phase re-lowers nothing
-/// (the same always-on gate as the bench's `--smoke` mode).
+/// one server, cold, warm, then the same warm workload shipped as
+/// `EvalBatch` frames. Reports latency quantiles, throughput, and
+/// plan-cache behaviour; asserts neither the warm nor the batched
+/// phase re-lowers anything (the same always-on gates as the bench's
+/// `--smoke` mode).
 fn serve_json() -> String {
     use gel_graph::random::{erdos_renyi, with_random_real_labels};
     use gel_lang::wl_sim::{cr_graph_expr, k_wl_graph_expr};
-    use gel_serve::{run_load, LoadConfig, ServeOptions, Server};
+    use gel_serve::{run_load, run_load_batched, LoadConfig, ServeOptions, Server};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -333,6 +449,8 @@ fn serve_json() -> String {
         "cold serve phase must lower one plan per expression"
     );
     assert_eq!(warm.plan_builds, 0, "warm serve phase must not re-lower plans");
+    let batched = run_load_batched(&server, &cfg, exprs.len()).expect("batched serve load");
+    assert_eq!(batched.plan_builds, 0, "batched serve phase must not re-lower plans");
     let stats = server.stats();
     server.shutdown();
 
@@ -341,8 +459,10 @@ fn serve_json() -> String {
          \"cold_p50_us\": {:.1}, \"cold_p99_us\": {:.1}, \"cold_rps\": {:.1}, \
          \"warm_p50_us\": {:.1}, \"warm_p99_us\": {:.1}, \"warm_rps\": {:.1}, \
          \"warm_hit_rate\": {:.4}, \"warm_plan_builds\": {}, \
+         \"batched_p50_us\": {:.1}, \"batched_p99_us\": {:.1}, \"batched_rps\": {:.1}, \
+         \"batched_plan_builds\": {}, \
          \"cache_hits\": {}, \"cache_misses\": {}, \"cache_evictions\": {}, \"plans\": {}}}",
-        cold.requests + warm.requests,
+        cold.requests + warm.requests + batched.requests,
         cold.p50_us,
         cold.p99_us,
         cold.throughput_rps,
@@ -351,6 +471,10 @@ fn serve_json() -> String {
         warm.throughput_rps,
         warm.hit_rate(),
         warm.plan_builds,
+        batched.p50_us,
+        batched.p99_us,
+        batched.throughput_rps,
+        batched.plan_builds,
         stats.cache_hits,
         stats.cache_misses,
         stats.evictions,
@@ -501,6 +625,7 @@ fn main() {
         let (allocs_per_step, unbatched_s, batched_s) = hot_path_bench();
         let density_sweep = density_sweep_json();
         let kernels = kernels_json();
+        let wco = wco_json();
         rayon::set_num_threads(0);
         let serve = serve_json();
         let ingest = ingest_json();
@@ -515,7 +640,7 @@ fn main() {
         let obs_evictions = totals.counter("wl.cache.evictions");
 
         let mut out = String::from("{\n");
-        out.push_str("  \"schema_version\": 8,\n");
+        out.push_str("  \"schema_version\": 9,\n");
         out.push_str(&format!("  \"obs_enabled\": {},\n", cfg!(feature = "obs")));
         out.push_str(&format!("  \"threads\": {threads},\n"));
         out.push_str(&format!("  \"full_corpus\": {full},\n"));
@@ -536,6 +661,7 @@ fn main() {
         ));
         out.push_str(&format!("  \"density_sweep\": {density_sweep},\n"));
         out.push_str(&format!("  \"kernels\": {kernels},\n"));
+        out.push_str(&format!("  \"wco\": {wco},\n"));
         out.push_str(&format!("  \"serve\": {serve},\n"));
         out.push_str(&format!("  \"ingest\": {ingest},\n"));
         // Both cache views derive from the same instrumented-leg
@@ -557,6 +683,7 @@ fn main() {
              \"wl_init_allocs\": {}, \
              \"eval_s\": {:.6}, \"eval_allocs_per_probe\": {:.3}, \"eval_plan_nodes\": {}, \
              \"eval_sparse_s\": {:.6}, \"eval_sparse_nnz\": {}, \"eval_dense_fallbacks\": {}, \
+             \"eval_wco_joins\": {}, \"eval_wco_seeks\": {}, \
              \"dispatch_parallel\": {}, \"dispatch_serial\": {}}},\n",
             obs_hits,
             obs_misses,
@@ -580,6 +707,8 @@ fn main() {
             totals.leaf_span_total("sparse.").secs,
             totals.counter("eval.sparse.nnz"),
             totals.counter("eval.sparse.fallbacks"),
+            totals.counter("eval.wco.joins"),
+            totals.counter("eval.wco.seeks"),
             totals.counter("tensor.dispatch.parallel") + totals.counter("rayon.dispatch.parallel"),
             totals.counter("tensor.dispatch.serial") + totals.counter("rayon.dispatch.serial"),
         ));

@@ -104,6 +104,64 @@ pub fn min_degree_order(p: &Graph) -> (Vec<u32>, usize) {
     gel_graph::elim::min_degree_order_masked(n, &scopes, &vec![true; n])
 }
 
+/// The deduplicated edge scopes of a pattern (self-loops excluded),
+/// as variable pairs sorted within each scope — the hypergraph the
+/// cover-bound and order helpers below reason over.
+fn edge_scopes(p: &Graph) -> Vec<Vec<u32>> {
+    let mut seen = BTreeSet::new();
+    p.arcs()
+        .filter(|(a, b)| a != b)
+        .filter(|&(a, b)| seen.insert((a.min(b), a.max(b))))
+        .map(|(a, b)| vec![a.min(b), a.max(b)])
+        .collect()
+}
+
+/// Natural log of the AGM fractional-edge-cover bound on `hom(P, G)`:
+/// every edge factor has at most `m = |E_G|` nonzeros, so
+/// `hom(P, G) ≤ m^{ρ*(P)} · n^{iso}` where `ρ*` is the fractional
+/// edge-cover number of `P` and `iso` counts its isolated vertices
+/// (each ranges freely over `G`). The cover comes from the shared
+/// planner [`gel_graph::elim::agm_cover_log_bound`] — the same
+/// computation the compiled GEL evaluator uses to size and order its
+/// worst-case-optimal multiway joins, so the bound quoted here and the
+/// engine's `JoinWco` cost model can never drift apart.
+pub fn agm_log_bound(p: &Graph, g: &Graph) -> f64 {
+    let np = p.num_vertices();
+    let scopes = edge_scopes(p);
+    let mut covered = vec![false; np];
+    for s in &scopes {
+        for &v in s {
+            covered[v as usize] = true;
+        }
+    }
+    // Self-loop-only vertices are constrained (factor on one var with
+    // ≤ n nonzeros); count them with the isolated ones at n each —
+    // still an upper bound.
+    let iso = covered.iter().filter(|&&c| !c).count();
+    let m = (g.num_arcs().max(1)) as f64;
+    let log_sizes = vec![m.ln(); scopes.len()];
+    gel_graph::elim::agm_cover_log_bound(np, &scopes, &log_sizes)
+        + iso as f64 * (g.num_vertices().max(1) as f64).ln()
+}
+
+/// A worst-case-optimal variable order for `hom(P, G)`: pattern
+/// variables sorted by the size of their smallest incident edge
+/// factor, ties by id — [`gel_graph::elim::wco_order_masked`], exactly
+/// the order the GEL engine's `JoinWco` kernel intersects in. With
+/// uniform adjacency factors this degenerates to id order over
+/// non-isolated vertices (isolated ones sort last); it exists here so
+/// a caller holding per-edge selectivities can see the shared policy.
+pub fn wco_order(p: &Graph, g: &Graph) -> Vec<u32> {
+    let scopes = edge_scopes(p);
+    let sizes = vec![g.num_arcs().max(1) as f64; scopes.len()];
+    gel_graph::elim::wco_order_masked(
+        p.num_vertices(),
+        &scopes,
+        &sizes,
+        &vec![true; p.num_vertices()],
+    )
+}
+
 /// Counts homomorphisms from an arbitrary pattern `p` into `g`
 /// (structure only; labels ignored). Both directed and undirected
 /// patterns are supported: each arc of `p` contributes an adjacency
@@ -237,6 +295,59 @@ mod tests {
         assert_eq!(wp, 1);
         let (_, wk) = min_degree_order(&complete(5));
         assert_eq!(wk, 4);
+    }
+
+    /// `hom(P, G) ≤ exp(agm_log_bound(P, G))` across cyclic, acyclic,
+    /// and disconnected patterns — and the bound is exact-order tight
+    /// for the triangle into a complete graph (`m^{3/2}` vs `n³`-ish
+    /// counts).
+    #[test]
+    fn agm_bound_dominates_hom_count() {
+        let targets = [complete(5), cycle(6), petersen()];
+        let patterns = [cycle(3), cycle(4), complete(4), path(4), star(3)];
+        for g in &targets {
+            for p in &patterns {
+                let hom = hom_count(p, g);
+                let bound = agm_log_bound(p, g).exp();
+                assert!(hom <= bound * (1.0 + 1e-9), "hom={hom} exceeds AGM bound {bound}");
+            }
+        }
+        // Triangle into K5: m = 20 directed arcs, half-cover gives
+        // m^{3/2} ≈ 89.4; the count is 5·4·3 = 60 — the bound bites
+        // (an edge-per-variable integral cover would give 20² = 400).
+        let bound = agm_log_bound(&cycle(3), &complete(5)).exp();
+        assert!(hom_count(&cycle(3), &complete(5)) == 60.0 && bound < 100.0);
+    }
+
+    /// Isolated pattern vertices multiply the bound by `n`, mirroring
+    /// what they do to the count.
+    #[test]
+    fn agm_bound_counts_isolated_vertices() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1); // vertices 2 and 3 isolated
+        let p = b.build();
+        let g = complete(4);
+        let hom = hom_count(&p, &g);
+        let bound = agm_log_bound(&p, &g).exp();
+        assert_eq!(hom, 12.0 * 16.0);
+        assert!(hom <= bound * (1.0 + 1e-9));
+    }
+
+    /// The shared wco order covers every non-isolated pattern vertex
+    /// exactly once, isolated ones last.
+    #[test]
+    fn wco_order_is_a_permutation_with_isolated_last() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(0, 2); // vertices 3, 4 isolated
+        let p = b.build();
+        let order = wco_order(&p, &complete(4));
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+        assert!(order.iter().position(|&v| v == 3).unwrap() >= 3);
+        assert!(order.iter().position(|&v| v == 4).unwrap() >= 3);
     }
 
     #[test]

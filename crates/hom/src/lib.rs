@@ -35,7 +35,7 @@ pub mod subgraph;
 pub mod tree_enum;
 pub mod tree_hom;
 
-pub use faq::{hom_count, min_degree_order};
+pub use faq::{agm_log_bound, hom_count, min_degree_order, wco_order};
 pub use lovasz::{hom_equivalent_over, HomProfile};
 pub use tree_enum::{free_tree_code, free_trees, free_trees_up_to, tree_from_code};
 pub use tree_hom::{hom_tree, hom_tree_rooted, is_tree, tree_hom_vector};

@@ -207,12 +207,22 @@ mod tests {
         let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
         reset();
         std::thread::scope(|s| {
-            for _ in 0..4 {
-                s.spawn(|| {
-                    for _ in 0..100 {
-                        A.incr();
-                    }
-                });
+            // Join every handle explicitly — the discipline the rayon
+            // shim follows. An unjoined scoped thread lets the scope
+            // return through the running-thread count, which is
+            // decremented before TLS destructors (and therefore the
+            // shard flush) have run on the worker.
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(|| {
+                        for _ in 0..100 {
+                            A.incr();
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("worker thread");
             }
         });
         assert_eq!(A.get(), 400, "worker shards flush on thread exit");

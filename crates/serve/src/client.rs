@@ -13,7 +13,7 @@ use gel_lang::Expr;
 
 use crate::proto::{
     decode_response, encode_request, read_frame, write_frame, ErrorCode, FrameRead, ProtoError,
-    Request, Response, StatsReply,
+    Request, Response, StatsReply, TableData, WireTable,
 };
 
 /// A client-side failure.
@@ -158,6 +158,39 @@ impl Client {
         self.expect(&Request::EvalText { graph: graph.to_string(), text: text.to_string() }, |r| {
             match r {
                 Response::Table { vars, dim, n, data } => Ok((vars, dim, n, data)),
+                other => Err(other),
+            }
+        })
+    }
+
+    /// Evaluates one expression, accepting either table frame: dense
+    /// results come back as [`TableData::Dense`], and results the
+    /// server kept sparse (dense form over its cap) come back as
+    /// [`TableData::Sparse`]. Use this instead of [`Client::eval`]
+    /// when the query may be wide.
+    pub fn eval_table(&mut self, graph: &str, expr: &Expr) -> Result<WireTable, ClientError> {
+        self.expect(&Request::Eval { graph: graph.to_string(), expr: expr.clone() }, |r| match r {
+            Response::Table { vars, dim, n, data } => {
+                Ok(WireTable { vars, dim, n, data: TableData::Dense(data) })
+            }
+            Response::TableSparse { vars, dim, n, coords, values } => {
+                Ok(WireTable { vars, dim, n, data: TableData::Sparse { coords, values } })
+            }
+            other => Err(other),
+        })
+    }
+
+    /// Evaluates several expressions on one graph in a single
+    /// round-trip; returns one table per expression, in request order.
+    /// The first failing expression fails the whole call.
+    pub fn eval_batch(
+        &mut self,
+        graph: &str,
+        exprs: &[Expr],
+    ) -> Result<Vec<WireTable>, ClientError> {
+        self.expect(&Request::EvalBatch { graph: graph.to_string(), exprs: exprs.to_vec() }, |r| {
+            match r {
+                Response::Tables { tables } => Ok(tables),
                 other => Err(other),
             }
         })

@@ -48,6 +48,6 @@ pub mod server;
 
 pub use cache::{Checkout, PlanCache, PlanKey};
 pub use client::{Client, ClientError};
-pub use load::{run_load, LoadConfig, LoadReport};
-pub use proto::{ErrorCode, ProtoError, Request, Response, StatsReply};
+pub use load::{run_load, run_load_batched, LoadConfig, LoadReport};
+pub use proto::{ErrorCode, ProtoError, Request, Response, StatsReply, TableData, WireTable};
 pub use server::{ServeOptions, Server};

@@ -66,6 +66,9 @@ pub const MAX_LABEL_DIM: usize = 1 << 12;
 /// Most nodes (shared definitions included) in one binary expression.
 pub const MAX_EXPR_NODES: usize = 1 << 17;
 
+/// Most expressions one [`Request::EvalBatch`] may carry.
+pub const MAX_BATCH_EXPRS: usize = 256;
+
 /// Deepest accepted expression nesting — bounds decoder recursion so
 /// crafted input cannot overflow the stack.
 pub const MAX_EXPR_DEPTH: usize = 512;
@@ -197,6 +200,48 @@ pub enum Request {
     },
     /// Requests server statistics.
     Stats,
+    /// Evaluates several expressions on one registered graph in a
+    /// single round-trip. The graph resolves once; each expression
+    /// goes through the same per-key plan-cache checkout as a lone
+    /// [`Request::Eval`]. The first failing expression aborts the
+    /// batch with its typed error — partial results are never sent.
+    EvalBatch {
+        /// Registry key of the target graph.
+        graph: String,
+        /// Expressions, ≤ [`MAX_BATCH_EXPRS`] of them.
+        exprs: Vec<Expr>,
+    },
+}
+
+/// How one embedding table's cells travel in a [`Response::Tables`]
+/// frame (and, for the sparse form, in [`Response::TableSparse`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableData {
+    /// Row-major `n^p · d` values.
+    Dense(Vec<f64>),
+    /// Sparse form: strictly ascending flat cell indices and their
+    /// `nnz · d` stored values; absent cells are zero rows. This is
+    /// what lets a large-`n`, low-`nnz` result fit a frame that its
+    /// dense form would blow past.
+    Sparse {
+        /// Flat cell indices, strictly ascending, each `< n^p`.
+        coords: Vec<u64>,
+        /// `coords.len() · d` values, exact bit patterns.
+        values: Vec<f64>,
+    },
+}
+
+/// One embedding table inside a [`Response::Tables`] batch reply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireTable {
+    /// Free variables, ascending.
+    pub vars: Vec<u8>,
+    /// Output dimension `d`.
+    pub dim: u32,
+    /// Vertex count `n` of the graph.
+    pub n: u32,
+    /// The cells, dense or sparse.
+    pub data: TableData,
 }
 
 /// A server-to-client message.
@@ -242,6 +287,27 @@ pub enum Response {
         code: ErrorCode,
         /// Human-readable detail.
         msg: String,
+    },
+    /// A sparse embedding table: the denotation's nonzero cells only.
+    /// Sent when the engine kept the result sparse and its dense form
+    /// would exceed the server's result cap.
+    TableSparse {
+        /// Free variables, ascending.
+        vars: Vec<u8>,
+        /// Output dimension `d`.
+        dim: u32,
+        /// Vertex count `n` of the graph.
+        n: u32,
+        /// Flat cell indices, strictly ascending, each `< n^p`.
+        coords: Vec<u64>,
+        /// `coords.len() · d` values, exact bit patterns.
+        values: Vec<f64>,
+    },
+    /// Reply to [`Request::EvalBatch`]: one table per expression, in
+    /// request order, each independently dense or sparse.
+    Tables {
+        /// The per-expression results.
+        tables: Vec<WireTable>,
     },
 }
 
@@ -747,6 +813,7 @@ const RQ_EVAL: u8 = 0x05;
 const RQ_EVAL_TEXT: u8 = 0x06;
 const RQ_ANALYZE: u8 = 0x07;
 const RQ_STATS: u8 = 0x08;
+const RQ_EVAL_BATCH: u8 = 0x09;
 
 const RS_PONG: u8 = 0x81;
 const RS_REGISTERED: u8 = 0x82;
@@ -756,6 +823,107 @@ const RS_TABLE: u8 = 0x85;
 const RS_REPORT: u8 = 0x86;
 const RS_STATS: u8 = 0x87;
 const RS_ERROR: u8 = 0x88;
+const RS_TABLE_SPARSE: u8 = 0x89;
+const RS_TABLES: u8 = 0x8a;
+
+/// Sub-tags for [`WireTable`] entries inside a [`Response::Tables`]
+/// payload.
+const TB_DENSE: u8 = 0;
+const TB_SPARSE: u8 = 1;
+
+/// Encodes the shared `(vars, dim, n)` head of any table body.
+fn put_table_head(out: &mut Vec<u8>, vars: &[u8], dim: u32, n: u32) {
+    out.push(vars.len() as u8);
+    out.extend_from_slice(vars);
+    put_u32(out, dim);
+    put_u32(out, n);
+}
+
+/// Encodes a sparse cell block: `u64` nnz, the coordinates, then the
+/// `nnz · dim` values.
+fn put_sparse_cells(out: &mut Vec<u8>, coords: &[u64], values: &[f64]) {
+    put_u64(out, coords.len() as u64);
+    for &c in coords {
+        put_u64(out, c);
+    }
+    for &v in values {
+        put_f64(out, v);
+    }
+}
+
+/// Decodes and validates a sparse cell block for a table with the
+/// given shape: nnz capped against the frame, coordinates strictly
+/// ascending and in range for `n^p`, values exactly `nnz · dim` long.
+/// Corruption yields a [`ProtoError`], never a panic — the invariants
+/// checked here are exactly what `EmbeddingTable::from_sparse_parts`
+/// would assert on.
+fn sparse_cells(
+    cur: &mut Cur,
+    p: usize,
+    dim: usize,
+    n: u32,
+) -> Result<(Vec<u64>, Vec<f64>), ProtoError> {
+    let nnz = usize::try_from(cur.u64()?)
+        .map_err(|_| ProtoError::new("sparse table nnz overflows this platform"))?;
+    cur.reserve_cap(nnz, 8, MAX_FRAME_LEN / 8, "sparse coords")?;
+    let cells = (u128::from(n)).pow(p as u32);
+    let mut coords = Vec::with_capacity(nnz);
+    let mut prev: Option<u64> = None;
+    for _ in 0..nnz {
+        let c = cur.u64()?;
+        if u128::from(c) >= cells {
+            return Err(ProtoError::new(format!("sparse coord {c} out of range for n={n}^{p}")));
+        }
+        if prev.is_some_and(|last| last >= c) {
+            return Err(ProtoError::new("sparse coords not strictly ascending"));
+        }
+        prev = Some(c);
+        coords.push(c);
+    }
+    let vlen =
+        nnz.checked_mul(dim).ok_or_else(|| ProtoError::new("sparse value block overflows"))?;
+    let values = cur.f64s(vlen, MAX_FRAME_LEN / 8, "sparse values")?;
+    Ok((coords, values))
+}
+
+fn encode_wire_table(t: &WireTable, out: &mut Vec<u8>) {
+    match &t.data {
+        TableData::Dense(data) => {
+            out.push(TB_DENSE);
+            put_table_head(out, &t.vars, t.dim, t.n);
+            put_u64(out, data.len() as u64);
+            for &v in data {
+                put_f64(out, v);
+            }
+        }
+        TableData::Sparse { coords, values } => {
+            out.push(TB_SPARSE);
+            put_table_head(out, &t.vars, t.dim, t.n);
+            put_sparse_cells(out, coords, values);
+        }
+    }
+}
+
+fn decode_wire_table(cur: &mut Cur) -> Result<WireTable, ProtoError> {
+    let sub = cur.u8()?;
+    let p = cur.u8()? as usize;
+    let vars = cur.take(p)?.to_vec();
+    let dim = cur.u32()?;
+    let n = cur.u32()?;
+    let data = match sub {
+        TB_DENSE => {
+            let len = usize::try_from(cur.u64()?)
+                .map_err(|_| ProtoError::new("table length overflows this platform"))?;
+            TableData::Dense(cur.f64s(len, MAX_FRAME_LEN / 8, "table data")?)
+        }
+        TB_SPARSE => {
+            let (coords, values) = sparse_cells(cur, p, dim as usize, n)?;
+            TableData::Sparse { coords, values }
+        }
+        other => return Err(ProtoError::new(format!("unknown table sub-tag {other}"))),
+    };
+    Ok(WireTable { vars, dim, n, data })
+}
 
 fn name_string(cur: &mut Cur) -> Result<String, ProtoError> {
     cur.string(MAX_NAME_LEN, "name")
@@ -792,6 +960,14 @@ pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
             encode_expr(expr, out);
         }
         Request::Stats => out.push(RQ_STATS),
+        Request::EvalBatch { graph, exprs } => {
+            out.push(RQ_EVAL_BATCH);
+            put_string(out, graph);
+            put_u32(out, exprs.len() as u32);
+            for e in exprs {
+                encode_expr(e, out);
+            }
+        }
     }
 }
 
@@ -820,6 +996,17 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
         }
         RQ_ANALYZE => Request::Analyze { expr: decode_expr(&mut cur)? },
         RQ_STATS => Request::Stats,
+        RQ_EVAL_BATCH => {
+            let graph = name_string(&mut cur)?;
+            let count = cur.u32()? as usize;
+            // One byte is the smallest possible expression encoding.
+            cur.reserve_cap(count, 1, MAX_BATCH_EXPRS, "batch expressions")?;
+            let mut exprs = Vec::with_capacity(count);
+            for _ in 0..count {
+                exprs.push(decode_expr(&mut cur)?);
+            }
+            Request::EvalBatch { graph, exprs }
+        }
         other => return Err(ProtoError::new(format!("unknown request tag {other:#04x}"))),
     };
     cur.finish()?;
@@ -879,6 +1066,18 @@ pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
             put_u16(out, *code as u16);
             put_string(out, msg);
         }
+        Response::TableSparse { vars, dim, n, coords, values } => {
+            out.push(RS_TABLE_SPARSE);
+            put_table_head(out, vars, *dim, *n);
+            put_sparse_cells(out, coords, values);
+        }
+        Response::Tables { tables } => {
+            out.push(RS_TABLES);
+            put_u32(out, tables.len() as u32);
+            for t in tables {
+                encode_wire_table(t, out);
+            }
+        }
     }
 }
 
@@ -929,6 +1128,24 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
             let code = ErrorCode::from_u16(cur.u16()?)?;
             let msg = cur.string(MAX_TEXT_LEN, "error message")?;
             Response::Error { code, msg }
+        }
+        RS_TABLE_SPARSE => {
+            let p = cur.u8()? as usize;
+            let vars = cur.take(p)?.to_vec();
+            let dim = cur.u32()?;
+            let n = cur.u32()?;
+            let (coords, values) = sparse_cells(&mut cur, p, dim as usize, n)?;
+            Response::TableSparse { vars, dim, n, coords, values }
+        }
+        RS_TABLES => {
+            let count = cur.u32()? as usize;
+            // Each entry costs at least its sub-tag + head bytes.
+            cur.reserve_cap(count, 1, MAX_BATCH_EXPRS, "batch tables")?;
+            let mut tables = Vec::with_capacity(count);
+            for _ in 0..count {
+                tables.push(decode_wire_table(&mut cur)?);
+            }
+            Response::Tables { tables }
         }
         other => return Err(ProtoError::new(format!("unknown response tag {other:#04x}"))),
     };

@@ -49,7 +49,7 @@ use gel_lang::{analyze, check_against_graph, expr_dag_hash, parse, EvalOptions};
 use crate::cache::{Checkout, PlanCache, PlanKey};
 use crate::proto::{
     decode_request, encode_response, read_frame, write_frame, ErrorCode, FrameRead, Request,
-    Response, StatsReply,
+    Response, StatsReply, TableData, WireTable,
 };
 
 static OBS_REQUESTS: gel_obs::Counter = gel_obs::Counter::new("serve.requests");
@@ -91,6 +91,13 @@ struct Shared {
     opts: ServeOptions,
     graphs: RwLock<HashMap<String, Arc<Graph>>>,
     cache: PlanCache,
+    /// Engines with `sparse_output` forced on, used for requests whose
+    /// *dense* result would exceed [`ServeOptions::max_result_cells`]:
+    /// if the whole plan stays sparse within the cap, the result ships
+    /// as a [`Response::TableSparse`] frame instead of being rejected
+    /// with `TooLarge`. Kept apart from `cache` because the two option
+    /// sets lower different plans for the same key.
+    sparse_cache: PlanCache,
     inflight: AtomicUsize,
     requests: AtomicU64,
     rejected: AtomicU64,
@@ -131,6 +138,10 @@ impl Server {
             opts,
             graphs: RwLock::new(HashMap::new()),
             cache: PlanCache::new(opts.plan_cache_cap, opts.eval_opts),
+            sparse_cache: PlanCache::new(
+                opts.plan_cache_cap,
+                EvalOptions { sparse_output: true, ..opts.eval_opts },
+            ),
             inflight: AtomicUsize::new(0),
             requests: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
@@ -299,6 +310,7 @@ fn handle_request(state: &Arc<Shared>, payload: &[u8]) -> Response {
             Ok(expr) => eval_on(state, &graph, expr),
             Err(e) => err(ErrorCode::Parse, e.to_string()),
         },
+        Request::EvalBatch { graph, exprs } => eval_batch_on(state, &graph, &exprs),
         Request::Analyze { expr } => match expr.validate() {
             Ok(_) => Response::Report { text: analyze(&expr).to_string() },
             Err(e) => err(ErrorCode::Analyze, e.to_string()),
@@ -331,12 +343,14 @@ fn register(state: &Arc<Shared>, name: String, graph: Graph) -> Result<Response,
 }
 
 fn stats(state: &Arc<Shared>) -> StatsReply {
+    // The dense and the sparse-output caches are one logical cache to
+    // a client; their counters aggregate.
     StatsReply {
         graphs: state.graphs.read().unwrap_or_else(|e| e.into_inner()).len() as u64,
-        plans: state.cache.len() as u64,
-        cache_hits: state.cache.hits(),
-        cache_misses: state.cache.misses(),
-        evictions: state.cache.evictions(),
+        plans: (state.cache.len() + state.sparse_cache.len()) as u64,
+        cache_hits: state.cache.hits() + state.sparse_cache.hits(),
+        cache_misses: state.cache.misses() + state.sparse_cache.misses(),
+        evictions: state.cache.evictions() + state.sparse_cache.evictions(),
         requests: state.requests.load(Ordering::Relaxed),
         rejected: state.rejected.load(Ordering::Relaxed),
     }
@@ -382,53 +396,198 @@ fn resolve_graph(state: &Arc<Shared>, name: &str) -> Result<Arc<Graph>, Response
     Err(err(ErrorCode::UnknownGraph, format!("no graph named {name:?}")))
 }
 
+/// What [`preflight`] decided about one expression.
+struct Preflight {
+    /// `true` when the dense result exceeds the cap and the request
+    /// must go through the sparse-output engine (or be rejected).
+    wide: bool,
+}
+
+/// Static checks before any engine work: typed errors instead of
+/// evaluator panics, and the result-size admission decision. A result
+/// whose *dense* form exceeds [`ServeOptions::max_result_cells`] is no
+/// longer rejected outright — it is routed to the sparse-output engine
+/// ([`Preflight::wide`]) unless its flat cell index cannot even be
+/// represented, which no engine could plan.
+fn preflight(state: &Arc<Shared>, g: &Graph, expr: &gel_lang::Expr) -> Result<Preflight, Response> {
+    let dim = match check_against_graph(expr, g) {
+        Ok(()) => match expr.validate() {
+            Ok(d) => d,
+            Err(e) => return Err(err(ErrorCode::Analyze, e.to_string())),
+        },
+        Err(e) => return Err(err(ErrorCode::Analyze, e.to_string())),
+    };
+    let n = g.num_vertices();
+    let p = expr.free_vars().len() as u32;
+    let cells = (n as u128).pow(p) * dim as u128;
+    if cells <= state.opts.max_result_cells as u128 {
+        return Ok(Preflight { wide: false });
+    }
+    if usize::try_from(cells).is_err() {
+        return Err(err(
+            ErrorCode::TooLarge,
+            format!("result would hold {cells} cells, beyond any sparse representation"),
+        ));
+    }
+    Ok(Preflight { wide: true })
+}
+
+/// Admission control: bounded in-flight evals, clean rejection. The
+/// returned guard decrements the counter on drop.
+fn admit(state: &Arc<Shared>) -> Result<InflightGuard<'_>, Response> {
+    let prev = state.inflight.fetch_add(1, Ordering::AcqRel);
+    let guard = InflightGuard(&state.inflight);
+    if prev >= state.opts.max_inflight {
+        drop(guard);
+        return Err(err(
+            ErrorCode::Busy,
+            format!("{} evals in flight (capacity)", state.opts.max_inflight),
+        ));
+    }
+    Ok(guard)
+}
+
+/// Evaluates one pre-flighted expression on `g` through the
+/// appropriate engine cache, returning the result as a wire table.
+/// Wide results use a sparse-output engine under a dense-slab cap:
+/// a plan that keeps every intermediate (and the root) sparse within
+/// [`ServeOptions::max_result_cells`] ships its nonzeros; one that
+/// needs an over-cap dense slab is rejected with `TooLarge` before
+/// that slab is ever allocated.
+fn run_eval(
+    state: &Arc<Shared>,
+    g: &Graph,
+    expr: &gel_lang::Expr,
+    pre: &Preflight,
+) -> Result<WireTable, Response> {
+    let n = g.num_vertices();
+    let key = PlanKey { dag_hash: expr_dag_hash(expr), n, label_dim: g.label_dim() };
+    let cap = state.opts.max_result_cells;
+    if !pre.wide {
+        let mut engine = match state.cache.checkout(key) {
+            Checkout::Hit(e) | Checkout::Miss(e) => e,
+        };
+        let table = engine.eval(expr, g);
+        let wt = WireTable {
+            vars: table.vars().to_vec(),
+            dim: table.dim() as u32,
+            n: n as u32,
+            data: TableData::Dense(table.data().to_vec()),
+        };
+        state.cache.put_back(key, engine);
+        return Ok(wt);
+    }
+    let mut engine = match state.sparse_cache.checkout(key) {
+        Checkout::Hit(e) | Checkout::Miss(e) => e,
+    };
+    let out = match engine.try_eval_capped(expr, g, cap) {
+        Ok(table) => {
+            // Coordinates cost one u64 each on the wire, so the
+            // admitted payload is still bounded by the result cap.
+            if table.is_sparse() && table.nnz() * (table.dim() + 1) <= cap {
+                let coords = table
+                    .sparse_coords()
+                    .expect("sparse table has coords")
+                    .iter()
+                    .map(|&c| c as u64)
+                    .collect();
+                Ok(WireTable {
+                    vars: table.vars().to_vec(),
+                    dim: table.dim() as u32,
+                    n: n as u32,
+                    data: TableData::Sparse { coords, values: table.data().to_vec() },
+                })
+            } else {
+                Err(err(
+                    ErrorCode::TooLarge,
+                    format!("result holds {} stored cells, cap {cap}", table.nnz()),
+                ))
+            }
+        }
+        Err(e) => Err(err(
+            ErrorCode::TooLarge,
+            format!("plan needs a dense table of {} cells, cap {}", e.len, e.cap),
+        )),
+    };
+    state.sparse_cache.put_back(key, engine);
+    out
+}
+
 fn eval_on(state: &Arc<Shared>, graph_name: &str, expr: gel_lang::Expr) -> Response {
     let g = match resolve_graph(state, graph_name) {
         Ok(g) => g,
         Err(resp) => return resp,
     };
-
-    // Pre-flight: typed errors instead of evaluator panics.
-    let dim = match check_against_graph(&expr, &g) {
-        Ok(()) => match expr.validate() {
-            Ok(d) => d,
-            Err(e) => return err(ErrorCode::Analyze, e.to_string()),
+    let pre = match preflight(state, &g, &expr) {
+        Ok(p) => p,
+        Err(resp) => return resp,
+    };
+    let guard = match admit(state) {
+        Ok(g) => g,
+        Err(resp) => return resp,
+    };
+    let resp = match run_eval(state, &g, &expr, &pre) {
+        Ok(WireTable { vars, dim, n, data }) => match data {
+            TableData::Dense(data) => Response::Table { vars, dim, n, data },
+            TableData::Sparse { coords, values } => {
+                Response::TableSparse { vars, dim, n, coords, values }
+            }
         },
-        Err(e) => return err(ErrorCode::Analyze, e.to_string()),
+        Err(resp) => resp,
     };
-    let n = g.num_vertices();
-    let p = expr.free_vars().len() as u32;
-    let cells = (n as u128).pow(p) * dim as u128;
-    if cells > state.opts.max_result_cells as u128 {
-        return err(
-            ErrorCode::TooLarge,
-            format!("result would hold {cells} cells, cap {}", state.opts.max_result_cells),
-        );
-    }
-
-    // Admission control: bounded in-flight evals, clean rejection.
-    let prev = state.inflight.fetch_add(1, Ordering::AcqRel);
-    let guard = InflightGuard(&state.inflight);
-    if prev >= state.opts.max_inflight {
-        drop(guard);
-        return err(
-            ErrorCode::Busy,
-            format!("{} evals in flight (capacity)", state.opts.max_inflight),
-        );
-    }
-
-    let key = PlanKey { dag_hash: expr_dag_hash(&expr), n, label_dim: g.label_dim() };
-    let mut engine = match state.cache.checkout(key) {
-        Checkout::Hit(e) | Checkout::Miss(e) => e,
-    };
-    let table = engine.eval(&expr, &g);
-    let resp = Response::Table {
-        vars: table.vars().to_vec(),
-        dim: table.dim() as u32,
-        n: n as u32,
-        data: table.data().to_vec(),
-    };
-    state.cache.put_back(key, engine);
     drop(guard);
     resp
+}
+
+/// One round-trip, many expressions: the graph resolves once, every
+/// expression pre-flights before any engine work, admission charges
+/// the batch as a single in-flight unit, and the first failure aborts
+/// with its typed error (no partial result frames).
+fn eval_batch_on(state: &Arc<Shared>, graph_name: &str, exprs: &[gel_lang::Expr]) -> Response {
+    let g = match resolve_graph(state, graph_name) {
+        Ok(g) => g,
+        Err(resp) => return resp,
+    };
+    let mut pres = Vec::with_capacity(exprs.len());
+    for expr in exprs {
+        match preflight(state, &g, expr) {
+            Ok(p) => pres.push(p),
+            Err(resp) => return resp,
+        }
+    }
+    let guard = match admit(state) {
+        Ok(g) => g,
+        Err(resp) => return resp,
+    };
+    let mut tables = Vec::with_capacity(exprs.len());
+    // The cap bounds each table alone; the batch reply is one frame,
+    // so the *sum* of stored cells must respect it too.
+    let mut total_cells = 0usize;
+    for (expr, pre) in exprs.iter().zip(&pres) {
+        match run_eval(state, &g, expr, pre) {
+            Ok(t) => {
+                total_cells += match &t.data {
+                    TableData::Dense(d) => d.len(),
+                    TableData::Sparse { coords, values } => coords.len() + values.len(),
+                };
+                if total_cells > state.opts.max_result_cells {
+                    drop(guard);
+                    return err(
+                        ErrorCode::TooLarge,
+                        format!(
+                            "batch results hold over {total_cells} cells, cap {}",
+                            state.opts.max_result_cells
+                        ),
+                    );
+                }
+                tables.push(t);
+            }
+            Err(resp) => {
+                drop(guard);
+                return resp;
+            }
+        }
+    }
+    drop(guard);
+    Response::Tables { tables }
 }

@@ -11,7 +11,8 @@ use gel_lang::wl_sim::{cr_graph_expr, k_wl_graph_expr};
 use gel_lang::{expr_dag_hash, Expr};
 use gel_serve::proto::{
     decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
-    ErrorCode, FrameRead, Request, Response, StatsReply, MAX_EXPR_DEPTH, MAX_FRAME_LEN,
+    ErrorCode, FrameRead, Request, Response, StatsReply, TableData, WireTable, MAX_EXPR_DEPTH,
+    MAX_FRAME_LEN,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -51,9 +52,10 @@ proptest! {
             Request::UnregisterGraph { name: name.clone() },
             Request::ListGraphs,
             Request::Eval { graph: name.clone(), expr: expr.clone() },
-            Request::EvalText { graph: name, text: expr.to_string() },
-            Request::Analyze { expr },
+            Request::EvalText { graph: name.clone(), text: expr.to_string() },
+            Request::Analyze { expr: expr.clone() },
             Request::Stats,
+            Request::EvalBatch { graph: name, exprs: vec![expr.clone(), expr] },
         ];
         for req in &reqs {
             prop_assert_eq!(&roundtrip_request(req), req);
@@ -93,6 +95,40 @@ proptest! {
         for resp in &resps {
             prop_assert_eq!(&roundtrip_response(resp), resp);
         }
+        // Sparse frames: strictly ascending in-range coords, dim-wide
+        // value rows. Also the batch reply mixing representations.
+        let n = rng.gen_range(2u32..40);
+        let dim = rng.gen_range(1u32..4);
+        let cells = u64::from(n) * u64::from(n);
+        let mut coords: Vec<u64> =
+            (0..cells).filter(|_| rng.gen_bool(0.2)).collect();
+        coords.dedup();
+        let values: Vec<f64> =
+            (0..coords.len() * dim as usize).map(|_| rng.gen_range(-1e6..1e6)).collect();
+        let sparse = Response::TableSparse {
+            vars: vec![1, 2],
+            dim,
+            n,
+            coords: coords.clone(),
+            values: values.clone(),
+        };
+        prop_assert_eq!(&roundtrip_response(&sparse), &sparse);
+        let tables = Response::Tables {
+            tables: vec![
+                WireTable {
+                    vars: vec![1],
+                    dim,
+                    n,
+                    data: TableData::Dense(
+                        (0..n as usize * dim as usize).map(|_| rng.gen_range(-1e6..1e6)).collect(),
+                    ),
+                },
+                WireTable { vars: vec![1, 2], dim, n, data: TableData::Sparse { coords, values } },
+            ],
+        };
+        prop_assert_eq!(&roundtrip_response(&tables), &tables);
+        prop_assert_eq!(&roundtrip_response(&Response::Tables { tables: vec![] }),
+                        &Response::Tables { tables: vec![] });
     }
 
     /// Truncating a valid frame at *every* prefix length yields a
@@ -128,6 +164,32 @@ proptest! {
         let _ = decode_response(&junk);
     }
 
+    /// A sparse table frame survives the same adversarial battery:
+    /// every truncation errors, every single-byte mutation decodes or
+    /// errors — no panics, even though the decoded coords feed
+    /// straight into `EmbeddingTable::from_sparse_parts`' asserts.
+    #[test]
+    fn sparse_frame_truncation_and_corruption_never_panic(seed in 0u64..300) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 6u32;
+        let coords: Vec<u64> = vec![0, 3, 7, 20, 35];
+        let values: Vec<f64> = (0..coords.len()).map(|_| rng.gen_range(-1e3..1e3)).collect();
+        let resp = Response::TableSparse { vars: vec![1, 2], dim: 1, n, coords, values };
+        let mut buf = Vec::new();
+        encode_response(&resp, &mut buf);
+        for cut in 0..buf.len() {
+            prop_assert!(decode_response(&buf[..cut]).is_err());
+        }
+        for _ in 0..128 {
+            let pos = rng.gen_range(0..buf.len());
+            let old = buf[pos];
+            buf[pos] = buf[pos].wrapping_add(rng.gen_range(1..=255u8));
+            let _ = decode_response(&buf);
+            buf[pos] = old;
+        }
+        prop_assert_eq!(&decode_response(&buf).unwrap(), &resp);
+    }
+
     /// Flipping any single byte of a valid frame either still decodes
     /// or errors — no panics anywhere in the mutation space.
     #[test]
@@ -145,6 +207,31 @@ proptest! {
             buf[pos] = old;
         }
     }
+}
+
+/// Sparse-frame semantic validation: decoders reject coordinate
+/// streams that would violate the invariants downstream table
+/// construction asserts on — out-of-order, duplicated, or
+/// out-of-range coords, and value blocks of the wrong length.
+#[test]
+fn invalid_sparse_frames_are_rejected() {
+    let encode = |coords: Vec<u64>, values: Vec<f64>| {
+        let mut buf = Vec::new();
+        encode_response(
+            &Response::TableSparse { vars: vec![1, 2], dim: 1, n: 4, coords, values },
+            &mut buf,
+        );
+        buf
+    };
+    // Baseline sanity: the well-formed frame decodes.
+    assert!(decode_response(&encode(vec![0, 5, 9], vec![1.0, 2.0, 3.0])).is_ok());
+    // Descending / duplicate coords.
+    assert!(decode_response(&encode(vec![5, 0, 9], vec![1.0, 2.0, 3.0])).is_err());
+    assert!(decode_response(&encode(vec![0, 5, 5], vec![1.0, 2.0, 3.0])).is_err());
+    // Out of range for n^p = 16.
+    assert!(decode_response(&encode(vec![0, 5, 16], vec![1.0, 2.0, 3.0])).is_err());
+    // Value block shorter than nnz · dim (truncated frame).
+    assert!(decode_response(&encode(vec![0, 5, 9], vec![1.0, 2.0])).is_err());
 }
 
 /// The binary expression codec preserves `Shared` structure: the wire

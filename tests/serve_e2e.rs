@@ -13,7 +13,7 @@ use gel_graph::random::{erdos_renyi, with_random_real_labels};
 use gel_graph::Graph;
 use gel_lang::wl_sim::{cr_graph_expr, k_wl_graph_expr};
 use gel_lang::{EvalEngine, Expr};
-use gel_serve::{Client, ServeOptions, Server};
+use gel_serve::{Client, ServeOptions, Server, TableData};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -177,5 +177,82 @@ fn errors_do_not_kill_the_connection() {
     client.ping().expect("connection must stay open after typed errors");
     let (vars, dim, n, _) = client.eval_text("g", "lab0(x1)").expect("still serving");
     assert_eq!((vars, dim, n as usize), (vec![1u8], 1, 14));
+    server.shutdown();
+}
+
+/// A batched round-trip returns, per expression, bytes identical to
+/// the singleton eval path — and counts as one request.
+#[test]
+fn batched_eval_matches_singletons_bit_for_bit() {
+    let g = corpus_graph();
+    let exprs = expression_set();
+    let server = Server::bind(ServeOptions::default()).expect("bind");
+    server.register_graph("corpus", g.clone()).expect("register");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    let singles: Vec<_> =
+        exprs.iter().map(|e| client.eval("corpus", e).expect("single eval")).collect();
+    let requests_before = server.stats().requests;
+    let batch = client.eval_batch("corpus", &exprs).expect("batch eval");
+    assert_eq!(server.stats().requests - requests_before, 1, "a batch is one request");
+    assert_eq!(batch.len(), exprs.len());
+    for (wt, (vars, dim, n, data)) in batch.iter().zip(&singles) {
+        assert_eq!((&wt.vars, wt.dim, wt.n), (vars, *dim, *n));
+        let TableData::Dense(bdata) = &wt.data else {
+            panic!("small results must come back dense")
+        };
+        let single_bits: Vec<u64> = data.iter().map(|v| v.to_bits()).collect();
+        let batch_bits: Vec<u64> = bdata.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(batch_bits, single_bits, "batched eval diverged from singleton");
+    }
+    server.shutdown();
+}
+
+/// Sparse admission: a query whose *dense* result exceeds
+/// `max_result_cells` but whose plan stays sparse end to end is now
+/// answered with a sparse table (bit-identical to an uncapped direct
+/// engine run) instead of `TooLarge` — while a genuinely dense wide
+/// query is still rejected.
+#[test]
+fn wide_sparse_results_are_admitted_dense_ones_rejected() {
+    use gel_lang::build::{add2, edge, lab};
+    let mut rng = StdRng::seed_from_u64(0x51DE);
+    let g = with_random_real_labels(&erdos_renyi(80, 0.05, &mut rng), LABEL_DIM, &mut rng);
+    // Dense result: 80² = 6400 cells; cap far below it.
+    let server = Server::bind(ServeOptions { max_result_cells: 5000, ..ServeOptions::default() })
+        .expect("bind");
+    server.register_graph("g", g.clone()).expect("register");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    let e = edge(1, 2);
+    let wt = client.eval_table("g", &e).expect("sparse-admissible eval");
+    let TableData::Sparse { coords, values } = &wt.data else {
+        panic!("wide low-nnz result must ship sparse")
+    };
+    // Bit-identical to an uncapped direct engine run.
+    let mut engine = EvalEngine::new();
+    let want = engine.eval(&e, &g);
+    assert_eq!(coords.len(), g.num_arcs());
+    for (&c, v) in coords.iter().zip(values) {
+        assert_eq!(v.to_bits(), want.data()[c as usize].to_bits());
+    }
+    assert_eq!(
+        values.iter().filter(|&&v| v != 0.0).count(),
+        want.data().iter().filter(|&&v| v != 0.0).count()
+    );
+    // Warm replay: same bytes, served from the sparse engine cache.
+    let wt2 = client.eval_table("g", &e).expect("warm sparse eval");
+    assert_eq!(wt2, wt);
+
+    // A wide query that genuinely needs a dense table keeps the old
+    // TooLarge rejection.
+    let dense_wide = add2(lab(0, 1), lab(0, 2));
+    let err = client.eval_table("g", &dense_wide).unwrap_err();
+    assert!(matches!(
+        err,
+        gel_serve::ClientError::Server { code: gel_serve::ErrorCode::TooLarge, .. }
+    ));
+    // And the connection is still healthy.
+    client.ping().expect("connection survives TooLarge");
     server.shutdown();
 }
